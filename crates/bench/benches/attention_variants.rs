@@ -1,0 +1,56 @@
+//! Criterion bench for Figures 4–7: time to build + compile + schedule the
+//! paper-configuration layer for each attention mechanism, and the full
+//! numeric forward of a miniature layer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaudi_compiler::CompilerOptions;
+use gaudi_hw::GaudiConfig;
+use gaudi_models::attention::AttentionKind;
+use gaudi_models::config::TransformerLayerConfig;
+use gaudi_models::transformer::build_transformer_layer;
+use gaudi_runtime::{Feeds, NumericsMode, Runtime};
+use gaudi_tensor::{SeededRng, Tensor};
+
+fn paper_layer_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_layer_simulation");
+    for (name, kind) in [
+        ("softmax", AttentionKind::Softmax),
+        ("linear", AttentionKind::Linear),
+        ("performer", AttentionKind::Favor { features: 256 }),
+    ] {
+        let cfg = TransformerLayerConfig::paper_section_3_3().with_attention(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let rt = Runtime::new(GaudiConfig::hls1(), CompilerOptions::default());
+            b.iter(|| {
+                let (graph, _) = build_transformer_layer(black_box(cfg)).unwrap();
+                rt.run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly).unwrap().makespan_ms
+            });
+        });
+    }
+    group.finish();
+}
+
+fn tiny_layer_full_numerics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiny_layer_full_numerics");
+    for (name, kind) in [
+        ("softmax", AttentionKind::Softmax),
+        ("linear", AttentionKind::Linear),
+        ("performer", AttentionKind::Favor { features: 16 }),
+    ] {
+        let cfg = TransformerLayerConfig::tiny().with_attention(kind);
+        let (graph, built) = build_transformer_layer(&cfg).unwrap();
+        let mut rng = SeededRng::new(2);
+        let x = Tensor::randn(graph.shape(built.input).dims(), 1.0, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, graph| {
+            let rt = Runtime::hls1();
+            b.iter(|| {
+                let feeds = Feeds::auto(3).with_input("x", x.clone());
+                rt.run(black_box(graph), &feeds, NumericsMode::Full).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, paper_layer_simulation, tiny_layer_full_numerics);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figures 8–9: the complete end-to-end experiment
+//! pipeline (graph build → compile → schedule → trace analysis) and the
+//! synthetic-BookCorpus batch generation feeding it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gaudi_bench::{llm_experiment, LlmKind};
+use gaudi_workloads::{clm_batch, mlm_batch, SyntheticBookCorpus};
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llm_experiment");
+    group.sample_size(10);
+    group.bench_function("fig8_gpt", |b| {
+        b.iter(|| llm_experiment(black_box(LlmKind::Gpt)).unwrap().total_ms)
+    });
+    group.bench_function("fig9_bert", |b| {
+        b.iter(|| llm_experiment(black_box(LlmKind::Bert)).unwrap().total_ms)
+    });
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    c.bench_function("mlm_batch_8x2048", |b| {
+        let mut corpus = SyntheticBookCorpus::new(30522, 1);
+        b.iter(|| mlm_batch(black_box(&mut corpus), 8, 2048));
+    });
+    c.bench_function("clm_batch_8x2048", |b| {
+        let mut corpus = SyntheticBookCorpus::new(50257, 1);
+        b.iter(|| clm_batch(black_box(&mut corpus), 8, 2048));
+    });
+}
+
+criterion_group!(benches, end_to_end, workload_generation);
+criterion_main!(benches);

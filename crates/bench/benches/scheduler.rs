@@ -1,0 +1,33 @@
+//! Criterion bench for the graph compiler: compile + schedule throughput on
+//! the end-to-end LLM training graphs (hundreds of nodes), per policy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaudi_compiler::{CompilerOptions, GraphCompiler, SchedulerKind};
+use gaudi_hw::GaudiConfig;
+use gaudi_models::bert::{build_bert_mlm, BertConfig};
+
+fn compile_bert(c: &mut Criterion) {
+    let (graph, _) = build_bert_mlm(&BertConfig::paper()).unwrap();
+    let mut group = c.benchmark_group("compile_bert_training_graph");
+    for (name, kind) in
+        [("inorder", SchedulerKind::InOrder), ("overlap", SchedulerKind::Overlap)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            let compiler = GraphCompiler::new(
+                GaudiConfig::hls1(),
+                CompilerOptions { scheduler: kind, ..Default::default() },
+            );
+            b.iter(|| compiler.compile(black_box(g)).unwrap().1.makespan_ns);
+        });
+    }
+    group.finish();
+}
+
+fn graph_construction(c: &mut Criterion) {
+    c.bench_function("build_bert_training_graph", |b| {
+        b.iter(|| build_bert_mlm(black_box(&BertConfig::paper())).unwrap().0.len());
+    });
+}
+
+criterion_group!(benches, compile_bert, graph_construction);
+criterion_main!(benches);

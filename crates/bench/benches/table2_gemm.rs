@@ -1,0 +1,52 @@
+//! Criterion bench backing Table 2: measures the real Rust hot paths under
+//! the experiment — the host tensor matmul kernel (used by full-numerics
+//! runs) and the analytic MME/TPC timing queries (used by every simulation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaudi_hw::config::{MmeConfig, TpcConfig};
+use gaudi_hw::{MmeModel, TpcCostModel};
+use gaudi_tensor::{ops, SeededRng, Tensor};
+
+fn host_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_matmul");
+    let mut rng = SeededRng::new(1);
+    for &size in &[64usize, 128, 256] {
+        let a = Tensor::randn(&[8, size, size], 1.0, &mut rng).unwrap();
+        let b = Tensor::randn(&[8, size, size], 1.0, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| ops::bmm(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn cost_model_queries(c: &mut Criterion) {
+    let mme = MmeModel::new(MmeConfig::default());
+    let tpc = TpcCostModel::new(TpcConfig::default());
+    c.bench_function("mme_gemm_time_query", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &s in &[128usize, 256, 512, 1024, 2048] {
+                acc += mme.gemm_time_ns(black_box(64), s, s, s);
+            }
+            acc
+        })
+    });
+    c.bench_function("tpc_matmul_time_query", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &s in &[128usize, 256, 512, 1024, 2048] {
+                let flops = 2.0 * 64.0 * (s as f64).powi(3);
+                acc += tpc.matmul_time_ns(black_box(flops));
+            }
+            acc
+        })
+    });
+}
+
+fn table2_regeneration(c: &mut Criterion) {
+    c.bench_function("table2_full_regeneration", |b| b.iter(gaudi_bench::table2));
+}
+
+criterion_group!(benches, host_matmul, cost_model_queries, table2_regeneration);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! A5 — element-wise fusion ablation: chains of unary TPC ops collapsed
+//! into single kernel launches (part of Insight #1's "good mapping and
+//! schedule").
+
+use gaudi_bench::fusion_ablation;
+use gaudi_bench::support::{ms, pct};
+use gaudi_profiler::report::TextTable;
+
+fn main() {
+    let (unfused, fused) = fusion_ablation().expect("ablation runs");
+    println!("Ablation A5: element-wise fusion on the Performer layer\n");
+    let mut t = TextTable::new(&["Fusion", "Total (ms)", "Trace events", "MME util"]);
+    t.row(&[
+        "off (one launch per op)".into(),
+        ms(unfused.total_ms),
+        unfused.trace.len().to_string(),
+        pct(unfused.mme_util),
+    ]);
+    t.row(&[
+        "on (chains collapsed)".into(),
+        ms(fused.total_ms),
+        fused.trace.len().to_string(),
+        pct(fused.mme_util),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "Finding: fusing the scalar_add->exp feature-map chains removes {} trace\n\
+         events and {:.1} ms ({:.1}%): intermediate tensors stop round-tripping\n\
+         through global memory and launch overheads collapse.",
+        unfused.trace.len() - fused.trace.len(),
+        unfused.total_ms - fused.total_ms,
+        (unfused.total_ms - fused.total_ms) / unfused.total_ms * 100.0
+    );
+}

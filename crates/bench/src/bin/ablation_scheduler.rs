@@ -1,0 +1,34 @@
+//! A1 — scheduler ablation: the Figure 6 Performer layer under the
+//! SynapseAI-like in-order scheduler vs the overlap-aware list scheduler
+//! (the fix the paper's Insight #1 asks for).
+
+use gaudi_bench::scheduler_ablation;
+use gaudi_bench::support::{ms, pct};
+use gaudi_profiler::report::TextTable;
+
+fn main() {
+    let (inorder, overlap) = scheduler_ablation().expect("ablation runs");
+    println!("Ablation A1: scheduler policy on the Performer layer\n");
+    let mut t = TextTable::new(&["Scheduler", "Total (ms)", "MME util", "Longest MME gap (ms)"]);
+    t.row(&[
+        "in-order (SynapseAI-like)".into(),
+        ms(inorder.total_ms),
+        pct(inorder.mme_util),
+        ms(inorder.longest_mme_gap_ms),
+    ]);
+    t.row(&[
+        "overlap-aware".into(),
+        ms(overlap.total_ms),
+        pct(overlap.mme_util),
+        ms(overlap.longest_mme_gap_ms),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "Finding: detecting the q'/k' independence recovers {:.1} ms ({:.1}%), but\n\
+         NOT the whole Figure 6 gap — both exponentials execute on the same TPC\n\
+         cluster, so only the cross-engine slack (the k-branch MME work) is\n\
+         reclaimable. The bigger lever is reducing special-function work itself.",
+        inorder.total_ms - overlap.total_ms,
+        (inorder.total_ms - overlap.total_ms) / inorder.total_ms * 100.0,
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerate Figure 5: hardware trace of the Linear-Transformer layer.
+
+use gaudi_bench::experiments::layer_figs::{fig4_softmax, fig5_linear, paper};
+use gaudi_bench::support::{ms, pct, ratio, write_chrome_trace};
+use gaudi_profiler::ascii::render_timeline;
+use gaudi_profiler::report::trace_summary;
+
+fn main() {
+    let softmax = fig4_softmax().expect("baseline runs");
+    let fig = fig5_linear().expect("experiment runs");
+    println!("Figure 5: Transformer layer with linear attention (elu(x)+1)\n");
+    println!("{}", render_timeline(&fig.trace, 100));
+    println!("{}", trace_summary(&fig.trace));
+    println!(
+        "total {} ms (paper: ~{} ms); speedup over softmax attention {} (paper: ~{});\n\
+         MME utilization {} — 'not many blank areas in the MME operating area'.",
+        ms(fig.total_ms),
+        paper::LINEAR_MS,
+        ratio(softmax.total_ms / fig.total_ms),
+        ratio(paper::LINEAR_SPEEDUP),
+        pct(fig.mme_util),
+    );
+    if let Some(p) = write_chrome_trace("fig5_linear", &fig.trace) {
+        println!("\nChrome trace written to {}", p.display());
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerate Figure 6: hardware trace of the Performer (FAVOR) layer.
+
+use gaudi_bench::experiments::layer_figs::{fig4_softmax, fig6_performer, paper};
+use gaudi_bench::support::{ms, ratio, write_chrome_trace};
+use gaudi_profiler::ascii::render_timeline;
+use gaudi_profiler::report::trace_summary;
+
+fn main() {
+    let softmax = fig4_softmax().expect("baseline runs");
+    let fig = fig6_performer().expect("experiment runs");
+    println!("Figure 6: Transformer layer with Performer FAVOR attention\n");
+    println!("{}", render_timeline(&fig.trace, 100));
+    println!("{}", trace_summary(&fig.trace));
+    println!(
+        "total {} ms (paper: ~{} ms); speedup over softmax attention {} (paper: ~{}).\n\
+         Blank area on the MME lane: longest gap {} ms — the TPC is busy with the\n\
+         q'/k' exponentials, which the in-order Graph Compiler does not overlap\n\
+         with MME work (see `ablation_scheduler` for the fixed-compiler run).",
+        ms(fig.total_ms),
+        paper::PERFORMER_MS,
+        ratio(softmax.total_ms / fig.total_ms),
+        ratio(paper::PERFORMER_SPEEDUP),
+        ms(fig.longest_mme_gap_ms),
+    );
+    if let Some(p) = write_chrome_trace("fig6_performer", &fig.trace) {
+        println!("\nChrome trace written to {}", p.display());
+    }
+}

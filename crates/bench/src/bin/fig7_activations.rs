@@ -1,0 +1,30 @@
+//! Regenerate Figure 7: the activation-function sweep (ReLU, LeakyReLU,
+//! GELU, GLU) over the §3.3 Transformer layer.
+
+use gaudi_bench::activation_sweep;
+use gaudi_bench::experiments::layer_figs::paper;
+use gaudi_bench::support::{ms, pct, write_chrome_trace};
+use gaudi_profiler::report::TextTable;
+
+fn main() {
+    let sweep = activation_sweep().expect("sweep runs");
+    println!("Figure 7: activation functions in a Transformer layer\n");
+    let mut t = TextTable::new(&["Activation", "Total (ms)", "MME util", "Paper (ms)"]);
+    for ((name, fig), paper_ms) in sweep.iter().zip(paper::ACTIVATIONS_MS.iter()) {
+        t.row(&[
+            name.clone(),
+            ms(fig.total_ms),
+            pct(fig.mme_util),
+            format!("{paper_ms}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check (paper §3.3): ReLU / LeakyReLU / GELU are within a few percent\n\
+         of each other; GLU is the slowest and stalls the MME, because SynapseAI\n\
+         lacks a pre-compiled GLU recipe and recompiles on first execution."
+    );
+    for (name, fig) in &sweep {
+        write_chrome_trace(&format!("fig7_{name}"), &fig.trace);
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerate Figure 9: end-to-end hardware trace of the BERT model
+//! (BertForMaskedLM analog, training step, §3.4 configuration).
+
+use gaudi_bench::support::{pct, write_chrome_trace};
+use gaudi_bench::{llm_experiment, LlmKind};
+use gaudi_profiler::ascii::render_timeline;
+use gaudi_profiler::report::trace_summary;
+
+fn main() {
+    let fig = llm_experiment(LlmKind::Bert).expect("experiment runs");
+    println!("Figure 9: hardware trace of the BERT model (seq 2048, batch 8, 2 layers)\n");
+    println!("{}", render_timeline(&fig.trace, 100));
+    println!("{}", trace_summary(&fig.trace));
+    println!(
+        "Observations (paper §3.4): {} MME idle gaps; MME utilization {}; TPC {};\n\
+         MME/TPC overlap {}. Same conclusions as the GPT trace: imbalanced\n\
+         MME/TPC workload, no overlap, wasted compute resources.\n\
+         Peak HBM estimate: {:.1} GiB of the 32 GiB device.",
+        fig.mme_gaps,
+        pct(fig.mme_util),
+        pct(fig.tpc_util),
+        pct(fig.overlap),
+        fig.peak_hbm_bytes as f64 / (1u64 << 30) as f64,
+    );
+    if let Some(p) = write_chrome_trace("fig9_bert", &fig.trace) {
+        println!("\nChrome trace written to {}", p.display());
+    }
+}

@@ -1,0 +1,47 @@
+//! Extension: storage-precision sweep. The paper runs PyTorch defaults
+//! (fp32); Gaudi's headline datapath is bf16. Storage width changes the
+//! memory-bound TPC ops and every DMA transfer — this sweep quantifies how
+//! much of the layer time is precision-sensitive.
+
+use gaudi_bench::support::{ms, ratio};
+use gaudi_compiler::CompilerOptions;
+use gaudi_hw::GaudiConfig;
+use gaudi_models::attention::AttentionKind;
+use gaudi_models::config::TransformerLayerConfig;
+use gaudi_models::transformer::build_transformer_layer;
+use gaudi_profiler::report::TextTable;
+use gaudi_runtime::{Feeds, NumericsMode, Runtime};
+use gaudi_tensor::DType;
+
+fn layer_ms(kind: AttentionKind, dtype: DType) -> f64 {
+    let cfg = TransformerLayerConfig::paper_section_3_3().with_attention(kind);
+    let (mut graph, _) = build_transformer_layer(&cfg).expect("builds");
+    graph.storage_dtype = dtype;
+    let rt = Runtime::new(GaudiConfig::hls1(), CompilerOptions::default());
+    rt.run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly).expect("runs").makespan_ms
+}
+
+fn main() {
+    println!("Extension: activation storage precision (paper layer config)\n");
+    let mut t = TextTable::new(&["Attention", "fp32 (ms)", "bf16 (ms)", "bf16 saves"]);
+    for (name, kind) in [
+        ("softmax", AttentionKind::Softmax),
+        ("linear", AttentionKind::Linear),
+        ("performer", AttentionKind::Favor { features: 256 }),
+    ] {
+        let f32_ms = layer_ms(kind, DType::F32);
+        let bf16_ms = layer_ms(kind, DType::BF16);
+        t.row(&[
+            name.into(),
+            ms(f32_ms),
+            ms(bf16_ms),
+            ratio(f32_ms / bf16_ms),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading: compute-bound work (MME GEMMs, softmax exponentials) is\n\
+         precision-insensitive in this model; the bf16 win comes from halved\n\
+         DMA transfers and memory-bound element-wise traffic."
+    );
+}

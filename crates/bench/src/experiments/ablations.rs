@@ -1,0 +1,204 @@
+//! Ablations and extensions (DESIGN.md A1–A4): the quantified versions of
+//! the paper's Insights, plus sequence-length and scale-out sweeps.
+
+use crate::experiments::layer_figs::{layer_experiment, LayerFigure, FAVOR_FEATURES};
+use gaudi_compiler::{CompilerOptions, GraphCompiler, SchedulerKind};
+use gaudi_graph::{EinsumSpec, Graph};
+use gaudi_hw::roce::RoceModel;
+use gaudi_hw::GaudiConfig;
+use gaudi_models::attention::AttentionKind;
+use gaudi_models::config::TransformerLayerConfig;
+use gaudi_tensor::{Result as TensorResult, TensorError};
+
+/// A1 — scheduler ablation on the Performer layer: the Figure 6 MME gap,
+/// then the same graph under the overlap-aware scheduler.
+pub fn scheduler_ablation() -> TensorResult<(LayerFigure, LayerFigure)> {
+    let cfg = TransformerLayerConfig::paper_section_3_3()
+        .with_attention(AttentionKind::Favor { features: FAVOR_FEATURES });
+    let inorder = layer_experiment("ablation-performer-inorder", &cfg, CompilerOptions::default())?;
+    let overlap = layer_experiment(
+        "ablation-performer-overlap",
+        &cfg,
+        CompilerOptions { scheduler: SchedulerKind::Overlap, ..Default::default() },
+    )?;
+    Ok((inorder, overlap))
+}
+
+/// A2 — einsum ablation: an attention score+output block written with the
+/// fused `einsum` op, compiled (a) naively (TPC fallback) and (b) with the
+/// lowering pass (MME). Returns `(naive_ms, lowered_ms)`.
+pub fn einsum_ablation() -> TensorResult<(f64, f64)> {
+    let cfg = TransformerLayerConfig::paper_section_3_3();
+    let (b, h, n, d) = (cfg.batch, cfg.heads, cfg.seq_len, cfg.head_dim);
+
+    let mut g = Graph::new();
+    g.storage_dtype = gaudi_tensor::DType::BF16;
+    let q = g.input("q", &[b, h, n, d]).map_err(|_| TensorError::EmptyTensor)?;
+    let k = g.input("k", &[b, h, n, d]).map_err(|_| TensorError::EmptyTensor)?;
+    let v = g.input("v", &[b, h, n, d]).map_err(|_| TensorError::EmptyTensor)?;
+    let s = g.einsum(EinsumSpec::ScoresQKt, q, k).map_err(|_| TensorError::EmptyTensor)?;
+    let p = g.softmax(s).map_err(|_| TensorError::EmptyTensor)?;
+    let o = g.einsum(EinsumSpec::OutputAv, p, v).map_err(|_| TensorError::EmptyTensor)?;
+    g.mark_output(o);
+
+    let run = |lower: bool| -> f64 {
+        let compiler = GraphCompiler::new(
+            GaudiConfig::hls1(),
+            CompilerOptions { lower_einsum: lower, ..Default::default() },
+        );
+        let (_, plan) = compiler.compile(&g).expect("valid graph");
+        plan.makespan_ms()
+    };
+    Ok((run(false), run(true)))
+}
+
+/// A5 — element-wise fusion ablation on the Performer layer (whose
+/// `scalar_add -> exp` feature-map chains are the fusion targets). Returns
+/// `(unfused, fused)` figures.
+pub fn fusion_ablation() -> TensorResult<(LayerFigure, LayerFigure)> {
+    let cfg = TransformerLayerConfig::paper_section_3_3()
+        .with_attention(AttentionKind::Favor { features: FAVOR_FEATURES });
+    let unfused = layer_experiment("ablation-fusion-off", &cfg, CompilerOptions::default())?;
+    let fused = layer_experiment(
+        "ablation-fusion-on",
+        &cfg,
+        CompilerOptions { fuse_elementwise: true, ..Default::default() },
+    )?;
+    Ok((unfused, fused))
+}
+
+/// One point of the A3 sequence-length sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Total layer time per attention kind, ms: (softmax, linear, performer).
+    pub softmax_ms: f64,
+    /// Linear attention, ms.
+    pub linear_ms: f64,
+    /// Performer, ms.
+    pub performer_ms: f64,
+}
+
+/// A3 — sequence-length sweep of the three attention mechanisms at the
+/// paper's layer configuration (batch is scaled down at very long sequences
+/// would not change the *ratios*; we keep the paper batch).
+pub fn seqlen_sweep(lengths: &[usize]) -> TensorResult<Vec<SweepPoint>> {
+    let mut out = Vec::new();
+    for &n in lengths {
+        let base = TransformerLayerConfig::paper_section_3_3().with_seq_len(n);
+        let softmax =
+            layer_experiment("sweep-softmax", &base, CompilerOptions::default())?.total_ms;
+        let linear = layer_experiment(
+            "sweep-linear",
+            &base.clone().with_attention(AttentionKind::Linear),
+            CompilerOptions::default(),
+        )?
+        .total_ms;
+        let performer = layer_experiment(
+            "sweep-performer",
+            &base.with_attention(AttentionKind::Favor { features: FAVOR_FEATURES }),
+            CompilerOptions::default(),
+        )?
+        .total_ms;
+        out.push(SweepPoint { seq_len: n, softmax_ms: softmax, linear_ms: linear, performer_ms: performer });
+    }
+    Ok(out)
+}
+
+/// One point of the A4 scale-out sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleoutPoint {
+    /// Number of Gaudi processors.
+    pub world: usize,
+    /// All-reduce time for the gradient volume, ms.
+    pub allreduce_ms: f64,
+    /// Data-parallel scaling efficiency (0..1).
+    pub efficiency: f64,
+}
+
+/// A4 — data-parallel scaling of a BERT training step over the HLS-1's
+/// RoCE fabric. `step_compute_ms` is the single-device step time (from
+/// Figure 9's run); `grad_bytes` the gradient volume.
+pub fn scaleout_sweep(step_compute_ms: f64, grad_bytes: u64, worlds: &[usize]) -> Vec<ScaleoutPoint> {
+    let roce = RoceModel::new(GaudiConfig::hls1().roce);
+    worlds
+        .iter()
+        .map(|&world| {
+            let allreduce_ns = roce.allreduce_time_ns(grad_bytes, world);
+            ScaleoutPoint {
+                world,
+                allreduce_ms: allreduce_ns / 1e6,
+                efficiency: roce.scaling_efficiency(step_compute_ms * 1e6, grad_bytes, world),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_fix_speeds_up_performer_modestly() {
+        // The independence fix recovers some time, but not the whole Figure 6
+        // gap: both exponentials serialize on the *same* TPC cluster, so only
+        // cross-engine slack (the k-branch MME work) is reclaimable.
+        let (inorder, overlap) = scheduler_ablation().unwrap();
+        assert!(
+            overlap.total_ms < inorder.total_ms - 0.5,
+            "overlap {} vs inorder {}",
+            overlap.total_ms,
+            inorder.total_ms
+        );
+        assert!(overlap.longest_mme_gap_ms <= inorder.longest_mme_gap_ms + 1e-9);
+    }
+
+    #[test]
+    fn einsum_lowering_wins_severalfold() {
+        let (naive, lowered) = einsum_ablation().unwrap();
+        // The un-lowered graph pays the ~7x TPC-matmul penalty on both
+        // contractions; the shared softmax bounds the end-to-end ratio.
+        assert!(
+            naive / lowered > 2.0,
+            "naive {naive} ms vs lowered {lowered} ms — expected the engine gap to show"
+        );
+    }
+
+    #[test]
+    fn softmax_grows_quadratically_linear_linearly() {
+        let sweep = seqlen_sweep(&[512, 1024, 2048, 4096]).unwrap();
+        // Softmax 4096/512 should grow much faster than linear's.
+        let s_ratio = sweep[3].softmax_ms / sweep[0].softmax_ms;
+        let l_ratio = sweep[3].linear_ms / sweep[0].linear_ms;
+        assert!(s_ratio > 2.0 * l_ratio, "softmax x{s_ratio} vs linear x{l_ratio}");
+        // Crossover: at short lengths the gap is small; at 4096 it is large.
+        let short_gap = sweep[0].softmax_ms / sweep[0].linear_ms;
+        let long_gap = sweep[3].softmax_ms / sweep[3].linear_ms;
+        assert!(long_gap > 2.0 * short_gap, "short {short_gap} vs long {long_gap}");
+    }
+
+    #[test]
+    fn fusion_saves_time_on_performer() {
+        let (unfused, fused) = fusion_ablation().unwrap();
+        assert!(
+            fused.total_ms < unfused.total_ms,
+            "fused {} vs unfused {}",
+            fused.total_ms,
+            unfused.total_ms
+        );
+        // Fewer trace events: chains collapsed.
+        assert!(fused.trace.len() < unfused.trace.len());
+    }
+
+    #[test]
+    fn scaleout_efficiency_decays_with_world_size() {
+        let points = scaleout_sweep(100.0, 500 << 20, &[1, 2, 4, 8]);
+        assert_eq!(points[0].allreduce_ms, 0.0);
+        assert!((points[0].efficiency - 1.0).abs() < 1e-9);
+        for w in points.windows(2) {
+            assert!(w[1].efficiency <= w[0].efficiency);
+        }
+        assert!(points[3].efficiency > 0.5, "RoCE should keep BERT steps scalable");
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment library: one module per paper artifact group.
+
+pub mod ablations;
+pub mod layer_figs;
+pub mod llm_figs;
+pub mod table2;

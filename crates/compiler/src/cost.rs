@@ -1,0 +1,281 @@
+//! Shape-driven per-operator cost: which engine, how long, how many flops,
+//! how many bytes of global traffic.
+
+use crate::mapping::engine_for;
+use gaudi_graph::{Activation, Graph, Node, OpKind};
+use gaudi_hw::{EngineId, GaudiConfig, MmeModel, TpcCostModel, TpcOpClass};
+
+/// Cost of executing one graph node on the modelled hardware.
+#[derive(Debug, Clone)]
+pub struct OpCost {
+    /// Engine the node executes on.
+    pub engine: EngineId,
+    /// Execution time in nanoseconds (0 for metadata-only ops).
+    pub time_ns: f64,
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes of global-memory traffic (inputs read + output written).
+    pub bytes: u64,
+}
+
+impl OpCost {
+    fn free() -> Self {
+        OpCost { engine: EngineId::Host, time_ns: 0.0, flops: 0.0, bytes: 0 }
+    }
+}
+
+fn matmul_dims(graph: &Graph, node: &Node) -> (usize, usize, usize, usize) {
+    // Output is [batch..., m, n]; the contraction length comes from input 0.
+    let out = graph.shape(node.id);
+    let (batch, m, n) = out.as_batched_matrix().expect("matmul output is matrix-shaped");
+    let k = graph.shape(node.inputs[0]).last_dim();
+    (batch, m, k, n)
+}
+
+/// Total bytes moved by a node: each input read once plus the output written
+/// once, at the graph's storage dtype.
+fn io_bytes(graph: &Graph, node: &Node) -> u64 {
+    let elem = graph.storage_dtype.size_of() as u64;
+    let inputs: u64 = node.inputs.iter().map(|&i| graph.shape(i).numel() as u64).sum();
+    let output = graph.shape(node.id).numel() as u64;
+    (inputs + output) * elem
+}
+
+/// Compute the cost of one node.
+///
+/// `lower_einsum` matches the option passed to the scheduler: an un-lowered
+/// einsum is priced as a TPC matmul (the 7x-slower fallback of Table 2),
+/// a lowered one should never reach this function (the lowering pass rewrote
+/// it into transpose + matmul).
+pub fn op_cost(graph: &Graph, node: &Node, cfg: &GaudiConfig, lower_einsum: bool) -> OpCost {
+    let mme = MmeModel::new(cfg.mme.clone());
+    let tpc = TpcCostModel::new(cfg.tpc.clone());
+    let elems = graph.shape(node.id).numel() as f64;
+    let bytes = io_bytes(graph, node);
+    let engine = engine_for(&node.kind, lower_einsum);
+
+    let tpc_cost = |class: TpcOpClass, elems: f64, bytes: u64| OpCost {
+        engine: EngineId::TpcCluster,
+        time_ns: tpc.class_time_ns(class, elems, bytes as f64),
+        flops: elems * tpc.cycles_per_elem(class).min(4.0),
+        bytes,
+    };
+
+    match &node.kind {
+        OpKind::Input | OpKind::Parameter => OpCost::free(),
+        // Reshape is metadata-only on a contiguous tensor.
+        OpKind::Reshape => OpCost::free(),
+        OpKind::Fill(_) => tpc_cost(
+            TpcOpClass::Elementwise(1.0),
+            elems,
+            graph.shape(node.id).numel() as u64 * graph.storage_dtype.size_of() as u64,
+        ),
+        OpKind::MatMul => {
+            let (batch, m, k, n) = matmul_dims(graph, node);
+            OpCost {
+                engine: EngineId::Mme,
+                time_ns: mme.gemm_time_ns(batch, m, k, n),
+                flops: MmeModel::gemm_flops(batch, m, k, n),
+                bytes,
+            }
+        }
+        OpKind::Einsum(_) => {
+            let (batch, m, k, n) = matmul_dims(graph, node);
+            let flops = MmeModel::gemm_flops(batch, m, k, n);
+            if engine == EngineId::Mme {
+                OpCost { engine, time_ns: mme.time_for_flops(flops), flops, bytes }
+            } else {
+                // Fused op fell back to a TPC matmul kernel.
+                OpCost { engine, time_ns: tpc.matmul_time_ns(flops), flops, bytes }
+            }
+        }
+        OpKind::FusedElementwise(ops) => {
+            // One launch; intermediates live in registers, so only the input
+            // and output touch global memory.
+            let cycles: f64 = ops.iter().map(|op| unary_cycles(&tpc, op)).sum();
+            OpCost {
+                engine: EngineId::TpcCluster,
+                time_ns: tpc.kernel_time_ns(elems, cycles, bytes as f64),
+                flops: elems * ops.len() as f64,
+                bytes,
+            }
+        }
+        OpKind::Add | OpKind::Sub | OpKind::Maximum | OpKind::Mul => {
+            tpc_cost(TpcOpClass::Elementwise(1.0), elems, bytes)
+        }
+        OpKind::Div => tpc_cost(TpcOpClass::Elementwise(2.0), elems, bytes),
+        OpKind::ScalarMul(_) | OpKind::ScalarAdd(_) | OpKind::Neg | OpKind::Square => {
+            tpc_cost(TpcOpClass::Elementwise(1.0), elems, bytes)
+        }
+        OpKind::Sqrt | OpKind::Exp | OpKind::Log => tpc_cost(TpcOpClass::SpecialFunc, elems, bytes),
+        OpKind::Activation(act) => activation_cost(&tpc, *act, elems, bytes),
+        OpKind::ActivationGrad(act) => {
+            // Backward evaluates the derivative and multiplies: ~forward + 1.
+            let mut c = activation_cost(&tpc, *act, elems, bytes);
+            c.time_ns += tpc.class_time_ns(TpcOpClass::Elementwise(1.0), elems, 0.0)
+                - tpc.launch_overhead_ns();
+            c
+        }
+        OpKind::Softmax => tpc_cost(TpcOpClass::Softmax, elems, bytes),
+        OpKind::SoftmaxGrad => {
+            // mul + row-sum + subtract + mul: two passes and a reduction.
+            tpc_cost(TpcOpClass::Reduction, elems * 2.0, bytes)
+        }
+        OpKind::LayerNorm { .. } => tpc_cost(TpcOpClass::LayerNorm, elems, bytes),
+        OpKind::LayerNormGrad { .. } => tpc_cost(TpcOpClass::LayerNorm, elems * 1.5, bytes),
+        OpKind::Transpose | OpKind::Permute(_) | OpKind::BroadcastTo => {
+            tpc_cost(TpcOpClass::Elementwise(1.0), elems, bytes)
+        }
+        OpKind::ReduceTo
+        | OpKind::ReduceSum { .. }
+        | OpKind::ReduceMax { .. }
+        | OpKind::ReduceMean { .. } => {
+            // Reductions are priced on the elements *read*.
+            let in_elems = graph.shape(node.inputs[0]).numel() as f64;
+            tpc_cost(TpcOpClass::Reduction, in_elems, bytes)
+        }
+        OpKind::Embedding => tpc_cost(TpcOpClass::Elementwise(2.0), elems, bytes),
+        OpKind::EmbeddingGrad => {
+            let in_elems = graph.shape(node.inputs[1]).numel() as f64;
+            tpc_cost(TpcOpClass::Reduction, in_elems, bytes)
+        }
+        OpKind::CrossEntropy => {
+            // Contains a softmax over the logits plus a gather and mean.
+            let logits = graph.shape(node.inputs[0]).numel() as f64;
+            tpc_cost(TpcOpClass::Softmax, logits, bytes)
+        }
+        OpKind::CrossEntropyGrad => {
+            let logits = graph.shape(node.id).numel() as f64;
+            tpc_cost(TpcOpClass::Softmax, logits, bytes)
+        }
+    }
+}
+
+/// Cycles per element of one member of a fused unary chain.
+fn unary_cycles(tpc: &TpcCostModel, op: &OpKind) -> f64 {
+    match op {
+        OpKind::Sqrt | OpKind::Exp | OpKind::Log => tpc.cycles_per_elem(TpcOpClass::SpecialFunc),
+        OpKind::Activation(a) if a.uses_special_func() => {
+            tpc.cycles_per_elem(TpcOpClass::SpecialFunc)
+        }
+        OpKind::Activation(Activation::LeakyRelu(_)) => 2.0,
+        _ => 1.0,
+    }
+}
+
+fn activation_cost(tpc: &TpcCostModel, act: Activation, elems: f64, bytes: u64) -> OpCost {
+    let class = match act {
+        Activation::Relu => TpcOpClass::Elementwise(1.0),
+        Activation::LeakyRelu(_) => TpcOpClass::Elementwise(2.0),
+        // exp/tanh/erf-based activations hit the special-function pipeline.
+        Activation::Gelu
+        | Activation::Elu
+        | Activation::Sigmoid
+        | Activation::Tanh
+        | Activation::EluPlusOne
+        | Activation::Glu => TpcOpClass::SpecialFunc,
+    };
+    OpCost {
+        engine: EngineId::TpcCluster,
+        time_ns: tpc.class_time_ns(class, elems, bytes as f64),
+        flops: elems * 2.0,
+        bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaudi_graph::Graph;
+
+    fn cfg() -> GaudiConfig {
+        GaudiConfig::hls1()
+    }
+
+    #[test]
+    fn matmul_is_costed_on_the_mme() {
+        let mut g = Graph::new();
+        let a = g.input("a", &[64, 512, 512]).unwrap();
+        let b = g.input("b", &[64, 512, 512]).unwrap();
+        let m = g.matmul(a, b).unwrap();
+        let c = op_cost(&g, g.node(m), &cfg(), false);
+        assert_eq!(c.engine, EngineId::Mme);
+        assert_eq!(c.flops, 2.0 * 64.0 * 512f64.powi(3));
+        assert!(c.time_ns > 0.0);
+    }
+
+    #[test]
+    fn scalar_mul_runs_on_tpc_despite_linearity() {
+        let mut g = Graph::new();
+        let a = g.input("a", &[1024]).unwrap();
+        let s = g.scalar_mul(a, 0.125).unwrap();
+        let c = op_cost(&g, g.node(s), &cfg(), false);
+        assert_eq!(c.engine, EngineId::TpcCluster);
+    }
+
+    #[test]
+    fn softmax_dominates_equal_size_elementwise() {
+        let mut g = Graph::new();
+        g.storage_dtype = gaudi_tensor::DType::BF16;
+        let a = g.input("a", &[2048, 2048]).unwrap();
+        let sm = g.softmax(a).unwrap();
+        let ad = g.scalar_add(a, 1.0).unwrap();
+        let c_sm = op_cost(&g, g.node(sm), &cfg(), false);
+        let c_ad = op_cost(&g, g.node(ad), &cfg(), false);
+        assert!(c_sm.time_ns > 2.0 * c_ad.time_ns);
+    }
+
+    #[test]
+    fn unlowered_einsum_pays_the_tpc_penalty() {
+        let mut g = Graph::new();
+        let q = g.input("q", &[8, 4, 2048, 64]).unwrap();
+        let k = g.input("k", &[8, 4, 2048, 64]).unwrap();
+        let e = g.einsum(gaudi_graph::EinsumSpec::ScoresQKt, q, k).unwrap();
+        let naive = op_cost(&g, g.node(e), &cfg(), false);
+        let lowered = op_cost(&g, g.node(e), &cfg(), true);
+        assert_eq!(naive.engine, EngineId::TpcCluster);
+        assert_eq!(lowered.engine, EngineId::Mme);
+        assert!(
+            naive.time_ns > 3.0 * lowered.time_ns,
+            "TPC fallback must be several-fold slower: {} vs {}",
+            naive.time_ns,
+            lowered.time_ns
+        );
+    }
+
+    #[test]
+    fn sources_and_reshape_are_free() {
+        let mut g = Graph::new();
+        let a = g.input("a", &[4, 4]).unwrap();
+        let r = g.reshape(a, &[16]).unwrap();
+        assert_eq!(op_cost(&g, g.node(a), &cfg(), false).time_ns, 0.0);
+        assert_eq!(op_cost(&g, g.node(r), &cfg(), false).time_ns, 0.0);
+    }
+
+    #[test]
+    fn special_activations_cost_more_than_relu() {
+        let mut g = Graph::new();
+        let a = g.input("a", &[1 << 20]).unwrap();
+        let relu = g.activation(Activation::Relu, a).unwrap();
+        let gelu = g.activation(Activation::Gelu, a).unwrap();
+        let c_r = op_cost(&g, g.node(relu), &cfg(), false);
+        let c_g = op_cost(&g, g.node(gelu), &cfg(), false);
+        assert!(c_g.time_ns > c_r.time_ns);
+    }
+
+    #[test]
+    fn bytes_respect_storage_dtype() {
+        let mut g = Graph::new();
+        let a = g.input("a", &[1000]).unwrap();
+        let s = g.scalar_add(a, 1.0).unwrap();
+        let f32_bytes = op_cost(&g, g.node(s), &cfg(), false).bytes;
+        g.storage_dtype = gaudi_tensor_dtype_bf16();
+        let bf16_bytes = op_cost(&g, g.node(s), &cfg(), false).bytes;
+        assert_eq!(f32_bytes, 8000);
+        assert_eq!(bf16_bytes, 4000);
+    }
+
+    fn gaudi_tensor_dtype_bf16() -> gaudi_tensor::DType {
+        gaudi_tensor::DType::BF16
+    }
+}

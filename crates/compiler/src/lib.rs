@@ -1,0 +1,110 @@
+//! # gaudi-compiler
+//!
+//! The SynapseAI graph-compiler stand-in: given a [`gaudi_graph::Graph`], it
+//!
+//! 1. **maps** each operator to a hardware engine (the paper's Table 1: only
+//!    matrix products reach the MME; *everything* else — even
+//!    `scalar * tensor` — lands on the TPC cluster),
+//! 2. **lowers** high-level ops (optionally rewriting `einsum` contractions
+//!    into transpose + matmul so they can reach the MME — the paper's
+//!    Insight #2 ablation),
+//! 3. **costs** every node with the shape-driven hardware models of
+//!    `gaudi-hw`, and
+//! 4. **schedules** the nodes onto engine timelines, producing an
+//!    [`schedule::ExecutionPlan`] the runtime replays.
+//!
+//! Two scheduling policies are provided:
+//!
+//! * [`SchedulerKind::InOrder`] — issue strictly in program order and
+//!   serialize across engine switches. This reproduces the SynapseAI
+//!   behaviour the paper observes: "Graph Compiler does not detect this
+//!   independence, so it does not schedule MME and TPC tasks well so that
+//!   they can overlap" (Figure 6).
+//! * [`SchedulerKind::Overlap`] — dependency-only list scheduling, the
+//!   idealized compiler the paper's insights call for.
+
+pub mod cost;
+pub mod dce;
+pub mod fusion;
+pub mod lowering;
+pub mod mapping;
+pub mod schedule;
+
+pub use cost::{op_cost, OpCost};
+pub use dce::eliminate_dead_code;
+pub use fusion::{fuse_elementwise, FusionStats};
+pub use lowering::lower_einsum;
+pub use mapping::{engine_for, table1, Table1Row};
+pub use schedule::{ExecutionPlan, GraphCompiler, PlannedOp, SchedulerKind};
+
+/// Compiler configuration knobs (the ablation axes of DESIGN.md §6).
+#[derive(Debug, Clone)]
+pub struct CompilerOptions {
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Rewrite `einsum` contractions into transpose + MME matmul. When off,
+    /// the fused op falls back to a TPC matmul kernel — the "bad mapping"
+    /// the paper warns about.
+    pub lower_einsum: bool,
+    /// Charge the one-time Graph-Compiler recompilation stall the first time
+    /// an op without a pre-compiled recipe (GLU) executes (§3.3, Figure 7).
+    pub glu_recompile_stall: bool,
+    /// Model engine-to-engine tensor movement on the DMA lane.
+    pub model_dma: bool,
+    /// Fuse chains of unary element-wise ops into single TPC launches,
+    /// eliminating intermediate global-memory round trips (Insight #1's
+    /// "good mapping and schedule" — see `fusion`).
+    pub fuse_elementwise: bool,
+    /// Prune nodes unreachable from marked outputs before scheduling (e.g.
+    /// the unused input-gradient chains autograd produces).
+    pub dce: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        // Defaults mirror observed SynapseAI behaviour.
+        CompilerOptions {
+            scheduler: SchedulerKind::InOrder,
+            lower_einsum: false,
+            glu_recompile_stall: true,
+            model_dma: true,
+            fuse_elementwise: false,
+            dce: true,
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// The idealized configuration the paper's insights advocate.
+    pub fn idealized() -> Self {
+        CompilerOptions {
+            scheduler: SchedulerKind::Overlap,
+            lower_einsum: true,
+            glu_recompile_stall: false,
+            model_dma: true,
+            fuse_elementwise: true,
+            dce: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_synapseai_like() {
+        let o = CompilerOptions::default();
+        assert_eq!(o.scheduler, SchedulerKind::InOrder);
+        assert!(!o.lower_einsum);
+        assert!(o.glu_recompile_stall);
+    }
+
+    #[test]
+    fn idealized_options_flip_the_knobs() {
+        let o = CompilerOptions::idealized();
+        assert_eq!(o.scheduler, SchedulerKind::Overlap);
+        assert!(o.lower_einsum);
+        assert!(!o.glu_recompile_stall);
+    }
+}

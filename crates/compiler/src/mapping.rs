@@ -1,0 +1,123 @@
+//! Operation → compute-engine mapping (the paper's Table 1).
+//!
+//! The profiling conclusion of §3.2: *"only matrix multiplication operations
+//! are mapped to MME, and all other operations are mapped to TPC. Even
+//! linear operations on tensors like tensor multiplied by scalar are mapped
+//! to TPC."*
+
+use gaudi_graph::OpKind;
+use gaudi_hw::EngineId;
+
+/// Engine an operator executes on, per the SynapseAI mapping.
+///
+/// `lower_einsum` decides the fate of fused contractions: a lowered einsum
+/// reaches the MME; an un-lowered one falls back to a TPC kernel.
+pub fn engine_for(kind: &OpKind, lower_einsum: bool) -> EngineId {
+    match kind {
+        OpKind::MatMul => EngineId::Mme,
+        OpKind::Einsum(_) => {
+            if lower_einsum {
+                EngineId::Mme
+            } else {
+                EngineId::TpcCluster
+            }
+        }
+        OpKind::Input | OpKind::Parameter => EngineId::Host,
+        _ => EngineId::TpcCluster,
+    }
+}
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The torch-level operation.
+    pub operation: &'static str,
+    /// The paper's explanation column.
+    pub explanation: &'static str,
+    /// Engine the operation maps to.
+    pub mapping: EngineId,
+}
+
+/// Regenerate Table 1: the operation/hardware mapping via SynapseAI.
+///
+/// The torch ops are represented by the graph IR operator that models them;
+/// mappings are *queried from the compiler*, not hard-coded, so this table
+/// is a live check of [`engine_for`].
+pub fn table1() -> Vec<Table1Row> {
+    let probe: Vec<(&'static str, &'static str, OpKind)> = vec![
+        ("torch.mul", "element wise mul", OpKind::Mul),
+        ("torch.matmul", "matrix product", OpKind::MatMul),
+        ("torch.square", "tensor square", OpKind::Square),
+        ("**", "tensor square", OpKind::Square),
+        ("tensor +- tensor", "tensor +- tensor", OpKind::Add),
+        ("scalar * tensor", "scalar * tensor", OpKind::ScalarMul(2.0)),
+        ("scalar +- tensor", "scalar +- tensor", OpKind::ScalarAdd(2.0)),
+        ("torch.sqrt", "square root", OpKind::Sqrt),
+        ("torch.log", "natural logarithm", OpKind::Log),
+    ];
+    probe
+        .into_iter()
+        .map(|(operation, explanation, kind)| Table1Row {
+            operation,
+            explanation,
+            mapping: engine_for(&kind, false),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaudi_graph::{Activation, EinsumSpec};
+
+    #[test]
+    fn only_matmul_reaches_the_mme() {
+        assert_eq!(engine_for(&OpKind::MatMul, false), EngineId::Mme);
+        for kind in [
+            OpKind::Mul,
+            OpKind::Add,
+            OpKind::ScalarMul(3.0),
+            OpKind::ScalarAdd(-1.0),
+            OpKind::Square,
+            OpKind::Sqrt,
+            OpKind::Exp,
+            OpKind::Log,
+            OpKind::Softmax,
+            OpKind::LayerNorm { eps: 1e-5 },
+            OpKind::Activation(Activation::Gelu),
+            OpKind::ReduceSum { keep_dim: false },
+            OpKind::Embedding,
+        ] {
+            assert_eq!(engine_for(&kind, false), EngineId::TpcCluster, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn einsum_mapping_depends_on_lowering() {
+        let e = OpKind::Einsum(EinsumSpec::ScoresQKt);
+        assert_eq!(engine_for(&e, false), EngineId::TpcCluster);
+        assert_eq!(engine_for(&e, true), EngineId::Mme);
+    }
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let rows = table1();
+        assert_eq!(rows.len(), 9);
+        // Exactly one row (torch.matmul) maps to MME.
+        let mme_rows: Vec<_> =
+            rows.iter().filter(|r| r.mapping == EngineId::Mme).collect();
+        assert_eq!(mme_rows.len(), 1);
+        assert_eq!(mme_rows[0].operation, "torch.matmul");
+        // Every other row maps to TPC.
+        assert!(rows
+            .iter()
+            .filter(|r| r.operation != "torch.matmul")
+            .all(|r| r.mapping == EngineId::TpcCluster));
+    }
+
+    #[test]
+    fn sources_live_on_the_host() {
+        assert_eq!(engine_for(&OpKind::Input, false), EngineId::Host);
+        assert_eq!(engine_for(&OpKind::Parameter, false), EngineId::Host);
+    }
+}

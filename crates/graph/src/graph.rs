@@ -1,0 +1,696 @@
+//! Graph container, builder API, and shape inference.
+
+use crate::op::{Activation, EinsumSpec, OpKind};
+use gaudi_tensor::{DType, Shape, TensorError};
+use std::fmt;
+
+/// Handle to a node within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Index into the graph's node vector.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Errors raised while building a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A shape rule was violated; wraps the tensor-level description.
+    Shape(TensorError),
+    /// An operand handle does not belong to this graph.
+    UnknownNode(NodeId),
+    /// The operator received the wrong number of operands.
+    Arity {
+        /// Operator label.
+        op: String,
+        /// Expected operand count.
+        expected: usize,
+        /// Received operand count.
+        actual: usize,
+    },
+    /// Embedding/cross-entropy rank constraints violated.
+    Rank {
+        /// Human-readable constraint description.
+        what: &'static str,
+    },
+    /// The operator has no gradient rule (e.g. `maximum`, `reduce_max`).
+    Autograd(&'static str),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Shape(e) => write!(f, "shape error: {e}"),
+            GraphError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            GraphError::Arity { op, expected, actual } => {
+                write!(f, "{op} expects {expected} operands, got {actual}")
+            }
+            GraphError::Rank { what } => write!(f, "rank constraint violated: {what}"),
+            GraphError::Autograd(what) => write!(f, "no gradient rule for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<TensorError> for GraphError {
+    fn from(e: TensorError) -> Self {
+        GraphError::Shape(e)
+    }
+}
+
+/// One operation (or source tensor) in the graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// This node's handle.
+    pub id: NodeId,
+    /// Operator.
+    pub kind: OpKind,
+    /// Operand handles (empty for sources).
+    pub inputs: Vec<NodeId>,
+    /// Inferred output shape.
+    pub shape: Shape,
+    /// Human-readable name for traces.
+    pub name: String,
+}
+
+/// A static compute graph in SSA form: nodes are appended in topological
+/// order (operands always precede their consumers).
+///
+/// ```
+/// use gaudi_graph::Graph;
+///
+/// let mut g = Graph::new();
+/// let x = g.input("x", &[8, 16])?;
+/// let w = g.parameter("w", &[16, 4])?;
+/// let y = g.matmul(x, w)?;          // maps to the MME
+/// let p = g.softmax(y)?;            // maps to the TPC cluster
+/// g.mark_output(p);
+/// g.validate()?;
+/// assert_eq!(g.shape(p).dims(), &[8, 4]);
+/// # Ok::<(), gaudi_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    outputs: Vec<NodeId>,
+    /// Storage dtype charged by the memory/DMA models for activations.
+    pub storage_dtype: DType,
+}
+
+impl Graph {
+    /// Empty graph with `f32` storage accounting.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Shape of a node's output.
+    pub fn shape(&self, id: NodeId) -> Shape {
+        self.nodes[id.0].shape
+    }
+
+    /// Marked graph outputs.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Mark a node as a graph output (kept live by the executor).
+    pub fn mark_output(&mut self, id: NodeId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Low-level node insertion with an explicit output shape. Validates
+    /// operand handles and arity; shape correctness is the caller's
+    /// responsibility (used by autograd for adjoint ops).
+    pub fn push_node(
+        &mut self,
+        kind: OpKind,
+        inputs: &[NodeId],
+        shape: Shape,
+        name: impl Into<String>,
+    ) -> Result<NodeId, GraphError> {
+        for &i in inputs {
+            if i.0 >= self.nodes.len() {
+                return Err(GraphError::UnknownNode(i));
+            }
+        }
+        if let Some(expected) = kind.arity() {
+            if inputs.len() != expected {
+                return Err(GraphError::Arity {
+                    op: kind.label(),
+                    expected,
+                    actual: inputs.len(),
+                });
+            }
+        } else if !inputs.is_empty() {
+            return Err(GraphError::Arity { op: kind.label(), expected: 0, actual: inputs.len() });
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { id, kind, inputs: inputs.to_vec(), shape, name: name.into() });
+        Ok(id)
+    }
+
+    // ---- source nodes -------------------------------------------------
+
+    /// External input tensor.
+    pub fn input(&mut self, name: &str, dims: &[usize]) -> Result<NodeId, GraphError> {
+        let shape = Shape::new(dims)?;
+        self.push_node(OpKind::Input, &[], shape, name)
+    }
+
+    /// Trainable parameter tensor.
+    pub fn parameter(&mut self, name: &str, dims: &[usize]) -> Result<NodeId, GraphError> {
+        let shape = Shape::new(dims)?;
+        self.push_node(OpKind::Parameter, &[], shape, name)
+    }
+
+    /// Constant-filled tensor.
+    pub fn fill(&mut self, name: &str, dims: &[usize], value: f32) -> Result<NodeId, GraphError> {
+        let shape = Shape::new(dims)?;
+        self.push_node(OpKind::Fill(value), &[], shape, name)
+    }
+
+    /// `torch.ones_like` analog.
+    pub fn ones_like(&mut self, of: NodeId, name: &str) -> Result<NodeId, GraphError> {
+        let shape = self.shape(of);
+        self.push_node(OpKind::Fill(1.0), &[], shape, name)
+    }
+
+    // ---- MME ops -------------------------------------------------------
+
+    /// Batched matrix product (`torch.matmul`); the only op mapped to MME.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GraphError> {
+        let shape = infer_matmul(self.shape(a), self.shape(b))?;
+        self.push_node(OpKind::MatMul, &[a, b], shape, "")
+    }
+
+    /// High-level fused contraction — the Insight #2 anti-pattern.
+    pub fn einsum(&mut self, spec: EinsumSpec, a: NodeId, b: NodeId) -> Result<NodeId, GraphError> {
+        let shape = infer_einsum(spec, self.shape(a), self.shape(b))?;
+        self.push_node(OpKind::Einsum(spec), &[a, b], shape, "")
+    }
+
+    // ---- element-wise binaries ------------------------------------------
+
+    fn binary(&mut self, kind: OpKind, a: NodeId, b: NodeId) -> Result<NodeId, GraphError> {
+        let shape = Shape::broadcast(&self.shape(a), &self.shape(b))?;
+        self.push_node(kind, &[a, b], shape, "")
+    }
+
+    /// Element-wise sum with broadcasting.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GraphError> {
+        self.binary(OpKind::Add, a, b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GraphError> {
+        self.binary(OpKind::Sub, a, b)
+    }
+
+    /// Element-wise product (`torch.mul`).
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GraphError> {
+        self.binary(OpKind::Mul, a, b)
+    }
+
+    /// Element-wise quotient.
+    pub fn div(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GraphError> {
+        self.binary(OpKind::Div, a, b)
+    }
+
+    /// Element-wise maximum.
+    pub fn maximum(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GraphError> {
+        self.binary(OpKind::Maximum, a, b)
+    }
+
+    // ---- scalar and unary ops --------------------------------------------
+
+    fn unary(&mut self, kind: OpKind, a: NodeId) -> Result<NodeId, GraphError> {
+        let shape = self.shape(a);
+        self.push_node(kind, &[a], shape, "")
+    }
+
+    /// `scalar * tensor`.
+    pub fn scalar_mul(&mut self, a: NodeId, s: f32) -> Result<NodeId, GraphError> {
+        self.unary(OpKind::ScalarMul(s), a)
+    }
+
+    /// `scalar + tensor`.
+    pub fn scalar_add(&mut self, a: NodeId, s: f32) -> Result<NodeId, GraphError> {
+        self.unary(OpKind::ScalarAdd(s), a)
+    }
+
+    /// `torch.square`.
+    pub fn square(&mut self, a: NodeId) -> Result<NodeId, GraphError> {
+        self.unary(OpKind::Square, a)
+    }
+
+    /// `torch.sqrt`.
+    pub fn sqrt(&mut self, a: NodeId) -> Result<NodeId, GraphError> {
+        self.unary(OpKind::Sqrt, a)
+    }
+
+    /// `torch.exp`.
+    pub fn exp(&mut self, a: NodeId) -> Result<NodeId, GraphError> {
+        self.unary(OpKind::Exp, a)
+    }
+
+    /// `torch.log`.
+    pub fn log(&mut self, a: NodeId) -> Result<NodeId, GraphError> {
+        self.unary(OpKind::Log, a)
+    }
+
+    /// Negation.
+    pub fn neg(&mut self, a: NodeId) -> Result<NodeId, GraphError> {
+        self.unary(OpKind::Neg, a)
+    }
+
+    /// Activation application (GLU halves the last dimension).
+    pub fn activation(&mut self, act: Activation, a: NodeId) -> Result<NodeId, GraphError> {
+        let in_shape = self.shape(a);
+        let shape = if matches!(act, Activation::Glu) {
+            let d = in_shape.last_dim();
+            if !d.is_multiple_of(2) {
+                return Err(TensorError::OddSplitDim { dim: d }.into());
+            }
+            let mut dims = in_shape.dims().to_vec();
+            *dims.last_mut().unwrap() = d / 2;
+            Shape::new(&dims)?
+        } else {
+            in_shape
+        };
+        self.push_node(OpKind::Activation(act), &[a], shape, "")
+    }
+
+    // ---- structured ops ---------------------------------------------------
+
+    /// Softmax over the last axis.
+    pub fn softmax(&mut self, a: NodeId) -> Result<NodeId, GraphError> {
+        self.unary(OpKind::Softmax, a)
+    }
+
+    /// Layer normalization over the last axis.
+    pub fn layernorm(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f32,
+    ) -> Result<NodeId, GraphError> {
+        let d = self.shape(x).last_dim();
+        if self.shape(gamma).numel() != d || self.shape(beta).numel() != d {
+            return Err(TensorError::LengthMismatch {
+                expected: d,
+                actual: self.shape(gamma).numel(),
+            }
+            .into());
+        }
+        let shape = self.shape(x);
+        self.push_node(OpKind::LayerNorm { eps }, &[x, gamma, beta], shape, "")
+    }
+
+    /// Transpose of the last two axes.
+    pub fn transpose(&mut self, a: NodeId) -> Result<NodeId, GraphError> {
+        let s = self.shape(a);
+        if s.rank() < 2 {
+            return Err(TensorError::AxisOutOfRange { axis: 1, rank: s.rank() }.into());
+        }
+        let mut dims = s.dims().to_vec();
+        let r = dims.len();
+        dims.swap(r - 2, r - 1);
+        let shape = Shape::new(&dims)?;
+        self.push_node(OpKind::Transpose, &[a], shape, "")
+    }
+
+    /// General axis permutation: output dim `i` is input dim `order[i]`.
+    pub fn permute(&mut self, a: NodeId, order: &[usize]) -> Result<NodeId, GraphError> {
+        let s = self.shape(a);
+        let rank = s.rank();
+        if order.len() != rank {
+            return Err(GraphError::Rank { what: "permutation length must equal rank" });
+        }
+        let mut seen = [false; 5];
+        for &o in order {
+            if o >= rank || seen[o] {
+                return Err(GraphError::Rank { what: "order must be a permutation of axes" });
+            }
+            seen[o] = true;
+        }
+        let dims: Vec<usize> = order.iter().map(|&o| s.dim(o)).collect();
+        let shape = Shape::new(&dims)?;
+        self.push_node(OpKind::Permute(order.to_vec()), &[a], shape, "")
+    }
+
+    /// Reshape to a new shape with equal element count.
+    pub fn reshape(&mut self, a: NodeId, dims: &[usize]) -> Result<NodeId, GraphError> {
+        let shape = Shape::new(dims)?;
+        if shape.numel() != self.shape(a).numel() {
+            return Err(TensorError::ReshapeMismatch { from: self.shape(a), to: shape }.into());
+        }
+        self.push_node(OpKind::Reshape, &[a], shape, "")
+    }
+
+    /// Broadcast up to a larger shape.
+    pub fn broadcast_to(&mut self, a: NodeId, dims: &[usize]) -> Result<NodeId, GraphError> {
+        let target = Shape::new(dims)?;
+        let merged = Shape::broadcast(&self.shape(a), &target)?;
+        if merged != target {
+            return Err(TensorError::BroadcastMismatch { lhs: self.shape(a), rhs: target }.into());
+        }
+        self.push_node(OpKind::BroadcastTo, &[a], target, "")
+    }
+
+    /// Sum-reduce down to a smaller (broadcast-compatible) shape.
+    pub fn reduce_to(&mut self, a: NodeId, dims: &[usize]) -> Result<NodeId, GraphError> {
+        let target = Shape::new(dims)?;
+        let merged = Shape::broadcast(&self.shape(a), &target)?;
+        if merged != self.shape(a) {
+            return Err(TensorError::BroadcastMismatch { lhs: self.shape(a), rhs: target }.into());
+        }
+        self.push_node(OpKind::ReduceTo, &[a], target, "")
+    }
+
+    fn reduce(&mut self, kind: OpKind, a: NodeId, keep_dim: bool) -> Result<NodeId, GraphError> {
+        let s = self.shape(a);
+        let mut dims = s.dims().to_vec();
+        if keep_dim || dims.len() == 1 {
+            *dims.last_mut().unwrap() = 1;
+        } else {
+            dims.pop();
+        }
+        let shape = Shape::new(&dims)?;
+        self.push_node(kind, &[a], shape, "")
+    }
+
+    /// Sum over the last axis.
+    pub fn reduce_sum(&mut self, a: NodeId, keep_dim: bool) -> Result<NodeId, GraphError> {
+        self.reduce(OpKind::ReduceSum { keep_dim }, a, keep_dim)
+    }
+
+    /// Max over the last axis.
+    pub fn reduce_max(&mut self, a: NodeId, keep_dim: bool) -> Result<NodeId, GraphError> {
+        self.reduce(OpKind::ReduceMax { keep_dim }, a, keep_dim)
+    }
+
+    /// Mean over the last axis.
+    pub fn reduce_mean(&mut self, a: NodeId, keep_dim: bool) -> Result<NodeId, GraphError> {
+        self.reduce(OpKind::ReduceMean { keep_dim }, a, keep_dim)
+    }
+
+    /// Embedding lookup `(table [V, D], ids [...])` → `[..., D]`.
+    pub fn embedding(&mut self, table: NodeId, ids: NodeId) -> Result<NodeId, GraphError> {
+        let t = self.shape(table);
+        let i = self.shape(ids);
+        if t.rank() != 2 {
+            return Err(GraphError::Rank { what: "embedding table must be rank 2" });
+        }
+        let mut dims = i.dims().to_vec();
+        dims.push(t.dim(1));
+        let shape = Shape::new(&dims)?;
+        self.push_node(OpKind::Embedding, &[table, ids], shape, "")
+    }
+
+    /// Token cross entropy `(logits [..., V], targets [...])` → scalar.
+    pub fn cross_entropy(&mut self, logits: NodeId, targets: NodeId) -> Result<NodeId, GraphError> {
+        let l = self.shape(logits);
+        let t = self.shape(targets);
+        if l.rank() != t.rank() + 1 || l.numel() / l.last_dim() != t.numel() {
+            return Err(GraphError::Rank { what: "targets must match logits minus class axis" });
+        }
+        let shape = Shape::new(&[1])?;
+        self.push_node(OpKind::CrossEntropy, &[logits, targets], shape, "")
+    }
+
+    /// Attach a trace name to the most recently created node.
+    pub fn name_last(&mut self, name: &str) {
+        if let Some(n) = self.nodes.last_mut() {
+            n.name = name.to_string();
+        }
+    }
+
+    /// Consumers of each node (computed on demand).
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut c = vec![Vec::new(); self.nodes.len()];
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                c[i.0].push(n.id);
+            }
+        }
+        c
+    }
+
+    /// Validate structural invariants (operands precede consumers; arity).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                if i.0 >= n.id.0 {
+                    return Err(GraphError::UnknownNode(i));
+                }
+            }
+            if let Some(a) = n.kind.arity() {
+                if n.inputs.len() != a {
+                    return Err(GraphError::Arity {
+                        op: n.kind.label(),
+                        expected: a,
+                        actual: n.inputs.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn infer_matmul(a: Shape, b: Shape) -> Result<Shape, GraphError> {
+    let (ab, m, k) = a.as_batched_matrix().ok_or(TensorError::MatmulMismatch { lhs: a, rhs: b })?;
+    let (bb, k2, n) =
+        b.as_batched_matrix().ok_or(TensorError::MatmulMismatch { lhs: a, rhs: b })?;
+    if k != k2 || (ab != bb && ab != 1 && bb != 1) {
+        return Err(TensorError::MatmulMismatch { lhs: a, rhs: b }.into());
+    }
+    let (src, keep_a) = if ab >= bb { (a, true) } else { (b, false) };
+    let _ = keep_a;
+    let mut dims: Vec<usize> = src.dims()[..src.rank() - 2].to_vec();
+    dims.push(m);
+    dims.push(n);
+    Ok(Shape::new(&dims)?)
+}
+
+fn infer_einsum(spec: EinsumSpec, a: Shape, b: Shape) -> Result<Shape, GraphError> {
+    if a.rank() != b.rank() || a.rank() < 2 {
+        return Err(TensorError::MatmulMismatch { lhs: a, rhs: b }.into());
+    }
+    let r = a.rank();
+    if a.dims()[..r - 2] != b.dims()[..r - 2] {
+        return Err(TensorError::MatmulMismatch { lhs: a, rhs: b }.into());
+    }
+    let mut dims = a.dims().to_vec();
+    match spec {
+        EinsumSpec::ScoresQKt => {
+            // a: [..., n, d], b: [..., m, d] -> [..., n, m]
+            if a.dim(r - 1) != b.dim(r - 1) {
+                return Err(TensorError::MatmulMismatch { lhs: a, rhs: b }.into());
+            }
+            dims[r - 1] = b.dim(r - 2);
+        }
+        EinsumSpec::OutputAv => {
+            // a: [..., n, m], b: [..., m, d] -> [..., n, d]
+            if a.dim(r - 1) != b.dim(r - 2) {
+                return Err(TensorError::MatmulMismatch { lhs: a, rhs: b }.into());
+            }
+            dims[r - 1] = b.dim(r - 1);
+        }
+    }
+    Ok(Shape::new(&dims)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_infers_matmul_chain() {
+        let mut g = Graph::new();
+        let x = g.input("x", &[8, 16]).unwrap();
+        let w = g.parameter("w", &[16, 32]).unwrap();
+        let y = g.matmul(x, w).unwrap();
+        assert_eq!(g.shape(y).dims(), &[8, 32]);
+        let s = g.softmax(y).unwrap();
+        assert_eq!(g.shape(s).dims(), &[8, 32]);
+        g.mark_output(s);
+        g.validate().unwrap();
+        assert_eq!(g.outputs(), &[s]);
+    }
+
+    #[test]
+    fn batched_matmul_shapes() {
+        let mut g = Graph::new();
+        let q = g.input("q", &[4, 6, 128, 64]).unwrap();
+        let kt = g.input("kt", &[4, 6, 64, 128]).unwrap();
+        let s = g.matmul(q, kt).unwrap();
+        assert_eq!(g.shape(s).dims(), &[4, 6, 128, 128]);
+    }
+
+    #[test]
+    fn matmul_mismatch_rejected() {
+        let mut g = Graph::new();
+        let a = g.input("a", &[2, 3]).unwrap();
+        let b = g.input("b", &[4, 5]).unwrap();
+        assert!(g.matmul(a, b).is_err());
+    }
+
+    #[test]
+    fn broadcasting_add_bias() {
+        let mut g = Graph::new();
+        let x = g.input("x", &[8, 32]).unwrap();
+        let b = g.parameter("b", &[32]).unwrap();
+        let y = g.add(x, b).unwrap();
+        assert_eq!(g.shape(y).dims(), &[8, 32]);
+    }
+
+    #[test]
+    fn glu_halves_last_dim() {
+        let mut g = Graph::new();
+        let x = g.input("x", &[8, 64]).unwrap();
+        let y = g.activation(Activation::Glu, x).unwrap();
+        assert_eq!(g.shape(y).dims(), &[8, 32]);
+        let odd = g.input("odd", &[8, 63]).unwrap();
+        assert!(g.activation(Activation::Glu, odd).is_err());
+    }
+
+    #[test]
+    fn transpose_and_reshape() {
+        let mut g = Graph::new();
+        let x = g.input("x", &[2, 3, 4]).unwrap();
+        let t = g.transpose(x).unwrap();
+        assert_eq!(g.shape(t).dims(), &[2, 4, 3]);
+        let r = g.reshape(x, &[6, 4]).unwrap();
+        assert_eq!(g.shape(r).dims(), &[6, 4]);
+        assert!(g.reshape(x, &[5, 5]).is_err());
+    }
+
+    #[test]
+    fn reduces() {
+        let mut g = Graph::new();
+        let x = g.input("x", &[2, 3, 4]).unwrap();
+        let s = g.reduce_sum(x, false).unwrap();
+        assert_eq!(g.shape(s).dims(), &[2, 3]);
+        let k = g.reduce_max(x, true).unwrap();
+        assert_eq!(g.shape(k).dims(), &[2, 3, 1]);
+    }
+
+    #[test]
+    fn broadcast_and_reduce_to() {
+        let mut g = Graph::new();
+        let x = g.input("x", &[1, 4]).unwrap();
+        let b = g.broadcast_to(x, &[3, 4]).unwrap();
+        assert_eq!(g.shape(b).dims(), &[3, 4]);
+        let r = g.reduce_to(b, &[1, 4]).unwrap();
+        assert_eq!(g.shape(r).dims(), &[1, 4]);
+        // cannot broadcast down
+        assert!(g.broadcast_to(b, &[1, 4]).is_err());
+    }
+
+    #[test]
+    fn embedding_and_cross_entropy() {
+        let mut g = Graph::new();
+        let table = g.parameter("emb", &[100, 16]).unwrap();
+        let ids = g.input("ids", &[4, 10]).unwrap();
+        let e = g.embedding(table, ids).unwrap();
+        assert_eq!(g.shape(e).dims(), &[4, 10, 16]);
+
+        let logits = g.input("logits", &[4, 10, 100]).unwrap();
+        let loss = g.cross_entropy(logits, ids).unwrap();
+        assert_eq!(g.shape(loss).dims(), &[1]);
+    }
+
+    #[test]
+    fn einsum_shapes() {
+        let mut g = Graph::new();
+        let q = g.input("q", &[2, 4, 16, 8]).unwrap();
+        let k = g.input("k", &[2, 4, 16, 8]).unwrap();
+        let scores = g.einsum(EinsumSpec::ScoresQKt, q, k).unwrap();
+        assert_eq!(g.shape(scores).dims(), &[2, 4, 16, 16]);
+        let v = g.input("v", &[2, 4, 16, 8]).unwrap();
+        let out = g.einsum(EinsumSpec::OutputAv, scores, v).unwrap();
+        assert_eq!(g.shape(out).dims(), &[2, 4, 16, 8]);
+    }
+
+    #[test]
+    fn layernorm_checks_param_size() {
+        let mut g = Graph::new();
+        let x = g.input("x", &[8, 32]).unwrap();
+        let gamma = g.parameter("g", &[32]).unwrap();
+        let beta = g.parameter("b", &[32]).unwrap();
+        let y = g.layernorm(x, gamma, beta, 1e-5).unwrap();
+        assert_eq!(g.shape(y).dims(), &[8, 32]);
+        let bad = g.parameter("bad", &[16]).unwrap();
+        assert!(g.layernorm(x, bad, beta, 1e-5).is_err());
+    }
+
+    #[test]
+    fn push_node_rejects_unknown_operands_and_bad_arity() {
+        let mut g = Graph::new();
+        let x = g.input("x", &[4]).unwrap();
+        let y = g.exp(x).unwrap();
+        let err = g.push_node(OpKind::Exp, &[NodeId(99)], g.shape(y), "bad");
+        assert!(matches!(err, Err(GraphError::UnknownNode(_))));
+        let err = g.push_node(OpKind::Add, &[x], g.shape(x), "bad");
+        assert!(matches!(err, Err(GraphError::Arity { .. })));
+        let err = g.push_node(OpKind::Input, &[x], g.shape(x), "bad");
+        assert!(matches!(err, Err(GraphError::Arity { .. })));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn consumers_map() {
+        let mut g = Graph::new();
+        let x = g.input("x", &[4]).unwrap();
+        let a = g.exp(x).unwrap();
+        let b = g.log(x).unwrap();
+        let c = g.add(a, b).unwrap();
+        let cons = g.consumers();
+        assert_eq!(cons[x.index()], vec![a, b]);
+        assert_eq!(cons[a.index()], vec![c]);
+        assert!(cons[c.index()].is_empty());
+    }
+
+    #[test]
+    fn ones_like_copies_shape() {
+        let mut g = Graph::new();
+        let v = g.input("v", &[2, 7]).unwrap();
+        let o = g.ones_like(v, "ones").unwrap();
+        assert_eq!(g.shape(o).dims(), &[2, 7]);
+        assert!(matches!(g.node(o).kind, OpKind::Fill(v) if v == 1.0));
+    }
+}

@@ -1,0 +1,74 @@
+//! Identifiers for the compute and transfer engines on the die.
+
+use serde::{Deserialize, Serialize};
+
+/// A hardware execution engine, matching the lanes of a SynapseAI profiler
+/// trace (Figures 4–9 of the paper show one row per engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EngineId {
+    /// The Matrix Multiplication Engine.
+    Mme,
+    /// The TPC cluster, scheduled as one unit by the graph compiler (kernels
+    /// internally split their index space over the eight cores).
+    TpcCluster,
+    /// A direct-memory-access channel shuttling tensors between engines
+    /// through shared memory.
+    Dma(u8),
+    /// The host CPU issuing work (used for recompilation stalls).
+    Host,
+}
+
+impl EngineId {
+    /// Short label used in trace rendering.
+    pub fn label(&self) -> String {
+        match self {
+            EngineId::Mme => "MME".to_string(),
+            EngineId::TpcCluster => "TPC".to_string(),
+            EngineId::Dma(i) => format!("DMA{i}"),
+            EngineId::Host => "HOST".to_string(),
+        }
+    }
+
+    /// All engines that appear in a single-Gaudi trace, in display order.
+    pub fn trace_order() -> Vec<EngineId> {
+        vec![EngineId::Mme, EngineId::TpcCluster, EngineId::Dma(0), EngineId::Host]
+    }
+
+    /// Whether this engine performs numeric computation (vs. data movement
+    /// or control).
+    pub fn is_compute(&self) -> bool {
+        matches!(self, EngineId::Mme | EngineId::TpcCluster)
+    }
+}
+
+impl std::fmt::Display for EngineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(EngineId::Mme.label(), "MME");
+        assert_eq!(EngineId::TpcCluster.label(), "TPC");
+        assert_eq!(EngineId::Dma(3).label(), "DMA3");
+        assert_eq!(EngineId::Host.to_string(), "HOST");
+    }
+
+    #[test]
+    fn compute_classification() {
+        assert!(EngineId::Mme.is_compute());
+        assert!(EngineId::TpcCluster.is_compute());
+        assert!(!EngineId::Dma(0).is_compute());
+        assert!(!EngineId::Host.is_compute());
+    }
+
+    #[test]
+    fn trace_order_starts_with_mme() {
+        assert_eq!(EngineId::trace_order()[0], EngineId::Mme);
+    }
+}

@@ -1,0 +1,118 @@
+//! Matrix Multiplication Engine cost model.
+//!
+//! The MME is characterized by three calibrated constants (see
+//! [`crate::config::MmeConfig`]): a sustained throughput, a per-launch
+//! overhead, and a minimum kernel time. The resulting execution-time model
+//!
+//! ```text
+//! t = max(flops / peak + launch_overhead, min_kernel)
+//! ```
+//!
+//! reproduces the efficiency ramp of the paper's Table 2: ~2.35 TFLOPS at
+//! size 128 (minimum-kernel bound), ~11.7 at 256, plateauing at ~14.5 from
+//! size 512 up.
+
+use crate::config::MmeConfig;
+
+/// Analytic MME timing model.
+#[derive(Debug, Clone)]
+pub struct MmeModel {
+    cfg: MmeConfig,
+}
+
+impl MmeModel {
+    /// Build a model from a configuration.
+    pub fn new(cfg: MmeConfig) -> Self {
+        MmeModel { cfg }
+    }
+
+    /// Floating-point operations of a batched GEMM `[batch, m, k] x [batch, k, n]`.
+    pub fn gemm_flops(batch: usize, m: usize, k: usize, n: usize) -> f64 {
+        2.0 * batch as f64 * m as f64 * k as f64 * n as f64
+    }
+
+    /// Execution time of one batched GEMM launch, in nanoseconds.
+    pub fn gemm_time_ns(&self, batch: usize, m: usize, k: usize, n: usize) -> f64 {
+        let flops = Self::gemm_flops(batch, m, k, n);
+        self.time_for_flops(flops)
+    }
+
+    /// Execution time for an arbitrary flop count issued as one MME launch.
+    pub fn time_for_flops(&self, flops: f64) -> f64 {
+        let peak_flops_per_ns = self.cfg.peak_tflops * 1000.0; // GFLOP/s == flops/ns * 1e? (1 TFLOPS = 1000 flops/ns)
+        let compute = flops / peak_flops_per_ns;
+        (compute + self.cfg.launch_overhead_ns).max(self.cfg.min_kernel_ns)
+    }
+
+    /// Effective throughput in TFLOPS for one batched GEMM launch.
+    pub fn effective_tflops(&self, batch: usize, m: usize, k: usize, n: usize) -> f64 {
+        let flops = Self::gemm_flops(batch, m, k, n);
+        crate::tflops(flops, self.gemm_time_ns(batch, m, k, n))
+    }
+
+    /// The configured sustained peak in TFLOPS.
+    pub fn peak_tflops(&self) -> f64 {
+        self.cfg.peak_tflops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MmeModel {
+        MmeModel::new(MmeConfig::default())
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(MmeModel::gemm_flops(64, 128, 128, 128), 64.0 * 2.0 * 128f64.powi(3));
+    }
+
+    #[test]
+    fn small_gemm_hits_min_kernel_floor() {
+        let m = model();
+        let t = m.gemm_time_ns(64, 128, 128, 128);
+        assert_eq!(t, MmeConfig::default().min_kernel_ns);
+    }
+
+    #[test]
+    fn large_gemm_approaches_peak() {
+        let m = model();
+        let eff = m.effective_tflops(64, 2048, 2048, 2048);
+        assert!(eff > 0.99 * m.peak_tflops(), "eff={eff}");
+    }
+
+    #[test]
+    fn table2_efficiency_ramp_shape() {
+        // The calibrated model must reproduce the monotone ramp of Table 2.
+        let m = model();
+        let e128 = m.effective_tflops(64, 128, 128, 128);
+        let e256 = m.effective_tflops(64, 256, 256, 256);
+        let e512 = m.effective_tflops(64, 512, 512, 512);
+        let e1024 = m.effective_tflops(64, 1024, 1024, 1024);
+        assert!(e128 < e256 && e256 < e512 && e512 < e1024);
+        // Paper: 2.35 / 11.67 / 14.37 / 14.56 TFLOPS. Allow a loose band —
+        // we reproduce shape, not silicon.
+        assert!((e128 - 2.35).abs() < 0.5, "size 128: {e128}");
+        assert!((e256 - 11.67).abs() < 2.0, "size 256: {e256}");
+        assert!((e512 - 14.37).abs() < 0.7, "size 512: {e512}");
+    }
+
+    #[test]
+    fn time_monotone_in_flops() {
+        let m = model();
+        let mut last = 0.0;
+        for s in [64usize, 128, 256, 512, 1024] {
+            let t = m.gemm_time_ns(8, s, s, s);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn zero_flops_still_costs_min_kernel() {
+        let m = model();
+        assert_eq!(m.time_for_flops(0.0), MmeConfig::default().min_kernel_ns);
+    }
+}

@@ -1,0 +1,88 @@
+//! Scale-out communication model over the on-chip RoCE v2 engines.
+//!
+//! The paper runs on one Gaudi of an HLS-1 (which houses eight), and lists
+//! scale-out as the architecture's headline feature (§2.1). This module
+//! models ring all-reduce over the 10×100 GbE ports so the reproduction can
+//! extend the study with a data-parallel scaling experiment (DESIGN.md A4).
+
+use crate::config::RoceConfig;
+
+/// Ring all-reduce timing model across `world_size` Gaudi processors.
+#[derive(Debug, Clone)]
+pub struct RoceModel {
+    cfg: RoceConfig,
+}
+
+impl RoceModel {
+    /// Build a model from a configuration.
+    pub fn new(cfg: RoceConfig) -> Self {
+        RoceModel { cfg }
+    }
+
+    /// Aggregate scale-out bandwidth in bytes per nanosecond.
+    pub fn aggregate_bandwidth(&self) -> f64 {
+        // Gbit/s -> bytes/ns: 100 Gbit/s = 12.5 GB/s = 12.5 bytes/ns.
+        self.cfg.num_ports as f64 * self.cfg.port_gbit_per_s / 8.0
+    }
+
+    /// Time for a ring all-reduce of `bytes` across `world_size` devices, ns.
+    ///
+    /// Classic cost: `2 (P-1)/P * bytes / bw` plus per-step message latency.
+    pub fn allreduce_time_ns(&self, bytes: u64, world_size: usize) -> f64 {
+        if world_size <= 1 {
+            return 0.0;
+        }
+        let p = world_size as f64;
+        let steps = 2.0 * (p - 1.0);
+        let volume = 2.0 * (p - 1.0) / p * bytes as f64;
+        volume / self.aggregate_bandwidth() + steps * self.cfg.message_latency_ns
+    }
+
+    /// Data-parallel scaling efficiency: compute time per step divided by
+    /// compute plus (un-overlapped) all-reduce of the gradients.
+    pub fn scaling_efficiency(&self, step_compute_ns: f64, grad_bytes: u64, world: usize) -> f64 {
+        let comm = self.allreduce_time_ns(grad_bytes, world);
+        step_compute_ns / (step_compute_ns + comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RoceModel {
+        RoceModel::new(RoceConfig::default())
+    }
+
+    #[test]
+    fn single_device_is_free() {
+        assert_eq!(model().allreduce_time_ns(1 << 30, 1), 0.0);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_is_125_bytes_per_ns() {
+        assert!((model().aggregate_bandwidth() - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_grows_with_world_size_volume_factor() {
+        let m = model();
+        let t2 = m.allreduce_time_ns(1 << 30, 2);
+        let t8 = m.allreduce_time_ns(1 << 30, 8);
+        assert!(t8 > t2);
+        // Volume factor tends to 2x bytes as P grows; never more than 2x+latency.
+        let bytes = (1u64 << 30) as f64;
+        assert!(t8 < 2.0 * bytes / m.aggregate_bandwidth() + 14.0 * 3000.0 + 1.0);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_world_size() {
+        let m = model();
+        let step = 5.0e6; // 5 ms of compute
+        let grads = 500 << 20; // 500 MB of gradients
+        let e2 = m.scaling_efficiency(step, grads, 2);
+        let e8 = m.scaling_efficiency(step, grads, 8);
+        assert!(e2 > e8);
+        assert!(e8 > 0.0 && e2 < 1.0);
+    }
+}

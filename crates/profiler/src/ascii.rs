@@ -1,0 +1,106 @@
+//! ASCII timeline rendering — terminal renditions of the paper's trace
+//! figures (Figures 4–9), one row per engine, `#` for busy, `.` for idle.
+
+use crate::trace::Trace;
+
+/// Render the trace as a fixed-width ASCII timeline.
+///
+/// `width` is the number of character columns the span is quantized into.
+/// A cell is drawn busy (`#`) if the engine is busy for more than half of
+/// the cell's time window.
+pub fn render_timeline(trace: &Trace, width: usize) -> String {
+    let span = trace.span_ns();
+    let mut out = String::new();
+    if span <= 0.0 || width == 0 {
+        return out;
+    }
+    let cell = span / width as f64;
+    for engine in trace.engines() {
+        let evs = trace.engine_events(engine);
+        let mut row = String::with_capacity(width);
+        for c in 0..width {
+            let lo = c as f64 * cell;
+            let hi = lo + cell;
+            let busy: f64 = evs
+                .iter()
+                .map(|e| (e.end_ns().min(hi) - e.start_ns.max(lo)).max(0.0))
+                .sum();
+            row.push(if busy > cell * 0.5 { '#' } else { '.' });
+        }
+        out.push_str(&format!("{:>5} |{}|\n", engine.label(), row));
+    }
+    out.push_str(&format!(
+        "{:>5} |{}|\n",
+        "",
+        time_axis(span, width)
+    ));
+    out
+}
+
+fn time_axis(span_ns: f64, width: usize) -> String {
+    let total_ms = span_ns / 1e6;
+    let label = format!("0 ms {:>width$.2} ms", total_ms, width = width.saturating_sub(9));
+    if label.len() > width {
+        format!("{:.2} ms total", total_ms)
+    } else {
+        label
+    }
+}
+
+/// Render the trace with one line per event (useful for small graphs).
+pub fn render_event_list(trace: &Trace, max_events: usize) -> String {
+    let mut evs: Vec<_> = trace.events().to_vec();
+    evs.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
+    let mut out = String::new();
+    for e in evs.iter().take(max_events) {
+        out.push_str(&format!(
+            "{:>10.3} ms  {:>5}  {:<24} {:>10.3} ms\n",
+            e.start_ns / 1e6,
+            e.engine.label(),
+            e.name,
+            e.dur_ns / 1e6
+        ));
+    }
+    if evs.len() > max_events {
+        out.push_str(&format!("... ({} more events)\n", evs.len() - max_events));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+    use gaudi_hw::EngineId;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceEvent::basic("m", "f", EngineId::Mme, 0.0, 50.0));
+        t.push(TraceEvent::basic("s", "f", EngineId::TpcCluster, 50.0, 50.0));
+        t
+    }
+
+    #[test]
+    fn rows_reflect_busy_halves() {
+        let s = render_timeline(&trace(), 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("  MME"));
+        assert!(lines[0].contains("#####....."));
+        assert!(lines[1].contains(".....#####"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert!(render_timeline(&Trace::new(), 20).is_empty());
+        assert!(render_timeline(&trace(), 0).is_empty());
+    }
+
+    #[test]
+    fn event_list_truncates() {
+        let s = render_event_list(&trace(), 1);
+        assert!(s.contains("more events"));
+        let full = render_event_list(&trace(), 10);
+        assert!(!full.contains("more events"));
+        assert!(full.contains("MME"));
+    }
+}

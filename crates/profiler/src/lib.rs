@@ -1,0 +1,18 @@
+//! # gaudi-profiler
+//!
+//! The stand-in for the SynapseAI profiler: collects per-engine hardware
+//! trace events from the simulator, analyzes them (busy/idle fractions, idle
+//! gaps, per-operator breakdowns — everything the paper reads off Figures
+//! 4–9), renders ASCII timelines, and exports Chrome-trace JSON that can be
+//! opened in `chrome://tracing` or Perfetto.
+
+pub mod analysis;
+pub mod ascii;
+pub mod chrome;
+pub mod report;
+pub mod roofline;
+pub mod trace;
+
+pub use analysis::{EngineStats, TraceAnalysis};
+pub use roofline::{roofline, Bound, Roof, RooflinePoint};
+pub use trace::{Trace, TraceEvent};

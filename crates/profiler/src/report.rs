@@ -1,0 +1,123 @@
+//! Formatted text reports: the summary blocks the benchmark binaries print
+//! under each regenerated figure.
+
+use crate::analysis::TraceAnalysis;
+use crate::trace::Trace;
+use gaudi_hw::EngineId;
+
+/// A plain-text table builder with right-aligned numeric columns.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+        }
+        out
+    }
+}
+
+/// Standard per-trace summary: span, engine utilizations, longest MME gap,
+/// and compute overlap — the observations the paper makes per figure.
+pub fn trace_summary(trace: &Trace) -> String {
+    let a = TraceAnalysis::of(trace);
+    let mut out = String::new();
+    out.push_str(&format!("total time: {:.2} ms over {} events\n", trace.span_ms(), trace.len()));
+    for e in &a.engines {
+        let gap = e.gaps.first().map(|g| g.dur_ns / 1e6).unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {:>5}: busy {:>8.2} ms  util {:>5.1}%  gaps {:>3}  longest gap {:>7.2} ms\n",
+            e.engine.label(),
+            e.busy_ns / 1e6,
+            e.utilization * 100.0,
+            e.gaps.len(),
+            gap
+        ));
+    }
+    out.push_str(&format!(
+        "  MME/TPC overlap: {:.1}%\n",
+        a.compute_overlap(trace) * 100.0
+    ));
+    let softmax_share = a.op_share_of_engine(trace, EngineId::TpcCluster, "softmax");
+    if softmax_share > 0.0 {
+        out.push_str(&format!("  softmax share of TPC busy time: {:.1}%\n", softmax_share * 100.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["Size", "T_MME"]);
+        t.row(&["128".into(), "7.31".into()]);
+        t.row(&["2048".into(), "338.27".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Size"));
+        assert!(lines[2].ends_with("7.31"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_bad_arity() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn summary_mentions_engines_and_softmax() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::basic("matmul", "f", EngineId::Mme, 0.0, 5e6));
+        t.push(TraceEvent::basic("softmax", "f", EngineId::TpcCluster, 5e6, 15e6));
+        let s = trace_summary(&t);
+        assert!(s.contains("MME"));
+        assert!(s.contains("TPC"));
+        assert!(s.contains("softmax share of TPC busy time: 100.0%"));
+        assert!(s.contains("total time: 20.00 ms"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Roofline analysis over a hardware trace.
+//!
+//! Classifies every compute event by arithmetic intensity against the
+//! device's compute/bandwidth roofs, answering the paper's workload-balance
+//! question quantitatively: operators below the ridge point are
+//! bandwidth-bound on the TPC's global-memory path; operators above it are
+//! compute-bound (the MME's GEMMs, the TPC's softmax).
+
+use crate::trace::Trace;
+use gaudi_hw::EngineId;
+use std::collections::BTreeMap;
+
+/// Whether an operator class is limited by compute or memory bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Above the ridge point: limited by the engine's arithmetic roof.
+    Compute,
+    /// Below the ridge point: limited by memory bandwidth.
+    Memory,
+    /// No byte traffic recorded (cannot classify).
+    Unknown,
+}
+
+/// Aggregated roofline entry for one operator name.
+#[derive(Debug, Clone)]
+pub struct RooflinePoint {
+    /// Operator label.
+    pub name: String,
+    /// Engine the operator ran on.
+    pub engine: EngineId,
+    /// Total time, ns.
+    pub total_ns: f64,
+    /// Total flops.
+    pub flops: f64,
+    /// Total bytes.
+    pub bytes: f64,
+    /// Arithmetic intensity, flops/byte (0 when no traffic).
+    pub intensity: f64,
+    /// Achieved throughput, GFLOP/s.
+    pub achieved_gflops: f64,
+    /// Classification against the given roofs.
+    pub bound: Bound,
+}
+
+/// Roofline model parameters of one engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Roof {
+    /// Peak arithmetic throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub peak_gbps: f64,
+}
+
+impl Roof {
+    /// Intensity at which the two roofs intersect (flops/byte).
+    pub fn ridge(&self) -> f64 {
+        self.peak_gflops / self.peak_gbps
+    }
+}
+
+/// Build the per-operator roofline table from a trace.
+///
+/// `roofs` maps each compute engine to its roof; events on engines without
+/// a roof entry are skipped.
+pub fn roofline(trace: &Trace, roofs: &[(EngineId, Roof)]) -> Vec<RooflinePoint> {
+    #[derive(Default)]
+    struct Acc {
+        total_ns: f64,
+        flops: f64,
+        bytes: f64,
+    }
+    let mut acc: BTreeMap<(String, EngineId), Acc> = BTreeMap::new();
+    for e in trace.events() {
+        if e.category != "op" {
+            continue;
+        }
+        let Some(_) = roofs.iter().find(|(eng, _)| *eng == e.engine) else { continue };
+        let a = acc.entry((e.name.clone(), e.engine)).or_default();
+        a.total_ns += e.dur_ns;
+        a.flops += e.flops;
+        a.bytes += e.bytes;
+    }
+    acc.into_iter()
+        .map(|((name, engine), a)| {
+            let roof = roofs.iter().find(|(eng, _)| *eng == engine).map(|(_, r)| *r).unwrap();
+            let intensity = if a.bytes > 0.0 { a.flops / a.bytes } else { 0.0 };
+            let bound = if a.bytes <= 0.0 {
+                Bound::Unknown
+            } else if intensity >= roof.ridge() {
+                Bound::Compute
+            } else {
+                Bound::Memory
+            };
+            RooflinePoint {
+                name,
+                engine,
+                total_ns: a.total_ns,
+                flops: a.flops,
+                bytes: a.bytes,
+                intensity,
+                // flops / ns == GFLOP/s.
+                achieved_gflops: if a.total_ns > 0.0 { a.flops / a.total_ns } else { 0.0 },
+                bound,
+            }
+        })
+        .collect()
+}
+
+/// Render the roofline table sorted by total time, largest first.
+pub fn render_roofline(points: &mut [RooflinePoint]) -> String {
+    points.sort_by(|a, b| b.total_ns.total_cmp(&a.total_ns));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>5} {:>10} {:>12} {:>12} {:>8}\n",
+        "op", "eng", "time(ms)", "GFLOP/s", "flops/byte", "bound"
+    ));
+    for p in points.iter() {
+        out.push_str(&format!(
+            "{:<28} {:>5} {:>10.3} {:>12.1} {:>12.2} {:>8}\n",
+            truncate(&p.name, 28),
+            p.engine.label(),
+            p.total_ns / 1e6,
+            p.achieved_gflops,
+            p.intensity,
+            match p.bound {
+                Bound::Compute => "compute",
+                Bound::Memory => "memory",
+                Bound::Unknown => "-",
+            }
+        ));
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn mk(name: &str, engine: EngineId, dur: f64, flops: f64, bytes: f64) -> TraceEvent {
+        let mut e = TraceEvent::basic(name, "op", engine, 0.0, dur);
+        e.flops = flops;
+        e.bytes = bytes;
+        e
+    }
+
+    fn roofs() -> Vec<(EngineId, Roof)> {
+        vec![
+            (EngineId::Mme, Roof { peak_gflops: 14_800.0, peak_gbps: 1000.0 }),
+            (EngineId::TpcCluster, Roof { peak_gflops: 2_230.0, peak_gbps: 691.0 }),
+        ]
+    }
+
+    #[test]
+    fn classifies_gemm_compute_bound_and_add_memory_bound() {
+        let mut t = Trace::new();
+        // GEMM: 1e9 flops over 1e7 bytes -> intensity 100 >> ridge 14.8.
+        t.push(mk("matmul", EngineId::Mme, 1e5, 1e9, 1e7));
+        // add: 1e6 flops over 1.2e7 bytes -> intensity ~0.08 << ridge 3.2.
+        t.push(mk("add", EngineId::TpcCluster, 1e4, 1e6, 1.2e7));
+        let points = roofline(&t, &roofs());
+        let gemm = points.iter().find(|p| p.name == "matmul").unwrap();
+        let add = points.iter().find(|p| p.name == "add").unwrap();
+        assert_eq!(gemm.bound, Bound::Compute);
+        assert_eq!(add.bound, Bound::Memory);
+        assert!((gemm.achieved_gflops - 1e4).abs() < 1.0);
+    }
+
+    #[test]
+    fn aggregates_repeated_ops() {
+        let mut t = Trace::new();
+        t.push(mk("exp", EngineId::TpcCluster, 1e3, 1e6, 1e6));
+        t.push(mk("exp", EngineId::TpcCluster, 1e3, 1e6, 1e6));
+        let points = roofline(&t, &roofs());
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].flops, 2e6);
+        assert_eq!(points[0].total_ns, 2e3);
+    }
+
+    #[test]
+    fn skips_dma_and_unroofed_engines() {
+        let mut t = Trace::new();
+        let mut dma = TraceEvent::basic("dma(x)", "dma", EngineId::Dma(0), 0.0, 1.0);
+        dma.bytes = 100.0;
+        t.push(dma);
+        t.push(mk("host_thing", EngineId::Host, 1.0, 1.0, 1.0));
+        assert!(roofline(&t, &roofs()).is_empty());
+    }
+
+    #[test]
+    fn render_sorts_by_time() {
+        let mut t = Trace::new();
+        t.push(mk("small", EngineId::Mme, 1e3, 1e6, 1e4));
+        t.push(mk("big", EngineId::Mme, 1e6, 1e9, 1e7));
+        let mut points = roofline(&t, &roofs());
+        let s = render_roofline(&mut points);
+        let big_pos = s.find("big").unwrap();
+        let small_pos = s.find("small").unwrap();
+        assert!(big_pos < small_pos);
+    }
+
+    #[test]
+    fn ridge_point() {
+        let r = Roof { peak_gflops: 1000.0, peak_gbps: 100.0 };
+        assert_eq!(r.ridge(), 10.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Trace event collection.
+
+use gaudi_hw::EngineId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One hardware trace event: an engine was busy with `name` from `start_ns`
+/// for `dur_ns` nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Operation label (e.g. `softmax`, `matmul`).
+    pub name: String,
+    /// Category tag grouping events (e.g. `op`, `dma`, `stall`).
+    pub category: String,
+    /// The engine lane the event occupies.
+    pub engine: EngineId,
+    /// Start time in nanoseconds.
+    pub start_ns: f64,
+    /// Duration in nanoseconds.
+    pub dur_ns: f64,
+    /// Floating-point operations performed (0 for moves/stalls).
+    pub flops: f64,
+    /// Global-memory bytes moved.
+    pub bytes: f64,
+}
+
+impl TraceEvent {
+    /// Event without performance metadata (tests, ad-hoc traces).
+    pub fn basic(
+        name: impl Into<String>,
+        category: impl Into<String>,
+        engine: EngineId,
+        start_ns: f64,
+        dur_ns: f64,
+    ) -> Self {
+        TraceEvent {
+            name: name.into(),
+            category: category.into(),
+            engine,
+            start_ns,
+            dur_ns,
+            flops: 0.0,
+            bytes: 0.0,
+        }
+    }
+
+    /// End time in nanoseconds.
+    pub fn end_ns(&self) -> f64 {
+        self.start_ns + self.dur_ns
+    }
+
+    /// Arithmetic intensity in flops per byte (None when no traffic).
+    pub fn intensity(&self) -> Option<f64> {
+        if self.bytes > 0.0 {
+            Some(self.flops / self.bytes)
+        } else {
+            None
+        }
+    }
+}
+
+/// A completed trace: a set of events over a set of engine lanes.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events, unsorted.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events on one engine lane, sorted by start time.
+    pub fn engine_events(&self, engine: EngineId) -> Vec<&TraceEvent> {
+        let mut evs: Vec<&TraceEvent> =
+            self.events.iter().filter(|e| e.engine == engine).collect();
+        evs.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
+        evs
+    }
+
+    /// Engines that appear in the trace, in canonical display order.
+    pub fn engines(&self) -> Vec<EngineId> {
+        let mut engines: Vec<EngineId> = Vec::new();
+        for order in EngineId::trace_order() {
+            if self.events.iter().any(|e| e.engine == order) {
+                engines.push(order);
+            }
+        }
+        engines
+    }
+
+    /// Trace end time (makespan) in nanoseconds.
+    pub fn span_ns(&self) -> f64 {
+        self.events.iter().map(TraceEvent::end_ns).fold(0.0, f64::max)
+    }
+
+    /// Total wall time in milliseconds.
+    pub fn span_ms(&self) -> f64 {
+        self.span_ns() / 1.0e6
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Verify no two events on the same engine overlap (an engine executes
+    /// one kernel at a time). Returns the first offending pair if any.
+    pub fn check_no_overlap(&self) -> Option<(TraceEvent, TraceEvent)> {
+        for engine in self.engines() {
+            let evs = self.engine_events(engine);
+            for w in evs.windows(2) {
+                // Allow tiny float slop.
+                if w[1].start_ns < w[0].end_ns() - 1e-6 {
+                    return Some((w[0].clone(), w[1].clone()));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A thread-safe sink the executor writes events into while simulating.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    inner: Arc<Mutex<Trace>>,
+}
+
+impl TraceSink {
+    /// Fresh empty sink.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// Record an event without performance metadata.
+    pub fn record(
+        &self,
+        name: impl Into<String>,
+        category: impl Into<String>,
+        engine: EngineId,
+        start_ns: f64,
+        dur_ns: f64,
+    ) {
+        self.inner.lock().push(TraceEvent::basic(name, category, engine, start_ns, dur_ns));
+    }
+
+    /// Record an event with flop and byte counts (for roofline analysis).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_full(
+        &self,
+        name: impl Into<String>,
+        category: impl Into<String>,
+        engine: EngineId,
+        start_ns: f64,
+        dur_ns: f64,
+        flops: f64,
+        bytes: f64,
+    ) {
+        let mut ev = TraceEvent::basic(name, category, engine, start_ns, dur_ns);
+        ev.flops = flops;
+        ev.bytes = bytes;
+        self.inner.lock().push(ev);
+    }
+
+    /// Extract the completed trace.
+    pub fn finish(self) -> Trace {
+        Arc::try_unwrap(self.inner)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, engine: EngineId, start: f64, dur: f64) -> TraceEvent {
+        TraceEvent::basic(name, "test", engine, start, dur)
+    }
+
+    #[test]
+    fn span_is_latest_end() {
+        let mut t = Trace::new();
+        t.push(ev("a", EngineId::Mme, 0.0, 10.0));
+        t.push(ev("b", EngineId::TpcCluster, 5.0, 20.0));
+        assert_eq!(t.span_ns(), 25.0);
+        assert_eq!(t.span_ms(), 25.0 / 1e6);
+    }
+
+    #[test]
+    fn engine_events_sorted() {
+        let mut t = Trace::new();
+        t.push(ev("late", EngineId::Mme, 10.0, 1.0));
+        t.push(ev("early", EngineId::Mme, 0.0, 1.0));
+        let evs = t.engine_events(EngineId::Mme);
+        assert_eq!(evs[0].name, "early");
+        assert_eq!(evs[1].name, "late");
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut t = Trace::new();
+        t.push(ev("a", EngineId::Mme, 0.0, 10.0));
+        t.push(ev("b", EngineId::Mme, 5.0, 10.0));
+        assert!(t.check_no_overlap().is_some());
+
+        let mut ok = Trace::new();
+        ok.push(ev("a", EngineId::Mme, 0.0, 10.0));
+        ok.push(ev("b", EngineId::Mme, 10.0, 10.0));
+        ok.push(ev("c", EngineId::TpcCluster, 5.0, 10.0));
+        assert!(ok.check_no_overlap().is_none());
+    }
+
+    #[test]
+    fn engines_in_display_order() {
+        let mut t = Trace::new();
+        t.push(ev("b", EngineId::TpcCluster, 0.0, 1.0));
+        t.push(ev("a", EngineId::Mme, 0.0, 1.0));
+        assert_eq!(t.engines(), vec![EngineId::Mme, EngineId::TpcCluster]);
+    }
+
+    #[test]
+    fn sink_collects_across_clones() {
+        let sink = TraceSink::new();
+        let s2 = sink.clone();
+        s2.record("x", "c", EngineId::Mme, 0.0, 1.0);
+        sink.record("y", "c", EngineId::TpcCluster, 1.0, 1.0);
+        drop(s2);
+        let t = sink.finish();
+        assert_eq!(t.len(), 2);
+    }
+}

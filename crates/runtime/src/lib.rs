@@ -1,0 +1,28 @@
+//! # gaudi-runtime
+//!
+//! Executes a compiled plan on the simulated Gaudi:
+//!
+//! * **Timing**: replays the [`gaudi_compiler::ExecutionPlan`] into a
+//!   [`gaudi_profiler::Trace`] — the simulated equivalent of a SynapseAI
+//!   profiler capture (the substance behind Figures 4–9).
+//! * **Numerics** ([`NumericsMode::Full`]): interprets every graph node with
+//!   the `gaudi-tensor` reference ops, so tests can assert the simulator
+//!   *computes* correctly, not merely that it counts nanoseconds. Paper-scale
+//!   configurations (e.g. batch 128 x 2048-token attention matrices, tens of
+//!   GB of activations) exceed host memory, so benchmarks run
+//!   [`NumericsMode::ShapeOnly`]: timing is exact either way because the cost
+//!   models are purely shape-driven.
+//! * **Memory**: a liveness-based HBM high-water-mark estimate, reproducing
+//!   the paper's §3.4 observation that 32 GB forces batch size 8 for the
+//!   end-to-end LLM runs.
+
+pub mod interp;
+pub mod memory;
+pub mod optim;
+pub mod runtime;
+pub mod train;
+
+pub use memory::estimate_peak_hbm;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use runtime::{Feeds, NumericsMode, RunReport, Runtime, RuntimeError};
+pub use train::{StepReport, Trainer};

@@ -1,0 +1,151 @@
+//! Data types supported by the Gaudi TPC SIMD datapath.
+//!
+//! The TPC vector unit is 2048 bits wide and natively operates on `float`,
+//! `bfloat16`, `INT32`, `INT16` and `INT8` lanes (see §2.2 of the paper).
+//! Compute in this crate is always carried out in `f32`; the dtype records
+//! the *storage* format, which is what the simulator's memory-traffic model
+//! charges for, and provides rounding emulation for `bf16`.
+
+/// Element storage formats of the Gaudi SIMD datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// IEEE-754 single precision, 4 bytes.
+    #[default]
+    F32,
+    /// Brain floating point: f32 with a truncated 8-bit mantissa, 2 bytes.
+    BF16,
+    /// 32-bit signed integer.
+    I32,
+    /// 16-bit signed integer.
+    I16,
+    /// 8-bit signed integer.
+    I8,
+}
+
+impl DType {
+    /// Storage size of one element in bytes.
+    pub const fn size_of(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::BF16 | DType::I16 => 2,
+            DType::I8 => 1,
+        }
+    }
+
+    /// Number of elements of this dtype that fit in one 2048-bit TPC vector
+    /// register.
+    pub const fn lanes_per_vector(self) -> usize {
+        2048 / 8 / self.size_of()
+    }
+
+    /// Human-readable name matching SynapseAI nomenclature.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "float32",
+            DType::BF16 => "bfloat16",
+            DType::I32 => "int32",
+            DType::I16 => "int16",
+            DType::I8 => "int8",
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Round an `f32` through the `bf16` storage format (round-to-nearest-even),
+/// returning the value that a load of the stored `bf16` would produce.
+pub fn round_bf16(x: f32) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    let bits = x.to_bits();
+    // Round to nearest even on the 16 truncated mantissa bits.
+    let round_bit = 0x0000_8000u32;
+    let lsb = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x0000_7FFF + lsb) & 0xFFFF_0000;
+    // Guard against rounding a finite value into infinity being silently odd:
+    // that is in fact what bf16 hardware does, so we keep it.
+    let _ = round_bit;
+    f32::from_bits(rounded)
+}
+
+/// Quantize a value through a given storage dtype.
+///
+/// Integer dtypes saturate at their representable range, mirroring the TPC
+/// convert-with-saturation intrinsics.
+pub fn quantize(x: f32, dtype: DType) -> f32 {
+    match dtype {
+        DType::F32 => x,
+        DType::BF16 => round_bf16(x),
+        DType::I32 => saturate(x, i32::MIN as f32, i32::MAX as f32),
+        DType::I16 => saturate(x, i16::MIN as f32, i16::MAX as f32),
+        DType::I8 => saturate(x, i8::MIN as f32, i8::MAX as f32),
+    }
+}
+
+fn saturate(x: f32, lo: f32, hi: f32) -> f32 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.round().clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_lanes() {
+        assert_eq!(DType::F32.size_of(), 4);
+        assert_eq!(DType::BF16.size_of(), 2);
+        assert_eq!(DType::I8.size_of(), 1);
+        assert_eq!(DType::F32.lanes_per_vector(), 64);
+        assert_eq!(DType::BF16.lanes_per_vector(), 128);
+        assert_eq!(DType::I8.lanes_per_vector(), 256);
+    }
+
+    #[test]
+    fn bf16_roundtrip_exact_for_small_integers() {
+        for i in -256..=256 {
+            let x = i as f32;
+            assert_eq!(round_bf16(x), x, "{x} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn bf16_relative_error_bound() {
+        // bf16 has 8 mantissa bits, so relative error <= 2^-8.
+        let values = [1.0f32, 3.25f32, 1e-3, 1e6, 123.456, 0.333_333];
+        for &v in &values {
+            let r = round_bf16(v);
+            assert!(((r - v) / v).abs() <= 1.0 / 256.0, "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn bf16_preserves_sign_and_nan() {
+        assert!(round_bf16(f32::NAN).is_nan());
+        assert_eq!(round_bf16(-2.0), -2.0);
+        assert_eq!(round_bf16(0.0), 0.0);
+    }
+
+    #[test]
+    fn integer_quantization_saturates() {
+        assert_eq!(quantize(300.0, DType::I8), 127.0);
+        assert_eq!(quantize(-300.0, DType::I8), -128.0);
+        assert_eq!(quantize(12.4, DType::I8), 12.0);
+        assert_eq!(quantize(70000.0, DType::I16), 32767.0);
+        assert_eq!(quantize(f32::NAN, DType::I32), 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::BF16.to_string(), "bfloat16");
+        assert_eq!(DType::F32.to_string(), "float32");
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared by every fallible tensor operation.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// Convenient alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction and tensor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// A shape with zero dimensions or more than five dimensions was
+    /// requested. Gaudi's TPC tensor-addressing hardware supports 1–5 dims.
+    RankOutOfRange { rank: usize },
+    /// The element count implied by a shape does not match the length of the
+    /// provided buffer.
+    LengthMismatch { expected: usize, actual: usize },
+    /// Two operand shapes cannot be broadcast together.
+    BroadcastMismatch { lhs: Shape, rhs: Shape },
+    /// The inner dimensions of a matrix product do not agree, or an operand
+    /// is not at least two-dimensional.
+    MatmulMismatch { lhs: Shape, rhs: Shape },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch { from: Shape, to: Shape },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange { axis: usize, rank: usize },
+    /// A dimension that must be even (e.g. GLU's gated split) was odd.
+    OddSplitDim { dim: usize },
+    /// Division (or another op) encountered an empty tensor where data was
+    /// required.
+    EmptyTensor,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::RankOutOfRange { rank } => {
+                write!(f, "tensor rank {rank} outside the supported 1..=5 range")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer of {actual} elements does not fill shape of {expected}")
+            }
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "shapes {lhs} and {rhs} cannot be broadcast together")
+            }
+            TensorError::MatmulMismatch { lhs, rhs } => {
+                write!(f, "matmul shapes {lhs} x {rhs} are incompatible")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} into {to}: element counts differ")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::OddSplitDim { dim } => {
+                write!(f, "cannot split dimension of size {dim} into two halves")
+            }
+            TensorError::EmptyTensor => write!(f, "operation requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,132 @@
+//! Activation functions evaluated in the paper (Figure 7) plus the
+//! attention feature maps.
+//!
+//! * ReLU, LeakyReLU, GELU, GLU — the Figure 7 sweep;
+//! * ELU — Linear Transformer's `φ(x) = elu(x) + 1` feature map;
+//! * sigmoid / tanh — building blocks.
+
+use crate::error::Result;
+use crate::ops::elementwise::{mul, unary_op};
+use crate::tensor::Tensor;
+
+/// Rectified linear unit.
+pub fn relu(a: &Tensor) -> Tensor {
+    unary_op(a, |x| x.max(0.0))
+}
+
+/// Leaky ReLU with the PyTorch default negative slope of 0.01.
+pub fn leaky_relu(a: &Tensor, negative_slope: f32) -> Tensor {
+    unary_op(a, move |x| if x >= 0.0 { x } else { negative_slope * x })
+}
+
+/// Gaussian Error Linear Unit, tanh approximation (as used by BERT/GPT-2).
+pub fn gelu(a: &Tensor) -> Tensor {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    unary_op(a, |x| 0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh()))
+}
+
+/// Exponential linear unit with alpha = 1.
+pub fn elu(a: &Tensor) -> Tensor {
+    unary_op(a, |x| if x > 0.0 { x } else { x.exp() - 1.0 })
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    unary_op(a, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(a: &Tensor) -> Tensor {
+    unary_op(a, f32::tanh)
+}
+
+/// Gated linear unit over the last axis: split the last dimension in half
+/// into `(a, b)` and return `a * sigmoid(b)`. Halves the last dimension.
+pub fn glu(a: &Tensor) -> Result<Tensor> {
+    let (lhs, gate) = a.split_last_dim()?;
+    mul(&lhs, &sigmoid(&gate))
+}
+
+/// Linear Transformer feature map `φ(x) = elu(x) + 1` (Katharopoulos et al.),
+/// strictly positive so the attention normalizer never vanishes.
+pub fn elu_plus_one(a: &Tensor) -> Tensor {
+    unary_op(a, |x| if x > 0.0 { x + 1.0 } else { x.exp() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(&[v.len()], v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(relu(&t(&[-2.0, 0.0, 3.0])).data(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let y = leaky_relu(&t(&[-2.0, 4.0]), 0.01);
+        assert!((y.data()[0] + 0.02).abs() < 1e-7);
+        assert_eq!(y.data()[1], 4.0);
+    }
+
+    #[test]
+    fn gelu_reference_points() {
+        let y = gelu(&t(&[0.0, 1.0, -1.0]));
+        assert_eq!(y.data()[0], 0.0);
+        assert!((y.data()[1] - 0.841_192).abs() < 1e-3);
+        assert!((y.data()[2] + 0.158_808).abs() < 1e-3);
+    }
+
+    #[test]
+    fn elu_continuous_at_zero() {
+        let y = elu(&t(&[-1e-4, 0.0, 1e-4]));
+        assert!(y.data()[0] < 0.0 && y.data()[0] > -2e-4);
+        assert_eq!(y.data()[1], 0.0);
+        assert_eq!(y.data()[2], 1e-4);
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_symmetry() {
+        let y = sigmoid(&t(&[-10.0, 0.0, 10.0]));
+        assert!(y.data()[0] < 1e-4);
+        assert_eq!(y.data()[1], 0.5);
+        assert!(y.data()[2] > 1.0 - 1e-4);
+    }
+
+    #[test]
+    fn glu_halves_last_dim() {
+        let x = Tensor::from_vec(&[2, 4], vec![1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 100.0, 100.0]).unwrap();
+        let y = glu(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 2]);
+        // gate sigmoid(0)=0.5; sigmoid(100)=~1
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+        assert!((y.data()[1] - 1.0).abs() < 1e-6);
+        assert!((y.data()[2] - 3.0).abs() < 1e-4);
+        assert!((y.data()[3] - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn glu_rejects_odd_dim() {
+        assert!(glu(&Tensor::zeros(&[2, 3]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn elu_plus_one_strictly_positive() {
+        let y = elu_plus_one(&t(&[-50.0, -1.0, 0.0, 2.0]));
+        assert!(y.data().iter().all(|&v| v > 0.0));
+        assert_eq!(y.data()[3], 3.0);
+        assert_eq!(y.data()[2], 1.0);
+    }
+
+    #[test]
+    fn elu_plus_one_equals_elu_shifted() {
+        let x = t(&[-3.0, -0.5, 0.5, 3.0]);
+        let a = elu_plus_one(&x);
+        let b = crate::ops::elementwise::scalar_add(&elu(&x), 1.0);
+        assert!(a.max_abs_diff(&b) < 1e-6);
+    }
+}

@@ -1,0 +1,20 @@
+//! Numeric operators over [`crate::Tensor`].
+//!
+//! The operator set mirrors what the paper's experiments exercise:
+//!
+//! * element-wise arithmetic (`torch.mul`, `+`, `-`, scalar ops, `exp`,
+//!   `log`, `sqrt`, `square` — Table 1),
+//! * (batched) matrix product (`torch.matmul` / `torch.bmm` — Table 2),
+//! * reductions and numerically-stable softmax (§3.3),
+//! * layer normalization,
+//! * the activation functions of Figure 7 and the attention feature maps.
+
+pub mod activation;
+pub mod elementwise;
+pub mod matmul;
+pub mod reduce;
+
+pub use activation::*;
+pub use elementwise::*;
+pub use matmul::*;
+pub use reduce::*;

@@ -1,0 +1,153 @@
+//! Minimal data-parallel helpers built on scoped threads.
+//!
+//! The approved dependency list does not include `rayon`, so this module
+//! provides the two primitives the tensor kernels need: a parallel
+//! mutable-chunk map and a parallel row loop. Both fall back to sequential
+//! execution for small inputs, where thread spawn overhead would dominate.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A mutable slice that parallel work items write to in *disjoint* regions.
+///
+/// This is the classic "split borrow by convention" escape hatch: the caller
+/// guarantees that no two concurrent work items touch overlapping element
+/// ranges, which is what makes the `Sync` impl sound.
+pub struct DisjointSlice<'a>(UnsafeCell<&'a mut [f32]>);
+
+// SAFETY: soundness is delegated to the caller's disjointness guarantee; the
+// type itself adds no interior aliasing.
+unsafe impl Send for DisjointSlice<'_> {}
+unsafe impl Sync for DisjointSlice<'_> {}
+
+impl<'a> DisjointSlice<'a> {
+    /// Wrap a mutable slice for disjoint parallel writes.
+    pub fn new(data: &'a mut [f32]) -> Self {
+        DisjointSlice(UnsafeCell::new(data))
+    }
+
+    /// Obtain a mutable view of `range`.
+    ///
+    /// # Safety
+    /// The caller must ensure no other live view overlaps `range`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range(&self, range: std::ops::Range<usize>) -> &mut [f32] {
+        &mut (&mut *self.0.get())[range]
+    }
+}
+
+/// Number of worker threads to use for data-parallel kernels.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Below this many elements, run sequentially.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Apply `f(chunk_start_index, chunk)` to disjoint chunks of `data` in
+/// parallel.
+pub fn par_chunks_mut<T, F>(data: &mut [T], min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let threads = num_threads();
+    if len < PAR_THRESHOLD || threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = (len / threads).max(min_chunk).max(1);
+    crossbeam::scope(|s| {
+        let mut start = 0usize;
+        for piece in data.chunks_mut(chunk) {
+            let begin = start;
+            start += piece.len();
+            let f = &f;
+            s.spawn(move |_| f(begin, piece));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Run `f(i)` for `i in 0..n` in parallel, dynamically balancing via an
+/// atomic work counter. `f` must be safe to call concurrently for distinct
+/// indices.
+pub fn par_for<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let threads = num_threads().min(n);
+    if threads <= 1 || n * grain.max(1) < 4 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            let counter = &counter;
+            let f = &f;
+            s.spawn(move |_| loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_chunks_covers_every_element_once() {
+        let mut data = vec![0u32; 100_000];
+        par_chunks_mut(&mut data, 1, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (start + i) as u32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn par_chunks_small_input_sequential_path() {
+        let mut data = vec![1u8; 16];
+        par_chunks_mut(&mut data, 1, |_, chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn par_for_visits_all_indices() {
+        let n = 10_000;
+        let sum = AtomicU64::new(0);
+        par_for(n, 100, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn par_for_zero_items_is_noop() {
+        par_for(0, 1, |_| panic!("must not be called"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the tensor library's algebraic invariants.
+
+use gaudi_tensor::{ops, DType, SeededRng, Shape, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(max: usize) -> impl Strategy<Value = Tensor> {
+    (1usize..=max, 1usize..=max, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut rng = SeededRng::new(seed);
+        Tensor::randn(&[r, c], 1.0, &mut rng).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(t in tensor_strategy(12), seed in any::<u64>()) {
+        let mut rng = SeededRng::new(seed);
+        let u = Tensor::randn(t.dims(), 1.0, &mut rng).unwrap();
+        let ab = ops::add(&t, &u).unwrap();
+        let ba = ops::add(&u, &t).unwrap();
+        prop_assert!(ab.max_abs_diff(&ba) == 0.0);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(seed in any::<u64>()) {
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[5, 7], 1.0, &mut rng).unwrap();
+        let b = Tensor::randn(&[5, 7], 1.0, &mut rng).unwrap();
+        let c = Tensor::randn(&[5, 7], 1.0, &mut rng).unwrap();
+        let lhs = ops::mul(&a, &ops::add(&b, &c).unwrap()).unwrap();
+        let rhs = ops::add(&ops::mul(&a, &b).unwrap(), &ops::mul(&a, &c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_is_linear_in_first_argument(seed in any::<u64>(), s in 1.0f32..3.0) {
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[4, 6], 1.0, &mut rng).unwrap();
+        let b = Tensor::randn(&[6, 5], 1.0, &mut rng).unwrap();
+        let lhs = ops::matmul(&ops::scalar_mul(&a, s), &b).unwrap();
+        let rhs = ops::scalar_mul(&ops::matmul(&a, &b).unwrap(), s);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(seed in any::<u64>()) {
+        // (A B)^T == B^T A^T
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[4, 6], 1.0, &mut rng).unwrap();
+        let b = Tensor::randn(&[6, 5], 1.0, &mut rng).unwrap();
+        let lhs = ops::matmul(&a, &b).unwrap().transpose_last2().unwrap();
+        let rhs = ops::matmul(
+            &b.transpose_last2().unwrap(),
+            &a.transpose_last2().unwrap(),
+        )
+        .unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn softmax_is_a_probability_simplex_projection(t in tensor_strategy(16)) {
+        let s = ops::softmax_last_axis(&t).unwrap();
+        prop_assert!(s.data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let sums = ops::sum_last_axis(&s, false).unwrap();
+        for &v in sums.data() {
+            prop_assert!((v - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(t in tensor_strategy(12)) {
+        let s = ops::softmax_last_axis(&t).unwrap();
+        let d = t.shape().last_dim();
+        for r in 0..t.shape().rows() {
+            let row_in = &t.data()[r * d..(r + 1) * d];
+            let row_out = &s.data()[r * d..(r + 1) * d];
+            let argmax_in = row_in
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            let argmax_out = row_out
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            prop_assert_eq!(argmax_in, argmax_out);
+        }
+    }
+
+    #[test]
+    fn reshape_roundtrips(t in tensor_strategy(10)) {
+        let n = t.numel();
+        let flat = t.reshape(&[n]).unwrap();
+        let back = flat.reshape(t.dims()).unwrap();
+        prop_assert!(t.max_abs_diff(&back) == 0.0);
+    }
+
+    #[test]
+    fn bf16_quantization_is_idempotent(t in tensor_strategy(10)) {
+        let q1 = t.quantized(DType::BF16);
+        let q2 = q1.quantized(DType::BF16);
+        prop_assert!(q1.max_abs_diff(&q2) == 0.0);
+    }
+
+    #[test]
+    fn broadcast_is_associative_on_shapes(
+        a in 1usize..5, b in 1usize..5, c in 1usize..5,
+    ) {
+        // broadcast(broadcast(x, y), z) == broadcast(x, broadcast(y, z))
+        let x = Shape::of(&[a, 1]);
+        let y = Shape::of(&[1, b]);
+        let z = Shape::of(&[c, 1, 1]);
+        let l = Shape::broadcast(&Shape::broadcast(&x, &y).unwrap(), &z).unwrap();
+        let r = Shape::broadcast(&x, &Shape::broadcast(&y, &z).unwrap()).unwrap();
+        prop_assert_eq!(l.dims(), r.dims());
+    }
+
+    #[test]
+    fn layernorm_is_shift_and_scale_invariant(seed in any::<u64>(), shift in -5.0f32..5.0, scale in 0.5f32..4.0) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn(&[3, 64], 1.0, &mut rng).unwrap();
+        let g = Tensor::ones(&[64]).unwrap();
+        let b = Tensor::zeros(&[64]).unwrap();
+        let base = ops::layernorm_last_axis(&x, &g, &b, 1e-6).unwrap();
+        let moved = ops::scalar_add(&ops::scalar_mul(&x, scale), shift);
+        let same = ops::layernorm_last_axis(&moved, &g, &b, 1e-6).unwrap();
+        prop_assert!(base.max_abs_diff(&same) < 1e-2);
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_monotone(t in tensor_strategy(12)) {
+        let r1 = ops::relu(&t);
+        let r2 = ops::relu(&r1);
+        prop_assert!(r1.max_abs_diff(&r2) == 0.0);
+        for (x, y) in t.data().iter().zip(r1.data()) {
+            prop_assert!(*y >= 0.0 && *y >= *x - 1e-9 || *x < 0.0);
+        }
+    }
+
+    #[test]
+    fn glu_shrinks_and_bounds(seed in any::<u64>()) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn(&[4, 16], 2.0, &mut rng).unwrap();
+        let y = ops::glu(&x).unwrap();
+        prop_assert_eq!(y.dims(), &[4, 8]);
+        // |glu(x)| <= |a| since sigmoid in (0,1).
+        let (a, _) = x.split_last_dim().unwrap();
+        for (yi, ai) in y.data().iter().zip(a.data()) {
+            prop_assert!(yi.abs() <= ai.abs() + 1e-6);
+        }
+    }
+}

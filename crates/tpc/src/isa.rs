@@ -1,0 +1,292 @@
+//! The kernel instruction set: a TPC-C-like IR embedded in Rust.
+//!
+//! The real TPC is programmed in TPC-C, a C dialect with vector types and
+//! intrinsics, compiled by an LLVM back end into VLIW bundles. This IR sits
+//! at roughly the post-compilation level: straight-line vector/scalar
+//! instructions plus counted loops, which is enough to express the kernel
+//! library while keeping the cycle model faithful to the 4-slot VLIW issue.
+
+/// Lanes in one 2048-bit vector register at `f32` precision.
+pub const VECTOR_LANES: usize = 64;
+
+/// Number of scalar registers.
+pub const NUM_SREGS: usize = 32;
+/// Number of vector registers.
+pub const NUM_VREGS: usize = 32;
+
+/// Scalar register index.
+pub type SReg = u8;
+/// Vector register index.
+pub type VReg = u8;
+/// Bound-tensor slot index (the "tensor access points" of the TPC).
+pub type TensorSlot = u8;
+
+/// Scalar registers `S0..=S2` hold the index-space member coordinates at
+/// member entry.
+pub const COORD_REGS: [SReg; 3] = [0, 1, 2];
+/// Launch-time scalar arguments are loaded starting at this register.
+pub const ARG_REG_BASE: SReg = 16;
+
+/// The four VLIW functional slots (§2.2), plus a pseudo-slot for loop
+/// control handled by the sequencer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// Memory loads, value moves into registers.
+    Load,
+    /// Scalar computation.
+    Spu,
+    /// Vector computation.
+    Vpu,
+    /// Memory stores.
+    Store,
+    /// Loop sequencing.
+    Ctrl,
+}
+
+/// Kernel instructions.
+///
+/// Vector instructions operate lane-wise on 64 `f32` lanes. Global tensor
+/// accesses read/write 64 consecutive elements with clipping at the buffer
+/// end (TPC-style padding semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // ---- Load slot --------------------------------------------------------
+    /// `S[dst] = imm`.
+    MovSImm { dst: SReg, imm: f32 },
+    /// `S[dst] = S[src]`.
+    MovSS { dst: SReg, src: SReg },
+    /// Broadcast a scalar into all lanes: `V[dst][l] = S[src]`.
+    BcastV { dst: VReg, src: SReg },
+    /// `V[dst][l] = imm`.
+    MovVImm { dst: VReg, imm: f32 },
+    /// Load 64 elements from tensor `tensor` at offset `round(S[off])`.
+    LdTnsrV { dst: VReg, tensor: TensorSlot, off: SReg },
+    /// Load a single element: `S[dst] = tensor[round(S[off])]`.
+    LdTnsrS { dst: SReg, tensor: TensorSlot, off: SReg },
+    /// Load 64 elements from *vector local memory* at element address
+    /// `round(S[addr])`. Local memory has "unrestricted bandwidth ... in
+    /// each cycle" (§2.2): cost 1 cycle.
+    LdVlmV { dst: VReg, addr: SReg },
+    /// Load one element of vector local memory into a scalar register.
+    LdVlmS { dst: SReg, addr: SReg },
+
+    // ---- SPU slot ---------------------------------------------------------
+    /// `S[dst] = S[a] + S[b]`.
+    AddS { dst: SReg, a: SReg, b: SReg },
+    /// `S[dst] = S[a] - S[b]`.
+    SubS { dst: SReg, a: SReg, b: SReg },
+    /// `S[dst] = S[a] * S[b]`.
+    MulS { dst: SReg, a: SReg, b: SReg },
+    /// `S[dst] = S[a] + imm`.
+    AddSImm { dst: SReg, a: SReg, imm: f32 },
+    /// `S[dst] = S[a] * imm`.
+    MulSImm { dst: SReg, a: SReg, imm: f32 },
+    /// `S[dst] = max(S[a], S[b])`.
+    MaxS { dst: SReg, a: SReg, b: SReg },
+    /// `S[dst] = 1 / S[a]` (scalar special function).
+    RcpS { dst: SReg, a: SReg },
+
+    // ---- VPU slot ---------------------------------------------------------
+    /// Lane-wise add.
+    AddV { dst: VReg, a: VReg, b: VReg },
+    /// Lane-wise subtract.
+    SubV { dst: VReg, a: VReg, b: VReg },
+    /// Lane-wise multiply.
+    MulV { dst: VReg, a: VReg, b: VReg },
+    /// Lane-wise maximum.
+    MaxV { dst: VReg, a: VReg, b: VReg },
+    /// Lane-wise multiply-accumulate: `V[dst] += V[a] * V[b]`.
+    MacV { dst: VReg, a: VReg, b: VReg },
+    /// Lane-wise add-immediate.
+    AddVImm { dst: VReg, a: VReg, imm: f32 },
+    /// Lane-wise multiply-immediate.
+    MulVImm { dst: VReg, a: VReg, imm: f32 },
+    /// Lane-wise max-immediate (ReLU is `MaxVImm { imm: 0.0 }`).
+    MaxVImm { dst: VReg, a: VReg, imm: f32 },
+    /// Lane-wise exponential (special function).
+    ExpV { dst: VReg, a: VReg },
+    /// Lane-wise hyperbolic tangent (special function).
+    TanhV { dst: VReg, a: VReg },
+    /// Lane-wise natural log (special function).
+    LogV { dst: VReg, a: VReg },
+    /// Lane-wise square root (special function).
+    SqrtV { dst: VReg, a: VReg },
+    /// Lane-wise reciprocal (special function).
+    RcpV { dst: VReg, a: VReg },
+    /// Lane-wise select: `V[dst][l] = V[cond][l] > 0 ? V[a][l] : V[b][l]`.
+    SelGtzV { dst: VReg, cond: VReg, a: VReg, b: VReg },
+    /// Horizontal sum of lanes into a scalar (reduction tree).
+    RedSumV { dst: SReg, src: VReg },
+    /// Horizontal max of lanes into a scalar (reduction tree).
+    RedMaxV { dst: SReg, src: VReg },
+
+    // ---- Store slot -------------------------------------------------------
+    /// Store 64 elements into tensor `tensor` at offset `round(S[off])`.
+    StTnsrV { tensor: TensorSlot, off: SReg, src: VReg },
+    /// Store a single element.
+    StTnsrS { tensor: TensorSlot, off: SReg, src: SReg },
+    /// Store 64 elements into vector local memory at `round(S[addr])`.
+    StVlmV { addr: SReg, src: VReg },
+
+    // ---- control ----------------------------------------------------------
+    /// Counted loop: `S[counter]` starts at `start` and advances by `step`
+    /// per iteration, for `trip` iterations.
+    Loop { counter: SReg, start: f32, step: f32, trip: usize, body: Vec<Instr> },
+}
+
+impl Instr {
+    /// VLIW slot the instruction issues on.
+    pub fn slot(&self) -> Slot {
+        use Instr::*;
+        match self {
+            MovSImm { .. } | MovSS { .. } | BcastV { .. } | MovVImm { .. } | LdTnsrV { .. }
+            | LdTnsrS { .. } | LdVlmV { .. } | LdVlmS { .. } => Slot::Load,
+            AddS { .. } | SubS { .. } | MulS { .. } | AddSImm { .. } | MulSImm { .. }
+            | MaxS { .. } | RcpS { .. } => Slot::Spu,
+            AddV { .. } | SubV { .. } | MulV { .. } | MaxV { .. } | MacV { .. }
+            | AddVImm { .. } | MulVImm { .. } | MaxVImm { .. } | ExpV { .. } | TanhV { .. }
+            | LogV { .. } | SqrtV { .. } | RcpV { .. } | SelGtzV { .. } | RedSumV { .. }
+            | RedMaxV { .. } => Slot::Vpu,
+            StTnsrV { .. } | StTnsrS { .. } | StVlmV { .. } => Slot::Store,
+            Loop { .. } => Slot::Ctrl,
+        }
+    }
+
+    /// Cycles the instruction occupies its slot, given the architecture's
+    /// global-access and special-function costs.
+    pub fn cycles(&self, global_access_cycles: f64, special_func_cycles: f64) -> f64 {
+        use Instr::*;
+        match self {
+            LdTnsrV { .. } | StTnsrV { .. } => global_access_cycles,
+            LdTnsrS { .. } | StTnsrS { .. } => global_access_cycles,
+            // "Unrestricted bandwidth when reading from or writing to the
+            // local memory in each cycle."
+            LdVlmV { .. } | LdVlmS { .. } | StVlmV { .. } => 1.0,
+            ExpV { .. } | TanhV { .. } | LogV { .. } | SqrtV { .. } | RcpV { .. }
+            | RcpS { .. } => special_func_cycles,
+            // A lane-reduction tree over 64 lanes: log2(64) dependent steps.
+            RedSumV { .. } | RedMaxV { .. } => (VECTOR_LANES as f64).log2(),
+            Loop { .. } => 2.0, // sequencer overhead per loop entry
+            _ => 1.0,
+        }
+    }
+
+    /// Registers read by the instruction, as (is_vector, index) pairs.
+    pub fn reads(&self) -> Vec<(bool, u8)> {
+        use Instr::*;
+        match self {
+            MovSImm { .. } | MovVImm { .. } => vec![],
+            MovSS { src, .. } => vec![(false, *src)],
+            BcastV { src, .. } => vec![(false, *src)],
+            LdTnsrV { off, .. } | LdTnsrS { off, .. } => vec![(false, *off)],
+            LdVlmV { addr, .. } | LdVlmS { addr, .. } => vec![(false, *addr)],
+            StVlmV { addr, src } => vec![(false, *addr), (true, *src)],
+            AddS { a, b, .. } | SubS { a, b, .. } | MulS { a, b, .. } | MaxS { a, b, .. } => {
+                vec![(false, *a), (false, *b)]
+            }
+            AddSImm { a, .. } | MulSImm { a, .. } | RcpS { a, .. } => vec![(false, *a)],
+            AddV { a, b, .. } | SubV { a, b, .. } | MulV { a, b, .. } | MaxV { a, b, .. } => {
+                vec![(true, *a), (true, *b)]
+            }
+            MacV { dst, a, b } => vec![(true, *dst), (true, *a), (true, *b)],
+            AddVImm { a, .. } | MulVImm { a, .. } | MaxVImm { a, .. } | ExpV { a, .. }
+            | TanhV { a, .. } | LogV { a, .. } | SqrtV { a, .. } | RcpV { a, .. } => {
+                vec![(true, *a)]
+            }
+            SelGtzV { cond, a, b, .. } => vec![(true, *cond), (true, *a), (true, *b)],
+            RedSumV { src, .. } | RedMaxV { src, .. } => vec![(true, *src)],
+            StTnsrV { off, src, .. } => vec![(false, *off), (true, *src)],
+            StTnsrS { off, src, .. } => vec![(false, *off), (false, *src)],
+            Loop { .. } => vec![],
+        }
+    }
+
+    /// Register written by the instruction, if any.
+    pub fn writes(&self) -> Option<(bool, u8)> {
+        use Instr::*;
+        match self {
+            MovSImm { dst, .. } | MovSS { dst, .. } | AddS { dst, .. } | SubS { dst, .. }
+            | MulS { dst, .. } | AddSImm { dst, .. } | MulSImm { dst, .. } | MaxS { dst, .. }
+            | RcpS { dst, .. } | LdTnsrS { dst, .. } | LdVlmS { dst, .. }
+            | RedSumV { dst, .. } | RedMaxV { dst, .. } => Some((false, *dst)),
+            BcastV { dst, .. } | MovVImm { dst, .. } | LdTnsrV { dst, .. } | LdVlmV { dst, .. }
+            | AddV { dst, .. } | SubV { dst, .. } | MulV { dst, .. } | MaxV { dst, .. }
+            | MacV { dst, .. } | AddVImm { dst, .. } | MulVImm { dst, .. }
+            | MaxVImm { dst, .. } | ExpV { dst, .. } | TanhV { dst, .. } | LogV { dst, .. }
+            | SqrtV { dst, .. } | RcpV { dst, .. } | SelGtzV { dst, .. } => Some((true, *dst)),
+            StTnsrV { .. } | StTnsrS { .. } | StVlmV { .. } | Loop { .. } => None,
+        }
+    }
+}
+
+/// A TPC kernel: a named program over an index space.
+///
+/// `index_space` has 1–3 dimensions; each member executes the program once
+/// with its coordinates pre-loaded into `S0..S2`. Members must write
+/// disjoint output regions (the launcher executes them in arbitrary
+/// core-order).
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name, used in traces.
+    pub name: String,
+    /// Index space extents (1–3 dims).
+    pub index_space: Vec<usize>,
+    /// The program executed per index-space member.
+    pub program: Vec<Instr>,
+}
+
+impl Kernel {
+    /// Total number of index-space members.
+    pub fn members(&self) -> usize {
+        self.index_space.iter().product()
+    }
+
+    /// Decompose a linear member id into coordinates.
+    pub fn member_coords(&self, mut id: usize) -> [usize; 3] {
+        let mut coords = [0usize; 3];
+        for (i, &dim) in self.index_space.iter().enumerate().rev() {
+            coords[i] = id % dim;
+            id /= dim;
+        }
+        coords
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_cover_the_four_functional_units() {
+        assert_eq!(Instr::LdTnsrV { dst: 0, tensor: 0, off: 0 }.slot(), Slot::Load);
+        assert_eq!(Instr::AddS { dst: 0, a: 0, b: 0 }.slot(), Slot::Spu);
+        assert_eq!(Instr::MacV { dst: 0, a: 1, b: 2 }.slot(), Slot::Vpu);
+        assert_eq!(Instr::StTnsrV { tensor: 0, off: 0, src: 0 }.slot(), Slot::Store);
+    }
+
+    #[test]
+    fn global_access_costs_four_cycles() {
+        let ld = Instr::LdTnsrV { dst: 0, tensor: 0, off: 0 };
+        assert_eq!(ld.cycles(4.0, 16.0), 4.0);
+        let exp = Instr::ExpV { dst: 0, a: 0 };
+        assert_eq!(exp.cycles(4.0, 16.0), 16.0);
+        let red = Instr::RedSumV { dst: 0, src: 0 };
+        assert_eq!(red.cycles(4.0, 16.0), 6.0);
+    }
+
+    #[test]
+    fn mac_reads_its_accumulator() {
+        let mac = Instr::MacV { dst: 3, a: 1, b: 2 };
+        assert!(mac.reads().contains(&(true, 3)));
+        assert_eq!(mac.writes(), Some((true, 3)));
+    }
+
+    #[test]
+    fn member_coords_roundtrip() {
+        let k = Kernel { name: "t".into(), index_space: vec![3, 4, 5], program: vec![] };
+        assert_eq!(k.members(), 60);
+        assert_eq!(k.member_coords(0), [0, 0, 0]);
+        assert_eq!(k.member_coords(59), [2, 3, 4]);
+        assert_eq!(k.member_coords(5), [0, 1, 0]);
+    }
+}

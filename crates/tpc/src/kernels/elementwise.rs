@@ -1,0 +1,244 @@
+//! Element-wise kernels: each index-space member handles one 64-lane vector.
+
+use super::nvec;
+use crate::isa::{Instr::*, Kernel, VECTOR_LANES};
+use crate::launch::{launch, Bindings, LaunchError, LaunchResult};
+use gaudi_hw::config::TpcConfig;
+use gaudi_tensor::Tensor;
+
+fn vector_offset_prelude() -> Vec<crate::isa::Instr> {
+    // S4 = member * 64 (element offset of this member's vector).
+    vec![MulSImm { dst: 4, a: 0, imm: VECTOR_LANES as f32 }]
+}
+
+/// Fill a tensor with a constant.
+pub fn memset(dims: &[usize], value: f32, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
+    let n: usize = dims.iter().product();
+    let mut program = vector_offset_prelude();
+    program.extend([MovVImm { dst: 0, imm: value }, StTnsrV { tensor: 0, off: 4, src: 0 }]);
+    let kernel = Kernel { name: "memset".into(), index_space: vec![nvec(n)], program };
+    launch(&kernel, &Bindings { inputs: vec![], output_dims: dims.to_vec(), args: vec![] }, cfg)
+}
+
+fn unary(
+    name: &str,
+    x: &Tensor,
+    body: Vec<crate::isa::Instr>,
+    cfg: &TpcConfig,
+) -> Result<LaunchResult, LaunchError> {
+    let mut program = vector_offset_prelude();
+    program.push(LdTnsrV { dst: 0, tensor: 0, off: 4 });
+    program.extend(body); // transforms V0 -> V1
+    program.push(StTnsrV { tensor: 1, off: 4, src: 1 });
+    let kernel = Kernel { name: name.into(), index_space: vec![nvec(x.numel())], program };
+    launch(
+        &kernel,
+        &Bindings { inputs: vec![x], output_dims: x.dims().to_vec(), args: vec![] },
+        cfg,
+    )
+}
+
+/// `y = mul * x + add`.
+pub fn kscale_add(
+    x: &Tensor,
+    mul: f32,
+    add: f32,
+    cfg: &TpcConfig,
+) -> Result<LaunchResult, LaunchError> {
+    unary(
+        "scale_add",
+        x,
+        vec![MulVImm { dst: 1, a: 0, imm: mul }, AddVImm { dst: 1, a: 1, imm: add }],
+        cfg,
+    )
+}
+
+/// Rectified linear unit.
+pub fn krelu(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
+    unary("relu", x, vec![MaxVImm { dst: 1, a: 0, imm: 0.0 }], cfg)
+}
+
+/// Element-wise exponential (the Performer/softmax special function).
+pub fn kexp(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
+    unary("exp", x, vec![ExpV { dst: 1, a: 0 }], cfg)
+}
+
+/// GELU (tanh approximation), exercising the TanhV special function:
+/// `0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))`.
+pub fn kgelu(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
+    const C: f32 = 0.797_884_6;
+    unary(
+        "gelu",
+        x,
+        vec![
+            // V2 = x^3 * 0.044715 + x
+            MulV { dst: 2, a: 0, b: 0 },
+            MulV { dst: 2, a: 2, b: 0 },
+            MulVImm { dst: 2, a: 2, imm: 0.044_715 },
+            AddV { dst: 2, a: 2, b: 0 },
+            MulVImm { dst: 2, a: 2, imm: C },
+            TanhV { dst: 2, a: 2 },
+            AddVImm { dst: 2, a: 2, imm: 1.0 },
+            MulV { dst: 1, a: 2, b: 0 },
+            MulVImm { dst: 1, a: 1, imm: 0.5 },
+        ],
+        cfg,
+    )
+}
+
+/// Logistic sigmoid via the reciprocal special function:
+/// `1 / (1 + exp(-x))`.
+pub fn ksigmoid(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
+    unary(
+        "sigmoid",
+        x,
+        vec![
+            MulVImm { dst: 2, a: 0, imm: -1.0 },
+            ExpV { dst: 2, a: 2 },
+            AddVImm { dst: 2, a: 2, imm: 1.0 },
+            RcpV { dst: 1, a: 2 },
+        ],
+        cfg,
+    )
+}
+
+/// ELU (alpha = 1) via select: `x > 0 ? x : exp(x) - 1`.
+pub fn kelu(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
+    unary(
+        "elu",
+        x,
+        vec![
+            ExpV { dst: 2, a: 0 },
+            AddVImm { dst: 2, a: 2, imm: -1.0 },
+            SelGtzV { dst: 1, cond: 0, a: 0, b: 2 },
+        ],
+        cfg,
+    )
+}
+
+fn binary(
+    name: &str,
+    a: &Tensor,
+    b: &Tensor,
+    op: crate::isa::Instr,
+    cfg: &TpcConfig,
+) -> Result<LaunchResult, LaunchError> {
+    assert_eq!(a.dims(), b.dims(), "{name}: operand shapes must match");
+    let mut program = vector_offset_prelude();
+    program.extend([
+        LdTnsrV { dst: 0, tensor: 0, off: 4 },
+        LdTnsrV { dst: 1, tensor: 1, off: 4 },
+        op,
+        StTnsrV { tensor: 2, off: 4, src: 2 },
+    ]);
+    let kernel = Kernel { name: name.into(), index_space: vec![nvec(a.numel())], program };
+    launch(
+        &kernel,
+        &Bindings { inputs: vec![a, b], output_dims: a.dims().to_vec(), args: vec![] },
+        cfg,
+    )
+}
+
+/// Element-wise sum.
+pub fn kvec_add(a: &Tensor, b: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
+    binary("vec_add", a, b, AddV { dst: 2, a: 0, b: 1 }, cfg)
+}
+
+/// Element-wise product (`torch.mul`).
+pub fn kvec_mul(a: &Tensor, b: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
+    binary("vec_mul", a, b, MulV { dst: 2, a: 0, b: 1 }, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaudi_tensor::ops;
+    use gaudi_tensor::SeededRng;
+
+    fn cfg() -> TpcConfig {
+        TpcConfig::default()
+    }
+
+    #[test]
+    fn memset_fills_exactly() {
+        let r = memset(&[3, 50], 2.5, &cfg()).unwrap();
+        assert_eq!(r.output.dims(), &[3, 50]);
+        assert!(r.output.data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn scale_add_matches_reference() {
+        let mut rng = SeededRng::new(1);
+        let x = Tensor::randn(&[777], 1.0, &mut rng).unwrap();
+        let r = kscale_add(&x, 3.0, -1.0, &cfg()).unwrap();
+        let expect = ops::scalar_add(&ops::scalar_mul(&x, 3.0), -1.0);
+        assert!(r.output.max_abs_diff(&expect) < 1e-6);
+    }
+
+    #[test]
+    fn relu_matches_reference() {
+        let mut rng = SeededRng::new(2);
+        let x = Tensor::randn(&[1000], 2.0, &mut rng).unwrap();
+        let r = krelu(&x, &cfg()).unwrap();
+        assert!(r.output.max_abs_diff(&ops::relu(&x)) < 1e-7);
+    }
+
+    #[test]
+    fn exp_matches_reference() {
+        let mut rng = SeededRng::new(3);
+        let x = Tensor::randn(&[320], 1.0, &mut rng).unwrap();
+        let r = kexp(&x, &cfg()).unwrap();
+        assert!(r.output.max_abs_diff(&ops::exp(&x)) < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_and_elu_match_reference() {
+        let mut rng = SeededRng::new(6);
+        let x = Tensor::randn(&[400], 2.0, &mut rng).unwrap();
+        let s = ksigmoid(&x, &cfg()).unwrap();
+        assert!(s.output.max_abs_diff(&ops::sigmoid(&x)) < 1e-5);
+        let e = kelu(&x, &cfg()).unwrap();
+        assert!(e.output.max_abs_diff(&ops::elu(&x)) < 1e-5);
+    }
+
+    #[test]
+    fn gelu_matches_reference() {
+        let mut rng = SeededRng::new(5);
+        let x = Tensor::randn(&[512], 1.5, &mut rng).unwrap();
+        let r = kgelu(&x, &cfg()).unwrap();
+        assert!(r.output.max_abs_diff(&ops::gelu(&x)) < 1e-4);
+        // TanhV makes GELU pricier per vector than ReLU.
+        let relu = krelu(&x, &cfg()).unwrap();
+        assert!(r.cycles_per_member > relu.cycles_per_member);
+    }
+
+    #[test]
+    fn add_and_mul_match_reference() {
+        let mut rng = SeededRng::new(4);
+        let a = Tensor::randn(&[4, 100], 1.0, &mut rng).unwrap();
+        let b = Tensor::randn(&[4, 100], 1.0, &mut rng).unwrap();
+        let r = kvec_add(&a, &b, &cfg()).unwrap();
+        assert!(r.output.max_abs_diff(&ops::add(&a, &b).unwrap()) < 1e-6);
+        let r = kvec_mul(&a, &b, &cfg()).unwrap();
+        assert!(r.output.max_abs_diff(&ops::mul(&a, &b).unwrap()) < 1e-6);
+    }
+
+    #[test]
+    fn non_aligned_tails_are_handled() {
+        // 65 elements: second vector covers one element + 63 padded lanes.
+        let x = Tensor::ones(&[65]).unwrap();
+        let r = kscale_add(&x, 2.0, 0.0, &cfg()).unwrap();
+        assert!(r.output.data().iter().all(|&v| v == 2.0));
+        assert_eq!(r.output.numel(), 65);
+    }
+
+    #[test]
+    fn cycle_count_scales_with_members() {
+        let x64 = Tensor::ones(&[64]).unwrap();
+        let x4096 = Tensor::ones(&[64 * 64]).unwrap();
+        let r1 = krelu(&x64, &cfg()).unwrap();
+        let r2 = krelu(&x4096, &cfg()).unwrap();
+        // 64 members over 8 cores = 8 members per core.
+        assert_eq!(r2.critical_cycles, 8.0 * r1.critical_cycles);
+    }
+}

@@ -1,0 +1,136 @@
+//! Row layer-normalization kernel: two reduction passes plus a normalize
+//! pass with learned scale/shift.
+
+use super::require_aligned;
+use crate::isa::{Instr::*, Kernel, VECTOR_LANES};
+use crate::launch::{launch, Bindings, LaunchError, LaunchResult};
+use gaudi_hw::config::TpcConfig;
+use gaudi_tensor::Tensor;
+
+/// Layer normalization over the last axis with scale `gamma` and shift
+/// `beta` (both `[d]`, `d` 64-aligned).
+pub fn layernorm_rows(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    cfg: &TpcConfig,
+) -> Result<LaunchResult, LaunchError> {
+    let d = x.shape().last_dim();
+    require_aligned(d, "layernorm_rows");
+    assert_eq!(gamma.numel(), d, "gamma must have row length");
+    assert_eq!(beta.numel(), d, "beta must have row length");
+    let rows = x.shape().rows();
+    let trips = d / VECTOR_LANES;
+    let step = VECTOR_LANES as f32;
+    let inv_d = 1.0 / d as f32;
+
+    let program = vec![
+        MulSImm { dst: 4, a: 0, imm: d as f32 }, // row base
+        // ---- pass 1: mean ----
+        MovVImm { dst: 0, imm: 0.0 },
+        Loop {
+            counter: 6,
+            start: 0.0,
+            step,
+            trip: trips,
+            body: vec![
+                AddS { dst: 7, a: 4, b: 6 },
+                LdTnsrV { dst: 1, tensor: 0, off: 7 },
+                AddV { dst: 0, a: 0, b: 1 },
+            ],
+        },
+        RedSumV { dst: 8, src: 0 },
+        MulSImm { dst: 8, a: 8, imm: inv_d }, // mean
+        BcastV { dst: 2, src: 8 },
+        // ---- pass 2: variance ----
+        MovVImm { dst: 3, imm: 0.0 },
+        Loop {
+            counter: 6,
+            start: 0.0,
+            step,
+            trip: trips,
+            body: vec![
+                AddS { dst: 7, a: 4, b: 6 },
+                LdTnsrV { dst: 1, tensor: 0, off: 7 },
+                SubV { dst: 1, a: 1, b: 2 },
+                MulV { dst: 1, a: 1, b: 1 },
+                AddV { dst: 3, a: 3, b: 1 },
+            ],
+        },
+        RedSumV { dst: 9, src: 3 },
+        MulSImm { dst: 9, a: 9, imm: inv_d },
+        AddSImm { dst: 9, a: 9, imm: eps },
+        BcastV { dst: 4, src: 9 },
+        SqrtV { dst: 4, a: 4 },
+        RcpV { dst: 4, a: 4 }, // 1/sqrt(var+eps)
+        // ---- pass 3: normalize, scale, shift ----
+        Loop {
+            counter: 6,
+            start: 0.0,
+            step,
+            trip: trips,
+            body: vec![
+                AddS { dst: 7, a: 4, b: 6 },
+                LdTnsrV { dst: 1, tensor: 0, off: 7 },
+                SubV { dst: 1, a: 1, b: 2 },
+                MulV { dst: 1, a: 1, b: 4 },
+                LdTnsrV { dst: 5, tensor: 1, off: 6 }, // gamma[j]
+                MulV { dst: 1, a: 1, b: 5 },
+                LdTnsrV { dst: 6, tensor: 2, off: 6 }, // beta[j]
+                AddV { dst: 1, a: 1, b: 6 },
+                StTnsrV { tensor: 3, off: 7, src: 1 },
+            ],
+        },
+    ];
+    let kernel = Kernel { name: "layernorm".into(), index_space: vec![rows], program };
+    launch(
+        &kernel,
+        &Bindings { inputs: vec![x, gamma, beta], output_dims: x.dims().to_vec(), args: vec![] },
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaudi_tensor::ops;
+    use gaudi_tensor::SeededRng;
+
+    #[test]
+    fn matches_reference_layernorm() {
+        let mut rng = SeededRng::new(31);
+        let x = Tensor::randn(&[10, 128], 2.0, &mut rng).unwrap();
+        let gamma = Tensor::randn(&[128], 1.0, &mut rng).unwrap();
+        let beta = Tensor::randn(&[128], 1.0, &mut rng).unwrap();
+        let r = layernorm_rows(&x, &gamma, &beta, 1e-5, &TpcConfig::default()).unwrap();
+        let expect = ops::layernorm_last_axis(&x, &gamma, &beta, 1e-5).unwrap();
+        assert!(r.output.max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn unit_gamma_zero_beta_standardizes() {
+        let mut rng = SeededRng::new(32);
+        let x = Tensor::randn(&[4, 64], 7.0, &mut rng).unwrap();
+        let gamma = Tensor::ones(&[64]).unwrap();
+        let beta = Tensor::zeros(&[64]).unwrap();
+        let r = layernorm_rows(&x, &gamma, &beta, 1e-6, &TpcConfig::default()).unwrap();
+        let mean = ops::mean_last_axis(&r.output, false).unwrap();
+        for &m in mean.data() {
+            assert!(m.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cheaper_than_softmax_per_element() {
+        // LayerNorm has no exp: its per-element cost must undercut softmax.
+        let cfg = TpcConfig::default();
+        let mut rng = SeededRng::new(33);
+        let x = Tensor::randn(&[16, 256], 1.0, &mut rng).unwrap();
+        let gamma = Tensor::ones(&[256]).unwrap();
+        let beta = Tensor::zeros(&[256]).unwrap();
+        let ln = layernorm_rows(&x, &gamma, &beta, 1e-5, &cfg).unwrap();
+        let sm = crate::kernels::softmax_rows(&x, &cfg).unwrap();
+        assert!(ln.critical_cycles < sm.critical_cycles);
+    }
+}

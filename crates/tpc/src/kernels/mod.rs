@@ -1,0 +1,80 @@
+//! Reference TPC kernels written in the kernel IR — the analog of Habana's
+//! `Habana_Custom_Kernel` example repository the paper used for its TPC
+//! matmul measurements (§3.2).
+//!
+//! Each function builds the kernel, launches it on the simulated cluster,
+//! and returns the numeric output together with cycle counts. Row-structured
+//! kernels require the row length to be a multiple of the 64-lane vector
+//! width (the natural TPC tile); the builders check this.
+
+pub mod elementwise;
+pub mod layernorm;
+pub mod matmul;
+pub mod reduce;
+pub mod softmax;
+
+pub use elementwise::{kelu, kexp, kgelu, krelu, kscale_add, ksigmoid, kvec_add, kvec_mul, memset};
+pub use layernorm::layernorm_rows;
+pub use matmul::{bmm_tpc, bmm_tpc_blocked};
+pub use reduce::{row_max, row_sum};
+pub use softmax::softmax_rows;
+
+use crate::isa::VECTOR_LANES;
+
+/// Number of 64-lane vectors covering `n` elements.
+pub(crate) fn nvec(n: usize) -> usize {
+    n.div_ceil(VECTOR_LANES)
+}
+
+/// Panic unless `d` is vector-aligned (row kernels tile rows by 64 lanes).
+pub(crate) fn require_aligned(d: usize, kernel: &str) {
+    assert!(
+        d.is_multiple_of(VECTOR_LANES) && d > 0,
+        "{kernel}: row length {d} must be a positive multiple of {VECTOR_LANES}"
+    );
+}
+
+#[cfg(test)]
+mod cross_check {
+    //! Fidelity cross-check (DESIGN.md §6.4): the VM's cycle counts must
+    //! agree with the analytic TPC cost model of `gaudi-hw` within a small
+    //! band for the kernel classes the analytic model is calibrated on.
+
+    use super::*;
+    use gaudi_hw::config::TpcConfig;
+    use gaudi_hw::{TpcCostModel, TpcOpClass};
+    use gaudi_tensor::{SeededRng, Tensor};
+
+    fn ratio_vm_over_analytic(vm_ns: f64, analytic_ns: f64) -> f64 {
+        vm_ns / analytic_ns
+    }
+
+    #[test]
+    fn elementwise_kernel_matches_analytic_model() {
+        let cfg = TpcConfig::default();
+        let model = TpcCostModel::new(cfg.clone());
+        let mut rng = SeededRng::new(3);
+        let n = 64 * 1024;
+        let a = Tensor::randn(&[n], 1.0, &mut rng).unwrap();
+        let b = Tensor::randn(&[n], 1.0, &mut rng).unwrap();
+        let r = kvec_add(&a, &b, &cfg).unwrap();
+        let analytic =
+            model.class_time_ns(TpcOpClass::Elementwise(1.0), n as f64, 12.0 * n as f64);
+        let ratio = ratio_vm_over_analytic(r.time_ns, analytic);
+        assert!((0.3..3.0).contains(&ratio), "elementwise ratio {ratio}");
+    }
+
+    #[test]
+    fn softmax_kernel_matches_analytic_model() {
+        let cfg = TpcConfig::default();
+        let model = TpcCostModel::new(cfg.clone());
+        let mut rng = SeededRng::new(4);
+        let (rows, d) = (256, 512);
+        let x = Tensor::randn(&[rows, d], 1.0, &mut rng).unwrap();
+        let r = softmax_rows(&x, &cfg).unwrap();
+        let elems = (rows * d) as f64;
+        let analytic = model.class_time_ns(TpcOpClass::Softmax, elems, 8.0 * elems);
+        let ratio = ratio_vm_over_analytic(r.time_ns, analytic);
+        assert!((0.3..3.0).contains(&ratio), "softmax ratio {ratio}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Row-reduction kernels: one index-space member per row.
+//!
+//! Reductions are the operation class the paper singles out as ill-suited to
+//! the TPC's SIMD datapath (§3.3): the horizontal tree at the end of each
+//! row serializes, which is visible in these kernels' cycle counts.
+
+use super::require_aligned;
+use crate::isa::{Instr::*, Kernel, VECTOR_LANES};
+use crate::launch::{launch, Bindings, LaunchError, LaunchResult};
+use gaudi_hw::config::TpcConfig;
+use gaudi_tensor::Tensor;
+
+fn row_reduce(
+    name: &str,
+    x: &Tensor,
+    init: f32,
+    combine: crate::isa::Instr,
+    tree: crate::isa::Instr,
+    cfg: &TpcConfig,
+) -> Result<LaunchResult, LaunchError> {
+    let d = x.shape().last_dim();
+    require_aligned(d, name);
+    let rows = x.shape().rows();
+    let trips = d / VECTOR_LANES;
+    let program = vec![
+        // S4 = row base
+        MulSImm { dst: 4, a: 0, imm: d as f32 },
+        MovVImm { dst: 0, imm: init },
+        Loop {
+            counter: 6,
+            start: 0.0,
+            step: VECTOR_LANES as f32,
+            trip: trips,
+            body: vec![
+                AddS { dst: 7, a: 4, b: 6 },
+                LdTnsrV { dst: 1, tensor: 0, off: 7 },
+                combine,
+            ],
+        },
+        tree,
+        StTnsrS { tensor: 1, off: 0, src: 8 },
+    ];
+    let kernel = Kernel { name: name.into(), index_space: vec![rows], program };
+    launch(&kernel, &Bindings { inputs: vec![x], output_dims: vec![rows], args: vec![] }, cfg)
+}
+
+/// Sum over the last axis: output `[rows]`.
+pub fn row_sum(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
+    row_reduce(
+        "row_sum",
+        x,
+        0.0,
+        AddV { dst: 0, a: 0, b: 1 },
+        RedSumV { dst: 8, src: 0 },
+        cfg,
+    )
+}
+
+/// Max over the last axis: output `[rows]`.
+pub fn row_max(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
+    row_reduce(
+        "row_max",
+        x,
+        f32::NEG_INFINITY,
+        MaxV { dst: 0, a: 0, b: 1 },
+        RedMaxV { dst: 8, src: 0 },
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaudi_tensor::ops;
+    use gaudi_tensor::SeededRng;
+
+    #[test]
+    fn row_sum_matches_reference() {
+        let mut rng = SeededRng::new(7);
+        let x = Tensor::randn(&[16, 128], 1.0, &mut rng).unwrap();
+        let r = row_sum(&x, &TpcConfig::default()).unwrap();
+        let expect = ops::sum_last_axis(&x, false).unwrap();
+        assert!(r.output.max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn row_max_matches_reference() {
+        let mut rng = SeededRng::new(8);
+        let x = Tensor::randn(&[32, 64], 3.0, &mut rng).unwrap();
+        let r = row_max(&x, &TpcConfig::default()).unwrap();
+        let expect = ops::max_last_axis(&x, false).unwrap();
+        assert!(r.output.max_abs_diff(&expect) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a positive multiple")]
+    fn misaligned_rows_rejected() {
+        let x = Tensor::ones(&[4, 100]).unwrap();
+        let _ = row_sum(&x, &TpcConfig::default());
+    }
+
+    #[test]
+    fn reduction_tree_visible_in_cycles() {
+        // Doubling the row length should roughly double the loop cycles but
+        // keep the fixed tree cost — so cycles-per-element fall.
+        let x1 = Tensor::ones(&[8, 64]).unwrap();
+        let x2 = Tensor::ones(&[8, 1024]).unwrap();
+        let cfg = TpcConfig::default();
+        let r1 = row_sum(&x1, &cfg).unwrap();
+        let r2 = row_sum(&x2, &cfg).unwrap();
+        let cpe1 = r1.cycles_per_member / 64.0;
+        let cpe2 = r2.cycles_per_member / 1024.0;
+        assert!(cpe2 < cpe1, "tree cost must amortize: {cpe1} vs {cpe2}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Host glue: binds tensors, splits the index space over the eight TPC
+//! cores, executes members, and aggregates cycle counts into a launch time.
+
+use crate::isa::{Kernel, ARG_REG_BASE, COORD_REGS};
+use crate::vm::{static_cycles, TensorRef, Vm};
+use gaudi_hw::config::TpcConfig;
+use gaudi_tensor::{Tensor, TensorError};
+
+/// Tensor bindings and scalar arguments for one kernel launch.
+pub struct Bindings<'a> {
+    /// Read-only global tensors, bound to slots `0..inputs.len()`.
+    pub inputs: Vec<&'a Tensor>,
+    /// Output tensor shape; bound to slot `inputs.len()`.
+    pub output_dims: Vec<usize>,
+    /// Scalar launch arguments, loaded into `S16, S17, ...` per member.
+    pub args: Vec<f32>,
+}
+
+/// Launch failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchError {
+    /// Output shape invalid.
+    Shape(TensorError),
+    /// The index space has no members or more than 3 dims.
+    BadIndexSpace,
+    /// Too many scalar args for the register file.
+    TooManyArgs,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Shape(e) => write!(f, "bad output shape: {e}"),
+            LaunchError::BadIndexSpace => write!(f, "index space must have 1-3 non-empty dims"),
+            LaunchError::TooManyArgs => write!(f, "too many scalar launch arguments"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<TensorError> for LaunchError {
+    fn from(e: TensorError) -> Self {
+        LaunchError::Shape(e)
+    }
+}
+
+/// Result of a simulated kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchResult {
+    /// The computed output tensor.
+    pub output: Tensor,
+    /// Cycle count of the slowest core (determines kernel latency).
+    pub critical_cycles: f64,
+    /// Cycle count per core.
+    pub per_core_cycles: Vec<f64>,
+    /// Wall time of the launch in nanoseconds (cycles / clock + overhead).
+    pub time_ns: f64,
+    /// Static cycles of one index-space member.
+    pub cycles_per_member: f64,
+}
+
+/// Execute `kernel` on the simulated TPC cluster.
+///
+/// Functionally, every index-space member runs exactly once (members are
+/// distributed round-robin over cores, which must not affect results since
+/// members write disjoint regions). Timing-wise, the kernel completes when
+/// the most-loaded core finishes.
+///
+/// ```
+/// use gaudi_hw::config::TpcConfig;
+/// use gaudi_tpc::{launch, Bindings, Instr::*, Kernel};
+///
+/// // One member per 64-lane vector: out[i] = 2.0 everywhere.
+/// let kernel = Kernel {
+///     name: "twos".into(),
+///     index_space: vec![4],
+///     program: vec![
+///         MulSImm { dst: 4, a: 0, imm: 64.0 },
+///         MovVImm { dst: 0, imm: 2.0 },
+///         StTnsrV { tensor: 0, off: 4, src: 0 },
+///     ],
+/// };
+/// let b = Bindings { inputs: vec![], output_dims: vec![256], args: vec![] };
+/// let r = launch(&kernel, &b, &TpcConfig::default()).unwrap();
+/// assert!(r.output.data().iter().all(|&v| v == 2.0));
+/// assert!(r.time_ns > 0.0);
+/// ```
+pub fn launch(
+    kernel: &Kernel,
+    bindings: &Bindings<'_>,
+    cfg: &TpcConfig,
+) -> Result<LaunchResult, LaunchError> {
+    if kernel.index_space.is_empty()
+        || kernel.index_space.len() > 3
+        || kernel.members() == 0
+    {
+        return Err(LaunchError::BadIndexSpace);
+    }
+    if ARG_REG_BASE as usize + bindings.args.len() > 32 {
+        return Err(LaunchError::TooManyArgs);
+    }
+
+    let out = Tensor::zeros(&bindings.output_dims)?;
+    let mut outputs = vec![out.into_vec()];
+
+    let mut tensors: Vec<TensorRef> =
+        bindings.inputs.iter().map(|t| TensorRef::In(t.data())).collect();
+    tensors.push(TensorRef::Out(0));
+
+    // Execute every member (functional semantics).
+    for member in 0..kernel.members() {
+        let coords = kernel.member_coords(member);
+        let mut vm = Vm::new(&tensors, &mut outputs);
+        for (i, &c) in coords.iter().enumerate() {
+            vm.set_sreg(COORD_REGS[i], c as f32);
+        }
+        for (i, &a) in bindings.args.iter().enumerate() {
+            vm.set_sreg(ARG_REG_BASE + i as u8, a);
+        }
+        vm.exec(&kernel.program);
+    }
+
+    // Timing: static per-member cycles, members round-robin over cores.
+    let cycles_per_member =
+        static_cycles(&kernel.program, cfg.global_access_cycles, cfg.special_func_cycles);
+    let members = kernel.members();
+    let cores = cfg.num_cores.max(1);
+    let mut per_core_cycles = vec![0.0; cores];
+    for (c, cycles) in per_core_cycles.iter_mut().enumerate() {
+        let members_on_core = members / cores + usize::from(c < members % cores);
+        *cycles = members_on_core as f64 * cycles_per_member;
+    }
+    let critical_cycles = per_core_cycles.iter().copied().fold(0.0, f64::max);
+    let time_ns = critical_cycles / cfg.clock_ghz + cfg.launch_overhead_ns;
+
+    let data = outputs.pop().expect("single output buffer");
+    let output = Tensor::from_vec(&bindings.output_dims, data)?;
+    Ok(LaunchResult { output, critical_cycles, per_core_cycles, time_ns, cycles_per_member })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instr::*;
+
+    /// Kernel writing `coord0 + 100*coord1` at linear offset of each member.
+    fn probe_kernel(d0: usize, d1: usize) -> Kernel {
+        Kernel {
+            name: "probe".into(),
+            index_space: vec![d0, d1],
+            program: vec![
+                // off = c0 * d1 + c1
+                MulSImm { dst: 4, a: 0, imm: d1 as f32 },
+                AddS { dst: 4, a: 4, b: 1 },
+                // val = c0 + 100*c1
+                MulSImm { dst: 5, a: 1, imm: 100.0 },
+                AddS { dst: 5, a: 5, b: 0 },
+                StTnsrS { tensor: 0, off: 4, src: 5 },
+            ],
+        }
+    }
+
+    #[test]
+    fn every_member_executes_once() {
+        let k = probe_kernel(3, 4);
+        let b = Bindings { inputs: vec![], output_dims: vec![3, 4], args: vec![] };
+        let r = launch(&k, &b, &TpcConfig::default()).unwrap();
+        for c0 in 0..3 {
+            for c1 in 0..4 {
+                assert_eq!(r.output.at(&[c0, c1]), (c0 + 100 * c1) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn load_balancing_over_eight_cores() {
+        let k = probe_kernel(4, 4); // 16 members over 8 cores = 2 each
+        let b = Bindings { inputs: vec![], output_dims: vec![4, 4], args: vec![] };
+        let r = launch(&k, &b, &TpcConfig::default()).unwrap();
+        assert!(r.per_core_cycles.iter().all(|&c| c == 2.0 * r.cycles_per_member));
+        assert_eq!(r.critical_cycles, 2.0 * r.cycles_per_member);
+    }
+
+    #[test]
+    fn uneven_member_count_loads_first_cores_more() {
+        let k = probe_kernel(3, 3); // 9 members over 8 cores
+        let b = Bindings { inputs: vec![], output_dims: vec![3, 3], args: vec![] };
+        let r = launch(&k, &b, &TpcConfig::default()).unwrap();
+        assert_eq!(r.per_core_cycles[0], 2.0 * r.cycles_per_member);
+        assert_eq!(r.per_core_cycles[7], r.cycles_per_member);
+    }
+
+    #[test]
+    fn args_reach_registers() {
+        let k = Kernel {
+            name: "args".into(),
+            index_space: vec![1],
+            program: vec![
+                MovSImm { dst: 4, imm: 0.0 },
+                StTnsrS { tensor: 0, off: 4, src: ARG_REG_BASE },
+            ],
+        };
+        let b = Bindings { inputs: vec![], output_dims: vec![1], args: vec![42.5] };
+        let r = launch(&k, &b, &TpcConfig::default()).unwrap();
+        assert_eq!(r.output.data()[0], 42.5);
+    }
+
+    #[test]
+    fn rejects_bad_index_space() {
+        let mut k = probe_kernel(2, 2);
+        k.index_space = vec![];
+        let b = Bindings { inputs: vec![], output_dims: vec![4], args: vec![] };
+        assert_eq!(launch(&k, &b, &TpcConfig::default()).unwrap_err(), LaunchError::BadIndexSpace);
+        let mut k2 = probe_kernel(2, 2);
+        k2.index_space = vec![2, 0];
+        assert_eq!(
+            launch(&k2, &b, &TpcConfig::default()).unwrap_err(),
+            LaunchError::BadIndexSpace
+        );
+    }
+
+    #[test]
+    fn launch_time_includes_overhead() {
+        let k = probe_kernel(1, 1);
+        let b = Bindings { inputs: vec![], output_dims: vec![1, 1], args: vec![] };
+        let cfg = TpcConfig::default();
+        let r = launch(&k, &b, &cfg).unwrap();
+        assert!(r.time_ns >= cfg.launch_overhead_ns);
+    }
+}

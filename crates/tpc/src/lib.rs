@@ -1,0 +1,30 @@
+//! # gaudi-tpc
+//!
+//! A reproduction of the Gaudi **TPC programming model** (§2.2 of the paper)
+//! as a Rust-embedded kernel IR plus a functional, cycle-counting virtual
+//! machine:
+//!
+//! * **VLIW, four slots** — every instruction is classed Load / SPU / VPU /
+//!   Store; the VM packs independent instructions into bundles exactly the
+//!   way the TPC's four functional slots would issue them, so cycle counts
+//!   reflect the architecture's instruction-level parallelism.
+//! * **2048-bit SIMD** — vector registers hold 64 `f32` lanes.
+//! * **Tensor addressing** — kernels access global memory through bound
+//!   tensor slots; a 2048-bit global access occupies its slot for four
+//!   cycles (the datasheet figure quoted in the paper).
+//! * **Index spaces** — like CUDA grids, an index space divides work across
+//!   the eight TPC cores; the host-glue launcher assigns members to cores
+//!   and the kernel time is the slowest core's cycle count.
+//!
+//! The [`kernels`] module is the analog of Habana's `Habana_Custom_Kernel`
+//! repository: reference kernels (element-wise, reductions, softmax, batched
+//! matmul, layernorm) written in the IR, used both to validate the analytic
+//! TPC cost model of `gaudi-hw` and to regenerate Table 2's TPC column.
+
+pub mod isa;
+pub mod kernels;
+pub mod launch;
+pub mod vm;
+
+pub use isa::{Instr, Kernel, SReg, Slot, TensorSlot, VReg, VECTOR_LANES};
+pub use launch::{launch, Bindings, LaunchError, LaunchResult};

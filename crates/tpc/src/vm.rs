@@ -1,0 +1,400 @@
+//! The TPC virtual machine: functional execution plus VLIW cycle counting.
+
+use crate::isa::{Instr, Slot, NUM_SREGS, NUM_VREGS, VECTOR_LANES};
+use std::collections::HashSet;
+
+/// A tensor bound to a kernel slot.
+pub enum TensorRef<'a> {
+    /// Read-only global tensor.
+    In(&'a [f32]),
+    /// Writable global tensor (index into the launch's output buffers).
+    Out(usize),
+}
+
+/// Register file + bound tensors for one index-space member execution.
+pub struct Vm<'a, 'b> {
+    sregs: [f32; NUM_SREGS],
+    vregs: Vec<[f32; VECTOR_LANES]>,
+    /// Vector local memory: 80 KB per core = 20480 f32 elements (§2.2).
+    vlm: Vec<f32>,
+    tensors: &'a [TensorRef<'b>],
+    outputs: &'a mut [Vec<f32>],
+}
+
+/// Vector-local-memory capacity in f32 elements (80 KB per core).
+pub const VLM_ELEMS: usize = (80 << 10) / 4;
+
+impl<'a, 'b> Vm<'a, 'b> {
+    /// Fresh VM over the given tensor bindings.
+    pub fn new(tensors: &'a [TensorRef<'b>], outputs: &'a mut [Vec<f32>]) -> Self {
+        Vm {
+            sregs: [0.0; NUM_SREGS],
+            vregs: vec![[0.0; VECTOR_LANES]; NUM_VREGS],
+            vlm: vec![0.0; VLM_ELEMS],
+            tensors,
+            outputs,
+        }
+    }
+
+    /// Set a scalar register (used by the launcher for coords and args).
+    pub fn set_sreg(&mut self, r: u8, v: f32) {
+        self.sregs[r as usize] = v;
+    }
+
+    /// Read a scalar register (tests).
+    pub fn sreg(&self, r: u8) -> f32 {
+        self.sregs[r as usize]
+    }
+
+    /// Read a vector register (tests).
+    pub fn vreg(&self, r: u8) -> &[f32; VECTOR_LANES] {
+        &self.vregs[r as usize]
+    }
+
+    fn load(&self, slot: u8, idx: isize) -> f32 {
+        let t = &self.tensors[slot as usize];
+        let data: &[f32] = match t {
+            TensorRef::In(d) => d,
+            TensorRef::Out(i) => &self.outputs[*i],
+        };
+        if idx < 0 || idx as usize >= data.len() {
+            0.0
+        } else {
+            data[idx as usize]
+        }
+    }
+
+    fn store(&mut self, slot: u8, idx: isize, v: f32) {
+        if let TensorRef::Out(i) = self.tensors[slot as usize] {
+            let data = &mut self.outputs[i];
+            if idx >= 0 && (idx as usize) < data.len() {
+                data[idx as usize] = v;
+            }
+        }
+    }
+
+    fn offset(&self, off_reg: u8) -> isize {
+        self.sregs[off_reg as usize].round() as isize
+    }
+
+    /// Execute a program (functionally).
+    pub fn exec(&mut self, program: &[Instr]) {
+        for instr in program {
+            self.step(instr);
+        }
+    }
+
+    fn step(&mut self, instr: &Instr) {
+        use Instr::*;
+        match instr {
+            MovSImm { dst, imm } => self.sregs[*dst as usize] = *imm,
+            MovSS { dst, src } => self.sregs[*dst as usize] = self.sregs[*src as usize],
+            BcastV { dst, src } => {
+                let v = self.sregs[*src as usize];
+                self.vregs[*dst as usize] = [v; VECTOR_LANES];
+            }
+            MovVImm { dst, imm } => self.vregs[*dst as usize] = [*imm; VECTOR_LANES],
+            LdTnsrV { dst, tensor, off } => {
+                let base = self.offset(*off);
+                let mut v = [0.0f32; VECTOR_LANES];
+                for (l, lane) in v.iter_mut().enumerate() {
+                    *lane = self.load(*tensor, base + l as isize);
+                }
+                self.vregs[*dst as usize] = v;
+            }
+            LdTnsrS { dst, tensor, off } => {
+                let base = self.offset(*off);
+                self.sregs[*dst as usize] = self.load(*tensor, base);
+            }
+            LdVlmV { dst, addr } => {
+                let base = self.offset(*addr);
+                assert!(
+                    base >= 0 && base as usize + VECTOR_LANES <= VLM_ELEMS,
+                    "vector local-memory load out of range at {base}"
+                );
+                let mut v = [0.0f32; VECTOR_LANES];
+                v.copy_from_slice(&self.vlm[base as usize..base as usize + VECTOR_LANES]);
+                self.vregs[*dst as usize] = v;
+            }
+            LdVlmS { dst, addr } => {
+                let base = self.offset(*addr);
+                assert!(
+                    base >= 0 && (base as usize) < VLM_ELEMS,
+                    "local-memory scalar load out of range at {base}"
+                );
+                self.sregs[*dst as usize] = self.vlm[base as usize];
+            }
+            StVlmV { addr, src } => {
+                let base = self.offset(*addr);
+                assert!(
+                    base >= 0 && base as usize + VECTOR_LANES <= VLM_ELEMS,
+                    "vector local-memory store out of range at {base}"
+                );
+                let v = self.vregs[*src as usize];
+                self.vlm[base as usize..base as usize + VECTOR_LANES].copy_from_slice(&v);
+            }
+            AddS { dst, a, b } => {
+                self.sregs[*dst as usize] = self.sregs[*a as usize] + self.sregs[*b as usize]
+            }
+            SubS { dst, a, b } => {
+                self.sregs[*dst as usize] = self.sregs[*a as usize] - self.sregs[*b as usize]
+            }
+            MulS { dst, a, b } => {
+                self.sregs[*dst as usize] = self.sregs[*a as usize] * self.sregs[*b as usize]
+            }
+            AddSImm { dst, a, imm } => self.sregs[*dst as usize] = self.sregs[*a as usize] + imm,
+            MulSImm { dst, a, imm } => self.sregs[*dst as usize] = self.sregs[*a as usize] * imm,
+            MaxS { dst, a, b } => {
+                self.sregs[*dst as usize] = self.sregs[*a as usize].max(self.sregs[*b as usize])
+            }
+            RcpS { dst, a } => self.sregs[*dst as usize] = 1.0 / self.sregs[*a as usize],
+            AddV { dst, a, b } => self.vbin(*dst, *a, *b, |x, y| x + y),
+            SubV { dst, a, b } => self.vbin(*dst, *a, *b, |x, y| x - y),
+            MulV { dst, a, b } => self.vbin(*dst, *a, *b, |x, y| x * y),
+            MaxV { dst, a, b } => self.vbin(*dst, *a, *b, f32::max),
+            MacV { dst, a, b } => {
+                for l in 0..VECTOR_LANES {
+                    self.vregs[*dst as usize][l] +=
+                        self.vregs[*a as usize][l] * self.vregs[*b as usize][l];
+                }
+            }
+            AddVImm { dst, a, imm } => self.vun(*dst, *a, |x| x + imm),
+            MulVImm { dst, a, imm } => self.vun(*dst, *a, |x| x * imm),
+            MaxVImm { dst, a, imm } => self.vun(*dst, *a, |x| x.max(*imm)),
+            ExpV { dst, a } => self.vun(*dst, *a, |x| x.exp()),
+            TanhV { dst, a } => self.vun(*dst, *a, |x| x.tanh()),
+            LogV { dst, a } => self.vun(*dst, *a, |x| x.ln()),
+            SqrtV { dst, a } => self.vun(*dst, *a, |x| x.sqrt()),
+            RcpV { dst, a } => self.vun(*dst, *a, |x| 1.0 / x),
+            SelGtzV { dst, cond, a, b } => {
+                for l in 0..VECTOR_LANES {
+                    self.vregs[*dst as usize][l] = if self.vregs[*cond as usize][l] > 0.0 {
+                        self.vregs[*a as usize][l]
+                    } else {
+                        self.vregs[*b as usize][l]
+                    };
+                }
+            }
+            RedSumV { dst, src } => {
+                self.sregs[*dst as usize] = self.vregs[*src as usize].iter().sum();
+            }
+            RedMaxV { dst, src } => {
+                self.sregs[*dst as usize] =
+                    self.vregs[*src as usize].iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            }
+            StTnsrV { tensor, off, src } => {
+                let base = self.offset(*off);
+                let v = self.vregs[*src as usize];
+                for (l, lane) in v.iter().enumerate() {
+                    self.store(*tensor, base + l as isize, *lane);
+                }
+            }
+            StTnsrS { tensor, off, src } => {
+                let base = self.offset(*off);
+                let v = self.sregs[*src as usize];
+                self.store(*tensor, base, v);
+            }
+            Loop { counter, start, step, trip, body } => {
+                self.sregs[*counter as usize] = *start;
+                for _ in 0..*trip {
+                    self.exec(body);
+                    self.sregs[*counter as usize] += step;
+                }
+            }
+        }
+    }
+
+    fn vbin(&mut self, dst: u8, a: u8, b: u8, f: impl Fn(f32, f32) -> f32) {
+        for l in 0..VECTOR_LANES {
+            self.vregs[dst as usize][l] =
+                f(self.vregs[a as usize][l], self.vregs[b as usize][l]);
+        }
+    }
+
+    fn vun(&mut self, dst: u8, a: u8, f: impl Fn(&f32) -> f32) {
+        for l in 0..VECTOR_LANES {
+            self.vregs[dst as usize][l] = f(&self.vregs[a as usize][l]);
+        }
+    }
+}
+
+/// Cycle count of one index-space member, using greedy VLIW bundle packing:
+/// an instruction joins the current bundle unless its slot is occupied or it
+/// reads/writes a register touched by the bundle; a bundle's duration is the
+/// longest of its instructions. Loops cost their (static) body cycles per
+/// trip plus sequencer overhead.
+pub fn static_cycles(program: &[Instr], global_access_cycles: f64, special_func_cycles: f64) -> f64 {
+    let mut total = 0.0;
+    let mut used: HashSet<Slot> = HashSet::new();
+    let mut touched: HashSet<(bool, u8)> = HashSet::new();
+    let mut duration = 0.0f64;
+
+    let flush = |used: &mut HashSet<Slot>, touched: &mut HashSet<(bool, u8)>, duration: &mut f64, total: &mut f64| {
+        *total += *duration;
+        used.clear();
+        touched.clear();
+        *duration = 0.0;
+    };
+
+    for instr in program {
+        if let Instr::Loop { trip, body, .. } = instr {
+            flush(&mut used, &mut touched, &mut duration, &mut total);
+            total += instr.cycles(global_access_cycles, special_func_cycles)
+                + *trip as f64 * static_cycles(body, global_access_cycles, special_func_cycles);
+            continue;
+        }
+        let slot = instr.slot();
+        let conflict = used.contains(&slot)
+            || instr.reads().iter().any(|r| touched.contains(r))
+            || instr.writes().map(|w| touched.contains(&w)).unwrap_or(false);
+        if conflict {
+            flush(&mut used, &mut touched, &mut duration, &mut total);
+        }
+        used.insert(slot);
+        for r in instr.reads() {
+            touched.insert(r);
+        }
+        if let Some(w) = instr.writes() {
+            touched.insert(w);
+        }
+        duration = duration.max(instr.cycles(global_access_cycles, special_func_cycles));
+    }
+    total + duration
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instr::*;
+
+    #[test]
+    fn scalar_and_vector_arithmetic() {
+        let outs: &mut [Vec<f32>] = &mut [];
+        let tensors: &[TensorRef] = &[];
+        let mut vm = Vm::new(tensors, outs);
+        vm.exec(&[
+            MovSImm { dst: 0, imm: 3.0 },
+            MovSImm { dst: 1, imm: 4.0 },
+            AddS { dst: 2, a: 0, b: 1 },
+            MulSImm { dst: 3, a: 2, imm: 2.0 },
+            BcastV { dst: 0, src: 3 },
+            AddVImm { dst: 1, a: 0, imm: 1.0 },
+        ]);
+        assert_eq!(vm.sreg(2), 7.0);
+        assert_eq!(vm.sreg(3), 14.0);
+        assert!(vm.vreg(1).iter().all(|&x| x == 15.0));
+    }
+
+    #[test]
+    fn tensor_load_store_roundtrip() {
+        let input: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let tensors = [TensorRef::In(&input), TensorRef::Out(0)];
+        let mut outs = vec![vec![0.0f32; 100]];
+        let mut vm = Vm::new(&tensors, &mut outs);
+        vm.exec(&[
+            MovSImm { dst: 0, imm: 10.0 },
+            LdTnsrV { dst: 0, tensor: 0, off: 0 },
+            MulVImm { dst: 0, a: 0, imm: 2.0 },
+            StTnsrV { tensor: 1, off: 0, src: 0 },
+        ]);
+        assert_eq!(outs[0][10], 20.0);
+        assert_eq!(outs[0][73], 146.0);
+        assert_eq!(outs[0][74], 0.0); // only 64 lanes written
+    }
+
+    #[test]
+    fn out_of_bounds_loads_zero_and_stores_clip() {
+        let input = vec![1.0f32; 8];
+        let tensors = [TensorRef::In(&input), TensorRef::Out(0)];
+        let mut outs = vec![vec![9.0f32; 8]];
+        let mut vm = Vm::new(&tensors, &mut outs);
+        vm.exec(&[
+            MovSImm { dst: 0, imm: 4.0 },
+            LdTnsrV { dst: 0, tensor: 0, off: 0 },
+            RedSumV { dst: 1, src: 0 },
+            StTnsrV { tensor: 1, off: 0, src: 0 },
+        ]);
+        // lanes 0..4 loaded 1.0, rest zero-padded.
+        assert_eq!(vm.sreg(1), 4.0);
+        assert_eq!(outs[0][4], 1.0);
+        assert_eq!(outs[0][7], 1.0);
+    }
+
+    #[test]
+    fn loops_iterate_and_advance_counter() {
+        let tensors: &[TensorRef] = &[];
+        let outs: &mut [Vec<f32>] = &mut [];
+        let mut vm = Vm::new(tensors, outs);
+        // sum 0..5 into S2 using loop counter S1.
+        vm.exec(&[
+            MovSImm { dst: 2, imm: 0.0 },
+            Loop {
+                counter: 1,
+                start: 0.0,
+                step: 1.0,
+                trip: 5,
+                body: vec![AddS { dst: 2, a: 2, b: 1 }],
+            },
+        ]);
+        assert_eq!(vm.sreg(2), 10.0);
+        assert_eq!(vm.sreg(1), 5.0);
+    }
+
+    #[test]
+    fn reductions_and_select() {
+        let tensors: &[TensorRef] = &[];
+        let outs: &mut [Vec<f32>] = &mut [];
+        let mut vm = Vm::new(tensors, outs);
+        vm.exec(&[
+            MovVImm { dst: 0, imm: 2.0 },
+            RedSumV { dst: 0, src: 0 },
+            MovVImm { dst: 1, imm: -1.0 },
+            MovVImm { dst: 2, imm: 5.0 },
+            MovVImm { dst: 3, imm: 7.0 },
+            SelGtzV { dst: 4, cond: 1, a: 2, b: 3 },
+            RedMaxV { dst: 1, src: 4 },
+        ]);
+        assert_eq!(vm.sreg(0), 128.0);
+        assert_eq!(vm.sreg(1), 7.0);
+    }
+
+    #[test]
+    fn bundle_packing_exploits_independent_slots() {
+        // Load + SPU + VPU + Store on disjoint registers -> 1 bundle of 4 cyc
+        // (the load dominates).
+        let prog = vec![
+            MovSImm { dst: 0, imm: 0.0 }, // Load slot
+            AddS { dst: 1, a: 2, b: 3 },  // SPU
+            AddV { dst: 0, a: 1, b: 2 },  // VPU
+            StTnsrS { tensor: 0, off: 4, src: 5 }, // Store
+        ];
+        assert_eq!(static_cycles(&prog, 4.0, 16.0), 4.0);
+    }
+
+    #[test]
+    fn dependent_instructions_serialize() {
+        let prog = vec![
+            MovSImm { dst: 0, imm: 1.0 },
+            AddSImm { dst: 1, a: 0, imm: 1.0 }, // reads S0 written in bundle
+            AddSImm { dst: 2, a: 1, imm: 1.0 }, // reads S1
+        ];
+        assert_eq!(static_cycles(&prog, 4.0, 16.0), 3.0);
+    }
+
+    #[test]
+    fn loop_cycles_scale_with_trip_count() {
+        let body = vec![AddV { dst: 0, a: 1, b: 2 }];
+        let prog = vec![Loop { counter: 1, start: 0.0, step: 1.0, trip: 10, body }];
+        // 2 (sequencer) + 10 * 1.
+        assert_eq!(static_cycles(&prog, 4.0, 16.0), 12.0);
+    }
+
+    #[test]
+    fn same_slot_instructions_serialize() {
+        let prog = vec![
+            AddV { dst: 0, a: 1, b: 2 },
+            AddV { dst: 3, a: 4, b: 5 }, // independent but same VPU slot
+        ];
+        assert_eq!(static_cycles(&prog, 4.0, 16.0), 2.0);
+    }
+}

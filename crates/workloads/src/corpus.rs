@@ -1,0 +1,177 @@
+//! Synthetic BookCorpus: an endless Zipf-distributed token stream with
+//! sentence and document structure.
+
+use crate::zipf::ZipfSampler;
+use gaudi_tensor::SeededRng;
+
+/// Padding token id.
+pub const PAD: u32 = 0;
+/// Classification/start token id.
+pub const CLS: u32 = 1;
+/// Separator/end-of-sentence token id.
+pub const SEP: u32 = 2;
+/// MLM mask token id.
+pub const MASK: u32 = 3;
+/// First ordinary word id.
+pub const FIRST_WORD: u32 = 4;
+
+/// A toy vocabulary mapping word ids to printable surface forms (for
+/// example programs that want to show generated text).
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    size: usize,
+}
+
+impl Vocab {
+    /// Vocabulary of the given total size (including special tokens).
+    pub fn new(size: usize) -> Self {
+        assert!(size > FIRST_WORD as usize, "vocab must hold the special tokens");
+        Vocab { size }
+    }
+
+    /// Total vocabulary size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Surface form of a token id.
+    pub fn surface(&self, id: u32) -> String {
+        match id {
+            PAD => "[PAD]".to_string(),
+            CLS => "[CLS]".to_string(),
+            SEP => "[SEP]".to_string(),
+            MASK => "[MASK]".to_string(),
+            w => format!("w{w}"),
+        }
+    }
+
+    /// Tokenize a whitespace-separated string of surface forms back to ids
+    /// (unknown words hash into the ordinary-word range).
+    pub fn tokenize(&self, text: &str) -> Vec<u32> {
+        text.split_whitespace()
+            .map(|w| match w {
+                "[PAD]" => PAD,
+                "[CLS]" => CLS,
+                "[SEP]" => SEP,
+                "[MASK]" => MASK,
+                w => {
+                    if let Some(rest) = w.strip_prefix('w') {
+                        if let Ok(id) = rest.parse::<u32>() {
+                            if (id as usize) < self.size {
+                                return id;
+                            }
+                        }
+                    }
+                    let mut h = 5381u32;
+                    for b in w.bytes() {
+                        h = h.wrapping_mul(33) ^ b as u32;
+                    }
+                    FIRST_WORD + h % (self.size as u32 - FIRST_WORD)
+                }
+            })
+            .collect()
+    }
+}
+
+/// An endless synthetic document stream.
+pub struct SyntheticBookCorpus {
+    vocab: Vocab,
+    zipf: ZipfSampler,
+    rng: SeededRng,
+}
+
+impl SyntheticBookCorpus {
+    /// Corpus over a vocabulary of `vocab_size` tokens, seeded.
+    pub fn new(vocab_size: usize, seed: u64) -> Self {
+        let vocab = Vocab::new(vocab_size);
+        SyntheticBookCorpus {
+            zipf: ZipfSampler::new(vocab_size - FIRST_WORD as usize, 1.05),
+            vocab,
+            rng: SeededRng::new(seed),
+        }
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Generate one document of roughly `target_tokens` tokens, structured
+    /// as `[CLS] sentence [SEP] sentence [SEP] ...`.
+    pub fn document(&mut self, target_tokens: usize) -> Vec<u32> {
+        let mut doc = Vec::with_capacity(target_tokens + 16);
+        doc.push(CLS);
+        while doc.len() < target_tokens {
+            let sentence_len = 5 + self.rng.below(20);
+            for _ in 0..sentence_len {
+                doc.push(FIRST_WORD + self.zipf.sample(&mut self.rng) as u32);
+            }
+            doc.push(SEP);
+        }
+        doc
+    }
+
+    /// A flat token stream of exactly `n` tokens (documents concatenated).
+    pub fn token_stream(&mut self, n: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let doc = self.document(512.min(n - out.len() + 32));
+            out.extend_from_slice(&doc);
+        }
+        out.truncate(n);
+        out
+    }
+
+    /// Mutable access to the RNG (the batchers reuse it for masking).
+    pub fn rng(&mut self) -> &mut SeededRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_are_structured() {
+        let mut c = SyntheticBookCorpus::new(1000, 7);
+        let doc = c.document(100);
+        assert_eq!(doc[0], CLS);
+        assert!(doc.contains(&SEP));
+        assert!(doc.iter().all(|&t| (t as usize) < 1000));
+        assert!(doc.len() >= 100);
+    }
+
+    #[test]
+    fn stream_has_exact_length_and_zipf_shape() {
+        let mut c = SyntheticBookCorpus::new(500, 8);
+        let stream = c.token_stream(20_000);
+        assert_eq!(stream.len(), 20_000);
+        let mut counts = vec![0usize; 500];
+        for &t in &stream {
+            counts[t as usize] += 1;
+        }
+        // The most common ordinary word should beat the 50th.
+        assert!(counts[FIRST_WORD as usize] > counts[FIRST_WORD as usize + 50]);
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let mut a = SyntheticBookCorpus::new(300, 42);
+        let mut b = SyntheticBookCorpus::new(300, 42);
+        assert_eq!(a.token_stream(1000), b.token_stream(1000));
+    }
+
+    #[test]
+    fn vocab_roundtrip() {
+        let v = Vocab::new(100);
+        assert_eq!(v.surface(MASK), "[MASK]");
+        assert_eq!(v.surface(42), "w42");
+        assert_eq!(v.tokenize("[CLS] w42 [SEP]"), vec![CLS, 42, SEP]);
+        // Unknown words land in the ordinary range deterministically.
+        let t1 = v.tokenize("hello");
+        let t2 = v.tokenize("hello");
+        assert_eq!(t1, t2);
+        assert!(t1[0] >= FIRST_WORD && (t1[0] as usize) < 100);
+    }
+}

@@ -1,0 +1,87 @@
+//! Zipf-distributed sampling via inverse-CDF lookup.
+
+use gaudi_tensor::SeededRng;
+
+/// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Sampler over `n` ranks with exponent `s` (natural language ≈ 1.0).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut SeededRng) -> usize {
+        let u = rng.uniform() as f64;
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = SeededRng::new(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = SeededRng::new(2);
+        let n = 50_000;
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should be roughly twice as frequent as rank 1, and the top
+        // 10 ranks should cover a large share.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[4]);
+        let top10: usize = counts[..10].iter().sum();
+        assert!(top10 as f64 / n as f64 > 0.3, "top-10 share {}", top10 as f64 / n as f64);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = ZipfSampler::new(50, 1.2);
+        let mut a = SeededRng::new(9);
+        let mut b = SeededRng::new(9);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

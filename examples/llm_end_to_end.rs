@@ -1,0 +1,61 @@
+//! End-to-end LLM training step: synthetic BookCorpus in, loss out, with
+//! the simulated hardware trace — the §3.4 experiment as a user would run
+//! it.
+//!
+//! ```sh
+//! cargo run --release --example llm_end_to_end
+//! ```
+
+use habana_gaudi_study::models::bert::{build_bert_mlm, BertConfig};
+use habana_gaudi_study::models::gpt::{build_gpt_lm, causal_mask_tensor, GptConfig};
+use habana_gaudi_study::prelude::*;
+use habana_gaudi_study::profiler::report::trace_summary;
+use habana_gaudi_study::workloads::{clm_batch, mlm_batch, SyntheticBookCorpus};
+
+fn main() {
+    let runtime = Runtime::hls1();
+
+    // ---- Part 1: numerics on a miniature BERT (fits on the host) ----
+    let bert_cfg = BertConfig::tiny();
+    let (graph, built) = build_bert_mlm(&bert_cfg).expect("valid config");
+    let mut corpus = SyntheticBookCorpus::new(bert_cfg.base.vocab, 123);
+    let (ids, labels, stats) =
+        mlm_batch(&mut corpus, bert_cfg.base.batch, bert_cfg.base.seq_len);
+    println!(
+        "BERT-MLM miniature: batch {}x{}, {} positions selected for masking ({} masked / {} random / {} kept)",
+        bert_cfg.base.batch, bert_cfg.base.seq_len, stats.selected, stats.masked,
+        stats.randomized, stats.unchanged
+    );
+    let feeds = Feeds::auto(5).with_input("ids", ids).with_input("labels", labels);
+    let report = runtime.run(&graph, &feeds, NumericsMode::Full).expect("run succeeds");
+    let loss = report.outputs[0].data()[0];
+    println!(
+        "masked-LM loss: {loss:.3} (uniform-guess baseline would be ln(V) = {:.3})\n",
+        (bert_cfg.base.vocab as f32).ln()
+    );
+    let _ = built;
+
+    // ---- Part 2: the same for a miniature GPT with its causal mask ----
+    let gpt_cfg = GptConfig::tiny();
+    let (ggraph, _) = build_gpt_lm(&gpt_cfg).expect("valid config");
+    let mut gcorpus = SyntheticBookCorpus::new(gpt_cfg.base.vocab, 321);
+    let (gids, glabels) = clm_batch(&mut gcorpus, gpt_cfg.base.batch, gpt_cfg.base.seq_len);
+    let gfeeds = Feeds::auto(6)
+        .with_input("ids", gids)
+        .with_input("labels", glabels)
+        .with_input("causal_mask", causal_mask_tensor(gpt_cfg.base.seq_len));
+    let greport = runtime.run(&ggraph, &gfeeds, NumericsMode::Full).expect("run succeeds");
+    println!("GPT causal-LM miniature loss: {:.3}\n", greport.outputs[0].data()[0]);
+
+    // ---- Part 3: the paper-scale profile (timing only) ----
+    for (name, graph) in [
+        ("GPT  (fig. 8 config)", build_gpt_lm(&GptConfig::paper()).expect("builds").0),
+        ("BERT (fig. 9 config)", build_bert_mlm(&BertConfig::paper()).expect("builds").0),
+    ] {
+        let r = runtime
+            .run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly)
+            .expect("run succeeds");
+        println!("== {name}: simulated training step {:.1} ms ==", r.makespan_ms);
+        println!("{}", trace_summary(&r.trace));
+    }
+}

@@ -1,0 +1,43 @@
+//! # habana-gaudi-study
+//!
+//! Umbrella crate re-exporting the whole workspace: a Rust reproduction of
+//! *"Benchmarking and In-depth Performance Study of Large Language Models on
+//! Habana Gaudi Processors"* (SC-W 2023).
+//!
+//! The paper characterizes Transformer and LLM workloads on the Habana Gaudi
+//! accelerator. Since no Gaudi hardware or SDK bindings exist for Rust, this
+//! workspace reproduces the study on a from-scratch **Gaudi-class simulator**:
+//!
+//! * [`tensor`] — CPU tensor numerics (the datapath reference),
+//! * [`hw`] — the hardware model (MME, TPC cluster, DMA, HBM, RoCE),
+//! * [`tpc`] — the TPC VLIW kernel programming model and cycle-counting VM,
+//! * [`graph`] — compute-graph IR with shape inference and autograd,
+//! * [`compiler`] — the SynapseAI-like graph compiler (mapping + scheduling),
+//! * [`runtime`] — plan execution, producing numerics and hardware traces,
+//! * [`profiler`] — trace analysis and rendering,
+//! * [`models`] — attention variants, Transformer layers, BERT and GPT,
+//! * [`workloads`] — synthetic BookCorpus generation and batching.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use gaudi_compiler as compiler;
+pub use gaudi_graph as graph;
+pub use gaudi_hw as hw;
+pub use gaudi_models as models;
+pub use gaudi_profiler as profiler;
+pub use gaudi_runtime as runtime;
+pub use gaudi_tensor as tensor;
+pub use gaudi_tpc as tpc;
+pub use gaudi_workloads as workloads;
+
+/// A convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use gaudi_compiler::{CompilerOptions, GraphCompiler, SchedulerKind};
+    pub use gaudi_graph::{Graph, NodeId, OpKind};
+    pub use gaudi_hw::GaudiConfig;
+    pub use gaudi_models::{ActivationKind, AttentionKind, TransformerLayerConfig};
+    pub use gaudi_profiler::{Trace, TraceAnalysis};
+    pub use gaudi_runtime::{Feeds, NumericsMode, RunReport, Runtime};
+    pub use gaudi_tensor::{DType, SeededRng, Shape, Tensor};
+}

@@ -1,0 +1,148 @@
+//! Integration: mathematical invariants of the three attention mechanisms,
+//! checked through the full graph → compile → interpret pipeline.
+
+use gaudi_graph::Graph;
+use gaudi_models::attention::{build_attention, AttentionKind};
+use gaudi_runtime::{Feeds, NumericsMode, Runtime};
+use gaudi_tensor::{ops, SeededRng, Tensor};
+use proptest::prelude::*;
+
+fn run_attention(kind: AttentionKind, q: &Tensor, k: &Tensor, v: &Tensor) -> Tensor {
+    let mut g = Graph::new();
+    let qn = g.input("q", q.dims()).unwrap();
+    let kn = g.input("k", k.dims()).unwrap();
+    let vn = g.input("v", v.dims()).unwrap();
+    let out = build_attention(&mut g, kind, qn, kn, vn, None).unwrap();
+    g.mark_output(out);
+    let rt = Runtime::hls1();
+    let feeds = Feeds::auto(1)
+        .with_input("q", q.clone())
+        .with_input("k", k.clone())
+        .with_input("v", v.clone());
+    rt.run(&g, &feeds, NumericsMode::Full).unwrap().outputs.remove(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn softmax_attention_output_is_convex_combination_of_values(seed in 0u64..10_000) {
+        let mut rng = SeededRng::new(seed);
+        let q = Tensor::randn(&[1, 2, 8, 4], 1.0, &mut rng).unwrap();
+        let k = Tensor::randn(&[1, 2, 8, 4], 1.0, &mut rng).unwrap();
+        let v = Tensor::randn(&[1, 2, 8, 4], 1.0, &mut rng).unwrap();
+        let out = run_attention(AttentionKind::Softmax, &q, &k, &v);
+        // Per head and per feature, outputs are convex combinations of the
+        // value rows: bounded by per-head min/max of V.
+        for h in 0..2 {
+            for d in 0..4 {
+                let mut vmin = f32::INFINITY;
+                let mut vmax = f32::NEG_INFINITY;
+                for n in 0..8 {
+                    let val = v.at(&[0, h, n, d]);
+                    vmin = vmin.min(val);
+                    vmax = vmax.max(val);
+                }
+                for n in 0..8 {
+                    let o = out.at(&[0, h, n, d]);
+                    prop_assert!(o >= vmin - 1e-4 && o <= vmax + 1e-4,
+                        "h={h} d={d} n={n}: {o} outside [{vmin}, {vmax}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linearized_attentions_are_finite_and_shaped(seed in 0u64..10_000) {
+        let mut rng = SeededRng::new(seed);
+        let q = Tensor::randn(&[1, 2, 8, 4], 0.7, &mut rng).unwrap();
+        let k = Tensor::randn(&[1, 2, 8, 4], 0.7, &mut rng).unwrap();
+        let v = Tensor::randn(&[1, 2, 8, 4], 0.7, &mut rng).unwrap();
+        for kind in [AttentionKind::Linear, AttentionKind::Favor { features: 16 }] {
+            let out = run_attention(kind, &q, &k, &v);
+            prop_assert_eq!(out.dims(), q.dims());
+            prop_assert!(out.all_finite(), "{:?} produced non-finite output", kind);
+        }
+    }
+
+    #[test]
+    fn linear_attention_with_uniform_keys_averages_values(seed in 0u64..10_000) {
+        // With identical keys the normalized linear attention reduces to a
+        // weighted mean independent of position.
+        let mut rng = SeededRng::new(seed);
+        let q = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng).unwrap();
+        let k = Tensor::zeros(&[1, 1, 4, 4]).unwrap(); // phi(0) = 1 for all keys
+        let v = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng).unwrap();
+        let out = run_attention(AttentionKind::Linear, &q, &k, &v);
+        let mean_v = ops::scalar_mul(&ops::sum_last_axis(&v.transpose_last2().unwrap(), false).unwrap(), 0.25);
+        // Every query position gets the same output: the value mean.
+        for n in 0..4 {
+            for d in 0..4 {
+                let o = out.at(&[0, 0, n, d]);
+                let expect = mean_v.at(&[0, 0, d]);
+                prop_assert!((o - expect).abs() < 1e-4, "n={n} d={d}: {o} vs {expect}");
+            }
+        }
+    }
+}
+
+#[test]
+fn full_window_local_attention_equals_global_softmax() {
+    // With window == N, block-local attention computes exactly the global
+    // softmax attention.
+    let mut rng = SeededRng::new(21);
+    let q = Tensor::randn(&[2, 2, 8, 4], 1.0, &mut rng).unwrap();
+    let k = Tensor::randn(&[2, 2, 8, 4], 1.0, &mut rng).unwrap();
+    let v = Tensor::randn(&[2, 2, 8, 4], 1.0, &mut rng).unwrap();
+    let global = run_attention(AttentionKind::Softmax, &q, &k, &v);
+    let local = run_attention(AttentionKind::LocalWindow { window: 8 }, &q, &k, &v);
+    assert!(global.max_abs_diff(&local) < 1e-5);
+}
+
+#[test]
+fn local_window_attention_is_blockwise_convex() {
+    let mut rng = SeededRng::new(22);
+    let q = Tensor::randn(&[1, 1, 8, 4], 1.0, &mut rng).unwrap();
+    let k = Tensor::randn(&[1, 1, 8, 4], 1.0, &mut rng).unwrap();
+    let v = Tensor::randn(&[1, 1, 8, 4], 1.0, &mut rng).unwrap();
+    let out = run_attention(AttentionKind::LocalWindow { window: 4 }, &q, &k, &v);
+    // Each output position mixes only its own block's values.
+    for blk in 0..2 {
+        for d in 0..4 {
+            let mut vmin = f32::INFINITY;
+            let mut vmax = f32::NEG_INFINITY;
+            for n in blk * 4..(blk + 1) * 4 {
+                let val = v.at(&[0, 0, n, d]);
+                vmin = vmin.min(val);
+                vmax = vmax.max(val);
+            }
+            for n in blk * 4..(blk + 1) * 4 {
+                let o = out.at(&[0, 0, n, d]);
+                assert!(o >= vmin - 1e-4 && o <= vmax + 1e-4);
+            }
+        }
+    }
+}
+
+#[test]
+fn softmax_attention_permutation_equivariance() {
+    // Permuting key/value rows together leaves the output unchanged.
+    let mut rng = SeededRng::new(9);
+    let q = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng).unwrap();
+    let k = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng).unwrap();
+    let v = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng).unwrap();
+    let base = run_attention(AttentionKind::Softmax, &q, &k, &v);
+
+    // Reverse the 4 kv rows.
+    let reverse_rows = |t: &Tensor| {
+        let mut data = t.data().to_vec();
+        let d = 4;
+        for n in 0..4 {
+            let src = &t.data()[(3 - n) * d..(4 - n) * d];
+            data[n * d..(n + 1) * d].copy_from_slice(src);
+        }
+        Tensor::from_vec(t.dims(), data).unwrap()
+    };
+    let out = run_attention(AttentionKind::Softmax, &q, &reverse_rows(&k), &reverse_rows(&v));
+    assert!(base.max_abs_diff(&out) < 1e-4);
+}

@@ -1,0 +1,62 @@
+//! Integration: the headline results of every reproduced table/figure hold
+//! end-to-end, exercised through the public crate APIs (not internals).
+
+use gaudi_bench::experiments::layer_figs::{fig4_softmax, fig5_linear, fig6_performer};
+use gaudi_bench::{activation_sweep, llm_experiment, table2, LlmKind};
+use gaudi_compiler::table1;
+use gaudi_hw::EngineId;
+
+#[test]
+fn table1_only_matmul_on_mme() {
+    let rows = table1();
+    assert_eq!(rows.iter().filter(|r| r.mapping == EngineId::Mme).count(), 1);
+    assert_eq!(rows.len(), 9);
+}
+
+#[test]
+fn table2_headline_engine_gap() {
+    let rows = table2();
+    let last = rows.last().unwrap();
+    // "the computational performance of TPC is up to 7x lower than that of MME"
+    assert!(last.speedup > 5.5 && last.speedup < 7.5, "{}", last.speedup);
+    // MME ramps, TPC flat.
+    assert!(rows[0].f_mme < rows[4].f_mme / 4.0);
+    assert!(rows[4].f_tpc / rows[0].f_tpc < 1.5);
+}
+
+#[test]
+fn attention_mechanism_ordering_holds() {
+    let softmax = fig4_softmax().unwrap().total_ms;
+    let linear = fig5_linear().unwrap().total_ms;
+    let performer = fig6_performer().unwrap().total_ms;
+    // The paper's ordering: linear < performer < softmax.
+    assert!(linear < performer, "linear {linear} vs performer {performer}");
+    assert!(performer < softmax, "performer {performer} vs softmax {softmax}");
+    // Rough factors: 6x and 2x in the paper.
+    assert!(softmax / linear > 3.0);
+    assert!(softmax / performer > 1.5);
+}
+
+#[test]
+fn activation_ordering_holds() {
+    let sweep = activation_sweep().unwrap();
+    let get = |n: &str| sweep.iter().find(|(name, _)| name == n).unwrap().1.total_ms;
+    // GLU slowest (recompile stall); the rest clustered.
+    assert!(get("glu") > get("relu"));
+    assert!(get("glu") > get("gelu"));
+    assert!(get("glu") > get("leaky_relu"));
+}
+
+#[test]
+fn llm_profiles_match_section_3_4_narrative() {
+    for kind in [LlmKind::Gpt, LlmKind::Bert] {
+        let fig = llm_experiment(kind).unwrap();
+        assert!(fig.overlap < 0.3, "{:?}: overlap {}", kind, fig.overlap);
+        assert!(fig.mme_gaps > 10, "{:?}: gaps {}", kind, fig.mme_gaps);
+        assert!(fig.fits_hbm, "{:?} must fit the 32 GB device at batch 8", kind);
+    }
+    // GPT's larger vocabulary makes its step slower than BERT's.
+    let gpt = llm_experiment(LlmKind::Gpt).unwrap().total_ms;
+    let bert = llm_experiment(LlmKind::Bert).unwrap().total_ms;
+    assert!(gpt > bert, "gpt {gpt} vs bert {bert}");
+}

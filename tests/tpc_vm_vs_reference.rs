@@ -1,0 +1,117 @@
+//! Property tests: the cycle-counting TPC VM computes the same numbers as
+//! the tensor reference library for every kernel in the library.
+
+use gaudi_hw::config::TpcConfig;
+use gaudi_tensor::{ops, SeededRng, Tensor};
+use gaudi_tpc::kernels;
+use proptest::prelude::*;
+
+fn tensor_from(data: Vec<f32>, rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(&[rows, cols], data).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn softmax_kernel_matches_reference(
+        rows in 1usize..12,
+        cols_v in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let cols = cols_v * 64;
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn(&[rows, cols], 2.0, &mut rng).unwrap();
+        let r = kernels::softmax_rows(&x, &TpcConfig::default()).unwrap();
+        let expect = ops::softmax_last_axis(&x).unwrap();
+        prop_assert!(r.output.max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn row_reductions_match_reference(
+        rows in 1usize..10,
+        cols_v in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let cols = cols_v * 64;
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn(&[rows, cols], 1.0, &mut rng).unwrap();
+        let cfg = TpcConfig::default();
+        let sum = kernels::row_sum(&x, &cfg).unwrap();
+        prop_assert!(sum.output.max_abs_diff(&ops::sum_last_axis(&x, false).unwrap()) < 1e-3);
+        let max = kernels::row_max(&x, &cfg).unwrap();
+        prop_assert!(max.output.max_abs_diff(&ops::max_last_axis(&x, false).unwrap()) < 1e-6);
+    }
+
+    #[test]
+    fn elementwise_kernels_match_reference(
+        n in 1usize..2000,
+        seed in 0u64..10_000,
+        mul in -3.0f32..3.0,
+        add in -3.0f32..3.0,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[n], 1.0, &mut rng).unwrap();
+        let b = Tensor::randn(&[n], 1.0, &mut rng).unwrap();
+        let cfg = TpcConfig::default();
+        let r = kernels::kvec_add(&a, &b, &cfg).unwrap();
+        prop_assert!(r.output.max_abs_diff(&ops::add(&a, &b).unwrap()) < 1e-6);
+        let r = kernels::kvec_mul(&a, &b, &cfg).unwrap();
+        prop_assert!(r.output.max_abs_diff(&ops::mul(&a, &b).unwrap()) < 1e-6);
+        let r = kernels::kscale_add(&a, mul, add, &cfg).unwrap();
+        let expect = ops::scalar_add(&ops::scalar_mul(&a, mul), add);
+        prop_assert!(r.output.max_abs_diff(&expect) < 1e-5);
+        let r = kernels::krelu(&a, &cfg).unwrap();
+        prop_assert!(r.output.max_abs_diff(&ops::relu(&a)) < 1e-7);
+    }
+
+    #[test]
+    fn bmm_kernel_matches_reference(
+        batch in 1usize..4,
+        m in 1usize..12,
+        k in 1usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let n = 64;
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[batch, m, k], 0.5, &mut rng).unwrap();
+        let b = Tensor::randn(&[batch, k, n], 0.5, &mut rng).unwrap();
+        let r = kernels::bmm_tpc(&a, &b, &TpcConfig::default()).unwrap();
+        let expect = ops::bmm(&a, &b).unwrap();
+        prop_assert!(r.output.max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_kernel_matches_reference(
+        rows in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let cols = 128;
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn(&[rows, cols], 3.0, &mut rng).unwrap();
+        let gamma = Tensor::randn(&[cols], 1.0, &mut rng).unwrap();
+        let beta = Tensor::randn(&[cols], 1.0, &mut rng).unwrap();
+        let r = kernels::layernorm_rows(&x, &gamma, &beta, 1e-5, &TpcConfig::default()).unwrap();
+        let expect = ops::layernorm_last_axis(&x, &gamma, &beta, 1e-5).unwrap();
+        prop_assert!(r.output.max_abs_diff(&expect) < 1e-3);
+    }
+}
+
+#[test]
+fn launch_times_monotone_in_problem_size() {
+    // More members can never make a kernel faster.
+    let cfg = TpcConfig::default();
+    let mut last = 0.0f64;
+    for n in [64usize, 512, 4096, 32768] {
+        let x = Tensor::ones(&[n]).unwrap();
+        let r = kernels::krelu(&x, &cfg).unwrap();
+        assert!(r.time_ns >= last);
+        last = r.time_ns;
+    }
+}
+
+#[test]
+fn tensor_from_helper_shapes() {
+    let t = tensor_from(vec![0.0; 12], 3, 4);
+    assert_eq!(t.dims(), &[3, 4]);
+}
