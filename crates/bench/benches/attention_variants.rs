@@ -23,7 +23,9 @@ fn paper_layer_simulation(c: &mut Criterion) {
             let rt = Runtime::new(GaudiConfig::hls1(), CompilerOptions::default());
             b.iter(|| {
                 let (graph, _) = build_transformer_layer(black_box(cfg)).unwrap();
-                rt.run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly).unwrap().makespan_ms
+                rt.run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly)
+                    .unwrap()
+                    .makespan_ms
             });
         });
     }
@@ -45,7 +47,8 @@ fn tiny_layer_full_numerics(c: &mut Criterion) {
             let rt = Runtime::hls1();
             b.iter(|| {
                 let feeds = Feeds::auto(3).with_input("x", x.clone());
-                rt.run(black_box(graph), &feeds, NumericsMode::Full).unwrap()
+                rt.run(black_box(graph), &feeds, NumericsMode::Full)
+                    .unwrap()
             });
         });
     }

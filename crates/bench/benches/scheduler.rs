@@ -9,13 +9,14 @@ use gaudi_models::bert::{build_bert_mlm, BertConfig};
 fn compile_bert(c: &mut Criterion) {
     let (graph, _) = build_bert_mlm(&BertConfig::paper()).unwrap();
     let mut group = c.benchmark_group("compile_bert_training_graph");
-    for (name, kind) in
-        [("inorder", SchedulerKind::InOrder), ("overlap", SchedulerKind::Overlap)]
-    {
+    for (name, kind) in [
+        ("inorder", SchedulerKind::InOrder),
+        ("overlap", SchedulerKind::Overlap),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
             let compiler = GraphCompiler::new(
                 GaudiConfig::hls1(),
-                CompilerOptions { scheduler: kind, ..Default::default() },
+                CompilerOptions::builder().scheduler(kind).build(),
             );
             b.iter(|| compiler.compile(black_box(g)).unwrap().1.makespan_ns);
         });
@@ -25,7 +26,12 @@ fn compile_bert(c: &mut Criterion) {
 
 fn graph_construction(c: &mut Criterion) {
     c.bench_function("build_bert_training_graph", |b| {
-        b.iter(|| build_bert_mlm(black_box(&BertConfig::paper())).unwrap().0.len());
+        b.iter(|| {
+            build_bert_mlm(black_box(&BertConfig::paper()))
+                .unwrap()
+                .0
+                .len()
+        });
     });
 }
 

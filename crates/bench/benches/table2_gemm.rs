@@ -48,5 +48,10 @@ fn table2_regeneration(c: &mut Criterion) {
     c.bench_function("table2_full_regeneration", |b| b.iter(gaudi_bench::table2));
 }
 
-criterion_group!(benches, host_matmul, cost_model_queries, table2_regeneration);
+criterion_group!(
+    benches,
+    host_matmul,
+    cost_model_queries,
+    table2_regeneration
+);
 criterion_main!(benches);

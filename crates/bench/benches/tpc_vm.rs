@@ -42,7 +42,11 @@ fn cycle_counting(c: &mut Criterion) {
         let _ = r;
         // Re-pack a representative straight-line program.
         let prog: Vec<gaudi_tpc::Instr> = (0..64)
-            .map(|i| gaudi_tpc::Instr::AddVImm { dst: (i % 16) as u8, a: ((i + 1) % 16) as u8, imm: 1.0 })
+            .map(|i| gaudi_tpc::Instr::AddVImm {
+                dst: (i % 16) as u8,
+                a: ((i + 1) % 16) as u8,
+                imm: 1.0,
+            })
             .collect();
         b.iter(|| static_cycles(black_box(&prog), 4.0, 20.0));
     });

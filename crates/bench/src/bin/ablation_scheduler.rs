@@ -9,7 +9,12 @@ use gaudi_profiler::report::TextTable;
 fn main() {
     let (inorder, overlap) = scheduler_ablation().expect("ablation runs");
     println!("Ablation A1: scheduler policy on the Performer layer\n");
-    let mut t = TextTable::new(&["Scheduler", "Total (ms)", "MME util", "Longest MME gap (ms)"]);
+    let mut t = TextTable::new(&[
+        "Scheduler",
+        "Total (ms)",
+        "MME util",
+        "Longest MME gap (ms)",
+    ]);
     t.row(&[
         "in-order (SynapseAI-like)".into(),
         ms(inorder.total_ms),

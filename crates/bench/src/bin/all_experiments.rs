@@ -35,7 +35,9 @@ fn main() {
 
     // ---- Table 2 ----
     emit("## Table 2 — MME vs TPC bmm");
-    let mut t = TextTable::new(&["Size", "F_MME", "paper", "F_TPC", "paper", "Speedup", "paper"]);
+    let mut t = TextTable::new(&[
+        "Size", "F_MME", "paper", "F_TPC", "paper", "Speedup", "paper",
+    ]);
     for r in table2() {
         let (_, pf_mme, _, pf_tpc, pspeed) = r.paper;
         t.row(&[
@@ -55,10 +57,38 @@ fn main() {
     let f4 = fig4_softmax().expect("fig4");
     let f5 = fig5_linear().expect("fig5");
     let f6 = fig6_performer().expect("fig6");
-    let mut t = TextTable::new(&["Attention", "Total (ms)", "vs softmax", "paper", "MME util", "softmax%TPC"]);
-    t.row(&["softmax".into(), ms(f4.total_ms), "1.0x".into(), "1.0x".into(), pct(f4.mme_util), pct(f4.softmax_share_of_tpc)]);
-    t.row(&["linear".into(), ms(f5.total_ms), ratio(f4.total_ms / f5.total_ms), ratio(paper::LINEAR_SPEEDUP), pct(f5.mme_util), "-".into()]);
-    t.row(&["performer".into(), ms(f6.total_ms), ratio(f4.total_ms / f6.total_ms), ratio(paper::PERFORMER_SPEEDUP), pct(f6.mme_util), "-".into()]);
+    let mut t = TextTable::new(&[
+        "Attention",
+        "Total (ms)",
+        "vs softmax",
+        "paper",
+        "MME util",
+        "softmax%TPC",
+    ]);
+    t.row(&[
+        "softmax".into(),
+        ms(f4.total_ms),
+        "1.0x".into(),
+        "1.0x".into(),
+        pct(f4.mme_util),
+        pct(f4.softmax_share_of_tpc),
+    ]);
+    t.row(&[
+        "linear".into(),
+        ms(f5.total_ms),
+        ratio(f4.total_ms / f5.total_ms),
+        ratio(paper::LINEAR_SPEEDUP),
+        pct(f5.mme_util),
+        "-".into(),
+    ]);
+    t.row(&[
+        "performer".into(),
+        ms(f6.total_ms),
+        ratio(f4.total_ms / f6.total_ms),
+        ratio(paper::PERFORMER_SPEEDUP),
+        pct(f6.mme_util),
+        "-".into(),
+    ]);
     emit(&t.render());
     emit(&format!(
         "fig4: softmax share of TPC busy = {} (paper: >{}); longest MME gap {} ms\n",
@@ -81,7 +111,14 @@ fn main() {
 
     // ---- Figures 8-9 ----
     emit("## Figures 8-9 — end-to-end LLMs (seq 2048, batch 8, 2 layers)");
-    let mut t = TextTable::new(&["Model", "Step (ms)", "MME util", "TPC util", "Overlap", "Peak HBM (GiB)"]);
+    let mut t = TextTable::new(&[
+        "Model",
+        "Step (ms)",
+        "MME util",
+        "TPC util",
+        "Overlap",
+        "Peak HBM (GiB)",
+    ]);
     for kind in [LlmKind::Gpt, LlmKind::Bert] {
         let f = llm_experiment(kind).expect("llm");
         t.row(&[

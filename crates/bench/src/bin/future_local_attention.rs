@@ -13,12 +13,16 @@ use gaudi_profiler::report::TextTable;
 
 fn main() {
     let base = TransformerLayerConfig::paper_section_3_3();
-    let softmax =
-        layer_experiment("fw-softmax", &base, CompilerOptions::default()).expect("runs");
+    let softmax = layer_experiment("fw-softmax", &base, CompilerOptions::default()).expect("runs");
 
     println!("Future work: block-local windowed attention (seq 2048, batch 128)\n");
-    let mut t =
-        TextTable::new(&["Mechanism", "Total (ms)", "vs softmax", "MME util", "softmax%TPC"]);
+    let mut t = TextTable::new(&[
+        "Mechanism",
+        "Total (ms)",
+        "vs softmax",
+        "MME util",
+        "softmax%TPC",
+    ]);
     t.row(&[
         "softmax (global)".into(),
         ms(softmax.total_ms),
@@ -27,7 +31,9 @@ fn main() {
         pct(softmax.softmax_share_of_tpc),
     ]);
     for window in [512usize, 256, 128, 64] {
-        let cfg = base.clone().with_attention(AttentionKind::LocalWindow { window });
+        let cfg = base
+            .clone()
+            .with_attention(AttentionKind::LocalWindow { window });
         let fig = layer_experiment(
             &format!("fw-local-{window}"),
             &cfg,
@@ -44,11 +50,16 @@ fn main() {
     }
     for (name, kind) in [
         ("linear (elu+1)", AttentionKind::Linear),
-        ("performer", AttentionKind::Favor { features: FAVOR_FEATURES }),
+        (
+            "performer",
+            AttentionKind::Favor {
+                features: FAVOR_FEATURES,
+            },
+        ),
     ] {
         let cfg = base.clone().with_attention(kind);
-        let fig =
-            layer_experiment(&format!("fw-{name}"), &cfg, CompilerOptions::default()).expect("runs");
+        let fig = layer_experiment(&format!("fw-{name}"), &cfg, CompilerOptions::default())
+            .expect("runs");
         t.row(&[
             name.into(),
             ms(fig.total_ms),

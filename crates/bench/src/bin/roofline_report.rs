@@ -12,7 +12,10 @@ fn main() {
     let roofs = vec![
         (
             EngineId::Mme,
-            Roof { peak_gflops: cfg.mme.peak_tflops * 1000.0, peak_gbps: cfg.memory.hbm_bandwidth_gbps },
+            Roof {
+                peak_gflops: cfg.mme.peak_tflops * 1000.0,
+                peak_gbps: cfg.memory.hbm_bandwidth_gbps,
+            },
         ),
         (
             EngineId::TpcCluster,

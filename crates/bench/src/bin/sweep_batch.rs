@@ -16,15 +16,23 @@ fn main() {
 
     println!("Extension: BERT training step vs batch size (seq 2048, 2 layers)\n");
     let mut t = TextTable::new(&[
-        "Batch", "Step (ms)", "Tokens/s", "Peak HBM (GiB)", "Fits 32 GiB",
+        "Batch",
+        "Step (ms)",
+        "Tokens/s",
+        "Peak HBM (GiB)",
+        "Fits 32 GiB",
     ]);
     for batch in [1usize, 2, 4, 8, 16, 32, 64] {
         let cfg = BertConfig {
-            base: LlmConfig { batch, ..LlmConfig::paper_section_3_4(30522) },
+            base: LlmConfig {
+                batch,
+                ..LlmConfig::paper_section_3_4(30522)
+            },
         };
         let (graph, _) = build_bert_mlm(&cfg).expect("builds");
-        let report =
-            rt.run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly).expect("runs");
+        let report = rt
+            .run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly)
+            .expect("runs");
         let tokens = (batch * cfg.base.seq_len) as f64;
         let tokens_per_s = tokens / (report.makespan_ms / 1e3);
         t.row(&[
@@ -32,7 +40,12 @@ fn main() {
             ms(report.makespan_ms),
             format!("{tokens_per_s:.0}"),
             format!("{:.1}", report.peak_hbm_bytes as f64 / (1u64 << 30) as f64),
-            if report.fits_hbm(capacity) { "yes" } else { "NO" }.to_string(),
+            if report.fits_hbm(capacity) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", t.render());

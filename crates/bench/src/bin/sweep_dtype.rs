@@ -18,7 +18,9 @@ fn layer_ms(kind: AttentionKind, dtype: DType) -> f64 {
     let (mut graph, _) = build_transformer_layer(&cfg).expect("builds");
     graph.storage_dtype = dtype;
     let rt = Runtime::new(GaudiConfig::hls1(), CompilerOptions::default());
-    rt.run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly).expect("runs").makespan_ms
+    rt.run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly)
+        .expect("runs")
+        .makespan_ms
 }
 
 fn main() {

@@ -9,7 +9,13 @@ fn main() {
     let lengths = [256, 512, 1024, 2048, 4096, 8192];
     let sweep = seqlen_sweep(&lengths).expect("sweep runs");
     println!("Extension A3: attention mechanisms across sequence length\n");
-    let mut t = TextTable::new(&["Seq len", "Softmax (ms)", "Linear (ms)", "Performer (ms)", "Softmax/Linear"]);
+    let mut t = TextTable::new(&[
+        "Seq len",
+        "Softmax (ms)",
+        "Linear (ms)",
+        "Performer (ms)",
+        "Softmax/Linear",
+    ]);
     let mut csv = String::from("seq_len,softmax_ms,linear_ms,performer_ms\n");
     for p in &sweep {
         t.row(&[

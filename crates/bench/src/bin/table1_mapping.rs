@@ -8,7 +8,11 @@ fn main() {
     println!("Table 1: Operation-Hardware Mapping via SynapseAI (reproduced)\n");
     let mut t = TextTable::new(&["Operation", "Explanation", "Mapping", "Paper"]);
     for row in table1() {
-        let paper = if row.operation == "torch.matmul" { "MME" } else { "TPC" };
+        let paper = if row.operation == "torch.matmul" {
+            "MME"
+        } else {
+            "TPC"
+        };
         t.row(&[
             row.operation.to_string(),
             row.explanation.to_string(),

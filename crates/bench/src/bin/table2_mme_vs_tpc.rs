@@ -7,8 +7,18 @@ use gaudi_profiler::report::TextTable;
 fn main() {
     println!("Table 2: MME vs TPC batched matmul (batch 64), measured vs paper\n");
     let mut t = TextTable::new(&[
-        "Size", "T_MME", "F_MME", "T_TPC", "F_TPC", "Speedup", "|", "paper T_MME", "F_MME",
-        "T_TPC", "F_TPC", "Speedup",
+        "Size",
+        "T_MME",
+        "F_MME",
+        "T_TPC",
+        "F_TPC",
+        "Speedup",
+        "|",
+        "paper T_MME",
+        "F_MME",
+        "T_TPC",
+        "F_TPC",
+        "Speedup",
     ]);
     for r in table2() {
         let (pt_mme, pf_mme, pt_tpc, pf_tpc, pspeed) = r.paper;

@@ -13,13 +13,20 @@ use gaudi_tensor::{Result as TensorResult, TensorError};
 /// A1 — scheduler ablation on the Performer layer: the Figure 6 MME gap,
 /// then the same graph under the overlap-aware scheduler.
 pub fn scheduler_ablation() -> TensorResult<(LayerFigure, LayerFigure)> {
-    let cfg = TransformerLayerConfig::paper_section_3_3()
-        .with_attention(AttentionKind::Favor { features: FAVOR_FEATURES });
-    let inorder = layer_experiment("ablation-performer-inorder", &cfg, CompilerOptions::default())?;
+    let cfg = TransformerLayerConfig::paper_section_3_3().with_attention(AttentionKind::Favor {
+        features: FAVOR_FEATURES,
+    });
+    let inorder = layer_experiment(
+        "ablation-performer-inorder",
+        &cfg,
+        CompilerOptions::default(),
+    )?;
     let overlap = layer_experiment(
         "ablation-performer-overlap",
         &cfg,
-        CompilerOptions { scheduler: SchedulerKind::Overlap, ..Default::default() },
+        CompilerOptions::builder()
+            .scheduler(SchedulerKind::Overlap)
+            .build(),
     )?;
     Ok((inorder, overlap))
 }
@@ -33,18 +40,28 @@ pub fn einsum_ablation() -> TensorResult<(f64, f64)> {
 
     let mut g = Graph::new();
     g.storage_dtype = gaudi_tensor::DType::BF16;
-    let q = g.input("q", &[b, h, n, d]).map_err(|_| TensorError::EmptyTensor)?;
-    let k = g.input("k", &[b, h, n, d]).map_err(|_| TensorError::EmptyTensor)?;
-    let v = g.input("v", &[b, h, n, d]).map_err(|_| TensorError::EmptyTensor)?;
-    let s = g.einsum(EinsumSpec::ScoresQKt, q, k).map_err(|_| TensorError::EmptyTensor)?;
+    let q = g
+        .input("q", &[b, h, n, d])
+        .map_err(|_| TensorError::EmptyTensor)?;
+    let k = g
+        .input("k", &[b, h, n, d])
+        .map_err(|_| TensorError::EmptyTensor)?;
+    let v = g
+        .input("v", &[b, h, n, d])
+        .map_err(|_| TensorError::EmptyTensor)?;
+    let s = g
+        .einsum(EinsumSpec::ScoresQKt, q, k)
+        .map_err(|_| TensorError::EmptyTensor)?;
     let p = g.softmax(s).map_err(|_| TensorError::EmptyTensor)?;
-    let o = g.einsum(EinsumSpec::OutputAv, p, v).map_err(|_| TensorError::EmptyTensor)?;
+    let o = g
+        .einsum(EinsumSpec::OutputAv, p, v)
+        .map_err(|_| TensorError::EmptyTensor)?;
     g.mark_output(o);
 
     let run = |lower: bool| -> f64 {
         let compiler = GraphCompiler::new(
             GaudiConfig::hls1(),
-            CompilerOptions { lower_einsum: lower, ..Default::default() },
+            CompilerOptions::builder().lower_einsum(lower).build(),
         );
         let (_, plan) = compiler.compile(&g).expect("valid graph");
         plan.makespan_ms()
@@ -56,13 +73,14 @@ pub fn einsum_ablation() -> TensorResult<(f64, f64)> {
 /// `scalar_add -> exp` feature-map chains are the fusion targets). Returns
 /// `(unfused, fused)` figures.
 pub fn fusion_ablation() -> TensorResult<(LayerFigure, LayerFigure)> {
-    let cfg = TransformerLayerConfig::paper_section_3_3()
-        .with_attention(AttentionKind::Favor { features: FAVOR_FEATURES });
+    let cfg = TransformerLayerConfig::paper_section_3_3().with_attention(AttentionKind::Favor {
+        features: FAVOR_FEATURES,
+    });
     let unfused = layer_experiment("ablation-fusion-off", &cfg, CompilerOptions::default())?;
     let fused = layer_experiment(
         "ablation-fusion-on",
         &cfg,
-        CompilerOptions { fuse_elementwise: true, ..Default::default() },
+        CompilerOptions::builder().fuse_elementwise(true).build(),
     )?;
     Ok((unfused, fused))
 }
@@ -97,11 +115,18 @@ pub fn seqlen_sweep(lengths: &[usize]) -> TensorResult<Vec<SweepPoint>> {
         .total_ms;
         let performer = layer_experiment(
             "sweep-performer",
-            &base.with_attention(AttentionKind::Favor { features: FAVOR_FEATURES }),
+            &base.with_attention(AttentionKind::Favor {
+                features: FAVOR_FEATURES,
+            }),
             CompilerOptions::default(),
         )?
         .total_ms;
-        out.push(SweepPoint { seq_len: n, softmax_ms: softmax, linear_ms: linear, performer_ms: performer });
+        out.push(SweepPoint {
+            seq_len: n,
+            softmax_ms: softmax,
+            linear_ms: linear,
+            performer_ms: performer,
+        });
     }
     Ok(out)
 }
@@ -120,7 +145,11 @@ pub struct ScaleoutPoint {
 /// A4 — data-parallel scaling of a BERT training step over the HLS-1's
 /// RoCE fabric. `step_compute_ms` is the single-device step time (from
 /// Figure 9's run); `grad_bytes` the gradient volume.
-pub fn scaleout_sweep(step_compute_ms: f64, grad_bytes: u64, worlds: &[usize]) -> Vec<ScaleoutPoint> {
+pub fn scaleout_sweep(
+    step_compute_ms: f64,
+    grad_bytes: u64,
+    worlds: &[usize],
+) -> Vec<ScaleoutPoint> {
     let roce = RoceModel::new(GaudiConfig::hls1().roce);
     worlds
         .iter()
@@ -171,11 +200,17 @@ mod tests {
         // Softmax 4096/512 should grow much faster than linear's.
         let s_ratio = sweep[3].softmax_ms / sweep[0].softmax_ms;
         let l_ratio = sweep[3].linear_ms / sweep[0].linear_ms;
-        assert!(s_ratio > 2.0 * l_ratio, "softmax x{s_ratio} vs linear x{l_ratio}");
+        assert!(
+            s_ratio > 2.0 * l_ratio,
+            "softmax x{s_ratio} vs linear x{l_ratio}"
+        );
         // Crossover: at short lengths the gap is small; at 4096 it is large.
         let short_gap = sweep[0].softmax_ms / sweep[0].linear_ms;
         let long_gap = sweep[3].softmax_ms / sweep[3].linear_ms;
-        assert!(long_gap > 2.0 * short_gap, "short {short_gap} vs long {long_gap}");
+        assert!(
+            long_gap > 2.0 * short_gap,
+            "short {short_gap} vs long {long_gap}"
+        );
     }
 
     #[test]
@@ -199,6 +234,9 @@ mod tests {
         for w in points.windows(2) {
             assert!(w[1].efficiency <= w[0].efficiency);
         }
-        assert!(points[3].efficiency > 0.5, "RoCE should keep BERT steps scalable");
+        assert!(
+            points[3].efficiency > 0.5,
+            "RoCE should keep BERT steps scalable"
+        );
     }
 }

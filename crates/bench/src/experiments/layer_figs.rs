@@ -43,8 +43,7 @@ pub fn layer_experiment(
     cfg: &TransformerLayerConfig,
     opts: CompilerOptions,
 ) -> TensorResult<LayerFigure> {
-    let (graph, _built) =
-        build_transformer_layer(cfg).map_err(|_| TensorError::EmptyTensor)?;
+    let (graph, _built) = build_transformer_layer(cfg).map_err(|_| TensorError::EmptyTensor)?;
     let rt = Runtime::new(GaudiConfig::hls1(), opts);
     let report = rt
         .run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly)
@@ -80,15 +79,15 @@ pub fn fig4_softmax() -> TensorResult<LayerFigure> {
 
 /// Figure 5: Linear-Transformer attention.
 pub fn fig5_linear() -> TensorResult<LayerFigure> {
-    let cfg =
-        TransformerLayerConfig::paper_section_3_3().with_attention(AttentionKind::Linear);
+    let cfg = TransformerLayerConfig::paper_section_3_3().with_attention(AttentionKind::Linear);
     layer_experiment("fig5-linear", &cfg, CompilerOptions::default())
 }
 
 /// Figure 6: Performer (FAVOR) attention.
 pub fn fig6_performer() -> TensorResult<LayerFigure> {
-    let cfg = TransformerLayerConfig::paper_section_3_3()
-        .with_attention(AttentionKind::Favor { features: FAVOR_FEATURES });
+    let cfg = TransformerLayerConfig::paper_section_3_3().with_attention(AttentionKind::Favor {
+        features: FAVOR_FEATURES,
+    });
     layer_experiment("fig6-performer", &cfg, CompilerOptions::default())
 }
 
@@ -102,8 +101,11 @@ pub fn activation_sweep() -> TensorResult<Vec<(String, LayerFigure)>> {
         let cfg = TransformerLayerConfig::paper_section_3_3()
             .with_attention(AttentionKind::Linear)
             .with_activation(act);
-        let fig =
-            layer_experiment(&format!("fig7-{}", act.name()), &cfg, CompilerOptions::default())?;
+        let fig = layer_experiment(
+            &format!("fig7-{}", act.name()),
+            &cfg,
+            CompilerOptions::default(),
+        )?;
         out.push((act.name().to_string(), fig));
     }
     Ok(out)
@@ -169,7 +171,11 @@ mod tests {
         );
         assert!(performer.total_ms > linear.total_ms);
         // The un-overlapped exponentials leave an MME gap.
-        assert!(performer.longest_mme_gap_ms > 0.5, "{}", performer.longest_mme_gap_ms);
+        assert!(
+            performer.longest_mme_gap_ms > 0.5,
+            "{}",
+            performer.longest_mme_gap_ms
+        );
     }
 
     #[test]

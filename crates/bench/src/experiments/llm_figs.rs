@@ -47,11 +47,16 @@ pub struct LlmFigure {
 /// Profile one end-to-end model (paper configuration, training step).
 pub fn llm_experiment(kind: LlmKind) -> TensorResult<LlmFigure> {
     let (graph, name) = match kind {
-        LlmKind::Gpt => {
-            (build_gpt_lm(&GptConfig::paper()).map_err(|_| TensorError::EmptyTensor)?.0, "fig8-gpt")
-        }
+        LlmKind::Gpt => (
+            build_gpt_lm(&GptConfig::paper())
+                .map_err(|_| TensorError::EmptyTensor)?
+                .0,
+            "fig8-gpt",
+        ),
         LlmKind::Bert => (
-            build_bert_mlm(&BertConfig::paper()).map_err(|_| TensorError::EmptyTensor)?.0,
+            build_bert_mlm(&BertConfig::paper())
+                .map_err(|_| TensorError::EmptyTensor)?
+                .0,
             "fig9-bert",
         ),
     };
@@ -91,7 +96,10 @@ mod tests {
         assert!(fig.mme_gaps > 10);
         // "As a result, either MME or TPC is idle" — no good overlap.
         assert!(fig.overlap < 0.3, "overlap {}", fig.overlap);
-        assert!(fig.mme_util + fig.tpc_util < 1.05, "engines mostly mutually exclusive");
+        assert!(
+            fig.mme_util + fig.tpc_util < 1.05,
+            "engines mostly mutually exclusive"
+        );
     }
 
     #[test]
@@ -108,13 +116,20 @@ mod tests {
         assert!(fig.fits_hbm, "peak {} GiB", fig.peak_hbm_bytes >> 30);
         // And it is no small fraction of the device: the paper had to shrink
         // the batch to 8 because memory is tight.
-        assert!(fig.peak_hbm_bytes > 4 << 30, "peak {} GiB", fig.peak_hbm_bytes >> 30);
+        assert!(
+            fig.peak_hbm_bytes > 4 << 30,
+            "peak {} GiB",
+            fig.peak_hbm_bytes >> 30
+        );
     }
 
     #[test]
     fn traces_are_wellformed() {
         let fig = llm_experiment(LlmKind::Gpt).unwrap();
         assert!(fig.trace.check_no_overlap().is_none());
-        assert!(fig.trace.len() > 100, "a 2-layer training step has many ops");
+        assert!(
+            fig.trace.len() > 100,
+            "a 2-layer training step has many ops"
+        );
     }
 }

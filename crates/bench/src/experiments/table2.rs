@@ -53,25 +53,27 @@ pub fn table2() -> Vec<Table2Row> {
     PAPER_TABLE2
         .iter()
         .zip(ITERATIONS.iter())
-        .map(|(&(size, pt_mme, pf_mme, pt_tpc, pf_tpc, pspeed), &iterations)| {
-            let flops_per_iter = MmeModel::gemm_flops(batch, size, size, size);
-            let total_flops = flops_per_iter * iterations as f64;
+        .map(
+            |(&(size, pt_mme, pf_mme, pt_tpc, pf_tpc, pspeed), &iterations)| {
+                let flops_per_iter = MmeModel::gemm_flops(batch, size, size, size);
+                let total_flops = flops_per_iter * iterations as f64;
 
-            let t_mme_ns = mme.gemm_time_ns(batch, size, size, size) * iterations as f64;
-            let t_tpc_ns = tpc.matmul_time_ns(flops_per_iter) * iterations as f64;
+                let t_mme_ns = mme.gemm_time_ns(batch, size, size, size) * iterations as f64;
+                let t_tpc_ns = tpc.matmul_time_ns(flops_per_iter) * iterations as f64;
 
-            Table2Row {
-                size,
-                batch,
-                iterations,
-                t_mme_ms: t_mme_ns / 1e6,
-                f_mme: tflops(total_flops, t_mme_ns),
-                t_tpc_ms: t_tpc_ns / 1e6,
-                f_tpc: tflops(total_flops, t_tpc_ns),
-                speedup: t_tpc_ns / t_mme_ns,
-                paper: (pt_mme, pf_mme, pt_tpc, pf_tpc, pspeed),
-            }
-        })
+                Table2Row {
+                    size,
+                    batch,
+                    iterations,
+                    t_mme_ms: t_mme_ns / 1e6,
+                    f_mme: tflops(total_flops, t_mme_ns),
+                    t_tpc_ms: t_tpc_ns / 1e6,
+                    f_tpc: tflops(total_flops, t_tpc_ns),
+                    speedup: t_tpc_ns / t_mme_ns,
+                    paper: (pt_mme, pf_mme, pt_tpc, pf_tpc, pspeed),
+                }
+            },
+        )
         .collect()
 }
 
@@ -94,7 +96,13 @@ mod tests {
         for r in &rows {
             let (_, pf_mme, ..) = r.paper;
             let rel = (r.f_mme - pf_mme).abs() / pf_mme;
-            assert!(rel < 0.25, "size {}: {} vs paper {}", r.size, r.f_mme, pf_mme);
+            assert!(
+                rel < 0.25,
+                "size {}: {} vs paper {}",
+                r.size,
+                r.f_mme,
+                pf_mme
+            );
         }
     }
 
@@ -102,7 +110,12 @@ mod tests {
     fn tpc_stays_flat_near_2_tflops() {
         let rows = table2();
         for r in &rows {
-            assert!((1.5..2.5).contains(&r.f_tpc), "size {}: {}", r.size, r.f_tpc);
+            assert!(
+                (1.5..2.5).contains(&r.f_tpc),
+                "size {}: {}",
+                r.size,
+                r.f_tpc
+            );
         }
     }
 
@@ -126,8 +139,16 @@ mod tests {
         // within a factor of 2 to catch regressions of the cost model.
         for r in table2() {
             let (pt_mme, _, pt_tpc, ..) = r.paper;
-            assert!(r.t_mme_ms / pt_mme < 2.0 && r.t_mme_ms / pt_mme > 0.5, "{:?}", r);
-            assert!(r.t_tpc_ms / pt_tpc < 2.0 && r.t_tpc_ms / pt_tpc > 0.5, "{:?}", r);
+            assert!(
+                r.t_mme_ms / pt_mme < 2.0 && r.t_mme_ms / pt_mme > 0.5,
+                "{:?}",
+                r
+            );
+            assert!(
+                r.t_tpc_ms / pt_tpc < 2.0 && r.t_tpc_ms / pt_tpc > 0.5,
+                "{:?}",
+                r
+            );
         }
     }
 }

@@ -20,14 +20,21 @@ pub struct OpCost {
 
 impl OpCost {
     fn free() -> Self {
-        OpCost { engine: EngineId::Host, time_ns: 0.0, flops: 0.0, bytes: 0 }
+        OpCost {
+            engine: EngineId::Host,
+            time_ns: 0.0,
+            flops: 0.0,
+            bytes: 0,
+        }
     }
 }
 
 fn matmul_dims(graph: &Graph, node: &Node) -> (usize, usize, usize, usize) {
     // Output is [batch..., m, n]; the contraction length comes from input 0.
     let out = graph.shape(node.id);
-    let (batch, m, n) = out.as_batched_matrix().expect("matmul output is matrix-shaped");
+    let (batch, m, n) = out
+        .as_batched_matrix()
+        .expect("matmul output is matrix-shaped");
     let k = graph.shape(node.inputs[0]).last_dim();
     (batch, m, k, n)
 }
@@ -36,7 +43,11 @@ fn matmul_dims(graph: &Graph, node: &Node) -> (usize, usize, usize, usize) {
 /// once, at the graph's storage dtype.
 fn io_bytes(graph: &Graph, node: &Node) -> u64 {
     let elem = graph.storage_dtype.size_of() as u64;
-    let inputs: u64 = node.inputs.iter().map(|&i| graph.shape(i).numel() as u64).sum();
+    let inputs: u64 = node
+        .inputs
+        .iter()
+        .map(|&i| graph.shape(i).numel() as u64)
+        .sum();
     let output = graph.shape(node.id).numel() as u64;
     (inputs + output) * elem
 }
@@ -83,10 +94,20 @@ pub fn op_cost(graph: &Graph, node: &Node, cfg: &GaudiConfig, lower_einsum: bool
             let (batch, m, k, n) = matmul_dims(graph, node);
             let flops = MmeModel::gemm_flops(batch, m, k, n);
             if engine == EngineId::Mme {
-                OpCost { engine, time_ns: mme.time_for_flops(flops), flops, bytes }
+                OpCost {
+                    engine,
+                    time_ns: mme.time_for_flops(flops),
+                    flops,
+                    bytes,
+                }
             } else {
                 // Fused op fell back to a TPC matmul kernel.
-                OpCost { engine, time_ns: tpc.matmul_time_ns(flops), flops, bytes }
+                OpCost {
+                    engine,
+                    time_ns: tpc.matmul_time_ns(flops),
+                    flops,
+                    bytes,
+                }
             }
         }
         OpKind::FusedElementwise(ops) => {

@@ -163,7 +163,10 @@ mod tests {
         g.mark_output(m);
         let (fused, stats) = fuse_elementwise(&g).unwrap();
         assert_eq!(stats.chains, 1);
-        assert!(fused.nodes().iter().any(|n| matches!(n.kind, OpKind::MatMul)));
+        assert!(fused
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, OpKind::MatMul)));
         fused.validate().unwrap();
     }
 }

@@ -38,7 +38,13 @@ pub use mapping::{engine_for, table1, Table1Row};
 pub use schedule::{ExecutionPlan, GraphCompiler, PlannedOp, SchedulerKind};
 
 /// Compiler configuration knobs (the ablation axes of DESIGN.md §6).
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`CompilerOptions::builder`] (or the `default()`/`idealized()` presets)
+/// so future knobs — e.g. serving's decode-graph caching — are not
+/// breaking changes. Fields stay `pub` for reading.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CompilerOptions {
     /// Scheduling policy.
     pub scheduler: SchedulerKind,
@@ -85,6 +91,77 @@ impl CompilerOptions {
             fuse_elementwise: true,
             dce: true,
         }
+    }
+
+    /// Start a builder from the SynapseAI-like defaults.
+    pub fn builder() -> CompilerOptionsBuilder {
+        CompilerOptionsBuilder {
+            opts: CompilerOptions::default(),
+        }
+    }
+
+    /// Turn this configuration back into a builder to tweak single knobs.
+    pub fn to_builder(&self) -> CompilerOptionsBuilder {
+        CompilerOptionsBuilder { opts: self.clone() }
+    }
+}
+
+/// Builder for [`CompilerOptions`] — the only way to construct non-preset
+/// options outside this crate now that the struct is `#[non_exhaustive]`.
+///
+/// ```
+/// use gaudi_compiler::{CompilerOptions, SchedulerKind};
+/// let opts = CompilerOptions::builder()
+///     .scheduler(SchedulerKind::Overlap)
+///     .fuse_elementwise(true)
+///     .build();
+/// assert_eq!(opts.scheduler, SchedulerKind::Overlap);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompilerOptionsBuilder {
+    opts: CompilerOptions,
+}
+
+impl CompilerOptionsBuilder {
+    /// Select the scheduling policy.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.opts.scheduler = kind;
+        self
+    }
+
+    /// Toggle einsum-to-matmul lowering.
+    pub fn lower_einsum(mut self, on: bool) -> Self {
+        self.opts.lower_einsum = on;
+        self
+    }
+
+    /// Toggle the GLU recompilation stall.
+    pub fn glu_recompile_stall(mut self, on: bool) -> Self {
+        self.opts.glu_recompile_stall = on;
+        self
+    }
+
+    /// Toggle DMA transfer modelling.
+    pub fn model_dma(mut self, on: bool) -> Self {
+        self.opts.model_dma = on;
+        self
+    }
+
+    /// Toggle element-wise fusion.
+    pub fn fuse_elementwise(mut self, on: bool) -> Self {
+        self.opts.fuse_elementwise = on;
+        self
+    }
+
+    /// Toggle dead-code elimination.
+    pub fn dce(mut self, on: bool) -> Self {
+        self.opts.dce = on;
+        self
+    }
+
+    /// Finish, yielding the configured options.
+    pub fn build(self) -> CompilerOptions {
+        self.opts
     }
 }
 

@@ -59,11 +59,21 @@ mod tests {
     fn einsums_disappear_and_matmuls_appear() {
         let (g, _) = attention_graph();
         let lowered = lower_einsum(&g).unwrap();
-        assert!(lowered.nodes().iter().all(|n| !matches!(n.kind, OpKind::Einsum(_))));
-        let matmuls = lowered.nodes().iter().filter(|n| matches!(n.kind, OpKind::MatMul)).count();
+        assert!(lowered
+            .nodes()
+            .iter()
+            .all(|n| !matches!(n.kind, OpKind::Einsum(_))));
+        let matmuls = lowered
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, OpKind::MatMul))
+            .count();
         assert_eq!(matmuls, 2);
-        let transposes =
-            lowered.nodes().iter().filter(|n| matches!(n.kind, OpKind::Transpose)).count();
+        let transposes = lowered
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, OpKind::Transpose))
+            .count();
         assert_eq!(transposes, 1);
         lowered.validate().unwrap();
     }

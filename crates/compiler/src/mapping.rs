@@ -51,7 +51,11 @@ pub fn table1() -> Vec<Table1Row> {
         ("**", "tensor square", OpKind::Square),
         ("tensor +- tensor", "tensor +- tensor", OpKind::Add),
         ("scalar * tensor", "scalar * tensor", OpKind::ScalarMul(2.0)),
-        ("scalar +- tensor", "scalar +- tensor", OpKind::ScalarAdd(2.0)),
+        (
+            "scalar +- tensor",
+            "scalar +- tensor",
+            OpKind::ScalarAdd(2.0),
+        ),
         ("torch.sqrt", "square root", OpKind::Sqrt),
         ("torch.log", "natural logarithm", OpKind::Log),
     ];
@@ -104,8 +108,7 @@ mod tests {
         let rows = table1();
         assert_eq!(rows.len(), 9);
         // Exactly one row (torch.matmul) maps to MME.
-        let mme_rows: Vec<_> =
-            rows.iter().filter(|r| r.mapping == EngineId::Mme).collect();
+        let mme_rows: Vec<_> = rows.iter().filter(|r| r.mapping == EngineId::Mme).collect();
         assert_eq!(mme_rows.len(), 1);
         assert_eq!(mme_rows[0].operation, "torch.matmul");
         // Every other row maps to TPC.

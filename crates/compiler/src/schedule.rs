@@ -88,7 +88,11 @@ impl GraphCompiler {
     /// set) along with the plan, whose node ids refer to that graph.
     pub fn compile(&self, graph: &Graph) -> Result<(Graph, ExecutionPlan), GraphError> {
         graph.validate()?;
-        let mut g = if self.opts.lower_einsum { lower_einsum(graph)? } else { graph.clone() };
+        let mut g = if self.opts.lower_einsum {
+            lower_einsum(graph)?
+        } else {
+            graph.clone()
+        };
         if self.opts.dce {
             g = crate::dce::eliminate_dead_code(&g)?.0;
         }
@@ -204,15 +208,26 @@ impl GraphCompiler {
             last_issue = Some((cost.engine, end));
         }
 
-        let makespan_ns = steps.iter().map(|s| s.start_ns + s.dur_ns).fold(0.0, f64::max);
-        ExecutionPlan { steps, node_end_ns: node_end, makespan_ns }
+        let makespan_ns = steps
+            .iter()
+            .map(|s| s.start_ns + s.dur_ns)
+            .fold(0.0, f64::max);
+        ExecutionPlan {
+            steps,
+            node_end_ns: node_end,
+            makespan_ns,
+        }
     }
 }
 
 impl ExecutionPlan {
     /// Total busy time of an engine lane, ns.
     pub fn engine_busy_ns(&self, engine: EngineId) -> f64 {
-        self.steps.iter().filter(|s| s.engine == engine).map(|s| s.dur_ns).sum()
+        self.steps
+            .iter()
+            .filter(|s| s.engine == engine)
+            .map(|s| s.dur_ns)
+            .sum()
     }
 
     /// Makespan in milliseconds.
@@ -244,7 +259,10 @@ mod tests {
         let g = independent_graph();
         let overlap = GraphCompiler::new(
             GaudiConfig::hls1(),
-            CompilerOptions { scheduler: SchedulerKind::Overlap, ..Default::default() },
+            CompilerOptions {
+                scheduler: SchedulerKind::Overlap,
+                ..Default::default()
+            },
         );
         let inorder = GraphCompiler::synapse_like();
         let (_, p_overlap) = overlap.compile(&g).unwrap();
@@ -268,14 +286,28 @@ mod tests {
         for kind in [SchedulerKind::InOrder, SchedulerKind::Overlap] {
             let c = GraphCompiler::new(
                 GaudiConfig::hls1(),
-                CompilerOptions { scheduler: kind, ..Default::default() },
+                CompilerOptions {
+                    scheduler: kind,
+                    ..Default::default()
+                },
             );
             let (g2, plan) = c.compile(&g).unwrap();
             let find = |id: NodeId| {
-                plan.steps.iter().find(|st| st.node == Some(id)).expect("scheduled")
+                plan.steps
+                    .iter()
+                    .find(|st| st.node == Some(id))
+                    .expect("scheduled")
             };
-            let sm_node = g2.nodes().iter().find(|n| matches!(n.kind, OpKind::Softmax)).unwrap();
-            let mm_node = g2.nodes().iter().find(|n| matches!(n.kind, OpKind::MatMul)).unwrap();
+            let sm_node = g2
+                .nodes()
+                .iter()
+                .find(|n| matches!(n.kind, OpKind::Softmax))
+                .unwrap();
+            let mm_node = g2
+                .nodes()
+                .iter()
+                .find(|n| matches!(n.kind, OpKind::MatMul))
+                .unwrap();
             let mm = find(mm_node.id);
             let sm = find(sm_node.id);
             assert!(sm.start_ns >= mm.start_ns + mm.dur_ns - 1e-6);
@@ -294,7 +326,10 @@ mod tests {
         // With DMA modelling off, no transfer events appear.
         let c = GraphCompiler::new(
             GaudiConfig::hls1(),
-            CompilerOptions { model_dma: false, ..Default::default() },
+            CompilerOptions {
+                model_dma: false,
+                ..Default::default()
+            },
         );
         let (_, plan2) = c.compile(&g).unwrap();
         assert!(plan2.steps.iter().all(|st| st.category != "dma"));
@@ -311,7 +346,11 @@ mod tests {
         g.mark_output(g1);
         g.mark_output(g2);
         let (_, plan) = GraphCompiler::synapse_like().compile(&g).unwrap();
-        let stalls: Vec<_> = plan.steps.iter().filter(|s| s.category == "stall").collect();
+        let stalls: Vec<_> = plan
+            .steps
+            .iter()
+            .filter(|s| s.category == "stall")
+            .collect();
         assert_eq!(stalls.len(), 1);
         assert_eq!(stalls[0].engine, EngineId::Host);
         assert_eq!(stalls[0].dur_ns, GaudiConfig::hls1().recompile_stall_ns);
@@ -327,7 +366,10 @@ mod tests {
 
         let naive = GraphCompiler::new(
             GaudiConfig::hls1(),
-            CompilerOptions { lower_einsum: false, ..Default::default() },
+            CompilerOptions {
+                lower_einsum: false,
+                ..Default::default()
+            },
         );
         let (_, p1) = naive.compile(&g).unwrap();
         assert!(p1.engine_busy_ns(EngineId::Mme) == 0.0);
@@ -335,7 +377,10 @@ mod tests {
 
         let good = GraphCompiler::new(
             GaudiConfig::hls1(),
-            CompilerOptions { lower_einsum: true, ..Default::default() },
+            CompilerOptions {
+                lower_einsum: true,
+                ..Default::default()
+            },
         );
         let (_, p2) = good.compile(&g).unwrap();
         assert!(p2.engine_busy_ns(EngineId::Mme) > 0.0);
@@ -347,8 +392,7 @@ mod tests {
         let g = independent_graph();
         let (_, plan) = GraphCompiler::synapse_like().compile(&g).unwrap();
         for engine in [EngineId::Mme, EngineId::TpcCluster, EngineId::Dma(0)] {
-            let mut evs: Vec<_> =
-                plan.steps.iter().filter(|s| s.engine == engine).collect();
+            let mut evs: Vec<_> = plan.steps.iter().filter(|s| s.engine == engine).collect();
             evs.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
             for w in evs.windows(2) {
                 assert!(w[1].start_ns >= w[0].start_ns + w[0].dur_ns - 1e-6);

@@ -234,7 +234,11 @@ fn reduce_adjoint(
         dims.push(1);
         g.reshape(dy, &dims)?
     };
-    let scaled = if scale == 1.0 { dy_keep } else { g.scalar_mul(dy_keep, scale)? };
+    let scaled = if scale == 1.0 {
+        dy_keep
+    } else {
+        g.scalar_mul(dy_keep, scale)?
+    };
     g.broadcast_to(scaled, &x_dims)
 }
 
@@ -325,7 +329,10 @@ mod tests {
         let loss = g.reduce_sum(sum, false).unwrap();
         let grads = backward(&mut g, loss).unwrap();
         assert_eq!(g.shape(grads[&x]).dims(), &[4, 8]);
-        assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::SoftmaxGrad)));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, OpKind::SoftmaxGrad)));
         assert!(g
             .nodes()
             .iter()
@@ -369,7 +376,10 @@ mod tests {
         let b = g.input("b", &[4]).unwrap();
         let m = g.maximum(a, b).unwrap();
         let loss = g.reduce_sum(m, false).unwrap();
-        assert!(matches!(backward(&mut g, loss), Err(GraphError::Autograd(_))));
+        assert!(matches!(
+            backward(&mut g, loss),
+            Err(GraphError::Autograd(_))
+        ));
     }
 
     #[test]

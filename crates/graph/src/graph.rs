@@ -51,7 +51,11 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::Shape(e) => write!(f, "shape error: {e}"),
             GraphError::UnknownNode(id) => write!(f, "unknown node {id}"),
-            GraphError::Arity { op, expected, actual } => {
+            GraphError::Arity {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op} expects {expected} operands, got {actual}")
             }
             GraphError::Rank { what } => write!(f, "rank constraint violated: {what}"),
@@ -174,10 +178,20 @@ impl Graph {
                 });
             }
         } else if !inputs.is_empty() {
-            return Err(GraphError::Arity { op: kind.label(), expected: 0, actual: inputs.len() });
+            return Err(GraphError::Arity {
+                op: kind.label(),
+                expected: 0,
+                actual: inputs.len(),
+            });
         }
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { id, kind, inputs: inputs.to_vec(), shape, name: name.into() });
+        self.nodes.push(Node {
+            id,
+            kind,
+            inputs: inputs.to_vec(),
+            shape,
+            name: name.into(),
+        });
         Ok(id)
     }
 
@@ -343,7 +357,11 @@ impl Graph {
     pub fn transpose(&mut self, a: NodeId) -> Result<NodeId, GraphError> {
         let s = self.shape(a);
         if s.rank() < 2 {
-            return Err(TensorError::AxisOutOfRange { axis: 1, rank: s.rank() }.into());
+            return Err(TensorError::AxisOutOfRange {
+                axis: 1,
+                rank: s.rank(),
+            }
+            .into());
         }
         let mut dims = s.dims().to_vec();
         let r = dims.len();
@@ -357,12 +375,16 @@ impl Graph {
         let s = self.shape(a);
         let rank = s.rank();
         if order.len() != rank {
-            return Err(GraphError::Rank { what: "permutation length must equal rank" });
+            return Err(GraphError::Rank {
+                what: "permutation length must equal rank",
+            });
         }
         let mut seen = [false; 5];
         for &o in order {
             if o >= rank || seen[o] {
-                return Err(GraphError::Rank { what: "order must be a permutation of axes" });
+                return Err(GraphError::Rank {
+                    what: "order must be a permutation of axes",
+                });
             }
             seen[o] = true;
         }
@@ -375,7 +397,11 @@ impl Graph {
     pub fn reshape(&mut self, a: NodeId, dims: &[usize]) -> Result<NodeId, GraphError> {
         let shape = Shape::new(dims)?;
         if shape.numel() != self.shape(a).numel() {
-            return Err(TensorError::ReshapeMismatch { from: self.shape(a), to: shape }.into());
+            return Err(TensorError::ReshapeMismatch {
+                from: self.shape(a),
+                to: shape,
+            }
+            .into());
         }
         self.push_node(OpKind::Reshape, &[a], shape, "")
     }
@@ -385,7 +411,11 @@ impl Graph {
         let target = Shape::new(dims)?;
         let merged = Shape::broadcast(&self.shape(a), &target)?;
         if merged != target {
-            return Err(TensorError::BroadcastMismatch { lhs: self.shape(a), rhs: target }.into());
+            return Err(TensorError::BroadcastMismatch {
+                lhs: self.shape(a),
+                rhs: target,
+            }
+            .into());
         }
         self.push_node(OpKind::BroadcastTo, &[a], target, "")
     }
@@ -395,7 +425,11 @@ impl Graph {
         let target = Shape::new(dims)?;
         let merged = Shape::broadcast(&self.shape(a), &target)?;
         if merged != self.shape(a) {
-            return Err(TensorError::BroadcastMismatch { lhs: self.shape(a), rhs: target }.into());
+            return Err(TensorError::BroadcastMismatch {
+                lhs: self.shape(a),
+                rhs: target,
+            }
+            .into());
         }
         self.push_node(OpKind::ReduceTo, &[a], target, "")
     }
@@ -432,7 +466,9 @@ impl Graph {
         let t = self.shape(table);
         let i = self.shape(ids);
         if t.rank() != 2 {
-            return Err(GraphError::Rank { what: "embedding table must be rank 2" });
+            return Err(GraphError::Rank {
+                what: "embedding table must be rank 2",
+            });
         }
         let mut dims = i.dims().to_vec();
         dims.push(t.dim(1));
@@ -445,7 +481,9 @@ impl Graph {
         let l = self.shape(logits);
         let t = self.shape(targets);
         if l.rank() != t.rank() + 1 || l.numel() / l.last_dim() != t.numel() {
-            return Err(GraphError::Rank { what: "targets must match logits minus class axis" });
+            return Err(GraphError::Rank {
+                what: "targets must match logits minus class axis",
+            });
         }
         let shape = Shape::new(&[1])?;
         self.push_node(OpKind::CrossEntropy, &[logits, targets], shape, "")
@@ -492,9 +530,12 @@ impl Graph {
 }
 
 fn infer_matmul(a: Shape, b: Shape) -> Result<Shape, GraphError> {
-    let (ab, m, k) = a.as_batched_matrix().ok_or(TensorError::MatmulMismatch { lhs: a, rhs: b })?;
-    let (bb, k2, n) =
-        b.as_batched_matrix().ok_or(TensorError::MatmulMismatch { lhs: a, rhs: b })?;
+    let (ab, m, k) = a
+        .as_batched_matrix()
+        .ok_or(TensorError::MatmulMismatch { lhs: a, rhs: b })?;
+    let (bb, k2, n) = b
+        .as_batched_matrix()
+        .ok_or(TensorError::MatmulMismatch { lhs: a, rhs: b })?;
     if k != k2 || (ab != bb && ab != 1 && bb != 1) {
         return Err(TensorError::MatmulMismatch { lhs: a, rhs: b }.into());
     }

@@ -1,14 +1,12 @@
 //! Hardware configuration and the HLS-1 calibration used by the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Matrix Multiplication Engine parameters.
 ///
 /// Rather than modelling the (undisclosed) systolic-array micro-architecture,
 /// the MME is characterized by its *sustained* GEMM throughput plus two
 /// launch-granularity constants. All three are calibrated directly against
 /// the paper's Table 2 (see `DESIGN.md` §3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MmeConfig {
     /// Sustained large-GEMM throughput in TFLOPS (Table 2 F_MME plateau).
     pub peak_tflops: f64,
@@ -25,12 +23,16 @@ impl Default for MmeConfig {
         //   size  128 -> ~2.35 TFLOPS (min-kernel bound)
         //   size  256 -> ~11.7 TFLOPS (overhead amortizing)
         //   size >=512 -> ~14.4-14.6 TFLOPS (plateau)
-        MmeConfig { peak_tflops: 14.8, launch_overhead_ns: 36_000.0, min_kernel_ns: 114_000.0 }
+        MmeConfig {
+            peak_tflops: 14.8,
+            launch_overhead_ns: 36_000.0,
+            min_kernel_ns: 114_000.0,
+        }
     }
 }
 
 /// Tensor Processing Core cluster parameters (§2.2 of the paper).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TpcConfig {
     /// Number of TPC cores on the die (eight on Gaudi 1).
     pub num_cores: usize,
@@ -78,7 +80,7 @@ impl Default for TpcConfig {
 }
 
 /// Memory-system parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryConfig {
     /// HBM capacity in bytes (32 GB per Gaudi, §3.1).
     pub hbm_capacity_bytes: u64,
@@ -105,7 +107,7 @@ impl Default for MemoryConfig {
 }
 
 /// Scale-out networking parameters (on-chip RoCE v2, §2.1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RoceConfig {
     /// Number of 100 GbE ports dedicated to scale-out (10 on Gaudi 1).
     pub num_ports: usize,
@@ -117,7 +119,11 @@ pub struct RoceConfig {
 
 impl Default for RoceConfig {
     fn default() -> Self {
-        RoceConfig { num_ports: 10, port_gbit_per_s: 100.0, message_latency_ns: 3_000.0 }
+        RoceConfig {
+            num_ports: 10,
+            port_gbit_per_s: 100.0,
+            message_latency_ns: 3_000.0,
+        }
     }
 }
 
@@ -125,7 +131,7 @@ impl Default for RoceConfig {
 ///
 /// `GaudiConfig::hls1()` is the configuration used throughout the
 /// reproduction: one Gaudi of the HLS-1 system the paper benchmarks.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GaudiConfig {
     pub mme: MmeConfig,
     pub tpc: TpcConfig,
@@ -140,7 +146,10 @@ pub struct GaudiConfig {
 impl GaudiConfig {
     /// The calibrated HLS-1 single-Gaudi configuration.
     pub fn hls1() -> Self {
-        GaudiConfig { recompile_stall_ns: 5_500_000.0, ..Default::default() }
+        GaudiConfig {
+            recompile_stall_ns: 5_500_000.0,
+            ..Default::default()
+        }
     }
 
     /// SIMD lanes per TPC core for 4-byte elements.
@@ -178,10 +187,9 @@ mod tests {
     }
 
     #[test]
-    fn config_serializes() {
+    fn config_clones() {
         let c = GaudiConfig::hls1();
-        // serde round-trip through the Debug-independent path is covered by
-        // the derive; here we just assert the structure is serializable.
-        let _cloned = c.clone();
+        let cloned = c.clone();
+        assert!((cloned.mme.peak_tflops - c.mme.peak_tflops).abs() < f64::EPSILON);
     }
 }

@@ -59,7 +59,11 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulated time (the time of the last popped event).
@@ -70,7 +74,11 @@ impl<T> EventQueue<T> {
     /// Schedule `payload` at absolute time `time` (must not be in the past).
     pub fn schedule_at(&mut self, time: f64, payload: T) {
         debug_assert!(time >= self.now, "cannot schedule into the past");
-        self.heap.push(Scheduled { time, seq: self.seq, payload });
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            payload,
+        });
         self.seq += 1;
     }
 

@@ -1,10 +1,8 @@
 //! Identifiers for the compute and transfer engines on the die.
 
-use serde::{Deserialize, Serialize};
-
 /// A hardware execution engine, matching the lanes of a SynapseAI profiler
 /// trace (Figures 4–9 of the paper show one row per engine).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EngineId {
     /// The Matrix Multiplication Engine.
     Mme,
@@ -31,7 +29,12 @@ impl EngineId {
 
     /// All engines that appear in a single-Gaudi trace, in display order.
     pub fn trace_order() -> Vec<EngineId> {
-        vec![EngineId::Mme, EngineId::TpcCluster, EngineId::Dma(0), EngineId::Host]
+        vec![
+            EngineId::Mme,
+            EngineId::TpcCluster,
+            EngineId::Dma(0),
+            EngineId::Host,
+        ]
     }
 
     /// Whether this engine performs numeric computation (vs. data movement

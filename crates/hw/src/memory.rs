@@ -61,14 +61,21 @@ impl std::error::Error for OutOfMemory {}
 impl HbmTracker {
     /// Tracker for a device with the given configuration.
     pub fn new(cfg: &MemoryConfig) -> Self {
-        HbmTracker { capacity: cfg.hbm_capacity_bytes, allocated: 0, peak: 0 }
+        HbmTracker {
+            capacity: cfg.hbm_capacity_bytes,
+            allocated: 0,
+            peak: 0,
+        }
     }
 
     /// Attempt to allocate `bytes`; fails like the real allocator would.
     pub fn allocate(&mut self, bytes: u64) -> Result<(), OutOfMemory> {
         let available = self.capacity - self.allocated;
         if bytes > available {
-            return Err(OutOfMemory { requested: bytes, available });
+            return Err(OutOfMemory {
+                requested: bytes,
+                available,
+            });
         }
         self.allocated += bytes;
         self.peak = self.peak.max(self.allocated);

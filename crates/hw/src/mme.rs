@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn flop_count() {
-        assert_eq!(MmeModel::gemm_flops(64, 128, 128, 128), 64.0 * 2.0 * 128f64.powi(3));
+        assert_eq!(
+            MmeModel::gemm_flops(64, 128, 128, 128),
+            64.0 * 2.0 * 128f64.powi(3)
+        );
     }
 
     #[test]

@@ -151,7 +151,10 @@ mod tests {
         let m = model();
         let e = m.class_time_ns(TpcOpClass::Elementwise(1.0), 1.0e9, 0.0);
         let s = m.class_time_ns(TpcOpClass::Softmax, 1.0e9, 0.0);
-        assert!(s > 10.0 * (e - m.launch_overhead_ns()), "softmax must dominate");
+        assert!(
+            s > 10.0 * (e - m.launch_overhead_ns()),
+            "softmax must dominate"
+        );
     }
 
     #[test]

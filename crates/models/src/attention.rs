@@ -172,7 +172,9 @@ pub fn local_window_attention(
     let dims = g.shape(q).dims().to_vec();
     let (b, h, n, d) = (dims[0], dims[1], dims[2], dims[3]);
     if window == 0 || n % window != 0 {
-        return Err(GraphError::Rank { what: "window must divide the sequence length" });
+        return Err(GraphError::Rank {
+            what: "window must divide the sequence length",
+        });
     }
     let blocks = n / window;
     let fold = |g: &mut Graph, t: NodeId| g.reshape(t, &[b * h * blocks, window, d]);
@@ -258,7 +260,11 @@ mod tests {
         let out = favor_attention(&mut g, q, k, v, 32).unwrap();
         assert_eq!(g.shape(out).dims(), &[2, 3, 16, 8]);
         // Two exponentials (q_prime, k_prime) and a ones_like normalizer.
-        let exps = g.nodes().iter().filter(|n| matches!(n.kind, OpKind::Exp)).count();
+        let exps = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, OpKind::Exp))
+            .count();
         assert_eq!(exps, 2);
         assert!(g.nodes().iter().any(|n| n.name == "ones_like_v"));
         // Final op is a division (att_raw / att_norm).
@@ -290,7 +296,10 @@ mod tests {
         assert_eq!(AttentionKind::Softmax.name(), "softmax");
         assert_eq!(AttentionKind::Linear.name(), "linear");
         assert_eq!(AttentionKind::Favor { features: 4 }.name(), "performer");
-        assert_eq!(AttentionKind::LocalWindow { window: 64 }.name(), "local_window");
+        assert_eq!(
+            AttentionKind::LocalWindow { window: 64 }.name(),
+            "local_window"
+        );
     }
 
     #[test]
@@ -300,7 +309,11 @@ mod tests {
         let out = local_window_attention(&mut g, q, k, v, 4).unwrap();
         assert_eq!(g.shape(out).dims(), &[2, 3, 16, 8]);
         // The softmax operates on [B*H*blocks, W, W] = [24, 4, 4], not NxN.
-        let sm = g.nodes().iter().find(|n| matches!(n.kind, OpKind::Softmax)).unwrap();
+        let sm = g
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, OpKind::Softmax))
+            .unwrap();
         assert_eq!(sm.shape.dims(), &[24, 4, 4]);
         g.validate().unwrap();
     }
@@ -322,7 +335,11 @@ mod tests {
         let (q, k, v) = qkv(&mut g);
         let out = local_window_attention(&mut g, q, k, v, 16).unwrap();
         assert_eq!(g.shape(out).dims(), &[2, 3, 16, 8]);
-        let sm = g.nodes().iter().find(|n| matches!(n.kind, OpKind::Softmax)).unwrap();
+        let sm = g
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, OpKind::Softmax))
+            .unwrap();
         assert_eq!(sm.shape.dims(), &[6, 16, 16]);
     }
 }

@@ -18,12 +18,16 @@ pub struct BertConfig {
 impl BertConfig {
     /// The §3.4 end-to-end configuration with BERT's WordPiece vocabulary.
     pub fn paper() -> Self {
-        BertConfig { base: LlmConfig::paper_section_3_4(30522) }
+        BertConfig {
+            base: LlmConfig::paper_section_3_4(30522),
+        }
     }
 
     /// Host-executable miniature.
     pub fn tiny() -> Self {
-        BertConfig { base: LlmConfig::tiny(101) }
+        BertConfig {
+            base: LlmConfig::tiny(101),
+        }
     }
 }
 
@@ -69,7 +73,11 @@ pub(crate) fn build_encoder_lm(
     let mut h = g.add(tok, pos_table)?;
     h = layernorm(&mut g, h, &format!("{name}.embed_ln"))?;
 
-    let mask = if causal { Some(g.input("causal_mask", &[c.seq_len, c.seq_len])?) } else { None };
+    let mask = if causal {
+        Some(g.input("causal_mask", &[c.seq_len, c.seq_len])?)
+    } else {
+        None
+    };
 
     let layer_cfg = TransformerLayerConfig {
         seq_len: c.seq_len,
@@ -100,7 +108,15 @@ pub(crate) fn build_encoder_lm(
         }
     }
 
-    Ok((g, BuiltLlm { ids, labels, logits, loss }))
+    Ok((
+        g,
+        BuiltLlm {
+            ids,
+            labels,
+            logits,
+            loss,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -124,7 +140,10 @@ mod tests {
         assert!(!g.nodes().iter().any(|n| n.name.contains("layer2")));
         assert!(g.nodes().iter().any(|n| n.name.contains("lm_head")));
         // Training graph: embedding gradient present.
-        assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::EmbeddingGrad)));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, OpKind::EmbeddingGrad)));
     }
 
     #[test]

@@ -156,11 +156,17 @@ mod tests {
     #[test]
     fn paper_configs_match_the_text() {
         let c = TransformerLayerConfig::paper_section_3_3();
-        assert_eq!((c.seq_len, c.batch, c.heads, c.head_dim), (2048, 128, 6, 64));
+        assert_eq!(
+            (c.seq_len, c.batch, c.heads, c.head_dim),
+            (2048, 128, 6, 64)
+        );
         assert_eq!(c.model_dim(), 384);
 
         let l = LlmConfig::paper_section_3_4(30522);
-        assert_eq!((l.seq_len, l.batch, l.layers, l.heads, l.head_dim), (2048, 8, 2, 8, 64));
+        assert_eq!(
+            (l.seq_len, l.batch, l.layers, l.heads, l.head_dim),
+            (2048, 8, 2, 8, 64)
+        );
         assert_eq!(l.model_dim(), 512);
     }
 

@@ -1,0 +1,203 @@
+//! Inference-phase graph builders: prompt prefill and single-token decode.
+//!
+//! Online serving splits every request into two very different workloads:
+//!
+//! * **Prefill** — one forward pass over the whole prompt. Shaped like the
+//!   training forward ([B, N, d] activations), it is MME-heavy: the big
+//!   `[B·N, d] × [d, d]` projections run near the Table 2 GEMM plateau.
+//! * **Decode** — one forward pass per generated token over a *single*
+//!   position, attending to the KV cache. Every projection collapses to a
+//!   batched GEMV (`[B, 1, d] × [d, d]`), which the MME executes at its
+//!   launch-overhead floor while softmax/layernorm TPC work stays roughly
+//!   constant — so the MME/TPC balance shifts exactly as the paper's
+//!   Table 2 small-GEMM measurements predict.
+//!
+//! There is no concatenation operator in the IR, so the decode builder
+//! models the KV cache as *input* tensors of the current context length;
+//! the freshly projected K/V for the current token are marked as outputs
+//! (the cache write-back). Cost-wise this is identical to attending over
+//! `ctx` cached positions.
+
+use crate::attention::softmax_attention;
+use crate::config::LlmConfig;
+use crate::layers::{ffn, layernorm, linear, merge_heads, split_heads};
+use gaudi_graph::{Activation, Graph, GraphError, NodeId};
+
+/// Node handles of a built prefill graph.
+#[derive(Debug, Clone)]
+pub struct BuiltPrefill {
+    /// Token-id input `[B, N]`.
+    pub ids: NodeId,
+    /// Final hidden states `[B, N, d]` (the KV cache + last-position state).
+    pub hidden: NodeId,
+}
+
+/// Node handles of a built decode-step graph.
+#[derive(Debug, Clone)]
+pub struct BuiltDecodeStep {
+    /// Current-token id input `[B, 1]`.
+    pub ids: NodeId,
+    /// Next-token logits `[B, 1, V]`.
+    pub logits: NodeId,
+}
+
+/// Build the prefill graph: embed a `[batch, prompt_len]` prompt and run
+/// the full causal encoder stack, producing the hidden states that seed
+/// the KV cache. The LM head is *not* applied here — the first sampled
+/// token comes out of the first decode step, which is also how
+/// iteration-level serving engines schedule it.
+pub fn build_prefill(
+    cfg: &LlmConfig,
+    batch: usize,
+    prompt_len: usize,
+) -> Result<(Graph, BuiltPrefill), GraphError> {
+    assert!(batch > 0 && prompt_len > 0, "empty prefill");
+    let mut g = Graph::new();
+    g.storage_dtype = gaudi_tensor::DType::F32;
+    let d = cfg.model_dim();
+
+    let ids = g.input("ids", &[batch, prompt_len])?;
+    let tok_table = g.parameter("serve.tok_embed", &[cfg.vocab, d])?;
+    let tok = g.embedding(tok_table, ids)?;
+    g.name_last("tok_embed");
+    let pos_table = g.parameter("serve.pos_embed", &[prompt_len, d])?;
+    let mut h = g.add(tok, pos_table)?;
+    h = layernorm(&mut g, h, "serve.embed_ln")?;
+
+    let mask = g.input("causal_mask", &[prompt_len, prompt_len])?;
+    let layer_cfg = crate::config::TransformerLayerConfig {
+        seq_len: prompt_len,
+        batch,
+        heads: cfg.heads,
+        head_dim: cfg.head_dim,
+        attention: crate::attention::AttentionKind::Softmax,
+        activation: Activation::Gelu,
+        ffn_mult: cfg.ffn_mult,
+        include_ffn: true,
+        training: false,
+    };
+    for l in 0..cfg.layers {
+        h = crate::transformer::transformer_layer(
+            &mut g,
+            h,
+            &layer_cfg,
+            &format!("serve.layer{l}"),
+            Some(mask),
+        )?;
+    }
+    g.mark_output(h);
+    Ok((g, BuiltPrefill { ids, hidden: h }))
+}
+
+/// Build one decode step: a `[batch, 1]` token batch attends to per-layer
+/// KV caches of `ctx_len` positions and produces next-token logits.
+pub fn build_decode_step(
+    cfg: &LlmConfig,
+    batch: usize,
+    ctx_len: usize,
+) -> Result<(Graph, BuiltDecodeStep), GraphError> {
+    assert!(batch > 0 && ctx_len > 0, "empty decode step");
+    let mut g = Graph::new();
+    g.storage_dtype = gaudi_tensor::DType::F32;
+    let d = cfg.model_dim();
+
+    let ids = g.input("ids", &[batch, 1])?;
+    let tok_table = g.parameter("serve.tok_embed", &[cfg.vocab, d])?;
+    let tok = g.embedding(tok_table, ids)?;
+    g.name_last("tok_embed");
+    // One position's worth of positional embedding (gather stand-in).
+    let pos = g.parameter("serve.pos_embed_step", &[1, d])?;
+    let mut h = g.add(tok, pos)?;
+    h = layernorm(&mut g, h, "serve.embed_ln")?;
+
+    for l in 0..cfg.layers {
+        let name = format!("serve.layer{l}");
+        // GEMV-shaped projections for the single current position.
+        let q = linear(&mut g, h, d, d, &format!("{name}.q_proj"))?;
+        let k = linear(&mut g, h, d, d, &format!("{name}.k_proj"))?;
+        let v = linear(&mut g, h, d, d, &format!("{name}.v_proj"))?;
+        let qh = split_heads(&mut g, q, cfg.heads, cfg.head_dim)?;
+        let kh = split_heads(&mut g, k, cfg.heads, cfg.head_dim)?;
+        let vh = split_heads(&mut g, v, cfg.heads, cfg.head_dim)?;
+        // The new K/V rows are written back to the cache.
+        g.mark_output(kh);
+        g.mark_output(vh);
+
+        // Attend over the cached context.
+        let k_cache = g.input(
+            &format!("{name}.k_cache"),
+            &[batch, cfg.heads, ctx_len, cfg.head_dim],
+        )?;
+        let v_cache = g.input(
+            &format!("{name}.v_cache"),
+            &[batch, cfg.heads, ctx_len, cfg.head_dim],
+        )?;
+        let ctx = softmax_attention(&mut g, qh, k_cache, v_cache, None)?;
+        let merged = merge_heads(&mut g, ctx)?;
+        let attn_out = linear(&mut g, merged, d, d, &format!("{name}.out_proj"))?;
+
+        let res1 = g.add(h, attn_out)?;
+        let ln1 = layernorm(&mut g, res1, &format!("{name}.ln1"))?;
+        let f = ffn(
+            &mut g,
+            ln1,
+            d,
+            d * cfg.ffn_mult,
+            Activation::Gelu,
+            &format!("{name}.ffn"),
+        )?;
+        let res2 = g.add(ln1, f)?;
+        h = layernorm(&mut g, res2, &format!("{name}.ln2"))?;
+    }
+
+    // LM head over the single position: `[B, 1, d] × [d, V]`.
+    let logits = linear(&mut g, h, d, cfg.vocab, "serve.lm_head")?;
+    g.mark_output(logits);
+    Ok((g, BuiltDecodeStep { ids, logits }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LlmConfig {
+        LlmConfig::tiny(97)
+    }
+
+    #[test]
+    fn prefill_builds_with_expected_shapes() {
+        let (g, built) = build_prefill(&tiny(), 3, 16).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.shape(built.ids).dims(), &[3, 16]);
+        assert_eq!(g.shape(built.hidden).dims(), &[3, 16, 16]);
+    }
+
+    #[test]
+    fn decode_step_is_single_position() {
+        let (g, built) = build_decode_step(&tiny(), 4, 32).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.shape(built.logits).dims(), &[4, 1, 97]);
+        // The attention score matrix is [B, H, 1, ctx].
+        assert!(g.nodes().iter().any(|n| n.shape.dims() == [4, 2, 1, 32]));
+    }
+
+    #[test]
+    fn decode_marks_cache_writeback_outputs() {
+        let cfg = tiny();
+        let (g, _) = build_decode_step(&cfg, 2, 8).unwrap();
+        // hidden K/V per layer + logits: at least 2*layers + 1 outputs.
+        assert!(g.outputs().len() > 2 * cfg.layers);
+    }
+
+    #[test]
+    fn decode_cost_grows_with_context() {
+        use gaudi_compiler::GraphCompiler;
+        let compiler = GraphCompiler::synapse_like();
+        let cfg = tiny();
+        let (short, _) = build_decode_step(&cfg, 4, 16).unwrap();
+        let (long, _) = build_decode_step(&cfg, 4, 512).unwrap();
+        let (_, p_short) = compiler.compile(&short).unwrap();
+        let (_, p_long) = compiler.compile(&long).unwrap();
+        assert!(p_long.makespan_ns > p_short.makespan_ns);
+    }
+}

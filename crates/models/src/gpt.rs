@@ -16,12 +16,16 @@ pub struct GptConfig {
 impl GptConfig {
     /// The §3.4 end-to-end configuration with GPT-2's vocabulary.
     pub fn paper() -> Self {
-        GptConfig { base: LlmConfig::paper_section_3_4(50257) }
+        GptConfig {
+            base: LlmConfig::paper_section_3_4(50257),
+        }
     }
 
     /// Host-executable miniature.
     pub fn tiny() -> Self {
-        GptConfig { base: LlmConfig::tiny(97) }
+        GptConfig {
+            base: LlmConfig::tiny(97),
+        }
     }
 }
 
@@ -29,7 +33,13 @@ impl GptConfig {
 /// and a decoder, but during training only the decoder portion is utilized"
 /// — i.e. an encoder stack with causal masking, which is what this builds.
 pub fn build_gpt_lm(cfg: &GptConfig) -> Result<(Graph, BuiltLlm), GraphError> {
-    build_encoder_lm(&cfg.base, AttentionKind::Softmax, Activation::Gelu, true, "gpt")
+    build_encoder_lm(
+        &cfg.base,
+        AttentionKind::Softmax,
+        Activation::Gelu,
+        true,
+        "gpt",
+    )
 }
 
 /// The additive causal mask tensor fed to the `causal_mask` input in

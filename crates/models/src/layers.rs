@@ -65,7 +65,11 @@ pub fn ffn(
     let h = linear(g, x, d_model, d_ff, &format!("{name}.fc1"))?;
     let a = g.activation(act, h)?;
     g.name_last(&format!("{name}.{}", act.name()));
-    let second_in = if matches!(act, Activation::Glu) { d_ff / 2 } else { d_ff };
+    let second_in = if matches!(act, Activation::Glu) {
+        d_ff / 2
+    } else {
+        d_ff
+    };
     linear(g, a, second_in, d_model, &format!("{name}.fc2"))
 }
 

@@ -18,6 +18,7 @@
 pub mod attention;
 pub mod bert;
 pub mod config;
+pub mod decode;
 pub mod gpt;
 pub mod layers;
 pub mod transformer;
@@ -25,6 +26,7 @@ pub mod transformer;
 pub use attention::AttentionKind;
 pub use bert::BertConfig;
 pub use config::{LlmConfig, TransformerLayerConfig};
+pub use decode::{build_decode_step, build_prefill, BuiltDecodeStep, BuiltPrefill};
 pub use gpt::GptConfig;
 pub use transformer::build_transformer_layer;
 

@@ -49,7 +49,14 @@ pub fn transformer_layer(
 
     // FFN + residual + LN.
     let d_ff = d_model * cfg.ffn_mult;
-    let f = ffn(g, ln1, d_model, d_ff, cfg.activation, &format!("{name}.ffn"))?;
+    let f = ffn(
+        g,
+        ln1,
+        d_model,
+        d_ff,
+        cfg.activation,
+        &format!("{name}.ffn"),
+    )?;
     let res2 = g.add(ln1, f)?;
     layernorm(g, res2, &format!("{name}.ln2"))
 }
@@ -58,7 +65,9 @@ pub fn transformer_layer(
 ///
 /// With `training` set, a mean-square pseudo-loss and the full backward
 /// graph are appended (the paper profiles training runs).
-pub fn build_transformer_layer(cfg: &TransformerLayerConfig) -> Result<(Graph, BuiltLayer), GraphError> {
+pub fn build_transformer_layer(
+    cfg: &TransformerLayerConfig,
+) -> Result<(Graph, BuiltLayer), GraphError> {
     let mut g = Graph::new();
     g.storage_dtype = gaudi_tensor::DType::BF16;
     let d_model = cfg.model_dim();
@@ -83,7 +92,14 @@ pub fn build_transformer_layer(cfg: &TransformerLayerConfig) -> Result<(Graph, B
         None
     };
 
-    Ok((g, BuiltLayer { input: x, output: out, loss }))
+    Ok((
+        g,
+        BuiltLayer {
+            input: x,
+            output: out,
+            loss,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -123,10 +139,18 @@ mod tests {
         let cfg = TransformerLayerConfig::tiny().with_training(true);
         let (g, built) = build_transformer_layer(&cfg).unwrap();
         assert!(built.loss.is_some());
-        assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::SoftmaxGrad)));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, OpKind::SoftmaxGrad)));
         assert!(g.outputs().len() > 1, "parameter grads are outputs");
-        let fwd_only = build_transformer_layer(&TransformerLayerConfig::tiny()).unwrap().0;
-        assert!(g.len() > 2 * fwd_only.len(), "backward roughly doubles the graph");
+        let fwd_only = build_transformer_layer(&TransformerLayerConfig::tiny())
+            .unwrap()
+            .0;
+        assert!(
+            g.len() > 2 * fwd_only.len(),
+            "backward roughly doubles the graph"
+        );
     }
 
     #[test]

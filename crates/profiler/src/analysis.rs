@@ -64,14 +64,21 @@ impl TraceAnalysis {
             for w in evs.windows(2) {
                 let gap = w[1].start_ns - w[0].end_ns();
                 if gap > 1e-6 {
-                    gaps.push(Gap { start_ns: w[0].end_ns(), dur_ns: gap });
+                    gaps.push(Gap {
+                        start_ns: w[0].end_ns(),
+                        dur_ns: gap,
+                    });
                 }
             }
             gaps.sort_by(|a, b| b.dur_ns.total_cmp(&a.dur_ns));
             engines.push(EngineStats {
                 engine,
                 busy_ns,
-                utilization: if span_ns > 0.0 { busy_ns / span_ns } else { 0.0 },
+                utilization: if span_ns > 0.0 {
+                    busy_ns / span_ns
+                } else {
+                    0.0
+                },
                 gaps,
                 events: evs.len(),
             });
@@ -80,7 +87,11 @@ impl TraceAnalysis {
         for e in trace.events() {
             *op_breakdown.entry(e.name.clone()).or_insert(0.0) += e.dur_ns;
         }
-        TraceAnalysis { span_ns, engines, op_breakdown }
+        TraceAnalysis {
+            span_ns,
+            engines,
+            op_breakdown,
+        }
     }
 
     /// Statistics for one engine, if present in the trace.
@@ -91,8 +102,12 @@ impl TraceAnalysis {
     /// Fraction of an engine's *busy* time spent in operators whose name
     /// contains `needle` (e.g. softmax share of TPC time, Figure 4).
     pub fn op_share_of_engine(&self, trace: &Trace, engine: EngineId, needle: &str) -> f64 {
-        let busy: f64 =
-            trace.events().iter().filter(|e| e.engine == engine).map(|e| e.dur_ns).sum();
+        let busy: f64 = trace
+            .events()
+            .iter()
+            .filter(|e| e.engine == engine)
+            .map(|e| e.dur_ns)
+            .sum();
         if busy <= 0.0 {
             return 0.0;
         }
@@ -121,7 +136,11 @@ impl TraceAnalysis {
 }
 
 fn intervals(trace: &Trace, engine: EngineId) -> Vec<(f64, f64)> {
-    trace.engine_events(engine).iter().map(|e| (e.start_ns, e.end_ns())).collect()
+    trace
+        .engine_events(engine)
+        .iter()
+        .map(|e| (e.start_ns, e.end_ns()))
+        .collect()
 }
 
 fn total_len(iv: &[(f64, f64)]) -> f64 {

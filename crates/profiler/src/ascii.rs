@@ -29,17 +29,17 @@ pub fn render_timeline(trace: &Trace, width: usize) -> String {
         }
         out.push_str(&format!("{:>5} |{}|\n", engine.label(), row));
     }
-    out.push_str(&format!(
-        "{:>5} |{}|\n",
-        "",
-        time_axis(span, width)
-    ));
+    out.push_str(&format!("{:>5} |{}|\n", "", time_axis(span, width)));
     out
 }
 
 fn time_axis(span_ns: f64, width: usize) -> String {
     let total_ms = span_ns / 1e6;
-    let label = format!("0 ms {:>width$.2} ms", total_ms, width = width.saturating_sub(9));
+    let label = format!(
+        "0 ms {:>width$.2} ms",
+        total_ms,
+        width = width.saturating_sub(9)
+    );
     if label.len() > width {
         format!("{:.2} ms total", total_ms)
     } else {
@@ -76,7 +76,13 @@ mod tests {
     fn trace() -> Trace {
         let mut t = Trace::new();
         t.push(TraceEvent::basic("m", "f", EngineId::Mme, 0.0, 50.0));
-        t.push(TraceEvent::basic("s", "f", EngineId::TpcCluster, 50.0, 50.0));
+        t.push(TraceEvent::basic(
+            "s",
+            "f",
+            EngineId::TpcCluster,
+            50.0,
+            50.0,
+        ));
         t
     }
 

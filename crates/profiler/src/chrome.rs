@@ -80,8 +80,20 @@ mod tests {
 
     fn sample() -> Trace {
         let mut t = Trace::new();
-        t.push(TraceEvent::basic("matmul", "fwd", EngineId::Mme, 1000.0, 2000.0));
-        t.push(TraceEvent::basic("softmax \"x\"", "fwd", EngineId::TpcCluster, 3000.0, 500.0));
+        t.push(TraceEvent::basic(
+            "matmul",
+            "fwd",
+            EngineId::Mme,
+            1000.0,
+            2000.0,
+        ));
+        t.push(TraceEvent::basic(
+            "softmax \"x\"",
+            "fwd",
+            EngineId::TpcCluster,
+            3000.0,
+            500.0,
+        ));
         t
     }
 

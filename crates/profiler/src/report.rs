@@ -15,7 +15,10 @@ pub struct TextTable {
 impl TextTable {
     /// Table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).
@@ -62,7 +65,11 @@ impl TextTable {
 pub fn trace_summary(trace: &Trace) -> String {
     let a = TraceAnalysis::of(trace);
     let mut out = String::new();
-    out.push_str(&format!("total time: {:.2} ms over {} events\n", trace.span_ms(), trace.len()));
+    out.push_str(&format!(
+        "total time: {:.2} ms over {} events\n",
+        trace.span_ms(),
+        trace.len()
+    ));
     for e in &a.engines {
         let gap = e.gaps.first().map(|g| g.dur_ns / 1e6).unwrap_or(0.0);
         out.push_str(&format!(
@@ -80,7 +87,10 @@ pub fn trace_summary(trace: &Trace) -> String {
     ));
     let softmax_share = a.op_share_of_engine(trace, EngineId::TpcCluster, "softmax");
     if softmax_share > 0.0 {
-        out.push_str(&format!("  softmax share of TPC busy time: {:.1}%\n", softmax_share * 100.0));
+        out.push_str(&format!(
+            "  softmax share of TPC busy time: {:.1}%\n",
+            softmax_share * 100.0
+        ));
     }
     out
 }
@@ -113,7 +123,13 @@ mod tests {
     fn summary_mentions_engines_and_softmax() {
         let mut t = Trace::new();
         t.push(TraceEvent::basic("matmul", "f", EngineId::Mme, 0.0, 5e6));
-        t.push(TraceEvent::basic("softmax", "f", EngineId::TpcCluster, 5e6, 15e6));
+        t.push(TraceEvent::basic(
+            "softmax",
+            "f",
+            EngineId::TpcCluster,
+            5e6,
+            15e6,
+        ));
         let s = trace_summary(&t);
         assert!(s.contains("MME"));
         assert!(s.contains("TPC"));

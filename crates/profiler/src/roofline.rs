@@ -74,7 +74,9 @@ pub fn roofline(trace: &Trace, roofs: &[(EngineId, Roof)]) -> Vec<RooflinePoint>
         if e.category != "op" {
             continue;
         }
-        let Some(_) = roofs.iter().find(|(eng, _)| *eng == e.engine) else { continue };
+        let Some(_) = roofs.iter().find(|(eng, _)| *eng == e.engine) else {
+            continue;
+        };
         let a = acc.entry((e.name.clone(), e.engine)).or_default();
         a.total_ns += e.dur_ns;
         a.flops += e.flops;
@@ -82,8 +84,16 @@ pub fn roofline(trace: &Trace, roofs: &[(EngineId, Roof)]) -> Vec<RooflinePoint>
     }
     acc.into_iter()
         .map(|((name, engine), a)| {
-            let roof = roofs.iter().find(|(eng, _)| *eng == engine).map(|(_, r)| *r).unwrap();
-            let intensity = if a.bytes > 0.0 { a.flops / a.bytes } else { 0.0 };
+            let roof = roofs
+                .iter()
+                .find(|(eng, _)| *eng == engine)
+                .map(|(_, r)| *r)
+                .unwrap();
+            let intensity = if a.bytes > 0.0 {
+                a.flops / a.bytes
+            } else {
+                0.0
+            };
             let bound = if a.bytes <= 0.0 {
                 Bound::Unknown
             } else if intensity >= roof.ridge() {
@@ -99,7 +109,11 @@ pub fn roofline(trace: &Trace, roofs: &[(EngineId, Roof)]) -> Vec<RooflinePoint>
                 bytes: a.bytes,
                 intensity,
                 // flops / ns == GFLOP/s.
-                achieved_gflops: if a.total_ns > 0.0 { a.flops / a.total_ns } else { 0.0 },
+                achieved_gflops: if a.total_ns > 0.0 {
+                    a.flops / a.total_ns
+                } else {
+                    0.0
+                },
                 bound,
             }
         })
@@ -154,8 +168,20 @@ mod tests {
 
     fn roofs() -> Vec<(EngineId, Roof)> {
         vec![
-            (EngineId::Mme, Roof { peak_gflops: 14_800.0, peak_gbps: 1000.0 }),
-            (EngineId::TpcCluster, Roof { peak_gflops: 2_230.0, peak_gbps: 691.0 }),
+            (
+                EngineId::Mme,
+                Roof {
+                    peak_gflops: 14_800.0,
+                    peak_gbps: 1000.0,
+                },
+            ),
+            (
+                EngineId::TpcCluster,
+                Roof {
+                    peak_gflops: 2_230.0,
+                    peak_gbps: 691.0,
+                },
+            ),
         ]
     }
 
@@ -209,7 +235,10 @@ mod tests {
 
     #[test]
     fn ridge_point() {
-        let r = Roof { peak_gflops: 1000.0, peak_gbps: 100.0 };
+        let r = Roof {
+            peak_gflops: 1000.0,
+            peak_gbps: 100.0,
+        };
         assert_eq!(r.ridge(), 10.0);
     }
 }

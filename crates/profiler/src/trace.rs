@@ -1,8 +1,7 @@
 //! Trace event collection.
 
 use gaudi_hw::EngineId;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One hardware trace event: an engine was busy with `name` from `start_ns`
 /// for `dur_ns` nanoseconds.
@@ -83,8 +82,7 @@ impl Trace {
 
     /// Events on one engine lane, sorted by start time.
     pub fn engine_events(&self, engine: EngineId) -> Vec<&TraceEvent> {
-        let mut evs: Vec<&TraceEvent> =
-            self.events.iter().filter(|e| e.engine == engine).collect();
+        let mut evs: Vec<&TraceEvent> = self.events.iter().filter(|e| e.engine == engine).collect();
         evs.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
         evs
     }
@@ -102,7 +100,10 @@ impl Trace {
 
     /// Trace end time (makespan) in nanoseconds.
     pub fn span_ns(&self) -> f64 {
-        self.events.iter().map(TraceEvent::end_ns).fold(0.0, f64::max)
+        self.events
+            .iter()
+            .map(TraceEvent::end_ns)
+            .fold(0.0, f64::max)
     }
 
     /// Total wall time in milliseconds.
@@ -157,7 +158,10 @@ impl TraceSink {
         start_ns: f64,
         dur_ns: f64,
     ) {
-        self.inner.lock().push(TraceEvent::basic(name, category, engine, start_ns, dur_ns));
+        self.inner
+            .lock()
+            .expect("trace sink poisoned")
+            .push(TraceEvent::basic(name, category, engine, start_ns, dur_ns));
     }
 
     /// Record an event with flop and byte counts (for roofline analysis).
@@ -175,14 +179,14 @@ impl TraceSink {
         let mut ev = TraceEvent::basic(name, category, engine, start_ns, dur_ns);
         ev.flops = flops;
         ev.bytes = bytes;
-        self.inner.lock().push(ev);
+        self.inner.lock().expect("trace sink poisoned").push(ev);
     }
 
     /// Extract the completed trace.
     pub fn finish(self) -> Trace {
         Arc::try_unwrap(self.inner)
-            .map(|m| m.into_inner())
-            .unwrap_or_else(|arc| arc.lock().clone())
+            .map(|m| m.into_inner().expect("trace sink poisoned"))
+            .unwrap_or_else(|arc| arc.lock().expect("trace sink poisoned").clone())
     }
 }
 

@@ -33,9 +33,7 @@ impl From<TensorError> for InterpError {
 /// Evaluate one non-source node given its input tensors.
 pub fn eval_node(_graph: &Graph, node: &Node, inputs: &[&Tensor]) -> Result<Tensor, InterpError> {
     let out = match &node.kind {
-        OpKind::Input | OpKind::Parameter => {
-            return Err(InterpError::Unbound(node.name.clone()))
-        }
+        OpKind::Input | OpKind::Parameter => return Err(InterpError::Unbound(node.name.clone())),
         OpKind::Fill(v) => Tensor::full(node.shape.dims(), *v)?,
         OpKind::MatMul => ops::matmul(inputs[0], inputs[1])?,
         OpKind::Einsum(EinsumSpec::ScoresQKt) => {
@@ -114,7 +112,9 @@ fn eval_fused_unary(op: &OpKind, x: &Tensor) -> Result<Tensor, InterpError> {
         OpKind::Neg => ops::neg(x),
         OpKind::Activation(a) => eval_activation(*a, x)?,
         other => {
-            return Err(InterpError::Unbound(format!("non-unary op {other} in fused chain")))
+            return Err(InterpError::Unbound(format!(
+                "non-unary op {other} in fused chain"
+            )))
         }
     })
 }
@@ -210,7 +210,12 @@ fn concat_last_dim(a: &Tensor, b: &Tensor) -> Result<Tensor, InterpError> {
     Ok(Tensor::from_vec(&dims, out)?)
 }
 
-fn layernorm_grad(x: &Tensor, gamma: &Tensor, dy: &Tensor, eps: f32) -> Result<Tensor, InterpError> {
+fn layernorm_grad(
+    x: &Tensor,
+    gamma: &Tensor,
+    dy: &Tensor,
+    eps: f32,
+) -> Result<Tensor, InterpError> {
     let d = x.shape().last_dim();
     let rows = x.shape().rows();
     let g = gamma.data();
@@ -306,18 +311,16 @@ mod tests {
     use super::*;
     use gaudi_tensor::SeededRng;
 
-    fn finite_diff_check(
-        act: Activation,
-        x0: f32,
-    ) -> (f32, f32) {
+    fn finite_diff_check(act: Activation, x0: f32) -> (f32, f32) {
         let x = Tensor::from_vec(&[2], vec![x0, x0]).unwrap();
         let h = 1e-3f32;
         let xp = Tensor::from_vec(&[2], vec![x0 + h, x0 + h]).unwrap();
         let xm = Tensor::from_vec(&[2], vec![x0 - h, x0 - h]).unwrap();
         let (fp, fm) = match act {
-            Activation::Glu => {
-                (ops::glu(&xp).unwrap().data()[0], ops::glu(&xm).unwrap().data()[0])
-            }
+            Activation::Glu => (
+                ops::glu(&xp).unwrap().data()[0],
+                ops::glu(&xm).unwrap().data()[0],
+            ),
             _ => (
                 eval_activation(act, &xp).unwrap().data()[0],
                 eval_activation(act, &xm).unwrap().data()[0],
@@ -381,7 +384,9 @@ mod tests {
             let mut g2 = Graph::new();
             let yn = g2.input("y", &[1, 6]).unwrap();
             let dyn_ = g2.input("dy", &[1, 6]).unwrap();
-            let n = g2.push_node(OpKind::SoftmaxGrad, &[yn, dyn_], *y.shape(), "").unwrap();
+            let n = g2
+                .push_node(OpKind::SoftmaxGrad, &[yn, dyn_], *y.shape(), "")
+                .unwrap();
             let node = g2.node(n).clone();
             eval_node(&g2, &node, &[&y, &w]).unwrap()
         };
@@ -422,11 +427,14 @@ mod tests {
         let dx = layernorm_grad(&x, &gamma, &w, eps).unwrap();
         let h = 1e-3;
         let loss = |xx: &Tensor| -> f32 {
-            ops::mul(&ops::layernorm_last_axis(xx, &gamma, &beta, eps).unwrap(), &w)
-                .unwrap()
-                .data()
-                .iter()
-                .sum()
+            ops::mul(
+                &ops::layernorm_last_axis(xx, &gamma, &beta, eps).unwrap(),
+                &w,
+            )
+            .unwrap()
+            .data()
+            .iter()
+            .sum()
         };
         for i in 0..8 {
             let mut xp = x.clone();
@@ -458,8 +466,7 @@ mod tests {
 
     #[test]
     fn cross_entropy_perfect_prediction_is_near_zero() {
-        let logits =
-            Tensor::from_vec(&[1, 2, 3], vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0]).unwrap();
+        let logits = Tensor::from_vec(&[1, 2, 3], vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0]).unwrap();
         let targets = Tensor::from_vec(&[1, 2], vec![0.0, 1.0]).unwrap();
         let loss = cross_entropy(&logits, &targets).unwrap();
         assert!(loss.data()[0] < 1e-3);

@@ -34,14 +34,18 @@ pub fn estimate_peak_hbm(graph: &Graph) -> u64 {
     // Parameters first (they are resident before step 0).
     for node in graph.nodes() {
         if matches!(node.kind, OpKind::Parameter) {
-            tracker.allocate(bytes_of(node.id.index())).expect("unbounded tracker");
+            tracker
+                .allocate(bytes_of(node.id.index()))
+                .expect("unbounded tracker");
         }
     }
     for node in graph.nodes() {
         if matches!(node.kind, OpKind::Parameter) {
             continue;
         }
-        tracker.allocate(bytes_of(node.id.index())).expect("unbounded tracker");
+        tracker
+            .allocate(bytes_of(node.id.index()))
+            .expect("unbounded tracker");
         // Free inputs whose last consumer is this node.
         for &i in &node.inputs {
             if last_use[i.index()] == node.id.index()

@@ -30,12 +30,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
     }
 }
 
@@ -52,7 +60,12 @@ impl Optimizer for Sgd {
             .velocity
             .entry(name.to_string())
             .or_insert_with(|| vec![0.0; grad.numel()]);
-        for ((p, g), vi) in param.data_mut().iter_mut().zip(grad.data()).zip(v.iter_mut()) {
+        for ((p, g), vi) in param
+            .data_mut()
+            .iter_mut()
+            .zip(grad.data())
+            .zip(v.iter_mut())
+        {
             *vi = self.momentum * *vi + g;
             *p -= self.lr * *vi;
         }
@@ -78,7 +91,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with the canonical defaults.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 1, m: HashMap::new(), v: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 1,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
     }
 }
 
@@ -86,8 +107,14 @@ impl Optimizer for Adam {
     fn update(&mut self, name: &str, param: &mut Tensor, grad: &Tensor) {
         assert_eq!(param.dims(), grad.dims(), "{name}: grad shape mismatch");
         let n = grad.numel();
-        let m = self.m.entry(name.to_string()).or_insert_with(|| vec![0.0; n]);
-        let v = self.v.entry(name.to_string()).or_insert_with(|| vec![0.0; n]);
+        let m = self
+            .m
+            .entry(name.to_string())
+            .or_insert_with(|| vec![0.0; n]);
+        let v = self
+            .v
+            .entry(name.to_string())
+            .or_insert_with(|| vec![0.0; n]);
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);
         for i in 0..n {

@@ -35,7 +35,11 @@ pub struct Feeds {
 impl Feeds {
     /// No explicit inputs; parameters auto-initialized from `seed`.
     pub fn auto(seed: u64) -> Self {
-        Feeds { inputs: HashMap::new(), seed, param_std: 0.02 }
+        Feeds {
+            inputs: HashMap::new(),
+            seed,
+            param_std: 0.02,
+        }
     }
 
     /// Add a named input tensor.
@@ -128,12 +132,16 @@ pub struct Runtime {
 impl Runtime {
     /// Runtime over an explicit hardware configuration and compiler options.
     pub fn new(cfg: GaudiConfig, opts: CompilerOptions) -> Self {
-        Runtime { compiler: GraphCompiler::new(cfg, opts) }
+        Runtime {
+            compiler: GraphCompiler::new(cfg, opts),
+        }
     }
 
     /// The SynapseAI-like default runtime on HLS-1.
     pub fn hls1() -> Self {
-        Runtime { compiler: GraphCompiler::synapse_like() }
+        Runtime {
+            compiler: GraphCompiler::synapse_like(),
+        }
     }
 
     /// The compiler in use.
@@ -223,7 +231,12 @@ impl Runtime {
                     eval_node(g, node, &inputs)?
                 }
             };
-            debug_assert_eq!(value.dims(), node.shape.dims(), "shape mismatch at {}", node.kind);
+            debug_assert_eq!(
+                value.dims(),
+                node.shape.dims(),
+                "shape mismatch at {}",
+                node.kind
+            );
             values[node.id.index()] = Some(value);
             for &i in &node.inputs {
                 if last_use[i.index()] == node.id.index() {
@@ -295,7 +308,9 @@ mod tests {
         let (feeds, ..) = feeds_for_attention(42);
         let rt = Runtime::hls1();
         let full = rt.run(&g, &feeds, NumericsMode::Full).unwrap();
-        let shape = rt.run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly).unwrap();
+        let shape = rt
+            .run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly)
+            .unwrap();
         assert!(shape.outputs.is_empty());
         assert_eq!(full.makespan_ms, shape.makespan_ms);
         assert_eq!(full.trace.len(), shape.trace.len());
@@ -305,7 +320,9 @@ mod tests {
     fn trace_engines_match_table1_mapping() {
         let g = tiny_attention();
         let rt = Runtime::hls1();
-        let report = rt.run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly).unwrap();
+        let report = rt
+            .run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly)
+            .unwrap();
         for ev in report.trace.events() {
             if ev.category == "dma" {
                 assert_eq!(ev.engine, EngineId::Dma(0));
@@ -350,7 +367,9 @@ mod tests {
         let y = g.activation(Activation::Glu, x).unwrap();
         g.mark_output(y);
         let rt = Runtime::hls1();
-        let report = rt.run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly).unwrap();
+        let report = rt
+            .run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly)
+            .unwrap();
         let a = TraceAnalysis::of(&report.trace);
         assert!(a.op_breakdown.contains_key("recompile(glu)"));
     }
@@ -360,8 +379,14 @@ mod tests {
         let g = tiny_attention();
         let inorder = Runtime::hls1();
         let overlap = Runtime::new(GaudiConfig::hls1(), CompilerOptions::idealized());
-        let t1 = inorder.run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly).unwrap().makespan_ms;
-        let t2 = overlap.run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly).unwrap().makespan_ms;
+        let t1 = inorder
+            .run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly)
+            .unwrap()
+            .makespan_ms;
+        let t2 = overlap
+            .run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly)
+            .unwrap()
+            .makespan_ms;
         assert!(t2 <= t1 + 1e-9);
     }
 
@@ -381,7 +406,7 @@ mod tests {
         let run = |fuse: bool| {
             let rt = Runtime::new(
                 GaudiConfig::hls1(),
-                CompilerOptions { fuse_elementwise: fuse, ..Default::default() },
+                CompilerOptions::builder().fuse_elementwise(fuse).build(),
             );
             let feeds = Feeds::auto(0).with_input("x", input.clone());
             rt.run(&g, &feeds, NumericsMode::Full).unwrap()
@@ -396,10 +421,18 @@ mod tests {
             plain.makespan_ms
         );
         // One op event instead of four.
-        let fused_ops =
-            fused.trace.events().iter().filter(|e| e.category == "op").count();
-        let plain_ops =
-            plain.trace.events().iter().filter(|e| e.category == "op").count();
+        let fused_ops = fused
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.category == "op")
+            .count();
+        let plain_ops = plain
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.category == "op")
+            .count();
         assert_eq!(plain_ops, 4);
         assert_eq!(fused_ops, 1);
     }
@@ -408,7 +441,9 @@ mod tests {
     fn peak_hbm_reported() {
         let g = tiny_attention();
         let rt = Runtime::hls1();
-        let report = rt.run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly).unwrap();
+        let report = rt
+            .run(&g, &Feeds::auto(0), NumericsMode::ShapeOnly)
+            .unwrap();
         assert!(report.peak_hbm_bytes > 0);
         assert!(report.fits_hbm(32 << 30));
     }

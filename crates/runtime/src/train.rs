@@ -48,7 +48,12 @@ impl Trainer {
             };
             params.insert(node.name.clone(), t);
         }
-        Trainer { graph, runtime, param_ids, params }
+        Trainer {
+            graph,
+            runtime,
+            param_ids,
+            params,
+        }
     }
 
     /// Current parameter values.
@@ -77,7 +82,10 @@ impl Trainer {
             opt.update(&name, theta, grad);
         }
         opt.next_step();
-        Ok(StepReport { loss, makespan_ms: report.makespan_ms })
+        Ok(StepReport {
+            loss,
+            makespan_ms: report.makespan_ms,
+        })
     }
 
     fn run(&self, batch: &[(String, Tensor)]) -> Result<crate::runtime::RunReport, RuntimeError> {

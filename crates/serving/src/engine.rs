@@ -1,0 +1,419 @@
+//! The serving engine: continuous batching at decode-step boundaries.
+//!
+//! The simulator advances a single device clock through an
+//! iteration-level (Orca-style) schedule:
+//!
+//! 1. ingest arrivals into a FIFO admission queue;
+//! 2. at every step boundary, admit queued requests while the decode
+//!    batch has a slot *and* the KV accountant accepts the request's
+//!    worst-case reservation (otherwise: backpressure — the request
+//!    waits, it is never dropped);
+//! 3. admission runs the request's prefill as a dedicated phase (the
+//!    engine is busy for its full duration);
+//! 4. one decode step advances *every* running request by one token;
+//!    requests that reach their output length retire at the boundary and
+//!    free their KV reservation immediately, opening slots for the queue.
+//!
+//! Every phase is priced by the [`CostModel`](crate::cost::CostModel), so
+//! the same §3.3/§3.4 hardware calibration that reproduces the paper's
+//! training figures also sets TTFT and per-token latency here.
+
+use crate::cost::CostModel;
+use crate::error::ServingError;
+use crate::kv::{kv_bytes_per_token, weight_bytes, KvAccountant};
+use crate::report::{Percentiles, RequestOutcome, ServingReport};
+use crate::request::{generate_requests, Request, TrafficConfig};
+use gaudi_compiler::CompilerOptions;
+use gaudi_hw::{EngineId, GaudiConfig};
+use gaudi_models::LlmConfig;
+use gaudi_profiler::trace::TraceEvent;
+use gaudi_profiler::Trace;
+use gaudi_tensor::DType;
+use std::collections::VecDeque;
+
+/// Full configuration of a serving simulation.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// The model being served (its `batch`/`seq_len`/`training` fields are
+    /// ignored; serving shapes phases itself).
+    pub model: LlmConfig,
+    /// Request-stream parameters.
+    pub traffic: TrafficConfig,
+    /// Maximum decode batch size (continuous-batching slot count).
+    pub max_batch: usize,
+    /// Context-length bucket for the decode-graph cache, tokens.
+    pub ctx_bucket: usize,
+    /// KV-cache element type.
+    pub kv_dtype: DType,
+    /// Hardware model.
+    pub hw: GaudiConfig,
+    /// Compiler options used to cost every phase.
+    pub opts: CompilerOptions,
+}
+
+impl ServingConfig {
+    /// Serve the paper's §3.4 GPT configuration (2 layers, d=512). Tiny by
+    /// modern standards — its KV cache almost never pressures 32 GB.
+    pub fn paper_gpt() -> Self {
+        let mut model = LlmConfig::paper_section_3_4(50257);
+        model.training = false;
+        ServingConfig {
+            model,
+            traffic: TrafficConfig::default(),
+            max_batch: 8,
+            ctx_bucket: 128,
+            kv_dtype: DType::F32,
+            hw: GaudiConfig::hls1(),
+            opts: CompilerOptions::default(),
+        }
+    }
+
+    /// A GPT-2-XL-class model (48 layers, d=1600): heavy enough that KV
+    /// reservations contend for the 32 GB device and admission
+    /// backpressure actually engages.
+    pub fn gpt2_xl() -> Self {
+        let model = LlmConfig {
+            vocab: 50257,
+            seq_len: 2048,
+            batch: 1,
+            layers: 48,
+            heads: 25,
+            head_dim: 64,
+            ffn_mult: 4,
+            training: false,
+        };
+        ServingConfig {
+            model,
+            traffic: TrafficConfig::default(),
+            max_batch: 16,
+            ctx_bucket: 128,
+            kv_dtype: DType::F32,
+            hw: GaudiConfig::hls1(),
+            opts: CompilerOptions::default(),
+        }
+    }
+
+    /// Largest prompt+output the traffic model can emit, tokens.
+    fn max_request_tokens(&self) -> usize {
+        self.traffic.prompt_range.1 + self.traffic.output_range.1
+    }
+}
+
+/// A request currently holding a decode slot.
+#[derive(Debug)]
+struct Active {
+    req: Request,
+    /// Tokens visible to attention (prompt + generated so far).
+    ctx: usize,
+    generated: usize,
+    outcome: RequestOutcome,
+}
+
+/// Run a serving simulation to completion.
+///
+/// Identical configurations (including `traffic.seed`) produce identical
+/// reports: the simulation is a deterministic function of its inputs.
+pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
+    if cfg.max_batch == 0 {
+        return Err(ServingError::InvalidConfig(
+            "max_batch must be at least 1".into(),
+        ));
+    }
+    if cfg.traffic.num_requests == 0 {
+        return Err(ServingError::InvalidConfig(
+            "traffic.num_requests must be positive".into(),
+        ));
+    }
+
+    let max_positions = cfg.max_request_tokens();
+    let weights = weight_bytes(&cfg.model, max_positions, cfg.kv_dtype);
+    let per_token = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+    let mut kv = KvAccountant::new(&cfg.hw.memory, weights, per_token)
+        .map_err(ServingError::WeightsDontFit)?;
+
+    let mut cost = CostModel::new(
+        cfg.model.clone(),
+        cfg.hw.clone(),
+        cfg.opts.clone(),
+        cfg.ctx_bucket,
+    );
+
+    let requests = generate_requests(&cfg.traffic);
+    // Reject outright only what can never fit; everything else queues.
+    for r in &requests {
+        if r.total_tokens() as u64 > kv.max_admissible_tokens() {
+            return Err(ServingError::RequestTooLarge {
+                id: r.id,
+                tokens: r.total_tokens(),
+                max_tokens: kv.max_admissible_tokens(),
+            });
+        }
+    }
+
+    let mut pending: VecDeque<Request> = requests.into_iter().collect();
+    let mut waiting: VecDeque<Request> = VecDeque::new();
+    let mut running: Vec<Active> = Vec::new();
+    let mut done: Vec<RequestOutcome> = Vec::new();
+
+    let mut clock_ms = 0.0f64;
+    let mut mme_busy_ns = 0.0f64;
+    let mut tpc_busy_ns = 0.0f64;
+    let mut dma_busy_ns = 0.0f64;
+    let mut decode_steps = 0usize;
+    let mut prefills = 0usize;
+    let mut backpressure_stalls = 0usize;
+    let mut max_queue_depth = 0usize;
+    let mut trace = Trace::new();
+
+    let total = pending.len();
+    while done.len() < total {
+        // 1. Ingest everything that has arrived by now.
+        while pending.front().is_some_and(|r| r.arrival_ms() <= clock_ms) {
+            waiting.push_back(pending.pop_front().unwrap());
+        }
+        max_queue_depth = max_queue_depth.max(waiting.len());
+
+        // 2. Admit from the queue while slots and KV reservations allow.
+        while running.len() < cfg.max_batch {
+            let Some(front) = waiting.front() else { break };
+            if kv.try_reserve(front.total_tokens()).is_err() {
+                backpressure_stalls += 1;
+                break; // FIFO: wait for retirements, do not starve the head.
+            }
+            let req = waiting.pop_front().unwrap();
+            let queue_ms = clock_ms - req.arrival_ms();
+            let c = cost.prefill(1, req.prompt_len)?;
+            record_phase(&mut trace, "prefill", clock_ms, &c);
+            clock_ms += c.ms;
+            mme_busy_ns += c.mme_busy_ns;
+            tpc_busy_ns += c.tpc_busy_ns;
+            dma_busy_ns += c.dma_busy_ns;
+            prefills += 1;
+            running.push(Active {
+                ctx: req.prompt_len,
+                generated: 0,
+                outcome: RequestOutcome {
+                    id: req.id,
+                    arrival_ms: req.arrival_ms(),
+                    prompt_len: req.prompt_len,
+                    output_len: req.output_len,
+                    queue_ms,
+                    ttft_ms: 0.0,
+                    finish_ms: 0.0,
+                    token_times_ms: Vec::with_capacity(req.output_len),
+                },
+                req,
+            });
+        }
+
+        // 3. Nothing running: jump the clock to the next arrival.
+        if running.is_empty() {
+            let Some(next) = pending.front() else {
+                debug_assert!(
+                    waiting.is_empty(),
+                    "queued requests can always be admitted into an idle engine"
+                );
+                break;
+            };
+            clock_ms = clock_ms.max(next.arrival_ms());
+            continue;
+        }
+
+        // 4. One decode step advances every running request by one token.
+        let batch = running.len();
+        let max_ctx = running
+            .iter()
+            .map(|a| a.ctx)
+            .max()
+            .expect("non-empty batch");
+        let c = cost.decode(batch, max_ctx)?;
+        record_phase(&mut trace, "decode", clock_ms, &c);
+        clock_ms += c.ms;
+        mme_busy_ns += c.mme_busy_ns;
+        tpc_busy_ns += c.tpc_busy_ns;
+        dma_busy_ns += c.dma_busy_ns;
+        decode_steps += 1;
+
+        let mut i = 0;
+        while i < running.len() {
+            let a = &mut running[i];
+            a.generated += 1;
+            a.ctx += 1;
+            if a.generated == 1 {
+                a.outcome.ttft_ms = clock_ms - a.req.arrival_ms();
+            }
+            a.outcome.token_times_ms.push(clock_ms);
+            if a.generated == a.req.output_len {
+                let mut finished = running.swap_remove(i);
+                finished.outcome.finish_ms = clock_ms;
+                kv.release(finished.req.total_tokens());
+                done.push(finished.outcome);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    done.sort_by_key(|o| o.id);
+    let span_ns = clock_ms * 1e6;
+    let generated_tokens: usize = done.iter().map(|o| o.output_len).sum();
+
+    let ttft = Percentiles::of(done.iter().map(|o| o.ttft_ms));
+    let tpot = Percentiles::of(done.iter().flat_map(|o| {
+        o.token_times_ms
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect::<Vec<_>>()
+    }));
+    let queue = Percentiles::of(done.iter().map(|o| o.queue_ms));
+
+    Ok(ServingReport {
+        completed: done,
+        makespan_ms: clock_ms,
+        ttft_ms: ttft,
+        tpot_ms: tpot,
+        queue_ms: queue,
+        goodput_tokens_per_s: generated_tokens as f64 / (clock_ms / 1e3),
+        mme_utilization: if span_ns > 0.0 {
+            mme_busy_ns / span_ns
+        } else {
+            0.0
+        },
+        tpc_utilization: if span_ns > 0.0 {
+            tpc_busy_ns / span_ns
+        } else {
+            0.0
+        },
+        dma_utilization: if span_ns > 0.0 {
+            dma_busy_ns / span_ns
+        } else {
+            0.0
+        },
+        decode_steps,
+        prefills,
+        backpressure_stalls,
+        max_queue_depth,
+        kv_peak_bytes: kv.peak(),
+        kv_capacity_bytes: kv.capacity(),
+        compiled_graphs: cost.compiled_graphs(),
+        trace,
+    })
+}
+
+/// Append one trace event per busy engine for a phase, so the report's
+/// timeline renders through the standard profiler tooling.
+fn record_phase(trace: &mut Trace, name: &str, start_ms: f64, c: &crate::cost::PhaseCost) {
+    let start_ns = start_ms * 1e6;
+    for (engine, busy) in [
+        (EngineId::Mme, c.mme_busy_ns),
+        (EngineId::TpcCluster, c.tpc_busy_ns),
+        (EngineId::Dma(0), c.dma_busy_ns),
+    ] {
+        if busy > 0.0 {
+            trace.push(TraceEvent::basic(name, "serving", engine, start_ns, busy));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ServingConfig {
+        let mut model = LlmConfig::tiny(97);
+        model.training = false;
+        ServingConfig {
+            model,
+            traffic: TrafficConfig {
+                arrival_rate_per_s: 50.0,
+                num_requests: 30,
+                prompt_range: (8, 64),
+                output_range: (4, 16),
+                zipf_s: 1.1,
+                seed: 7,
+            },
+            max_batch: 4,
+            ctx_bucket: 32,
+            kv_dtype: DType::F32,
+            hw: GaudiConfig::hls1(),
+            opts: CompilerOptions::default(),
+        }
+    }
+
+    #[test]
+    fn completes_every_request_exactly_once() {
+        let r = simulate(&tiny_config()).unwrap();
+        assert_eq!(r.completed.len(), 30);
+        for (i, o) in r.completed.iter().enumerate() {
+            assert_eq!(o.id, i as u64);
+            assert_eq!(o.token_times_ms.len(), o.output_len);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_identical_reports() {
+        let a = simulate(&tiny_config()).unwrap();
+        let b = simulate(&tiny_config()).unwrap();
+        assert_eq!(a.makespan_ms, b.makespan_ms);
+        assert_eq!(a.ttft_ms.p99, b.ttft_ms.p99);
+        assert_eq!(a.goodput_tokens_per_s, b.goodput_tokens_per_s);
+        assert_eq!(a.decode_steps, b.decode_steps);
+    }
+
+    #[test]
+    fn token_times_are_strictly_increasing() {
+        let r = simulate(&tiny_config()).unwrap();
+        for o in &r.completed {
+            for w in o.token_times_ms.windows(2) {
+                assert!(w[0] < w[1], "token order violated for request {}", o.id);
+            }
+            assert!(o.ttft_ms > 0.0);
+            assert!(o.finish_ms >= o.arrival_ms + o.ttft_ms);
+        }
+    }
+
+    #[test]
+    fn kv_peak_never_exceeds_capacity() {
+        let r = simulate(&tiny_config()).unwrap();
+        assert!(r.kv_peak_bytes <= r.kv_capacity_bytes);
+    }
+
+    #[test]
+    fn impossible_request_is_rejected_up_front() {
+        let mut cfg = tiny_config();
+        // Leave KV room for 50 tokens; the worst-case request needs 64+16.
+        let weights = weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
+        let per_tok = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+        cfg.hw.memory.hbm_capacity_bytes = weights + per_tok * 50;
+        let err = simulate(&cfg);
+        assert!(matches!(err, Err(ServingError::RequestTooLarge { .. })));
+    }
+
+    #[test]
+    fn tighter_memory_causes_backpressure_not_overflow() {
+        let mut cfg = tiny_config();
+        // Narrow the length ranges so the worst-case request (24 tokens)
+        // fits, but two typical requests already crowd a 30-token device.
+        cfg.traffic.prompt_range = (8, 16);
+        cfg.traffic.output_range = (4, 8);
+        let weights = weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
+        let per_tok = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+        cfg.hw.memory.hbm_capacity_bytes = weights + per_tok * 30;
+        let r = simulate(&cfg).unwrap();
+        assert_eq!(r.completed.len(), 30, "backpressure must not drop requests");
+        assert!(r.backpressure_stalls > 0, "expected KV admission stalls");
+        assert!(r.kv_peak_bytes <= r.kv_capacity_bytes);
+    }
+
+    #[test]
+    fn larger_batch_does_not_hurt_goodput() {
+        let mut small = tiny_config();
+        small.max_batch = 1;
+        let mut big = tiny_config();
+        big.max_batch = 8;
+        let rs = simulate(&small).unwrap();
+        let rb = simulate(&big).unwrap();
+        assert!(rb.goodput_tokens_per_s >= rs.goodput_tokens_per_s * 0.99);
+        assert!(rb.makespan_ms <= rs.makespan_ms * 1.01);
+    }
+}

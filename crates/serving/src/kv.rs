@@ -1,0 +1,144 @@
+//! KV-cache HBM accounting with admission backpressure.
+//!
+//! Decode-phase attention reads every previously-cached key/value row, so a
+//! request's KV footprint is `2 · layers · heads · head_dim · tokens`
+//! elements and lives until the request completes. The accountant charges
+//! the modelled 32 GB device (§3.4) with resident model weights plus a
+//! *worst-case* reservation (`prompt + output` tokens) per admitted
+//! request — reserving up front is what makes the capacity invariant
+//! airtight: a request that is admitted can always finish, and a request
+//! that would overflow is queued (backpressure) instead of OOM-ing
+//! mid-generation.
+
+use gaudi_hw::config::MemoryConfig;
+use gaudi_hw::memory::{HbmTracker, OutOfMemory};
+use gaudi_models::LlmConfig;
+use gaudi_tensor::DType;
+
+/// Bytes of KV cache per token for a model (keys + values, all layers).
+pub fn kv_bytes_per_token(model: &LlmConfig, dtype: DType) -> u64 {
+    2 * model.layers as u64 * model.model_dim() as u64 * dtype.size_of() as u64
+}
+
+/// Bytes of resident model weights (embeddings, per-layer projections and
+/// norms, LM head tied to the token embedding).
+pub fn weight_bytes(model: &LlmConfig, max_positions: usize, dtype: DType) -> u64 {
+    let d = model.model_dim() as u64;
+    let d_ff = d * model.ffn_mult as u64;
+    let embed = model.vocab as u64 * d + max_positions as u64 * d;
+    // q/k/v/out projections + biases, two layernorms, two FFN projections.
+    let per_layer = 4 * (d * d + d) + 2 * 2 * d + (d * d_ff + d_ff) + (d_ff * d + d);
+    (embed + model.layers as u64 * per_layer + 2 * d) * dtype.size_of() as u64
+}
+
+/// Tracks KV-cache reservations against device HBM.
+#[derive(Debug, Clone)]
+pub struct KvAccountant {
+    tracker: HbmTracker,
+    bytes_per_token: u64,
+    weight_bytes: u64,
+}
+
+impl KvAccountant {
+    /// Accountant for a device, with `weight_bytes` of model parameters
+    /// made resident up front. Fails if the weights alone overflow HBM.
+    pub fn new(
+        mem: &MemoryConfig,
+        weight_bytes: u64,
+        bytes_per_token: u64,
+    ) -> Result<Self, OutOfMemory> {
+        assert!(bytes_per_token > 0, "KV rows cannot be zero-sized");
+        let mut tracker = HbmTracker::new(mem);
+        tracker.allocate(weight_bytes)?;
+        Ok(KvAccountant {
+            tracker,
+            bytes_per_token,
+            weight_bytes,
+        })
+    }
+
+    /// Reserve the full KV footprint of a request (`tokens` = prompt +
+    /// output). Fails — leaving the accountant unchanged — when the
+    /// reservation would exceed device capacity; the scheduler turns that
+    /// into admission backpressure.
+    pub fn try_reserve(&mut self, tokens: usize) -> Result<(), OutOfMemory> {
+        self.tracker.allocate(tokens as u64 * self.bytes_per_token)
+    }
+
+    /// Release a completed request's reservation.
+    pub fn release(&mut self, tokens: usize) {
+        self.tracker.free(tokens as u64 * self.bytes_per_token);
+    }
+
+    /// Bytes currently reserved (weights + live KV).
+    pub fn allocated(&self) -> u64 {
+        self.tracker.allocated()
+    }
+
+    /// High-water mark in bytes.
+    pub fn peak(&self) -> u64 {
+        self.tracker.peak()
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.tracker.capacity()
+    }
+
+    /// KV bytes per cached token.
+    pub fn bytes_per_token(&self) -> u64 {
+        self.bytes_per_token
+    }
+
+    /// Largest request (in total tokens) this device can ever admit.
+    pub fn max_admissible_tokens(&self) -> u64 {
+        (self.capacity() - self.weight_bytes) / self.bytes_per_token
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(cap: u64) -> MemoryConfig {
+        MemoryConfig {
+            hbm_capacity_bytes: cap,
+            ..MemoryConfig::default()
+        }
+    }
+
+    #[test]
+    fn paper_model_kv_row_size() {
+        // 2 layers * 512 model dim * 2 (K and V) * 4 bytes = 8 KiB/token.
+        let m = LlmConfig::paper_section_3_4(50257);
+        assert_eq!(kv_bytes_per_token(&m, DType::F32), 8192);
+    }
+
+    #[test]
+    fn reserve_release_roundtrip() {
+        let mut acc = KvAccountant::new(&mem(1 << 20), 1 << 16, 256).unwrap();
+        let before = acc.allocated();
+        acc.try_reserve(100).unwrap();
+        assert_eq!(acc.allocated(), before + 100 * 256);
+        acc.release(100);
+        assert_eq!(acc.allocated(), before);
+        assert!(acc.peak() >= before + 100 * 256);
+    }
+
+    #[test]
+    fn overflow_is_rejected_not_exceeded() {
+        let mut acc = KvAccountant::new(&mem(1 << 20), 0, 1024).unwrap();
+        // Capacity is 1024 tokens worth; reserve most of it.
+        acc.try_reserve(1000).unwrap();
+        let err = acc.try_reserve(100).unwrap_err();
+        assert_eq!(err.available, 24 * 1024);
+        // Failed reservation must not change accounting.
+        assert_eq!(acc.allocated(), 1000 * 1024);
+        assert!(acc.allocated() <= acc.capacity());
+    }
+
+    #[test]
+    fn weights_that_overflow_fail_construction() {
+        assert!(KvAccountant::new(&mem(1 << 20), 2 << 20, 1).is_err());
+    }
+}

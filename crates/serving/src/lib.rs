@@ -1,0 +1,54 @@
+//! # gaudi-serving — simulated multi-tenant LLM inference serving
+//!
+//! An online-serving layer over the Gaudi performance model: a seeded
+//! request stream (Poisson arrivals, Zipf prompt/output lengths) is pushed
+//! through a continuous-batching scheduler whose every phase — prefill and
+//! decode alike — is priced by compiling a real compute graph through
+//! `gaudi-compiler` onto the calibrated `gaudi-hw` engine models.
+//!
+//! The paper benchmarks training; this crate asks what its §3.3/§3.4
+//! calibration implies for *inference serving*:
+//!
+//! - **prefill** is a large-GEMM workload that runs near the Table 2 MME
+//!   throughput plateau, while **decode** is a batched-GEMV workload stuck
+//!   at the small-matmul launch-overhead floor, with softmax/normalization
+//!   TPC work growing with context — so the MME:TPC balance shifts per
+//!   phase exactly as Table 2's small-shape columns predict;
+//! - the **32 GB HBM** bound (§3.4) becomes a KV-cache admission limit:
+//!   the [`KvAccountant`] reserves each request's worst-case footprint up
+//!   front, so admitted requests always complete and overflow turns into
+//!   queueing backpressure instead of mid-generation OOM;
+//! - SynapseAI's **recipe cache** becomes a compiled-phase-cost cache
+//!   keyed by `(batch, bucketed length)` ([`CostModel`]), which is why the
+//!   scheduler quantizes context lengths to buckets.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gaudi_serving::{simulate, ServingConfig, TrafficConfig};
+//!
+//! let mut cfg = ServingConfig::paper_gpt();
+//! cfg.traffic = TrafficConfig { num_requests: 10, ..TrafficConfig::default() };
+//! let report = simulate(&cfg).unwrap();
+//! assert_eq!(report.completed.len(), 10);
+//! assert!(report.kv_peak_bytes <= report.kv_capacity_bytes);
+//! println!("{}", report.render());
+//! ```
+//!
+//! Identical configurations produce bit-identical reports: the simulation
+//! is a pure function of its inputs (integer-microsecond arrival times, no
+//! wall clock anywhere).
+
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod kv;
+pub mod report;
+pub mod request;
+
+pub use cost::{CostModel, PhaseCost};
+pub use engine::{simulate, ServingConfig};
+pub use error::ServingError;
+pub use kv::{kv_bytes_per_token, weight_bytes, KvAccountant};
+pub use report::{Percentiles, RequestOutcome, ServingReport};
+pub use request::{generate_requests, Request, TrafficConfig};

@@ -1,0 +1,227 @@
+//! Serving metrics: per-request outcomes and the aggregate report.
+
+use gaudi_profiler::report::TextTable;
+use gaudi_profiler::Trace;
+
+/// p50/p95/p99 summary of a latency population, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Percentiles {
+    /// Summarize a population. Empty input yields all zeros.
+    ///
+    /// Uses the nearest-rank method (`ceil(p·n)`-th order statistic), which
+    /// always returns an observed value — important for exact reproducibility
+    /// assertions on identical seeds.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut v: Vec<f64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Percentiles::default();
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = |p: f64| {
+            let idx = (p * v.len() as f64).ceil() as usize;
+            v[idx.clamp(1, v.len()) - 1]
+        };
+        Percentiles {
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+        }
+    }
+}
+
+/// Everything the engine observed about one completed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// Request id (arrival order).
+    pub id: u64,
+    /// Arrival time, ms.
+    pub arrival_ms: f64,
+    /// Prompt tokens.
+    pub prompt_len: usize,
+    /// Generated tokens.
+    pub output_len: usize,
+    /// Time spent in the admission queue before prefill started, ms.
+    pub queue_ms: f64,
+    /// Time to first token: arrival → end of the decode step that produced
+    /// token 0 (queueing + prefill + one decode step), ms.
+    pub ttft_ms: f64,
+    /// Completion time, ms.
+    pub finish_ms: f64,
+    /// Absolute emission time of each generated token, ms. Strictly
+    /// increasing — decode steps never reorder a request's tokens.
+    pub token_times_ms: Vec<f64>,
+}
+
+/// Aggregate result of a serving simulation.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Per-request outcomes, sorted by id. Every generated request appears
+    /// exactly once: admission backpressure delays, it never drops.
+    pub completed: Vec<RequestOutcome>,
+    /// First arrival → last completion, ms.
+    pub makespan_ms: f64,
+    /// Time-to-first-token percentiles, ms.
+    pub ttft_ms: Percentiles,
+    /// Per-output-token latency percentiles (inter-token gaps), ms.
+    pub tpot_ms: Percentiles,
+    /// Admission-queue wait percentiles, ms.
+    pub queue_ms: Percentiles,
+    /// Generated tokens per wall-clock second.
+    pub goodput_tokens_per_s: f64,
+    /// MME busy time / makespan.
+    pub mme_utilization: f64,
+    /// TPC-cluster busy time / makespan.
+    pub tpc_utilization: f64,
+    /// DMA busy time / makespan.
+    pub dma_utilization: f64,
+    /// Decode iterations executed.
+    pub decode_steps: usize,
+    /// Prefill phases executed (= admissions).
+    pub prefills: usize,
+    /// Times the scheduler had a free slot but the KV accountant refused the
+    /// queue head (HBM backpressure).
+    pub backpressure_stalls: usize,
+    /// Deepest the admission queue ever got.
+    pub max_queue_depth: usize,
+    /// HBM high-water mark (weights + live KV), bytes.
+    pub kv_peak_bytes: u64,
+    /// Device HBM capacity, bytes.
+    pub kv_capacity_bytes: u64,
+    /// Distinct phase graphs compiled (the recipe-cache size).
+    pub compiled_graphs: usize,
+    /// Engine-busy timeline of every phase, for the profiler tooling.
+    pub trace: Trace,
+}
+
+impl ServingReport {
+    /// Mean decode batch size (tokens generated per decode step).
+    pub fn mean_decode_batch(&self) -> f64 {
+        let tokens: usize = self.completed.iter().map(|o| o.output_len).sum();
+        if self.decode_steps == 0 {
+            0.0
+        } else {
+            tokens as f64 / self.decode_steps as f64
+        }
+    }
+
+    /// Render the report as text tables through the profiler tooling.
+    pub fn render(&self) -> String {
+        let ms = |x: f64| format!("{x:.2}");
+        let mut lat = TextTable::new(&["latency", "p50 ms", "p95 ms", "p99 ms", "mean ms"]);
+        for (name, p) in [
+            ("ttft", &self.ttft_ms),
+            ("per-token", &self.tpot_ms),
+            ("queue wait", &self.queue_ms),
+        ] {
+            lat.row(&[
+                name.to_string(),
+                ms(p.p50),
+                ms(p.p95),
+                ms(p.p99),
+                ms(p.mean),
+            ]);
+        }
+
+        let mut eng = TextTable::new(&["metric", "value"]);
+        eng.row(&["requests served".into(), self.completed.len().to_string()])
+            .row(&["makespan ms".into(), ms(self.makespan_ms)])
+            .row(&[
+                "goodput tok/s".into(),
+                format!("{:.1}", self.goodput_tokens_per_s),
+            ])
+            .row(&[
+                "mean decode batch".into(),
+                format!("{:.2}", self.mean_decode_batch()),
+            ])
+            .row(&[
+                "MME utilization".into(),
+                format!("{:.1}%", self.mme_utilization * 100.0),
+            ])
+            .row(&[
+                "TPC utilization".into(),
+                format!("{:.1}%", self.tpc_utilization * 100.0),
+            ])
+            .row(&[
+                "DMA utilization".into(),
+                format!("{:.1}%", self.dma_utilization * 100.0),
+            ])
+            .row(&["decode steps".into(), self.decode_steps.to_string()])
+            .row(&["prefills".into(), self.prefills.to_string()])
+            .row(&[
+                "KV backpressure stalls".into(),
+                self.backpressure_stalls.to_string(),
+            ])
+            .row(&["max queue depth".into(), self.max_queue_depth.to_string()])
+            .row(&[
+                "HBM peak / capacity".into(),
+                format!(
+                    "{:.2} / {:.0} GiB",
+                    self.kv_peak_bytes as f64 / (1u64 << 30) as f64,
+                    self.kv_capacity_bytes as f64 / (1u64 << 30) as f64
+                ),
+            ])
+            .row(&["compiled graphs".into(), self.compiled_graphs.to_string()]);
+
+        format!("{}\n{}", lat.render(), eng.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_population() {
+        let p = Percentiles::of((1..=100).map(|i| i as f64));
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p.mean, 50.5);
+    }
+
+    #[test]
+    fn percentiles_of_singleton_and_empty() {
+        let p = Percentiles::of([7.0]);
+        assert_eq!((p.p50, p.p95, p.p99, p.mean), (7.0, 7.0, 7.0, 7.0));
+        assert_eq!(Percentiles::of([]), Percentiles::default());
+    }
+
+    #[test]
+    fn render_mentions_key_metrics() {
+        let r = ServingReport {
+            completed: vec![],
+            makespan_ms: 12.5,
+            ttft_ms: Percentiles::default(),
+            tpot_ms: Percentiles::default(),
+            queue_ms: Percentiles::default(),
+            goodput_tokens_per_s: 42.0,
+            mme_utilization: 0.5,
+            tpc_utilization: 0.25,
+            dma_utilization: 0.1,
+            decode_steps: 3,
+            prefills: 2,
+            backpressure_stalls: 1,
+            max_queue_depth: 4,
+            kv_peak_bytes: 1 << 30,
+            kv_capacity_bytes: 32 << 30,
+            compiled_graphs: 5,
+            trace: Trace::new(),
+        };
+        let text = r.render();
+        assert!(text.contains("ttft"));
+        assert!(text.contains("42.0"));
+        assert!(text.contains("32 GiB"));
+    }
+}

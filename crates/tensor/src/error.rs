@@ -38,7 +38,10 @@ impl fmt::Display for TensorError {
                 write!(f, "tensor rank {rank} outside the supported 1..=5 range")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer of {actual} elements does not fill shape of {expected}")
+                write!(
+                    f,
+                    "buffer of {actual} elements does not fill shape of {expected}"
+                )
             }
             TensorError::BroadcastMismatch { lhs, rhs } => {
                 write!(f, "shapes {lhs} and {rhs} cannot be broadcast together")

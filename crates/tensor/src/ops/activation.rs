@@ -22,7 +22,9 @@ pub fn leaky_relu(a: &Tensor, negative_slope: f32) -> Tensor {
 /// Gaussian Error Linear Unit, tanh approximation (as used by BERT/GPT-2).
 pub fn gelu(a: &Tensor) -> Tensor {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    unary_op(a, |x| 0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh()))
+    unary_op(a, |x| {
+        0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+    })
 }
 
 /// Exponential linear unit with alpha = 1.
@@ -99,7 +101,8 @@ mod tests {
 
     #[test]
     fn glu_halves_last_dim() {
-        let x = Tensor::from_vec(&[2, 4], vec![1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 100.0, 100.0]).unwrap();
+        let x =
+            Tensor::from_vec(&[2, 4], vec![1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 100.0, 100.0]).unwrap();
         let y = glu(&x).unwrap();
         assert_eq!(y.dims(), &[2, 2]);
         // gate sigmoid(0)=0.5; sigmoid(100)=~1

@@ -18,13 +18,22 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (ab, m, k) = a
         .shape()
         .as_batched_matrix()
-        .ok_or(TensorError::MatmulMismatch { lhs: *a.shape(), rhs: *b.shape() })?;
+        .ok_or(TensorError::MatmulMismatch {
+            lhs: *a.shape(),
+            rhs: *b.shape(),
+        })?;
     let (bb, k2, n) = b
         .shape()
         .as_batched_matrix()
-        .ok_or(TensorError::MatmulMismatch { lhs: *a.shape(), rhs: *b.shape() })?;
+        .ok_or(TensorError::MatmulMismatch {
+            lhs: *a.shape(),
+            rhs: *b.shape(),
+        })?;
     if k != k2 {
-        return Err(TensorError::MatmulMismatch { lhs: *a.shape(), rhs: *b.shape() });
+        return Err(TensorError::MatmulMismatch {
+            lhs: *a.shape(),
+            rhs: *b.shape(),
+        });
     }
     let batch = if ab == bb {
         ab
@@ -33,7 +42,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     } else if bb == 1 {
         ab
     } else {
-        return Err(TensorError::MatmulMismatch { lhs: *a.shape(), rhs: *b.shape() });
+        return Err(TensorError::MatmulMismatch {
+            lhs: *a.shape(),
+            rhs: *b.shape(),
+        });
     };
 
     // Output shape: take the higher-rank operand's batch prefix.
@@ -94,7 +106,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// `torch.bmm` analog: strict 3-D batched product with equal batch sizes.
 pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if a.shape().rank() != 3 || b.shape().rank() != 3 || a.dims()[0] != b.dims()[0] {
-        return Err(TensorError::MatmulMismatch { lhs: *a.shape(), rhs: *b.shape() });
+        return Err(TensorError::MatmulMismatch {
+            lhs: *a.shape(),
+            rhs: *b.shape(),
+        });
     }
     matmul(a, b)
 }
@@ -105,13 +120,22 @@ pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (ab, m, k) = a
         .shape()
         .as_batched_matrix()
-        .ok_or(TensorError::MatmulMismatch { lhs: *a.shape(), rhs: *b.shape() })?;
+        .ok_or(TensorError::MatmulMismatch {
+            lhs: *a.shape(),
+            rhs: *b.shape(),
+        })?;
     let (bb, k2, n) = b
         .shape()
         .as_batched_matrix()
-        .ok_or(TensorError::MatmulMismatch { lhs: *a.shape(), rhs: *b.shape() })?;
+        .ok_or(TensorError::MatmulMismatch {
+            lhs: *a.shape(),
+            rhs: *b.shape(),
+        })?;
     if k != k2 || (ab != bb && ab != 1 && bb != 1) {
-        return Err(TensorError::MatmulMismatch { lhs: *a.shape(), rhs: *b.shape() });
+        return Err(TensorError::MatmulMismatch {
+            lhs: *a.shape(),
+            rhs: *b.shape(),
+        });
     }
     let batch = ab.max(bb);
     let mut out = vec![0.0f32; batch * m * n];
@@ -128,8 +152,11 @@ pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     }
-    let mut dims: Vec<usize> =
-        if ab >= bb { a.dims()[..a.dims().len() - 2].to_vec() } else { b.dims()[..b.dims().len() - 2].to_vec() };
+    let mut dims: Vec<usize> = if ab >= bb {
+        a.dims()[..a.dims().len() - 2].to_vec()
+    } else {
+        b.dims()[..b.dims().len() - 2].to_vec()
+    };
     dims.push(m);
     dims.push(n);
     Tensor::from_vec(&dims, out)

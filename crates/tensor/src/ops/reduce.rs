@@ -45,7 +45,9 @@ pub fn max_last_axis(a: &Tensor, keep_dim: bool) -> Result<Tensor> {
     if a.numel() == 0 {
         return Err(TensorError::EmptyTensor);
     }
-    let out = rowwise(a, 1, |row, o| o[0] = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x)));
+    let out = rowwise(a, 1, |row, o| {
+        o[0] = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+    });
     Tensor::from_vec(&reduced_dims(a, keep_dim), out)
 }
 
@@ -85,7 +87,10 @@ pub fn softmax_last_axis(a: &Tensor) -> Result<Tensor> {
 pub fn layernorm_last_axis(a: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<Tensor> {
     let d = a.shape().last_dim();
     if gamma.numel() != d || beta.numel() != d {
-        return Err(TensorError::LengthMismatch { expected: d, actual: gamma.numel() });
+        return Err(TensorError::LengthMismatch {
+            expected: d,
+            actual: gamma.numel(),
+        });
     }
     let g = gamma.data().to_vec();
     let bta = beta.data().to_vec();

@@ -1,6 +1,6 @@
-//! Minimal data-parallel helpers built on scoped threads.
+//! Minimal data-parallel helpers built on `std::thread::scope`.
 //!
-//! The approved dependency list does not include `rayon`, so this module
+//! The workspace carries no external threading crates, so this module
 //! provides the two primitives the tensor kernels need: a parallel
 //! mutable-chunk map and a parallel row loop. Both fall back to sequential
 //! execution for small inputs, where thread spawn overhead would dominate.
@@ -38,7 +38,9 @@ impl<'a> DisjointSlice<'a> {
 
 /// Number of worker threads to use for data-parallel kernels.
 pub fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Below this many elements, run sequentially.
@@ -61,16 +63,15 @@ where
         return;
     }
     let chunk = (len / threads).max(min_chunk).max(1);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut start = 0usize;
         for piece in data.chunks_mut(chunk) {
             let begin = start;
             start += piece.len();
             let f = &f;
-            s.spawn(move |_| f(begin, piece));
+            s.spawn(move || f(begin, piece));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Run `f(i)` for `i in 0..n` in parallel, dynamically balancing via an
@@ -91,11 +92,11 @@ where
         return;
     }
     let counter = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
             let counter = &counter;
             let f = &f;
-            s.spawn(move |_| loop {
+            s.spawn(move || loop {
                 let i = counter.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -103,8 +104,7 @@ where
                 f(i);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 #[cfg(test)]

@@ -4,15 +4,14 @@
 //! feature matrices, synthetic corpora) draws from a [`SeededRng`] so that
 //! experiments are exactly reproducible run-to-run.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A seeded RNG with the distributions the workspace needs.
 ///
-/// Gaussian sampling is implemented with the Box–Muller transform (the
-/// approved `rand` crate does not bundle `rand_distr`).
+/// The generator is a self-contained xoshiro256++ (Blackman & Vigna) whose
+/// state is expanded from the 64-bit seed with splitmix64 — no external
+/// crates, identical streams on every platform. Gaussian sampling is
+/// implemented with the Box–Muller transform.
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second output of the last Box–Muller draw.
     spare: Option<f32>,
 }
@@ -20,12 +19,39 @@ pub struct SeededRng {
 impl SeededRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: StdRng::seed_from_u64(seed), spare: None }
+        // splitmix64 expansion, the canonical xoshiro seeding procedure.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SeededRng {
+            state: [next(), next(), next(), next()],
+            spare: None,
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // Top 24 bits give every representable f32 step in [0, 1).
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -35,7 +61,9 @@ impl SeededRng {
 
     /// Uniform integer in `[0, n)`.
     pub fn below(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "below(0) is empty");
+        // Modulo bias is negligible for the n (vocab sizes, ranks) used here.
+        (self.next_u64() % n as u64) as usize
     }
 
     /// Standard normal sample via Box–Muller.
@@ -67,11 +95,6 @@ impl SeededRng {
         for v in buf {
             *v = self.normal() * std;
         }
-    }
-
-    /// Access the underlying `rand` RNG for ad-hoc draws.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
     }
 }
 

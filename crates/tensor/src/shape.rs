@@ -23,7 +23,10 @@ impl Shape {
         }
         let mut d = [1usize; MAX_RANK];
         d[..dims.len()].copy_from_slice(dims);
-        Ok(Shape { dims: d, rank: dims.len() })
+        Ok(Shape {
+            dims: d,
+            rank: dims.len(),
+        })
     }
 
     /// Build a shape, panicking on an invalid rank. Intended for literals in
@@ -80,8 +83,16 @@ impl Shape {
         let rank = a.rank.max(b.rank);
         let mut out = [1usize; MAX_RANK];
         for i in 0..rank {
-            let da = if i < a.rank { a.dims[a.rank - 1 - i] } else { 1 };
-            let db = if i < b.rank { b.dims[b.rank - 1 - i] } else { 1 };
+            let da = if i < a.rank {
+                a.dims[a.rank - 1 - i]
+            } else {
+                1
+            };
+            let db = if i < b.rank {
+                b.dims[b.rank - 1 - i]
+            } else {
+                1
+            };
             out[rank - 1 - i] = if da == db {
                 da
             } else if da == 1 {
@@ -210,7 +221,10 @@ mod tests {
     #[test]
     fn batched_matrix_view() {
         assert_eq!(Shape::of(&[6, 4]).as_batched_matrix(), Some((1, 6, 4)));
-        assert_eq!(Shape::of(&[2, 3, 6, 4]).as_batched_matrix(), Some((6, 6, 4)));
+        assert_eq!(
+            Shape::of(&[2, 3, 6, 4]).as_batched_matrix(),
+            Some((6, 6, 4))
+        );
         assert_eq!(Shape::of(&[7]).as_batched_matrix(), None);
     }
 

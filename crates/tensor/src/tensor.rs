@@ -43,15 +43,26 @@ impl Tensor {
     pub fn from_vec(dims: &[usize], data: Vec<f32>) -> Result<Self> {
         let shape = Shape::new(dims)?;
         if shape.numel() != data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
         }
-        Ok(Tensor { shape, dtype: DType::F32, data })
+        Ok(Tensor {
+            shape,
+            dtype: DType::F32,
+            data,
+        })
     }
 
     /// All-zeros tensor.
     pub fn zeros(dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims)?;
-        Ok(Tensor { shape, dtype: DType::F32, data: vec![0.0; shape.numel()] })
+        Ok(Tensor {
+            shape,
+            dtype: DType::F32,
+            data: vec![0.0; shape.numel()],
+        })
     }
 
     /// All-ones tensor (`torch.ones_like` analog when given another tensor's
@@ -63,7 +74,11 @@ impl Tensor {
     /// Constant-filled tensor.
     pub fn full(dims: &[usize], value: f32) -> Result<Self> {
         let shape = Shape::new(dims)?;
-        Ok(Tensor { shape, dtype: DType::F32, data: vec![value; shape.numel()] })
+        Ok(Tensor {
+            shape,
+            dtype: DType::F32,
+            data: vec![value; shape.numel()],
+        })
     }
 
     /// Tensor of standard-normal samples scaled by `std`.
@@ -71,17 +86,29 @@ impl Tensor {
         let shape = Shape::new(dims)?;
         let mut data = vec![0.0f32; shape.numel()];
         rng.fill_normal(&mut data, std);
-        Ok(Tensor { shape, dtype: DType::F32, data })
+        Ok(Tensor {
+            shape,
+            dtype: DType::F32,
+            data,
+        })
     }
 
     /// A `ones_like` convenience mirroring `torch.ones_like`.
     pub fn ones_like(other: &Tensor) -> Self {
-        Tensor { shape: other.shape, dtype: other.dtype, data: vec![1.0; other.numel()] }
+        Tensor {
+            shape: other.shape,
+            dtype: other.dtype,
+            data: vec![1.0; other.numel()],
+        }
     }
 
     /// A `zeros_like` convenience.
     pub fn zeros_like(other: &Tensor) -> Self {
-        Tensor { shape: other.shape, dtype: other.dtype, data: vec![0.0; other.numel()] }
+        Tensor {
+            shape: other.shape,
+            dtype: other.dtype,
+            data: vec![0.0; other.numel()],
+        }
     }
 
     /// Tensor filled with `0, 1, 2, ...` (useful in tests).
@@ -136,7 +163,11 @@ impl Tensor {
     /// Return a copy re-tagged (and value-rounded) to the given dtype.
     pub fn quantized(&self, dtype: DType) -> Tensor {
         let data = self.data.iter().map(|&x| quantize(x, dtype)).collect();
-        Tensor { shape: self.shape, dtype, data }
+        Tensor {
+            shape: self.shape,
+            dtype,
+            data,
+        }
     }
 
     /// Re-tag the dtype without changing values (affects only the memory
@@ -158,9 +189,16 @@ impl Tensor {
     pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
         let shape = Shape::new(dims)?;
         if shape.numel() != self.numel() {
-            return Err(TensorError::ReshapeMismatch { from: self.shape, to: shape });
+            return Err(TensorError::ReshapeMismatch {
+                from: self.shape,
+                to: shape,
+            });
         }
-        Ok(Tensor { shape, dtype: self.dtype, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            dtype: self.dtype,
+            data: self.data.clone(),
+        })
     }
 
     /// Transpose (swap) the last two dimensions, materializing the result.
@@ -209,7 +247,10 @@ impl Tensor {
 
     /// Maximum absolute difference against another tensor of identical shape.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.shape, other.shape, "max_abs_diff requires equal shapes");
+        assert_eq!(
+            self.shape, other.shape,
+            "max_abs_diff requires equal shapes"
+        );
         self.data
             .iter()
             .zip(other.data.iter())

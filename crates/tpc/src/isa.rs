@@ -60,9 +60,17 @@ pub enum Instr {
     /// `V[dst][l] = imm`.
     MovVImm { dst: VReg, imm: f32 },
     /// Load 64 elements from tensor `tensor` at offset `round(S[off])`.
-    LdTnsrV { dst: VReg, tensor: TensorSlot, off: SReg },
+    LdTnsrV {
+        dst: VReg,
+        tensor: TensorSlot,
+        off: SReg,
+    },
     /// Load a single element: `S[dst] = tensor[round(S[off])]`.
-    LdTnsrS { dst: SReg, tensor: TensorSlot, off: SReg },
+    LdTnsrS {
+        dst: SReg,
+        tensor: TensorSlot,
+        off: SReg,
+    },
     /// Load 64 elements from *vector local memory* at element address
     /// `round(S[addr])`. Local memory has "unrestricted bandwidth ... in
     /// each cycle" (§2.2): cost 1 cycle.
@@ -114,7 +122,12 @@ pub enum Instr {
     /// Lane-wise reciprocal (special function).
     RcpV { dst: VReg, a: VReg },
     /// Lane-wise select: `V[dst][l] = V[cond][l] > 0 ? V[a][l] : V[b][l]`.
-    SelGtzV { dst: VReg, cond: VReg, a: VReg, b: VReg },
+    SelGtzV {
+        dst: VReg,
+        cond: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Horizontal sum of lanes into a scalar (reduction tree).
     RedSumV { dst: SReg, src: VReg },
     /// Horizontal max of lanes into a scalar (reduction tree).
@@ -122,16 +135,30 @@ pub enum Instr {
 
     // ---- Store slot -------------------------------------------------------
     /// Store 64 elements into tensor `tensor` at offset `round(S[off])`.
-    StTnsrV { tensor: TensorSlot, off: SReg, src: VReg },
+    StTnsrV {
+        tensor: TensorSlot,
+        off: SReg,
+        src: VReg,
+    },
     /// Store a single element.
-    StTnsrS { tensor: TensorSlot, off: SReg, src: SReg },
+    StTnsrS {
+        tensor: TensorSlot,
+        off: SReg,
+        src: SReg,
+    },
     /// Store 64 elements into vector local memory at `round(S[addr])`.
     StVlmV { addr: SReg, src: VReg },
 
     // ---- control ----------------------------------------------------------
     /// Counted loop: `S[counter]` starts at `start` and advances by `step`
     /// per iteration, for `trip` iterations.
-    Loop { counter: SReg, start: f32, step: f32, trip: usize, body: Vec<Instr> },
+    Loop {
+        counter: SReg,
+        start: f32,
+        step: f32,
+        trip: usize,
+        body: Vec<Instr>,
+    },
 }
 
 impl Instr {
@@ -139,13 +166,36 @@ impl Instr {
     pub fn slot(&self) -> Slot {
         use Instr::*;
         match self {
-            MovSImm { .. } | MovSS { .. } | BcastV { .. } | MovVImm { .. } | LdTnsrV { .. }
-            | LdTnsrS { .. } | LdVlmV { .. } | LdVlmS { .. } => Slot::Load,
-            AddS { .. } | SubS { .. } | MulS { .. } | AddSImm { .. } | MulSImm { .. }
-            | MaxS { .. } | RcpS { .. } => Slot::Spu,
-            AddV { .. } | SubV { .. } | MulV { .. } | MaxV { .. } | MacV { .. }
-            | AddVImm { .. } | MulVImm { .. } | MaxVImm { .. } | ExpV { .. } | TanhV { .. }
-            | LogV { .. } | SqrtV { .. } | RcpV { .. } | SelGtzV { .. } | RedSumV { .. }
+            MovSImm { .. }
+            | MovSS { .. }
+            | BcastV { .. }
+            | MovVImm { .. }
+            | LdTnsrV { .. }
+            | LdTnsrS { .. }
+            | LdVlmV { .. }
+            | LdVlmS { .. } => Slot::Load,
+            AddS { .. }
+            | SubS { .. }
+            | MulS { .. }
+            | AddSImm { .. }
+            | MulSImm { .. }
+            | MaxS { .. }
+            | RcpS { .. } => Slot::Spu,
+            AddV { .. }
+            | SubV { .. }
+            | MulV { .. }
+            | MaxV { .. }
+            | MacV { .. }
+            | AddVImm { .. }
+            | MulVImm { .. }
+            | MaxVImm { .. }
+            | ExpV { .. }
+            | TanhV { .. }
+            | LogV { .. }
+            | SqrtV { .. }
+            | RcpV { .. }
+            | SelGtzV { .. }
+            | RedSumV { .. }
             | RedMaxV { .. } => Slot::Vpu,
             StTnsrV { .. } | StTnsrS { .. } | StVlmV { .. } => Slot::Store,
             Loop { .. } => Slot::Ctrl,
@@ -162,8 +212,9 @@ impl Instr {
             // "Unrestricted bandwidth when reading from or writing to the
             // local memory in each cycle."
             LdVlmV { .. } | LdVlmS { .. } | StVlmV { .. } => 1.0,
-            ExpV { .. } | TanhV { .. } | LogV { .. } | SqrtV { .. } | RcpV { .. }
-            | RcpS { .. } => special_func_cycles,
+            ExpV { .. } | TanhV { .. } | LogV { .. } | SqrtV { .. } | RcpV { .. } | RcpS { .. } => {
+                special_func_cycles
+            }
             // A lane-reduction tree over 64 lanes: log2(64) dependent steps.
             RedSumV { .. } | RedMaxV { .. } => (VECTOR_LANES as f64).log2(),
             Loop { .. } => 2.0, // sequencer overhead per loop entry
@@ -189,8 +240,14 @@ impl Instr {
                 vec![(true, *a), (true, *b)]
             }
             MacV { dst, a, b } => vec![(true, *dst), (true, *a), (true, *b)],
-            AddVImm { a, .. } | MulVImm { a, .. } | MaxVImm { a, .. } | ExpV { a, .. }
-            | TanhV { a, .. } | LogV { a, .. } | SqrtV { a, .. } | RcpV { a, .. } => {
+            AddVImm { a, .. }
+            | MulVImm { a, .. }
+            | MaxVImm { a, .. }
+            | ExpV { a, .. }
+            | TanhV { a, .. }
+            | LogV { a, .. }
+            | SqrtV { a, .. }
+            | RcpV { a, .. } => {
                 vec![(true, *a)]
             }
             SelGtzV { cond, a, b, .. } => vec![(true, *cond), (true, *a), (true, *b)],
@@ -205,15 +262,37 @@ impl Instr {
     pub fn writes(&self) -> Option<(bool, u8)> {
         use Instr::*;
         match self {
-            MovSImm { dst, .. } | MovSS { dst, .. } | AddS { dst, .. } | SubS { dst, .. }
-            | MulS { dst, .. } | AddSImm { dst, .. } | MulSImm { dst, .. } | MaxS { dst, .. }
-            | RcpS { dst, .. } | LdTnsrS { dst, .. } | LdVlmS { dst, .. }
-            | RedSumV { dst, .. } | RedMaxV { dst, .. } => Some((false, *dst)),
-            BcastV { dst, .. } | MovVImm { dst, .. } | LdTnsrV { dst, .. } | LdVlmV { dst, .. }
-            | AddV { dst, .. } | SubV { dst, .. } | MulV { dst, .. } | MaxV { dst, .. }
-            | MacV { dst, .. } | AddVImm { dst, .. } | MulVImm { dst, .. }
-            | MaxVImm { dst, .. } | ExpV { dst, .. } | TanhV { dst, .. } | LogV { dst, .. }
-            | SqrtV { dst, .. } | RcpV { dst, .. } | SelGtzV { dst, .. } => Some((true, *dst)),
+            MovSImm { dst, .. }
+            | MovSS { dst, .. }
+            | AddS { dst, .. }
+            | SubS { dst, .. }
+            | MulS { dst, .. }
+            | AddSImm { dst, .. }
+            | MulSImm { dst, .. }
+            | MaxS { dst, .. }
+            | RcpS { dst, .. }
+            | LdTnsrS { dst, .. }
+            | LdVlmS { dst, .. }
+            | RedSumV { dst, .. }
+            | RedMaxV { dst, .. } => Some((false, *dst)),
+            BcastV { dst, .. }
+            | MovVImm { dst, .. }
+            | LdTnsrV { dst, .. }
+            | LdVlmV { dst, .. }
+            | AddV { dst, .. }
+            | SubV { dst, .. }
+            | MulV { dst, .. }
+            | MaxV { dst, .. }
+            | MacV { dst, .. }
+            | AddVImm { dst, .. }
+            | MulVImm { dst, .. }
+            | MaxVImm { dst, .. }
+            | ExpV { dst, .. }
+            | TanhV { dst, .. }
+            | LogV { dst, .. }
+            | SqrtV { dst, .. }
+            | RcpV { dst, .. }
+            | SelGtzV { dst, .. } => Some((true, *dst)),
             StTnsrV { .. } | StTnsrS { .. } | StVlmV { .. } | Loop { .. } => None,
         }
     }
@@ -258,15 +337,35 @@ mod tests {
 
     #[test]
     fn slots_cover_the_four_functional_units() {
-        assert_eq!(Instr::LdTnsrV { dst: 0, tensor: 0, off: 0 }.slot(), Slot::Load);
+        assert_eq!(
+            Instr::LdTnsrV {
+                dst: 0,
+                tensor: 0,
+                off: 0
+            }
+            .slot(),
+            Slot::Load
+        );
         assert_eq!(Instr::AddS { dst: 0, a: 0, b: 0 }.slot(), Slot::Spu);
         assert_eq!(Instr::MacV { dst: 0, a: 1, b: 2 }.slot(), Slot::Vpu);
-        assert_eq!(Instr::StTnsrV { tensor: 0, off: 0, src: 0 }.slot(), Slot::Store);
+        assert_eq!(
+            Instr::StTnsrV {
+                tensor: 0,
+                off: 0,
+                src: 0
+            }
+            .slot(),
+            Slot::Store
+        );
     }
 
     #[test]
     fn global_access_costs_four_cycles() {
-        let ld = Instr::LdTnsrV { dst: 0, tensor: 0, off: 0 };
+        let ld = Instr::LdTnsrV {
+            dst: 0,
+            tensor: 0,
+            off: 0,
+        };
         assert_eq!(ld.cycles(4.0, 16.0), 4.0);
         let exp = Instr::ExpV { dst: 0, a: 0 };
         assert_eq!(exp.cycles(4.0, 16.0), 16.0);
@@ -283,7 +382,11 @@ mod tests {
 
     #[test]
     fn member_coords_roundtrip() {
-        let k = Kernel { name: "t".into(), index_space: vec![3, 4, 5], program: vec![] };
+        let k = Kernel {
+            name: "t".into(),
+            index_space: vec![3, 4, 5],
+            program: vec![],
+        };
         assert_eq!(k.members(), 60);
         assert_eq!(k.member_coords(0), [0, 0, 0]);
         assert_eq!(k.member_coords(59), [2, 3, 4]);

@@ -8,16 +8,39 @@ use gaudi_tensor::Tensor;
 
 fn vector_offset_prelude() -> Vec<crate::isa::Instr> {
     // S4 = member * 64 (element offset of this member's vector).
-    vec![MulSImm { dst: 4, a: 0, imm: VECTOR_LANES as f32 }]
+    vec![MulSImm {
+        dst: 4,
+        a: 0,
+        imm: VECTOR_LANES as f32,
+    }]
 }
 
 /// Fill a tensor with a constant.
 pub fn memset(dims: &[usize], value: f32, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
     let n: usize = dims.iter().product();
     let mut program = vector_offset_prelude();
-    program.extend([MovVImm { dst: 0, imm: value }, StTnsrV { tensor: 0, off: 4, src: 0 }]);
-    let kernel = Kernel { name: "memset".into(), index_space: vec![nvec(n)], program };
-    launch(&kernel, &Bindings { inputs: vec![], output_dims: dims.to_vec(), args: vec![] }, cfg)
+    program.extend([
+        MovVImm { dst: 0, imm: value },
+        StTnsrV {
+            tensor: 0,
+            off: 4,
+            src: 0,
+        },
+    ]);
+    let kernel = Kernel {
+        name: "memset".into(),
+        index_space: vec![nvec(n)],
+        program,
+    };
+    launch(
+        &kernel,
+        &Bindings {
+            inputs: vec![],
+            output_dims: dims.to_vec(),
+            args: vec![],
+        },
+        cfg,
+    )
 }
 
 fn unary(
@@ -27,13 +50,29 @@ fn unary(
     cfg: &TpcConfig,
 ) -> Result<LaunchResult, LaunchError> {
     let mut program = vector_offset_prelude();
-    program.push(LdTnsrV { dst: 0, tensor: 0, off: 4 });
+    program.push(LdTnsrV {
+        dst: 0,
+        tensor: 0,
+        off: 4,
+    });
     program.extend(body); // transforms V0 -> V1
-    program.push(StTnsrV { tensor: 1, off: 4, src: 1 });
-    let kernel = Kernel { name: name.into(), index_space: vec![nvec(x.numel())], program };
+    program.push(StTnsrV {
+        tensor: 1,
+        off: 4,
+        src: 1,
+    });
+    let kernel = Kernel {
+        name: name.into(),
+        index_space: vec![nvec(x.numel())],
+        program,
+    };
     launch(
         &kernel,
-        &Bindings { inputs: vec![x], output_dims: x.dims().to_vec(), args: vec![] },
+        &Bindings {
+            inputs: vec![x],
+            output_dims: x.dims().to_vec(),
+            args: vec![],
+        },
         cfg,
     )
 }
@@ -48,14 +87,34 @@ pub fn kscale_add(
     unary(
         "scale_add",
         x,
-        vec![MulVImm { dst: 1, a: 0, imm: mul }, AddVImm { dst: 1, a: 1, imm: add }],
+        vec![
+            MulVImm {
+                dst: 1,
+                a: 0,
+                imm: mul,
+            },
+            AddVImm {
+                dst: 1,
+                a: 1,
+                imm: add,
+            },
+        ],
         cfg,
     )
 }
 
 /// Rectified linear unit.
 pub fn krelu(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
-    unary("relu", x, vec![MaxVImm { dst: 1, a: 0, imm: 0.0 }], cfg)
+    unary(
+        "relu",
+        x,
+        vec![MaxVImm {
+            dst: 1,
+            a: 0,
+            imm: 0.0,
+        }],
+        cfg,
+    )
 }
 
 /// Element-wise exponential (the Performer/softmax special function).
@@ -74,13 +133,29 @@ pub fn kgelu(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
             // V2 = x^3 * 0.044715 + x
             MulV { dst: 2, a: 0, b: 0 },
             MulV { dst: 2, a: 2, b: 0 },
-            MulVImm { dst: 2, a: 2, imm: 0.044_715 },
+            MulVImm {
+                dst: 2,
+                a: 2,
+                imm: 0.044_715,
+            },
             AddV { dst: 2, a: 2, b: 0 },
-            MulVImm { dst: 2, a: 2, imm: C },
+            MulVImm {
+                dst: 2,
+                a: 2,
+                imm: C,
+            },
             TanhV { dst: 2, a: 2 },
-            AddVImm { dst: 2, a: 2, imm: 1.0 },
+            AddVImm {
+                dst: 2,
+                a: 2,
+                imm: 1.0,
+            },
             MulV { dst: 1, a: 2, b: 0 },
-            MulVImm { dst: 1, a: 1, imm: 0.5 },
+            MulVImm {
+                dst: 1,
+                a: 1,
+                imm: 0.5,
+            },
         ],
         cfg,
     )
@@ -93,9 +168,17 @@ pub fn ksigmoid(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError
         "sigmoid",
         x,
         vec![
-            MulVImm { dst: 2, a: 0, imm: -1.0 },
+            MulVImm {
+                dst: 2,
+                a: 0,
+                imm: -1.0,
+            },
             ExpV { dst: 2, a: 2 },
-            AddVImm { dst: 2, a: 2, imm: 1.0 },
+            AddVImm {
+                dst: 2,
+                a: 2,
+                imm: 1.0,
+            },
             RcpV { dst: 1, a: 2 },
         ],
         cfg,
@@ -109,8 +192,17 @@ pub fn kelu(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchError> {
         x,
         vec![
             ExpV { dst: 2, a: 0 },
-            AddVImm { dst: 2, a: 2, imm: -1.0 },
-            SelGtzV { dst: 1, cond: 0, a: 0, b: 2 },
+            AddVImm {
+                dst: 2,
+                a: 2,
+                imm: -1.0,
+            },
+            SelGtzV {
+                dst: 1,
+                cond: 0,
+                a: 0,
+                b: 2,
+            },
         ],
         cfg,
     )
@@ -126,15 +218,35 @@ fn binary(
     assert_eq!(a.dims(), b.dims(), "{name}: operand shapes must match");
     let mut program = vector_offset_prelude();
     program.extend([
-        LdTnsrV { dst: 0, tensor: 0, off: 4 },
-        LdTnsrV { dst: 1, tensor: 1, off: 4 },
+        LdTnsrV {
+            dst: 0,
+            tensor: 0,
+            off: 4,
+        },
+        LdTnsrV {
+            dst: 1,
+            tensor: 1,
+            off: 4,
+        },
         op,
-        StTnsrV { tensor: 2, off: 4, src: 2 },
+        StTnsrV {
+            tensor: 2,
+            off: 4,
+            src: 2,
+        },
     ]);
-    let kernel = Kernel { name: name.into(), index_space: vec![nvec(a.numel())], program };
+    let kernel = Kernel {
+        name: name.into(),
+        index_space: vec![nvec(a.numel())],
+        program,
+    };
     launch(
         &kernel,
-        &Bindings { inputs: vec![a, b], output_dims: a.dims().to_vec(), args: vec![] },
+        &Bindings {
+            inputs: vec![a, b],
+            output_dims: a.dims().to_vec(),
+            args: vec![],
+        },
         cfg,
     )
 }

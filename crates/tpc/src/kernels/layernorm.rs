@@ -26,7 +26,11 @@ pub fn layernorm_rows(
     let inv_d = 1.0 / d as f32;
 
     let program = vec![
-        MulSImm { dst: 4, a: 0, imm: d as f32 }, // row base
+        MulSImm {
+            dst: 4,
+            a: 0,
+            imm: d as f32,
+        }, // row base
         // ---- pass 1: mean ----
         MovVImm { dst: 0, imm: 0.0 },
         Loop {
@@ -36,12 +40,20 @@ pub fn layernorm_rows(
             trip: trips,
             body: vec![
                 AddS { dst: 7, a: 4, b: 6 },
-                LdTnsrV { dst: 1, tensor: 0, off: 7 },
+                LdTnsrV {
+                    dst: 1,
+                    tensor: 0,
+                    off: 7,
+                },
                 AddV { dst: 0, a: 0, b: 1 },
             ],
         },
         RedSumV { dst: 8, src: 0 },
-        MulSImm { dst: 8, a: 8, imm: inv_d }, // mean
+        MulSImm {
+            dst: 8,
+            a: 8,
+            imm: inv_d,
+        }, // mean
         BcastV { dst: 2, src: 8 },
         // ---- pass 2: variance ----
         MovVImm { dst: 3, imm: 0.0 },
@@ -52,15 +64,27 @@ pub fn layernorm_rows(
             trip: trips,
             body: vec![
                 AddS { dst: 7, a: 4, b: 6 },
-                LdTnsrV { dst: 1, tensor: 0, off: 7 },
+                LdTnsrV {
+                    dst: 1,
+                    tensor: 0,
+                    off: 7,
+                },
                 SubV { dst: 1, a: 1, b: 2 },
                 MulV { dst: 1, a: 1, b: 1 },
                 AddV { dst: 3, a: 3, b: 1 },
             ],
         },
         RedSumV { dst: 9, src: 3 },
-        MulSImm { dst: 9, a: 9, imm: inv_d },
-        AddSImm { dst: 9, a: 9, imm: eps },
+        MulSImm {
+            dst: 9,
+            a: 9,
+            imm: inv_d,
+        },
+        AddSImm {
+            dst: 9,
+            a: 9,
+            imm: eps,
+        },
         BcastV { dst: 4, src: 9 },
         SqrtV { dst: 4, a: 4 },
         RcpV { dst: 4, a: 4 }, // 1/sqrt(var+eps)
@@ -72,21 +96,45 @@ pub fn layernorm_rows(
             trip: trips,
             body: vec![
                 AddS { dst: 7, a: 4, b: 6 },
-                LdTnsrV { dst: 1, tensor: 0, off: 7 },
+                LdTnsrV {
+                    dst: 1,
+                    tensor: 0,
+                    off: 7,
+                },
                 SubV { dst: 1, a: 1, b: 2 },
                 MulV { dst: 1, a: 1, b: 4 },
-                LdTnsrV { dst: 5, tensor: 1, off: 6 }, // gamma[j]
+                LdTnsrV {
+                    dst: 5,
+                    tensor: 1,
+                    off: 6,
+                }, // gamma[j]
                 MulV { dst: 1, a: 1, b: 5 },
-                LdTnsrV { dst: 6, tensor: 2, off: 6 }, // beta[j]
+                LdTnsrV {
+                    dst: 6,
+                    tensor: 2,
+                    off: 6,
+                }, // beta[j]
                 AddV { dst: 1, a: 1, b: 6 },
-                StTnsrV { tensor: 3, off: 7, src: 1 },
+                StTnsrV {
+                    tensor: 3,
+                    off: 7,
+                    src: 1,
+                },
             ],
         },
     ];
-    let kernel = Kernel { name: "layernorm".into(), index_space: vec![rows], program };
+    let kernel = Kernel {
+        name: "layernorm".into(),
+        index_space: vec![rows],
+        program,
+    };
     launch(
         &kernel,
-        &Bindings { inputs: vec![x, gamma, beta], output_dims: x.dims().to_vec(), args: vec![] },
+        &Bindings {
+            inputs: vec![x, gamma, beta],
+            output_dims: x.dims().to_vec(),
+            args: vec![],
+        },
         cfg,
     )
 }

@@ -28,15 +28,35 @@ pub fn bmm_tpc(a: &Tensor, b: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, 
     let jtrips = n / VECTOR_LANES;
     let program = vec![
         // S4 = a row base = (batch*m + row)*k
-        MulSImm { dst: 4, a: 0, imm: m as f32 },
+        MulSImm {
+            dst: 4,
+            a: 0,
+            imm: m as f32,
+        },
         AddS { dst: 4, a: 4, b: 1 },
-        MulSImm { dst: 4, a: 4, imm: k as f32 },
+        MulSImm {
+            dst: 4,
+            a: 4,
+            imm: k as f32,
+        },
         // S5 = b matrix base = batch * k * n
-        MulSImm { dst: 5, a: 0, imm: (k * n) as f32 },
+        MulSImm {
+            dst: 5,
+            a: 0,
+            imm: (k * n) as f32,
+        },
         // S8 = out row base = (batch*m + row)*n
-        MulSImm { dst: 8, a: 0, imm: m as f32 },
+        MulSImm {
+            dst: 8,
+            a: 0,
+            imm: m as f32,
+        },
         AddS { dst: 8, a: 8, b: 1 },
-        MulSImm { dst: 8, a: 8, imm: n as f32 },
+        MulSImm {
+            dst: 8,
+            a: 8,
+            imm: n as f32,
+        },
         Loop {
             counter: 6, // jv: output column offset
             start: 0.0,
@@ -51,24 +71,60 @@ pub fn bmm_tpc(a: &Tensor, b: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, 
                     trip: k,
                     body: vec![
                         AddS { dst: 9, a: 4, b: 7 },
-                        LdTnsrS { dst: 10, tensor: 0, off: 9 },
+                        LdTnsrS {
+                            dst: 10,
+                            tensor: 0,
+                            off: 9,
+                        },
                         BcastV { dst: 1, src: 10 },
-                        MulSImm { dst: 11, a: 7, imm: n as f32 },
-                        AddS { dst: 11, a: 11, b: 5 },
-                        AddS { dst: 11, a: 11, b: 6 },
-                        LdTnsrV { dst: 2, tensor: 1, off: 11 },
+                        MulSImm {
+                            dst: 11,
+                            a: 7,
+                            imm: n as f32,
+                        },
+                        AddS {
+                            dst: 11,
+                            a: 11,
+                            b: 5,
+                        },
+                        AddS {
+                            dst: 11,
+                            a: 11,
+                            b: 6,
+                        },
+                        LdTnsrV {
+                            dst: 2,
+                            tensor: 1,
+                            off: 11,
+                        },
                         MacV { dst: 0, a: 1, b: 2 },
                     ],
                 },
-                AddS { dst: 12, a: 8, b: 6 },
-                StTnsrV { tensor: 2, off: 12, src: 0 },
+                AddS {
+                    dst: 12,
+                    a: 8,
+                    b: 6,
+                },
+                StTnsrV {
+                    tensor: 2,
+                    off: 12,
+                    src: 0,
+                },
             ],
         },
     ];
-    let kernel = Kernel { name: "bmm_tpc".into(), index_space: vec![batch, m], program };
+    let kernel = Kernel {
+        name: "bmm_tpc".into(),
+        index_space: vec![batch, m],
+        program,
+    };
     launch(
         &kernel,
-        &Bindings { inputs: vec![a, b], output_dims: vec![batch, m, n], args: vec![] },
+        &Bindings {
+            inputs: vec![a, b],
+            output_dims: vec![batch, m, n],
+            args: vec![],
+        },
         cfg,
     )
 }
@@ -86,27 +142,58 @@ pub fn bmm_tpc_blocked(
     b: &Tensor,
     cfg: &TpcConfig,
 ) -> Result<LaunchResult, LaunchError> {
-    assert_eq!(a.shape().rank(), 3, "bmm_tpc_blocked expects rank-3 operands");
-    assert_eq!(b.shape().rank(), 3, "bmm_tpc_blocked expects rank-3 operands");
+    assert_eq!(
+        a.shape().rank(),
+        3,
+        "bmm_tpc_blocked expects rank-3 operands"
+    );
+    assert_eq!(
+        b.shape().rank(),
+        3,
+        "bmm_tpc_blocked expects rank-3 operands"
+    );
     let (batch, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
     let (b2, k2, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
     assert_eq!(batch, b2, "batch mismatch");
     assert_eq!(k, k2, "inner-dim mismatch");
     super::require_aligned(n, "bmm_tpc_blocked");
     super::require_aligned(k, "bmm_tpc_blocked (k)");
-    assert!(k <= crate::vm::VLM_ELEMS, "A row must fit vector local memory");
+    assert!(
+        k <= crate::vm::VLM_ELEMS,
+        "A row must fit vector local memory"
+    );
 
     let jtrips = n / VECTOR_LANES;
     let ktrips = k / VECTOR_LANES;
     let program = vec![
         // S4 = a row base, S5 = b base, S8 = out row base (as in bmm_tpc).
-        MulSImm { dst: 4, a: 0, imm: m as f32 },
+        MulSImm {
+            dst: 4,
+            a: 0,
+            imm: m as f32,
+        },
         AddS { dst: 4, a: 4, b: 1 },
-        MulSImm { dst: 4, a: 4, imm: k as f32 },
-        MulSImm { dst: 5, a: 0, imm: (k * n) as f32 },
-        MulSImm { dst: 8, a: 0, imm: m as f32 },
+        MulSImm {
+            dst: 4,
+            a: 4,
+            imm: k as f32,
+        },
+        MulSImm {
+            dst: 5,
+            a: 0,
+            imm: (k * n) as f32,
+        },
+        MulSImm {
+            dst: 8,
+            a: 0,
+            imm: m as f32,
+        },
         AddS { dst: 8, a: 8, b: 1 },
-        MulSImm { dst: 8, a: 8, imm: n as f32 },
+        MulSImm {
+            dst: 8,
+            a: 8,
+            imm: n as f32,
+        },
         // Stage the A row into local memory.
         Loop {
             counter: 13,
@@ -114,8 +201,16 @@ pub fn bmm_tpc_blocked(
             step: VECTOR_LANES as f32,
             trip: ktrips,
             body: vec![
-                AddS { dst: 9, a: 4, b: 13 },
-                LdTnsrV { dst: 3, tensor: 0, off: 9 },
+                AddS {
+                    dst: 9,
+                    a: 4,
+                    b: 13,
+                },
+                LdTnsrV {
+                    dst: 3,
+                    tensor: 0,
+                    off: 9,
+                },
                 StVlmV { addr: 13, src: 3 },
             ],
         },
@@ -134,22 +229,54 @@ pub fn bmm_tpc_blocked(
                     body: vec![
                         LdVlmS { dst: 10, addr: 7 }, // A[i,kk] from local (1 cyc)
                         BcastV { dst: 1, src: 10 },
-                        MulSImm { dst: 11, a: 7, imm: n as f32 },
-                        AddS { dst: 11, a: 11, b: 5 },
-                        AddS { dst: 11, a: 11, b: 6 },
-                        LdTnsrV { dst: 2, tensor: 1, off: 11 },
+                        MulSImm {
+                            dst: 11,
+                            a: 7,
+                            imm: n as f32,
+                        },
+                        AddS {
+                            dst: 11,
+                            a: 11,
+                            b: 5,
+                        },
+                        AddS {
+                            dst: 11,
+                            a: 11,
+                            b: 6,
+                        },
+                        LdTnsrV {
+                            dst: 2,
+                            tensor: 1,
+                            off: 11,
+                        },
                         MacV { dst: 0, a: 1, b: 2 },
                     ],
                 },
-                AddS { dst: 12, a: 8, b: 6 },
-                StTnsrV { tensor: 2, off: 12, src: 0 },
+                AddS {
+                    dst: 12,
+                    a: 8,
+                    b: 6,
+                },
+                StTnsrV {
+                    tensor: 2,
+                    off: 12,
+                    src: 0,
+                },
             ],
         },
     ];
-    let kernel = Kernel { name: "bmm_tpc_blocked".into(), index_space: vec![batch, m], program };
+    let kernel = Kernel {
+        name: "bmm_tpc_blocked".into(),
+        index_space: vec![batch, m],
+        program,
+    };
     launch(
         &kernel,
-        &Bindings { inputs: vec![a, b], output_dims: vec![batch, m, n], args: vec![] },
+        &Bindings {
+            inputs: vec![a, b],
+            output_dims: vec![batch, m, n],
+            args: vec![],
+        },
         cfg,
     )
 }
@@ -239,7 +366,10 @@ mod tests {
         let b = Tensor::ones(&[1, 128, 128]).unwrap();
         let r = bmm_tpc(&a, &b, &cfg).unwrap();
         let tf = effective_tflops(&r, 1, 128, 128, 128);
-        assert!(tf < 2.0, "naive TPC matmul must stay below TPC plateau: {tf}");
+        assert!(
+            tf < 2.0,
+            "naive TPC matmul must stay below TPC plateau: {tf}"
+        );
         assert!(tf > 0.01, "but not absurdly slow: {tf}");
     }
 }

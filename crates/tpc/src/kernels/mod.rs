@@ -58,8 +58,7 @@ mod cross_check {
         let a = Tensor::randn(&[n], 1.0, &mut rng).unwrap();
         let b = Tensor::randn(&[n], 1.0, &mut rng).unwrap();
         let r = kvec_add(&a, &b, &cfg).unwrap();
-        let analytic =
-            model.class_time_ns(TpcOpClass::Elementwise(1.0), n as f64, 12.0 * n as f64);
+        let analytic = model.class_time_ns(TpcOpClass::Elementwise(1.0), n as f64, 12.0 * n as f64);
         let ratio = ratio_vm_over_analytic(r.time_ns, analytic);
         assert!((0.3..3.0).contains(&ratio), "elementwise ratio {ratio}");
     }

@@ -24,7 +24,11 @@ fn row_reduce(
     let trips = d / VECTOR_LANES;
     let program = vec![
         // S4 = row base
-        MulSImm { dst: 4, a: 0, imm: d as f32 },
+        MulSImm {
+            dst: 4,
+            a: 0,
+            imm: d as f32,
+        },
         MovVImm { dst: 0, imm: init },
         Loop {
             counter: 6,
@@ -33,15 +37,35 @@ fn row_reduce(
             trip: trips,
             body: vec![
                 AddS { dst: 7, a: 4, b: 6 },
-                LdTnsrV { dst: 1, tensor: 0, off: 7 },
+                LdTnsrV {
+                    dst: 1,
+                    tensor: 0,
+                    off: 7,
+                },
                 combine,
             ],
         },
         tree,
-        StTnsrS { tensor: 1, off: 0, src: 8 },
+        StTnsrS {
+            tensor: 1,
+            off: 0,
+            src: 8,
+        },
     ];
-    let kernel = Kernel { name: name.into(), index_space: vec![rows], program };
-    launch(&kernel, &Bindings { inputs: vec![x], output_dims: vec![rows], args: vec![] }, cfg)
+    let kernel = Kernel {
+        name: name.into(),
+        index_space: vec![rows],
+        program,
+    };
+    launch(
+        &kernel,
+        &Bindings {
+            inputs: vec![x],
+            output_dims: vec![rows],
+            args: vec![],
+        },
+        cfg,
+    )
 }
 
 /// Sum over the last axis: output `[rows]`.

@@ -17,9 +17,16 @@ pub fn softmax_rows(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchE
     let step = VECTOR_LANES as f32;
 
     let program = vec![
-        MulSImm { dst: 4, a: 0, imm: d as f32 }, // row base
+        MulSImm {
+            dst: 4,
+            a: 0,
+            imm: d as f32,
+        }, // row base
         // ---- pass 1: running max ----
-        MovVImm { dst: 0, imm: f32::NEG_INFINITY },
+        MovVImm {
+            dst: 0,
+            imm: f32::NEG_INFINITY,
+        },
         Loop {
             counter: 6,
             start: 0.0,
@@ -27,7 +34,11 @@ pub fn softmax_rows(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchE
             trip: trips,
             body: vec![
                 AddS { dst: 7, a: 4, b: 6 },
-                LdTnsrV { dst: 1, tensor: 0, off: 7 },
+                LdTnsrV {
+                    dst: 1,
+                    tensor: 0,
+                    off: 7,
+                },
                 MaxV { dst: 0, a: 0, b: 1 },
             ],
         },
@@ -42,11 +53,19 @@ pub fn softmax_rows(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchE
             trip: trips,
             body: vec![
                 AddS { dst: 7, a: 4, b: 6 },
-                LdTnsrV { dst: 1, tensor: 0, off: 7 },
+                LdTnsrV {
+                    dst: 1,
+                    tensor: 0,
+                    off: 7,
+                },
                 SubV { dst: 1, a: 1, b: 2 },
                 ExpV { dst: 1, a: 1 },
                 AddV { dst: 3, a: 3, b: 1 },
-                StTnsrV { tensor: 1, off: 7, src: 1 },
+                StTnsrV {
+                    tensor: 1,
+                    off: 7,
+                    src: 1,
+                },
             ],
         },
         RedSumV { dst: 9, src: 3 },
@@ -60,14 +79,34 @@ pub fn softmax_rows(x: &Tensor, cfg: &TpcConfig) -> Result<LaunchResult, LaunchE
             trip: trips,
             body: vec![
                 AddS { dst: 7, a: 4, b: 6 },
-                LdTnsrV { dst: 1, tensor: 1, off: 7 },
+                LdTnsrV {
+                    dst: 1,
+                    tensor: 1,
+                    off: 7,
+                },
                 MulV { dst: 1, a: 1, b: 4 },
-                StTnsrV { tensor: 1, off: 7, src: 1 },
+                StTnsrV {
+                    tensor: 1,
+                    off: 7,
+                    src: 1,
+                },
             ],
         },
     ];
-    let kernel = Kernel { name: "softmax".into(), index_space: vec![rows], program };
-    launch(&kernel, &Bindings { inputs: vec![x], output_dims: x.dims().to_vec(), args: vec![] }, cfg)
+    let kernel = Kernel {
+        name: "softmax".into(),
+        index_space: vec![rows],
+        program,
+    };
+    launch(
+        &kernel,
+        &Bindings {
+            inputs: vec![x],
+            output_dims: x.dims().to_vec(),
+            args: vec![],
+        },
+        cfg,
+    )
 }
 
 #[cfg(test)]

@@ -91,10 +91,7 @@ pub fn launch(
     bindings: &Bindings<'_>,
     cfg: &TpcConfig,
 ) -> Result<LaunchResult, LaunchError> {
-    if kernel.index_space.is_empty()
-        || kernel.index_space.len() > 3
-        || kernel.members() == 0
-    {
+    if kernel.index_space.is_empty() || kernel.index_space.len() > 3 || kernel.members() == 0 {
         return Err(LaunchError::BadIndexSpace);
     }
     if ARG_REG_BASE as usize + bindings.args.len() > 32 {
@@ -104,8 +101,11 @@ pub fn launch(
     let out = Tensor::zeros(&bindings.output_dims)?;
     let mut outputs = vec![out.into_vec()];
 
-    let mut tensors: Vec<TensorRef> =
-        bindings.inputs.iter().map(|t| TensorRef::In(t.data())).collect();
+    let mut tensors: Vec<TensorRef> = bindings
+        .inputs
+        .iter()
+        .map(|t| TensorRef::In(t.data()))
+        .collect();
     tensors.push(TensorRef::Out(0));
 
     // Execute every member (functional semantics).
@@ -122,8 +122,11 @@ pub fn launch(
     }
 
     // Timing: static per-member cycles, members round-robin over cores.
-    let cycles_per_member =
-        static_cycles(&kernel.program, cfg.global_access_cycles, cfg.special_func_cycles);
+    let cycles_per_member = static_cycles(
+        &kernel.program,
+        cfg.global_access_cycles,
+        cfg.special_func_cycles,
+    );
     let members = kernel.members();
     let cores = cfg.num_cores.max(1);
     let mut per_core_cycles = vec![0.0; cores];
@@ -136,7 +139,13 @@ pub fn launch(
 
     let data = outputs.pop().expect("single output buffer");
     let output = Tensor::from_vec(&bindings.output_dims, data)?;
-    Ok(LaunchResult { output, critical_cycles, per_core_cycles, time_ns, cycles_per_member })
+    Ok(LaunchResult {
+        output,
+        critical_cycles,
+        per_core_cycles,
+        time_ns,
+        cycles_per_member,
+    })
 }
 
 #[cfg(test)]
@@ -151,12 +160,24 @@ mod tests {
             index_space: vec![d0, d1],
             program: vec![
                 // off = c0 * d1 + c1
-                MulSImm { dst: 4, a: 0, imm: d1 as f32 },
+                MulSImm {
+                    dst: 4,
+                    a: 0,
+                    imm: d1 as f32,
+                },
                 AddS { dst: 4, a: 4, b: 1 },
                 // val = c0 + 100*c1
-                MulSImm { dst: 5, a: 1, imm: 100.0 },
+                MulSImm {
+                    dst: 5,
+                    a: 1,
+                    imm: 100.0,
+                },
                 AddS { dst: 5, a: 5, b: 0 },
-                StTnsrS { tensor: 0, off: 4, src: 5 },
+                StTnsrS {
+                    tensor: 0,
+                    off: 4,
+                    src: 5,
+                },
             ],
         }
     }
@@ -164,7 +185,11 @@ mod tests {
     #[test]
     fn every_member_executes_once() {
         let k = probe_kernel(3, 4);
-        let b = Bindings { inputs: vec![], output_dims: vec![3, 4], args: vec![] };
+        let b = Bindings {
+            inputs: vec![],
+            output_dims: vec![3, 4],
+            args: vec![],
+        };
         let r = launch(&k, &b, &TpcConfig::default()).unwrap();
         for c0 in 0..3 {
             for c1 in 0..4 {
@@ -176,16 +201,27 @@ mod tests {
     #[test]
     fn load_balancing_over_eight_cores() {
         let k = probe_kernel(4, 4); // 16 members over 8 cores = 2 each
-        let b = Bindings { inputs: vec![], output_dims: vec![4, 4], args: vec![] };
+        let b = Bindings {
+            inputs: vec![],
+            output_dims: vec![4, 4],
+            args: vec![],
+        };
         let r = launch(&k, &b, &TpcConfig::default()).unwrap();
-        assert!(r.per_core_cycles.iter().all(|&c| c == 2.0 * r.cycles_per_member));
+        assert!(r
+            .per_core_cycles
+            .iter()
+            .all(|&c| c == 2.0 * r.cycles_per_member));
         assert_eq!(r.critical_cycles, 2.0 * r.cycles_per_member);
     }
 
     #[test]
     fn uneven_member_count_loads_first_cores_more() {
         let k = probe_kernel(3, 3); // 9 members over 8 cores
-        let b = Bindings { inputs: vec![], output_dims: vec![3, 3], args: vec![] };
+        let b = Bindings {
+            inputs: vec![],
+            output_dims: vec![3, 3],
+            args: vec![],
+        };
         let r = launch(&k, &b, &TpcConfig::default()).unwrap();
         assert_eq!(r.per_core_cycles[0], 2.0 * r.cycles_per_member);
         assert_eq!(r.per_core_cycles[7], r.cycles_per_member);
@@ -198,10 +234,18 @@ mod tests {
             index_space: vec![1],
             program: vec![
                 MovSImm { dst: 4, imm: 0.0 },
-                StTnsrS { tensor: 0, off: 4, src: ARG_REG_BASE },
+                StTnsrS {
+                    tensor: 0,
+                    off: 4,
+                    src: ARG_REG_BASE,
+                },
             ],
         };
-        let b = Bindings { inputs: vec![], output_dims: vec![1], args: vec![42.5] };
+        let b = Bindings {
+            inputs: vec![],
+            output_dims: vec![1],
+            args: vec![42.5],
+        };
         let r = launch(&k, &b, &TpcConfig::default()).unwrap();
         assert_eq!(r.output.data()[0], 42.5);
     }
@@ -210,8 +254,15 @@ mod tests {
     fn rejects_bad_index_space() {
         let mut k = probe_kernel(2, 2);
         k.index_space = vec![];
-        let b = Bindings { inputs: vec![], output_dims: vec![4], args: vec![] };
-        assert_eq!(launch(&k, &b, &TpcConfig::default()).unwrap_err(), LaunchError::BadIndexSpace);
+        let b = Bindings {
+            inputs: vec![],
+            output_dims: vec![4],
+            args: vec![],
+        };
+        assert_eq!(
+            launch(&k, &b, &TpcConfig::default()).unwrap_err(),
+            LaunchError::BadIndexSpace
+        );
         let mut k2 = probe_kernel(2, 2);
         k2.index_space = vec![2, 0];
         assert_eq!(
@@ -223,7 +274,11 @@ mod tests {
     #[test]
     fn launch_time_includes_overhead() {
         let k = probe_kernel(1, 1);
-        let b = Bindings { inputs: vec![], output_dims: vec![1, 1], args: vec![] };
+        let b = Bindings {
+            inputs: vec![],
+            output_dims: vec![1, 1],
+            args: vec![],
+        };
         let cfg = TpcConfig::default();
         let r = launch(&k, &b, &cfg).unwrap();
         assert!(r.time_ns >= cfg.launch_overhead_ns);

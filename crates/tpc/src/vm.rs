@@ -179,8 +179,9 @@ impl<'a, 'b> Vm<'a, 'b> {
                 self.sregs[*dst as usize] = self.vregs[*src as usize].iter().sum();
             }
             RedMaxV { dst, src } => {
-                self.sregs[*dst as usize] =
-                    self.vregs[*src as usize].iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+                self.sregs[*dst as usize] = self.vregs[*src as usize]
+                    .iter()
+                    .fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             }
             StTnsrV { tensor, off, src } => {
                 let base = self.offset(*off);
@@ -194,7 +195,13 @@ impl<'a, 'b> Vm<'a, 'b> {
                 let v = self.sregs[*src as usize];
                 self.store(*tensor, base, v);
             }
-            Loop { counter, start, step, trip, body } => {
+            Loop {
+                counter,
+                start,
+                step,
+                trip,
+                body,
+            } => {
                 self.sregs[*counter as usize] = *start;
                 for _ in 0..*trip {
                     self.exec(body);
@@ -206,8 +213,7 @@ impl<'a, 'b> Vm<'a, 'b> {
 
     fn vbin(&mut self, dst: u8, a: u8, b: u8, f: impl Fn(f32, f32) -> f32) {
         for l in 0..VECTOR_LANES {
-            self.vregs[dst as usize][l] =
-                f(self.vregs[a as usize][l], self.vregs[b as usize][l]);
+            self.vregs[dst as usize][l] = f(self.vregs[a as usize][l], self.vregs[b as usize][l]);
         }
     }
 
@@ -223,13 +229,20 @@ impl<'a, 'b> Vm<'a, 'b> {
 /// reads/writes a register touched by the bundle; a bundle's duration is the
 /// longest of its instructions. Loops cost their (static) body cycles per
 /// trip plus sequencer overhead.
-pub fn static_cycles(program: &[Instr], global_access_cycles: f64, special_func_cycles: f64) -> f64 {
+pub fn static_cycles(
+    program: &[Instr],
+    global_access_cycles: f64,
+    special_func_cycles: f64,
+) -> f64 {
     let mut total = 0.0;
     let mut used: HashSet<Slot> = HashSet::new();
     let mut touched: HashSet<(bool, u8)> = HashSet::new();
     let mut duration = 0.0f64;
 
-    let flush = |used: &mut HashSet<Slot>, touched: &mut HashSet<(bool, u8)>, duration: &mut f64, total: &mut f64| {
+    let flush = |used: &mut HashSet<Slot>,
+                 touched: &mut HashSet<(bool, u8)>,
+                 duration: &mut f64,
+                 total: &mut f64| {
         *total += *duration;
         used.clear();
         touched.clear();
@@ -246,7 +259,10 @@ pub fn static_cycles(program: &[Instr], global_access_cycles: f64, special_func_
         let slot = instr.slot();
         let conflict = used.contains(&slot)
             || instr.reads().iter().any(|r| touched.contains(r))
-            || instr.writes().map(|w| touched.contains(&w)).unwrap_or(false);
+            || instr
+                .writes()
+                .map(|w| touched.contains(&w))
+                .unwrap_or(false);
         if conflict {
             flush(&mut used, &mut touched, &mut duration, &mut total);
         }
@@ -276,9 +292,17 @@ mod tests {
             MovSImm { dst: 0, imm: 3.0 },
             MovSImm { dst: 1, imm: 4.0 },
             AddS { dst: 2, a: 0, b: 1 },
-            MulSImm { dst: 3, a: 2, imm: 2.0 },
+            MulSImm {
+                dst: 3,
+                a: 2,
+                imm: 2.0,
+            },
             BcastV { dst: 0, src: 3 },
-            AddVImm { dst: 1, a: 0, imm: 1.0 },
+            AddVImm {
+                dst: 1,
+                a: 0,
+                imm: 1.0,
+            },
         ]);
         assert_eq!(vm.sreg(2), 7.0);
         assert_eq!(vm.sreg(3), 14.0);
@@ -293,9 +317,21 @@ mod tests {
         let mut vm = Vm::new(&tensors, &mut outs);
         vm.exec(&[
             MovSImm { dst: 0, imm: 10.0 },
-            LdTnsrV { dst: 0, tensor: 0, off: 0 },
-            MulVImm { dst: 0, a: 0, imm: 2.0 },
-            StTnsrV { tensor: 1, off: 0, src: 0 },
+            LdTnsrV {
+                dst: 0,
+                tensor: 0,
+                off: 0,
+            },
+            MulVImm {
+                dst: 0,
+                a: 0,
+                imm: 2.0,
+            },
+            StTnsrV {
+                tensor: 1,
+                off: 0,
+                src: 0,
+            },
         ]);
         assert_eq!(outs[0][10], 20.0);
         assert_eq!(outs[0][73], 146.0);
@@ -310,9 +346,17 @@ mod tests {
         let mut vm = Vm::new(&tensors, &mut outs);
         vm.exec(&[
             MovSImm { dst: 0, imm: 4.0 },
-            LdTnsrV { dst: 0, tensor: 0, off: 0 },
+            LdTnsrV {
+                dst: 0,
+                tensor: 0,
+                off: 0,
+            },
             RedSumV { dst: 1, src: 0 },
-            StTnsrV { tensor: 1, off: 0, src: 0 },
+            StTnsrV {
+                tensor: 1,
+                off: 0,
+                src: 0,
+            },
         ]);
         // lanes 0..4 loaded 1.0, rest zero-padded.
         assert_eq!(vm.sreg(1), 4.0);
@@ -351,7 +395,12 @@ mod tests {
             MovVImm { dst: 1, imm: -1.0 },
             MovVImm { dst: 2, imm: 5.0 },
             MovVImm { dst: 3, imm: 7.0 },
-            SelGtzV { dst: 4, cond: 1, a: 2, b: 3 },
+            SelGtzV {
+                dst: 4,
+                cond: 1,
+                a: 2,
+                b: 3,
+            },
             RedMaxV { dst: 1, src: 4 },
         ]);
         assert_eq!(vm.sreg(0), 128.0);
@@ -366,7 +415,11 @@ mod tests {
             MovSImm { dst: 0, imm: 0.0 }, // Load slot
             AddS { dst: 1, a: 2, b: 3 },  // SPU
             AddV { dst: 0, a: 1, b: 2 },  // VPU
-            StTnsrS { tensor: 0, off: 4, src: 5 }, // Store
+            StTnsrS {
+                tensor: 0,
+                off: 4,
+                src: 5,
+            }, // Store
         ];
         assert_eq!(static_cycles(&prog, 4.0, 16.0), 4.0);
     }
@@ -375,8 +428,16 @@ mod tests {
     fn dependent_instructions_serialize() {
         let prog = vec![
             MovSImm { dst: 0, imm: 1.0 },
-            AddSImm { dst: 1, a: 0, imm: 1.0 }, // reads S0 written in bundle
-            AddSImm { dst: 2, a: 1, imm: 1.0 }, // reads S1
+            AddSImm {
+                dst: 1,
+                a: 0,
+                imm: 1.0,
+            }, // reads S0 written in bundle
+            AddSImm {
+                dst: 2,
+                a: 1,
+                imm: 1.0,
+            }, // reads S1
         ];
         assert_eq!(static_cycles(&prog, 4.0, 16.0), 3.0);
     }
@@ -384,7 +445,13 @@ mod tests {
     #[test]
     fn loop_cycles_scale_with_trip_count() {
         let body = vec![AddV { dst: 0, a: 1, b: 2 }];
-        let prog = vec![Loop { counter: 1, start: 0.0, step: 1.0, trip: 10, body }];
+        let prog = vec![Loop {
+            counter: 1,
+            start: 0.0,
+            step: 1.0,
+            trip: 10,
+            body,
+        }];
         // 2 (sequencer) + 10 * 1.
         assert_eq!(static_cycles(&prog, 4.0, 16.0), 12.0);
     }

@@ -87,7 +87,10 @@ mod tests {
         // 80/10/10 split within selected, loosely.
         assert!(stats.masked > stats.randomized);
         assert!(stats.masked > stats.unchanged);
-        assert_eq!(stats.selected, stats.masked + stats.randomized + stats.unchanged);
+        assert_eq!(
+            stats.selected,
+            stats.masked + stats.randomized + stats.unchanged
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct Vocab {
 impl Vocab {
     /// Vocabulary of the given total size (including special tokens).
     pub fn new(size: usize) -> Self {
-        assert!(size > FIRST_WORD as usize, "vocab must hold the special tokens");
+        assert!(
+            size > FIRST_WORD as usize,
+            "vocab must hold the special tokens"
+        );
         Vocab { size }
     }
 

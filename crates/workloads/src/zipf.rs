@@ -72,7 +72,11 @@ mod tests {
         assert!(counts[0] > counts[1]);
         assert!(counts[1] > counts[4]);
         let top10: usize = counts[..10].iter().sum();
-        assert!(top10 as f64 / n as f64 > 0.3, "top-10 share {}", top10 as f64 / n as f64);
+        assert!(
+            top10 as f64 / n as f64 > 0.3,
+            "top-10 share {}",
+            top10 as f64 / n as f64
+        );
     }
 
     #[test]

@@ -24,14 +24,36 @@ fn main() {
     let n = 1 << 16;
     let program = vec![
         // element offset of this member's vector
-        MulSImm { dst: 4, a: 0, imm: VECTOR_LANES as f32 },
-        LdTnsrV { dst: 0, tensor: 0, off: 4 },
-        BcastV { dst: 1, src: ARG_REG_BASE },     // a
-        BcastV { dst: 2, src: ARG_REG_BASE + 1 }, // b
+        MulSImm {
+            dst: 4,
+            a: 0,
+            imm: VECTOR_LANES as f32,
+        },
+        LdTnsrV {
+            dst: 0,
+            tensor: 0,
+            off: 4,
+        },
+        BcastV {
+            dst: 1,
+            src: ARG_REG_BASE,
+        }, // a
+        BcastV {
+            dst: 2,
+            src: ARG_REG_BASE + 1,
+        }, // b
         MulV { dst: 3, a: 0, b: 1 },
         AddV { dst: 3, a: 3, b: 2 },
-        MaxVImm { dst: 3, a: 3, imm: 0.0 }, // relu
-        StTnsrV { tensor: 1, off: 4, src: 3 },
+        MaxVImm {
+            dst: 3,
+            a: 3,
+            imm: 0.0,
+        }, // relu
+        StTnsrV {
+            tensor: 1,
+            off: 4,
+            src: 3,
+        },
     ];
     let kernel = Kernel {
         name: "fused_scale_bias_relu".into(),
@@ -45,7 +67,11 @@ fn main() {
 
     let result = launch(
         &kernel,
-        &Bindings { inputs: vec![&x], output_dims: vec![n], args: vec![a, b] },
+        &Bindings {
+            inputs: vec![&x],
+            output_dims: vec![n],
+            args: vec![a, b],
+        },
         &cfg,
     )
     .expect("launch succeeds");
@@ -58,8 +84,11 @@ fn main() {
     assert!(err < 1e-6);
 
     // Cycle accounting: the VLIW packer overlaps the four slots.
-    let per_member =
-        static_cycles(&kernel.program, cfg.global_access_cycles, cfg.special_func_cycles);
+    let per_member = static_cycles(
+        &kernel.program,
+        cfg.global_access_cycles,
+        cfg.special_func_cycles,
+    );
     println!("cycles per 64-element member: {per_member}");
     println!(
         "critical-path cycles (8 cores, {} members): {}",

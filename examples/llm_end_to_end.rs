@@ -12,22 +12,23 @@ use habana_gaudi_study::prelude::*;
 use habana_gaudi_study::profiler::report::trace_summary;
 use habana_gaudi_study::workloads::{clm_batch, mlm_batch, SyntheticBookCorpus};
 
-fn main() {
-    let runtime = Runtime::hls1();
+fn main() -> Result<(), GaudiError> {
+    let session = GaudiSession::hls1();
 
     // ---- Part 1: numerics on a miniature BERT (fits on the host) ----
     let bert_cfg = BertConfig::tiny();
-    let (graph, built) = build_bert_mlm(&bert_cfg).expect("valid config");
+    let (graph, built) = build_bert_mlm(&bert_cfg)?;
     let mut corpus = SyntheticBookCorpus::new(bert_cfg.base.vocab, 123);
-    let (ids, labels, stats) =
-        mlm_batch(&mut corpus, bert_cfg.base.batch, bert_cfg.base.seq_len);
+    let (ids, labels, stats) = mlm_batch(&mut corpus, bert_cfg.base.batch, bert_cfg.base.seq_len);
     println!(
         "BERT-MLM miniature: batch {}x{}, {} positions selected for masking ({} masked / {} random / {} kept)",
         bert_cfg.base.batch, bert_cfg.base.seq_len, stats.selected, stats.masked,
         stats.randomized, stats.unchanged
     );
-    let feeds = Feeds::auto(5).with_input("ids", ids).with_input("labels", labels);
-    let report = runtime.run(&graph, &feeds, NumericsMode::Full).expect("run succeeds");
+    let feeds = Feeds::auto(5)
+        .with_input("ids", ids)
+        .with_input("labels", labels);
+    let report = session.run(&graph, feeds)?;
     let loss = report.outputs[0].data()[0];
     println!(
         "masked-LM loss: {loss:.3} (uniform-guess baseline would be ln(V) = {:.3})\n",
@@ -37,25 +38,33 @@ fn main() {
 
     // ---- Part 2: the same for a miniature GPT with its causal mask ----
     let gpt_cfg = GptConfig::tiny();
-    let (ggraph, _) = build_gpt_lm(&gpt_cfg).expect("valid config");
+    let (ggraph, _) = build_gpt_lm(&gpt_cfg)?;
     let mut gcorpus = SyntheticBookCorpus::new(gpt_cfg.base.vocab, 321);
     let (gids, glabels) = clm_batch(&mut gcorpus, gpt_cfg.base.batch, gpt_cfg.base.seq_len);
     let gfeeds = Feeds::auto(6)
         .with_input("ids", gids)
         .with_input("labels", glabels)
         .with_input("causal_mask", causal_mask_tensor(gpt_cfg.base.seq_len));
-    let greport = runtime.run(&ggraph, &gfeeds, NumericsMode::Full).expect("run succeeds");
-    println!("GPT causal-LM miniature loss: {:.3}\n", greport.outputs[0].data()[0]);
+    let greport = session.run(&ggraph, gfeeds)?;
+    println!(
+        "GPT causal-LM miniature loss: {:.3}\n",
+        greport.outputs[0].data()[0]
+    );
 
     // ---- Part 3: the paper-scale profile (timing only) ----
     for (name, graph) in [
-        ("GPT  (fig. 8 config)", build_gpt_lm(&GptConfig::paper()).expect("builds").0),
-        ("BERT (fig. 9 config)", build_bert_mlm(&BertConfig::paper()).expect("builds").0),
+        ("GPT  (fig. 8 config)", build_gpt_lm(&GptConfig::paper())?.0),
+        (
+            "BERT (fig. 9 config)",
+            build_bert_mlm(&BertConfig::paper())?.0,
+        ),
     ] {
-        let r = runtime
-            .run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly)
-            .expect("run succeeds");
-        println!("== {name}: simulated training step {:.1} ms ==", r.makespan_ms);
+        let r = session.run_with_mode(&graph, Feeds::auto(0), NumericsMode::ShapeOnly)?;
+        println!(
+            "== {name}: simulated training step {:.1} ms ==",
+            r.makespan_ms
+        );
         println!("{}", trace_summary(&r.trace));
     }
+    Ok(())
 }

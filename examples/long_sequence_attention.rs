@@ -19,19 +19,29 @@ use habana_gaudi_study::profiler::report::TextTable;
 fn layer_time_ms(cfg: &TransformerLayerConfig) -> f64 {
     let (graph, _) = build_transformer_layer(cfg).expect("valid config");
     let rt = Runtime::new(GaudiConfig::hls1(), CompilerOptions::default());
-    rt.run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly).expect("run").makespan_ms
+    rt.run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly)
+        .expect("run")
+        .makespan_ms
 }
 
 fn main() {
     println!("Attention mechanisms across sequence length (batch 128, 6 heads, 64 hid/head)\n");
-    let mut t = TextTable::new(&["Seq", "Softmax (ms)", "Linear (ms)", "Performer (ms)", "Best"]);
+    let mut t = TextTable::new(&[
+        "Seq",
+        "Softmax (ms)",
+        "Linear (ms)",
+        "Performer (ms)",
+        "Best",
+    ]);
     for n in [128usize, 256, 512, 1024, 2048, 4096, 8192] {
         let base = TransformerLayerConfig::paper_section_3_3().with_seq_len(n);
         let softmax = layer_time_ms(&base);
-        let linear =
-            layer_time_ms(&base.clone().with_attention(AttentionKind::Linear));
-        let performer =
-            layer_time_ms(&base.clone().with_attention(AttentionKind::Favor { features: 256 }));
+        let linear = layer_time_ms(&base.clone().with_attention(AttentionKind::Linear));
+        let performer = layer_time_ms(
+            &base
+                .clone()
+                .with_attention(AttentionKind::Favor { features: 256 }),
+        );
         let best = if softmax <= linear && softmax <= performer {
             "softmax"
         } else if linear <= performer {

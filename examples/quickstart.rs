@@ -5,16 +5,20 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use habana_gaudi_study::prelude::*;
 use habana_gaudi_study::models::transformer::build_transformer_layer;
+use habana_gaudi_study::prelude::*;
 use habana_gaudi_study::profiler::ascii::render_timeline;
 use habana_gaudi_study::profiler::report::trace_summary;
 
-fn main() {
-    // 1. Describe the model: a host-executable miniature of the paper's
+fn main() -> Result<(), GaudiError> {
+    // 1. Open a session on the simulated HLS-1 — the session owns the
+    //    compiler and runtime; no further plumbing needed.
+    let session = GaudiSession::builder().hw(GaudiConfig::hls1()).build()?;
+
+    // 2. Describe the model: a host-executable miniature of the paper's
     //    single-layer benchmark (same structure, tiny dimensions).
     let cfg = TransformerLayerConfig::tiny();
-    let (graph, built) = build_transformer_layer(&cfg).expect("valid config");
+    let (graph, built) = build_transformer_layer(&cfg)?;
     println!(
         "graph: {} nodes, input {:?}, output {:?}",
         graph.len(),
@@ -22,30 +26,31 @@ fn main() {
         graph.shape(built.output).dims()
     );
 
-    // 2. Feed an input batch and run with full numerics on the HLS-1 model.
+    // 3. Feed an input batch and run with full numerics.
     let mut rng = SeededRng::new(42);
-    let x = Tensor::randn(graph.shape(built.input).dims(), 1.0, &mut rng).expect("input");
-    let feeds = Feeds::auto(7).with_input("x", x);
-    let runtime = Runtime::hls1();
-    let report = runtime.run(&graph, &feeds, NumericsMode::Full).expect("run succeeds");
+    let x = Tensor::randn(graph.shape(built.input).dims(), 1.0, &mut rng)?;
+    let report = session.run(&graph, Feeds::auto(7).with_input("x", x))?;
 
-    // 3. Inspect the numeric output and the simulated hardware trace.
+    // 4. Inspect the numeric output and the simulated hardware trace.
     let y = &report.outputs[0];
     println!("output: shape {:?}, finite: {}", y.dims(), y.all_finite());
-    println!("\nsimulated hardware trace ({} events):\n", report.trace.len());
+    println!(
+        "\nsimulated hardware trace ({} events):\n",
+        report.trace.len()
+    );
     println!("{}", render_timeline(&report.trace, 90));
     println!("{}", trace_summary(&report.trace));
 
-    // 4. The same API scales to the paper's real configuration — numerics
-    //    off (tens of GB of activations), timing exact.
+    // 5. The same session scales to the paper's real configuration —
+    //    numerics off (tens of GB of activations), timing exact.
     let paper_cfg = TransformerLayerConfig::paper_section_3_3();
-    let (paper_graph, _) = build_transformer_layer(&paper_cfg).expect("valid config");
-    let paper_report = runtime
-        .run(&paper_graph, &Feeds::auto(0), NumericsMode::ShapeOnly)
-        .expect("run succeeds");
+    let (paper_graph, _) = build_transformer_layer(&paper_cfg)?;
+    let paper_report =
+        session.run_with_mode(&paper_graph, Feeds::auto(0), NumericsMode::ShapeOnly)?;
     println!(
         "paper-scale layer (seq 2048, batch 128): {:.1} ms simulated, peak HBM {:.1} GiB",
         paper_report.makespan_ms,
         paper_report.peak_hbm_bytes as f64 / (1u64 << 30) as f64
     );
+    Ok(())
 }

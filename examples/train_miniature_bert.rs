@@ -15,7 +15,12 @@ use habana_gaudi_study::workloads::{mlm_batch, SyntheticBookCorpus};
 
 fn main() {
     // A host-trainable BERT: 2 layers, 2 heads, vocab 101, training graph on.
-    let cfg = BertConfig { base: LlmConfig { training: true, ..LlmConfig::tiny(101) } };
+    let cfg = BertConfig {
+        base: LlmConfig {
+            training: true,
+            ..LlmConfig::tiny(101)
+        },
+    };
     let (graph, _) = build_bert_mlm(&cfg).expect("valid config");
     println!(
         "model: {} graph nodes ({} parameters), vocab {}, seq {}, batch {}",
@@ -37,14 +42,21 @@ fn main() {
         let (ids, labels, _) = mlm_batch(&mut corpus, cfg.base.batch, cfg.base.seq_len);
         let batch = vec![("ids".to_string(), ids), ("labels".to_string(), labels)];
         let report = trainer.step(&batch, &mut opt).expect("step succeeds");
-        println!("{:>5}   {:>14.4}   {:>15.3} ms", step, report.loss, report.makespan_ms);
+        println!(
+            "{:>5}   {:>14.4}   {:>15.3} ms",
+            step, report.loss, report.makespan_ms
+        );
         first.get_or_insert(report.loss);
         last = report.loss;
     }
     let first = first.unwrap();
     println!(
         "\nloss {first:.3} -> {last:.3} ({}); uniform-guess baseline ln(V) = {:.3}",
-        if last < first { "learning" } else { "diverging?" },
+        if last < first {
+            "learning"
+        } else {
+            "diverging?"
+        },
         (cfg.base.vocab as f32).ln()
     );
     assert!(last < first, "training must make progress");

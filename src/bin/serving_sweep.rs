@@ -1,0 +1,92 @@
+//! Extension: online-serving sweep — arrival rate × max batch size.
+//!
+//! Replays a seeded Poisson/Zipf request stream through the
+//! continuous-batching serving simulator and reports tail latency,
+//! goodput, and engine balance per operating point. The whole sweep is a
+//! pure function of the seed: re-running prints identical numbers.
+//!
+//! ```sh
+//! cargo run --release --bin serving_sweep
+//! ```
+
+use gaudi_profiler::report::TextTable;
+use gaudi_serving::{simulate, ServingConfig, ServingReport, TrafficConfig};
+
+fn run_cell(rate: f64, max_batch: usize) -> ServingReport {
+    let mut cfg = ServingConfig::gpt2_xl();
+    cfg.traffic = TrafficConfig {
+        arrival_rate_per_s: rate,
+        num_requests: 60,
+        prompt_range: (16, 512),
+        output_range: (8, 128),
+        zipf_s: 1.1,
+        seed: 42,
+    };
+    cfg.max_batch = max_batch;
+    simulate(&cfg).expect("sweep cell simulates")
+}
+
+fn main() {
+    println!("Extension: simulated online serving, GPT-2-XL-class model on one HLS-1\n");
+    println!(
+        "60 requests/cell, Poisson arrivals, Zipf lengths (prompt 16-512, output 8-128), seed 42\n"
+    );
+
+    let rates = [1.0, 4.0, 16.0];
+    let batches = [1usize, 4, 16];
+
+    let mut t = TextTable::new(&[
+        "Rate (req/s)",
+        "Max batch",
+        "TTFT p50/p95/p99 (ms)",
+        "TPOT p50 (ms)",
+        "Goodput (tok/s)",
+        "MME/TPC util",
+        "KV stalls",
+        "Graphs",
+    ]);
+    for &rate in &rates {
+        for &max_batch in &batches {
+            let r = run_cell(rate, max_batch);
+            t.row(&[
+                format!("{rate:.0}"),
+                max_batch.to_string(),
+                format!(
+                    "{:.0}/{:.0}/{:.0}",
+                    r.ttft_ms.p50, r.ttft_ms.p95, r.ttft_ms.p99
+                ),
+                format!("{:.1}", r.tpot_ms.p50),
+                format!("{:.0}", r.goodput_tokens_per_s),
+                format!(
+                    "{:.0}%/{:.0}%",
+                    r.mme_utilization * 100.0,
+                    r.tpc_utilization * 100.0
+                ),
+                r.backpressure_stalls.to_string(),
+                r.compiled_graphs.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    println!(
+        "Reading: at low rates TTFT is prefill-bound and batch size is\n\
+         irrelevant; as load grows, max batch 1 queues catastrophically while\n\
+         continuous batching amortizes the decode GEMV launch overhead that\n\
+         Table 2 pins on small matmuls, multiplying goodput at a modest\n\
+         per-token latency cost.\n"
+    );
+
+    let busiest = run_cell(*rates.last().unwrap(), *batches.last().unwrap());
+    println!("Full report at rate 16 req/s, max batch 16:\n");
+    println!("{}", busiest.render());
+
+    // The acceptance bar: identical seeds must reproduce identical reports.
+    let again = run_cell(*rates.last().unwrap(), *batches.last().unwrap());
+    let reproducible = busiest.makespan_ms == again.makespan_ms
+        && busiest.ttft_ms == again.ttft_ms
+        && busiest.tpot_ms == again.tpot_ms
+        && busiest.goodput_tokens_per_s == again.goodput_tokens_per_s;
+    println!("re-run with identical seed reproduces report: {reproducible}");
+    assert!(reproducible, "serving simulation must be deterministic");
+}

@@ -16,10 +16,22 @@
 //! * [`runtime`] — plan execution, producing numerics and hardware traces,
 //! * [`profiler`] — trace analysis and rendering,
 //! * [`models`] — attention variants, Transformer layers, BERT and GPT,
-//! * [`workloads`] — synthetic BookCorpus generation and batching.
+//! * [`workloads`] — synthetic BookCorpus generation and batching,
+//! * [`serving`] — simulated multi-tenant inference serving with
+//!   continuous batching and KV-cache HBM accounting.
+//!
+//! The usual entry point is [`GaudiSession`]: configure hardware and
+//! compiler once, then run graphs or serving simulations without touching
+//! the layers individually.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
+
+mod error;
+mod session;
+
+pub use error::GaudiError;
+pub use session::{GaudiSession, GaudiSessionBuilder};
 
 pub use gaudi_compiler as compiler;
 pub use gaudi_graph as graph;
@@ -27,17 +39,20 @@ pub use gaudi_hw as hw;
 pub use gaudi_models as models;
 pub use gaudi_profiler as profiler;
 pub use gaudi_runtime as runtime;
+pub use gaudi_serving as serving;
 pub use gaudi_tensor as tensor;
 pub use gaudi_tpc as tpc;
 pub use gaudi_workloads as workloads;
 
 /// A convenience prelude for examples and downstream users.
 pub mod prelude {
+    pub use crate::{GaudiError, GaudiSession, GaudiSessionBuilder};
     pub use gaudi_compiler::{CompilerOptions, GraphCompiler, SchedulerKind};
     pub use gaudi_graph::{Graph, NodeId, OpKind};
     pub use gaudi_hw::GaudiConfig;
     pub use gaudi_models::{ActivationKind, AttentionKind, TransformerLayerConfig};
     pub use gaudi_profiler::{Trace, TraceAnalysis};
     pub use gaudi_runtime::{Feeds, NumericsMode, RunReport, Runtime};
+    pub use gaudi_serving::{ServingConfig, ServingReport, TrafficConfig};
     pub use gaudi_tensor::{DType, SeededRng, Shape, Tensor};
 }

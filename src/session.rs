@@ -1,0 +1,229 @@
+//! `GaudiSession` — the one-stop facade over the simulated device.
+//!
+//! The workspace's layers (graph → compiler → runtime → profiler) are each
+//! usable on their own, but every example was wiring them together by hand.
+//! A session owns that plumbing: configure hardware and compiler once,
+//! then `run` graphs (compile → execute → trace) and `serve` request
+//! streams without touching `GraphCompiler` or `Runtime` directly.
+//!
+//! ```
+//! use habana_gaudi_study::prelude::*;
+//!
+//! let session = GaudiSession::builder()
+//!     .hw(GaudiConfig::hls1())
+//!     .options(CompilerOptions::idealized())
+//!     .build()?;
+//!
+//! let mut g = Graph::new();
+//! let x = g.input("x", &[4, 4])?;
+//! let y = g.softmax(x)?;
+//! g.mark_output(y);
+//!
+//! let report = session.run(&g, Feeds::auto(0).with_input("x", Tensor::ones(&[4, 4])?))?;
+//! assert_eq!(report.outputs[0].dims(), &[4, 4]);
+//! assert!(!report.trace.is_empty());
+//! # Ok::<(), habana_gaudi_study::GaudiError>(())
+//! ```
+
+use crate::error::GaudiError;
+use gaudi_compiler::CompilerOptions;
+use gaudi_graph::Graph;
+use gaudi_hw::GaudiConfig;
+use gaudi_runtime::{Feeds, NumericsMode, RunReport, Runtime};
+use gaudi_serving::{simulate, ServingConfig, ServingReport};
+
+/// A configured simulated device: hardware model + compiler options.
+///
+/// Build one with [`GaudiSession::builder`]; see the [module docs](self)
+/// for a complete example.
+pub struct GaudiSession {
+    hw: GaudiConfig,
+    options: CompilerOptions,
+    numerics: NumericsMode,
+    runtime: Runtime,
+}
+
+impl GaudiSession {
+    /// Start configuring a session. Defaults: HLS-1 hardware, SynapseAI-like
+    /// compiler options, full numerics.
+    pub fn builder() -> GaudiSessionBuilder {
+        GaudiSessionBuilder::default()
+    }
+
+    /// An HLS-1 session with default options — the shortest path to `run`.
+    pub fn hls1() -> Self {
+        GaudiSession::builder()
+            .build()
+            .expect("default session is valid")
+    }
+
+    /// Compile `graph`, execute it with `feeds`, and return outputs, trace,
+    /// makespan, and peak-HBM estimate in one report.
+    pub fn run(&self, graph: &Graph, feeds: Feeds) -> Result<RunReport, GaudiError> {
+        Ok(self.runtime.run(graph, &feeds, self.numerics)?)
+    }
+
+    /// Like [`run`](Self::run), overriding the session's numerics mode for
+    /// one call (e.g. `NumericsMode::ShapeOnly` for paper-scale shapes whose
+    /// activations would not fit host memory).
+    pub fn run_with_mode(
+        &self,
+        graph: &Graph,
+        feeds: Feeds,
+        mode: NumericsMode,
+    ) -> Result<RunReport, GaudiError> {
+        Ok(self.runtime.run(graph, &feeds, mode)?)
+    }
+
+    /// Run a multi-tenant serving simulation on this session's hardware and
+    /// compiler configuration (the `hw`/`opts` fields of `cfg` are replaced
+    /// by the session's own).
+    pub fn serve(&self, cfg: &ServingConfig) -> Result<ServingReport, GaudiError> {
+        let mut cfg = cfg.clone();
+        cfg.hw = self.hw.clone();
+        cfg.opts = self.options.clone();
+        Ok(simulate(&cfg)?)
+    }
+
+    /// The hardware configuration this session simulates.
+    pub fn hw(&self) -> &GaudiConfig {
+        &self.hw
+    }
+
+    /// The compiler options every `run`/`serve` uses.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// The session's default numerics mode.
+    pub fn numerics(&self) -> NumericsMode {
+        self.numerics
+    }
+}
+
+/// Builder for [`GaudiSession`].
+#[derive(Default)]
+pub struct GaudiSessionBuilder {
+    hw: Option<GaudiConfig>,
+    options: Option<CompilerOptions>,
+    numerics: Option<NumericsMode>,
+}
+
+impl GaudiSessionBuilder {
+    /// Select the hardware model (default: `GaudiConfig::hls1()`).
+    pub fn hw(mut self, hw: GaudiConfig) -> Self {
+        self.hw = Some(hw);
+        self
+    }
+
+    /// Select compiler options (default: `CompilerOptions::default()`, the
+    /// SynapseAI-like configuration).
+    pub fn options(mut self, options: CompilerOptions) -> Self {
+        self.options = Some(options);
+        self
+    }
+
+    /// Select the default numerics mode (default: `NumericsMode::Full`).
+    pub fn numerics(mut self, mode: NumericsMode) -> Self {
+        self.numerics = Some(mode);
+        self
+    }
+
+    /// Construct the session.
+    pub fn build(self) -> Result<GaudiSession, GaudiError> {
+        let hw = self.hw.unwrap_or_else(GaudiConfig::hls1);
+        let options = self.options.unwrap_or_default();
+        let numerics = self.numerics.unwrap_or(NumericsMode::Full);
+        let runtime = Runtime::new(hw.clone(), options.clone());
+        Ok(GaudiSession {
+            hw,
+            options,
+            numerics,
+            runtime,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaudi_serving::TrafficConfig;
+    use gaudi_tensor::Tensor;
+
+    fn softmax_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input("x", &[4, 4]).unwrap();
+        let y = g.softmax(x).unwrap();
+        g.mark_output(y);
+        g
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let s = GaudiSession::builder().build().unwrap();
+        assert_eq!(
+            s.hw().memory.hbm_capacity_bytes,
+            GaudiConfig::hls1().memory.hbm_capacity_bytes
+        );
+        assert_eq!(s.numerics(), NumericsMode::Full);
+
+        let s = GaudiSession::builder()
+            .hw(GaudiConfig::hls1())
+            .options(CompilerOptions::idealized())
+            .numerics(NumericsMode::ShapeOnly)
+            .build()
+            .unwrap();
+        assert_eq!(s.numerics(), NumericsMode::ShapeOnly);
+        assert!(
+            s.options().fuse_elementwise,
+            "idealized options enable fusion"
+        );
+    }
+
+    #[test]
+    fn run_produces_outputs_and_trace() {
+        let s = GaudiSession::hls1();
+        let g = softmax_graph();
+        let feeds = Feeds::auto(0).with_input("x", Tensor::ones(&[4, 4]).unwrap());
+        let r = s.run(&g, feeds).unwrap();
+        assert_eq!(r.outputs.len(), 1);
+        assert!(!r.trace.is_empty());
+        assert!(r.makespan_ms > 0.0);
+    }
+
+    #[test]
+    fn run_with_mode_skips_numerics() {
+        let s = GaudiSession::hls1();
+        let g = softmax_graph();
+        let r = s
+            .run_with_mode(&g, Feeds::auto(0), NumericsMode::ShapeOnly)
+            .unwrap();
+        assert!(r.outputs.is_empty());
+        assert!(r.makespan_ms > 0.0);
+    }
+
+    #[test]
+    fn serve_uses_session_hardware() {
+        let s = GaudiSession::hls1();
+        let mut cfg = ServingConfig::paper_gpt();
+        cfg.traffic = TrafficConfig {
+            num_requests: 5,
+            prompt_range: (8, 32),
+            output_range: (2, 8),
+            ..TrafficConfig::default()
+        };
+        let r = s.serve(&cfg).unwrap();
+        assert_eq!(r.completed.len(), 5);
+        assert!(r.kv_peak_bytes <= r.kv_capacity_bytes);
+    }
+
+    #[test]
+    fn missing_feed_surfaces_as_gaudi_error() {
+        let s = GaudiSession::hls1();
+        let mut g = Graph::new();
+        let x = g.input("x", &[2, 2]).unwrap();
+        g.mark_output(x);
+        let err = s.run(&g, Feeds::default()).unwrap_err();
+        assert!(matches!(err, GaudiError::Runtime(_)));
+    }
+}

@@ -19,7 +19,10 @@ fn run_attention(kind: AttentionKind, q: &Tensor, k: &Tensor, v: &Tensor) -> Ten
         .with_input("q", q.clone())
         .with_input("k", k.clone())
         .with_input("v", v.clone());
-    rt.run(&g, &feeds, NumericsMode::Full).unwrap().outputs.remove(0)
+    rt.run(&g, &feeds, NumericsMode::Full)
+        .unwrap()
+        .outputs
+        .remove(0)
 }
 
 proptest! {
@@ -143,6 +146,11 @@ fn softmax_attention_permutation_equivariance() {
         }
         Tensor::from_vec(t.dims(), data).unwrap()
     };
-    let out = run_attention(AttentionKind::Softmax, &q, &reverse_rows(&k), &reverse_rows(&v));
+    let out = run_attention(
+        AttentionKind::Softmax,
+        &q,
+        &reverse_rows(&k),
+        &reverse_rows(&v),
+    );
     assert!(base.max_abs_diff(&out) < 1e-4);
 }

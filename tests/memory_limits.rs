@@ -7,7 +7,10 @@ use gaudi_runtime::estimate_peak_hbm;
 
 fn bert_peak(batch: usize) -> u64 {
     let cfg = BertConfig {
-        base: LlmConfig { batch, ..LlmConfig::paper_section_3_4(30522) },
+        base: LlmConfig {
+            batch,
+            ..LlmConfig::paper_section_3_4(30522)
+        },
     };
     let (graph, _) = build_bert_mlm(&cfg).expect("builds");
     estimate_peak_hbm(&graph)
@@ -27,7 +30,10 @@ fn peak_memory_grows_with_batch() {
 #[test]
 fn paper_batch_fits_but_headroom_is_limited() {
     let capacity: u64 = 32 << 30;
-    assert!(bert_peak(8) <= capacity, "the paper's configuration must fit");
+    assert!(
+        bert_peak(8) <= capacity,
+        "the paper's configuration must fit"
+    );
     // Our liveness-based estimate is a lower bound on what a real allocator
     // (no aggressive reuse, optimizer states, workspace) needs — a batch a
     // few times larger already exceeds the device even under this bound.
@@ -43,7 +49,10 @@ fn seq_len_also_drives_memory_quadratically() {
     // The N x N attention matrices make peak memory superlinear in N.
     let peak = |seq: usize| {
         let cfg = BertConfig {
-            base: LlmConfig { seq_len: seq, ..LlmConfig::paper_section_3_4(30522) },
+            base: LlmConfig {
+                seq_len: seq,
+                ..LlmConfig::paper_section_3_4(30522)
+            },
         };
         let (graph, _) = build_bert_mlm(&cfg).expect("builds");
         estimate_peak_hbm(&graph)

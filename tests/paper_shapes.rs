@@ -9,7 +9,10 @@ use gaudi_hw::EngineId;
 #[test]
 fn table1_only_matmul_on_mme() {
     let rows = table1();
-    assert_eq!(rows.iter().filter(|r| r.mapping == EngineId::Mme).count(), 1);
+    assert_eq!(
+        rows.iter().filter(|r| r.mapping == EngineId::Mme).count(),
+        1
+    );
     assert_eq!(rows.len(), 9);
 }
 
@@ -30,8 +33,14 @@ fn attention_mechanism_ordering_holds() {
     let linear = fig5_linear().unwrap().total_ms;
     let performer = fig6_performer().unwrap().total_ms;
     // The paper's ordering: linear < performer < softmax.
-    assert!(linear < performer, "linear {linear} vs performer {performer}");
-    assert!(performer < softmax, "performer {performer} vs softmax {softmax}");
+    assert!(
+        linear < performer,
+        "linear {linear} vs performer {performer}"
+    );
+    assert!(
+        performer < softmax,
+        "performer {performer} vs softmax {softmax}"
+    );
     // Rough factors: 6x and 2x in the paper.
     assert!(softmax / linear > 3.0);
     assert!(softmax / performer > 1.5);
@@ -53,7 +62,11 @@ fn llm_profiles_match_section_3_4_narrative() {
         let fig = llm_experiment(kind).unwrap();
         assert!(fig.overlap < 0.3, "{:?}: overlap {}", kind, fig.overlap);
         assert!(fig.mme_gaps > 10, "{:?}: gaps {}", kind, fig.mme_gaps);
-        assert!(fig.fits_hbm, "{:?} must fit the 32 GB device at batch 8", kind);
+        assert!(
+            fig.fits_hbm,
+            "{:?} must fit the 32 GB device at batch 8",
+            kind
+        );
     }
     // GPT's larger vocabulary makes its step slower than BERT's.
     let gpt = llm_experiment(LlmKind::Gpt).unwrap().total_ms;

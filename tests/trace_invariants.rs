@@ -49,7 +49,7 @@ fn random_graph(ops: &[u8], fanin: &[u8]) -> Graph {
 fn compile(g: &Graph, kind: SchedulerKind) -> (Graph, gaudi_compiler::ExecutionPlan) {
     let c = GraphCompiler::new(
         GaudiConfig::hls1(),
-        CompilerOptions { scheduler: kind, ..Default::default() },
+        CompilerOptions::builder().scheduler(kind).build(),
     );
     // The plan's node ids refer to the *compiled* graph (DCE renumbers).
     c.compile(g).expect("compiles")
@@ -131,7 +131,7 @@ proptest! {
         let run = |kind: SchedulerKind| {
             let rt = Runtime::new(
                 GaudiConfig::hls1(),
-                CompilerOptions { scheduler: kind, ..Default::default() },
+                CompilerOptions::builder().scheduler(kind).build(),
             );
             let mut feeds = Feeds::auto(0);
             for (k, v) in &feeds_base {

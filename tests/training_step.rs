@@ -23,7 +23,12 @@ fn init_param(name: &str, dims: &[usize], rng: &mut SeededRng) -> Tensor {
 #[test]
 fn sgd_step_reduces_bert_mlm_loss() {
     // Miniature BERT with training graph.
-    let cfg = BertConfig { base: LlmConfig { training: true, ..LlmConfig::tiny(101) } };
+    let cfg = BertConfig {
+        base: LlmConfig {
+            training: true,
+            ..LlmConfig::tiny(101)
+        },
+    };
     let (graph, _built) = build_bert_mlm(&cfg).expect("builds");
 
     // Deterministic data batch.
@@ -36,7 +41,10 @@ fn sgd_step_reduces_bert_mlm_loss() {
     let mut values: HashMap<String, Tensor> = HashMap::new();
     for &p in &params {
         let node = graph.node(p);
-        values.insert(node.name.clone(), init_param(&node.name, node.shape.dims(), &mut rng));
+        values.insert(
+            node.name.clone(),
+            init_param(&node.name, node.shape.dims(), &mut rng),
+        );
     }
 
     let runtime = Runtime::hls1();
@@ -47,7 +55,9 @@ fn sgd_step_reduces_bert_mlm_loss() {
         for (k, v) in values {
             feeds = feeds.with_input(k, v.clone());
         }
-        runtime.run(&graph, &feeds, NumericsMode::Full).expect("run succeeds")
+        runtime
+            .run(&graph, &feeds, NumericsMode::Full)
+            .expect("run succeeds")
     };
 
     // First run: loss + gradients (outputs are [loss, grads in param order]).
