@@ -1,5 +1,5 @@
 //! Future-work experiment: the paper closes with "we plan to investigate
-//! novel attention mechanisms tailored to GAUDI's architecture [to]
+//! novel attention mechanisms tailored to GAUDI's architecture \[to\]
 //! optimize performance for long sequences". This binary evaluates one such
 //! mechanism — block-local windowed attention — against the paper's three
 //! baselines at the §3.3 configuration and across window sizes.

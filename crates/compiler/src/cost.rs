@@ -169,6 +169,15 @@ pub fn op_cost(graph: &Graph, node: &Node, cfg: &GaudiConfig, lower_einsum: bool
             let logits = graph.shape(node.id).numel() as f64;
             tpc_cost(TpcOpClass::Softmax, logits, bytes)
         }
+        // Collectives run on the NIC; their duration depends on the box
+        // topology, which the multi-device scheduler prices separately
+        // (`schedule_multi`). On a single device they are identity ops.
+        OpKind::Collective(_) => OpCost {
+            engine: EngineId::Nic,
+            time_ns: 0.0,
+            flops: 0.0,
+            bytes,
+        },
     }
 }
 

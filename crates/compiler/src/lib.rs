@@ -28,6 +28,8 @@ pub mod dce;
 pub mod fusion;
 pub mod lowering;
 pub mod mapping;
+pub mod multi;
+pub mod partition;
 pub mod schedule;
 
 pub use cost::{op_cost, OpCost};
@@ -35,6 +37,8 @@ pub use dce::eliminate_dead_code;
 pub use fusion::{fuse_elementwise, FusionStats};
 pub use lowering::lower_einsum;
 pub use mapping::{engine_for, table1, Table1Row};
+pub use multi::MultiDevicePlan;
+pub use partition::{partition, Parallelism, PartitionSpec, PartitionedGraph, ShardInfo};
 pub use schedule::{ExecutionPlan, GraphCompiler, PlannedOp, SchedulerKind};
 
 /// Compiler configuration knobs (the ablation axes of DESIGN.md §6).

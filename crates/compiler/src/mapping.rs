@@ -23,6 +23,7 @@ pub fn engine_for(kind: &OpKind, lower_einsum: bool) -> EngineId {
             }
         }
         OpKind::Input | OpKind::Parameter => EngineId::Host,
+        OpKind::Collective(_) => EngineId::Nic,
         _ => EngineId::TpcCluster,
     }
 }

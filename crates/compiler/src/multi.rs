@@ -1,0 +1,189 @@
+//! Multi-device compilation: schedule a partitioned SPMD graph across the
+//! cards of a box, pricing collectives on the NIC lanes.
+//!
+//! Because the partitioned program is symmetric — every card runs the same
+//! graph over equally-sized shards, and the modelled cards are identical —
+//! each device's timeline is identical too: a collective's start time (the
+//! max of its producers' finish times across devices) equals the local
+//! producer finish time. The scheduler therefore times the program once and
+//! replicates the plan per device, tagging each copy with its [`DeviceId`].
+
+use crate::partition::PartitionedGraph;
+use crate::schedule::{ExecutionPlan, GraphCompiler};
+use gaudi_graph::{Graph, GraphError};
+use gaudi_hw::{DeviceId, EngineId, Topology};
+
+/// Per-device execution plans for one partitioned graph.
+#[derive(Debug, Clone)]
+pub struct MultiDevicePlan {
+    /// One plan per device, index = device id. Symmetric SPMD timing: all
+    /// entries have equal makespans; steps are tagged with their device.
+    pub device_plans: Vec<ExecutionPlan>,
+    /// Overall makespan across the box, ns.
+    pub makespan_ns: f64,
+    /// NIC (collective) busy time per device, ns.
+    pub collective_ns: f64,
+}
+
+impl MultiDevicePlan {
+    /// Number of devices in the plan.
+    pub fn devices(&self) -> usize {
+        self.device_plans.len()
+    }
+
+    /// Fraction of the makespan one device's `engine` lane is busy.
+    pub fn utilization(&self, device: DeviceId, engine: EngineId) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            return 0.0;
+        }
+        self.device_plans[device.index()].engine_busy_ns(engine) / self.makespan_ns
+    }
+
+    /// Collective (NIC) time as a fraction of the makespan.
+    pub fn collective_share(&self) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            0.0
+        } else {
+            self.collective_ns / self.makespan_ns
+        }
+    }
+
+    /// Makespan in milliseconds.
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_ns / 1.0e6
+    }
+}
+
+impl GraphCompiler {
+    /// Compile a partitioned graph into per-device plans.
+    ///
+    /// `topo` describes the box; collectives ride its link but ring over the
+    /// tensor-parallel group only (data-parallel replicas never exchange
+    /// activations during a forward pass). The returned graph is the lowered
+    /// per-device graph the plans refer to.
+    pub fn compile_partitioned(
+        &self,
+        part: &PartitionedGraph,
+        topo: &Topology,
+    ) -> Result<(Graph, MultiDevicePlan), GraphError> {
+        let world = part.parallel.world();
+        if topo.devices < world {
+            return Err(GraphError::Partition(
+                "topology has fewer devices than the parallelism plan needs",
+            ));
+        }
+        // Collectives span the tensor-parallel group.
+        let comm = Topology {
+            devices: part.parallel.tensor,
+            link: topo.link,
+        };
+        let (g, base) = self.compile_with_topology(&part.graph, &comm)?;
+        let collective_ns = base.engine_busy_ns(EngineId::Nic);
+        let makespan_ns = base.makespan_ns;
+        let device_plans = (0..world)
+            .map(|d| {
+                let mut plan = base.clone();
+                for step in &mut plan.steps {
+                    step.device = DeviceId(d);
+                }
+                plan
+            })
+            .collect();
+        Ok((
+            g,
+            MultiDevicePlan {
+                device_plans,
+                makespan_ns,
+                collective_ns,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition, Parallelism, PartitionSpec};
+    use gaudi_hw::GaudiConfig;
+
+    fn attention_mlp() -> Graph {
+        // Big enough that sharding actually shrinks MME time.
+        let mut g = Graph::new();
+        let x = g.input("x", &[8, 512, 1024]).unwrap();
+        let w1 = g.parameter("l.fc1.w", &[1024, 4096]).unwrap();
+        let b1 = g.parameter("l.fc1.b", &[4096]).unwrap();
+        let h = g.matmul(x, w1).unwrap();
+        let h = g.add(h, b1).unwrap();
+        let h = g.activation(gaudi_graph::Activation::Gelu, h).unwrap();
+        let w2 = g.parameter("l.fc2.w", &[4096, 1024]).unwrap();
+        let y = g.matmul(h, w2).unwrap();
+        g.mark_output(y);
+        g
+    }
+
+    #[test]
+    fn per_device_plans_are_symmetric_and_tagged() {
+        let g = attention_mlp();
+        let part = partition(&g, Parallelism::tensor(4), &PartitionSpec::llm()).unwrap();
+        let topo = Topology::hls1_box(&GaudiConfig::hls1(), 4);
+        let (_, plan) = GraphCompiler::synapse_like()
+            .compile_partitioned(&part, &topo)
+            .unwrap();
+        assert_eq!(plan.devices(), 4);
+        for d in 1..4 {
+            assert_eq!(
+                plan.device_plans[d].makespan_ns,
+                plan.device_plans[0].makespan_ns
+            );
+            assert!(plan.device_plans[d]
+                .steps
+                .iter()
+                .all(|s| s.device == DeviceId(d)));
+        }
+        assert!(plan.collective_ns > 0.0, "all-reduce must occupy the NIC");
+        assert!(plan.collective_share() > 0.0 && plan.collective_share() < 1.0);
+    }
+
+    #[test]
+    fn single_device_topology_prices_collectives_free() {
+        let g = attention_mlp();
+        let part = partition(&g, Parallelism::single(), &PartitionSpec::llm()).unwrap();
+        let topo = Topology::single();
+        let (_, plan) = GraphCompiler::synapse_like()
+            .compile_partitioned(&part, &topo)
+            .unwrap();
+        assert_eq!(plan.collective_ns, 0.0);
+        assert_eq!(plan.devices(), 1);
+    }
+
+    #[test]
+    fn sharding_shrinks_compute_but_adds_collectives() {
+        let g = attention_mlp();
+        let compiler = GraphCompiler::synapse_like();
+        let single = partition(&g, Parallelism::single(), &PartitionSpec::llm()).unwrap();
+        let (_, p1) = compiler
+            .compile_partitioned(&single, &Topology::single())
+            .unwrap();
+        let sharded = partition(&g, Parallelism::tensor(4), &PartitionSpec::llm()).unwrap();
+        let topo = Topology::hls1_box(&GaudiConfig::hls1(), 4);
+        let (_, p4) = compiler.compile_partitioned(&sharded, &topo).unwrap();
+        let mme1 = p1.device_plans[0].engine_busy_ns(EngineId::Mme);
+        let mme4 = p4.device_plans[0].engine_busy_ns(EngineId::Mme);
+        assert!(
+            mme4 < mme1,
+            "per-card MME work must shrink: {mme4} vs {mme1}"
+        );
+        assert!(p4.collective_ns > 0.0);
+    }
+
+    #[test]
+    fn undersized_topology_is_rejected() {
+        let g = attention_mlp();
+        let part = partition(&g, Parallelism::tensor(4), &PartitionSpec::llm()).unwrap();
+        let topo = Topology::hls1_box(&GaudiConfig::hls1(), 2);
+        let err = GraphCompiler::synapse_like()
+            .compile_partitioned(&part, &topo)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Partition(_)));
+    }
+}

@@ -3,10 +3,10 @@
 use crate::cost::op_cost;
 use crate::lowering::lower_einsum;
 use crate::CompilerOptions;
-use gaudi_graph::{Activation, Graph, GraphError, NodeId, OpKind};
+use gaudi_graph::{Activation, CollectiveKind, Graph, GraphError, NodeId, OpKind};
 use gaudi_hw::des::Timeline;
 use gaudi_hw::memory::DmaModel;
-use gaudi_hw::{EngineId, GaudiConfig};
+use gaudi_hw::{DeviceId, EngineId, GaudiConfig, Topology};
 use std::collections::{HashMap, HashSet};
 
 /// Scheduling policy.
@@ -28,8 +28,10 @@ pub struct PlannedOp {
     pub node: Option<NodeId>,
     /// Trace label.
     pub label: String,
-    /// Trace category (`op`, `dma`, `stall`).
+    /// Trace category (`op`, `dma`, `stall`, `collective`).
     pub category: &'static str,
+    /// Device the step runs on (`DeviceId(0)` for single-device plans).
+    pub device: DeviceId,
     /// Engine lane.
     pub engine: EngineId,
     /// Start time, ns.
@@ -99,11 +101,54 @@ impl GraphCompiler {
         if self.opts.fuse_elementwise {
             g = crate::fusion::fuse_elementwise(&g)?.0;
         }
-        let plan = self.schedule(&g);
+        let plan = self.schedule(&g, None);
         Ok((g, plan))
     }
 
-    fn schedule(&self, g: &Graph) -> ExecutionPlan {
+    /// Like [`compile`](Self::compile), pricing [`OpKind::Collective`] nodes
+    /// on the NIC lane with the given collective-group topology. Used by the
+    /// partitioning pipeline (`compile_partitioned`); with a single-device
+    /// topology collectives are free metadata ops.
+    pub fn compile_with_topology(
+        &self,
+        graph: &Graph,
+        comm: &Topology,
+    ) -> Result<(Graph, ExecutionPlan), GraphError> {
+        graph.validate()?;
+        let mut g = if self.opts.lower_einsum {
+            lower_einsum(graph)?
+        } else {
+            graph.clone()
+        };
+        if self.opts.dce {
+            g = crate::dce::eliminate_dead_code(&g)?.0;
+        }
+        if self.opts.fuse_elementwise {
+            g = crate::fusion::fuse_elementwise(&g)?.0;
+        }
+        let plan = self.schedule(&g, Some(comm));
+        Ok((g, plan))
+    }
+
+    /// Wire time of one collective node under `comm`, ns.
+    fn collective_time_ns(g: &Graph, node: &gaudi_graph::Node, comm: &Topology) -> f64 {
+        let elem = g.storage_dtype.size_of() as u64;
+        let in_bytes = g.shape(node.inputs[0]).numel() as u64 * elem;
+        let out_bytes = g.shape(node.id).numel() as u64 * elem;
+        match node.kind {
+            OpKind::Collective(CollectiveKind::AllReduce) => comm.allreduce_time_ns(in_bytes),
+            OpKind::Collective(CollectiveKind::AllGather { .. }) => {
+                comm.allgather_time_ns(out_bytes)
+            }
+            OpKind::Collective(CollectiveKind::ReduceScatter { .. }) => {
+                comm.reducescatter_time_ns(in_bytes)
+            }
+            OpKind::Collective(CollectiveKind::Broadcast) => comm.broadcast_time_ns(in_bytes),
+            _ => 0.0,
+        }
+    }
+
+    fn schedule(&self, g: &Graph, comm: Option<&Topology>) -> ExecutionPlan {
         let dma = DmaModel::new(self.cfg.memory.clone());
         let mut timeline = Timeline::new();
         let mut steps: Vec<PlannedOp> = Vec::new();
@@ -115,12 +160,44 @@ impl GraphCompiler {
         let mut glu_compiled = false;
 
         for node in g.nodes() {
-            let cost = op_cost(g, node, &self.cfg, self.opts.lower_einsum);
+            let mut cost = op_cost(g, node, &self.cfg, self.opts.lower_einsum);
             let mut deps_end = node
                 .inputs
                 .iter()
                 .map(|i| node_end.get(i).copied().unwrap_or(0.0))
                 .fold(0.0, f64::max);
+
+            // Collectives occupy the NIC lane for the ring/tree wire time of
+            // the collective group. Every device of the symmetric SPMD
+            // program reaches this point at the same simulated time, so the
+            // synchronization barrier is implicit.
+            if matches!(node.kind, OpKind::Collective(_)) {
+                if let Some(comm) = comm {
+                    cost.time_ns = Self::collective_time_ns(g, node, comm);
+                }
+                if cost.time_ns > 0.0 {
+                    let (start, end) = timeline.reserve(EngineId::Nic, deps_end, cost.time_ns);
+                    steps.push(PlannedOp {
+                        node: Some(node.id),
+                        label: node.kind.label(),
+                        category: "collective",
+                        device: DeviceId(0),
+                        engine: EngineId::Nic,
+                        start_ns: start,
+                        dur_ns: cost.time_ns,
+                        flops: 0.0,
+                        bytes: cost.bytes,
+                    });
+                    node_end.insert(node.id, end);
+                    node_engine.insert(node.id, EngineId::Nic);
+                    last_issue = Some((EngineId::Nic, end));
+                } else {
+                    // Single-device group: the collective is an identity op.
+                    node_end.insert(node.id, deps_end);
+                    node_engine.insert(node.id, EngineId::Host);
+                }
+                continue;
+            }
 
             if cost.time_ns == 0.0 {
                 // Metadata-only: completes with its dependencies.
@@ -146,6 +223,7 @@ impl GraphCompiler {
                             node: None,
                             label: format!("dma({})", g.node(input).kind.label()),
                             category: "dma",
+                            device: DeviceId(0),
                             engine: EngineId::Dma(0),
                             start_ns: s,
                             dur_ns: dur,
@@ -169,6 +247,7 @@ impl GraphCompiler {
                     node: None,
                     label: "recompile(glu)".to_string(),
                     category: "stall",
+                    device: DeviceId(0),
                     engine: EngineId::Host,
                     start_ns: s,
                     dur_ns: stall,
@@ -197,6 +276,7 @@ impl GraphCompiler {
                     format!("{}:{}", node.name, node.kind.label())
                 },
                 category: "op",
+                device: DeviceId(0),
                 engine: cost.engine,
                 start_ns: start,
                 dur_ns: cost.time_ns,
@@ -223,11 +303,11 @@ impl GraphCompiler {
 impl ExecutionPlan {
     /// Total busy time of an engine lane, ns.
     pub fn engine_busy_ns(&self, engine: EngineId) -> f64 {
+        // fold, not sum: an empty f64 sum is -0.0, which renders as "-0.0%".
         self.steps
             .iter()
             .filter(|s| s.engine == engine)
-            .map(|s| s.dur_ns)
-            .sum()
+            .fold(0.0, |acc, s| acc + s.dur_ns)
     }
 
     /// Makespan in milliseconds.

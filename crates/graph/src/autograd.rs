@@ -205,6 +205,7 @@ pub fn backward(g: &mut Graph, loss: NodeId) -> Result<HashMap<NodeId, NodeId>, 
             }
             // Fused nodes only exist after the (post-autograd) fusion pass.
             OpKind::FusedElementwise(_) => return Err(GraphError::Autograd("fused chains")),
+            OpKind::Collective(_) => return Err(GraphError::Autograd("collectives")),
             // Adjoint ops themselves are not differentiated further.
             OpKind::ActivationGrad(_)
             | OpKind::SoftmaxGrad

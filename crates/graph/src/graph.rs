@@ -1,6 +1,6 @@
 //! Graph container, builder API, and shape inference.
 
-use crate::op::{Activation, EinsumSpec, OpKind};
+use crate::op::{Activation, CollectiveKind, EinsumSpec, OpKind};
 use gaudi_tensor::{DType, Shape, TensorError};
 use std::fmt;
 
@@ -44,6 +44,8 @@ pub enum GraphError {
     },
     /// The operator has no gradient rule (e.g. `maximum`, `reduce_max`).
     Autograd(&'static str),
+    /// The multi-device partitioning pass could not shard the graph.
+    Partition(&'static str),
 }
 
 impl fmt::Display for GraphError {
@@ -60,6 +62,7 @@ impl fmt::Display for GraphError {
             }
             GraphError::Rank { what } => write!(f, "rank constraint violated: {what}"),
             GraphError::Autograd(what) => write!(f, "no gradient rule for {what}"),
+            GraphError::Partition(what) => write!(f, "cannot partition: {what}"),
         }
     }
 }
@@ -487,6 +490,77 @@ impl Graph {
         }
         let shape = Shape::new(&[1])?;
         self.push_node(OpKind::CrossEntropy, &[logits, targets], shape, "")
+    }
+
+    /// An inter-device collective over `a` (see [`CollectiveKind`] for the
+    /// per-kind shape semantics). Shape inference:
+    ///
+    /// * `AllReduce` / `Broadcast` preserve the shape,
+    /// * `AllGather { axis, world }` multiplies `dims[axis]` by `world`,
+    /// * `ReduceScatter { axis, world }` divides `dims[axis]` by `world`
+    ///   (the dimension must be divisible).
+    pub fn collective(&mut self, kind: CollectiveKind, a: NodeId) -> Result<NodeId, GraphError> {
+        let s = self.shape(a);
+        let shape = match kind {
+            CollectiveKind::AllReduce | CollectiveKind::Broadcast => s,
+            CollectiveKind::AllGather { axis, world } => {
+                if axis >= s.rank() || world == 0 {
+                    return Err(GraphError::Rank {
+                        what: "all_gather axis out of range",
+                    });
+                }
+                let mut dims = s.dims().to_vec();
+                dims[axis] *= world;
+                Shape::new(&dims)?
+            }
+            CollectiveKind::ReduceScatter { axis, world } => {
+                if axis >= s.rank() || world == 0 {
+                    return Err(GraphError::Rank {
+                        what: "reduce_scatter axis out of range",
+                    });
+                }
+                if !s.dim(axis).is_multiple_of(world) {
+                    return Err(GraphError::Rank {
+                        what: "reduce_scatter axis not divisible by world size",
+                    });
+                }
+                let mut dims = s.dims().to_vec();
+                dims[axis] /= world;
+                Shape::new(&dims)?
+            }
+        };
+        self.push_node(OpKind::Collective(kind), &[a], shape, "")
+    }
+
+    /// Element-wise sum across all devices (shape-preserving collective).
+    pub fn all_reduce(&mut self, a: NodeId) -> Result<NodeId, GraphError> {
+        self.collective(CollectiveKind::AllReduce, a)
+    }
+
+    /// Concatenate per-device shards of `a` along `axis` across `world`
+    /// devices.
+    pub fn all_gather(
+        &mut self,
+        a: NodeId,
+        axis: usize,
+        world: usize,
+    ) -> Result<NodeId, GraphError> {
+        self.collective(CollectiveKind::AllGather { axis, world }, a)
+    }
+
+    /// Sum across devices then keep one shard of `axis` per device.
+    pub fn reduce_scatter(
+        &mut self,
+        a: NodeId,
+        axis: usize,
+        world: usize,
+    ) -> Result<NodeId, GraphError> {
+        self.collective(CollectiveKind::ReduceScatter { axis, world }, a)
+    }
+
+    /// Replicate the root device's value of `a` to all devices.
+    pub fn broadcast(&mut self, a: NodeId) -> Result<NodeId, GraphError> {
+        self.collective(CollectiveKind::Broadcast, a)
     }
 
     /// Attach a trace name to the most recently created node.

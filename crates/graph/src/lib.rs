@@ -23,4 +23,4 @@ pub mod graph;
 pub mod op;
 
 pub use graph::{Graph, GraphError, Node, NodeId};
-pub use op::{Activation, EinsumSpec, OpKind};
+pub use op::{Activation, CollectiveKind, EinsumSpec, OpKind};

@@ -56,6 +56,47 @@ pub enum EinsumSpec {
     OutputAv,
 }
 
+/// Multi-device collective communication patterns, lowered onto the RoCE
+/// scale-out fabric by the compiler's partitioning pass. In the IR they are
+/// unary nodes: each device contributes its local shard as the single input
+/// and receives the collective's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// Element-wise sum across all devices; every device receives the full
+    /// reduction (shape-preserving).
+    AllReduce,
+    /// Concatenate per-device shards along `axis`; every device receives the
+    /// gathered tensor (`dims[axis]` grows by `world`×).
+    AllGather {
+        /// Concatenation axis.
+        axis: usize,
+        /// Number of participating devices.
+        world: usize,
+    },
+    /// Sum across devices, then split along `axis`; each device keeps one
+    /// shard (`dims[axis]` shrinks by `world`×).
+    ReduceScatter {
+        /// Scatter axis.
+        axis: usize,
+        /// Number of participating devices.
+        world: usize,
+    },
+    /// Replicate the root device's tensor to all devices (shape-preserving).
+    Broadcast,
+}
+
+impl CollectiveKind {
+    /// Short lower-case name used in trace labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectiveKind::AllReduce => "all_reduce",
+            CollectiveKind::AllGather { .. } => "all_gather",
+            CollectiveKind::ReduceScatter { .. } => "reduce_scatter",
+            CollectiveKind::Broadcast => "broadcast",
+        }
+    }
+}
+
 /// Graph operators.
 ///
 /// Only [`OpKind::MatMul`] (and a *lowered* einsum) may map to the MME —
@@ -158,6 +199,9 @@ pub enum OpKind {
     /// to right in one TPC kernel launch. Produced only by the fusion pass;
     /// never built directly by models.
     FusedElementwise(Vec<OpKind>),
+    /// An inter-device collective over the RoCE fabric. Inserted by the
+    /// compiler's partitioning pass; single input = this device's shard.
+    Collective(CollectiveKind),
 }
 
 impl OpKind {
@@ -204,6 +248,7 @@ impl OpKind {
                 let parts: Vec<String> = ops.iter().map(|o| o.label()).collect();
                 format!("fused({})", parts.join("+"))
             }
+            OpKind::Collective(c) => c.name().into(),
         }
     }
 

@@ -9,6 +9,7 @@
 //!   dependencies and the engine's previous work.
 
 use crate::engine::EngineId;
+use crate::topology::DeviceId;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -138,6 +139,54 @@ impl Timeline {
     }
 }
 
+/// Per-`(device, engine)` availability tracker — the multi-card analogue of
+/// [`Timeline`], sharing one simulated clock across all cards of a box.
+#[derive(Debug, Default, Clone)]
+pub struct BoxTimeline {
+    free_at: HashMap<(DeviceId, EngineId), f64>,
+}
+
+impl BoxTimeline {
+    /// Fresh timeline with every engine on every device free at time zero.
+    pub fn new() -> Self {
+        BoxTimeline::default()
+    }
+
+    /// When `engine` on `device` is next free.
+    pub fn free_at(&self, device: DeviceId, engine: EngineId) -> f64 {
+        self.free_at.get(&(device, engine)).copied().unwrap_or(0.0)
+    }
+
+    /// Reserve `engine` on `device` for `duration` starting no earlier than
+    /// `earliest_start`; returns the actual `(start, end)` interval.
+    pub fn reserve(
+        &mut self,
+        device: DeviceId,
+        engine: EngineId,
+        earliest_start: f64,
+        duration: f64,
+    ) -> (f64, f64) {
+        let start = self.free_at(device, engine).max(earliest_start);
+        let end = start + duration;
+        self.free_at.insert((device, engine), end);
+        (start, end)
+    }
+
+    /// The time at which every engine on every device is idle.
+    pub fn makespan(&self) -> f64 {
+        self.free_at.values().copied().fold(0.0, f64::max)
+    }
+
+    /// The time at which every engine on one device is idle.
+    pub fn device_makespan(&self, device: DeviceId) -> f64 {
+        self.free_at
+            .iter()
+            .filter(|((d, _), _)| *d == device)
+            .map(|(_, t)| *t)
+            .fold(0.0, f64::max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +249,19 @@ mod tests {
         // Dependency ready at 8 -> starts at 8 even though engine free at 3.
         let (s, _) = t.reserve(EngineId::Mme, 8.0, 1.0);
         assert_eq!(s, 8.0);
+    }
+
+    #[test]
+    fn box_timeline_isolates_devices() {
+        let mut t = BoxTimeline::new();
+        t.reserve(DeviceId(0), EngineId::Mme, 0.0, 10.0);
+        // The same engine on another card is independent...
+        let (s, e) = t.reserve(DeviceId(1), EngineId::Mme, 0.0, 4.0);
+        assert_eq!((s, e), (0.0, 4.0));
+        // ...but the same (device, engine) pair serializes.
+        let (s2, _) = t.reserve(DeviceId(0), EngineId::Mme, 0.0, 1.0);
+        assert_eq!(s2, 10.0);
+        assert_eq!(t.makespan(), 11.0);
+        assert_eq!(t.device_makespan(DeviceId(1)), 4.0);
     }
 }

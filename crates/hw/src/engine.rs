@@ -14,6 +14,9 @@ pub enum EngineId {
     Dma(u8),
     /// The host CPU issuing work (used for recompilation stalls).
     Host,
+    /// The scale-out NIC (the bonded RoCE v2 ports) — carries inter-device
+    /// collective traffic in multi-card simulations.
+    Nic,
 }
 
 impl EngineId {
@@ -24,6 +27,7 @@ impl EngineId {
             EngineId::TpcCluster => "TPC".to_string(),
             EngineId::Dma(i) => format!("DMA{i}"),
             EngineId::Host => "HOST".to_string(),
+            EngineId::Nic => "NIC".to_string(),
         }
     }
 
@@ -33,6 +37,7 @@ impl EngineId {
             EngineId::Mme,
             EngineId::TpcCluster,
             EngineId::Dma(0),
+            EngineId::Nic,
             EngineId::Host,
         ]
     }
@@ -60,6 +65,7 @@ mod tests {
         assert_eq!(EngineId::TpcCluster.label(), "TPC");
         assert_eq!(EngineId::Dma(3).label(), "DMA3");
         assert_eq!(EngineId::Host.to_string(), "HOST");
+        assert_eq!(EngineId::Nic.label(), "NIC");
     }
 
     #[test]
@@ -68,6 +74,7 @@ mod tests {
         assert!(EngineId::TpcCluster.is_compute());
         assert!(!EngineId::Dma(0).is_compute());
         assert!(!EngineId::Host.is_compute());
+        assert!(!EngineId::Nic.is_compute());
     }
 
     #[test]

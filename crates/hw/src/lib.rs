@@ -24,11 +24,13 @@ pub mod engine;
 pub mod memory;
 pub mod mme;
 pub mod roce;
+pub mod topology;
 pub mod tpc_cost;
 
 pub use config::GaudiConfig;
 pub use engine::EngineId;
 pub use mme::MmeModel;
+pub use topology::{DeviceId, Link, Topology};
 pub use tpc_cost::{TpcCostModel, TpcOpClass};
 
 /// Convert nanoseconds to milliseconds.

@@ -1,0 +1,222 @@
+//! Multi-card topology: device identities and the inter-device link model.
+//!
+//! The paper profiles a single Gaudi of an HLS-1 box, but the architecture's
+//! headline feature is scale-out: every chip integrates 10×100 GbE RoCE v2
+//! ports (§2.1). This module gives the rest of the workspace an explicit
+//! notion of *which* card work runs on ([`DeviceId`]) and what moving bytes
+//! between cards costs ([`Link`], [`Topology`]).
+//!
+//! The link parameters are **RoCE-plausible defaults derived from the spec
+//! sheet** (aggregate port bandwidth, a microsecond-scale message latency) —
+//! they are *not* measured in the source paper, which never runs multi-card.
+//! Collective timings use the classic ring/tree closed forms, matching the
+//! single-ring model in [`crate::roce::RoceModel`].
+
+use crate::config::{GaudiConfig, RoceConfig};
+
+/// Identity of one Gaudi card in a multi-card box.
+///
+/// Device 0 is the implicit card of every single-device simulation; traces
+/// and plans produced by the single-device paths tag their work with
+/// `DeviceId(0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DeviceId(pub usize);
+
+impl DeviceId {
+    /// Zero-based index of the device.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Point-to-point link cost model: a fixed per-message latency plus a
+/// bandwidth term. All times in nanoseconds, bandwidth in bytes/ns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Per-message latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Sustained bandwidth in bytes per nanosecond (= GB/s).
+    pub bandwidth_bytes_per_ns: f64,
+}
+
+impl Link {
+    /// Derive a link from the RoCE port configuration: all ports bonded into
+    /// one logical pipe (10 × 100 Gbit/s = 125 bytes/ns for HLS-1 defaults).
+    pub fn from_roce(roce: &RoceConfig) -> Self {
+        Link {
+            latency_ns: roce.message_latency_ns,
+            bandwidth_bytes_per_ns: roce.num_ports as f64 * roce.port_gbit_per_s / 8.0,
+        }
+    }
+
+    /// Time to move `bytes` over the link, ns.
+    pub fn time_ns(&self, bytes: u64) -> f64 {
+        self.latency_ns + bytes as f64 / self.bandwidth_bytes_per_ns
+    }
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Link::from_roce(&RoceConfig::default())
+    }
+}
+
+/// A box of `devices` identical Gaudi cards joined by uniform [`Link`]s
+/// (the all-to-all RoCE fabric of an HLS-1).
+///
+/// Collective timings use the standard closed forms for ring collectives
+/// (bandwidth-optimal) and a binomial tree for broadcast; every method
+/// returns `0.0` for a single-device topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// Number of cards in the box.
+    pub devices: usize,
+    /// The uniform inter-card link.
+    pub link: Link,
+}
+
+impl Topology {
+    /// One card, no interconnect (all collective times are zero).
+    pub fn single() -> Self {
+        Topology {
+            devices: 1,
+            link: Link::default(),
+        }
+    }
+
+    /// An HLS-1-like box of `devices` cards using the RoCE link defaults
+    /// from `cfg`.
+    pub fn hls1_box(cfg: &GaudiConfig, devices: usize) -> Self {
+        assert!(devices >= 1, "topology needs at least one device");
+        Topology {
+            devices,
+            link: Link::from_roce(&cfg.roce),
+        }
+    }
+
+    /// All device ids in the box, in order.
+    pub fn device_ids(&self) -> Vec<DeviceId> {
+        (0..self.devices).map(DeviceId).collect()
+    }
+
+    /// Ring all-reduce of `bytes` (the full, unsharded payload) across the
+    /// box: `2·(P-1)/P · bytes / bw` plus `2·(P-1)` message latencies.
+    pub fn allreduce_time_ns(&self, bytes: u64) -> f64 {
+        if self.devices <= 1 {
+            return 0.0;
+        }
+        let p = self.devices as f64;
+        let volume = 2.0 * (p - 1.0) / p * bytes as f64;
+        volume / self.link.bandwidth_bytes_per_ns + 2.0 * (p - 1.0) * self.link.latency_ns
+    }
+
+    /// Ring all-gather producing `bytes` of gathered output per device:
+    /// `(P-1)/P · bytes / bw` plus `(P-1)` message latencies.
+    pub fn allgather_time_ns(&self, bytes: u64) -> f64 {
+        if self.devices <= 1 {
+            return 0.0;
+        }
+        let p = self.devices as f64;
+        let volume = (p - 1.0) / p * bytes as f64;
+        volume / self.link.bandwidth_bytes_per_ns + (p - 1.0) * self.link.latency_ns
+    }
+
+    /// Ring reduce-scatter over `bytes` of input per device (same wire cost
+    /// shape as all-gather).
+    pub fn reducescatter_time_ns(&self, bytes: u64) -> f64 {
+        self.allgather_time_ns(bytes)
+    }
+
+    /// Binomial-tree broadcast of `bytes` from one root: `ceil(log2 P)`
+    /// store-and-forward steps.
+    pub fn broadcast_time_ns(&self, bytes: u64) -> f64 {
+        if self.devices <= 1 {
+            return 0.0;
+        }
+        let steps = (self.devices as f64).log2().ceil();
+        steps * self.link.time_ns(bytes)
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::single()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn box4() -> Topology {
+        Topology::hls1_box(&GaudiConfig::hls1(), 4)
+    }
+
+    #[test]
+    fn device_id_displays_and_orders() {
+        assert_eq!(DeviceId(3).to_string(), "D3");
+        assert!(DeviceId(0) < DeviceId(1));
+        assert_eq!(DeviceId::default(), DeviceId(0));
+    }
+
+    #[test]
+    fn link_from_hls1_roce_defaults() {
+        let l = Link::from_roce(&RoceConfig::default());
+        assert!((l.bandwidth_bytes_per_ns - 125.0).abs() < 1e-9);
+        assert_eq!(l.latency_ns, 3000.0);
+        // 1 MiB over 125 B/ns ≈ 8.4 µs + latency.
+        let t = l.time_ns(1 << 20);
+        assert!(t > 8000.0 && t < 12_000.0);
+    }
+
+    #[test]
+    fn single_device_collectives_are_free() {
+        let t = Topology::single();
+        assert_eq!(t.allreduce_time_ns(1 << 30), 0.0);
+        assert_eq!(t.allgather_time_ns(1 << 30), 0.0);
+        assert_eq!(t.reducescatter_time_ns(1 << 30), 0.0);
+        assert_eq!(t.broadcast_time_ns(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn allreduce_matches_roce_model() {
+        // Same closed form as RoceModel::allreduce_time_ns.
+        let cfg = GaudiConfig::hls1();
+        let t = Topology::hls1_box(&cfg, 8);
+        let legacy = crate::roce::RoceModel::new(cfg.roce.clone());
+        let bytes = 64 << 20;
+        assert!((t.allreduce_time_ns(bytes) - legacy.allreduce_time_ns(bytes, 8)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allreduce_costs_about_twice_allgather() {
+        let t = box4();
+        let bytes = 256 << 20;
+        let ar = t.allreduce_time_ns(bytes);
+        let ag = t.allgather_time_ns(bytes);
+        assert!(ar > 1.9 * ag && ar < 2.1 * ag);
+        assert_eq!(ag, t.reducescatter_time_ns(bytes));
+    }
+
+    #[test]
+    fn broadcast_scales_logarithmically() {
+        let cfg = GaudiConfig::hls1();
+        let t2 = Topology::hls1_box(&cfg, 2).broadcast_time_ns(1 << 20);
+        let t8 = Topology::hls1_box(&cfg, 8).broadcast_time_ns(1 << 20);
+        assert!((t8 / t2 - 3.0).abs() < 1e-9); // log2(8) / log2(2)
+    }
+
+    #[test]
+    fn device_ids_enumerate_in_order() {
+        assert_eq!(
+            box4().device_ids(),
+            vec![DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(3)]
+        );
+    }
+}

@@ -43,7 +43,7 @@ pub fn build_gpt_lm(cfg: &GptConfig) -> Result<(Graph, BuiltLlm), GraphError> {
 }
 
 /// The additive causal mask tensor fed to the `causal_mask` input in
-/// [`gaudi_runtime::NumericsMode::Full`] runs: 0 on and below the diagonal,
+/// full-numerics (`NumericsMode::Full`) runs: 0 on and below the diagonal,
 /// a large negative value above it.
 pub fn causal_mask_tensor(n: usize) -> Tensor {
     let mut data = vec![0.0f32; n * n];

@@ -15,21 +15,33 @@ pub fn render_timeline(trace: &Trace, width: usize) -> String {
         return out;
     }
     let cell = span / width as f64;
-    for engine in trace.engines() {
-        let evs = trace.engine_events(engine);
-        let mut row = String::with_capacity(width);
-        for c in 0..width {
-            let lo = c as f64 * cell;
-            let hi = lo + cell;
-            let busy: f64 = evs
-                .iter()
-                .map(|e| (e.end_ns().min(hi) - e.start_ns.max(lo)).max(0.0))
-                .sum();
-            row.push(if busy > cell * 0.5 { '#' } else { '.' });
+    let devices = trace.devices();
+    let multi = devices.len() > 1;
+    for device in devices {
+        for engine in trace.engines() {
+            let evs = trace.device_engine_events(device, engine);
+            if evs.is_empty() {
+                continue;
+            }
+            let mut row = String::with_capacity(width);
+            for c in 0..width {
+                let lo = c as f64 * cell;
+                let hi = lo + cell;
+                let busy: f64 = evs
+                    .iter()
+                    .map(|e| (e.end_ns().min(hi) - e.start_ns.max(lo)).max(0.0))
+                    .sum();
+                row.push(if busy > cell * 0.5 { '#' } else { '.' });
+            }
+            let label = if multi {
+                format!("{} {}", device, engine.label())
+            } else {
+                engine.label()
+            };
+            out.push_str(&format!("{label:>8} |{row}|\n"));
         }
-        out.push_str(&format!("{:>5} |{}|\n", engine.label(), row));
     }
-    out.push_str(&format!("{:>5} |{}|\n", "", time_axis(span, width)));
+    out.push_str(&format!("{:>8} |{}|\n", "", time_axis(span, width)));
     out
 }
 
@@ -90,9 +102,21 @@ mod tests {
     fn rows_reflect_busy_halves() {
         let s = render_timeline(&trace(), 10);
         let lines: Vec<&str> = s.lines().collect();
-        assert!(lines[0].starts_with("  MME"));
+        assert!(lines[0].trim_start().starts_with("MME"));
         assert!(lines[0].contains("#####....."));
         assert!(lines[1].contains(".....#####"));
+    }
+
+    #[test]
+    fn multi_device_traces_get_per_card_rows() {
+        use gaudi_hw::DeviceId;
+        let mut t = trace();
+        t.push(TraceEvent::basic("m", "f", EngineId::Mme, 0.0, 100.0).on_device(DeviceId(1)));
+        let s = render_timeline(&t, 10);
+        assert!(s.contains("D0 MME"));
+        assert!(s.contains("D1 MME"));
+        // Device 1 never ran the TPC: no row for that lane.
+        assert!(!s.contains("D1 TPC"));
     }
 
     #[test]

@@ -10,40 +10,66 @@ use gaudi_hw::EngineId;
 
 /// Render a trace as a Chrome trace-event JSON string.
 ///
-/// Each engine becomes a thread lane (`tid`), each event a complete (`"X"`)
-/// event; timestamps are microseconds per the format.
+/// Each device becomes a process (`pid = device + 1`, named `Gaudi-<n>`),
+/// each engine a thread lane (`tid`) within it, each event a complete
+/// (`"X"`) event; timestamps are microseconds per the format. Multi-card
+/// traces thus show one collapsible lane group per card in the viewer.
 pub fn to_chrome_json(trace: &Trace) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
-
-    // Thread-name metadata so lanes are labelled in the viewer.
-    for (tid, engine) in trace.engines().iter().enumerate() {
-        if !first {
+    let mut push = |line: String, first: &mut bool| {
+        if !*first {
             out.push_str(",\n");
         }
-        first = false;
-        out.push_str(&format!(
-            "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
-            tid,
-            json_string(&engine.label())
-        ));
+        *first = false;
+        out.push_str(&line);
+    };
+
+    // Process/thread-name metadata so lanes are labelled in the viewer.
+    let engines = trace.engines();
+    for device in trace.devices() {
+        let pid = device.index() + 1;
+        push(
+            format!(
+                "  {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":{}}}}}",
+                pid,
+                json_string(&format!("Gaudi-{}", device.index()))
+            ),
+            &mut first,
+        );
+        for (tid, engine) in engines.iter().enumerate() {
+            if trace
+                .events()
+                .iter()
+                .any(|e| e.device == device && e.engine == *engine)
+            {
+                push(
+                    format!(
+                        "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                        pid,
+                        tid,
+                        json_string(&engine.label())
+                    ),
+                    &mut first,
+                );
+            }
+        }
     }
 
-    let engines = trace.engines();
     for e in trace.events() {
         let tid = engines.iter().position(|&x| x == e.engine).unwrap_or(0);
-        if !first {
-            out.push_str(",\n");
-        }
-        first = false;
-        out.push_str(&format!(
-            "  {{\"name\":{},\"cat\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
-            json_string(&e.name),
-            json_string(&e.category),
-            tid,
-            e.start_ns / 1000.0,
-            e.dur_ns / 1000.0
-        ));
+        push(
+            format!(
+                "  {{\"name\":{},\"cat\":{},\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                json_string(&e.name),
+                json_string(&e.category),
+                e.device.index() + 1,
+                tid,
+                e.start_ns / 1000.0,
+                e.dur_ns / 1000.0
+            ),
+            &mut first,
+        );
     }
     out.push_str("\n]\n");
     out
@@ -101,10 +127,33 @@ mod tests {
     fn emits_one_complete_event_per_trace_event() {
         let json = to_chrome_json(&sample());
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
-        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2);
+        // One process_name + two thread_name metadata records.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 3);
+        assert!(json.contains("Gaudi-0"));
         // Microsecond conversion: 1000 ns -> 1.000 us.
         assert!(json.contains("\"ts\":1.000"));
         assert!(json.contains("\"dur\":2.000"));
+    }
+
+    #[test]
+    fn each_device_becomes_a_process() {
+        use gaudi_hw::DeviceId;
+        let mut t = sample();
+        t.push(
+            TraceEvent::basic("matmul", "fwd", EngineId::Mme, 1000.0, 2000.0)
+                .on_device(DeviceId(1)),
+        );
+        let json = to_chrome_json(&t);
+        assert!(json.contains("\"name\":\"Gaudi-0\""));
+        assert!(json.contains("\"name\":\"Gaudi-1\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"pid\":2"));
+        // Device 1 only ran the MME: no TPC thread lane in its process.
+        let d1_threads = json
+            .lines()
+            .filter(|l| l.contains("thread_name") && l.contains("\"pid\":2"))
+            .count();
+        assert_eq!(d1_threads, 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Trace event collection.
 
-use gaudi_hw::EngineId;
+use gaudi_hw::{DeviceId, EngineId};
 use std::sync::{Arc, Mutex};
 
 /// One hardware trace event: an engine was busy with `name` from `start_ns`
@@ -11,6 +11,8 @@ pub struct TraceEvent {
     pub name: String,
     /// Category tag grouping events (e.g. `op`, `dma`, `stall`).
     pub category: String,
+    /// The card the event ran on (`DeviceId(0)` for single-device traces).
+    pub device: DeviceId,
     /// The engine lane the event occupies.
     pub engine: EngineId,
     /// Start time in nanoseconds.
@@ -35,12 +37,19 @@ impl TraceEvent {
         TraceEvent {
             name: name.into(),
             category: category.into(),
+            device: DeviceId(0),
             engine,
             start_ns,
             dur_ns,
             flops: 0.0,
             bytes: 0.0,
         }
+    }
+
+    /// Re-tag the event with the card it ran on.
+    pub fn on_device(mut self, device: DeviceId) -> Self {
+        self.device = device;
+        self
     }
 
     /// End time in nanoseconds.
@@ -98,6 +107,25 @@ impl Trace {
         engines
     }
 
+    /// Devices that appear in the trace, sorted.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut devices: Vec<DeviceId> = self.events.iter().map(|e| e.device).collect();
+        devices.sort();
+        devices.dedup();
+        devices
+    }
+
+    /// Events on one (device, engine) lane, sorted by start time.
+    pub fn device_engine_events(&self, device: DeviceId, engine: EngineId) -> Vec<&TraceEvent> {
+        let mut evs: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.device == device && e.engine == engine)
+            .collect();
+        evs.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
+        evs
+    }
+
     /// Trace end time (makespan) in nanoseconds.
     pub fn span_ns(&self) -> f64 {
         self.events
@@ -121,15 +149,18 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Verify no two events on the same engine overlap (an engine executes
-    /// one kernel at a time). Returns the first offending pair if any.
+    /// Verify no two events on the same (device, engine) lane overlap (an
+    /// engine executes one kernel at a time; different cards run
+    /// independently). Returns the first offending pair if any.
     pub fn check_no_overlap(&self) -> Option<(TraceEvent, TraceEvent)> {
-        for engine in self.engines() {
-            let evs = self.engine_events(engine);
-            for w in evs.windows(2) {
-                // Allow tiny float slop.
-                if w[1].start_ns < w[0].end_ns() - 1e-6 {
-                    return Some((w[0].clone(), w[1].clone()));
+        for device in self.devices() {
+            for engine in self.engines() {
+                let evs = self.device_engine_events(device, engine);
+                for w in evs.windows(2) {
+                    // Allow tiny float slop.
+                    if w[1].start_ns < w[0].end_ns() - 1e-6 {
+                        return Some((w[0].clone(), w[1].clone()));
+                    }
                 }
             }
         }
@@ -164,19 +195,21 @@ impl TraceSink {
             .push(TraceEvent::basic(name, category, engine, start_ns, dur_ns));
     }
 
-    /// Record an event with flop and byte counts (for roofline analysis).
+    /// Record an event with device tag and flop/byte counts (for per-card
+    /// timelines and roofline analysis).
     #[allow(clippy::too_many_arguments)]
     pub fn record_full(
         &self,
         name: impl Into<String>,
         category: impl Into<String>,
+        device: DeviceId,
         engine: EngineId,
         start_ns: f64,
         dur_ns: f64,
         flops: f64,
         bytes: f64,
     ) {
-        let mut ev = TraceEvent::basic(name, category, engine, start_ns, dur_ns);
+        let mut ev = TraceEvent::basic(name, category, engine, start_ns, dur_ns).on_device(device);
         ev.flops = flops;
         ev.bytes = bytes;
         self.inner.lock().expect("trace sink poisoned").push(ev);
@@ -237,6 +270,17 @@ mod tests {
         t.push(ev("b", EngineId::TpcCluster, 0.0, 1.0));
         t.push(ev("a", EngineId::Mme, 0.0, 1.0));
         assert_eq!(t.engines(), vec![EngineId::Mme, EngineId::TpcCluster]);
+    }
+
+    #[test]
+    fn devices_get_independent_lanes() {
+        // Same engine, same instant, different cards: not an overlap.
+        let mut t = Trace::new();
+        t.push(ev("a", EngineId::Mme, 0.0, 10.0));
+        t.push(ev("b", EngineId::Mme, 0.0, 10.0).on_device(DeviceId(1)));
+        assert!(t.check_no_overlap().is_none());
+        assert_eq!(t.devices(), vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(t.device_engine_events(DeviceId(1), EngineId::Mme).len(), 1);
     }
 
     #[test]

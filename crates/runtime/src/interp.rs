@@ -11,6 +11,10 @@ pub enum InterpError {
     Tensor(TensorError),
     /// A source node had no value bound.
     Unbound(String),
+    /// A node arrived with fewer operands than its kind requires, or an op
+    /// that only a device-group executor can evaluate (a collective) reached
+    /// the single-device interpreter.
+    Unsupported(String),
 }
 
 impl std::fmt::Display for InterpError {
@@ -18,6 +22,7 @@ impl std::fmt::Display for InterpError {
         match self {
             InterpError::Tensor(e) => write!(f, "tensor error: {e}"),
             InterpError::Unbound(n) => write!(f, "no value bound for source node '{n}'"),
+            InterpError::Unsupported(what) => write!(f, "cannot evaluate: {what}"),
         }
     }
 }
@@ -32,8 +37,25 @@ impl From<TensorError> for InterpError {
 
 /// Evaluate one non-source node given its input tensors.
 pub fn eval_node(_graph: &Graph, node: &Node, inputs: &[&Tensor]) -> Result<Tensor, InterpError> {
+    if inputs.len() < node.inputs.len() {
+        return Err(InterpError::Unsupported(format!(
+            "node '{}' ({}) received {} of {} operands",
+            node.name,
+            node.kind,
+            inputs.len(),
+            node.inputs.len()
+        )));
+    }
     let out = match &node.kind {
         OpKind::Input | OpKind::Parameter => return Err(InterpError::Unbound(node.name.clone())),
+        OpKind::Collective(c) => {
+            // Collectives need the values of every rank in the device group;
+            // only the sharded executor (gaudi-runtime::shard) has them.
+            return Err(InterpError::Unsupported(format!(
+                "collective '{}' outside a sharded multi-device run",
+                c.name()
+            )));
+        }
         OpKind::Fill(v) => Tensor::full(node.shape.dims(), *v)?,
         OpKind::MatMul => ops::matmul(inputs[0], inputs[1])?,
         OpKind::Einsum(EinsumSpec::ScoresQKt) => {

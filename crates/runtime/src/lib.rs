@@ -20,9 +20,11 @@ pub mod interp;
 pub mod memory;
 pub mod optim;
 pub mod runtime;
+pub mod shard;
 pub mod train;
 
 pub use memory::estimate_peak_hbm;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use runtime::{Feeds, NumericsMode, RunReport, Runtime, RuntimeError};
+pub use shard::MultiRunReport;
 pub use train::{StepReport, Trainer};

@@ -58,6 +58,10 @@ pub enum RuntimeError {
     Interp(InterpError),
     /// A named `Input` node had no feed in [`NumericsMode::Full`].
     MissingInput(String),
+    /// An internal execution invariant was violated (a bug in the runtime,
+    /// not in the caller's graph) — reported instead of panicking so library
+    /// users can recover.
+    Internal(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -66,6 +70,9 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Graph(e) => write!(f, "graph error: {e}"),
             RuntimeError::Interp(e) => write!(f, "interpreter error: {e}"),
             RuntimeError::MissingInput(n) => write!(f, "missing feed for input '{n}'"),
+            RuntimeError::Internal(what) => {
+                write!(f, "internal runtime invariant violated: {what}")
+            }
         }
     }
 }
@@ -82,6 +89,26 @@ impl From<InterpError> for RuntimeError {
     fn from(e: InterpError) -> Self {
         RuntimeError::Interp(e)
     }
+}
+
+/// Standard auto-initialization conventions, shared by the single-device
+/// interpreter and the sharded executor (which must draw the *full* shapes
+/// in the same node order for numerical parity): layernorm scales start at
+/// 1, biases/shifts at 0, weights at `N(0, std)`.
+pub(crate) fn init_param(
+    name: &str,
+    dims: &[usize],
+    std: f32,
+    rng: &mut SeededRng,
+) -> Result<Tensor, RuntimeError> {
+    let t = if name.ends_with(".gamma") {
+        Tensor::ones(dims)
+    } else if name.ends_with(".beta") || name.ends_with(".b") {
+        Tensor::zeros(dims)
+    } else {
+        Tensor::randn(dims, std, rng)
+    };
+    t.map_err(|e| RuntimeError::Interp(InterpError::Tensor(e)))
 }
 
 /// Everything a simulated run produces.
@@ -164,6 +191,7 @@ impl Runtime {
             sink.record_full(
                 step.label.clone(),
                 step.category,
+                step.device,
                 step.engine,
                 step.start_ns,
                 step.dur_ns,
@@ -211,23 +239,21 @@ impl Runtime {
                     .ok_or_else(|| RuntimeError::MissingInput(node.name.clone()))?,
                 OpKind::Parameter => match feeds.inputs.get(&node.name) {
                     Some(t) => t.clone(),
-                    // Standard init conventions: layernorm scales start at 1,
-                    // biases/shifts at 0, weights at N(0, param_std).
-                    None if node.name.ends_with(".gamma") => Tensor::ones(node.shape.dims())
-                        .map_err(|e| RuntimeError::Interp(InterpError::Tensor(e)))?,
-                    None if node.name.ends_with(".beta") || node.name.ends_with(".b") => {
-                        Tensor::zeros(node.shape.dims())
-                            .map_err(|e| RuntimeError::Interp(InterpError::Tensor(e)))?
-                    }
-                    None => Tensor::randn(node.shape.dims(), feeds.param_std, &mut rng)
-                        .map_err(|e| RuntimeError::Interp(InterpError::Tensor(e)))?,
+                    None => init_param(&node.name, node.shape.dims(), feeds.param_std, &mut rng)?,
                 },
                 _ => {
                     let inputs: Vec<&Tensor> = node
                         .inputs
                         .iter()
-                        .map(|i| values[i.index()].as_ref().expect("operand computed"))
-                        .collect();
+                        .map(|i| {
+                            values[i.index()].as_ref().ok_or_else(|| {
+                                RuntimeError::Internal(format!(
+                                    "operand of '{}' freed before use",
+                                    node.name
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
                     eval_node(g, node, &inputs)?
                 }
             };
@@ -245,10 +271,17 @@ impl Runtime {
             }
         }
 
-        Ok(g.outputs()
+        g.outputs()
             .iter()
-            .map(|o| values[o.index()].clone().expect("output retained"))
-            .collect())
+            .map(|o| {
+                values[o.index()].clone().ok_or_else(|| {
+                    RuntimeError::Internal(format!(
+                        "output '{}' not retained to the end of the run",
+                        g.node(*o).name
+                    ))
+                })
+            })
+            .collect()
     }
 }
 

@@ -30,6 +30,8 @@ pub struct PhaseCost {
     pub tpc_busy_ns: f64,
     /// DMA busy time, ns.
     pub dma_busy_ns: f64,
+    /// NIC (collective) busy time, ns — nonzero only for multi-card plans.
+    pub nic_busy_ns: f64,
 }
 
 impl PhaseCost {
@@ -43,6 +45,7 @@ impl PhaseCost {
                 EngineId::Mme => cost.mme_busy_ns += step.dur_ns,
                 EngineId::TpcCluster => cost.tpc_busy_ns += step.dur_ns,
                 EngineId::Dma(_) => cost.dma_busy_ns += step.dur_ns,
+                EngineId::Nic => cost.nic_busy_ns += step.dur_ns,
                 EngineId::Host => {}
             }
         }

@@ -14,7 +14,7 @@
 //!    requests that reach their output length retire at the boundary and
 //!    free their KV reservation immediately, opening slots for the queue.
 //!
-//! Every phase is priced by the [`CostModel`](crate::cost::CostModel), so
+//! Every phase is priced by the [`CostModel`], so
 //! the same §3.3/§3.4 hardware calibration that reproduces the paper's
 //! training figures also sets TTFT and per-token latency here.
 
@@ -24,7 +24,7 @@ use crate::kv::{kv_bytes_per_token, weight_bytes, KvAccountant};
 use crate::report::{Percentiles, RequestOutcome, ServingReport};
 use crate::request::{generate_requests, Request, TrafficConfig};
 use gaudi_compiler::CompilerOptions;
-use gaudi_hw::{EngineId, GaudiConfig};
+use gaudi_hw::{DeviceId, EngineId, GaudiConfig};
 use gaudi_models::LlmConfig;
 use gaudi_profiler::trace::TraceEvent;
 use gaudi_profiler::Trace;
@@ -49,6 +49,10 @@ pub struct ServingConfig {
     pub hw: GaudiConfig,
     /// Compiler options used to cost every phase.
     pub opts: CompilerOptions,
+    /// Number of cards serving as independent data-parallel replicas, each
+    /// holding a full model copy and taking a round-robin share of the
+    /// request stream.
+    pub devices: usize,
 }
 
 impl ServingConfig {
@@ -65,6 +69,7 @@ impl ServingConfig {
             kv_dtype: DType::F32,
             hw: GaudiConfig::hls1(),
             opts: CompilerOptions::default(),
+            devices: 1,
         }
     }
 
@@ -90,6 +95,7 @@ impl ServingConfig {
             kv_dtype: DType::F32,
             hw: GaudiConfig::hls1(),
             opts: CompilerOptions::default(),
+            devices: 1,
         }
     }
 
@@ -113,6 +119,11 @@ struct Active {
 ///
 /// Identical configurations (including `traffic.seed`) produce identical
 /// reports: the simulation is a deterministic function of its inputs.
+///
+/// With `cfg.devices > 1` the request stream is split round-robin (in
+/// arrival order) across that many data-parallel replicas, each running the
+/// full continuous-batching schedule on its own card; the merged report
+/// carries per-card-averaged utilizations and a device-tagged trace.
 pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
     if cfg.max_batch == 0 {
         return Err(ServingError::InvalidConfig(
@@ -124,7 +135,32 @@ pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
             "traffic.num_requests must be positive".into(),
         ));
     }
+    if cfg.devices == 0 {
+        return Err(ServingError::InvalidConfig(
+            "devices must be at least 1".into(),
+        ));
+    }
 
+    let requests = generate_requests(&cfg.traffic);
+    if cfg.devices == 1 {
+        return simulate_replica(cfg, requests);
+    }
+    let mut shards: Vec<Vec<Request>> = vec![Vec::new(); cfg.devices];
+    for (i, r) in requests.into_iter().enumerate() {
+        shards[i % cfg.devices].push(r);
+    }
+    let replicas = shards
+        .into_iter()
+        .map(|shard| simulate_replica(cfg, shard))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(merge_replicas(cfg.devices, replicas))
+}
+
+/// One card's continuous-batching simulation over its share of the stream.
+fn simulate_replica(
+    cfg: &ServingConfig,
+    requests: Vec<Request>,
+) -> Result<ServingReport, ServingError> {
     let max_positions = cfg.max_request_tokens();
     let weights = weight_bytes(&cfg.model, max_positions, cfg.kv_dtype);
     let per_token = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
@@ -138,7 +174,6 @@ pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
         cfg.ctx_bucket,
     );
 
-    let requests = generate_requests(&cfg.traffic);
     // Reject outright only what can never fit; everything else queues.
     for r in &requests {
         if r.total_tokens() as u64 > kv.max_admissible_tokens() {
@@ -169,7 +204,9 @@ pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
     while done.len() < total {
         // 1. Ingest everything that has arrived by now.
         while pending.front().is_some_and(|r| r.arrival_ms() <= clock_ms) {
-            waiting.push_back(pending.pop_front().unwrap());
+            if let Some(r) = pending.pop_front() {
+                waiting.push_back(r);
+            }
         }
         max_queue_depth = max_queue_depth.max(waiting.len());
 
@@ -180,7 +217,9 @@ pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
                 backpressure_stalls += 1;
                 break; // FIFO: wait for retirements, do not starve the head.
             }
-            let req = waiting.pop_front().unwrap();
+            let Some(req) = waiting.pop_front() else {
+                break;
+            };
             let queue_ms = clock_ms - req.arrival_ms();
             let c = cost.prefill(1, req.prompt_len)?;
             record_phase(&mut trace, "prefill", clock_ms, &c);
@@ -221,11 +260,7 @@ pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
 
         // 4. One decode step advances every running request by one token.
         let batch = running.len();
-        let max_ctx = running
-            .iter()
-            .map(|a| a.ctx)
-            .max()
-            .expect("non-empty batch");
+        let max_ctx = running.iter().map(|a| a.ctx).max().unwrap_or(1);
         let c = cost.decode(batch, max_ctx)?;
         record_phase(&mut trace, "decode", clock_ms, &c);
         clock_ms += c.ms;
@@ -296,8 +331,91 @@ pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
         kv_peak_bytes: kv.peak(),
         kv_capacity_bytes: kv.capacity(),
         compiled_graphs: cost.compiled_graphs(),
+        devices: 1,
         trace,
     })
+}
+
+/// Merge per-replica reports into one box-level report: latency percentiles
+/// recomputed over the union, throughput summed against the slowest
+/// replica's makespan, utilizations averaged per card, and the trace
+/// re-tagged with each replica's [`DeviceId`].
+fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport {
+    let makespan_ms = replicas.iter().map(|r| r.makespan_ms).fold(0.0, f64::max);
+    let span_ns = makespan_ms * 1e6;
+    // Recover each replica's busy time from its own utilization x makespan.
+    let busy = |f: fn(&ServingReport) -> f64| -> f64 {
+        replicas.iter().map(|r| f(r) * r.makespan_ms * 1e6).sum()
+    };
+    let util = |f: fn(&ServingReport) -> f64| -> f64 {
+        if span_ns > 0.0 {
+            busy(f) / (span_ns * devices as f64)
+        } else {
+            0.0
+        }
+    };
+    let mme_utilization = util(|r| r.mme_utilization);
+    let tpc_utilization = util(|r| r.tpc_utilization);
+    let dma_utilization = util(|r| r.dma_utilization);
+
+    let mut completed: Vec<RequestOutcome> = Vec::new();
+    let mut trace = Trace::new();
+    let mut decode_steps = 0;
+    let mut prefills = 0;
+    let mut backpressure_stalls = 0;
+    let mut max_queue_depth = 0;
+    let mut kv_peak_bytes = 0;
+    let mut kv_capacity_bytes = 0;
+    let mut compiled_graphs = 0;
+    for (d, r) in replicas.into_iter().enumerate() {
+        completed.extend(r.completed);
+        for ev in r.trace.events() {
+            trace.push(ev.clone().on_device(DeviceId(d)));
+        }
+        decode_steps += r.decode_steps;
+        prefills += r.prefills;
+        backpressure_stalls += r.backpressure_stalls;
+        max_queue_depth = max_queue_depth.max(r.max_queue_depth);
+        kv_peak_bytes = r.kv_peak_bytes.max(kv_peak_bytes);
+        kv_capacity_bytes = r.kv_capacity_bytes;
+        compiled_graphs += r.compiled_graphs;
+    }
+    completed.sort_by_key(|o| o.id);
+    let generated_tokens: usize = completed.iter().map(|o| o.output_len).sum();
+
+    let ttft_ms = Percentiles::of(completed.iter().map(|o| o.ttft_ms));
+    let tpot_ms = Percentiles::of(completed.iter().flat_map(|o| {
+        o.token_times_ms
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect::<Vec<_>>()
+    }));
+    let queue_ms = Percentiles::of(completed.iter().map(|o| o.queue_ms));
+
+    ServingReport {
+        completed,
+        makespan_ms,
+        ttft_ms,
+        tpot_ms,
+        queue_ms,
+        goodput_tokens_per_s: if makespan_ms > 0.0 {
+            generated_tokens as f64 / (makespan_ms / 1e3)
+        } else {
+            0.0
+        },
+        mme_utilization,
+        tpc_utilization,
+        dma_utilization,
+        decode_steps,
+        prefills,
+        backpressure_stalls,
+        max_queue_depth,
+        kv_peak_bytes,
+        kv_capacity_bytes,
+        compiled_graphs,
+        devices,
+        trace,
+    }
 }
 
 /// Append one trace event per busy engine for a phase, so the report's
@@ -308,6 +426,7 @@ fn record_phase(trace: &mut Trace, name: &str, start_ms: f64, c: &crate::cost::P
         (EngineId::Mme, c.mme_busy_ns),
         (EngineId::TpcCluster, c.tpc_busy_ns),
         (EngineId::Dma(0), c.dma_busy_ns),
+        (EngineId::Nic, c.nic_busy_ns),
     ] {
         if busy > 0.0 {
             trace.push(TraceEvent::basic(name, "serving", engine, start_ns, busy));
@@ -337,6 +456,7 @@ mod tests {
             kv_dtype: DType::F32,
             hw: GaudiConfig::hls1(),
             opts: CompilerOptions::default(),
+            devices: 1,
         }
     }
 
@@ -403,6 +523,22 @@ mod tests {
         assert_eq!(r.completed.len(), 30, "backpressure must not drop requests");
         assert!(r.backpressure_stalls > 0, "expected KV admission stalls");
         assert!(r.kv_peak_bytes <= r.kv_capacity_bytes);
+    }
+
+    #[test]
+    fn replicas_complete_everything_and_tag_the_trace() {
+        let mut cfg = tiny_config();
+        cfg.devices = 2;
+        let r = simulate(&cfg).unwrap();
+        assert_eq!(r.completed.len(), 30, "replicas must not drop requests");
+        assert_eq!(r.devices, 2);
+        assert_eq!(r.trace.devices().len(), 2);
+        for (i, o) in r.completed.iter().enumerate() {
+            assert_eq!(o.id, i as u64);
+        }
+        // A two-replica box should not serve the stream slower.
+        let single = simulate(&tiny_config()).unwrap();
+        assert!(r.makespan_ms <= single.makespan_ms * 1.01);
     }
 
     #[test]

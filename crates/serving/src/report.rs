@@ -101,6 +101,8 @@ pub struct ServingReport {
     pub kv_capacity_bytes: u64,
     /// Distinct phase graphs compiled (the recipe-cache size).
     pub compiled_graphs: usize,
+    /// Cards the simulation ran on (data-parallel serving replicas).
+    pub devices: usize,
     /// Engine-busy timeline of every phase, for the profiler tooling.
     pub trace: Trace,
 }
@@ -135,7 +137,8 @@ impl ServingReport {
         }
 
         let mut eng = TextTable::new(&["metric", "value"]);
-        eng.row(&["requests served".into(), self.completed.len().to_string()])
+        eng.row(&["devices".into(), self.devices.to_string()])
+            .row(&["requests served".into(), self.completed.len().to_string()])
             .row(&["makespan ms".into(), ms(self.makespan_ms)])
             .row(&[
                 "goodput tok/s".into(),
@@ -217,6 +220,7 @@ mod tests {
             kv_peak_bytes: 1 << 30,
             kv_capacity_bytes: 32 << 30,
             compiled_graphs: 5,
+            devices: 1,
             trace: Trace::new(),
         };
         let text = r.render();

@@ -6,13 +6,34 @@
 //! pure function of the seed: re-running prints identical numbers.
 //!
 //! ```sh
-//! cargo run --release --bin serving_sweep
+//! cargo run --release --bin serving_sweep [-- --devices N]
 //! ```
+//!
+//! `--devices N` serves the same stream on N data-parallel replica cards
+//! (requests round-robined in arrival order).
 
 use gaudi_profiler::report::TextTable;
 use gaudi_serving::{simulate, ServingConfig, ServingReport, TrafficConfig};
 
-fn run_cell(rate: f64, max_batch: usize) -> ServingReport {
+fn parse_devices() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => 1,
+        [flag, v] if flag == "--devices" => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--devices expects a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: serving_sweep [--devices N]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_cell(rate: f64, max_batch: usize, devices: usize) -> ServingReport {
     let mut cfg = ServingConfig::gpt2_xl();
     cfg.traffic = TrafficConfig {
         arrival_rate_per_s: rate,
@@ -23,11 +44,21 @@ fn run_cell(rate: f64, max_batch: usize) -> ServingReport {
         seed: 42,
     };
     cfg.max_batch = max_batch;
+    cfg.devices = devices;
     simulate(&cfg).expect("sweep cell simulates")
 }
 
 fn main() {
-    println!("Extension: simulated online serving, GPT-2-XL-class model on one HLS-1\n");
+    let devices = parse_devices();
+    println!(
+        "Extension: simulated online serving, GPT-2-XL-class model on {} HLS-1 card{}\n",
+        devices,
+        if devices == 1 {
+            ""
+        } else {
+            "s (data-parallel)"
+        }
+    );
     println!(
         "60 requests/cell, Poisson arrivals, Zipf lengths (prompt 16-512, output 8-128), seed 42\n"
     );
@@ -47,7 +78,7 @@ fn main() {
     ]);
     for &rate in &rates {
         for &max_batch in &batches {
-            let r = run_cell(rate, max_batch);
+            let r = run_cell(rate, max_batch, devices);
             t.row(&[
                 format!("{rate:.0}"),
                 max_batch.to_string(),
@@ -77,12 +108,15 @@ fn main() {
          per-token latency cost.\n"
     );
 
-    let busiest = run_cell(*rates.last().unwrap(), *batches.last().unwrap());
-    println!("Full report at rate 16 req/s, max batch 16:\n");
+    let busiest = run_cell(*rates.last().unwrap(), *batches.last().unwrap(), devices);
+    println!(
+        "Full report at rate 16 req/s, max batch 16, {devices} device{}:\n",
+        if devices == 1 { "" } else { "s" }
+    );
     println!("{}", busiest.render());
 
     // The acceptance bar: identical seeds must reproduce identical reports.
-    let again = run_cell(*rates.last().unwrap(), *batches.last().unwrap());
+    let again = run_cell(*rates.last().unwrap(), *batches.last().unwrap(), devices);
     let reproducible = busiest.makespan_ms == again.makespan_ms
         && busiest.ttft_ms == again.ttft_ms
         && busiest.tpot_ms == again.tpot_ms

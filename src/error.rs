@@ -22,6 +22,9 @@ pub enum GaudiError {
     Serving(ServingError),
     /// A modelled HBM allocation overflowed device capacity.
     OutOfMemory(OutOfMemory),
+    /// The session configuration is inconsistent (e.g. a parallelism plan
+    /// needing more cards than the session has).
+    Config(String),
 }
 
 impl std::fmt::Display for GaudiError {
@@ -32,6 +35,7 @@ impl std::fmt::Display for GaudiError {
             GaudiError::Runtime(e) => write!(f, "runtime: {e}"),
             GaudiError::Serving(e) => write!(f, "serving: {e}"),
             GaudiError::OutOfMemory(e) => write!(f, "out of device memory: {e}"),
+            GaudiError::Config(msg) => write!(f, "invalid session config: {msg}"),
         }
     }
 }
@@ -44,6 +48,7 @@ impl std::error::Error for GaudiError {
             GaudiError::Runtime(e) => Some(e),
             GaudiError::Serving(e) => Some(e),
             GaudiError::OutOfMemory(e) => Some(e),
+            GaudiError::Config(_) => None,
         }
     }
 }

@@ -47,12 +47,14 @@ pub use gaudi_workloads as workloads;
 /// A convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use crate::{GaudiError, GaudiSession, GaudiSessionBuilder};
-    pub use gaudi_compiler::{CompilerOptions, GraphCompiler, SchedulerKind};
-    pub use gaudi_graph::{Graph, NodeId, OpKind};
-    pub use gaudi_hw::GaudiConfig;
+    pub use gaudi_compiler::{
+        CompilerOptions, GraphCompiler, MultiDevicePlan, Parallelism, PartitionSpec, SchedulerKind,
+    };
+    pub use gaudi_graph::{CollectiveKind, Graph, NodeId, OpKind};
+    pub use gaudi_hw::{DeviceId, GaudiConfig, Topology};
     pub use gaudi_models::{ActivationKind, AttentionKind, TransformerLayerConfig};
     pub use gaudi_profiler::{Trace, TraceAnalysis};
-    pub use gaudi_runtime::{Feeds, NumericsMode, RunReport, Runtime};
+    pub use gaudi_runtime::{Feeds, MultiRunReport, NumericsMode, RunReport, Runtime};
     pub use gaudi_serving::{ServingConfig, ServingReport, TrafficConfig};
     pub use gaudi_tensor::{DType, SeededRng, Shape, Tensor};
 }

@@ -26,20 +26,26 @@
 //! ```
 
 use crate::error::GaudiError;
-use gaudi_compiler::CompilerOptions;
+use gaudi_compiler::{CompilerOptions, Parallelism, PartitionSpec};
 use gaudi_graph::Graph;
 use gaudi_hw::GaudiConfig;
-use gaudi_runtime::{Feeds, NumericsMode, RunReport, Runtime};
+use gaudi_runtime::{Feeds, MultiRunReport, NumericsMode, RunReport, Runtime};
 use gaudi_serving::{simulate, ServingConfig, ServingReport};
 
-/// A configured simulated device: hardware model + compiler options.
+/// A configured simulated device — or box of devices: hardware model,
+/// compiler options, and a parallelism layout.
 ///
-/// Build one with [`GaudiSession::builder`]; see the [module docs](self)
-/// for a complete example.
+/// Build one with [`GaudiSession::builder`]; the example at the top of
+/// this file shows the full flow. Sessions default to a single card; ask for a
+/// multi-card box with [`GaudiSessionBuilder::devices`] and (optionally) a
+/// specific [`GaudiSessionBuilder::parallelism`] layout.
 pub struct GaudiSession {
     hw: GaudiConfig,
     options: CompilerOptions,
     numerics: NumericsMode,
+    devices: usize,
+    parallelism: Parallelism,
+    spec: PartitionSpec,
     runtime: Runtime,
 }
 
@@ -59,8 +65,13 @@ impl GaudiSession {
 
     /// Compile `graph`, execute it with `feeds`, and return outputs, trace,
     /// makespan, and peak-HBM estimate in one report.
+    ///
+    /// On a multi-card session ([`GaudiSessionBuilder::devices`] > 1 with a
+    /// non-trivial parallelism) the graph is partitioned, run across the box
+    /// via [`Runtime::run_partitioned`], and the reassembled full outputs are
+    /// returned — callers see the same interface either way.
     pub fn run(&self, graph: &Graph, feeds: Feeds) -> Result<RunReport, GaudiError> {
-        Ok(self.runtime.run(graph, &feeds, self.numerics)?)
+        self.run_with_mode(graph, feeds, self.numerics)
     }
 
     /// Like [`run`](Self::run), overriding the session's numerics mode for
@@ -72,16 +83,55 @@ impl GaudiSession {
         feeds: Feeds,
         mode: NumericsMode,
     ) -> Result<RunReport, GaudiError> {
+        if self.parallelism.world() > 1 {
+            let multi = self.run_partitioned_with_mode(graph, feeds, mode)?;
+            return Ok(RunReport {
+                outputs: multi.outputs,
+                trace: multi.trace,
+                makespan_ms: multi.makespan_ms,
+                peak_hbm_bytes: multi.peak_hbm_bytes_per_device,
+                compiled_graph: multi.compiled_graph,
+            });
+        }
         Ok(self.runtime.run(graph, &feeds, mode)?)
     }
 
+    /// Run `graph` across the session's box and return the full
+    /// [`MultiRunReport`] (per-device plans, collective share, device-tagged
+    /// trace) instead of the flattened [`RunReport`].
+    ///
+    /// Works on any session; a single-card session runs a trivial 1-way
+    /// partition.
+    pub fn run_partitioned(
+        &self,
+        graph: &Graph,
+        feeds: Feeds,
+    ) -> Result<MultiRunReport, GaudiError> {
+        self.run_partitioned_with_mode(graph, feeds, self.numerics)
+    }
+
+    /// [`run_partitioned`](Self::run_partitioned) with an explicit numerics
+    /// mode.
+    pub fn run_partitioned_with_mode(
+        &self,
+        graph: &Graph,
+        feeds: Feeds,
+        mode: NumericsMode,
+    ) -> Result<MultiRunReport, GaudiError> {
+        Ok(self
+            .runtime
+            .run_partitioned(graph, self.parallelism, &self.spec, &feeds, mode)?)
+    }
+
     /// Run a multi-tenant serving simulation on this session's hardware and
-    /// compiler configuration (the `hw`/`opts` fields of `cfg` are replaced
-    /// by the session's own).
+    /// compiler configuration (the `hw`/`opts`/`devices` fields of `cfg` are
+    /// replaced by the session's own; serving replicates data-parallel, one
+    /// engine per card).
     pub fn serve(&self, cfg: &ServingConfig) -> Result<ServingReport, GaudiError> {
         let mut cfg = cfg.clone();
         cfg.hw = self.hw.clone();
         cfg.opts = self.options.clone();
+        cfg.devices = self.devices;
         Ok(simulate(&cfg)?)
     }
 
@@ -99,6 +149,16 @@ impl GaudiSession {
     pub fn numerics(&self) -> NumericsMode {
         self.numerics
     }
+
+    /// Number of cards in the session's box.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// The data×tensor parallel layout `run` uses on a multi-card session.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
 }
 
 /// Builder for [`GaudiSession`].
@@ -107,6 +167,9 @@ pub struct GaudiSessionBuilder {
     hw: Option<GaudiConfig>,
     options: Option<CompilerOptions>,
     numerics: Option<NumericsMode>,
+    devices: Option<usize>,
+    parallelism: Option<Parallelism>,
+    partition_spec: Option<PartitionSpec>,
 }
 
 impl GaudiSessionBuilder {
@@ -129,16 +192,68 @@ impl GaudiSessionBuilder {
         self
     }
 
+    /// Size the box: how many simulated cards the session owns (default 1).
+    ///
+    /// With more than one card and no explicit [`parallelism`](Self::parallelism),
+    /// `run` defaults to tensor parallelism across all cards.
+    pub fn devices(mut self, n: usize) -> Self {
+        self.devices = Some(n);
+        self
+    }
+
+    /// Choose the data×tensor layout multi-card `run`s use. Its world size
+    /// must not exceed [`devices`](Self::devices).
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = Some(p);
+        self
+    }
+
+    /// Override which inputs the partitioner shards (default:
+    /// [`PartitionSpec::llm`], the LLM naming convention).
+    pub fn partition_spec(mut self, spec: PartitionSpec) -> Self {
+        self.partition_spec = Some(spec);
+        self
+    }
+
     /// Construct the session.
     pub fn build(self) -> Result<GaudiSession, GaudiError> {
         let hw = self.hw.unwrap_or_else(GaudiConfig::hls1);
         let options = self.options.unwrap_or_default();
         let numerics = self.numerics.unwrap_or(NumericsMode::Full);
+        let devices = self.devices.unwrap_or(1);
+        if devices == 0 {
+            return Err(GaudiError::Config(
+                "a session needs at least 1 device".into(),
+            ));
+        }
+        let parallelism = self.parallelism.unwrap_or_else(|| {
+            if devices > 1 {
+                Parallelism::tensor(devices)
+            } else {
+                Parallelism::single()
+            }
+        });
+        if parallelism.data == 0 || parallelism.tensor == 0 {
+            return Err(GaudiError::Config(
+                "parallelism degrees must be at least 1".into(),
+            ));
+        }
+        if parallelism.world() > devices {
+            return Err(GaudiError::Config(format!(
+                "parallelism needs {} cards but the session has {}",
+                parallelism.world(),
+                devices
+            )));
+        }
+        let spec = self.partition_spec.unwrap_or_else(PartitionSpec::llm);
         let runtime = Runtime::new(hw.clone(), options.clone());
         Ok(GaudiSession {
             hw,
             options,
             numerics,
+            devices,
+            parallelism,
+            spec,
             runtime,
         })
     }
@@ -225,5 +340,91 @@ mod tests {
         g.mark_output(x);
         let err = s.run(&g, Feeds::default()).unwrap_err();
         assert!(matches!(err, GaudiError::Runtime(_)));
+    }
+
+    fn mlp_graph(d: usize, hidden: usize) -> Graph {
+        use gaudi_graph::Activation;
+        let mut g = Graph::new();
+        let x = g.input("x", &[4, 8, d]).unwrap();
+        let w1 = g.parameter("mlp.fc1.w", &[d, hidden]).unwrap();
+        let b1 = g.parameter("mlp.fc1.b", &[hidden]).unwrap();
+        let h = g.matmul(x, w1).unwrap();
+        let h = g.add(h, b1).unwrap();
+        let h = g.activation(Activation::Gelu, h).unwrap();
+        let w2 = g.parameter("mlp.fc2.w", &[hidden, d]).unwrap();
+        let b2 = g.parameter("mlp.fc2.b", &[d]).unwrap();
+        let y = g.matmul(h, w2).unwrap();
+        let y = g.add(y, b2).unwrap();
+        g.mark_output(y);
+        g
+    }
+
+    fn mlp_feeds(d: usize) -> Feeds {
+        use gaudi_tensor::SeededRng;
+        let mut rng = SeededRng::new(11);
+        let x = Tensor::randn(&[4, 8, d], 1.0, &mut rng).unwrap();
+        Feeds::auto(3).with_input("x", x)
+    }
+
+    #[test]
+    fn multi_card_session_matches_single_card_numerics() {
+        let g = mlp_graph(16, 32);
+        let reference = GaudiSession::hls1().run(&g, mlp_feeds(16)).unwrap();
+
+        let s = GaudiSession::builder().devices(2).build().unwrap();
+        assert_eq!(s.devices(), 2);
+        assert_eq!(s.parallelism(), Parallelism::tensor(2));
+        let r = s.run(&g, mlp_feeds(16)).unwrap();
+        assert_eq!(r.outputs[0].dims(), reference.outputs[0].dims());
+        let diff = r.outputs[0].max_abs_diff(&reference.outputs[0]);
+        assert!(diff < 1e-4, "diff {diff}");
+        assert_eq!(r.trace.devices().len(), 2, "one lane group per card");
+    }
+
+    #[test]
+    fn run_partitioned_reports_collective_time() {
+        let g = mlp_graph(16, 32);
+        let s = GaudiSession::builder()
+            .devices(4)
+            .parallelism(Parallelism { data: 2, tensor: 2 })
+            .build()
+            .unwrap();
+        let r = s.run_partitioned(&g, mlp_feeds(16)).unwrap();
+        assert_eq!(r.plan.devices(), 4);
+        assert!(r.collective_share() > 0.0, "TP inserts all-reduces");
+    }
+
+    #[test]
+    fn undersized_box_is_a_config_error() {
+        let err = GaudiSession::builder()
+            .devices(2)
+            .parallelism(Parallelism::tensor(4))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, GaudiError::Config(_)));
+        assert!(err.to_string().contains("4 cards"));
+
+        let err = GaudiSession::builder()
+            .devices(0)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, GaudiError::Config(_)));
+    }
+
+    #[test]
+    fn serve_inherits_session_devices() {
+        let s = GaudiSession::builder().devices(2).build().unwrap();
+        let mut cfg = ServingConfig::paper_gpt();
+        cfg.traffic = TrafficConfig {
+            num_requests: 6,
+            prompt_range: (8, 32),
+            output_range: (2, 8),
+            ..TrafficConfig::default()
+        };
+        let r = s.serve(&cfg).unwrap();
+        assert_eq!(r.devices, 2);
+        assert_eq!(r.completed.len(), 6);
     }
 }

@@ -45,6 +45,7 @@ fn config(
         kv_dtype: DType::F32,
         hw,
         opts: CompilerOptions::default(),
+        devices: 1,
     }
 }
 
