@@ -72,10 +72,12 @@ impl GraphCompiler {
                 "topology has fewer devices than the parallelism plan needs",
             ));
         }
-        // Collectives span the tensor-parallel group.
+        // Collectives span the tensor-parallel group; degraded links carry
+        // over (one slow edge in the fabric paces any ring through it).
         let comm = Topology {
             devices: part.parallel.tensor,
             link: topo.link,
+            link_degradations: topo.link_degradations.clone(),
         };
         let (g, base) = self.compile_with_topology(&part.graph, &comm)?;
         let collective_ns = base.engine_busy_ns(EngineId::Nic);

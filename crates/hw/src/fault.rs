@@ -1,0 +1,403 @@
+//! Deterministic fault injection: what breaks, when, and by how much.
+//!
+//! The paper characterizes Gaudi in steady state; a production box does not
+//! stay there. A [`FaultPlan`] is a *schedule* of hardware misbehavior —
+//! whole-card failures at known times, RoCE links running below nominal
+//! bandwidth, and transient slowdown windows (thermal throttling, noisy
+//! neighbors) — that the serving and runtime layers consume to model
+//! graceful degradation.
+//!
+//! Plans are plain data: building one never touches a clock or an OS RNG,
+//! so a simulation driven by a plan is exactly as reproducible as the plan
+//! itself. [`FaultPlan::seeded`] derives a randomized-but-deterministic
+//! plan from a `u64` seed (SplitMix64), which is what the `fault_sweep`
+//! binary uses to assert bit-identical reports across runs.
+//!
+//! What each fault means to consumers:
+//!
+//! * **Card failure** ([`CardFailure`]): the device stops at `at_ms`. The
+//!   serving layer halts that replica at the next phase boundary at or
+//!   after the failure time and re-queues its unfinished work elsewhere.
+//! * **Link degradation** ([`LinkDegradation`]): an inter-card edge runs at
+//!   `factor` × nominal bandwidth. Ring collectives pace to the slowest
+//!   participating link, so [`crate::Topology`] prices collectives against
+//!   the bottleneck factor (see [`crate::Topology::bottleneck_factor`]).
+//! * **Slowdown window** ([`Slowdown`]): compute phases starting inside
+//!   `[start_ms, end_ms)` take `factor` × their nominal time, on one card
+//!   or box-wide.
+
+use crate::topology::DeviceId;
+
+/// A whole-card failure at a known simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CardFailure {
+    /// The card that dies.
+    pub device: DeviceId,
+    /// Failure time in simulated milliseconds (≥ 0).
+    pub at_ms: f64,
+}
+
+/// One inter-card link running below nominal bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegradation {
+    /// One endpoint of the degraded edge.
+    pub a: DeviceId,
+    /// The other endpoint.
+    pub b: DeviceId,
+    /// Remaining bandwidth fraction, in `(0, 1]`.
+    pub factor: f64,
+}
+
+/// A transient window in which compute runs slower than nominal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slowdown {
+    /// The throttled card, or `None` for a box-wide event.
+    pub device: Option<DeviceId>,
+    /// Window start, simulated ms (inclusive).
+    pub start_ms: f64,
+    /// Window end, simulated ms (exclusive).
+    pub end_ms: f64,
+    /// Wall-time multiplier for phases starting inside the window (≥ 1).
+    pub factor: f64,
+}
+
+/// A malformed fault plan, rejected before any simulation runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A fault names a device the box does not have.
+    UnknownDevice {
+        /// The out-of-range device.
+        device: DeviceId,
+        /// How many devices the box has.
+        devices: usize,
+    },
+    /// A card failure time is negative or not finite.
+    BadFailureTime {
+        /// The device whose failure time is malformed.
+        device: DeviceId,
+        /// The offending time.
+        at_ms: f64,
+    },
+    /// A link degradation factor is outside `(0, 1]`.
+    BadLinkFactor {
+        /// One endpoint of the edge.
+        a: DeviceId,
+        /// The other endpoint.
+        b: DeviceId,
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A slowdown window is empty, reversed, or its factor is below 1.
+    BadSlowdown {
+        /// Window start, ms.
+        start_ms: f64,
+        /// Window end, ms.
+        end_ms: f64,
+        /// The offending factor.
+        factor: f64,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::UnknownDevice { device, devices } => {
+                write!(f, "fault names {device} but the box has {devices} devices")
+            }
+            FaultError::BadFailureTime { device, at_ms } => {
+                write!(
+                    f,
+                    "failure time {at_ms} ms for {device} must be finite and >= 0"
+                )
+            }
+            FaultError::BadLinkFactor { a, b, factor } => {
+                write!(
+                    f,
+                    "link {a}-{b} degradation factor {factor} must be in (0, 1]"
+                )
+            }
+            FaultError::BadSlowdown {
+                start_ms,
+                end_ms,
+                factor,
+            } => write!(
+                f,
+                "slowdown window [{start_ms}, {end_ms}) ms with factor {factor} \
+                 must be non-empty with factor >= 1"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A deterministic schedule of hardware faults for one simulated box.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Whole-card failures (a device may appear once; the earliest wins).
+    pub card_failures: Vec<CardFailure>,
+    /// Degraded inter-card links.
+    pub link_degradations: Vec<LinkDegradation>,
+    /// Transient compute-slowdown windows.
+    pub slowdowns: Vec<Slowdown>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing fails, nothing degrades.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.card_failures.is_empty()
+            && self.link_degradations.is_empty()
+            && self.slowdowns.is_empty()
+    }
+
+    /// Add a whole-card failure: `device` dies at `at_ms`.
+    pub fn kill(mut self, device: DeviceId, at_ms: f64) -> Self {
+        self.card_failures.push(CardFailure { device, at_ms });
+        self
+    }
+
+    /// Degrade the `a`–`b` link to `factor` × nominal bandwidth.
+    pub fn degrade_link(mut self, a: DeviceId, b: DeviceId, factor: f64) -> Self {
+        self.link_degradations
+            .push(LinkDegradation { a, b, factor });
+        self
+    }
+
+    /// Add a box-wide slowdown window: phases starting in
+    /// `[start_ms, end_ms)` take `factor` × their nominal time.
+    pub fn slow(self, start_ms: f64, end_ms: f64, factor: f64) -> Self {
+        self.slow_device(None, start_ms, end_ms, factor)
+    }
+
+    /// Add a slowdown window for one card (or box-wide with `None`).
+    pub fn slow_device(
+        mut self,
+        device: Option<DeviceId>,
+        start_ms: f64,
+        end_ms: f64,
+        factor: f64,
+    ) -> Self {
+        self.slowdowns.push(Slowdown {
+            device,
+            start_ms,
+            end_ms,
+            factor,
+        });
+        self
+    }
+
+    /// A randomized-but-deterministic plan over `devices` cards and a
+    /// `horizon_ms` simulation window, fully determined by `seed`
+    /// (SplitMix64; no OS entropy anywhere).
+    ///
+    /// Roughly one in four cards dies at a uniform time in the horizon
+    /// (device 0 is spared so at least one replica survives), one in four
+    /// adjacent links degrades to 25–100% bandwidth, and half of all plans
+    /// carry one box-wide 1–3× slowdown window.
+    pub fn seeded(seed: u64, devices: usize, horizon_ms: f64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::none();
+        for d in 1..devices {
+            if rng.uniform() < 0.25 {
+                plan = plan.kill(DeviceId(d), rng.uniform() * horizon_ms);
+            }
+        }
+        for d in 1..devices {
+            if rng.uniform() < 0.25 {
+                let factor = 0.25 + 0.75 * rng.uniform();
+                plan = plan.degrade_link(DeviceId(d - 1), DeviceId(d), factor);
+            }
+        }
+        if rng.uniform() < 0.5 {
+            let start = rng.uniform() * horizon_ms * 0.5;
+            let len = (0.1 + 0.4 * rng.uniform()) * horizon_ms;
+            plan = plan.slow(start, start + len, 1.0 + 2.0 * rng.uniform());
+        }
+        plan
+    }
+
+    /// Earliest failure time of `device`, if the plan kills it at all.
+    pub fn kill_time_ms(&self, device: DeviceId) -> Option<f64> {
+        self.card_failures
+            .iter()
+            .filter(|c| c.device == device)
+            .map(|c| c.at_ms)
+            .min_by(|a, b| a.partial_cmp(b).expect("failure times are finite"))
+    }
+
+    /// Combined slowdown multiplier for a phase starting at `t_ms` on
+    /// `device`: the product of every active window that targets the
+    /// device or the whole box. `1.0` when nothing is active.
+    pub fn slowdown_factor(&self, device: DeviceId, t_ms: f64) -> f64 {
+        self.slowdowns
+            .iter()
+            .filter(|s| s.device.is_none_or(|d| d == device))
+            .filter(|s| s.start_ms <= t_ms && t_ms < s.end_ms)
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// Reject plans that reference missing devices, carry malformed times,
+    /// or use out-of-range factors. `devices` is the box size.
+    pub fn validate(&self, devices: usize) -> Result<(), FaultError> {
+        let check_dev = |device: DeviceId| {
+            if device.index() >= devices {
+                Err(FaultError::UnknownDevice { device, devices })
+            } else {
+                Ok(())
+            }
+        };
+        for c in &self.card_failures {
+            check_dev(c.device)?;
+            if !c.at_ms.is_finite() || c.at_ms < 0.0 {
+                return Err(FaultError::BadFailureTime {
+                    device: c.device,
+                    at_ms: c.at_ms,
+                });
+            }
+        }
+        for l in &self.link_degradations {
+            check_dev(l.a)?;
+            check_dev(l.b)?;
+            if !l.factor.is_finite() || l.factor <= 0.0 || l.factor > 1.0 {
+                return Err(FaultError::BadLinkFactor {
+                    a: l.a,
+                    b: l.b,
+                    factor: l.factor,
+                });
+            }
+        }
+        for s in &self.slowdowns {
+            if let Some(d) = s.device {
+                check_dev(d)?;
+            }
+            if !s.factor.is_finite()
+                || s.factor < 1.0
+                || !s.start_ms.is_finite()
+                || !s.end_ms.is_finite()
+                || s.start_ms < 0.0
+                || s.end_ms <= s.start_ms
+            {
+                return Err(FaultError::BadSlowdown {
+                    start_ms: s.start_ms,
+                    end_ms: s.end_ms,
+                    factor: s.factor,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64: the standard 64-bit mixing PRNG. Tiny, seedable, and good
+/// enough for fault-schedule generation; keeping it local avoids a
+/// dependency from `gaudi-hw` on the tensor crate's RNG.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.kill_time_ms(DeviceId(0)), None);
+        assert_eq!(p.slowdown_factor(DeviceId(0), 10.0), 1.0);
+        assert!(p.validate(1).is_ok());
+    }
+
+    #[test]
+    fn builders_compose_and_query() {
+        let p = FaultPlan::none()
+            .kill(DeviceId(2), 50.0)
+            .kill(DeviceId(2), 30.0)
+            .degrade_link(DeviceId(0), DeviceId(1), 0.5)
+            .slow(10.0, 20.0, 2.0)
+            .slow_device(Some(DeviceId(1)), 15.0, 25.0, 3.0);
+        assert_eq!(p.kill_time_ms(DeviceId(2)), Some(30.0));
+        assert_eq!(p.kill_time_ms(DeviceId(1)), None);
+        // At t=15 on device 1: both the box-wide 2x and the local 3x apply.
+        assert_eq!(p.slowdown_factor(DeviceId(1), 15.0), 6.0);
+        // Device 0 only sees the box-wide window.
+        assert_eq!(p.slowdown_factor(DeviceId(0), 15.0), 2.0);
+        // Window ends are exclusive.
+        assert_eq!(p.slowdown_factor(DeviceId(0), 20.0), 1.0);
+        assert!(p.validate(4).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_plans() {
+        let unknown = FaultPlan::none().kill(DeviceId(4), 1.0);
+        assert!(matches!(
+            unknown.validate(4),
+            Err(FaultError::UnknownDevice { .. })
+        ));
+        let bad_time = FaultPlan::none().kill(DeviceId(0), -1.0);
+        assert!(matches!(
+            bad_time.validate(1),
+            Err(FaultError::BadFailureTime { .. })
+        ));
+        let bad_factor = FaultPlan::none().degrade_link(DeviceId(0), DeviceId(1), 1.5);
+        assert!(matches!(
+            bad_factor.validate(2),
+            Err(FaultError::BadLinkFactor { .. })
+        ));
+        let zero_factor = FaultPlan::none().degrade_link(DeviceId(0), DeviceId(1), 0.0);
+        assert!(matches!(
+            zero_factor.validate(2),
+            Err(FaultError::BadLinkFactor { .. })
+        ));
+        let bad_window = FaultPlan::none().slow(10.0, 10.0, 2.0);
+        assert!(matches!(
+            bad_window.validate(1),
+            Err(FaultError::BadSlowdown { .. })
+        ));
+        let speedup = FaultPlan::none().slow(0.0, 1.0, 0.5);
+        assert!(matches!(
+            speedup.validate(1),
+            Err(FaultError::BadSlowdown { .. })
+        ));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_valid() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::seeded(seed, 8, 1000.0);
+            let b = FaultPlan::seeded(seed, 8, 1000.0);
+            assert_eq!(a, b, "seed {seed} must reproduce the plan");
+            a.validate(8).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            // Device 0 is always spared.
+            assert_eq!(a.kill_time_ms(DeviceId(0)), None);
+        }
+        // Different seeds eventually differ.
+        assert!((0..50u64)
+            .any(|s| FaultPlan::seeded(s, 8, 1000.0) != FaultPlan::seeded(s + 50, 8, 1000.0)));
+    }
+}

@@ -21,6 +21,7 @@
 pub mod config;
 pub mod des;
 pub mod engine;
+pub mod fault;
 pub mod memory;
 pub mod mme;
 pub mod roce;
@@ -29,6 +30,7 @@ pub mod tpc_cost;
 
 pub use config::GaudiConfig;
 pub use engine::EngineId;
+pub use fault::{CardFailure, FaultError, FaultPlan, LinkDegradation, Slowdown};
 pub use mme::MmeModel;
 pub use topology::{DeviceId, Link, Topology};
 pub use tpc_cost::{TpcCostModel, TpcOpClass};

@@ -13,6 +13,7 @@
 //! single-ring model in [`crate::roce::RoceModel`].
 
 use crate::config::{GaudiConfig, RoceConfig};
+use crate::fault::LinkDegradation;
 
 /// Identity of one Gaudi card in a multi-card box.
 ///
@@ -77,8 +78,13 @@ impl Default for Link {
 pub struct Topology {
     /// Number of cards in the box.
     pub devices: usize,
-    /// The uniform inter-card link.
+    /// The uniform inter-card link (nominal, before degradation).
     pub link: Link,
+    /// Links running below nominal bandwidth (fault injection). Ring
+    /// collectives pace to the slowest participating link, so every
+    /// collective closed form divides bandwidth by
+    /// [`bottleneck_factor`](Self::bottleneck_factor).
+    pub link_degradations: Vec<LinkDegradation>,
 }
 
 impl Topology {
@@ -87,6 +93,7 @@ impl Topology {
         Topology {
             devices: 1,
             link: Link::default(),
+            link_degradations: Vec::new(),
         }
     }
 
@@ -97,7 +104,31 @@ impl Topology {
         Topology {
             devices,
             link: Link::from_roce(&cfg.roce),
+            link_degradations: Vec::new(),
         }
+    }
+
+    /// The same box with `degradations` applied on top of any existing
+    /// ones (a fault plan repricing the fabric).
+    pub fn degraded(mut self, degradations: &[LinkDegradation]) -> Self {
+        self.link_degradations.extend_from_slice(degradations);
+        self
+    }
+
+    /// The slowest registered link factor, in `(0, 1]`. The modelled
+    /// fabric is uniform and every collective rings through all cards, so
+    /// one slow edge paces the whole collective — the classic
+    /// slowest-member property of ring algorithms.
+    pub fn bottleneck_factor(&self) -> f64 {
+        self.link_degradations
+            .iter()
+            .map(|l| l.factor.clamp(f64::MIN_POSITIVE, 1.0))
+            .fold(1.0, f64::min)
+    }
+
+    /// Bandwidth the collectives actually see: nominal × bottleneck.
+    pub fn effective_bandwidth_bytes_per_ns(&self) -> f64 {
+        self.link.bandwidth_bytes_per_ns * self.bottleneck_factor()
     }
 
     /// All device ids in the box, in order.
@@ -113,7 +144,7 @@ impl Topology {
         }
         let p = self.devices as f64;
         let volume = 2.0 * (p - 1.0) / p * bytes as f64;
-        volume / self.link.bandwidth_bytes_per_ns + 2.0 * (p - 1.0) * self.link.latency_ns
+        volume / self.effective_bandwidth_bytes_per_ns() + 2.0 * (p - 1.0) * self.link.latency_ns
     }
 
     /// Ring all-gather producing `bytes` of gathered output per device:
@@ -124,7 +155,7 @@ impl Topology {
         }
         let p = self.devices as f64;
         let volume = (p - 1.0) / p * bytes as f64;
-        volume / self.link.bandwidth_bytes_per_ns + (p - 1.0) * self.link.latency_ns
+        volume / self.effective_bandwidth_bytes_per_ns() + (p - 1.0) * self.link.latency_ns
     }
 
     /// Ring reduce-scatter over `bytes` of input per device (same wire cost
@@ -140,7 +171,7 @@ impl Topology {
             return 0.0;
         }
         let steps = (self.devices as f64).log2().ceil();
-        steps * self.link.time_ns(bytes)
+        steps * (self.link.latency_ns + bytes as f64 / self.effective_bandwidth_bytes_per_ns())
     }
 }
 
@@ -210,6 +241,48 @@ mod tests {
         let t2 = Topology::hls1_box(&cfg, 2).broadcast_time_ns(1 << 20);
         let t8 = Topology::hls1_box(&cfg, 8).broadcast_time_ns(1 << 20);
         assert!((t8 / t2 - 3.0).abs() < 1e-9); // log2(8) / log2(2)
+    }
+
+    #[test]
+    fn degraded_links_slow_collectives_by_the_bottleneck() {
+        let clean = box4();
+        let bytes = 256u64 << 20;
+        let degraded = clean
+            .clone()
+            .degraded(&[LinkDegradation {
+                a: DeviceId(1),
+                b: DeviceId(2),
+                factor: 0.5,
+            }])
+            .degraded(&[LinkDegradation {
+                a: DeviceId(0),
+                b: DeviceId(1),
+                factor: 0.8,
+            }]);
+        assert_eq!(degraded.bottleneck_factor(), 0.5);
+        // Bandwidth term doubles; latency term is unchanged.
+        let lat = 2.0 * 3.0 * clean.link.latency_ns;
+        let clean_bw = clean.allreduce_time_ns(bytes) - lat;
+        let slow_bw = degraded.allreduce_time_ns(bytes) - lat;
+        assert!((slow_bw / clean_bw - 2.0).abs() < 1e-9);
+        assert!(degraded.allgather_time_ns(bytes) > clean.allgather_time_ns(bytes));
+        assert!(degraded.broadcast_time_ns(bytes) > clean.broadcast_time_ns(bytes));
+    }
+
+    #[test]
+    fn unit_factor_degradation_is_a_noop() {
+        let clean = box4();
+        let degraded = clean.clone().degraded(&[LinkDegradation {
+            a: DeviceId(2),
+            b: DeviceId(3),
+            factor: 1.0,
+        }]);
+        assert_eq!(degraded.bottleneck_factor(), 1.0);
+        let bytes = 64u64 << 20;
+        assert_eq!(
+            degraded.allreduce_time_ns(bytes),
+            clean.allreduce_time_ns(bytes)
+        );
     }
 
     #[test]

@@ -64,9 +64,27 @@ impl Runtime {
         feeds: &Feeds,
         mode: NumericsMode,
     ) -> Result<MultiRunReport, RuntimeError> {
-        let part = partition(graph, parallel, spec)?;
         let topo = Topology::hls1_box(self.compiler().config(), parallel.world());
-        let (compiled, plan) = self.compiler().compile_partitioned(&part, &topo)?;
+        self.run_partitioned_on(graph, parallel, spec, feeds, mode, &topo)
+    }
+
+    /// [`run_partitioned`](Self::run_partitioned) over an explicit
+    /// interconnect instead of the default pristine HLS-1 box — the hook for
+    /// fault injection: a [`Topology`] carrying link degradations reprices
+    /// every collective against its bottleneck link, so a flaky cable shows
+    /// up as longer NIC lanes and a larger collective share, not as a
+    /// different numerical result.
+    pub fn run_partitioned_on(
+        &self,
+        graph: &Graph,
+        parallel: Parallelism,
+        spec: &PartitionSpec,
+        feeds: &Feeds,
+        mode: NumericsMode,
+        topo: &Topology,
+    ) -> Result<MultiRunReport, RuntimeError> {
+        let part = partition(graph, parallel, spec)?;
+        let (compiled, plan) = self.compiler().compile_partitioned(&part, topo)?;
 
         // --- timing: replay every device's plan into one tagged trace ---
         let sink = TraceSink::new();
@@ -425,6 +443,56 @@ mod tests {
         assert_eq!(multi.outputs[0].dims(), reference.outputs[0].dims());
         let diff = multi.outputs[0].max_abs_diff(&reference.outputs[0]);
         assert!(diff < 1e-5, "dp=2: diff {diff}");
+    }
+
+    #[test]
+    fn degraded_links_stretch_collectives_not_numerics() {
+        use gaudi_hw::fault::LinkDegradation;
+        use gaudi_hw::DeviceId;
+
+        let g = mlp(16, 32);
+        let feeds = mlp_feeds(16);
+        let rt = Runtime::hls1();
+        let parallel = Parallelism::tensor(2);
+        let clean = rt
+            .run_partitioned(
+                &g,
+                parallel,
+                &PartitionSpec::llm(),
+                &feeds,
+                NumericsMode::Full,
+            )
+            .unwrap();
+        let topo = Topology::hls1_box(rt.compiler().config(), parallel.world()).degraded(&[
+            LinkDegradation {
+                a: DeviceId(0),
+                b: DeviceId(1),
+                factor: 0.25,
+            },
+        ]);
+        let slow = rt
+            .run_partitioned_on(
+                &g,
+                parallel,
+                &PartitionSpec::llm(),
+                &feeds,
+                NumericsMode::Full,
+                &topo,
+            )
+            .unwrap();
+        assert!(
+            slow.makespan_ms > clean.makespan_ms,
+            "a 4x slower link must lengthen the run ({} vs {})",
+            slow.makespan_ms,
+            clean.makespan_ms
+        );
+        assert!(
+            slow.collective_share() > clean.collective_share(),
+            "the extra time is all NIC time"
+        );
+        // The fabric got slower, not wrong.
+        let diff = slow.outputs[0].max_abs_diff(&clean.outputs[0]);
+        assert_eq!(diff, 0.0, "degradation must not perturb numerics");
     }
 
     #[test]

@@ -3,13 +3,19 @@
 //! The simulator advances a single device clock through an
 //! iteration-level (Orca-style) schedule:
 //!
-//! 1. ingest arrivals into a FIFO admission queue;
+//! 1. ingest arrivals into a FIFO admission queue — re-checked after
+//!    *every* phase, so requests landing during a long prefill or decode
+//!    step become schedulable (and visible to `max_queue_depth`) at the
+//!    phase boundary, not a full iteration later;
 //! 2. at every step boundary, admit queued requests while the decode
 //!    batch has a slot *and* the KV accountant accepts the request's
 //!    worst-case reservation (otherwise: backpressure — the request
 //!    waits, it is never dropped);
 //! 3. admission runs the request's prefill as a dedicated phase (the
-//!    engine is busy for its full duration);
+//!    engine is busy for its full duration). The prefill's last forward
+//!    pass emits the request's **first output token**, so TTFT is
+//!    queueing + prefill, and a request needs `output_len - 1` decode
+//!    steps after admission;
 //! 4. one decode step advances *every* running request by one token;
 //!    requests that reach their output length retire at the boundary and
 //!    free their KV reservation immediately, opening slots for the queue.
@@ -17,13 +23,26 @@
 //! Every phase is priced by the [`CostModel`], so
 //! the same §3.3/§3.4 hardware calibration that reproduces the paper's
 //! training figures also sets TTFT and per-token latency here.
+//!
+//! ## Fault injection
+//!
+//! A [`FaultPlan`] in the configuration makes replicas mortal. A replica
+//! whose card the plan kills halts at the first phase boundary at or
+//! after the failure time; its in-flight, queued, and not-yet-arrived
+//! requests are re-queued (retry count bumped, tokens generated so far
+//! discarded) and redistributed over the surviving replicas under the
+//! configured [`RedistributionPolicy`]. Slowdown windows stretch the
+//! phases that start inside them. Everything stays a pure function of the
+//! configuration: same seed, same plan, bit-identical report.
 
 use crate::cost::CostModel;
 use crate::error::ServingError;
+use crate::fault::{redistribute, Job, RedistributionPolicy};
 use crate::kv::{kv_bytes_per_token, weight_bytes, KvAccountant};
 use crate::report::{Percentiles, RequestOutcome, ServingReport};
 use crate::request::{generate_requests, Request, TrafficConfig};
 use gaudi_compiler::CompilerOptions;
+use gaudi_hw::fault::FaultPlan;
 use gaudi_hw::{DeviceId, EngineId, GaudiConfig};
 use gaudi_models::LlmConfig;
 use gaudi_profiler::trace::TraceEvent;
@@ -53,6 +72,11 @@ pub struct ServingConfig {
     /// holding a full model copy and taking a round-robin share of the
     /// request stream.
     pub devices: usize,
+    /// Deterministic fault schedule: card failures, degraded links, and
+    /// slowdown windows. [`FaultPlan::none`] (the default) is steady state.
+    pub faults: FaultPlan,
+    /// How requests orphaned by a card failure spread over the survivors.
+    pub redistribution: RedistributionPolicy,
 }
 
 impl ServingConfig {
@@ -70,6 +94,8 @@ impl ServingConfig {
             hw: GaudiConfig::hls1(),
             opts: CompilerOptions::default(),
             devices: 1,
+            faults: FaultPlan::none(),
+            redistribution: RedistributionPolicy::default(),
         }
     }
 
@@ -96,6 +122,8 @@ impl ServingConfig {
             hw: GaudiConfig::hls1(),
             opts: CompilerOptions::default(),
             devices: 1,
+            faults: FaultPlan::none(),
+            redistribution: RedistributionPolicy::default(),
         }
     }
 
@@ -108,31 +136,54 @@ impl ServingConfig {
 /// A request currently holding a decode slot.
 #[derive(Debug)]
 struct Active {
-    req: Request,
+    job: Job,
     /// Tokens visible to attention (prompt + generated so far).
     ctx: usize,
     generated: usize,
     outcome: RequestOutcome,
 }
 
+/// One replica's simulation result: its report plus whatever the fault
+/// plan made it drop.
+struct ReplicaRun {
+    report: ServingReport,
+    orphans: Vec<Job>,
+}
+
 /// Run a serving simulation to completion.
 ///
-/// Identical configurations (including `traffic.seed`) produce identical
-/// reports: the simulation is a deterministic function of its inputs.
+/// Identical configurations (including `traffic.seed` and the fault plan)
+/// produce identical reports: the simulation is a deterministic function
+/// of its inputs.
 ///
 /// With `cfg.devices > 1` the request stream is split round-robin (in
 /// arrival order) across that many data-parallel replicas, each running the
 /// full continuous-batching schedule on its own card; the merged report
-/// carries per-card-averaged utilizations and a device-tagged trace.
+/// carries per-card-averaged utilizations and a device-tagged trace. A
+/// replica the fault plan kills re-queues its unfinished work onto the
+/// survivors (see the module docs); if the plan kills *every* replica
+/// while requests are outstanding, the simulation fails with
+/// [`ServingError::AllReplicasDead`].
 pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
-    if cfg.max_batch == 0 {
-        return Err(ServingError::InvalidConfig(
-            "max_batch must be at least 1".into(),
-        ));
-    }
     if cfg.traffic.num_requests == 0 {
         return Err(ServingError::InvalidConfig(
             "traffic.num_requests must be positive".into(),
+        ));
+    }
+    simulate_trace(cfg, generate_requests(&cfg.traffic))
+}
+
+/// [`simulate`] over an explicit request trace instead of the seeded
+/// generator — the hook for replaying recorded workloads and for tests
+/// that need exact control over arrivals and lengths. Requests are
+/// processed in `(arrival, id)` order regardless of input order.
+pub fn simulate_trace(
+    cfg: &ServingConfig,
+    mut requests: Vec<Request>,
+) -> Result<ServingReport, ServingError> {
+    if cfg.max_batch == 0 {
+        return Err(ServingError::InvalidConfig(
+            "max_batch must be at least 1".into(),
         ));
     }
     if cfg.devices == 0 {
@@ -140,27 +191,70 @@ pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
             "devices must be at least 1".into(),
         ));
     }
+    cfg.faults.validate(cfg.devices)?;
 
-    let requests = generate_requests(&cfg.traffic);
-    if cfg.devices == 1 {
-        return simulate_replica(cfg, requests);
-    }
-    let mut shards: Vec<Vec<Request>> = vec![Vec::new(); cfg.devices];
+    requests.sort_by_key(|r| (r.arrival_us, r.id));
+    let mut shards: Vec<Vec<Job>> = vec![Vec::new(); cfg.devices];
     for (i, r) in requests.into_iter().enumerate() {
-        shards[i % cfg.devices].push(r);
+        shards[i % cfg.devices].push(Job::fresh(r));
     }
-    let replicas = shards
-        .into_iter()
-        .map(|shard| simulate_replica(cfg, shard))
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(merge_replicas(cfg.devices, replicas))
+    let shard_load: Vec<usize> = shards
+        .iter()
+        .map(|s| s.iter().map(|j| j.req.total_tokens()).sum())
+        .collect();
+
+    // Pass 1: every replica runs its own share (possibly dying mid-way).
+    let mut runs: Vec<ReplicaRun> = shards
+        .iter()
+        .enumerate()
+        .map(|(d, jobs)| simulate_replica(cfg, d, jobs.clone()))
+        .collect::<Result<_, _>>()?;
+
+    // Pass 2: re-queue orphans onto the survivors and re-simulate only the
+    // replicas whose queues changed. Survivors never orphan (nothing kills
+    // them), so one redistribution round settles the system.
+    let orphans: Vec<Job> = runs
+        .iter_mut()
+        .flat_map(|r| std::mem::take(&mut r.orphans))
+        .collect();
+    if !orphans.is_empty() {
+        let survivors: Vec<usize> = (0..cfg.devices)
+            .filter(|&d| cfg.faults.kill_time_ms(DeviceId(d)).is_none())
+            .collect();
+        if survivors.is_empty() {
+            return Err(ServingError::AllReplicasDead {
+                unserved: orphans.len(),
+            });
+        }
+        for (d, extra) in redistribute(orphans, &survivors, &shard_load, cfg.redistribution) {
+            shards[d].extend(extra);
+            shards[d].sort_by_key(|j| (j.submitted_us, j.req.id));
+            runs[d] = simulate_replica(cfg, d, shards[d].clone())?;
+            debug_assert!(
+                runs[d].orphans.is_empty(),
+                "a surviving replica must not orphan work"
+            );
+        }
+    }
+
+    let mut reports: Vec<ServingReport> = runs.into_iter().map(|r| r.report).collect();
+    if cfg.devices == 1 {
+        return Ok(reports.pop().expect("exactly one replica"));
+    }
+    Ok(merge_replicas(cfg.devices, reports))
 }
 
-/// One card's continuous-batching simulation over its share of the stream.
+/// One card's continuous-batching simulation over its share of the stream,
+/// honoring the fault plan's kill time and slowdown windows for `replica`.
 fn simulate_replica(
     cfg: &ServingConfig,
-    requests: Vec<Request>,
-) -> Result<ServingReport, ServingError> {
+    replica: usize,
+    jobs: Vec<Job>,
+) -> Result<ReplicaRun, ServingError> {
+    let device = DeviceId(replica);
+    let kill_at_ms = cfg.faults.kill_time_ms(device);
+    let dead = |clock_ms: f64| kill_at_ms.is_some_and(|k| clock_ms >= k);
+
     let max_positions = cfg.max_request_tokens();
     let weights = weight_bytes(&cfg.model, max_positions, cfg.kv_dtype);
     let per_token = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
@@ -175,77 +269,126 @@ fn simulate_replica(
     );
 
     // Reject outright only what can never fit; everything else queues.
-    for r in &requests {
-        if r.total_tokens() as u64 > kv.max_admissible_tokens() {
+    for j in &jobs {
+        if j.req.total_tokens() as u64 > kv.max_admissible_tokens() {
             return Err(ServingError::RequestTooLarge {
-                id: r.id,
-                tokens: r.total_tokens(),
+                id: j.req.id,
+                tokens: j.req.total_tokens(),
                 max_tokens: kv.max_admissible_tokens(),
             });
         }
     }
 
-    let mut pending: VecDeque<Request> = requests.into_iter().collect();
-    let mut waiting: VecDeque<Request> = VecDeque::new();
+    let mut pending: VecDeque<Job> = jobs.into_iter().collect();
+    let mut waiting: VecDeque<Job> = VecDeque::new();
     let mut running: Vec<Active> = Vec::new();
     let mut done: Vec<RequestOutcome> = Vec::new();
+    let mut orphans: Vec<Job> = Vec::new();
 
     let mut clock_ms = 0.0f64;
     let mut mme_busy_ns = 0.0f64;
     let mut tpc_busy_ns = 0.0f64;
     let mut dma_busy_ns = 0.0f64;
+    let mut nic_busy_ns = 0.0f64;
     let mut decode_steps = 0usize;
     let mut prefills = 0usize;
     let mut backpressure_stalls = 0usize;
     let mut max_queue_depth = 0usize;
+    let mut requeued_tokens = 0usize;
+    let mut killed = false;
     let mut trace = Trace::new();
 
-    let total = pending.len();
-    while done.len() < total {
-        // 1. Ingest everything that has arrived by now.
-        while pending.front().is_some_and(|r| r.arrival_ms() <= clock_ms) {
-            if let Some(r) = pending.pop_front() {
-                waiting.push_back(r);
+    /// Move every arrived job into the admission queue and refresh the
+    /// depth high-water mark. Called at every phase boundary, not just at
+    /// the loop top, so arrivals during long phases are never invisible.
+    fn ingest(
+        pending: &mut VecDeque<Job>,
+        waiting: &mut VecDeque<Job>,
+        clock_ms: f64,
+        max_queue_depth: &mut usize,
+    ) {
+        while pending
+            .front()
+            .is_some_and(|j| j.submitted_ms() <= clock_ms)
+        {
+            if let Some(j) = pending.pop_front() {
+                waiting.push_back(j);
             }
         }
-        max_queue_depth = max_queue_depth.max(waiting.len());
+        *max_queue_depth = (*max_queue_depth).max(waiting.len());
+    }
+
+    let total = pending.len();
+    'sim: while done.len() < total {
+        if dead(clock_ms) {
+            killed = true;
+            break 'sim;
+        }
+        // 1. Ingest everything that has arrived by now.
+        ingest(&mut pending, &mut waiting, clock_ms, &mut max_queue_depth);
 
         // 2. Admit from the queue while slots and KV reservations allow.
         while running.len() < cfg.max_batch {
             let Some(front) = waiting.front() else { break };
-            if kv.try_reserve(front.total_tokens()).is_err() {
+            if kv.try_reserve(front.req.total_tokens()).is_err() {
                 backpressure_stalls += 1;
                 break; // FIFO: wait for retirements, do not starve the head.
             }
-            let Some(req) = waiting.pop_front() else {
+            let Some(job) = waiting.pop_front() else {
                 break;
             };
-            let queue_ms = clock_ms - req.arrival_ms();
-            let c = cost.prefill(1, req.prompt_len)?;
+            let queue_ms = clock_ms - job.submitted_ms();
+            let factor = cfg.faults.slowdown_factor(device, clock_ms);
+            let c = cost.prefill(1, job.req.prompt_len)?.scaled(factor);
             record_phase(&mut trace, "prefill", clock_ms, &c);
             clock_ms += c.ms;
             mme_busy_ns += c.mme_busy_ns;
             tpc_busy_ns += c.tpc_busy_ns;
             dma_busy_ns += c.dma_busy_ns;
+            nic_busy_ns += c.nic_busy_ns;
             prefills += 1;
-            running.push(Active {
-                ctx: req.prompt_len,
-                generated: 0,
-                outcome: RequestOutcome {
-                    id: req.id,
-                    arrival_ms: req.arrival_ms(),
-                    prompt_len: req.prompt_len,
-                    output_len: req.output_len,
-                    queue_ms,
-                    ttft_ms: 0.0,
-                    finish_ms: 0.0,
-                    token_times_ms: Vec::with_capacity(req.output_len),
+            // The prefill's final forward pass emits the first output
+            // token: TTFT is queueing + prefill, measured from the
+            // request's original arrival.
+            let outcome = RequestOutcome {
+                id: job.req.id,
+                arrival_ms: job.req.arrival_ms(),
+                prompt_len: job.req.prompt_len,
+                output_len: job.req.output_len,
+                queue_ms,
+                ttft_ms: clock_ms - job.req.arrival_ms(),
+                retries: job.retries,
+                finish_ms: 0.0,
+                token_times_ms: {
+                    let mut t = Vec::with_capacity(job.req.output_len);
+                    t.push(clock_ms);
+                    t
                 },
-                req,
-            });
+            };
+            if job.req.output_len == 1 {
+                // Single-token request: prefill completed it outright.
+                let mut outcome = outcome;
+                outcome.finish_ms = clock_ms;
+                kv.release(job.req.total_tokens());
+                done.push(outcome);
+            } else {
+                running.push(Active {
+                    ctx: job.req.prompt_len + 1,
+                    generated: 1,
+                    outcome,
+                    job,
+                });
+            }
+            // Arrivals during this prefill become admissible immediately.
+            ingest(&mut pending, &mut waiting, clock_ms, &mut max_queue_depth);
+            if dead(clock_ms) {
+                killed = true;
+                break 'sim;
+            }
         }
 
-        // 3. Nothing running: jump the clock to the next arrival.
+        // 3. Nothing running: jump the clock to the next arrival (or to
+        //    the card's death, whichever comes first).
         if running.is_empty() {
             let Some(next) = pending.front() else {
                 debug_assert!(
@@ -254,19 +397,25 @@ fn simulate_replica(
                 );
                 break;
             };
-            clock_ms = clock_ms.max(next.arrival_ms());
+            let target = clock_ms.max(next.submitted_ms());
+            clock_ms = match kill_at_ms {
+                Some(k) if k < target => k, // dies idle, before the arrival
+                _ => target,
+            };
             continue;
         }
 
         // 4. One decode step advances every running request by one token.
         let batch = running.len();
         let max_ctx = running.iter().map(|a| a.ctx).max().unwrap_or(1);
-        let c = cost.decode(batch, max_ctx)?;
+        let factor = cfg.faults.slowdown_factor(device, clock_ms);
+        let c = cost.decode(batch, max_ctx)?.scaled(factor);
         record_phase(&mut trace, "decode", clock_ms, &c);
         clock_ms += c.ms;
         mme_busy_ns += c.mme_busy_ns;
         tpc_busy_ns += c.tpc_busy_ns;
         dma_busy_ns += c.dma_busy_ns;
+        nic_busy_ns += c.nic_busy_ns;
         decode_steps += 1;
 
         let mut i = 0;
@@ -274,24 +423,45 @@ fn simulate_replica(
             let a = &mut running[i];
             a.generated += 1;
             a.ctx += 1;
-            if a.generated == 1 {
-                a.outcome.ttft_ms = clock_ms - a.req.arrival_ms();
-            }
             a.outcome.token_times_ms.push(clock_ms);
-            if a.generated == a.req.output_len {
+            if a.generated == a.job.req.output_len {
                 let mut finished = running.swap_remove(i);
                 finished.outcome.finish_ms = clock_ms;
-                kv.release(finished.req.total_tokens());
+                kv.release(finished.job.req.total_tokens());
                 done.push(finished.outcome);
             } else {
                 i += 1;
             }
         }
+        // Arrivals during this decode step join the queue at its boundary.
+        ingest(&mut pending, &mut waiting, clock_ms, &mut max_queue_depth);
     }
+
+    // A killed replica re-queues everything it did not finish: in-flight
+    // work loses its generated-so-far tokens, queued and future arrivals
+    // just move. All of it lands at the failure time, never earlier than
+    // each request's own arrival.
+    if killed {
+        let at = kill_at_ms.expect("killed implies a kill time");
+        for a in running.drain(..) {
+            requeued_tokens += a.generated;
+            kv.release(a.job.req.total_tokens());
+            orphans.push(a.job.requeued(at));
+        }
+        for j in waiting.drain(..).chain(pending.drain(..)) {
+            orphans.push(j.requeued(at));
+        }
+    }
+    let uptime_ms = if killed {
+        kill_at_ms.expect("killed implies a kill time")
+    } else {
+        clock_ms
+    };
 
     done.sort_by_key(|o| o.id);
     let span_ns = clock_ms * 1e6;
     let generated_tokens: usize = done.iter().map(|o| o.output_len).sum();
+    let retries: usize = done.iter().map(|o| o.retries as usize).sum();
 
     let ttft = Percentiles::of(done.iter().map(|o| o.ttft_ms));
     let tpot = Percentiles::of(done.iter().flat_map(|o| {
@@ -301,29 +471,29 @@ fn simulate_replica(
             .collect::<Vec<_>>()
     }));
     let queue = Percentiles::of(done.iter().map(|o| o.queue_ms));
+    let util = |busy_ns: f64| {
+        if span_ns > 0.0 {
+            busy_ns / span_ns
+        } else {
+            0.0
+        }
+    };
 
-    Ok(ServingReport {
+    let report = ServingReport {
         completed: done,
         makespan_ms: clock_ms,
         ttft_ms: ttft,
         tpot_ms: tpot,
         queue_ms: queue,
-        goodput_tokens_per_s: generated_tokens as f64 / (clock_ms / 1e3),
-        mme_utilization: if span_ns > 0.0 {
-            mme_busy_ns / span_ns
+        goodput_tokens_per_s: if clock_ms > 0.0 {
+            generated_tokens as f64 / (clock_ms / 1e3)
         } else {
             0.0
         },
-        tpc_utilization: if span_ns > 0.0 {
-            tpc_busy_ns / span_ns
-        } else {
-            0.0
-        },
-        dma_utilization: if span_ns > 0.0 {
-            dma_busy_ns / span_ns
-        } else {
-            0.0
-        },
+        mme_utilization: util(mme_busy_ns),
+        tpc_utilization: util(tpc_busy_ns),
+        dma_utilization: util(dma_busy_ns),
+        nic_utilization: util(nic_busy_ns),
         decode_steps,
         prefills,
         backpressure_stalls,
@@ -332,14 +502,21 @@ fn simulate_replica(
         kv_capacity_bytes: kv.capacity(),
         compiled_graphs: cost.compiled_graphs(),
         devices: 1,
+        retries,
+        requeued_tokens,
+        failed_replicas: killed as usize,
+        replica_uptime_ms: vec![uptime_ms],
         trace,
-    })
+    };
+    Ok(ReplicaRun { report, orphans })
 }
 
 /// Merge per-replica reports into one box-level report: latency percentiles
 /// recomputed over the union, throughput summed against the slowest
-/// replica's makespan, utilizations averaged per card, and the trace
-/// re-tagged with each replica's [`DeviceId`].
+/// replica's makespan, utilizations averaged per card (busy time
+/// reconstructed from each replica's utilization × its own makespan, NIC
+/// included), availability counters summed, and the trace re-tagged with
+/// each replica's [`DeviceId`].
 fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport {
     let makespan_ms = replicas.iter().map(|r| r.makespan_ms).fold(0.0, f64::max);
     let span_ns = makespan_ms * 1e6;
@@ -357,6 +534,7 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
     let mme_utilization = util(|r| r.mme_utilization);
     let tpc_utilization = util(|r| r.tpc_utilization);
     let dma_utilization = util(|r| r.dma_utilization);
+    let nic_utilization = util(|r| r.nic_utilization);
 
     let mut completed: Vec<RequestOutcome> = Vec::new();
     let mut trace = Trace::new();
@@ -367,6 +545,10 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
     let mut kv_peak_bytes = 0;
     let mut kv_capacity_bytes = 0;
     let mut compiled_graphs = 0;
+    let mut retries = 0;
+    let mut requeued_tokens = 0;
+    let mut failed_replicas = 0;
+    let mut replica_uptime_ms = Vec::with_capacity(devices);
     for (d, r) in replicas.into_iter().enumerate() {
         completed.extend(r.completed);
         for ev in r.trace.events() {
@@ -379,6 +561,10 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
         kv_peak_bytes = r.kv_peak_bytes.max(kv_peak_bytes);
         kv_capacity_bytes = r.kv_capacity_bytes;
         compiled_graphs += r.compiled_graphs;
+        retries += r.retries;
+        requeued_tokens += r.requeued_tokens;
+        failed_replicas += r.failed_replicas;
+        replica_uptime_ms.extend(r.replica_uptime_ms);
     }
     completed.sort_by_key(|o| o.id);
     let generated_tokens: usize = completed.iter().map(|o| o.output_len).sum();
@@ -406,6 +592,7 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
         mme_utilization,
         tpc_utilization,
         dma_utilization,
+        nic_utilization,
         decode_steps,
         prefills,
         backpressure_stalls,
@@ -414,6 +601,10 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
         kv_capacity_bytes,
         compiled_graphs,
         devices,
+        retries,
+        requeued_tokens,
+        failed_replicas,
+        replica_uptime_ms,
         trace,
     }
 }
@@ -457,6 +648,8 @@ mod tests {
             hw: GaudiConfig::hls1(),
             opts: CompilerOptions::default(),
             devices: 1,
+            faults: FaultPlan::none(),
+            redistribution: RedistributionPolicy::default(),
         }
     }
 
@@ -467,7 +660,11 @@ mod tests {
         for (i, o) in r.completed.iter().enumerate() {
             assert_eq!(o.id, i as u64);
             assert_eq!(o.token_times_ms.len(), o.output_len);
+            assert_eq!(o.retries, 0, "fault-free runs never retry");
         }
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.failed_replicas, 0);
+        assert_eq!(r.availability(), 1.0);
     }
 
     #[test]
@@ -489,6 +686,78 @@ mod tests {
             }
             assert!(o.ttft_ms > 0.0);
             assert!(o.finish_ms >= o.arrival_ms + o.ttft_ms);
+        }
+    }
+
+    #[test]
+    fn ttft_of_an_unloaded_request_is_exactly_its_prefill_cost() {
+        // Regression for the off-by-one-decode-step TTFT bug: prefill's
+        // last forward pass emits the first token, so a lone request on an
+        // idle engine has TTFT == prefill(prompt) — no queueing, no decode
+        // step folded in.
+        let cfg = tiny_config();
+        let req = Request {
+            id: 0,
+            arrival_us: 0,
+            prompt_len: 48,
+            output_len: 6,
+        };
+        let r = simulate_trace(&cfg, vec![req]).unwrap();
+        let mut cost = CostModel::new(
+            cfg.model.clone(),
+            cfg.hw.clone(),
+            cfg.opts.clone(),
+            cfg.ctx_bucket,
+        );
+        let prefill_ms = cost.prefill(1, 48).unwrap().ms;
+        let o = &r.completed[0];
+        assert_eq!(o.queue_ms, 0.0);
+        assert_eq!(o.ttft_ms, prefill_ms, "TTFT must equal the prefill cost");
+        assert_eq!(o.token_times_ms[0], prefill_ms);
+        // output_len - 1 decode steps finish the request.
+        assert_eq!(r.decode_steps, 5);
+        assert_eq!(o.token_times_ms.len(), 6);
+    }
+
+    #[test]
+    fn arrivals_during_a_long_prefill_are_ingested_at_the_phase_boundary() {
+        // Request 0's prefill is long; 1-4 arrive 1 µs into it. With
+        // phase-boundary ingestion they are all queued (depth 4) and
+        // admitted back-to-back before any decode step runs, so the whole
+        // batch decodes together: output_len - 1 shared steps total.
+        let cfg = ServingConfig {
+            max_batch: 8,
+            ..tiny_config()
+        };
+        let mut reqs = vec![Request {
+            id: 0,
+            arrival_us: 0,
+            prompt_len: 256,
+            output_len: 4,
+        }];
+        for id in 1..5 {
+            reqs.push(Request {
+                id,
+                arrival_us: 1,
+                prompt_len: 8,
+                output_len: 4,
+            });
+        }
+        let r = simulate_trace(&cfg, reqs).unwrap();
+        assert_eq!(r.completed.len(), 5);
+        assert_eq!(
+            r.max_queue_depth, 4,
+            "arrivals during the prefill must be visible to the depth gauge"
+        );
+        assert_eq!(
+            r.decode_steps, 3,
+            "all five requests decode as one batch after back-to-back prefills"
+        );
+        for o in &r.completed[1..] {
+            assert!(
+                o.queue_ms > 0.0,
+                "requests 1-4 waited out request 0's prefill"
+            );
         }
     }
 
@@ -533,6 +802,7 @@ mod tests {
         assert_eq!(r.completed.len(), 30, "replicas must not drop requests");
         assert_eq!(r.devices, 2);
         assert_eq!(r.trace.devices().len(), 2);
+        assert_eq!(r.replica_uptime_ms.len(), 2);
         for (i, o) in r.completed.iter().enumerate() {
             assert_eq!(o.id, i as u64);
         }
@@ -551,5 +821,84 @@ mod tests {
         let rb = simulate(&big).unwrap();
         assert!(rb.goodput_tokens_per_s >= rs.goodput_tokens_per_s * 0.99);
         assert!(rb.makespan_ms <= rs.makespan_ms * 1.01);
+    }
+
+    #[test]
+    fn killed_replica_requeues_onto_the_survivor() {
+        let mut cfg = tiny_config();
+        cfg.devices = 2;
+        // Arrivals span ~600 ms; killing D1 at 20 ms strands most of its
+        // round-robin share.
+        cfg.faults = FaultPlan::none().kill(DeviceId(1), 20.0);
+        let r = simulate(&cfg).unwrap();
+        assert_eq!(r.completed.len(), 30, "failures must not drop requests");
+        assert_eq!(r.failed_replicas, 1);
+        assert!(r.retries > 0, "orphans must be retried on the survivor");
+        assert!(r.availability() < 1.0);
+        assert_eq!(r.replica_uptime_ms[1], 20.0);
+        assert!(r.replica_uptime_ms[0] > 20.0);
+        // Retried requests carry their retry count into the outcome.
+        assert!(r.completed.iter().any(|o| o.retries == 1));
+        // Faulted runs are as deterministic as clean ones.
+        let again = simulate(&cfg).unwrap();
+        assert_eq!(r.makespan_ms, again.makespan_ms);
+        assert_eq!(r.retries, again.retries);
+        assert_eq!(r.requeued_tokens, again.requeued_tokens);
+        assert_eq!(r.completed, again.completed);
+    }
+
+    #[test]
+    fn both_redistribution_policies_complete_everything() {
+        for policy in [
+            RedistributionPolicy::RoundRobin,
+            RedistributionPolicy::LeastLoaded,
+        ] {
+            let mut cfg = tiny_config();
+            cfg.devices = 3;
+            cfg.redistribution = policy;
+            cfg.faults = FaultPlan::none().kill(DeviceId(2), 10.0);
+            let r = simulate(&cfg).unwrap();
+            assert_eq!(r.completed.len(), 30, "{policy:?} dropped requests");
+            assert!(r.retries > 0);
+        }
+    }
+
+    #[test]
+    fn killing_every_replica_is_an_error() {
+        let mut cfg = tiny_config();
+        cfg.faults = FaultPlan::none().kill(DeviceId(0), 0.0);
+        match simulate(&cfg) {
+            Err(ServingError::AllReplicasDead { unserved }) => assert_eq!(unserved, 30),
+            other => panic!("expected AllReplicasDead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_plan_referencing_a_missing_device_is_rejected() {
+        let mut cfg = tiny_config();
+        cfg.faults = FaultPlan::none().kill(DeviceId(5), 1.0);
+        assert!(matches!(simulate(&cfg), Err(ServingError::Fault(_))));
+    }
+
+    #[test]
+    fn slowdown_window_stretches_the_run_deterministically() {
+        // Saturate arrivals so the makespan is compute-bound; a throttle on
+        // an idle, arrival-dominated run would hide in the slack.
+        let mut base_cfg = tiny_config();
+        base_cfg.traffic.arrival_rate_per_s = 1e6;
+        let baseline = simulate(&base_cfg).unwrap();
+        let mut cfg = base_cfg.clone();
+        cfg.faults = FaultPlan::none().slow(0.0, 1e9, 2.0);
+        let slowed = simulate(&cfg).unwrap();
+        assert!(
+            slowed.makespan_ms > baseline.makespan_ms * 1.5,
+            "a 2x box-wide throttle must visibly stretch the makespan \
+             ({} vs {})",
+            slowed.makespan_ms,
+            baseline.makespan_ms
+        );
+        assert_eq!(slowed.completed.len(), 30);
+        let again = simulate(&cfg).unwrap();
+        assert_eq!(slowed.makespan_ms, again.makespan_ms);
     }
 }

@@ -1,6 +1,7 @@
 //! Serving-layer errors.
 
 use gaudi_graph::GraphError;
+use gaudi_hw::fault::FaultError;
 use gaudi_hw::memory::OutOfMemory;
 
 /// Anything that can go wrong while setting up or running a serving
@@ -23,6 +24,14 @@ pub enum ServingError {
     },
     /// Configuration rejected before simulation (empty trace, zero batch…).
     InvalidConfig(String),
+    /// The fault plan is malformed (unknown device, bad factor…).
+    Fault(FaultError),
+    /// The fault plan kills every replica while work is still outstanding,
+    /// so graceful degradation has nowhere left to re-queue.
+    AllReplicasDead {
+        /// Requests orphaned with no surviving replica to take them.
+        unserved: usize,
+    },
 }
 
 impl std::fmt::Display for ServingError {
@@ -39,6 +48,11 @@ impl std::fmt::Display for ServingError {
                 "request {id} needs {tokens} KV tokens but the device fits at most {max_tokens}"
             ),
             ServingError::InvalidConfig(msg) => write!(f, "invalid serving config: {msg}"),
+            ServingError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+            ServingError::AllReplicasDead { unserved } => write!(
+                f,
+                "every replica is killed by the fault plan with {unserved} requests unserved"
+            ),
         }
     }
 }
@@ -48,6 +62,7 @@ impl std::error::Error for ServingError {
         match self {
             ServingError::Graph(e) => Some(e),
             ServingError::WeightsDontFit(e) => Some(e),
+            ServingError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -56,5 +71,11 @@ impl std::error::Error for ServingError {
 impl From<GraphError> for ServingError {
     fn from(e: GraphError) -> Self {
         ServingError::Graph(e)
+    }
+}
+
+impl From<FaultError> for ServingError {
+    fn from(e: FaultError) -> Self {
+        ServingError::Fault(e)
     }
 }

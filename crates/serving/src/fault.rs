@@ -1,0 +1,195 @@
+//! Serving-side fault handling: jobs, retries, and orphan redistribution.
+//!
+//! The hardware layer says *what* fails ([`gaudi_hw::FaultPlan`]); this
+//! module says what the scheduler does about it. When a replica dies, every
+//! request it had not finished — in-flight, queued, or not yet arrived —
+//! becomes an **orphan**: a [`Job`] whose `submitted_us` is bumped to the
+//! failure time and whose retry count is incremented. Orphans are then
+//! redistributed across the surviving replicas under a configurable
+//! [`RedistributionPolicy`], and the survivors are re-simulated with the
+//! augmented queues. Tokens the dead card had already generated are lost
+//! and regenerated from scratch (the simulator models no KV-cache
+//! migration), which is exactly the goodput cost the availability metrics
+//! in [`crate::ServingReport`] quantify.
+
+use crate::request::Request;
+
+/// One scheduling attempt of a request on a particular replica.
+///
+/// A fresh job's `submitted_us` equals the request's arrival; a re-queued
+/// job's is the failure time of the replica that dropped it. Queue time is
+/// measured from `submitted_us` (time spent waiting on the serving
+/// replica); TTFT is always measured from the request's *original* arrival,
+/// so retries show up as tail latency, not as bookkeeping resets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// The underlying request (arrival, prompt, output length).
+    pub req: Request,
+    /// When this attempt entered its replica's admission queue, µs.
+    pub submitted_us: u64,
+    /// Completed (failed) scheduling attempts before this one.
+    pub retries: u32,
+}
+
+impl Job {
+    /// A first attempt: submitted at the request's own arrival time.
+    pub fn fresh(req: Request) -> Self {
+        Job {
+            submitted_us: req.arrival_us,
+            retries: 0,
+            req,
+        }
+    }
+
+    /// Submission time of this attempt, ms.
+    pub fn submitted_ms(&self) -> f64 {
+        self.submitted_us as f64 / 1e3
+    }
+
+    /// The next attempt after a replica failure at `at_ms`: re-queued at
+    /// the failure time (never before the request's own arrival), with the
+    /// retry count bumped.
+    pub fn requeued(mut self, at_ms: f64) -> Self {
+        let at_us = (at_ms * 1e3).ceil() as u64;
+        self.submitted_us = self.req.arrival_us.max(at_us);
+        self.retries += 1;
+        self
+    }
+}
+
+/// How orphaned jobs from a dead replica spread over the survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RedistributionPolicy {
+    /// Cycle through surviving replicas in device order, one orphan each —
+    /// the stateless default, mirroring the initial round-robin sharding.
+    #[default]
+    RoundRobin,
+    /// Send each orphan to the survivor with the least total assigned
+    /// token work (initial shard + orphans accepted so far), ties broken
+    /// by lowest device index. Deterministic and load-aware.
+    LeastLoaded,
+}
+
+/// Assign `orphans` to `survivors` (device indices of replicas the fault
+/// plan never kills). `shard_load_tokens[d]` is replica `d`'s total
+/// originally-assigned token work, which seeds the [`LeastLoaded`]
+/// accounting. Returns `(survivor_index, jobs)` pairs; orphans are
+/// processed in `(submitted_us, id)` order so the result is a pure
+/// function of its inputs.
+///
+/// [`LeastLoaded`]: RedistributionPolicy::LeastLoaded
+pub(crate) fn redistribute(
+    mut orphans: Vec<Job>,
+    survivors: &[usize],
+    shard_load_tokens: &[usize],
+    policy: RedistributionPolicy,
+) -> Vec<(usize, Vec<Job>)> {
+    assert!(!survivors.is_empty(), "redistribute needs a survivor");
+    orphans.sort_by_key(|j| (j.submitted_us, j.req.id));
+    let mut out: Vec<(usize, Vec<Job>)> = survivors.iter().map(|&d| (d, Vec::new())).collect();
+    match policy {
+        RedistributionPolicy::RoundRobin => {
+            let n = out.len();
+            for (i, j) in orphans.into_iter().enumerate() {
+                out[i % n].1.push(j);
+            }
+        }
+        RedistributionPolicy::LeastLoaded => {
+            let mut load: Vec<usize> = survivors.iter().map(|&d| shard_load_tokens[d]).collect();
+            for j in orphans {
+                let pick = (0..load.len())
+                    .min_by_key(|&i| (load[i], survivors[i]))
+                    .expect("survivors is non-empty");
+                load[pick] += j.req.total_tokens();
+                out[pick].1.push(j);
+            }
+        }
+    }
+    out.retain(|(_, jobs)| !jobs.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival_us: u64, tokens: usize) -> Request {
+        Request {
+            id,
+            arrival_us,
+            prompt_len: tokens,
+            output_len: 1,
+        }
+    }
+
+    #[test]
+    fn requeue_bumps_submission_and_retries() {
+        let j = Job::fresh(req(0, 5_000, 8));
+        assert_eq!(j.submitted_us, 5_000);
+        assert_eq!(j.retries, 0);
+        let r = j.requeued(10.5);
+        assert_eq!(r.submitted_us, 10_500);
+        assert_eq!(r.retries, 1);
+        // Requeue time never precedes the request's own arrival.
+        let early = Job::fresh(req(1, 9_000, 8)).requeued(2.0);
+        assert_eq!(early.submitted_us, 9_000);
+    }
+
+    #[test]
+    fn round_robin_cycles_survivors_in_order() {
+        let orphans: Vec<Job> = (0..5).map(|i| Job::fresh(req(i, i * 100, 10))).collect();
+        let out = redistribute(
+            orphans,
+            &[0, 2],
+            &[0, 0, 0],
+            RedistributionPolicy::RoundRobin,
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(
+            out[0].1.iter().map(|j| j.req.id).collect::<Vec<_>>(),
+            [0, 2, 4]
+        );
+        assert_eq!(out[1].0, 2);
+        assert_eq!(
+            out[1].1.iter().map(|j| j.req.id).collect::<Vec<_>>(),
+            [1, 3]
+        );
+    }
+
+    #[test]
+    fn least_loaded_balances_token_work() {
+        // Replica 0 starts much heavier than replica 1: orphans (11 tokens
+        // each) flow to 1 until its load crosses 0's, then spill back.
+        let orphans: Vec<Job> = (0..5).map(|i| Job::fresh(req(i, 0, 10))).collect();
+        let out = redistribute(
+            orphans,
+            &[0, 1],
+            &[100, 60],
+            RedistributionPolicy::LeastLoaded,
+        );
+        let ids = |d: usize| -> Vec<u64> {
+            out.iter()
+                .find(|(s, _)| *s == d)
+                .map(|(_, js)| js.iter().map(|j| j.req.id).collect())
+                .unwrap_or_default()
+        };
+        assert_eq!(ids(1), [0, 1, 2, 3], "first four close the 40-token gap");
+        assert_eq!(ids(0), [4], "the fifth spills back to replica 0");
+    }
+
+    #[test]
+    fn redistribution_is_deterministic() {
+        let orphans: Vec<Job> = (0..7)
+            .map(|i| Job::fresh(req(i, (7 - i) * 10, 5)))
+            .collect();
+        for policy in [
+            RedistributionPolicy::RoundRobin,
+            RedistributionPolicy::LeastLoaded,
+        ] {
+            let a = redistribute(orphans.clone(), &[1, 3], &[9, 9, 9, 9], policy);
+            let b = redistribute(orphans.clone(), &[1, 3], &[9, 9, 9, 9], policy);
+            assert_eq!(a, b);
+        }
+    }
+}

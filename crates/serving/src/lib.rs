@@ -37,18 +37,24 @@
 //!
 //! Identical configurations produce bit-identical reports: the simulation
 //! is a pure function of its inputs (integer-microsecond arrival times, no
-//! wall clock anywhere).
+//! wall clock anywhere) — and that stays true under fault injection: a
+//! [`FaultPlan`] in the config kills cards, degrades links, and throttles
+//! phases deterministically, while the scheduler re-queues the dead
+//! replica's work onto the survivors ([`fault`]).
 
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod kv;
 pub mod report;
 pub mod request;
 
 pub use cost::{CostModel, PhaseCost};
-pub use engine::{simulate, ServingConfig};
+pub use engine::{simulate, simulate_trace, ServingConfig};
 pub use error::ServingError;
+pub use fault::{Job, RedistributionPolicy};
+pub use gaudi_hw::fault::FaultPlan;
 pub use kv::{kv_bytes_per_token, weight_bytes, KvAccountant};
 pub use report::{Percentiles, RequestOutcome, ServingReport};
 pub use request::{generate_requests, Request, TrafficConfig};

@@ -52,11 +52,18 @@ pub struct RequestOutcome {
     pub prompt_len: usize,
     /// Generated tokens.
     pub output_len: usize,
-    /// Time spent in the admission queue before prefill started, ms.
+    /// Time spent in the admission queue before prefill started, ms. For a
+    /// retried request this counts waiting on the replica that finally
+    /// served it (from its re-queue time, not its original arrival).
     pub queue_ms: f64,
-    /// Time to first token: arrival → end of the decode step that produced
-    /// token 0 (queueing + prefill + one decode step), ms.
+    /// Time to first token: arrival → end of the prefill that produced
+    /// token 0 (queueing + prefill; prefill's last forward pass emits the
+    /// first output token), ms. Always measured from the request's
+    /// original arrival, so replica failures and retries show up here.
     pub ttft_ms: f64,
+    /// Scheduling attempts that were lost to replica failures before this
+    /// one completed (0 in fault-free runs).
+    pub retries: u32,
     /// Completion time, ms.
     pub finish_ms: f64,
     /// Absolute emission time of each generated token, ms. Strictly
@@ -86,6 +93,9 @@ pub struct ServingReport {
     pub tpc_utilization: f64,
     /// DMA busy time / makespan.
     pub dma_utilization: f64,
+    /// NIC (collective/scale-out) busy time / makespan. Zero for purely
+    /// data-parallel replicas, whose phase plans never touch the NIC.
+    pub nic_utilization: f64,
     /// Decode iterations executed.
     pub decode_steps: usize,
     /// Prefill phases executed (= admissions).
@@ -103,19 +113,50 @@ pub struct ServingReport {
     pub compiled_graphs: usize,
     /// Cards the simulation ran on (data-parallel serving replicas).
     pub devices: usize,
+    /// Requests re-queued onto a surviving replica after a card failure
+    /// (each counted once per lost attempt).
+    pub retries: usize,
+    /// Output tokens that had been generated on a card when it died and
+    /// had to be regenerated elsewhere (lost work, excluded from goodput).
+    pub requeued_tokens: usize,
+    /// Replicas the fault plan killed before they finished their work.
+    pub failed_replicas: usize,
+    /// Per-replica up-time, ms, indexed by device: the kill time for
+    /// replicas that died mid-run, otherwise the replica's own makespan.
+    pub replica_uptime_ms: Vec<f64>,
     /// Engine-busy timeline of every phase, for the profiler tooling.
     pub trace: Trace,
 }
 
 impl ServingReport {
-    /// Mean decode batch size (tokens generated per decode step).
+    /// Mean decode batch size: decode-generated tokens per decode step.
+    /// (Each request's first token comes out of its prefill, so a request
+    /// contributes `output_len - 1` decode tokens.)
     pub fn mean_decode_batch(&self) -> f64 {
-        let tokens: usize = self.completed.iter().map(|o| o.output_len).sum();
+        let tokens: usize = self
+            .completed
+            .iter()
+            .map(|o| o.output_len.saturating_sub(1))
+            .sum();
         if self.decode_steps == 0 {
             0.0
         } else {
             tokens as f64 / self.decode_steps as f64
         }
+    }
+
+    /// Mean fraction of the box's makespan its replicas were alive:
+    /// `1.0` in fault-free runs, lower when cards died mid-run.
+    pub fn availability(&self) -> f64 {
+        if self.replica_uptime_ms.is_empty() || self.makespan_ms <= 0.0 {
+            return 1.0;
+        }
+        let up: f64 = self
+            .replica_uptime_ms
+            .iter()
+            .map(|&u| u.min(self.makespan_ms))
+            .sum();
+        up / (self.makespan_ms * self.replica_uptime_ms.len() as f64)
     }
 
     /// Render the report as text tables through the profiler tooling.
@@ -160,6 +201,10 @@ impl ServingReport {
                 "DMA utilization".into(),
                 format!("{:.1}%", self.dma_utilization * 100.0),
             ])
+            .row(&[
+                "NIC utilization".into(),
+                format!("{:.1}%", self.nic_utilization * 100.0),
+            ])
             .row(&["decode steps".into(), self.decode_steps.to_string()])
             .row(&["prefills".into(), self.prefills.to_string()])
             .row(&[
@@ -176,6 +221,15 @@ impl ServingReport {
                 ),
             ])
             .row(&["compiled graphs".into(), self.compiled_graphs.to_string()]);
+        if self.failed_replicas > 0 || self.retries > 0 {
+            eng.row(&["failed replicas".into(), self.failed_replicas.to_string()])
+                .row(&["request retries".into(), self.retries.to_string()])
+                .row(&["requeued tokens".into(), self.requeued_tokens.to_string()])
+                .row(&[
+                    "availability".into(),
+                    format!("{:.1}%", self.availability() * 100.0),
+                ]);
+        }
 
         format!("{}\n{}", lat.render(), eng.render())
     }
@@ -213,6 +267,7 @@ mod tests {
             mme_utilization: 0.5,
             tpc_utilization: 0.25,
             dma_utilization: 0.1,
+            nic_utilization: 0.05,
             decode_steps: 3,
             prefills: 2,
             backpressure_stalls: 1,
@@ -221,11 +276,33 @@ mod tests {
             kv_capacity_bytes: 32 << 30,
             compiled_graphs: 5,
             devices: 1,
+            retries: 0,
+            requeued_tokens: 0,
+            failed_replicas: 0,
+            replica_uptime_ms: vec![12.5],
             trace: Trace::new(),
         };
         let text = r.render();
         assert!(text.contains("ttft"));
         assert!(text.contains("42.0"));
         assert!(text.contains("32 GiB"));
+        assert!(text.contains("NIC utilization"));
+        assert!(
+            !text.contains("failed replicas"),
+            "fault rows hidden in fault-free reports"
+        );
+
+        let faulted = ServingReport {
+            retries: 3,
+            requeued_tokens: 17,
+            failed_replicas: 1,
+            replica_uptime_ms: vec![6.25, 12.5],
+            devices: 2,
+            ..r
+        };
+        let text = faulted.render();
+        assert!(text.contains("failed replicas"));
+        assert!(text.contains("requeued tokens"));
+        assert_eq!(faulted.availability(), 0.75);
     }
 }

@@ -1,6 +1,7 @@
 //! The workspace-level error type.
 
 use gaudi_graph::GraphError;
+use gaudi_hw::fault::FaultError;
 use gaudi_hw::memory::OutOfMemory;
 use gaudi_runtime::RuntimeError;
 use gaudi_serving::ServingError;
@@ -22,6 +23,8 @@ pub enum GaudiError {
     Serving(ServingError),
     /// A modelled HBM allocation overflowed device capacity.
     OutOfMemory(OutOfMemory),
+    /// The session's fault plan is malformed (unknown device, bad factor…).
+    Fault(FaultError),
     /// The session configuration is inconsistent (e.g. a parallelism plan
     /// needing more cards than the session has).
     Config(String),
@@ -35,6 +38,7 @@ impl std::fmt::Display for GaudiError {
             GaudiError::Runtime(e) => write!(f, "runtime: {e}"),
             GaudiError::Serving(e) => write!(f, "serving: {e}"),
             GaudiError::OutOfMemory(e) => write!(f, "out of device memory: {e}"),
+            GaudiError::Fault(e) => write!(f, "invalid fault plan: {e}"),
             GaudiError::Config(msg) => write!(f, "invalid session config: {msg}"),
         }
     }
@@ -48,6 +52,7 @@ impl std::error::Error for GaudiError {
             GaudiError::Runtime(e) => Some(e),
             GaudiError::Serving(e) => Some(e),
             GaudiError::OutOfMemory(e) => Some(e),
+            GaudiError::Fault(e) => Some(e),
             GaudiError::Config(_) => None,
         }
     }
@@ -80,6 +85,12 @@ impl From<ServingError> for GaudiError {
 impl From<OutOfMemory> for GaudiError {
     fn from(e: OutOfMemory) -> Self {
         GaudiError::OutOfMemory(e)
+    }
+}
+
+impl From<FaultError> for GaudiError {
+    fn from(e: FaultError) -> Self {
+        GaudiError::Fault(e)
     }
 }
 

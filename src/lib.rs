@@ -51,10 +51,10 @@ pub mod prelude {
         CompilerOptions, GraphCompiler, MultiDevicePlan, Parallelism, PartitionSpec, SchedulerKind,
     };
     pub use gaudi_graph::{CollectiveKind, Graph, NodeId, OpKind};
-    pub use gaudi_hw::{DeviceId, GaudiConfig, Topology};
+    pub use gaudi_hw::{DeviceId, FaultPlan, GaudiConfig, Topology};
     pub use gaudi_models::{ActivationKind, AttentionKind, TransformerLayerConfig};
     pub use gaudi_profiler::{Trace, TraceAnalysis};
     pub use gaudi_runtime::{Feeds, MultiRunReport, NumericsMode, RunReport, Runtime};
-    pub use gaudi_serving::{ServingConfig, ServingReport, TrafficConfig};
+    pub use gaudi_serving::{RedistributionPolicy, ServingConfig, ServingReport, TrafficConfig};
     pub use gaudi_tensor::{DType, SeededRng, Shape, Tensor};
 }

@@ -28,7 +28,7 @@
 use crate::error::GaudiError;
 use gaudi_compiler::{CompilerOptions, Parallelism, PartitionSpec};
 use gaudi_graph::Graph;
-use gaudi_hw::GaudiConfig;
+use gaudi_hw::{FaultPlan, GaudiConfig, Topology};
 use gaudi_runtime::{Feeds, MultiRunReport, NumericsMode, RunReport, Runtime};
 use gaudi_serving::{simulate, ServingConfig, ServingReport};
 
@@ -46,6 +46,7 @@ pub struct GaudiSession {
     devices: usize,
     parallelism: Parallelism,
     spec: PartitionSpec,
+    faults: FaultPlan,
     runtime: Runtime,
 }
 
@@ -118,20 +119,42 @@ impl GaudiSession {
         feeds: Feeds,
         mode: NumericsMode,
     ) -> Result<MultiRunReport, GaudiError> {
-        Ok(self
-            .runtime
-            .run_partitioned(graph, self.parallelism, &self.spec, &feeds, mode)?)
+        if self.faults.link_degradations.is_empty() {
+            return Ok(self.runtime.run_partitioned(
+                graph,
+                self.parallelism,
+                &self.spec,
+                &feeds,
+                mode,
+            )?);
+        }
+        // Degraded links reprice every collective against the bottleneck.
+        let topo = Topology::hls1_box(&self.hw, self.parallelism.world())
+            .degraded(&self.faults.link_degradations);
+        Ok(self.runtime.run_partitioned_on(
+            graph,
+            self.parallelism,
+            &self.spec,
+            &feeds,
+            mode,
+            &topo,
+        )?)
     }
 
     /// Run a multi-tenant serving simulation on this session's hardware and
     /// compiler configuration (the `hw`/`opts`/`devices` fields of `cfg` are
     /// replaced by the session's own; serving replicates data-parallel, one
-    /// engine per card).
+    /// engine per card). A session-level
+    /// [`fault plan`](GaudiSessionBuilder::faults) overrides the one in
+    /// `cfg`, killing, throttling, and degrading those replicas.
     pub fn serve(&self, cfg: &ServingConfig) -> Result<ServingReport, GaudiError> {
         let mut cfg = cfg.clone();
         cfg.hw = self.hw.clone();
         cfg.opts = self.options.clone();
         cfg.devices = self.devices;
+        if !self.faults.is_empty() {
+            cfg.faults = self.faults.clone();
+        }
         Ok(simulate(&cfg)?)
     }
 
@@ -159,6 +182,12 @@ impl GaudiSession {
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
     }
+
+    /// The fault plan every `serve` and partitioned `run` is subjected to
+    /// (empty by default: pristine hardware).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
 }
 
 /// Builder for [`GaudiSession`].
@@ -170,6 +199,7 @@ pub struct GaudiSessionBuilder {
     devices: Option<usize>,
     parallelism: Option<Parallelism>,
     partition_spec: Option<PartitionSpec>,
+    faults: Option<FaultPlan>,
 }
 
 impl GaudiSessionBuilder {
@@ -215,6 +245,17 @@ impl GaudiSessionBuilder {
         self
     }
 
+    /// Subject the session to a deterministic fault plan (default: none).
+    ///
+    /// Card failures and slowdown windows apply to `serve` (the dead
+    /// replica's work is re-queued onto survivors); link degradations also
+    /// reprice the collectives of partitioned `run`s. The plan is validated
+    /// against the session's device count at [`build`](Self::build).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Construct the session.
     pub fn build(self) -> Result<GaudiSession, GaudiError> {
         let hw = self.hw.unwrap_or_else(GaudiConfig::hls1);
@@ -246,6 +287,8 @@ impl GaudiSessionBuilder {
             )));
         }
         let spec = self.partition_spec.unwrap_or_else(PartitionSpec::llm);
+        let faults = self.faults.unwrap_or_else(FaultPlan::none);
+        faults.validate(devices)?;
         let runtime = Runtime::new(hw.clone(), options.clone());
         Ok(GaudiSession {
             hw,
@@ -254,6 +297,7 @@ impl GaudiSessionBuilder {
             devices,
             parallelism,
             spec,
+            faults,
             runtime,
         })
     }
@@ -426,5 +470,66 @@ mod tests {
         let r = s.serve(&cfg).unwrap();
         assert_eq!(r.devices, 2);
         assert_eq!(r.completed.len(), 6);
+    }
+
+    #[test]
+    fn fault_plan_is_validated_at_build() {
+        use gaudi_hw::DeviceId;
+        let err = GaudiSession::builder()
+            .devices(2)
+            .faults(FaultPlan::none().kill(DeviceId(7), 1.0))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, GaudiError::Fault(_)));
+        assert!(err.to_string().contains("fault plan"));
+    }
+
+    #[test]
+    fn session_fault_plan_degrades_serving() {
+        use gaudi_hw::DeviceId;
+        let mut cfg = ServingConfig::paper_gpt();
+        cfg.traffic = TrafficConfig {
+            num_requests: 12,
+            arrival_rate_per_s: 40.0,
+            prompt_range: (8, 32),
+            output_range: (2, 8),
+            ..TrafficConfig::default()
+        };
+        let s = GaudiSession::builder()
+            .devices(2)
+            .faults(FaultPlan::none().kill(DeviceId(1), 20.0))
+            .build()
+            .unwrap();
+        assert!(!s.faults().is_empty());
+        let r = s.serve(&cfg).unwrap();
+        assert_eq!(r.completed.len(), 12, "failures must not drop requests");
+        assert_eq!(r.failed_replicas, 1);
+        assert!(r.availability() < 1.0);
+    }
+
+    #[test]
+    fn degraded_links_slow_the_partitioned_run() {
+        use gaudi_hw::DeviceId;
+        let g = mlp_graph(16, 32);
+        let clean = GaudiSession::builder()
+            .devices(2)
+            .build()
+            .unwrap()
+            .run_partitioned(&g, mlp_feeds(16))
+            .unwrap();
+        let degraded = GaudiSession::builder()
+            .devices(2)
+            .faults(FaultPlan::none().degrade_link(DeviceId(0), DeviceId(1), 0.2))
+            .build()
+            .unwrap()
+            .run_partitioned(&g, mlp_feeds(16))
+            .unwrap();
+        assert!(
+            degraded.makespan_ms > clean.makespan_ms,
+            "a 5x slower link must lengthen the run"
+        );
+        let diff = degraded.outputs[0].max_abs_diff(&clean.outputs[0]);
+        assert_eq!(diff, 0.0, "degradation must not perturb numerics");
     }
 }

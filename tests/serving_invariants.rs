@@ -7,7 +7,8 @@ use gaudi_compiler::CompilerOptions;
 use gaudi_hw::GaudiConfig;
 use gaudi_models::LlmConfig;
 use gaudi_serving::{
-    kv_bytes_per_token, simulate, weight_bytes, ServingConfig, ServingError, TrafficConfig,
+    generate_requests, kv_bytes_per_token, simulate, simulate_trace, weight_bytes, FaultPlan,
+    RedistributionPolicy, ServingConfig, ServingError, TrafficConfig,
 };
 use gaudi_tensor::DType;
 use proptest::prelude::*;
@@ -46,6 +47,8 @@ fn config(
         hw,
         opts: CompilerOptions::default(),
         devices: 1,
+        faults: FaultPlan::none(),
+        redistribution: RedistributionPolicy::default(),
     }
 }
 
@@ -92,6 +95,69 @@ proptest! {
                     "request {} emitted tokens out of order", o.id);
             }
         }
+    }
+
+    /// Merging data-parallel replicas conserves the work: the merged report
+    /// accounts for exactly the requests, generated tokens, and engine busy
+    /// time of its per-replica parts — nothing double-counted, nothing
+    /// dropped.
+    #[test]
+    fn merged_replicas_conserve_requests_tokens_and_busy_time(
+        seed in 0u64..1_000_000,
+        rate_idx in 0u8..3,
+        num_requests in 2usize..30,
+        max_batch in 1usize..8,
+        devices in 2usize..5,
+    ) {
+        let mut cfg = config(seed, rate_idx, num_requests, max_batch, 500);
+        cfg.devices = devices;
+        let mut requests = generate_requests(&cfg.traffic);
+        requests.sort_by_key(|r| (r.arrival_us, r.id));
+        let merged = simulate_trace(&cfg, requests.clone()).unwrap();
+
+        // Re-run each round-robin shard on its own single-card config.
+        let mut single = cfg.clone();
+        single.devices = 1;
+        let mut parts = Vec::new();
+        for d in 0..devices {
+            let shard: Vec<_> = requests
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % devices == d)
+                .map(|(_, r)| r.clone())
+                .collect();
+            parts.push(simulate_trace(&single, shard).unwrap());
+        }
+
+        // Request and token conservation.
+        let part_requests: usize = parts.iter().map(|p| p.completed.len()).sum();
+        prop_assert_eq!(merged.completed.len(), part_requests);
+        prop_assert_eq!(merged.completed.len(), num_requests);
+        let tokens = |r: &gaudi_serving::ServingReport| -> usize {
+            r.completed.iter().map(|o| o.output_len).sum()
+        };
+        let part_tokens: usize = parts.iter().map(tokens).sum();
+        prop_assert_eq!(tokens(&merged), part_tokens);
+
+        // Busy-time conservation per engine: utilization x span x devices on
+        // the merged side must equal the sum of per-replica busy times.
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-12);
+        for (name, get) in [
+            ("mme", (|r| r.mme_utilization) as fn(&gaudi_serving::ServingReport) -> f64),
+            ("tpc", |r| r.tpc_utilization),
+            ("dma", |r| r.dma_utilization),
+            ("nic", |r| r.nic_utilization),
+        ] {
+            let merged_busy = get(&merged) * merged.makespan_ms * devices as f64;
+            let part_busy: f64 = parts.iter().map(|p| get(p) * p.makespan_ms).sum();
+            prop_assert!(close(merged_busy, part_busy),
+                "{} busy time not conserved: merged {} vs parts {}",
+                name, merged_busy, part_busy);
+        }
+
+        // Counters the merge simply sums.
+        prop_assert_eq!(merged.decode_steps, parts.iter().map(|p| p.decode_steps).sum::<usize>());
+        prop_assert_eq!(merged.prefills, parts.iter().map(|p| p.prefills).sum::<usize>());
     }
 
     /// The simulation is a pure function of its configuration: identical
