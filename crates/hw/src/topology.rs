@@ -220,7 +220,7 @@ mod tests {
         // Same closed form as RoceModel::allreduce_time_ns.
         let cfg = GaudiConfig::hls1();
         let t = Topology::hls1_box(&cfg, 8);
-        let legacy = crate::roce::RoceModel::new(cfg.roce.clone());
+        let legacy = crate::roce::RoceModel::new(cfg.roce);
         let bytes = 64 << 20;
         assert!((t.allreduce_time_ns(bytes) - legacy.allreduce_time_ns(bytes, 8)).abs() < 1e-6);
     }

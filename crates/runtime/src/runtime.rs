@@ -3,6 +3,7 @@
 use crate::interp::{eval_node, InterpError};
 use crate::memory::estimate_peak_hbm;
 use gaudi_compiler::{CompilerOptions, GraphCompiler};
+use gaudi_exec::ExecPool;
 use gaudi_graph::{Graph, GraphError, OpKind};
 use gaudi_hw::GaudiConfig;
 use gaudi_profiler::trace::TraceSink;
@@ -154,6 +155,7 @@ impl RunReport {
 /// ```
 pub struct Runtime {
     compiler: GraphCompiler,
+    exec: ExecPool,
 }
 
 impl Runtime {
@@ -161,6 +163,7 @@ impl Runtime {
     pub fn new(cfg: GaudiConfig, opts: CompilerOptions) -> Self {
         Runtime {
             compiler: GraphCompiler::new(cfg, opts),
+            exec: ExecPool::global().clone(),
         }
     }
 
@@ -168,12 +171,27 @@ impl Runtime {
     pub fn hls1() -> Self {
         Runtime {
             compiler: GraphCompiler::synapse_like(),
+            exec: ExecPool::global().clone(),
         }
+    }
+
+    /// The same runtime fanning per-device interpretation out on `pool`
+    /// instead of the global one ([`ExecPool::serial`] forces the
+    /// single-threaded path; results are bit-identical either way, because
+    /// the simulated cards of a lockstep step are independent).
+    pub fn with_exec(mut self, pool: ExecPool) -> Self {
+        self.exec = pool;
+        self
     }
 
     /// The compiler in use.
     pub fn compiler(&self) -> &GraphCompiler {
         &self.compiler
+    }
+
+    /// The execution pool multi-device interpretation runs on.
+    pub fn exec(&self) -> &ExecPool {
+        &self.exec
     }
 
     /// Compile and execute a graph.

@@ -17,6 +17,7 @@ use crate::interp::{eval_node, InterpError};
 use crate::memory::estimate_peak_hbm;
 use crate::runtime::{init_param, Feeds, NumericsMode, Runtime, RuntimeError};
 use gaudi_compiler::{partition, MultiDevicePlan, Parallelism, PartitionSpec, PartitionedGraph};
+use gaudi_exec::ExecPool;
 use gaudi_graph::{CollectiveKind, Graph, OpKind};
 use gaudi_hw::Topology;
 use gaudi_profiler::trace::TraceSink;
@@ -107,7 +108,7 @@ impl Runtime {
         // --- numerics ---
         let outputs = match mode {
             NumericsMode::ShapeOnly => Vec::new(),
-            NumericsMode::Full => interpret_sharded(&compiled, &part, feeds)?,
+            NumericsMode::Full => interpret_sharded(&compiled, &part, feeds, self.exec())?,
         };
 
         Ok(MultiRunReport {
@@ -123,10 +124,17 @@ impl Runtime {
 
 /// Lockstep interpretation of the compiled per-device graph: one value per
 /// device per node, collectives evaluated across the tensor-parallel group.
+///
+/// Compute ops fan the per-device evaluations of each step out on `pool`;
+/// the cards of a lockstep step read only the previous steps' values, so
+/// the parallel walk is bit-identical to the serial one. Input slicing,
+/// parameter initialization (one shared RNG stream), and collectives stay
+/// on the caller's thread — they are ordering-sensitive or memcpy-cheap.
 fn interpret_sharded(
     g: &Graph,
     part: &PartitionedGraph,
     feeds: &Feeds,
+    pool: &ExecPool,
 ) -> Result<Vec<Tensor>, RuntimeError> {
     let parallel = part.parallel;
     let world = parallel.world();
@@ -198,23 +206,21 @@ fn interpret_sharded(
                 })?;
                 eval_collective(*kind, src, parallel)?
             }
-            _ => (0..world)
-                .map(|d| {
-                    let inputs: Vec<&Tensor> = node
-                        .inputs
-                        .iter()
-                        .map(|i| {
-                            values[i.index()].as_ref().map(|v| &v[d]).ok_or_else(|| {
-                                RuntimeError::Internal(format!(
-                                    "operand of '{}' freed before use",
-                                    node.name
-                                ))
-                            })
+            _ => pool.try_par_map_range(world, |d| {
+                let inputs: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|i| {
+                        values[i.index()].as_ref().map(|v| &v[d]).ok_or_else(|| {
+                            RuntimeError::Internal(format!(
+                                "operand of '{}' freed before use",
+                                node.name
+                            ))
                         })
-                        .collect::<Result<_, _>>()?;
-                    Ok(eval_node(g, node, &inputs)?)
-                })
-                .collect::<Result<_, RuntimeError>>()?,
+                    })
+                    .collect::<Result<_, RuntimeError>>()?;
+                eval_node(g, node, &inputs).map_err(RuntimeError::from)
+            })?,
         };
         debug_assert!(
             per_device.iter().all(|t| t.dims() == node.shape.dims()),

@@ -8,9 +8,24 @@
 //! explodes and the busy-time balance tilts toward the MME.
 //!
 //! Compiling a graph per simulated step would dwarf the simulation itself,
-//! so costs are cached per `(batch, bucketed length)` — the serving
-//! analog of SynapseAI's recipe cache, and the reason the scheduler
-//! quantizes context lengths to buckets at all.
+//! so compiled costs are memoized — the serving analog of SynapseAI's
+//! recipe cache, and the reason the scheduler quantizes context lengths to
+//! buckets at all. Memoization is two-level:
+//!
+//! * each [`CostModel`] keeps a private L1 keyed by `(batch, bucketed
+//!   length)` — a lock-free `HashMap` hit on every simulated phase;
+//! * L1 misses fall through to the [`PlanCache`] of the model's
+//!   [`CostContext`], keyed by the full
+//!   `(model/hardware/options/bucket/partition fingerprint, phase, batch,
+//!   bucketed length)` — shareable across data-parallel replicas and
+//!   across sweep configuration points, so the compiler runs **once per
+//!   distinct shape process-wide** instead of once per replica per point.
+//!
+//! The cache is safe to share between threads (the engine's replicas run
+//! on a [`gaudi_exec::ExecPool`]); a compile happens under the cache lock,
+//! so each shape is compiled exactly once no matter how many replicas race
+//! to it, and every caller gets back the *same* [`Arc`]'d entry — which is
+//! what the pointer-equality tests pin down.
 
 use crate::error::ServingError;
 use gaudi_compiler::{CompilerOptions, ExecutionPlan, GraphCompiler};
@@ -18,6 +33,7 @@ use gaudi_hw::{EngineId, GaudiConfig};
 use gaudi_models::decode::{build_decode_step, build_prefill};
 use gaudi_models::LlmConfig;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Compiled cost of one phase execution.
 #[derive(Debug, Clone, Copy, Default)]
@@ -66,27 +82,153 @@ impl PhaseCost {
     }
 }
 
-/// Caching cost model over one model + compiler configuration.
-pub struct CostModel {
+/// Which phase graph a cache entry prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Whole-prompt forward pass (emits the first output token).
+    Prefill,
+    /// One batched single-token decode step.
+    Decode,
+}
+
+/// Full identity of a compiled phase plan. The `config` component is a
+/// collision-free fingerprint of everything else that shapes the plan:
+/// model configuration, hardware model, compiler options, context bucket,
+/// and partition spec (serving phases are single-card, so the partition
+/// component is currently the constant `1-card replica`; a future
+/// tensor-parallel serving path would put its `PartitionSpec` here).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    config: Arc<str>,
+    phase: Phase,
+    batch: usize,
+    /// Bucket-quantized prompt/context length, tokens.
+    len: usize,
+}
+
+/// One memoized compilation: the plan's engine-busy summary, shared by
+/// [`Arc`] so repeated shapes are pointer-equal across replicas and sweep
+/// points.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledPhase {
+    /// The priced phase.
+    pub cost: PhaseCost,
+}
+
+/// Running totals of a [`PlanCache`]'s effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered without compiling.
+    pub hits: u64,
+    /// Lookups that compiled a new plan.
+    pub misses: u64,
+    /// Distinct plans currently cached (== `misses` unless cleared).
+    pub entries: usize,
+}
+
+/// A keyed, thread-safe memo of compiled phase plans.
+///
+/// The compile closure runs under the cache lock, so every distinct
+/// [`PlanKey`] is compiled exactly once even when many replicas race to
+/// the same cold shape, and all of them receive the same `Arc` entry.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct PlanCacheInner {
+    map: HashMap<PlanKey, Arc<CompiledPhase>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Fetch `key`, compiling (and memoizing) it on first sight.
+    pub fn get_or_compile(
+        &self,
+        key: PlanKey,
+        compile: impl FnOnce() -> Result<CompiledPhase, ServingError>,
+    ) -> Result<Arc<CompiledPhase>, ServingError> {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        if let Some(hit) = inner.map.get(&key).map(Arc::clone) {
+            inner.hits += 1;
+            return Ok(hit);
+        }
+        // Compile under the lock: a cold shape is compiled exactly once.
+        let compiled = Arc::new(compile()?);
+        inner.misses += 1;
+        inner.map.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Distinct plans cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache lock").map.len()
+    }
+
+    /// Whether nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/entry counters, for benchmarking and reports.
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.inner.lock().expect("plan cache lock");
+        PlanCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+/// Everything needed to compile and price phases for one combination of
+/// model, hardware, and compiler configuration: immutable and `Sync`,
+/// built once per serving simulation (or once per sweep) and shared by
+/// `Arc` across all replica [`CostModel`]s — replicas no longer clone the
+/// model, hardware, and option structs apiece.
+#[derive(Debug)]
+pub struct CostContext {
     compiler: GraphCompiler,
     model: LlmConfig,
     /// Context/prompt lengths are rounded up to a multiple of this before
     /// graph construction, bounding the number of distinct compilations.
     bucket: usize,
-    prefill_cache: HashMap<(usize, usize), PhaseCost>,
-    decode_cache: HashMap<(usize, usize), PhaseCost>,
+    /// Collision-free identity of this configuration inside [`PlanCache`]
+    /// keys (the cache may be shared across differently-configured sweep
+    /// points).
+    fingerprint: Arc<str>,
+    cache: Arc<PlanCache>,
 }
 
-impl CostModel {
-    /// Cost model for `model` on `hw` under compiler `opts`.
-    pub fn new(model: LlmConfig, hw: GaudiConfig, opts: CompilerOptions, bucket: usize) -> Self {
+impl CostContext {
+    /// Context for `model` on `hw` under compiler `opts`, memoizing into
+    /// `cache` (pass one `Arc` to every point of a sweep to share plans
+    /// across it).
+    pub fn new(
+        model: LlmConfig,
+        hw: GaudiConfig,
+        opts: CompilerOptions,
+        bucket: usize,
+        cache: Arc<PlanCache>,
+    ) -> Self {
         assert!(bucket > 0, "bucket must be positive");
-        CostModel {
+        let fingerprint: Arc<str> = format!(
+            "model={model:?}|hw={hw:?}|opts={opts:?}|bucket={bucket}|partition=1-card replica"
+        )
+        .into();
+        CostContext {
             compiler: GraphCompiler::new(hw, opts),
             model,
             bucket,
-            prefill_cache: HashMap::new(),
-            decode_cache: HashMap::new(),
+            fingerprint,
+            cache,
         }
     }
 
@@ -95,41 +237,138 @@ impl CostModel {
         len.max(1).div_ceil(self.bucket) * self.bucket
     }
 
+    /// The model being priced.
+    pub fn model(&self) -> &LlmConfig {
+        &self.model
+    }
+
+    /// The shared plan cache this context memoizes into.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Compile-or-fetch one phase at an already-bucketed length.
+    fn compiled(
+        &self,
+        phase: Phase,
+        batch: usize,
+        len: usize,
+    ) -> Result<Arc<CompiledPhase>, ServingError> {
+        let key = PlanKey {
+            config: Arc::clone(&self.fingerprint),
+            phase,
+            batch,
+            len,
+        };
+        self.cache.get_or_compile(key, || {
+            let graph = match phase {
+                Phase::Prefill => build_prefill(&self.model, batch, len)?.0,
+                Phase::Decode => build_decode_step(&self.model, batch, len)?.0,
+            };
+            let (_, plan) = self.compiler.compile(&graph)?;
+            Ok(CompiledPhase {
+                cost: PhaseCost::from_plan(&plan),
+            })
+        })
+    }
+}
+
+/// Caching cost model over one model + compiler configuration: a private
+/// per-replica L1 over a shared [`CostContext`].
+pub struct CostModel {
+    ctx: Arc<CostContext>,
+    prefill_l1: HashMap<(usize, usize), Arc<CompiledPhase>>,
+    decode_l1: HashMap<(usize, usize), Arc<CompiledPhase>>,
+}
+
+impl CostModel {
+    /// Cost model for `model` on `hw` under compiler `opts`, with a
+    /// private plan cache. To share compiled plans across replicas or
+    /// sweep points, build one [`CostContext`] and use
+    /// [`with_context`](Self::with_context) instead.
+    pub fn new(model: LlmConfig, hw: GaudiConfig, opts: CompilerOptions, bucket: usize) -> Self {
+        Self::with_context(Arc::new(CostContext::new(
+            model,
+            hw,
+            opts,
+            bucket,
+            Arc::new(PlanCache::new()),
+        )))
+    }
+
+    /// A cost model over a shared compile context: cheap to construct (no
+    /// config clones), and plan compilations are shared with every other
+    /// model on the same context.
+    pub fn with_context(ctx: Arc<CostContext>) -> Self {
+        CostModel {
+            ctx,
+            prefill_l1: HashMap::new(),
+            decode_l1: HashMap::new(),
+        }
+    }
+
+    /// Round a length up to its bucket.
+    pub fn bucketed(&self, len: usize) -> usize {
+        self.ctx.bucketed(len)
+    }
+
     /// Cost of prefilling a `[batch, prompt_len]` prompt batch.
     pub fn prefill(&mut self, batch: usize, prompt_len: usize) -> Result<PhaseCost, ServingError> {
-        let key = (batch, self.bucketed(prompt_len));
-        if let Some(c) = self.prefill_cache.get(&key) {
-            return Ok(*c);
+        Ok(self.prefill_compiled(batch, prompt_len)?.cost)
+    }
+
+    /// The shared cache entry behind [`prefill`](Self::prefill) — the same
+    /// `Arc` for every caller that asks for the same shape.
+    pub fn prefill_compiled(
+        &mut self,
+        batch: usize,
+        prompt_len: usize,
+    ) -> Result<Arc<CompiledPhase>, ServingError> {
+        let key = (batch, self.ctx.bucketed(prompt_len));
+        if let Some(hit) = self.prefill_l1.get(&key) {
+            return Ok(Arc::clone(hit));
         }
-        let (graph, _) = build_prefill(&self.model, key.0, key.1)?;
-        let (_, plan) = self.compiler.compile(&graph)?;
-        let cost = PhaseCost::from_plan(&plan);
-        self.prefill_cache.insert(key, cost);
-        Ok(cost)
+        let compiled = self.ctx.compiled(Phase::Prefill, key.0, key.1)?;
+        self.prefill_l1.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
     }
 
     /// Cost of one decode step for `batch` requests whose longest live
     /// context is `max_ctx` tokens.
     pub fn decode(&mut self, batch: usize, max_ctx: usize) -> Result<PhaseCost, ServingError> {
-        let key = (batch, self.bucketed(max_ctx));
-        if let Some(c) = self.decode_cache.get(&key) {
-            return Ok(*c);
-        }
-        let (graph, _) = build_decode_step(&self.model, key.0, key.1)?;
-        let (_, plan) = self.compiler.compile(&graph)?;
-        let cost = PhaseCost::from_plan(&plan);
-        self.decode_cache.insert(key, cost);
-        Ok(cost)
+        Ok(self.decode_compiled(batch, max_ctx)?.cost)
     }
 
-    /// Number of distinct graphs compiled so far (the recipe-cache size).
+    /// The shared cache entry behind [`decode`](Self::decode).
+    pub fn decode_compiled(
+        &mut self,
+        batch: usize,
+        max_ctx: usize,
+    ) -> Result<Arc<CompiledPhase>, ServingError> {
+        let key = (batch, self.ctx.bucketed(max_ctx));
+        if let Some(hit) = self.decode_l1.get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let compiled = self.ctx.compiled(Phase::Decode, key.0, key.1)?;
+        self.decode_l1.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Number of distinct phase shapes this model has priced (the
+    /// recipe-cache size as seen by one replica; a shared [`CostContext`]
+    /// may have compiled some of them on another replica's behalf).
     pub fn compiled_graphs(&self) -> usize {
-        self.prefill_cache.len() + self.decode_cache.len()
+        self.prefill_l1.len() + self.decode_l1.len()
     }
 
     /// The model being served.
     pub fn model(&self) -> &LlmConfig {
-        &self.model
+        self.ctx.model()
+    }
+
+    /// The shared compile context.
+    pub fn context(&self) -> &Arc<CostContext> {
+        &self.ctx
     }
 }
 
@@ -163,6 +402,82 @@ mod tests {
         let c = m.decode(2, 70).unwrap(); // next bucket
         assert_eq!(m.compiled_graphs(), 2);
         assert!(c.ms >= a.ms);
+    }
+
+    #[test]
+    fn shared_context_returns_pointer_equal_plans_across_replicas() {
+        let cache = Arc::new(PlanCache::new());
+        let ctx = Arc::new(CostContext::new(
+            model(),
+            GaudiConfig::hls1(),
+            CompilerOptions::default(),
+            64,
+            Arc::clone(&cache),
+        ));
+        let mut replica_a = CostModel::with_context(Arc::clone(&ctx));
+        let mut replica_b = CostModel::with_context(Arc::clone(&ctx));
+
+        let a = replica_a.decode_compiled(2, 10).unwrap();
+        let b = replica_b.decode_compiled(2, 60).unwrap(); // same bucket
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "repeated shapes must share one compiled plan"
+        );
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            },
+            "one compile, one hit"
+        );
+
+        // A different ctx bucket is a different plan…
+        let c = replica_a.decode_compiled(2, 70).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        // …and so is a different phase at the same shape.
+        let p = replica_a.prefill_compiled(2, 10).unwrap();
+        assert!(!Arc::ptr_eq(&a, &p));
+        assert_eq!(cache.len(), 3);
+
+        // L1 answers repeats without touching the shared cache again.
+        let before = cache.stats();
+        let a2 = replica_a.decode_compiled(2, 10).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(cache.stats(), before);
+    }
+
+    #[test]
+    fn distinct_bucket_configs_do_not_collide_in_a_shared_cache() {
+        let cache = Arc::new(PlanCache::new());
+        let coarse = Arc::new(CostContext::new(
+            model(),
+            GaudiConfig::hls1(),
+            CompilerOptions::default(),
+            64,
+            Arc::clone(&cache),
+        ));
+        let fine = Arc::new(CostContext::new(
+            model(),
+            GaudiConfig::hls1(),
+            CompilerOptions::default(),
+            16,
+            Arc::clone(&cache),
+        ));
+        let a = CostModel::with_context(coarse)
+            .decode_compiled(1, 10)
+            .unwrap();
+        let b = CostModel::with_context(fine)
+            .decode_compiled(1, 10)
+            .unwrap();
+        // Same nominal request, different bucketing: 64- vs 16-token graphs.
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+        assert!(
+            b.cost.ms <= a.cost.ms,
+            "finer bucket prices a smaller graph"
+        );
     }
 
     fn paper_cm() -> CostModel {

@@ -35,13 +35,14 @@
 //! phases that start inside them. Everything stays a pure function of the
 //! configuration: same seed, same plan, bit-identical report.
 
-use crate::cost::CostModel;
+use crate::cost::{CostContext, CostModel, PlanCache};
 use crate::error::ServingError;
 use crate::fault::{redistribute, Job, RedistributionPolicy};
 use crate::kv::{kv_bytes_per_token, weight_bytes, KvAccountant};
 use crate::report::{Percentiles, RequestOutcome, ServingReport};
 use crate::request::{generate_requests, Request, TrafficConfig};
 use gaudi_compiler::CompilerOptions;
+use gaudi_exec::ExecPool;
 use gaudi_hw::fault::FaultPlan;
 use gaudi_hw::{DeviceId, EngineId, GaudiConfig};
 use gaudi_models::LlmConfig;
@@ -49,6 +50,7 @@ use gaudi_profiler::trace::TraceEvent;
 use gaudi_profiler::Trace;
 use gaudi_tensor::DType;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Full configuration of a serving simulation.
 #[derive(Debug, Clone)]
@@ -133,6 +135,76 @@ impl ServingConfig {
     }
 }
 
+/// How compiled phase plans are shared between the replicas of a
+/// simulation (and possibly beyond it).
+#[derive(Debug, Clone, Default)]
+pub enum PlanSharing {
+    /// Every replica compiles privately, cloning the model/hardware/option
+    /// structs for its own [`CostModel`] — the legacy behavior, kept as
+    /// the benchmark baseline.
+    PerReplica,
+    /// One [`CostContext`] per `simulate` call: replicas share compiled
+    /// plans and borrow one set of configs instead of cloning them apiece.
+    #[default]
+    PerCall,
+    /// Memoize into a caller-provided [`PlanCache`], shared across calls —
+    /// sweep points with overlapping phase shapes compile each shape once
+    /// process-wide.
+    Shared(Arc<PlanCache>),
+}
+
+/// Execution policy for a serving simulation: where replica simulations
+/// run and how their compiled plans are shared. The result of a simulation
+/// is bit-identical under every policy — replicas are independent, the
+/// pool returns their results in input order, and plan sharing only
+/// changes *when* a shape is compiled, never what it costs.
+#[derive(Debug, Clone)]
+pub struct ExecPolicy {
+    /// Thread pool replica simulations fan out on ([`ExecPool::serial`]
+    /// runs them inline on the caller).
+    pub pool: ExecPool,
+    /// Plan-compilation sharing between replicas / across calls.
+    pub plans: PlanSharing,
+}
+
+impl Default for ExecPolicy {
+    /// Global process pool (`GAUDI_EXEC_THREADS` sizes it), plans shared
+    /// within the call.
+    fn default() -> Self {
+        ExecPolicy {
+            pool: ExecPool::global().clone(),
+            plans: PlanSharing::default(),
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// Everything inline on the caller, every replica compiling privately:
+    /// the pre-parallelism behavior, useful as a benchmark baseline and
+    /// for `GAUDI_EXEC_THREADS=1`-style determinism checks.
+    pub fn serial_baseline() -> Self {
+        ExecPolicy {
+            pool: ExecPool::serial(),
+            plans: PlanSharing::PerReplica,
+        }
+    }
+
+    /// Global pool, memoizing compilations into `cache` (share one cache
+    /// across a sweep to compile each distinct phase shape once).
+    pub fn shared(cache: Arc<PlanCache>) -> Self {
+        ExecPolicy {
+            pool: ExecPool::global().clone(),
+            plans: PlanSharing::Shared(cache),
+        }
+    }
+
+    /// The same policy with `pool` swapped in.
+    pub fn with_pool(mut self, pool: ExecPool) -> Self {
+        self.pool = pool;
+        self
+    }
+}
+
 /// A request currently holding a decode slot.
 #[derive(Debug)]
 struct Active {
@@ -165,12 +237,21 @@ struct ReplicaRun {
 /// while requests are outstanding, the simulation fails with
 /// [`ServingError::AllReplicasDead`].
 pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
+    simulate_with(cfg, &ExecPolicy::default())
+}
+
+/// [`simulate`] under an explicit [`ExecPolicy`]. The policy affects wall
+/// time only; the report is bit-identical across policies.
+pub fn simulate_with(
+    cfg: &ServingConfig,
+    policy: &ExecPolicy,
+) -> Result<ServingReport, ServingError> {
     if cfg.traffic.num_requests == 0 {
         return Err(ServingError::InvalidConfig(
             "traffic.num_requests must be positive".into(),
         ));
     }
-    simulate_trace(cfg, generate_requests(&cfg.traffic))
+    simulate_trace_with(cfg, generate_requests(&cfg.traffic), policy)
 }
 
 /// [`simulate`] over an explicit request trace instead of the seeded
@@ -179,7 +260,16 @@ pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
 /// processed in `(arrival, id)` order regardless of input order.
 pub fn simulate_trace(
     cfg: &ServingConfig,
+    requests: Vec<Request>,
+) -> Result<ServingReport, ServingError> {
+    simulate_trace_with(cfg, requests, &ExecPolicy::default())
+}
+
+/// [`simulate_trace`] under an explicit [`ExecPolicy`].
+pub fn simulate_trace_with(
+    cfg: &ServingConfig,
     mut requests: Vec<Request>,
+    policy: &ExecPolicy,
 ) -> Result<ServingReport, ServingError> {
     if cfg.max_batch == 0 {
         return Err(ServingError::InvalidConfig(
@@ -203,12 +293,42 @@ pub fn simulate_trace(
         .map(|s| s.iter().map(|j| j.req.total_tokens()).sum())
         .collect();
 
+    // One compile context shared by every replica of this call (unless the
+    // policy asks for the legacy per-replica compilation).
+    let ctx: Option<Arc<CostContext>> = match &policy.plans {
+        PlanSharing::PerReplica => None,
+        PlanSharing::PerCall => Some(Arc::new(CostContext::new(
+            cfg.model.clone(),
+            cfg.hw.clone(),
+            cfg.opts.clone(),
+            cfg.ctx_bucket,
+            Arc::new(PlanCache::new()),
+        ))),
+        PlanSharing::Shared(cache) => Some(Arc::new(CostContext::new(
+            cfg.model.clone(),
+            cfg.hw.clone(),
+            cfg.opts.clone(),
+            cfg.ctx_bucket,
+            Arc::clone(cache),
+        ))),
+    };
+    let make_cost = || match &ctx {
+        Some(c) => CostModel::with_context(Arc::clone(c)),
+        None => CostModel::new(
+            cfg.model.clone(),
+            cfg.hw.clone(),
+            cfg.opts.clone(),
+            cfg.ctx_bucket,
+        ),
+    };
+
     // Pass 1: every replica runs its own share (possibly dying mid-way).
-    let mut runs: Vec<ReplicaRun> = shards
-        .iter()
-        .enumerate()
-        .map(|(d, jobs)| simulate_replica(cfg, d, jobs.clone()))
-        .collect::<Result<_, _>>()?;
+    // Replicas are independent single-card simulations, so they fan out on
+    // the policy's pool; `try_par_map` returns results in input order and
+    // surfaces the lowest-index error, matching the serial semantics.
+    let mut runs: Vec<ReplicaRun> = policy.pool.try_par_map(&shards, |d, jobs| {
+        simulate_replica(cfg, d, jobs.clone(), make_cost())
+    })?;
 
     // Pass 2: re-queue orphans onto the survivors and re-simulate only the
     // replicas whose queues changed. Survivors never orphan (nothing kills
@@ -226,14 +346,27 @@ pub fn simulate_trace(
                 unserved: orphans.len(),
             });
         }
+        // Settle every affected queue first, then re-simulate them all in
+        // one parallel wave. A device's final run depends only on its final
+        // queue, so this is equivalent to re-simulating after each
+        // redistribution step — minus the redundant intermediate runs.
+        let mut affected: Vec<usize> = Vec::new();
         for (d, extra) in redistribute(orphans, &survivors, &shard_load, cfg.redistribution) {
             shards[d].extend(extra);
             shards[d].sort_by_key(|j| (j.submitted_us, j.req.id));
-            runs[d] = simulate_replica(cfg, d, shards[d].clone())?;
+            if !affected.contains(&d) {
+                affected.push(d);
+            }
+        }
+        let reruns = policy.pool.try_par_map(&affected, |_, &d| {
+            simulate_replica(cfg, d, shards[d].clone(), make_cost())
+        })?;
+        for (&d, rerun) in affected.iter().zip(reruns) {
             debug_assert!(
-                runs[d].orphans.is_empty(),
+                rerun.orphans.is_empty(),
                 "a surviving replica must not orphan work"
             );
+            runs[d] = rerun;
         }
     }
 
@@ -250,6 +383,7 @@ fn simulate_replica(
     cfg: &ServingConfig,
     replica: usize,
     jobs: Vec<Job>,
+    mut cost: CostModel,
 ) -> Result<ReplicaRun, ServingError> {
     let device = DeviceId(replica);
     let kill_at_ms = cfg.faults.kill_time_ms(device);
@@ -260,13 +394,6 @@ fn simulate_replica(
     let per_token = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
     let mut kv = KvAccountant::new(&cfg.hw.memory, weights, per_token)
         .map_err(ServingError::WeightsDontFit)?;
-
-    let mut cost = CostModel::new(
-        cfg.model.clone(),
-        cfg.hw.clone(),
-        cfg.opts.clone(),
-        cfg.ctx_bucket,
-    );
 
     // Reject outright only what can never fit; everything else queues.
     for j in &jobs {
@@ -887,7 +1014,7 @@ mod tests {
         let mut base_cfg = tiny_config();
         base_cfg.traffic.arrival_rate_per_s = 1e6;
         let baseline = simulate(&base_cfg).unwrap();
-        let mut cfg = base_cfg.clone();
+        let mut cfg = base_cfg;
         cfg.faults = FaultPlan::none().slow(0.0, 1e9, 2.0);
         let slowed = simulate(&cfg).unwrap();
         assert!(

@@ -50,10 +50,14 @@ pub mod kv;
 pub mod report;
 pub mod request;
 
-pub use cost::{CostModel, PhaseCost};
-pub use engine::{simulate, simulate_trace, ServingConfig};
+pub use cost::{CostContext, CostModel, PhaseCost, PlanCache, PlanCacheStats};
+pub use engine::{
+    simulate, simulate_trace, simulate_trace_with, simulate_with, ExecPolicy, PlanSharing,
+    ServingConfig,
+};
 pub use error::ServingError;
 pub use fault::{Job, RedistributionPolicy};
+pub use gaudi_exec::ExecPool;
 pub use gaudi_hw::fault::FaultPlan;
 pub use kv::{kv_bytes_per_token, weight_bytes, KvAccountant};
 pub use report::{Percentiles, RequestOutcome, ServingReport};

@@ -1,0 +1,186 @@
+//! Benchmark: serial vs parallel vs parallel+cached serving sweeps.
+//!
+//! Times the same 4-replica serving sweep three ways:
+//!
+//! 1. **serial** — cells run one after another on the caller, every
+//!    replica compiling its phase plans privately (the pre-`gaudi-exec`
+//!    behavior);
+//! 2. **parallel** — cells fan out across the execution pool, replicas of
+//!    a cell share one compile context, but cells do not share plans;
+//! 3. **parallel+cache** — cells fan out *and* memoize compiled plans into
+//!    one shared [`PlanCache`], so each distinct phase shape in the whole
+//!    sweep is compiled exactly once.
+//!
+//! The three runs must produce bit-identical reports (the pool returns
+//! results in input order and memoization never changes a cost); the
+//! harness asserts this, prints the timings, and writes them to
+//! `results/BENCH_4.json`. Without `--quick` it also enforces the
+//! acceptance gate: parallel+cache ≥ 2× faster than serial.
+//!
+//! ```sh
+//! cargo run --release --bin bench_harness [-- --quick] [--threads N]
+//! ```
+
+use gaudi_serving::{
+    simulate_with, ExecPolicy, PlanCache, PlanSharing, ServingConfig, ServingReport,
+};
+use habana_gaudi_study::bin_support::{report_digest, run_cells, serving_sweep_config, Flags};
+use habana_gaudi_study::exec::ExecPool;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DEVICES: usize = 4;
+
+fn cells(quick: bool) -> Vec<ServingConfig> {
+    let (rates, batches): (&[f64], &[usize]) = if quick {
+        (&[4.0, 16.0], &[8])
+    } else {
+        (&[1.0, 4.0, 16.0], &[4, 16])
+    };
+    rates
+        .iter()
+        .flat_map(|&rate| {
+            batches.iter().map(move |&b| {
+                let mut cfg = serving_sweep_config(rate, b, DEVICES);
+                if quick {
+                    cfg.traffic.num_requests = 24;
+                }
+                cfg
+            })
+        })
+        .collect()
+}
+
+struct Mode {
+    name: &'static str,
+    wall_ms: f64,
+    digest: String,
+    compiles: Option<u64>,
+}
+
+fn digest_all(reports: &[ServingReport]) -> String {
+    reports
+        .iter()
+        .map(report_digest)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let flags = Flags::parse(
+        "bench_harness [--quick] [--threads N]",
+        &["--threads"],
+        &["--quick"],
+    );
+    let quick = flags.switch("--quick");
+    let pool = flags.pool();
+    let cells = cells(quick);
+
+    println!(
+        "bench_harness: {} sweep cells, GPT-2-XL-class model, {DEVICES} data-parallel \
+         replicas/cell, pool concurrency {}\n",
+        cells.len(),
+        pool.concurrency()
+    );
+
+    // Mode 1: serial, per-replica compilation — the legacy baseline.
+    let t0 = Instant::now();
+    let serial_reports: Vec<ServingReport> = cells
+        .iter()
+        .map(|cfg| simulate_with(cfg, &ExecPolicy::serial_baseline()).expect("cell simulates"))
+        .collect();
+    let serial = Mode {
+        name: "serial",
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        digest: digest_all(&serial_reports),
+        compiles: None,
+    };
+
+    // Mode 2: parallel cells, per-call plan sharing, no cross-cell cache.
+    let t0 = Instant::now();
+    let policy = ExecPolicy {
+        pool: ExecPool::serial(),
+        plans: PlanSharing::PerCall,
+    };
+    let parallel_reports = pool.par_map(&cells, |_, cfg| {
+        simulate_with(cfg, &policy).expect("cell simulates")
+    });
+    let parallel = Mode {
+        name: "parallel",
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        digest: digest_all(&parallel_reports),
+        compiles: None,
+    };
+
+    // Mode 3: parallel cells over one shared plan cache.
+    let cache = Arc::new(PlanCache::new());
+    let t0 = Instant::now();
+    let cached_reports = run_cells(&pool, &cache, &cells);
+    let stats = cache.stats();
+    let cached = Mode {
+        name: "parallel+cache",
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        digest: digest_all(&cached_reports),
+        compiles: Some(stats.misses),
+    };
+
+    assert_eq!(
+        serial.digest, parallel.digest,
+        "parallel reports must be bit-identical to serial"
+    );
+    assert_eq!(
+        serial.digest, cached.digest,
+        "cached reports must be bit-identical to serial"
+    );
+    println!("all three modes produce bit-identical reports: true");
+    println!(
+        "shared plan cache: {} distinct shapes compiled, {} hits\n",
+        stats.misses, stats.hits
+    );
+
+    let modes = [&serial, &parallel, &cached];
+    for m in modes {
+        println!(
+            "  {:<15} {:>10.1} ms   {:.2}x{}",
+            m.name,
+            m.wall_ms,
+            serial.wall_ms / m.wall_ms,
+            match m.compiles {
+                Some(c) => format!("   ({c} compiles)"),
+                None => String::new(),
+            }
+        );
+    }
+
+    let speedup = serial.wall_ms / cached.wall_ms;
+    let json = format!(
+        "{{\n  \"benchmark\": \"serving sweep, {} cells x {} replicas, GPT-2-XL-class\",\n  \
+         \"quick\": {},\n  \"pool_concurrency\": {},\n  \
+         \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"parallel_cache_ms\": {:.3},\n  \
+         \"speedup_parallel\": {:.3},\n  \"speedup_parallel_cache\": {:.3},\n  \
+         \"cache_compiles\": {},\n  \"cache_hits\": {},\n  \"bit_identical\": true\n}}\n",
+        cells.len(),
+        DEVICES,
+        quick,
+        pool.concurrency(),
+        serial.wall_ms,
+        parallel.wall_ms,
+        cached.wall_ms,
+        serial.wall_ms / parallel.wall_ms,
+        speedup,
+        stats.misses,
+        stats.hits,
+    );
+    let out = std::path::Path::new("results").join("BENCH_4.json");
+    std::fs::create_dir_all("results").expect("results/ exists or is creatable");
+    std::fs::write(&out, &json).expect("BENCH_4.json is writable");
+    println!("\nwrote {}", out.display());
+
+    println!("\nparallel+cache speedup over serial: {speedup:.2}x (gate: >= 2x, full mode)");
+    if !quick {
+        assert!(
+            speedup >= 2.0,
+            "parallel+cache must be at least 2x faster than the serial baseline, got {speedup:.2}x"
+        );
+    }
+}

@@ -14,52 +14,26 @@
 //!    3-replica and 4-replica fault-free baselines (the box degrades into
 //!    something better than never having had the card),
 //! 3. re-running the whole sweep reproduces it bit-identically (faults are
-//!    part of the deterministic simulation, not noise on top of it).
+//!    part of the deterministic simulation, not noise on top of it) — and
+//!    that stays true when the cells fan out across threads, because the
+//!    execution pool returns results in input order and the shared plan
+//!    cache only memoizes compilations, never changes them.
 //!
 //! ```sh
-//! cargo run --release --bin fault_sweep
+//! cargo run --release --bin fault_sweep [-- --threads N]
 //! ```
 
 use gaudi_hw::DeviceId;
 use gaudi_profiler::report::TextTable;
-use gaudi_serving::{simulate, FaultPlan, ServingConfig, ServingReport, TrafficConfig};
+use gaudi_serving::{FaultPlan, PlanCache, ServingConfig, ServingReport};
+use habana_gaudi_study::bin_support::{fault_sweep_config, report_digest, run_cells, Flags};
+use std::sync::Arc;
 
-/// One shared stream: heavy enough that goodput is throughput-bound (adding
-/// replicas raises it), small enough that the sweep runs in seconds.
-fn base_config() -> ServingConfig {
-    let mut cfg = ServingConfig::paper_gpt();
-    cfg.traffic = TrafficConfig {
-        arrival_rate_per_s: 1500.0,
-        num_requests: 160,
-        prompt_range: (16, 64),
-        output_range: (4, 32),
-        zipf_s: 1.1,
-        seed: 42,
-    };
-    cfg.max_batch = 8;
-    cfg
-}
-
-fn run(devices: usize, faults: FaultPlan) -> ServingReport {
-    let mut cfg = base_config();
+fn cell(devices: usize, faults: FaultPlan) -> ServingConfig {
+    let mut cfg = fault_sweep_config();
     cfg.devices = devices;
     cfg.faults = faults;
-    simulate(&cfg).expect("sweep cell simulates")
-}
-
-/// Everything the determinism check compares, rendered to exact text.
-fn digest(r: &ServingReport) -> String {
-    format!(
-        "{:.6}|{:.6}|{:.6}|{:.6}|{}|{}|{}|{:.6}",
-        r.makespan_ms,
-        r.goodput_tokens_per_s,
-        r.ttft_ms.p99,
-        r.tpot_ms.p99,
-        r.completed.len(),
-        r.retries,
-        r.requeued_tokens,
-        r.availability()
-    )
+    cfg
 }
 
 struct SweepResult {
@@ -69,10 +43,11 @@ struct SweepResult {
     mid_kill_4: ServingReport,
 }
 
-fn sweep() -> SweepResult {
-    // Fault-free baselines, 1..=4 replicas.
-    let baselines: Vec<ServingReport> = (1..=4).map(|d| run(d, FaultPlan::none())).collect();
-    let mut digests: Vec<String> = baselines.iter().map(digest).collect();
+fn sweep(pool: &gaudi_exec::ExecPool, cache: &Arc<PlanCache>) -> SweepResult {
+    // Fault-free baselines, 1..=4 replicas: one parallel wave.
+    let baseline_cells: Vec<ServingConfig> = (1..=4).map(|d| cell(d, FaultPlan::none())).collect();
+    let baselines = run_cells(pool, cache, &baseline_cells);
+    let mut digests: Vec<String> = baselines.iter().map(report_digest).collect();
 
     let mut t = TextTable::new(&[
         "Replicas",
@@ -97,35 +72,47 @@ fn sweep() -> SweepResult {
         ]);
     }
 
-    let mut mid_kill_4 = None;
+    // Faulted cells derive their kill times from the baseline makespans,
+    // so they form a second wave over the same pool.
+    let mut faulted_cells: Vec<(usize, f64, f64)> = Vec::new();
     for devices in 2..=4usize {
         let clean_makespan = baselines[devices - 1].makespan_ms;
         for frac in [0.25, 0.5, 0.75] {
-            let kill_ms = clean_makespan * frac;
-            let r = run(
+            faulted_cells.push((devices, frac, clean_makespan * frac));
+        }
+    }
+    let faulted_cfgs: Vec<ServingConfig> = faulted_cells
+        .iter()
+        .map(|&(devices, _, kill_ms)| {
+            cell(
                 devices,
                 FaultPlan::none().kill(DeviceId(devices - 1), kill_ms),
-            );
-            assert_eq!(
-                r.completed.len(),
-                base_config().traffic.num_requests,
-                "{devices} replicas, kill at {kill_ms:.1} ms: requests were dropped"
-            );
-            assert_eq!(r.failed_replicas, 1);
-            digests.push(digest(&r));
-            t.row(&[
-                devices.to_string(),
-                format!("{frac:.2}"),
-                format!("{kill_ms:.1}"),
-                r.completed.len().to_string(),
-                r.retries.to_string(),
-                r.requeued_tokens.to_string(),
-                format!("{:.1}%", r.availability() * 100.0),
-                format!("{:.0}", r.goodput_tokens_per_s),
-            ]);
-            if devices == 4 && frac == 0.5 {
-                mid_kill_4 = Some(r);
-            }
+            )
+        })
+        .collect();
+    let faulted = run_cells(pool, cache, &faulted_cfgs);
+
+    let mut mid_kill_4 = None;
+    for (&(devices, frac, kill_ms), r) in faulted_cells.iter().zip(faulted) {
+        assert_eq!(
+            r.completed.len(),
+            fault_sweep_config().traffic.num_requests,
+            "{devices} replicas, kill at {kill_ms:.1} ms: requests were dropped"
+        );
+        assert_eq!(r.failed_replicas, 1);
+        digests.push(report_digest(&r));
+        t.row(&[
+            devices.to_string(),
+            format!("{frac:.2}"),
+            format!("{kill_ms:.1}"),
+            r.completed.len().to_string(),
+            r.retries.to_string(),
+            r.requeued_tokens.to_string(),
+            format!("{:.1}%", r.availability() * 100.0),
+            format!("{:.0}", r.goodput_tokens_per_s),
+        ]);
+        if devices == 4 && frac == 0.5 {
+            mid_kill_4 = Some(r);
         }
     }
 
@@ -138,7 +125,11 @@ fn sweep() -> SweepResult {
 }
 
 fn main() {
-    let cfg = base_config();
+    let flags = Flags::parse("fault_sweep [--threads N]", &["--threads"], &[]);
+    let pool = flags.pool();
+    let cache = Arc::new(PlanCache::new());
+
+    let cfg = fault_sweep_config();
     println!("Extension: fault injection with graceful degradation\n");
     println!(
         "{} requests at {} req/s (Poisson, Zipf lengths, seed {}), paper §3.4 GPT,\n\
@@ -147,7 +138,7 @@ fn main() {
         cfg.traffic.num_requests, cfg.traffic.arrival_rate_per_s, cfg.traffic.seed
     );
 
-    let s = sweep();
+    let s = sweep(&pool, &cache);
     println!("{}", s.table);
 
     let g3 = s.baseline_goodput[2];
@@ -168,8 +159,9 @@ fn main() {
     );
     println!("degraded goodput sits strictly between the baselines: true");
 
-    // Determinism: the entire sweep, faults included, must reproduce.
-    let again = sweep();
+    // Determinism: the entire sweep, faults included, must reproduce —
+    // the second pass runs against the warm plan cache.
+    let again = sweep(&pool, &cache);
     let reproducible = s.digest == again.digest;
     println!("re-run with identical seed reproduces every cell: {reproducible}");
     assert!(reproducible, "fault injection must be deterministic");

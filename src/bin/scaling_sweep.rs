@@ -15,11 +15,14 @@
 //!    constant while the global batch grows with the card count.
 //!
 //! ```sh
-//! cargo run --release --bin scaling_sweep [-- --max-devices N]
+//! cargo run --release --bin scaling_sweep [-- --max-devices N] [--threads N]
 //! ```
 //!
 //! With `--max-devices 4` (the CI smoke configuration) the run *fails* if
-//! 4-card strong scaling does not beat single-card prefill.
+//! 4-card strong scaling does not beat single-card prefill. `--threads N`
+//! fans the per-device-count partition+compile work across a thread pool;
+//! the printed tables are bit-identical regardless (results come back in
+//! input order).
 
 use gaudi_compiler::{
     partition, CompilerOptions, GraphCompiler, MultiDevicePlan, Parallelism, PartitionSpec,
@@ -29,24 +32,7 @@ use gaudi_hw::{DeviceId, EngineId, GaudiConfig, Topology};
 use gaudi_models::decode::{build_decode_step, build_prefill};
 use gaudi_models::LlmConfig;
 use gaudi_profiler::report::TextTable;
-
-fn parse_max_devices() -> usize {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [] => 8,
-        [flag, v] if flag == "--max-devices" => match v.parse::<usize>() {
-            Ok(n) if (1..=8).contains(&n) => n,
-            _ => {
-                eprintln!("--max-devices expects 1..=8, got '{v}'");
-                std::process::exit(2);
-            }
-        },
-        _ => {
-            eprintln!("usage: scaling_sweep [--max-devices N]");
-            std::process::exit(2);
-        }
-    }
-}
+use habana_gaudi_study::bin_support::Flags;
 
 /// The §3.4 GPT configuration at inference settings, vocab padded to a
 /// multiple of 8 so the LM head shards evenly across the full box.
@@ -60,7 +46,7 @@ fn model() -> LlmConfig {
 fn plan(graph: &Graph, parallel: Parallelism) -> MultiDevicePlan {
     let hw = GaudiConfig::hls1();
     let topo = Topology::hls1_box(&hw, parallel.world());
-    let compiler = GraphCompiler::new(hw.clone(), CompilerOptions::default());
+    let compiler = GraphCompiler::new(hw, CompilerOptions::default());
     let part = partition(graph, parallel, &PartitionSpec::llm()).expect("model partitions");
     let (_, plan) = compiler
         .compile_partitioned(&part, &topo)
@@ -78,7 +64,13 @@ fn mean_mme_util(p: &MultiDevicePlan) -> f64 {
 }
 
 fn main() {
-    let max_devices = parse_max_devices();
+    let flags = Flags::parse(
+        "scaling_sweep [--max-devices N] [--threads N]",
+        &["--max-devices", "--threads"],
+        &[],
+    );
+    let max_devices = flags.usize_in("--max-devices", 8, 1..=8);
+    let pool = flags.pool();
     let counts: Vec<usize> = [1usize, 2, 4, 8]
         .into_iter()
         .filter(|&p| p <= max_devices)
@@ -93,6 +85,7 @@ fn main() {
 
     // --- 1. strong scaling: tensor-parallel prefill -----------------------
     let (prefill, _) = build_prefill(&cfg, cfg.batch, 512).expect("prefill builds");
+    let strong_plans = pool.par_map(&counts, |_, &p| plan(&prefill, Parallelism::tensor(p)));
     let mut strong = TextTable::new(&[
         "Cards",
         "Makespan (ms)",
@@ -101,14 +94,13 @@ fn main() {
         "Collective share",
     ]);
     let mut strong_ms = Vec::new();
-    for &p in &counts {
-        let plan = plan(&prefill, Parallelism::tensor(p));
+    for (&p, plan) in counts.iter().zip(&strong_plans) {
         strong_ms.push(plan.makespan_ms());
         strong.row(&[
             p.to_string(),
             format!("{:.2}", plan.makespan_ms()),
             format!("{:.2}x", strong_ms[0] / plan.makespan_ms()),
-            format!("{:.1}%", mean_mme_util(&plan) * 100.0),
+            format!("{:.1}%", mean_mme_util(plan) * 100.0),
             format!("{:.1}%", plan.collective_share() * 100.0),
         ]);
     }
@@ -117,6 +109,7 @@ fn main() {
 
     // --- 2. decode: the launch-overhead floor resists sharding ------------
     let (decode, _) = build_decode_step(&cfg, cfg.batch, cfg.seq_len).expect("decode builds");
+    let dec_plans = pool.par_map(&counts, |_, &p| plan(&decode, Parallelism::tensor(p)));
     let mut dec = TextTable::new(&[
         "Cards",
         "Step (ms)",
@@ -125,14 +118,13 @@ fn main() {
         "Collective share",
     ]);
     let mut dec_ms = Vec::new();
-    for &p in &counts {
-        let plan = plan(&decode, Parallelism::tensor(p));
+    for (&p, plan) in counts.iter().zip(&dec_plans) {
         dec_ms.push(plan.makespan_ms());
         dec.row(&[
             p.to_string(),
             format!("{:.3}", plan.makespan_ms()),
             format!("{:.2}x", dec_ms[0] / plan.makespan_ms()),
-            format!("{:.1}%", mean_mme_util(&plan) * 100.0),
+            format!("{:.1}%", mean_mme_util(plan) * 100.0),
             format!("{:.1}%", plan.collective_share() * 100.0),
         ]);
     }
@@ -144,6 +136,10 @@ fn main() {
 
     // --- 3. weak scaling: data-parallel prefill ---------------------------
     let per_card_batch = 4;
+    let weak_plans = pool.par_map(&counts, |_, &p| {
+        let (g, _) = build_prefill(&cfg, per_card_batch * p, 512).expect("prefill builds");
+        plan(&g, Parallelism::data(p))
+    });
     let mut weak = TextTable::new(&[
         "Cards",
         "Global batch",
@@ -152,9 +148,7 @@ fn main() {
         "Collective share",
     ]);
     let mut weak_base = 0.0;
-    for &p in &counts {
-        let (g, _) = build_prefill(&cfg, per_card_batch * p, 512).expect("prefill builds");
-        let plan = plan(&g, Parallelism::data(p));
+    for (&p, plan) in counts.iter().zip(&weak_plans) {
         if p == 1 {
             weak_base = plan.makespan_ms();
         }

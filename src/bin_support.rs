@@ -1,0 +1,201 @@
+//! Shared plumbing for the workspace's sweep/benchmark binaries.
+//!
+//! Every `src/bin/*` sweep used to hand-roll the same three things: a tiny
+//! `--flag value` parser that exits with usage on bad input, the serving
+//! configurations it sweeps over, and a report digest for determinism
+//! checks. They live here once, together with the [`ExecPool`] wiring that
+//! lets each binary fan its sweep cells out over threads
+//! (`--threads N`, or the `GAUDI_EXEC_THREADS` environment variable for
+//! the global pool) while printing bit-identical output in input order.
+
+use gaudi_exec::ExecPool;
+use gaudi_serving::{
+    ExecPolicy, PlanCache, PlanSharing, ServingConfig, ServingReport, TrafficConfig,
+};
+use std::sync::Arc;
+
+/// Minimal `--flag value` / `--switch` command-line parser.
+///
+/// `value_flags` take one argument (`--devices 4`), `switches` take none
+/// (`--quick`). Anything else prints `usage` and exits with status 2 — the
+/// same contract every sweep binary implemented by hand before.
+pub struct Flags {
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+    usage: String,
+}
+
+impl Flags {
+    /// Parse the process arguments against the allowed flag lists.
+    pub fn parse(usage: &str, value_flags: &[&str], switches: &[&str]) -> Flags {
+        let mut out = Flags {
+            values: Vec::new(),
+            switches: Vec::new(),
+            usage: usage.to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if switches.contains(&arg.as_str()) {
+                out.switches.push(arg);
+            } else if value_flags.contains(&arg.as_str()) {
+                match args.next() {
+                    Some(v) => out.values.push((arg, v)),
+                    None => out.fail(&format!("{arg} expects a value")),
+                }
+            } else {
+                out.fail(&format!("unknown argument '{arg}'"));
+            }
+        }
+        out
+    }
+
+    fn fail(&self, why: &str) -> ! {
+        eprintln!("{why}\nusage: {}", self.usage);
+        std::process::exit(2);
+    }
+
+    /// Whether a no-argument switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A `usize` flag constrained to `range`, or `default` when absent.
+    pub fn usize_in(
+        &self,
+        name: &str,
+        default: usize,
+        range: std::ops::RangeInclusive<usize>,
+    ) -> usize {
+        match self.values.iter().rev().find(|(n, _)| n == name) {
+            None => default,
+            Some((_, v)) => match v.parse::<usize>() {
+                Ok(n) if range.contains(&n) => n,
+                _ => self.fail(&format!(
+                    "{name} expects an integer in {}..={}, got '{v}'",
+                    range.start(),
+                    range.end()
+                )),
+            },
+        }
+    }
+
+    /// The pool selected by `--threads N`: an explicit pool of that size,
+    /// or the process-global pool (honoring `GAUDI_EXEC_THREADS`) when the
+    /// flag is absent. `--threads 1` forces fully serial execution.
+    pub fn pool(&self) -> ExecPool {
+        match self.values.iter().rev().find(|(n, _)| n == "--threads") {
+            None => ExecPool::global().clone(),
+            Some(_) => ExecPool::new(self.usize_in("--threads", 0, 1..=256)),
+        }
+    }
+}
+
+/// The serving-sweep operating point: GPT-2-XL-class model, 60-request
+/// seeded Poisson/Zipf stream at `rate` req/s, continuous batching up to
+/// `max_batch`, served on `devices` data-parallel replicas.
+pub fn serving_sweep_config(rate: f64, max_batch: usize, devices: usize) -> ServingConfig {
+    let mut cfg = ServingConfig::gpt2_xl();
+    cfg.traffic = TrafficConfig {
+        arrival_rate_per_s: rate,
+        num_requests: 60,
+        prompt_range: (16, 512),
+        output_range: (8, 128),
+        zipf_s: 1.1,
+        seed: 42,
+    };
+    cfg.max_batch = max_batch;
+    cfg.devices = devices;
+    cfg
+}
+
+/// The fault-sweep stream: §3.4 GPT under load heavy enough that goodput
+/// is throughput-bound (adding replicas raises it), small enough that the
+/// sweep runs in seconds.
+pub fn fault_sweep_config() -> ServingConfig {
+    let mut cfg = ServingConfig::paper_gpt();
+    cfg.traffic = TrafficConfig {
+        arrival_rate_per_s: 1500.0,
+        num_requests: 160,
+        prompt_range: (16, 64),
+        output_range: (4, 32),
+        zipf_s: 1.1,
+        seed: 42,
+    };
+    cfg.max_batch = 8;
+    cfg
+}
+
+/// Everything a determinism check needs to compare, rendered to exact
+/// text: latency tails, goodput, completion/retry/availability counters.
+pub fn report_digest(r: &ServingReport) -> String {
+    format!(
+        "{:.6}|{:.6}|{:.6}|{:.6}|{}|{}|{}|{:.6}",
+        r.makespan_ms,
+        r.goodput_tokens_per_s,
+        r.ttft_ms.p99,
+        r.tpot_ms.p99,
+        r.completed.len(),
+        r.retries,
+        r.requeued_tokens,
+        r.availability()
+    )
+}
+
+/// Run one sweep cell per config on `pool`, memoizing compiled phase plans
+/// into `cache` so cells sharing shapes compile each shape once, and
+/// return the reports in input order (the pool's ordering guarantee — the
+/// printed sweep is bit-identical to a serial run).
+///
+/// The cells themselves are the parallel grain: each cell's replicas run
+/// inline on whichever thread picked the cell up, so an N-cell sweep never
+/// oversubscribes the pool with nested fan-out.
+pub fn run_cells(
+    pool: &ExecPool,
+    cache: &Arc<PlanCache>,
+    cells: &[ServingConfig],
+) -> Vec<ServingReport> {
+    let policy = ExecPolicy {
+        pool: ExecPool::serial(),
+        plans: PlanSharing::Shared(Arc::clone(cache)),
+    };
+    pool.par_map(cells, |_, cfg| {
+        gaudi_serving::simulate_with(cfg, &policy).expect("sweep cell simulates")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_configs_are_wellformed() {
+        let s = serving_sweep_config(4.0, 8, 2);
+        assert_eq!(s.devices, 2);
+        assert_eq!(s.max_batch, 8);
+        assert_eq!(s.traffic.seed, 42);
+        let f = fault_sweep_config();
+        assert_eq!(f.traffic.num_requests, 160);
+        assert!(!f.model.training);
+    }
+
+    #[test]
+    fn run_cells_matches_serial_simulation_cell_for_cell() {
+        let cells: Vec<ServingConfig> = [1, 2]
+            .into_iter()
+            .map(|d| {
+                let mut c = fault_sweep_config();
+                c.traffic.num_requests = 12;
+                c.devices = d;
+                c
+            })
+            .collect();
+        let cache = Arc::new(PlanCache::new());
+        let pool = ExecPool::new(3);
+        let parallel = run_cells(&pool, &cache, &cells);
+        for (cfg, report) in cells.iter().zip(&parallel) {
+            let serial = gaudi_serving::simulate_with(cfg, &ExecPolicy::serial_baseline()).unwrap();
+            assert_eq!(report_digest(report), report_digest(&serial));
+        }
+        assert!(cache.stats().entries > 0, "cells must memoize their plans");
+    }
+}

@@ -9,6 +9,8 @@
 //! workspace reproduces the study on a from-scratch **Gaudi-class simulator**:
 //!
 //! * [`tensor`] — CPU tensor numerics (the datapath reference),
+//! * [`exec`] — deterministic parallel execution (an order-preserving
+//!   work-stealing pool shared by the runtime, serving engine, and sweeps),
 //! * [`hw`] — the hardware model (MME, TPC cluster, DMA, HBM, RoCE),
 //! * [`tpc`] — the TPC VLIW kernel programming model and cycle-counting VM,
 //! * [`graph`] — compute-graph IR with shape inference and autograd,
@@ -27,6 +29,7 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
 
+pub mod bin_support;
 mod error;
 mod session;
 
@@ -34,6 +37,7 @@ pub use error::GaudiError;
 pub use session::{GaudiSession, GaudiSessionBuilder};
 
 pub use gaudi_compiler as compiler;
+pub use gaudi_exec as exec;
 pub use gaudi_graph as graph;
 pub use gaudi_hw as hw;
 pub use gaudi_models as models;
@@ -50,11 +54,15 @@ pub mod prelude {
     pub use gaudi_compiler::{
         CompilerOptions, GraphCompiler, MultiDevicePlan, Parallelism, PartitionSpec, SchedulerKind,
     };
+    pub use gaudi_exec::ExecPool;
     pub use gaudi_graph::{CollectiveKind, Graph, NodeId, OpKind};
     pub use gaudi_hw::{DeviceId, FaultPlan, GaudiConfig, Topology};
     pub use gaudi_models::{ActivationKind, AttentionKind, TransformerLayerConfig};
     pub use gaudi_profiler::{Trace, TraceAnalysis};
     pub use gaudi_runtime::{Feeds, MultiRunReport, NumericsMode, RunReport, Runtime};
-    pub use gaudi_serving::{RedistributionPolicy, ServingConfig, ServingReport, TrafficConfig};
+    pub use gaudi_serving::{
+        ExecPolicy, PlanCache, PlanSharing, RedistributionPolicy, ServingConfig, ServingReport,
+        TrafficConfig,
+    };
     pub use gaudi_tensor::{DType, SeededRng, Shape, Tensor};
 }

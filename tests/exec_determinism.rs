@@ -1,0 +1,191 @@
+//! Parallel execution must be invisible in the results.
+//!
+//! The `gaudi-exec` pool promises order-preserving fan-out, and the layers
+//! built on it (serving replicas, sweep cells, sharded interpretation)
+//! promise that a parallel run is *bit-identical* to a serial one — that
+//! is what lets CI gate on two-run reproducibility with and without
+//! threads. These tests pin the promise end to end.
+
+use habana_gaudi_study::exec::ExecPool;
+use habana_gaudi_study::prelude::*;
+use habana_gaudi_study::serving::{simulate_with, Request};
+use habana_gaudi_study::tensor::Tensor;
+use std::sync::Arc;
+
+fn serving_config(devices: usize) -> ServingConfig {
+    let mut cfg = ServingConfig::paper_gpt();
+    cfg.traffic = TrafficConfig {
+        arrival_rate_per_s: 800.0,
+        num_requests: 48,
+        prompt_range: (16, 64),
+        output_range: (4, 24),
+        zipf_s: 1.1,
+        seed: 13,
+    };
+    cfg.max_batch = 6;
+    cfg.ctx_bucket = 64;
+    cfg.devices = devices;
+    cfg
+}
+
+/// Every comparable field of a report, including the per-request outcomes
+/// and the full trace, rendered to exact text (`ServingReport` itself has
+/// no `PartialEq`; `Debug` covers every field bit-for-bit).
+fn full_digest(r: &ServingReport) -> String {
+    format!("{r:?}")
+}
+
+fn policies(cache: &Arc<PlanCache>) -> Vec<(&'static str, ExecPolicy)> {
+    vec![
+        ("serial baseline", ExecPolicy::serial_baseline()),
+        (
+            "serial pool, per-call plans",
+            ExecPolicy {
+                pool: ExecPool::serial(),
+                plans: PlanSharing::PerCall,
+            },
+        ),
+        (
+            "4 threads, per-call plans",
+            ExecPolicy {
+                pool: ExecPool::new(4),
+                plans: PlanSharing::PerCall,
+            },
+        ),
+        (
+            "4 threads, shared cache",
+            ExecPolicy {
+                pool: ExecPool::new(4),
+                plans: PlanSharing::Shared(Arc::clone(cache)),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn serving_report_is_bit_identical_across_policies() {
+    let cfg = serving_config(4);
+    let cache = Arc::new(PlanCache::new());
+    let reference = full_digest(&simulate_with(&cfg, &ExecPolicy::serial_baseline()).unwrap());
+    for (name, policy) in policies(&cache) {
+        let got = full_digest(&simulate_with(&cfg, &policy).unwrap());
+        assert_eq!(got, reference, "policy '{name}' diverged from serial");
+    }
+    // The warm-cache second run must also be identical.
+    let warm = ExecPolicy {
+        pool: ExecPool::new(4),
+        plans: PlanSharing::Shared(cache),
+    };
+    assert_eq!(full_digest(&simulate_with(&cfg, &warm).unwrap()), reference);
+}
+
+#[test]
+fn faulted_serving_run_is_bit_identical_across_policies() {
+    // Kill a replica mid-run: the orphan redistribution + re-simulation
+    // pass is the trickiest parallel path, so pin it explicitly.
+    let mut cfg = serving_config(3);
+    cfg.faults = FaultPlan::none().kill(DeviceId(2), 15.0);
+    let cache = Arc::new(PlanCache::new());
+    let reference = simulate_with(&cfg, &ExecPolicy::serial_baseline()).unwrap();
+    assert_eq!(reference.failed_replicas, 1);
+    assert!(reference.retries > 0, "the kill must actually orphan work");
+    for (name, policy) in policies(&cache) {
+        let got = simulate_with(&cfg, &policy).unwrap();
+        assert_eq!(
+            full_digest(&got),
+            full_digest(&reference),
+            "policy '{name}' diverged from serial on the faulted run"
+        );
+    }
+}
+
+#[test]
+fn explicit_trace_replay_is_policy_independent() {
+    let cfg = serving_config(2);
+    let requests: Vec<Request> = (0..20)
+        .map(|i| Request {
+            id: i,
+            arrival_us: i * 700,
+            prompt_len: 16 + (i as usize % 5) * 8,
+            output_len: 3 + (i as usize % 7),
+        })
+        .collect();
+    let serial = habana_gaudi_study::serving::simulate_trace_with(
+        &cfg,
+        requests.clone(),
+        &ExecPolicy::serial_baseline(),
+    )
+    .unwrap();
+    let parallel = habana_gaudi_study::serving::simulate_trace_with(
+        &cfg,
+        requests,
+        &ExecPolicy {
+            pool: ExecPool::new(3),
+            plans: PlanSharing::PerCall,
+        },
+    )
+    .unwrap();
+    assert_eq!(full_digest(&serial), full_digest(&parallel));
+}
+
+/// Megatron MLP used by the partitioned-run checks.
+fn mlp(d: usize, hidden: usize) -> Graph {
+    let mut g = Graph::new();
+    let x = g.input("x", &[4, 8, d]).unwrap();
+    let w1 = g.parameter("mlp.fc1.w", &[d, hidden]).unwrap();
+    let h = g.matmul(x, w1).unwrap();
+    let h = g
+        .activation(habana_gaudi_study::graph::Activation::Gelu, h)
+        .unwrap();
+    let w2 = g.parameter("mlp.fc2.w", &[hidden, d]).unwrap();
+    let y = g.matmul(h, w2).unwrap();
+    g.mark_output(y);
+    g
+}
+
+#[test]
+fn partitioned_run_outputs_and_trace_are_bit_identical_across_pools() {
+    let g = mlp(16, 32);
+    let mut rng = habana_gaudi_study::tensor::SeededRng::new(11);
+    let x = Tensor::randn(&[4, 8, 16], 1.0, &mut rng).unwrap();
+    let feeds = Feeds::auto(3).with_input("x", x);
+
+    let serial_rt = Runtime::hls1().with_exec(ExecPool::serial());
+    let parallel_rt = Runtime::hls1().with_exec(ExecPool::new(4));
+    for parallel in [Parallelism::tensor(4), Parallelism::data(2)] {
+        let spec = PartitionSpec {
+            batch_inputs: vec!["x".into()],
+            ..PartitionSpec::llm()
+        };
+        let a = serial_rt
+            .run_partitioned(&g, parallel, &spec, &feeds, NumericsMode::Full)
+            .unwrap();
+        let b = parallel_rt
+            .run_partitioned(&g, parallel, &spec, &feeds, NumericsMode::Full)
+            .unwrap();
+        assert_eq!(a.outputs.len(), b.outputs.len());
+        for (ta, tb) in a.outputs.iter().zip(&b.outputs) {
+            assert_eq!(ta.dims(), tb.dims());
+            assert_eq!(ta.data(), tb.data(), "numerics diverged under threads");
+        }
+        assert_eq!(a.makespan_ms, b.makespan_ms);
+        assert_eq!(
+            format!("{:?}", a.trace.events()),
+            format!("{:?}", b.trace.events()),
+            "trace diverged under threads"
+        );
+    }
+}
+
+#[test]
+fn pool_surfaces_the_lowest_index_error_like_serial_collect() {
+    // try_par_map's error selection must match a serial `collect::<Result>`:
+    // the first (lowest-index) failing item wins, regardless of which
+    // thread fails first.
+    let pool = ExecPool::new(4);
+    let items: Vec<usize> = (0..64).collect();
+    let err = pool
+        .try_par_map(&items, |_, &i| if i % 7 == 3 { Err(i) } else { Ok(i * 2) })
+        .unwrap_err();
+    assert_eq!(err, 3);
+}

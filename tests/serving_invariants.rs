@@ -116,7 +116,7 @@ proptest! {
         let merged = simulate_trace(&cfg, requests.clone()).unwrap();
 
         // Re-run each round-robin shard on its own single-card config.
-        let mut single = cfg.clone();
+        let mut single = cfg;
         single.devices = 1;
         let mut parts = Vec::new();
         for d in 0..devices {
