@@ -18,13 +18,24 @@
 //! * **Card failure** ([`CardFailure`]): the device stops at `at_ms`. The
 //!   serving layer halts that replica at the next phase boundary at or
 //!   after the failure time and re-queues its unfinished work elsewhere.
+//!   A failure with `restart_after_ms` is *transient*: the card comes back
+//!   `restart_after_ms` later with cold caches (the serving layer rebuilds
+//!   its compiled-plan cache and the replica rejoins the dispatch pool).
 //! * **Link degradation** ([`LinkDegradation`]): an inter-card edge runs at
 //!   `factor` × nominal bandwidth. Ring collectives pace to the slowest
 //!   participating link, so [`crate::Topology`] prices collectives against
 //!   the bottleneck factor (see [`crate::Topology::bottleneck_factor`]).
+//!   A degradation with a `window` is a *flap*: the edge is degraded only
+//!   inside `[start_ms, end_ms)` and nominal outside it.
 //! * **Slowdown window** ([`Slowdown`]): compute phases starting inside
 //!   `[start_ms, end_ms)` take `factor` × their nominal time, on one card
 //!   or box-wide.
+//!
+//! [`FaultPlan::validate`] rejects contradictory schedules — a second kill
+//! of a device inside an earlier kill's down window (or after a permanent
+//! kill), duplicate degradations of the same edge whose active windows
+//! overlap — with a descriptive error instead of letting last-write-wins
+//! pick a silent winner.
 
 use crate::topology::DeviceId;
 
@@ -35,6 +46,10 @@ pub struct CardFailure {
     pub device: DeviceId,
     /// Failure time in simulated milliseconds (≥ 0).
     pub at_ms: f64,
+    /// Down-time before the card restarts, ms. `None` means the failure is
+    /// permanent; `Some(d)` means the card is back (with cold caches) at
+    /// `at_ms + d`, the end of the half-open down window `[at_ms, at_ms+d)`.
+    pub restart_after_ms: Option<f64>,
 }
 
 /// One inter-card link running below nominal bandwidth.
@@ -46,6 +61,10 @@ pub struct LinkDegradation {
     pub b: DeviceId,
     /// Remaining bandwidth fraction, in `(0, 1]`.
     pub factor: f64,
+    /// Active window `[start_ms, end_ms)`, or `None` for a permanent
+    /// degradation. A windowed entry models a link flap: nominal bandwidth
+    /// outside the window.
+    pub window: Option<(f64, f64)>,
 }
 
 /// A transient window in which compute runs slower than nominal.
@@ -96,6 +115,46 @@ pub enum FaultError {
         /// The offending factor.
         factor: f64,
     },
+    /// A restart delay is zero, negative, or not finite.
+    BadRestart {
+        /// The device whose restart delay is malformed.
+        device: DeviceId,
+        /// The kill time the delay is attached to.
+        at_ms: f64,
+        /// The offending delay.
+        restart_after_ms: f64,
+    },
+    /// Two failures of the same device contradict each other: the second
+    /// kill lands inside the first one's down window (or after a permanent
+    /// kill — a dead card cannot die again).
+    OverlappingFailures {
+        /// The doubly-killed device.
+        device: DeviceId,
+        /// The earlier kill time.
+        first_ms: f64,
+        /// The contradictory later kill time.
+        second_ms: f64,
+    },
+    /// A link-flap window is empty, reversed, negative, or not finite.
+    BadLinkWindow {
+        /// One endpoint of the edge.
+        a: DeviceId,
+        /// The other endpoint.
+        b: DeviceId,
+        /// Window start, ms.
+        start_ms: f64,
+        /// Window end, ms.
+        end_ms: f64,
+    },
+    /// Two degradations of the same edge are simultaneously active: their
+    /// windows overlap (a permanent degradation overlaps everything), so
+    /// the edge's bandwidth would be ambiguous.
+    OverlappingLinkDegradations {
+        /// One endpoint of the doubly-degraded edge.
+        a: DeviceId,
+        /// The other endpoint.
+        b: DeviceId,
+    },
 }
 
 impl std::fmt::Display for FaultError {
@@ -125,6 +184,40 @@ impl std::fmt::Display for FaultError {
                 "slowdown window [{start_ms}, {end_ms}) ms with factor {factor} \
                  must be non-empty with factor >= 1"
             ),
+            FaultError::BadRestart {
+                device,
+                at_ms,
+                restart_after_ms,
+            } => write!(
+                f,
+                "restart delay {restart_after_ms} ms for {device} killed at \
+                 {at_ms} ms must be finite and > 0"
+            ),
+            FaultError::OverlappingFailures {
+                device,
+                first_ms,
+                second_ms,
+            } => write!(
+                f,
+                "{device} is killed at {second_ms} ms while already down from \
+                 the kill at {first_ms} ms — failures of one device must not \
+                 overlap"
+            ),
+            FaultError::BadLinkWindow {
+                a,
+                b,
+                start_ms,
+                end_ms,
+            } => write!(
+                f,
+                "link {a}-{b} flap window [{start_ms}, {end_ms}) ms must be \
+                 non-empty, finite, and start at >= 0"
+            ),
+            FaultError::OverlappingLinkDegradations { a, b } => write!(
+                f,
+                "link {a}-{b} has two degradations active at the same time — \
+                 their windows must not overlap"
+            ),
         }
     }
 }
@@ -134,9 +227,12 @@ impl std::error::Error for FaultError {}
 /// A deterministic schedule of hardware faults for one simulated box.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
-    /// Whole-card failures (a device may appear once; the earliest wins).
+    /// Whole-card failures. A device may fail repeatedly, but
+    /// [`FaultPlan::validate`] requires the down windows to be disjoint
+    /// (and nothing may follow a permanent kill).
     pub card_failures: Vec<CardFailure>,
-    /// Degraded inter-card links.
+    /// Degraded inter-card links (permanent or windowed flaps; windows on
+    /// the same edge must not overlap).
     pub link_degradations: Vec<LinkDegradation>,
     /// Transient compute-slowdown windows.
     pub slowdowns: Vec<Slowdown>,
@@ -155,16 +251,54 @@ impl FaultPlan {
             && self.slowdowns.is_empty()
     }
 
-    /// Add a whole-card failure: `device` dies at `at_ms`.
+    /// Add a permanent whole-card failure: `device` dies at `at_ms`.
     pub fn kill(mut self, device: DeviceId, at_ms: f64) -> Self {
-        self.card_failures.push(CardFailure { device, at_ms });
+        self.card_failures.push(CardFailure {
+            device,
+            at_ms,
+            restart_after_ms: None,
+        });
         self
     }
 
-    /// Degrade the `a`–`b` link to `factor` × nominal bandwidth.
+    /// Add a transient whole-card failure: `device` dies at `at_ms` and
+    /// restarts (cold caches) after `down_ms` of down-time.
+    pub fn kill_for(mut self, device: DeviceId, at_ms: f64, down_ms: f64) -> Self {
+        self.card_failures.push(CardFailure {
+            device,
+            at_ms,
+            restart_after_ms: Some(down_ms),
+        });
+        self
+    }
+
+    /// Permanently degrade the `a`–`b` link to `factor` × nominal bandwidth.
     pub fn degrade_link(mut self, a: DeviceId, b: DeviceId, factor: f64) -> Self {
-        self.link_degradations
-            .push(LinkDegradation { a, b, factor });
+        self.link_degradations.push(LinkDegradation {
+            a,
+            b,
+            factor,
+            window: None,
+        });
+        self
+    }
+
+    /// Flap the `a`–`b` link: `factor` × nominal bandwidth inside
+    /// `[start_ms, end_ms)`, nominal outside it.
+    pub fn flap_link(
+        mut self,
+        a: DeviceId,
+        b: DeviceId,
+        factor: f64,
+        start_ms: f64,
+        end_ms: f64,
+    ) -> Self {
+        self.link_degradations.push(LinkDegradation {
+            a,
+            b,
+            factor,
+            window: Some((start_ms, end_ms)),
+        });
         self
     }
 
@@ -196,15 +330,22 @@ impl FaultPlan {
     /// (SplitMix64; no OS entropy anywhere).
     ///
     /// Roughly one in four cards dies at a uniform time in the horizon
-    /// (device 0 is spared so at least one replica survives), one in four
-    /// adjacent links degrades to 25–100% bandwidth, and half of all plans
-    /// carry one box-wide 1–3× slowdown window.
+    /// (device 0 is spared so at least one replica survives) — half of the
+    /// deaths are transient, restarting after 5–30% of the horizon — one
+    /// in four adjacent links degrades to 25–100% bandwidth, and half of
+    /// all plans carry one box-wide 1–3× slowdown window.
     pub fn seeded(seed: u64, devices: usize, horizon_ms: f64) -> Self {
         let mut rng = SplitMix64::new(seed);
         let mut plan = FaultPlan::none();
         for d in 1..devices {
             if rng.uniform() < 0.25 {
-                plan = plan.kill(DeviceId(d), rng.uniform() * horizon_ms);
+                let at = rng.uniform() * horizon_ms;
+                plan = if rng.uniform() < 0.5 {
+                    let down = (0.05 + 0.25 * rng.uniform()) * horizon_ms;
+                    plan.kill_for(DeviceId(d), at, down)
+                } else {
+                    plan.kill(DeviceId(d), at)
+                };
             }
         }
         for d in 1..devices {
@@ -230,6 +371,42 @@ impl FaultPlan {
             .min_by(|a, b| a.partial_cmp(b).expect("failure times are finite"))
     }
 
+    /// The up/down transition schedule of `device`, sorted by time: each
+    /// kill contributes `(at_ms, false)`, and a transient kill additionally
+    /// contributes `(at_ms + restart_after_ms, true)` for the restart.
+    /// Empty when the plan never touches the device.
+    pub fn transitions(&self, device: DeviceId) -> Vec<(f64, bool)> {
+        let mut out = Vec::new();
+        for c in self.card_failures.iter().filter(|c| c.device == device) {
+            out.push((c.at_ms, false));
+            if let Some(d) = c.restart_after_ms {
+                out.push((c.at_ms + d, true));
+            }
+        }
+        out.sort_by(|x, y| x.partial_cmp(y).expect("failure times are finite"));
+        out
+    }
+
+    /// Whether `device` is inside a down window at `t_ms` (kills are
+    /// inclusive at `at_ms`, restarts exclusive at `at_ms + restart`).
+    pub fn is_down(&self, device: DeviceId, t_ms: f64) -> bool {
+        self.card_failures
+            .iter()
+            .filter(|c| c.device == device)
+            .any(|c| t_ms >= c.at_ms && c.restart_after_ms.is_none_or(|d| t_ms < c.at_ms + d))
+    }
+
+    /// The link degradations active at `t_ms`: permanent entries plus
+    /// every flap whose window contains the instant. The result is what a
+    /// topology snapshot at `t_ms` should be degraded with.
+    pub fn link_degradations_at(&self, t_ms: f64) -> Vec<LinkDegradation> {
+        self.link_degradations
+            .iter()
+            .filter(|l| l.window.is_none_or(|(s, e)| s <= t_ms && t_ms < e))
+            .copied()
+            .collect()
+    }
+
     /// Combined slowdown multiplier for a phase starting at `t_ms` on
     /// `device`: the product of every active window that targets the
     /// device or the whole box. `1.0` when nothing is active.
@@ -242,8 +419,11 @@ impl FaultPlan {
             .product()
     }
 
-    /// Reject plans that reference missing devices, carry malformed times,
-    /// or use out-of-range factors. `devices` is the box size.
+    /// Reject plans that reference missing devices, carry malformed times
+    /// or out-of-range factors, or schedule contradictory windows: a kill
+    /// of a device that is already down (inside an earlier kill's restart
+    /// window, or after a permanent kill), or two degradations of the same
+    /// edge whose active windows overlap. `devices` is the box size.
     pub fn validate(&self, devices: usize) -> Result<(), FaultError> {
         let check_dev = |device: DeviceId| {
             if device.index() >= devices {
@@ -260,6 +440,43 @@ impl FaultPlan {
                     at_ms: c.at_ms,
                 });
             }
+            if let Some(d) = c.restart_after_ms {
+                if !d.is_finite() || d <= 0.0 {
+                    return Err(FaultError::BadRestart {
+                        device: c.device,
+                        at_ms: c.at_ms,
+                        restart_after_ms: d,
+                    });
+                }
+            }
+        }
+        // Per device, down windows must be disjoint: sort kills by time and
+        // require each to start at or after the previous window's end (a
+        // permanent kill's window never ends, so nothing may follow it).
+        for d in 0..devices {
+            let mut kills: Vec<&CardFailure> = self
+                .card_failures
+                .iter()
+                .filter(|c| c.device == DeviceId(d))
+                .collect();
+            kills.sort_by(|x, y| {
+                x.at_ms
+                    .partial_cmp(&y.at_ms)
+                    .expect("failure times are finite")
+            });
+            for pair in kills.windows(2) {
+                let overlap = match pair[0].restart_after_ms {
+                    None => true, // dead forever; a second kill contradicts
+                    Some(r) => pair[1].at_ms < pair[0].at_ms + r,
+                };
+                if overlap {
+                    return Err(FaultError::OverlappingFailures {
+                        device: DeviceId(d),
+                        first_ms: pair[0].at_ms,
+                        second_ms: pair[1].at_ms,
+                    });
+                }
+            }
         }
         for l in &self.link_degradations {
             check_dev(l.a)?;
@@ -270,6 +487,36 @@ impl FaultPlan {
                     b: l.b,
                     factor: l.factor,
                 });
+            }
+            if let Some((s, e)) = l.window {
+                if !s.is_finite() || !e.is_finite() || s < 0.0 || e <= s {
+                    return Err(FaultError::BadLinkWindow {
+                        a: l.a,
+                        b: l.b,
+                        start_ms: s,
+                        end_ms: e,
+                    });
+                }
+            }
+        }
+        // Per undirected edge, at most one degradation may be active at any
+        // instant; a permanent entry (no window) is active always.
+        let edge = |l: &LinkDegradation| {
+            let (x, y) = (l.a.index(), l.b.index());
+            (x.min(y), x.max(y))
+        };
+        for (i, l) in self.link_degradations.iter().enumerate() {
+            for m in &self.link_degradations[i + 1..] {
+                if edge(l) != edge(m) {
+                    continue;
+                }
+                let overlap = match (l.window, m.window) {
+                    (None, _) | (_, None) => true,
+                    (Some((s1, e1)), Some((s2, e2))) => s1 < e2 && s2 < e1,
+                };
+                if overlap {
+                    return Err(FaultError::OverlappingLinkDegradations { a: l.a, b: l.b });
+                }
             }
         }
         for s in &self.slowdowns {
@@ -336,8 +583,8 @@ mod tests {
     #[test]
     fn builders_compose_and_query() {
         let p = FaultPlan::none()
+            .kill_for(DeviceId(2), 30.0, 10.0)
             .kill(DeviceId(2), 50.0)
-            .kill(DeviceId(2), 30.0)
             .degrade_link(DeviceId(0), DeviceId(1), 0.5)
             .slow(10.0, 20.0, 2.0)
             .slow_device(Some(DeviceId(1)), 15.0, 25.0, 3.0);
@@ -350,6 +597,110 @@ mod tests {
         // Window ends are exclusive.
         assert_eq!(p.slowdown_factor(DeviceId(0), 20.0), 1.0);
         assert!(p.validate(4).is_ok());
+    }
+
+    #[test]
+    fn transitions_and_is_down_track_restart_windows() {
+        let p = FaultPlan::none()
+            .kill_for(DeviceId(1), 20.0, 10.0)
+            .kill(DeviceId(1), 50.0);
+        assert_eq!(
+            p.transitions(DeviceId(1)),
+            vec![(20.0, false), (30.0, true), (50.0, false)]
+        );
+        assert_eq!(p.transitions(DeviceId(0)), vec![]);
+        assert!(!p.is_down(DeviceId(1), 19.9));
+        assert!(p.is_down(DeviceId(1), 20.0), "kill edge is inclusive");
+        assert!(p.is_down(DeviceId(1), 29.9));
+        assert!(!p.is_down(DeviceId(1), 30.0), "restart edge is exclusive");
+        assert!(p.is_down(DeviceId(1), 50.0));
+        assert!(p.is_down(DeviceId(1), 1e12), "the second kill is permanent");
+        assert!(p.validate(2).is_ok());
+    }
+
+    #[test]
+    fn link_flaps_window_the_degradation() {
+        let p = FaultPlan::none()
+            .flap_link(DeviceId(0), DeviceId(1), 0.5, 10.0, 20.0)
+            .degrade_link(DeviceId(1), DeviceId(2), 0.75);
+        assert!(p.validate(3).is_ok());
+        let active = |t: f64| {
+            p.link_degradations_at(t)
+                .iter()
+                .map(|l| (l.a.index(), l.b.index()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(active(5.0), [(1, 2)], "flap not yet active");
+        assert_eq!(active(10.0), [(0, 1), (1, 2)], "flap start is inclusive");
+        assert_eq!(active(20.0), [(1, 2)], "flap end is exclusive");
+    }
+
+    #[test]
+    fn validation_rejects_contradictory_windows() {
+        // A second kill inside the first kill's down window.
+        let inside = FaultPlan::none()
+            .kill_for(DeviceId(1), 10.0, 20.0)
+            .kill(DeviceId(1), 15.0);
+        assert!(matches!(
+            inside.validate(2),
+            Err(FaultError::OverlappingFailures {
+                device: DeviceId(1),
+                ..
+            })
+        ));
+        // Any kill after a permanent kill of the same device.
+        let after_permanent =
+            FaultPlan::none()
+                .kill(DeviceId(1), 10.0)
+                .kill_for(DeviceId(1), 50.0, 5.0);
+        assert!(matches!(
+            after_permanent.validate(2),
+            Err(FaultError::OverlappingFailures { .. })
+        ));
+        // Duplicate kills at the same instant.
+        let dup = FaultPlan::none()
+            .kill(DeviceId(1), 10.0)
+            .kill(DeviceId(1), 10.0);
+        assert!(matches!(
+            dup.validate(2),
+            Err(FaultError::OverlappingFailures { .. })
+        ));
+        // Back-to-back transient kills with disjoint windows are fine.
+        let disjoint =
+            FaultPlan::none()
+                .kill_for(DeviceId(1), 10.0, 5.0)
+                .kill_for(DeviceId(1), 15.0, 5.0);
+        assert!(disjoint.validate(2).is_ok());
+        // Malformed restart delay.
+        let bad_restart = FaultPlan::none().kill_for(DeviceId(1), 10.0, 0.0);
+        assert!(matches!(
+            bad_restart.validate(2),
+            Err(FaultError::BadRestart { .. })
+        ));
+        // Duplicate degradations of one edge (order-insensitive endpoints).
+        let dup_link = FaultPlan::none()
+            .degrade_link(DeviceId(0), DeviceId(1), 0.5)
+            .flap_link(DeviceId(1), DeviceId(0), 0.75, 5.0, 10.0);
+        assert!(matches!(
+            dup_link.validate(2),
+            Err(FaultError::OverlappingLinkDegradations { .. })
+        ));
+        // Disjoint flaps of one edge are fine.
+        let flaps = FaultPlan::none()
+            .flap_link(DeviceId(0), DeviceId(1), 0.5, 0.0, 5.0)
+            .flap_link(DeviceId(0), DeviceId(1), 0.75, 5.0, 10.0);
+        assert!(flaps.validate(2).is_ok());
+        // Malformed flap window.
+        let bad_window = FaultPlan::none().flap_link(DeviceId(0), DeviceId(1), 0.5, 8.0, 8.0);
+        assert!(matches!(
+            bad_window.validate(2),
+            Err(FaultError::BadLinkWindow { .. })
+        ));
+        // Every rejection renders a descriptive message.
+        for plan in [inside, after_permanent, dup, dup_link, bad_window] {
+            let msg = plan.validate(2).unwrap_err().to_string();
+            assert!(!msg.is_empty());
+        }
     }
 
     #[test]

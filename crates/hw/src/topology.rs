@@ -253,11 +253,13 @@ mod tests {
                 a: DeviceId(1),
                 b: DeviceId(2),
                 factor: 0.5,
+                window: None,
             }])
             .degraded(&[LinkDegradation {
                 a: DeviceId(0),
                 b: DeviceId(1),
                 factor: 0.8,
+                window: None,
             }]);
         assert_eq!(degraded.bottleneck_factor(), 0.5);
         // Bandwidth term doubles; latency term is unchanged.
@@ -276,6 +278,7 @@ mod tests {
             a: DeviceId(2),
             b: DeviceId(3),
             factor: 1.0,
+            window: None,
         }]);
         assert_eq!(degraded.bottleneck_factor(), 1.0);
         let bytes = 64u64 << 20;

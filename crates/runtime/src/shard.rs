@@ -474,6 +474,7 @@ mod tests {
                 a: DeviceId(0),
                 b: DeviceId(1),
                 factor: 0.25,
+                window: None,
             },
         ]);
         let slow = rt

@@ -1,16 +1,20 @@
 //! The serving engine: continuous batching at decode-step boundaries.
 //!
-//! The simulator advances a single device clock through an
-//! iteration-level (Orca-style) schedule:
+//! The simulator advances each replica's clock through an iteration-level
+//! (Orca-style) schedule:
 //!
 //! 1. ingest arrivals into a FIFO admission queue — re-checked after
 //!    *every* phase, so requests landing during a long prefill or decode
 //!    step become schedulable (and visible to `max_queue_depth`) at the
-//!    phase boundary, not a full iteration later;
+//!    phase boundary, not a full iteration later. Ingestion is where the
+//!    [`RobustnessConfig`] sheds: an arrival that would push the queue
+//!    past its depth or token bound terminates as rejected, and a queued
+//!    request whose TTFT or end-to-end deadline has already lapsed
+//!    terminates as timed-out before wasting a prefill;
 //! 2. at every step boundary, admit queued requests while the decode
 //!    batch has a slot *and* the KV accountant accepts the request's
 //!    worst-case reservation (otherwise: backpressure — the request
-//!    waits, it is never dropped);
+//!    waits, it is never silently dropped);
 //! 3. admission runs the request's prefill as a dedicated phase (the
 //!    engine is busy for its full duration). The prefill's last forward
 //!    pass emits the request's **first output token**, so TTFT is
@@ -19,28 +23,37 @@
 //! 4. one decode step advances *every* running request by one token;
 //!    requests that reach their output length retire at the boundary and
 //!    free their KV reservation immediately, opening slots for the queue.
+//!    A running request that can no longer meet its end-to-end deadline
+//!    is cancelled at the boundary, returning its KV pages to the queue.
 //!
-//! Every phase is priced by the [`CostModel`], so
-//! the same §3.3/§3.4 hardware calibration that reproduces the paper's
-//! training figures also sets TTFT and per-token latency here.
+//! Every phase is priced by the [`CostModel`], so the same §3.3/§3.4
+//! hardware calibration that reproduces the paper's training figures also
+//! sets TTFT and per-token latency here.
 //!
-//! ## Fault injection
+//! ## Fault injection and recovery
 //!
-//! A [`FaultPlan`] in the configuration makes replicas mortal. A replica
-//! whose card the plan kills halts at the first phase boundary at or
-//! after the failure time; its in-flight, queued, and not-yet-arrived
-//! requests are re-queued (retry count bumped, tokens generated so far
-//! discarded) and redistributed over the surviving replicas under the
-//! configured [`RedistributionPolicy`]. Slowdown windows stretch the
-//! phases that start inside them. Everything stays a pure function of the
+//! A [`FaultPlan`] in the configuration makes replicas mortal, and kills
+//! turn the run into a single-pass event-driven simulation: replicas
+//! advance to quiescence below the next fault or arrival event, then the
+//! event is delivered. A killed replica halts at the first phase boundary
+//! at or after the failure time; its in-flight, queued, and
+//! dispatched-but-unarrived requests are re-queued through the central
+//! dispatcher with deterministic exponential backoff (retry count bumped,
+//! generated tokens discarded) — or terminated as failed once the retry
+//! budget is spent. A kill with a restart window brings the card back with
+//! a **cold recipe cache** (its compiled phase plans are recompiled on
+//! demand), and the recovered replica immediately rejoins the round-robin
+//! / least-loaded dispatch pool. Slowdown windows stretch the phases that
+//! start inside them. Everything stays a pure function of the
 //! configuration: same seed, same plan, bit-identical report.
 
-use crate::cost::{CostContext, CostModel, PlanCache};
+use crate::cost::{CostContext, CostModel, PhaseCost, PlanCache};
 use crate::error::ServingError;
-use crate::fault::{redistribute, Job, RedistributionPolicy};
+use crate::fault::{Job, RedistributionPolicy};
 use crate::kv::{kv_bytes_per_token, weight_bytes, KvAccountant};
-use crate::report::{Percentiles, RequestOutcome, ServingReport};
+use crate::report::{DropKind, DroppedRequest, Percentiles, RequestOutcome, ServingReport};
 use crate::request::{generate_requests, Request, TrafficConfig};
+use crate::robustness::RobustnessConfig;
 use gaudi_compiler::CompilerOptions;
 use gaudi_exec::ExecPool;
 use gaudi_hw::fault::FaultPlan;
@@ -49,7 +62,7 @@ use gaudi_models::LlmConfig;
 use gaudi_profiler::trace::TraceEvent;
 use gaudi_profiler::Trace;
 use gaudi_tensor::DType;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Full configuration of a serving simulation.
@@ -74,11 +87,16 @@ pub struct ServingConfig {
     /// holding a full model copy and taking a round-robin share of the
     /// request stream.
     pub devices: usize,
-    /// Deterministic fault schedule: card failures, degraded links, and
-    /// slowdown windows. [`FaultPlan::none`] (the default) is steady state.
+    /// Deterministic fault schedule: card failures (with optional restart
+    /// windows), degraded links, and slowdown windows. [`FaultPlan::none`]
+    /// (the default) is steady state.
     pub faults: FaultPlan,
     /// How requests orphaned by a card failure spread over the survivors.
     pub redistribution: RedistributionPolicy,
+    /// Overload protection: admission bounds, SLO deadlines, retry budget,
+    /// and backoff. The default ([`RobustnessConfig::unlimited`]) never
+    /// sheds, expires, or fails a request.
+    pub robustness: RobustnessConfig,
 }
 
 impl ServingConfig {
@@ -98,6 +116,7 @@ impl ServingConfig {
             devices: 1,
             faults: FaultPlan::none(),
             redistribution: RedistributionPolicy::default(),
+            robustness: RobustnessConfig::default(),
         }
     }
 
@@ -126,6 +145,7 @@ impl ServingConfig {
             devices: 1,
             faults: FaultPlan::none(),
             redistribution: RedistributionPolicy::default(),
+            robustness: RobustnessConfig::default(),
         }
     }
 
@@ -215,27 +235,493 @@ struct Active {
     outcome: RequestOutcome,
 }
 
-/// One replica's simulation result: its report plus whatever the fault
-/// plan made it drop.
-struct ReplicaRun {
-    report: ServingReport,
-    orphans: Vec<Job>,
+/// One data-parallel replica as an incremental state machine.
+///
+/// [`Replica::step`] runs at most one timed phase and never *starts* a
+/// phase at `clock_ms >= limit_ms`; a phase that started strictly before
+/// the limit may straddle it (kills take effect at the next phase
+/// boundary, exactly like the SynapseAI runtime draining a launched
+/// recipe). Driving `step` with `limit_ms = ∞` runs the replica to
+/// completion; the event loop in [`simulate_box`] instead advances every
+/// replica to quiescence below the next fault or dispatch event.
+struct Replica<'a> {
+    cfg: &'a ServingConfig,
+    device: DeviceId,
+    cost: CostModel,
+    kv: KvAccountant,
+    /// Dispatched to this replica but not yet arrived, in submission order.
+    pending: VecDeque<Job>,
+    /// The FIFO admission queue.
+    waiting: VecDeque<Job>,
+    /// Worst-case token footprint of the admission queue.
+    waiting_tokens: usize,
+    running: Vec<Active>,
+    completed: Vec<RequestOutcome>,
+    dropped: Vec<DroppedRequest>,
+    clock_ms: f64,
+    up: bool,
+    down_since: Option<f64>,
+    down_ms: f64,
+    kills: usize,
+    restarts: usize,
+    /// Token work enqueued but not yet terminated (least-loaded dispatch).
+    outstanding_tokens: usize,
+    mme_busy_ns: f64,
+    tpc_busy_ns: f64,
+    dma_busy_ns: f64,
+    nic_busy_ns: f64,
+    decode_steps: usize,
+    prefills: usize,
+    backpressure_stalls: usize,
+    max_queue_depth: usize,
+    peak_queued_tokens: usize,
+    requeued_tokens: usize,
+    /// Graphs compiled by cost models retired at restarts (cold-cache
+    /// recovery recompiles, and the report counts every compilation).
+    compiled_graphs_retired: usize,
+    trace: Trace,
+}
+
+impl<'a> Replica<'a> {
+    fn new(
+        cfg: &'a ServingConfig,
+        device: DeviceId,
+        cost: CostModel,
+    ) -> Result<Self, ServingError> {
+        let weights = weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
+        let per_token = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+        let kv = KvAccountant::new(&cfg.hw.memory, weights, per_token)
+            .map_err(ServingError::WeightsDontFit)?;
+        Ok(Replica {
+            cfg,
+            device,
+            cost,
+            kv,
+            pending: VecDeque::new(),
+            waiting: VecDeque::new(),
+            waiting_tokens: 0,
+            running: Vec::new(),
+            completed: Vec::new(),
+            dropped: Vec::new(),
+            clock_ms: 0.0,
+            up: true,
+            down_since: None,
+            down_ms: 0.0,
+            kills: 0,
+            restarts: 0,
+            outstanding_tokens: 0,
+            mme_busy_ns: 0.0,
+            tpc_busy_ns: 0.0,
+            dma_busy_ns: 0.0,
+            nic_busy_ns: 0.0,
+            decode_steps: 0,
+            prefills: 0,
+            backpressure_stalls: 0,
+            max_queue_depth: 0,
+            peak_queued_tokens: 0,
+            requeued_tokens: 0,
+            compiled_graphs_retired: 0,
+            trace: Trace::new(),
+        })
+    }
+
+    /// Hand this replica a dispatched job (it arrives at its submission
+    /// time; the replica ingests it at the next phase boundary past that).
+    fn enqueue(&mut self, job: Job) {
+        self.outstanding_tokens += job.req.total_tokens();
+        self.pending.push_back(job);
+    }
+
+    /// Execute one priced phase: advance the clock and the busy counters.
+    fn record(&mut self, name: &str, c: &PhaseCost) {
+        record_phase(&mut self.trace, name, self.clock_ms, c);
+        self.clock_ms += c.ms;
+        self.mme_busy_ns += c.mme_busy_ns;
+        self.tpc_busy_ns += c.tpc_busy_ns;
+        self.dma_busy_ns += c.dma_busy_ns;
+        self.nic_busy_ns += c.nic_busy_ns;
+    }
+
+    /// File a terminal drop record for `job` and release its accounting.
+    fn drop_job(&mut self, job: Job, kind: DropKind, at_ms: f64, tokens_generated: usize) {
+        self.outstanding_tokens = self
+            .outstanding_tokens
+            .saturating_sub(job.req.total_tokens());
+        self.dropped.push(DroppedRequest {
+            id: job.req.id,
+            arrival_ms: job.req.arrival_ms(),
+            kind,
+            at_ms,
+            retries: job.retries,
+            tokens_generated,
+        });
+    }
+
+    /// Terminally fail an orphan whose retry budget is exhausted. The job
+    /// is already out of every queue (its halt drained it), so this only
+    /// files the drop record.
+    fn record_failure(&mut self, job: Job, at_ms: f64) {
+        self.dropped.push(DroppedRequest {
+            id: job.req.id,
+            arrival_ms: job.req.arrival_ms(),
+            kind: DropKind::Failed,
+            at_ms,
+            retries: job.retries,
+            tokens_generated: 0,
+        });
+    }
+
+    /// Ingest arrivals (shedding past the queue bounds), refresh the depth
+    /// gauges, and expire queued requests whose deadlines already lapsed.
+    /// Runs at every phase boundary so arrivals during long phases are
+    /// never invisible to the bounds.
+    fn housekeep(&mut self) {
+        let rb = &self.cfg.robustness;
+        while self
+            .pending
+            .front()
+            .is_some_and(|j| j.submitted_ms() <= self.clock_ms)
+        {
+            let job = self.pending.pop_front().expect("front checked");
+            let tokens = job.req.total_tokens();
+            let full = rb.max_queue_depth.is_some_and(|d| self.waiting.len() >= d)
+                || rb
+                    .max_queued_tokens
+                    .is_some_and(|t| self.waiting_tokens + tokens > t);
+            if full {
+                let at = self.clock_ms;
+                self.drop_job(job, DropKind::Rejected, at, 0);
+            } else {
+                self.waiting_tokens += tokens;
+                self.waiting.push_back(job);
+            }
+        }
+        self.max_queue_depth = self.max_queue_depth.max(self.waiting.len());
+        self.peak_queued_tokens = self.peak_queued_tokens.max(self.waiting_tokens);
+
+        if rb.ttft_deadline_ms.is_some() || rb.deadline_ms.is_some() {
+            let clock = self.clock_ms;
+            let mut keep = VecDeque::with_capacity(self.waiting.len());
+            for j in std::mem::take(&mut self.waiting) {
+                let waited = clock - j.req.arrival_ms();
+                let expired = rb.ttft_deadline_ms.is_some_and(|d| waited > d)
+                    || rb.deadline_ms.is_some_and(|d| waited > d);
+                if expired {
+                    self.waiting_tokens -= j.req.total_tokens();
+                    self.drop_job(j, DropKind::TimedOut, clock, 0);
+                } else {
+                    keep.push_back(j);
+                }
+            }
+            self.waiting = keep;
+        }
+    }
+
+    /// Free a finished request's KV reservation and classify it: completed
+    /// if every SLO held, a timed-out drop (throughput, not goodput) if it
+    /// finished past its end-to-end deadline.
+    fn retire(&mut self, a: Active) {
+        self.kv.release(a.job.req.total_tokens());
+        let Active {
+            job,
+            outcome,
+            generated,
+            ..
+        } = a;
+        let latency = outcome.finish_ms - outcome.arrival_ms;
+        if self.cfg.robustness.deadline_ms.is_some_and(|d| latency > d) {
+            let at = outcome.finish_ms;
+            self.drop_job(job, DropKind::TimedOut, at, generated);
+        } else {
+            self.outstanding_tokens = self
+                .outstanding_tokens
+                .saturating_sub(job.req.total_tokens());
+            self.completed.push(outcome);
+        }
+    }
+
+    /// Run at most one timed phase, never starting one at or past
+    /// `limit_ms`. Returns `Ok(true)` if the replica made progress and
+    /// should be stepped again, `Ok(false)` once it is quiescent below the
+    /// limit (down, out of work, or waiting on an event past the limit).
+    fn step(&mut self, limit_ms: f64) -> Result<bool, ServingError> {
+        if !self.up {
+            return Ok(false);
+        }
+        self.housekeep();
+
+        // Admission: one prefill per step, so the caller's limit is
+        // re-checked between back-to-back admissions.
+        if self.running.len() < self.cfg.max_batch && self.clock_ms < limit_ms {
+            if let Some(front) = self.waiting.front() {
+                if self.kv.try_reserve(front.req.total_tokens()).is_ok() {
+                    let job = self.waiting.pop_front().expect("front checked");
+                    self.waiting_tokens -= job.req.total_tokens();
+                    let queue_ms = self.clock_ms - job.submitted_ms();
+                    let factor = self.cfg.faults.slowdown_factor(self.device, self.clock_ms);
+                    let c = self.cost.prefill(1, job.req.prompt_len)?.scaled(factor);
+                    // Deadline-aware admission: the prefill is priced
+                    // before it runs, so a request that could only produce
+                    // its first token past the TTFT SLO is dropped without
+                    // wasting the engine time — the load-shedding analogue
+                    // of a server's "estimated wait exceeds timeout" check.
+                    let ttft_ms = self.clock_ms + c.ms - job.req.arrival_ms();
+                    if self
+                        .cfg
+                        .robustness
+                        .ttft_deadline_ms
+                        .is_some_and(|d| ttft_ms > d)
+                    {
+                        self.kv.release(job.req.total_tokens());
+                        let at = self.clock_ms;
+                        self.drop_job(job, DropKind::TimedOut, at, 0);
+                        return Ok(true);
+                    }
+                    self.record("prefill", &c);
+                    self.prefills += 1;
+                    // The prefill's final forward pass emits the first
+                    // output token: TTFT is queueing + prefill, measured
+                    // from the request's original arrival.
+                    let outcome = RequestOutcome {
+                        id: job.req.id,
+                        arrival_ms: job.req.arrival_ms(),
+                        prompt_len: job.req.prompt_len,
+                        output_len: job.req.output_len,
+                        queue_ms,
+                        ttft_ms,
+                        retries: job.retries,
+                        finish_ms: 0.0,
+                        token_times_ms: {
+                            let mut t = Vec::with_capacity(job.req.output_len);
+                            t.push(self.clock_ms);
+                            t
+                        },
+                    };
+                    if job.req.output_len == 1 {
+                        // Single-token request: prefill completed it.
+                        let mut outcome = outcome;
+                        outcome.finish_ms = self.clock_ms;
+                        self.retire(Active {
+                            ctx: job.req.prompt_len + 1,
+                            generated: 1,
+                            outcome,
+                            job,
+                        });
+                    } else {
+                        self.running.push(Active {
+                            ctx: job.req.prompt_len + 1,
+                            generated: 1,
+                            outcome,
+                            job,
+                        });
+                    }
+                    return Ok(true);
+                }
+                // FIFO backpressure: wait for retirements, never starve
+                // or reorder past the queue head.
+                self.backpressure_stalls += 1;
+                debug_assert!(
+                    !self.running.is_empty(),
+                    "an idle engine always admits a pre-validated request"
+                );
+            }
+        }
+
+        // One decode step advances every running request by one token.
+        if !self.running.is_empty() && self.clock_ms < limit_ms {
+            let batch = self.running.len();
+            let max_ctx = self.running.iter().map(|a| a.ctx).max().unwrap_or(1);
+            let factor = self.cfg.faults.slowdown_factor(self.device, self.clock_ms);
+            let c = self.cost.decode(batch, max_ctx)?.scaled(factor);
+            self.record("decode", &c);
+            self.decode_steps += 1;
+
+            let mut i = 0;
+            while i < self.running.len() {
+                let a = &mut self.running[i];
+                a.generated += 1;
+                a.ctx += 1;
+                a.outcome.token_times_ms.push(self.clock_ms);
+                if a.generated == a.job.req.output_len {
+                    let mut finished = self.running.swap_remove(i);
+                    finished.outcome.finish_ms = self.clock_ms;
+                    self.retire(finished);
+                } else {
+                    i += 1;
+                }
+            }
+            // Cancel unfinished requests that already blew their e2e
+            // deadline — their KV pages back the queue instead of feeding
+            // tokens nobody is waiting for.
+            if let Some(d) = self.cfg.robustness.deadline_ms {
+                let mut i = 0;
+                while i < self.running.len() {
+                    if self.clock_ms - self.running[i].outcome.arrival_ms > d {
+                        let a = self.running.swap_remove(i);
+                        self.kv.release(a.job.req.total_tokens());
+                        let at = self.clock_ms;
+                        self.drop_job(a.job, DropKind::TimedOut, at, a.generated);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            return Ok(true);
+        }
+
+        // Idle: jump to the next dispatched arrival, if it precedes the
+        // limit (the event loop owns anything past it).
+        if self.running.is_empty() && self.waiting.is_empty() {
+            if let Some(next) = self.pending.front() {
+                let target = self.clock_ms.max(next.submitted_ms());
+                if target < limit_ms {
+                    self.clock_ms = target;
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Kill the replica at `at_ms`: every unfinished request — in-flight,
+    /// queued, or dispatched-but-unarrived — is returned for the
+    /// coordinator to re-dispatch. In-flight work loses its generated
+    /// tokens (the simulator models no KV-cache migration).
+    fn halt(&mut self, at_ms: f64) -> Vec<Job> {
+        self.up = false;
+        self.down_since = Some(at_ms);
+        self.kills += 1;
+        let mut orphans = Vec::new();
+        for a in self.running.drain(..) {
+            self.requeued_tokens += a.generated;
+            self.kv.release(a.job.req.total_tokens());
+            orphans.push(a.job);
+        }
+        orphans.extend(self.waiting.drain(..));
+        orphans.extend(self.pending.drain(..));
+        self.waiting_tokens = 0;
+        for j in &orphans {
+            self.outstanding_tokens = self.outstanding_tokens.saturating_sub(j.req.total_tokens());
+        }
+        debug_assert_eq!(self.outstanding_tokens, 0, "halt drains all work");
+        orphans
+    }
+
+    /// Bring the replica back at `at_ms` with a **cold** compiled-plan
+    /// cache: a restarted SynapseAI process recompiles its recipes, so the
+    /// warm cost model is retired (its compilations still count) and a
+    /// fresh one takes over.
+    fn restart(&mut self, at_ms: f64, cost: CostModel) {
+        let since = self.down_since.take().expect("restart of an up replica");
+        self.down_ms += at_ms - since;
+        self.up = true;
+        self.clock_ms = self.clock_ms.max(at_ms);
+        self.restarts += 1;
+        self.compiled_graphs_retired += self.cost.compiled_graphs();
+        self.cost = cost;
+    }
+
+    /// Consume the replica into its single-device report.
+    fn finalize(mut self) -> ServingReport {
+        self.completed.sort_by_key(|o| o.id);
+        self.dropped.sort_by_key(|d| d.id);
+        let clock_ms = self.clock_ms;
+        let span_ns = clock_ms * 1e6;
+        let goodput_tokens: usize = self.completed.iter().map(|o| o.output_len).sum();
+        let wasted_tokens: usize = self.dropped.iter().map(|d| d.tokens_generated).sum();
+        let retries: usize = self
+            .completed
+            .iter()
+            .map(|o| o.retries as usize)
+            .sum::<usize>()
+            + self
+                .dropped
+                .iter()
+                .map(|d| d.retries as usize)
+                .sum::<usize>();
+
+        let ttft = Percentiles::of(self.completed.iter().map(|o| o.ttft_ms));
+        let tpot = Percentiles::of(self.completed.iter().flat_map(|o| {
+            o.token_times_ms
+                .windows(2)
+                .map(|w| w[1] - w[0])
+                .collect::<Vec<_>>()
+        }));
+        let queue = Percentiles::of(self.completed.iter().map(|o| o.queue_ms));
+        let timed_out = Percentiles::of(
+            self.dropped
+                .iter()
+                .filter(|d| d.kind == DropKind::TimedOut)
+                .map(|d| d.at_ms - d.arrival_ms),
+        );
+        let per_s = |tokens: usize| {
+            if clock_ms > 0.0 {
+                tokens as f64 / (clock_ms / 1e3)
+            } else {
+                0.0
+            }
+        };
+        let util = |busy_ns: f64| {
+            if span_ns > 0.0 {
+                busy_ns / span_ns
+            } else {
+                0.0
+            }
+        };
+        // Up-time: everything before the clock (or the unfinished down
+        // window's start) minus the down windows already served.
+        let uptime_ms = (self.down_since.unwrap_or(clock_ms) - self.down_ms).max(0.0);
+
+        ServingReport {
+            offered: self.completed.len() + self.dropped.len(),
+            makespan_ms: clock_ms,
+            ttft_ms: ttft,
+            tpot_ms: tpot,
+            queue_ms: queue,
+            timed_out_latency_ms: timed_out,
+            goodput_tokens_per_s: per_s(goodput_tokens),
+            throughput_tokens_per_s: per_s(goodput_tokens + wasted_tokens),
+            mme_utilization: util(self.mme_busy_ns),
+            tpc_utilization: util(self.tpc_busy_ns),
+            dma_utilization: util(self.dma_busy_ns),
+            nic_utilization: util(self.nic_busy_ns),
+            decode_steps: self.decode_steps,
+            prefills: self.prefills,
+            backpressure_stalls: self.backpressure_stalls,
+            max_queue_depth: self.max_queue_depth,
+            peak_queued_tokens: self.peak_queued_tokens,
+            kv_peak_bytes: self.kv.peak(),
+            kv_capacity_bytes: self.kv.capacity(),
+            compiled_graphs: self.compiled_graphs_retired + self.cost.compiled_graphs(),
+            devices: 1,
+            retries,
+            requeued_tokens: self.requeued_tokens,
+            failed_replicas: self.kills,
+            restarts: self.restarts,
+            replica_uptime_ms: vec![uptime_ms],
+            completed: self.completed,
+            dropped: self.dropped,
+            trace: self.trace,
+        }
+    }
 }
 
 /// Run a serving simulation to completion.
 ///
-/// Identical configurations (including `traffic.seed` and the fault plan)
-/// produce identical reports: the simulation is a deterministic function
-/// of its inputs.
+/// Identical configurations (including `traffic.seed`, the fault plan,
+/// and the robustness policy) produce identical reports: the simulation
+/// is a deterministic function of its inputs.
 ///
-/// With `cfg.devices > 1` the request stream is split round-robin (in
-/// arrival order) across that many data-parallel replicas, each running the
-/// full continuous-batching schedule on its own card; the merged report
-/// carries per-card-averaged utilizations and a device-tagged trace. A
-/// replica the fault plan kills re-queues its unfinished work onto the
-/// survivors (see the module docs); if the plan kills *every* replica
-/// while requests are outstanding, the simulation fails with
-/// [`ServingError::AllReplicasDead`].
+/// With `cfg.devices > 1` the request stream is dispatched round-robin
+/// (in arrival order) across that many data-parallel replicas, each
+/// running the full continuous-batching schedule on its own card; the
+/// merged report carries per-card-averaged utilizations and a
+/// device-tagged trace. A replica the fault plan kills re-queues its
+/// unfinished work onto the live replicas with exponential backoff, and a
+/// replica whose kill carries a restart window rejoins the dispatch pool
+/// when it comes back (see the module docs). If the plan leaves *no*
+/// replica alive — now or later — while requests need dispatching, the
+/// simulation fails with [`ServingError::AllReplicasDead`].
 pub fn simulate(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
     simulate_with(cfg, &ExecPolicy::default())
 }
@@ -282,16 +768,26 @@ pub fn simulate_trace_with(
         ));
     }
     cfg.faults.validate(cfg.devices)?;
+    cfg.robustness
+        .validate()
+        .map_err(ServingError::InvalidConfig)?;
 
     requests.sort_by_key(|r| (r.arrival_us, r.id));
-    let mut shards: Vec<Vec<Job>> = vec![Vec::new(); cfg.devices];
-    for (i, r) in requests.into_iter().enumerate() {
-        shards[i % cfg.devices].push(Job::fresh(r));
+
+    // Reject outright only what can never fit; everything else queues.
+    let weights = weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
+    let per_token = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+    let probe = KvAccountant::new(&cfg.hw.memory, weights, per_token)
+        .map_err(ServingError::WeightsDontFit)?;
+    for r in &requests {
+        if r.total_tokens() as u64 > probe.max_admissible_tokens() {
+            return Err(ServingError::RequestTooLarge {
+                id: r.id,
+                tokens: r.total_tokens(),
+                max_tokens: probe.max_admissible_tokens(),
+            });
+        }
     }
-    let shard_load: Vec<usize> = shards
-        .iter()
-        .map(|s| s.iter().map(|j| j.req.total_tokens()).sum())
-        .collect();
 
     // One compile context shared by every replica of this call (unless the
     // policy asks for the legacy per-replica compilation).
@@ -322,320 +818,174 @@ pub fn simulate_trace_with(
         ),
     };
 
-    // Pass 1: every replica runs its own share (possibly dying mid-way).
-    // Replicas are independent single-card simulations, so they fan out on
-    // the policy's pool; `try_par_map` returns results in input order and
-    // surfaces the lowest-index error, matching the serial semantics.
-    let mut runs: Vec<ReplicaRun> = policy.pool.try_par_map(&shards, |d, jobs| {
-        simulate_replica(cfg, d, jobs.clone(), make_cost())
-    })?;
+    let mut reports: Vec<ServingReport> = if cfg.faults.card_failures.is_empty() {
+        // Fault-free: replicas never interact, so shard the stream
+        // round-robin up front and fan the independent single-card
+        // simulations out on the policy's pool. `try_par_map` returns
+        // results in input order and surfaces the lowest-index error,
+        // matching the serial semantics.
+        let mut shards: Vec<Vec<Job>> = vec![Vec::new(); cfg.devices];
+        for (i, r) in requests.into_iter().enumerate() {
+            shards[i % cfg.devices].push(Job::fresh(r));
+        }
+        policy
+            .pool
+            .try_par_map(&shards, |d, jobs| -> Result<_, ServingError> {
+                let mut replica = Replica::new(cfg, DeviceId(d), make_cost())?;
+                for j in jobs {
+                    replica.enqueue(j.clone());
+                }
+                while replica.step(f64::INFINITY)? {}
+                Ok(replica.finalize())
+            })?
+    } else {
+        // Kills couple the replicas (orphans migrate, restarts rejoin):
+        // run the single-pass event-driven box simulation.
+        simulate_box(cfg, requests, &make_cost)?
+    };
 
-    // Pass 2: re-queue orphans onto the survivors and re-simulate only the
-    // replicas whose queues changed. Survivors never orphan (nothing kills
-    // them), so one redistribution round settles the system.
-    let orphans: Vec<Job> = runs
-        .iter_mut()
-        .flat_map(|r| std::mem::take(&mut r.orphans))
-        .collect();
-    if !orphans.is_empty() {
-        let survivors: Vec<usize> = (0..cfg.devices)
-            .filter(|&d| cfg.faults.kill_time_ms(DeviceId(d)).is_none())
-            .collect();
-        if survivors.is_empty() {
-            return Err(ServingError::AllReplicasDead {
-                unserved: orphans.len(),
-            });
-        }
-        // Settle every affected queue first, then re-simulate them all in
-        // one parallel wave. A device's final run depends only on its final
-        // queue, so this is equivalent to re-simulating after each
-        // redistribution step — minus the redundant intermediate runs.
-        let mut affected: Vec<usize> = Vec::new();
-        for (d, extra) in redistribute(orphans, &survivors, &shard_load, cfg.redistribution) {
-            shards[d].extend(extra);
-            shards[d].sort_by_key(|j| (j.submitted_us, j.req.id));
-            if !affected.contains(&d) {
-                affected.push(d);
-            }
-        }
-        let reruns = policy.pool.try_par_map(&affected, |_, &d| {
-            simulate_replica(cfg, d, shards[d].clone(), make_cost())
-        })?;
-        for (&d, rerun) in affected.iter().zip(reruns) {
-            debug_assert!(
-                rerun.orphans.is_empty(),
-                "a surviving replica must not orphan work"
-            );
-            runs[d] = rerun;
-        }
-    }
-
-    let mut reports: Vec<ServingReport> = runs.into_iter().map(|r| r.report).collect();
     if cfg.devices == 1 {
         return Ok(reports.pop().expect("exactly one replica"));
     }
     Ok(merge_replicas(cfg.devices, reports))
 }
 
-/// One card's continuous-batching simulation over its share of the stream,
-/// honoring the fault plan's kill time and slowdown windows for `replica`.
-fn simulate_replica(
+/// Event-driven multi-replica simulation under a fault plan with kills.
+///
+/// A single pass interleaves three deterministic streams: replica
+/// execution (each advanced to quiescence below the next event), fault
+/// transitions (kills halt and orphan; restarts rejoin the pool with a
+/// cold recipe cache), and live dispatch (arrivals and backoff-delayed
+/// retries routed to a live replica — round-robin for fresh work, the
+/// configured [`RedistributionPolicy`] for orphans). The loop is
+/// single-threaded on purpose: every interleaving decision is a pure
+/// function of the configuration, so the result is bit-identical across
+/// [`ExecPolicy`]s.
+fn simulate_box(
     cfg: &ServingConfig,
-    replica: usize,
-    jobs: Vec<Job>,
-    mut cost: CostModel,
-) -> Result<ReplicaRun, ServingError> {
-    let device = DeviceId(replica);
-    let kill_at_ms = cfg.faults.kill_time_ms(device);
-    let dead = |clock_ms: f64| kill_at_ms.is_some_and(|k| clock_ms >= k);
+    requests: Vec<Request>,
+    make_cost: &impl Fn() -> CostModel,
+) -> Result<Vec<ServingReport>, ServingError> {
+    let mut replicas: Vec<Replica> = (0..cfg.devices)
+        .map(|d| Replica::new(cfg, DeviceId(d), make_cost()))
+        .collect::<Result<_, _>>()?;
 
-    let max_positions = cfg.max_request_tokens();
-    let weights = weight_bytes(&cfg.model, max_positions, cfg.kv_dtype);
-    let per_token = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
-    let mut kv = KvAccountant::new(&cfg.hw.memory, weights, per_token)
-        .map_err(ServingError::WeightsDontFit)?;
-
-    // Reject outright only what can never fit; everything else queues.
-    for j in &jobs {
-        if j.req.total_tokens() as u64 > kv.max_admissible_tokens() {
-            return Err(ServingError::RequestTooLarge {
-                id: j.req.id,
-                tokens: j.req.total_tokens(),
-                max_tokens: kv.max_admissible_tokens(),
-            });
+    // Kill/restart transitions, time-ordered; a restart at the same
+    // instant as another device's kill is delivered first so the pool
+    // never looks emptier than it is.
+    let mut transitions: Vec<(f64, usize, bool)> = Vec::new();
+    for d in 0..cfg.devices {
+        for (t, up) in cfg.faults.transitions(DeviceId(d)) {
+            transitions.push((t, d, up));
         }
     }
+    transitions.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("fault times are finite")
+            .then((!a.2).cmp(&!b.2))
+            .then(a.1.cmp(&b.1))
+    });
+    let mut ti = 0;
 
-    let mut pending: VecDeque<Job> = jobs.into_iter().collect();
-    let mut waiting: VecDeque<Job> = VecDeque::new();
-    let mut running: Vec<Active> = Vec::new();
-    let mut done: Vec<RequestOutcome> = Vec::new();
-    let mut orphans: Vec<Job> = Vec::new();
+    // Undispatched work keyed by (submission µs, id): the initial
+    // arrivals, plus re-queued orphans as failures produce them.
+    let mut disp: BTreeMap<(u64, u64), Job> = requests
+        .into_iter()
+        .map(Job::fresh)
+        .map(|j| ((j.submitted_us, j.req.id), j))
+        .collect();
+    let mut rr_next = 0usize;
 
-    let mut clock_ms = 0.0f64;
-    let mut mme_busy_ns = 0.0f64;
-    let mut tpc_busy_ns = 0.0f64;
-    let mut dma_busy_ns = 0.0f64;
-    let mut nic_busy_ns = 0.0f64;
-    let mut decode_steps = 0usize;
-    let mut prefills = 0usize;
-    let mut backpressure_stalls = 0usize;
-    let mut max_queue_depth = 0usize;
-    let mut requeued_tokens = 0usize;
-    let mut killed = false;
-    let mut trace = Trace::new();
+    loop {
+        let next_disp = disp.keys().next().map(|&(us, _)| us as f64 / 1e3);
+        let next_tr = transitions.get(ti).map(|t| t.0);
+        let t_ext = [next_disp, next_tr]
+            .into_iter()
+            .flatten()
+            .fold(f64::INFINITY, f64::min);
 
-    /// Move every arrived job into the admission queue and refresh the
-    /// depth high-water mark. Called at every phase boundary, not just at
-    /// the loop top, so arrivals during long phases are never invisible.
-    fn ingest(
-        pending: &mut VecDeque<Job>,
-        waiting: &mut VecDeque<Job>,
-        clock_ms: f64,
-        max_queue_depth: &mut usize,
-    ) {
-        while pending
-            .front()
-            .is_some_and(|j| j.submitted_ms() <= clock_ms)
-        {
-            if let Some(j) = pending.pop_front() {
-                waiting.push_back(j);
+        // Run every live replica to quiescence below the next event.
+        for r in replicas.iter_mut() {
+            while r.step(t_ext)? {}
+        }
+        if t_ext.is_infinite() {
+            break;
+        }
+
+        // Deliver due fault transitions.
+        while ti < transitions.len() && transitions[ti].0 <= t_ext {
+            let (t, d, up) = transitions[ti];
+            ti += 1;
+            if up {
+                replicas[d].restart(t, make_cost());
+                continue;
+            }
+            for job in replicas[d].halt(t) {
+                let attempt = job.retries + 1;
+                if attempt > cfg.robustness.max_retries {
+                    replicas[d].record_failure(job, t);
+                } else {
+                    let delay = cfg.robustness.backoff_delay_ms(job.req.id, attempt);
+                    let j = job.requeued(t + delay);
+                    disp.insert((j.submitted_us, j.req.id), j);
+                }
             }
         }
-        *max_queue_depth = (*max_queue_depth).max(waiting.len());
-    }
 
-    let total = pending.len();
-    'sim: while done.len() < total {
-        if dead(clock_ms) {
-            killed = true;
-            break 'sim;
-        }
-        // 1. Ingest everything that has arrived by now.
-        ingest(&mut pending, &mut waiting, clock_ms, &mut max_queue_depth);
-
-        // 2. Admit from the queue while slots and KV reservations allow.
-        while running.len() < cfg.max_batch {
-            let Some(front) = waiting.front() else { break };
-            if kv.try_reserve(front.req.total_tokens()).is_err() {
-                backpressure_stalls += 1;
-                break; // FIFO: wait for retirements, do not starve the head.
-            }
-            let Some(job) = waiting.pop_front() else {
+        // Dispatch due arrivals onto live replicas.
+        while let Some((&key, _)) = disp.iter().next() {
+            if key.0 as f64 / 1e3 > t_ext {
                 break;
-            };
-            let queue_ms = clock_ms - job.submitted_ms();
-            let factor = cfg.faults.slowdown_factor(device, clock_ms);
-            let c = cost.prefill(1, job.req.prompt_len)?.scaled(factor);
-            record_phase(&mut trace, "prefill", clock_ms, &c);
-            clock_ms += c.ms;
-            mme_busy_ns += c.mme_busy_ns;
-            tpc_busy_ns += c.tpc_busy_ns;
-            dma_busy_ns += c.dma_busy_ns;
-            nic_busy_ns += c.nic_busy_ns;
-            prefills += 1;
-            // The prefill's final forward pass emits the first output
-            // token: TTFT is queueing + prefill, measured from the
-            // request's original arrival.
-            let outcome = RequestOutcome {
-                id: job.req.id,
-                arrival_ms: job.req.arrival_ms(),
-                prompt_len: job.req.prompt_len,
-                output_len: job.req.output_len,
-                queue_ms,
-                ttft_ms: clock_ms - job.req.arrival_ms(),
-                retries: job.retries,
-                finish_ms: 0.0,
-                token_times_ms: {
-                    let mut t = Vec::with_capacity(job.req.output_len);
-                    t.push(clock_ms);
-                    t
-                },
-            };
-            if job.req.output_len == 1 {
-                // Single-token request: prefill completed it outright.
-                let mut outcome = outcome;
-                outcome.finish_ms = clock_ms;
-                kv.release(job.req.total_tokens());
-                done.push(outcome);
-            } else {
-                running.push(Active {
-                    ctx: job.req.prompt_len + 1,
-                    generated: 1,
-                    outcome,
-                    job,
-                });
             }
-            // Arrivals during this prefill become admissible immediately.
-            ingest(&mut pending, &mut waiting, clock_ms, &mut max_queue_depth);
-            if dead(clock_ms) {
-                killed = true;
-                break 'sim;
+            let job = disp.remove(&key).expect("key just observed");
+            match pick_replica(cfg, &replicas, &mut rr_next, &job) {
+                Some(d) => replicas[d].enqueue(job),
+                None => {
+                    // Whole pool is down: park the job until the next
+                    // restart, or fail the run if none is coming.
+                    let Some(up_t) = transitions[ti..].iter().find(|t| t.2).map(|t| t.0) else {
+                        return Err(ServingError::AllReplicasDead {
+                            unserved: disp.len() + 1,
+                        });
+                    };
+                    // Strictly later key than the one just removed, so the
+                    // deferral always makes progress.
+                    let up_us = ((up_t * 1e3).ceil() as u64).max(key.0 + 1);
+                    let mut j = job;
+                    j.submitted_us = j.submitted_us.max(up_us);
+                    disp.insert((j.submitted_us, j.req.id), j);
+                }
             }
         }
-
-        // 3. Nothing running: jump the clock to the next arrival (or to
-        //    the card's death, whichever comes first).
-        if running.is_empty() {
-            let Some(next) = pending.front() else {
-                debug_assert!(
-                    waiting.is_empty(),
-                    "queued requests can always be admitted into an idle engine"
-                );
-                break;
-            };
-            let target = clock_ms.max(next.submitted_ms());
-            clock_ms = match kill_at_ms {
-                Some(k) if k < target => k, // dies idle, before the arrival
-                _ => target,
-            };
-            continue;
-        }
-
-        // 4. One decode step advances every running request by one token.
-        let batch = running.len();
-        let max_ctx = running.iter().map(|a| a.ctx).max().unwrap_or(1);
-        let factor = cfg.faults.slowdown_factor(device, clock_ms);
-        let c = cost.decode(batch, max_ctx)?.scaled(factor);
-        record_phase(&mut trace, "decode", clock_ms, &c);
-        clock_ms += c.ms;
-        mme_busy_ns += c.mme_busy_ns;
-        tpc_busy_ns += c.tpc_busy_ns;
-        dma_busy_ns += c.dma_busy_ns;
-        nic_busy_ns += c.nic_busy_ns;
-        decode_steps += 1;
-
-        let mut i = 0;
-        while i < running.len() {
-            let a = &mut running[i];
-            a.generated += 1;
-            a.ctx += 1;
-            a.outcome.token_times_ms.push(clock_ms);
-            if a.generated == a.job.req.output_len {
-                let mut finished = running.swap_remove(i);
-                finished.outcome.finish_ms = clock_ms;
-                kv.release(finished.job.req.total_tokens());
-                done.push(finished.outcome);
-            } else {
-                i += 1;
-            }
-        }
-        // Arrivals during this decode step join the queue at its boundary.
-        ingest(&mut pending, &mut waiting, clock_ms, &mut max_queue_depth);
     }
 
-    // A killed replica re-queues everything it did not finish: in-flight
-    // work loses its generated-so-far tokens, queued and future arrivals
-    // just move. All of it lands at the failure time, never earlier than
-    // each request's own arrival.
-    if killed {
-        let at = kill_at_ms.expect("killed implies a kill time");
-        for a in running.drain(..) {
-            requeued_tokens += a.generated;
-            kv.release(a.job.req.total_tokens());
-            orphans.push(a.job.requeued(at));
-        }
-        for j in waiting.drain(..).chain(pending.drain(..)) {
-            orphans.push(j.requeued(at));
+    Ok(replicas.into_iter().map(Replica::finalize).collect())
+}
+
+/// Choose a live replica for `job`, or `None` if the whole pool is down.
+/// Fresh arrivals always round-robin over the live replicas (mirroring
+/// the fault-free sharding); orphan re-dispatch follows the configured
+/// [`RedistributionPolicy`].
+fn pick_replica(
+    cfg: &ServingConfig,
+    replicas: &[Replica],
+    rr_next: &mut usize,
+    job: &Job,
+) -> Option<usize> {
+    if job.retries > 0 && cfg.redistribution == RedistributionPolicy::LeastLoaded {
+        return (0..replicas.len())
+            .filter(|&d| replicas[d].up)
+            .min_by_key(|&d| (replicas[d].outstanding_tokens, d));
+    }
+    let n = replicas.len();
+    for i in 0..n {
+        let d = (*rr_next + i) % n;
+        if replicas[d].up {
+            *rr_next = (d + 1) % n;
+            return Some(d);
         }
     }
-    let uptime_ms = if killed {
-        kill_at_ms.expect("killed implies a kill time")
-    } else {
-        clock_ms
-    };
-
-    done.sort_by_key(|o| o.id);
-    let span_ns = clock_ms * 1e6;
-    let generated_tokens: usize = done.iter().map(|o| o.output_len).sum();
-    let retries: usize = done.iter().map(|o| o.retries as usize).sum();
-
-    let ttft = Percentiles::of(done.iter().map(|o| o.ttft_ms));
-    let tpot = Percentiles::of(done.iter().flat_map(|o| {
-        o.token_times_ms
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect::<Vec<_>>()
-    }));
-    let queue = Percentiles::of(done.iter().map(|o| o.queue_ms));
-    let util = |busy_ns: f64| {
-        if span_ns > 0.0 {
-            busy_ns / span_ns
-        } else {
-            0.0
-        }
-    };
-
-    let report = ServingReport {
-        completed: done,
-        makespan_ms: clock_ms,
-        ttft_ms: ttft,
-        tpot_ms: tpot,
-        queue_ms: queue,
-        goodput_tokens_per_s: if clock_ms > 0.0 {
-            generated_tokens as f64 / (clock_ms / 1e3)
-        } else {
-            0.0
-        },
-        mme_utilization: util(mme_busy_ns),
-        tpc_utilization: util(tpc_busy_ns),
-        dma_utilization: util(dma_busy_ns),
-        nic_utilization: util(nic_busy_ns),
-        decode_steps,
-        prefills,
-        backpressure_stalls,
-        max_queue_depth,
-        kv_peak_bytes: kv.peak(),
-        kv_capacity_bytes: kv.capacity(),
-        compiled_graphs: cost.compiled_graphs(),
-        devices: 1,
-        retries,
-        requeued_tokens,
-        failed_replicas: killed as usize,
-        replica_uptime_ms: vec![uptime_ms],
-        trace,
-    };
-    Ok(ReplicaRun { report, orphans })
+    None
 }
 
 /// Merge per-replica reports into one box-level report: latency percentiles
@@ -664,20 +1014,26 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
     let nic_utilization = util(|r| r.nic_utilization);
 
     let mut completed: Vec<RequestOutcome> = Vec::new();
+    let mut dropped: Vec<DroppedRequest> = Vec::new();
+    let mut offered = 0;
     let mut trace = Trace::new();
     let mut decode_steps = 0;
     let mut prefills = 0;
     let mut backpressure_stalls = 0;
     let mut max_queue_depth = 0;
+    let mut peak_queued_tokens = 0;
     let mut kv_peak_bytes = 0;
     let mut kv_capacity_bytes = 0;
     let mut compiled_graphs = 0;
     let mut retries = 0;
     let mut requeued_tokens = 0;
     let mut failed_replicas = 0;
+    let mut restarts = 0;
     let mut replica_uptime_ms = Vec::with_capacity(devices);
     for (d, r) in replicas.into_iter().enumerate() {
         completed.extend(r.completed);
+        dropped.extend(r.dropped);
+        offered += r.offered;
         for ev in r.trace.events() {
             trace.push(ev.clone().on_device(DeviceId(d)));
         }
@@ -685,16 +1041,20 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
         prefills += r.prefills;
         backpressure_stalls += r.backpressure_stalls;
         max_queue_depth = max_queue_depth.max(r.max_queue_depth);
+        peak_queued_tokens = peak_queued_tokens.max(r.peak_queued_tokens);
         kv_peak_bytes = r.kv_peak_bytes.max(kv_peak_bytes);
         kv_capacity_bytes = r.kv_capacity_bytes;
         compiled_graphs += r.compiled_graphs;
         retries += r.retries;
         requeued_tokens += r.requeued_tokens;
         failed_replicas += r.failed_replicas;
+        restarts += r.restarts;
         replica_uptime_ms.extend(r.replica_uptime_ms);
     }
     completed.sort_by_key(|o| o.id);
-    let generated_tokens: usize = completed.iter().map(|o| o.output_len).sum();
+    dropped.sort_by_key(|o| o.id);
+    let goodput_tokens: usize = completed.iter().map(|o| o.output_len).sum();
+    let wasted_tokens: usize = dropped.iter().map(|d| d.tokens_generated).sum();
 
     let ttft_ms = Percentiles::of(completed.iter().map(|o| o.ttft_ms));
     let tpot_ms = Percentiles::of(completed.iter().flat_map(|o| {
@@ -704,18 +1064,31 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
             .collect::<Vec<_>>()
     }));
     let queue_ms = Percentiles::of(completed.iter().map(|o| o.queue_ms));
+    let timed_out_latency_ms = Percentiles::of(
+        dropped
+            .iter()
+            .filter(|d| d.kind == DropKind::TimedOut)
+            .map(|d| d.at_ms - d.arrival_ms),
+    );
+    let per_s = |tokens: usize| {
+        if makespan_ms > 0.0 {
+            tokens as f64 / (makespan_ms / 1e3)
+        } else {
+            0.0
+        }
+    };
 
     ServingReport {
         completed,
+        dropped,
+        offered,
         makespan_ms,
         ttft_ms,
         tpot_ms,
         queue_ms,
-        goodput_tokens_per_s: if makespan_ms > 0.0 {
-            generated_tokens as f64 / (makespan_ms / 1e3)
-        } else {
-            0.0
-        },
+        timed_out_latency_ms,
+        goodput_tokens_per_s: per_s(goodput_tokens),
+        throughput_tokens_per_s: per_s(goodput_tokens + wasted_tokens),
         mme_utilization,
         tpc_utilization,
         dma_utilization,
@@ -724,6 +1097,7 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
         prefills,
         backpressure_stalls,
         max_queue_depth,
+        peak_queued_tokens,
         kv_peak_bytes,
         kv_capacity_bytes,
         compiled_graphs,
@@ -731,6 +1105,7 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
         retries,
         requeued_tokens,
         failed_replicas,
+        restarts,
         replica_uptime_ms,
         trace,
     }
@@ -738,7 +1113,7 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
 
 /// Append one trace event per busy engine for a phase, so the report's
 /// timeline renders through the standard profiler tooling.
-fn record_phase(trace: &mut Trace, name: &str, start_ms: f64, c: &crate::cost::PhaseCost) {
+fn record_phase(trace: &mut Trace, name: &str, start_ms: f64, c: &PhaseCost) {
     let start_ns = start_ms * 1e6;
     for (engine, busy) in [
         (EngineId::Mme, c.mme_busy_ns),
@@ -777,13 +1152,25 @@ mod tests {
             devices: 1,
             faults: FaultPlan::none(),
             redistribution: RedistributionPolicy::default(),
+            robustness: RobustnessConfig::default(),
         }
+    }
+
+    fn tiny_cost_model(cfg: &ServingConfig) -> CostModel {
+        CostModel::new(
+            cfg.model.clone(),
+            cfg.hw.clone(),
+            cfg.opts.clone(),
+            cfg.ctx_bucket,
+        )
     }
 
     #[test]
     fn completes_every_request_exactly_once() {
         let r = simulate(&tiny_config()).unwrap();
         assert_eq!(r.completed.len(), 30);
+        assert_eq!(r.offered, 30);
+        assert!(r.dropped.is_empty());
         for (i, o) in r.completed.iter().enumerate() {
             assert_eq!(o.id, i as u64);
             assert_eq!(o.token_times_ms.len(), o.output_len);
@@ -791,7 +1178,10 @@ mod tests {
         }
         assert_eq!(r.retries, 0);
         assert_eq!(r.failed_replicas, 0);
+        assert_eq!(r.restarts, 0);
         assert_eq!(r.availability(), 1.0);
+        assert_eq!(r.goodput_fraction(), 1.0);
+        assert_eq!(r.goodput_tokens_per_s, r.throughput_tokens_per_s);
     }
 
     #[test]
@@ -830,12 +1220,7 @@ mod tests {
             output_len: 6,
         };
         let r = simulate_trace(&cfg, vec![req]).unwrap();
-        let mut cost = CostModel::new(
-            cfg.model.clone(),
-            cfg.hw.clone(),
-            cfg.opts.clone(),
-            cfg.ctx_bucket,
-        );
+        let mut cost = tiny_cost_model(&cfg);
         let prefill_ms = cost.prefill(1, 48).unwrap().ms;
         let o = &r.completed[0];
         assert_eq!(o.queue_ms, 0.0);
@@ -876,6 +1261,7 @@ mod tests {
             r.max_queue_depth, 4,
             "arrivals during the prefill must be visible to the depth gauge"
         );
+        assert!(r.peak_queued_tokens >= 4 * 12);
         assert_eq!(
             r.decode_steps, 3,
             "all five requests decode as one batch after back-to-back prefills"
@@ -927,6 +1313,7 @@ mod tests {
         cfg.devices = 2;
         let r = simulate(&cfg).unwrap();
         assert_eq!(r.completed.len(), 30, "replicas must not drop requests");
+        assert_eq!(r.offered, 30);
         assert_eq!(r.devices, 2);
         assert_eq!(r.trace.devices().len(), 2);
         assert_eq!(r.replica_uptime_ms.len(), 2);
@@ -959,7 +1346,9 @@ mod tests {
         cfg.faults = FaultPlan::none().kill(DeviceId(1), 20.0);
         let r = simulate(&cfg).unwrap();
         assert_eq!(r.completed.len(), 30, "failures must not drop requests");
+        assert_eq!(r.offered, 30);
         assert_eq!(r.failed_replicas, 1);
+        assert_eq!(r.restarts, 0);
         assert!(r.retries > 0, "orphans must be retried on the survivor");
         assert!(r.availability() < 1.0);
         assert_eq!(r.replica_uptime_ms[1], 20.0);
@@ -976,14 +1365,20 @@ mod tests {
 
     #[test]
     fn both_redistribution_policies_complete_everything() {
+        // Saturate arrivals so every replica holds queued work when the
+        // kill lands mid-run — otherwise the victim might die idle and
+        // orphan nothing.
+        let mut base = tiny_config();
+        base.traffic.arrival_rate_per_s = 1e6;
+        base.devices = 3;
+        let kill_at = simulate(&base).unwrap().makespan_ms * 0.3;
         for policy in [
             RedistributionPolicy::RoundRobin,
             RedistributionPolicy::LeastLoaded,
         ] {
-            let mut cfg = tiny_config();
-            cfg.devices = 3;
+            let mut cfg = base.clone();
             cfg.redistribution = policy;
-            cfg.faults = FaultPlan::none().kill(DeviceId(2), 10.0);
+            cfg.faults = FaultPlan::none().kill(DeviceId(2), kill_at);
             let r = simulate(&cfg).unwrap();
             assert_eq!(r.completed.len(), 30, "{policy:?} dropped requests");
             assert!(r.retries > 0);
@@ -1008,6 +1403,16 @@ mod tests {
     }
 
     #[test]
+    fn malformed_robustness_config_is_rejected() {
+        let mut cfg = tiny_config();
+        cfg.robustness = RobustnessConfig::default().queue_depth(0);
+        assert!(matches!(
+            simulate(&cfg),
+            Err(ServingError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
     fn slowdown_window_stretches_the_run_deterministically() {
         // Saturate arrivals so the makespan is compute-bound; a throttle on
         // an idle, arrival-dominated run would hide in the slack.
@@ -1027,5 +1432,170 @@ mod tests {
         assert_eq!(slowed.completed.len(), 30);
         let again = simulate(&cfg).unwrap();
         assert_eq!(slowed.makespan_ms, again.makespan_ms);
+    }
+
+    #[test]
+    fn shedding_bounds_the_queue_and_conserves_requests() {
+        // A ~30-request burst against a 4-deep admission queue: the
+        // overflow is shed, the queue gauge respects the bound, and
+        // completed + dropped still accounts for every arrival.
+        let mut cfg = tiny_config();
+        cfg.traffic.arrival_rate_per_s = 1e6;
+        cfg.robustness = RobustnessConfig::default().queue_depth(4);
+        let r = simulate(&cfg).unwrap();
+        assert!(r.shed() > 0, "the burst must overflow a 4-deep queue");
+        assert_eq!(r.completed.len() + r.dropped.len(), 30);
+        assert_eq!(r.offered, 30);
+        assert!(r.max_queue_depth <= 4);
+        assert!(r
+            .dropped
+            .iter()
+            .all(|d| d.kind == DropKind::Rejected && d.tokens_generated == 0));
+        assert!(r.goodput_fraction() < 1.0);
+
+        // The unbounded baseline absorbs the same burst without shedding —
+        // visible as a deeper queue and a larger queued-token peak.
+        let mut unbounded = tiny_config();
+        unbounded.traffic.arrival_rate_per_s = 1e6;
+        let ru = simulate(&unbounded).unwrap();
+        assert_eq!(ru.completed.len(), 30);
+        assert!(ru.max_queue_depth > 4);
+        assert!(ru.peak_queued_tokens > r.peak_queued_tokens);
+    }
+
+    #[test]
+    fn queued_token_bound_sheds_like_the_depth_bound() {
+        let mut cfg = tiny_config();
+        cfg.traffic.arrival_rate_per_s = 1e6;
+        cfg.robustness = RobustnessConfig::default().queued_tokens(100);
+        let r = simulate(&cfg).unwrap();
+        assert!(r.shed() > 0);
+        assert!(r.peak_queued_tokens <= 100);
+        assert_eq!(r.completed.len() + r.dropped.len(), 30);
+    }
+
+    #[test]
+    fn ttft_deadline_expires_queued_requests() {
+        // A burst against a TTFT SLO of three worst-case prefills: the
+        // head of the queue completes in time, the tail times out, and
+        // every completion actually met the deadline.
+        let mut cfg = tiny_config();
+        cfg.traffic.arrival_rate_per_s = 1e6;
+        let deadline = tiny_cost_model(&cfg).prefill(1, 64).unwrap().ms * 3.0;
+        cfg.robustness = RobustnessConfig::default().ttft_deadline(deadline);
+        let r = simulate(&cfg).unwrap();
+        assert!(
+            r.timed_out() > 0,
+            "the burst tail must miss a {deadline} ms TTFT SLO"
+        );
+        assert!(!r.completed.is_empty(), "the burst head meets the SLO");
+        assert_eq!(r.completed.len() + r.dropped.len(), 30);
+        for o in &r.completed {
+            assert!(o.ttft_ms <= deadline, "completed requests met the TTFT SLO");
+        }
+        assert!(r.timed_out_latency_ms.p50 > 0.0);
+        assert!(r.throughput_tokens_per_s >= r.goodput_tokens_per_s);
+    }
+
+    #[test]
+    fn e2e_deadline_cancels_mid_decode() {
+        // Deadline admits the prefill plus a few decode steps, not all 15:
+        // the request is cancelled at a decode boundary with its partial
+        // tokens counted toward throughput only.
+        let mut cfg = tiny_config();
+        let mut cost = tiny_cost_model(&cfg);
+        let prefill = cost.prefill(1, 32).unwrap().ms;
+        let decode = cost.decode(1, 48).unwrap().ms;
+        cfg.robustness = RobustnessConfig::default().deadline(prefill + 3.5 * decode);
+        let req = Request {
+            id: 0,
+            arrival_us: 0,
+            prompt_len: 32,
+            output_len: 16,
+        };
+        let r = simulate_trace(&cfg, vec![req]).unwrap();
+        assert!(r.completed.is_empty());
+        assert_eq!(r.dropped.len(), 1);
+        let d = &r.dropped[0];
+        assert_eq!(d.kind, DropKind::TimedOut);
+        assert!(
+            d.tokens_generated >= 1 && d.tokens_generated < 16,
+            "cancelled mid-decode, got {} tokens",
+            d.tokens_generated
+        );
+        assert_eq!(r.goodput_tokens_per_s, 0.0);
+        assert!(
+            r.throughput_tokens_per_s > 0.0,
+            "partial work is throughput"
+        );
+    }
+
+    #[test]
+    fn restarted_replica_rejoins_the_pool() {
+        let mut cfg = tiny_config();
+        cfg.devices = 2;
+        // D1 dies at 20 ms and comes back at 120 ms — cold recipe cache,
+        // same dispatch slot.
+        cfg.faults = FaultPlan::none().kill_for(DeviceId(1), 20.0, 100.0);
+        let r = simulate(&cfg).unwrap();
+        assert_eq!(r.completed.len(), 30, "restart runs must not drop requests");
+        assert!(r.dropped.is_empty());
+        assert_eq!(r.failed_replicas, 1);
+        assert_eq!(r.restarts, 1);
+        assert!(r.retries > 0, "the kill still orphans in-flight work");
+        // The restarted card served post-restart work: up-time beyond the
+        // 20 ms it survived before dying.
+        assert!(
+            r.replica_uptime_ms[1] > 20.0,
+            "D1 must accrue up-time after its restart, got {}",
+            r.replica_uptime_ms[1]
+        );
+        // Availability sits strictly between a permanent kill and no fault.
+        let mut perm = tiny_config();
+        perm.devices = 2;
+        perm.faults = FaultPlan::none().kill(DeviceId(1), 20.0);
+        let rp = simulate(&perm).unwrap();
+        assert!(r.availability() > rp.availability());
+        assert!(r.availability() < 1.0);
+        // Restart runs stay bit-deterministic.
+        let again = simulate(&cfg).unwrap();
+        assert_eq!(r.makespan_ms, again.makespan_ms);
+        assert_eq!(r.completed, again.completed);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_requests() {
+        let mut cfg = tiny_config();
+        cfg.devices = 2;
+        cfg.faults = FaultPlan::none().kill(DeviceId(1), 20.0);
+        cfg.robustness = RobustnessConfig::default().retries(0);
+        let r = simulate(&cfg).unwrap();
+        assert!(r.failed() > 0, "a zero-retry budget fails every orphan");
+        assert_eq!(r.completed.len() + r.dropped.len(), 30);
+        assert_eq!(r.offered, 30);
+        assert!(r.dropped.iter().all(|d| d.kind == DropKind::Failed));
+        assert!(r.completed.iter().all(|o| o.retries == 0));
+    }
+
+    #[test]
+    fn backoff_stretches_recovery_deterministically() {
+        let mut instant = tiny_config();
+        instant.devices = 2;
+        instant.faults = FaultPlan::none().kill(DeviceId(1), 20.0);
+        let ri = simulate(&instant).unwrap();
+        let mut delayed = instant;
+        delayed.robustness = RobustnessConfig::default().backoff(5_000.0, 0.25, 11);
+        let rd = simulate(&delayed).unwrap();
+        assert_eq!(rd.completed.len(), 30, "backoff delays, it never drops");
+        assert!(
+            rd.makespan_ms > ri.makespan_ms + 4_000.0,
+            "a 5 s first-retry backoff must push orphans well past the \
+             instant-requeue makespan ({} vs {})",
+            rd.makespan_ms,
+            ri.makespan_ms
+        );
+        let again = simulate(&delayed).unwrap();
+        assert_eq!(rd.makespan_ms, again.makespan_ms);
+        assert_eq!(rd.completed, again.completed);
     }
 }

@@ -1,16 +1,17 @@
-//! Serving-side fault handling: jobs, retries, and orphan redistribution.
+//! Serving-side fault handling: jobs, retries, and orphan re-dispatch.
 //!
 //! The hardware layer says *what* fails ([`gaudi_hw::FaultPlan`]); this
 //! module says what the scheduler does about it. When a replica dies, every
 //! request it had not finished — in-flight, queued, or not yet arrived —
 //! becomes an **orphan**: a [`Job`] whose `submitted_us` is bumped to the
-//! failure time and whose retry count is incremented. Orphans are then
-//! redistributed across the surviving replicas under a configurable
-//! [`RedistributionPolicy`], and the survivors are re-simulated with the
-//! augmented queues. Tokens the dead card had already generated are lost
-//! and regenerated from scratch (the simulator models no KV-cache
-//! migration), which is exactly the goodput cost the availability metrics
-//! in [`crate::ServingReport`] quantify.
+//! failure time plus its backoff delay and whose retry count is
+//! incremented. The engine's event loop re-dispatches orphans *live*, onto
+//! whichever replicas are up when the backoff expires — round-robin or
+//! least-loaded, per the [`RedistributionPolicy`] — so a replica that
+//! restarts mid-run takes new work the moment it is back. Tokens the dead
+//! card had already generated are lost and regenerated from scratch (the
+//! simulator models no KV-cache migration), which is exactly the goodput
+//! cost the availability metrics in [`crate::ServingReport`] quantify.
 
 use crate::request::Request;
 
@@ -57,56 +58,18 @@ impl Job {
     }
 }
 
-/// How orphaned jobs from a dead replica spread over the survivors.
+/// How orphaned jobs from a dead replica spread over the live replicas
+/// when their backoff expires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RedistributionPolicy {
-    /// Cycle through surviving replicas in device order, one orphan each —
-    /// the stateless default, mirroring the initial round-robin sharding.
+    /// Cycle through live replicas in device order, one orphan each — the
+    /// stateless default, mirroring the fresh-arrival round-robin.
     #[default]
     RoundRobin,
-    /// Send each orphan to the survivor with the least total assigned
-    /// token work (initial shard + orphans accepted so far), ties broken
-    /// by lowest device index. Deterministic and load-aware.
+    /// Send each orphan to the live replica with the least outstanding
+    /// token work at dispatch time, ties broken by lowest device index.
+    /// Deterministic and load-aware.
     LeastLoaded,
-}
-
-/// Assign `orphans` to `survivors` (device indices of replicas the fault
-/// plan never kills). `shard_load_tokens[d]` is replica `d`'s total
-/// originally-assigned token work, which seeds the [`LeastLoaded`]
-/// accounting. Returns `(survivor_index, jobs)` pairs; orphans are
-/// processed in `(submitted_us, id)` order so the result is a pure
-/// function of its inputs.
-///
-/// [`LeastLoaded`]: RedistributionPolicy::LeastLoaded
-pub(crate) fn redistribute(
-    mut orphans: Vec<Job>,
-    survivors: &[usize],
-    shard_load_tokens: &[usize],
-    policy: RedistributionPolicy,
-) -> Vec<(usize, Vec<Job>)> {
-    assert!(!survivors.is_empty(), "redistribute needs a survivor");
-    orphans.sort_by_key(|j| (j.submitted_us, j.req.id));
-    let mut out: Vec<(usize, Vec<Job>)> = survivors.iter().map(|&d| (d, Vec::new())).collect();
-    match policy {
-        RedistributionPolicy::RoundRobin => {
-            let n = out.len();
-            for (i, j) in orphans.into_iter().enumerate() {
-                out[i % n].1.push(j);
-            }
-        }
-        RedistributionPolicy::LeastLoaded => {
-            let mut load: Vec<usize> = survivors.iter().map(|&d| shard_load_tokens[d]).collect();
-            for j in orphans {
-                let pick = (0..load.len())
-                    .min_by_key(|&i| (load[i], survivors[i]))
-                    .expect("survivors is non-empty");
-                load[pick] += j.req.total_tokens();
-                out[pick].1.push(j);
-            }
-        }
-    }
-    out.retain(|(_, jobs)| !jobs.is_empty());
-    out
 }
 
 #[cfg(test)]
@@ -133,63 +96,5 @@ mod tests {
         // Requeue time never precedes the request's own arrival.
         let early = Job::fresh(req(1, 9_000, 8)).requeued(2.0);
         assert_eq!(early.submitted_us, 9_000);
-    }
-
-    #[test]
-    fn round_robin_cycles_survivors_in_order() {
-        let orphans: Vec<Job> = (0..5).map(|i| Job::fresh(req(i, i * 100, 10))).collect();
-        let out = redistribute(
-            orphans,
-            &[0, 2],
-            &[0, 0, 0],
-            RedistributionPolicy::RoundRobin,
-        );
-        assert_eq!(out.len(), 2);
-        assert_eq!(out[0].0, 0);
-        assert_eq!(
-            out[0].1.iter().map(|j| j.req.id).collect::<Vec<_>>(),
-            [0, 2, 4]
-        );
-        assert_eq!(out[1].0, 2);
-        assert_eq!(
-            out[1].1.iter().map(|j| j.req.id).collect::<Vec<_>>(),
-            [1, 3]
-        );
-    }
-
-    #[test]
-    fn least_loaded_balances_token_work() {
-        // Replica 0 starts much heavier than replica 1: orphans (11 tokens
-        // each) flow to 1 until its load crosses 0's, then spill back.
-        let orphans: Vec<Job> = (0..5).map(|i| Job::fresh(req(i, 0, 10))).collect();
-        let out = redistribute(
-            orphans,
-            &[0, 1],
-            &[100, 60],
-            RedistributionPolicy::LeastLoaded,
-        );
-        let ids = |d: usize| -> Vec<u64> {
-            out.iter()
-                .find(|(s, _)| *s == d)
-                .map(|(_, js)| js.iter().map(|j| j.req.id).collect())
-                .unwrap_or_default()
-        };
-        assert_eq!(ids(1), [0, 1, 2, 3], "first four close the 40-token gap");
-        assert_eq!(ids(0), [4], "the fifth spills back to replica 0");
-    }
-
-    #[test]
-    fn redistribution_is_deterministic() {
-        let orphans: Vec<Job> = (0..7)
-            .map(|i| Job::fresh(req(i, (7 - i) * 10, 5)))
-            .collect();
-        for policy in [
-            RedistributionPolicy::RoundRobin,
-            RedistributionPolicy::LeastLoaded,
-        ] {
-            let a = redistribute(orphans.clone(), &[1, 3], &[9, 9, 9, 9], policy);
-            let b = redistribute(orphans.clone(), &[1, 3], &[9, 9, 9, 9], policy);
-            assert_eq!(a, b);
-        }
     }
 }

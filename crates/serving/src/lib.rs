@@ -38,9 +38,17 @@
 //! Identical configurations produce bit-identical reports: the simulation
 //! is a pure function of its inputs (integer-microsecond arrival times, no
 //! wall clock anywhere) — and that stays true under fault injection: a
-//! [`FaultPlan`] in the config kills cards, degrades links, and throttles
-//! phases deterministically, while the scheduler re-queues the dead
-//! replica's work onto the survivors ([`fault`]).
+//! [`FaultPlan`] in the config kills cards (permanently or with a restart
+//! window), degrades links, and throttles phases deterministically, while
+//! the scheduler re-dispatches the dead replica's work with exponential
+//! backoff and readmits recovered replicas into the pool ([`fault`]).
+//!
+//! A [`RobustnessConfig`] adds overload protection on top: bounded
+//! admission queues shed excess arrivals, TTFT/end-to-end deadlines expire
+//! requests whose SLOs can no longer be met, and retry budgets bound how
+//! long a victim of repeated failures is kept alive. Requests then
+//! terminate as completed, rejected, timed-out, or failed ([`DropKind`]),
+//! and the report separates goodput (SLO-met tokens) from raw throughput.
 
 pub mod cost;
 pub mod engine;
@@ -49,6 +57,7 @@ pub mod fault;
 pub mod kv;
 pub mod report;
 pub mod request;
+pub mod robustness;
 
 pub use cost::{CostContext, CostModel, PhaseCost, PlanCache, PlanCacheStats};
 pub use engine::{
@@ -60,5 +69,6 @@ pub use fault::{Job, RedistributionPolicy};
 pub use gaudi_exec::ExecPool;
 pub use gaudi_hw::fault::FaultPlan;
 pub use kv::{kv_bytes_per_token, weight_bytes, KvAccountant};
-pub use report::{Percentiles, RequestOutcome, ServingReport};
+pub use report::{DropKind, DroppedRequest, Percentiles, RequestOutcome, ServingReport};
 pub use request::{generate_requests, Request, TrafficConfig};
+pub use robustness::RobustnessConfig;

@@ -71,12 +71,54 @@ pub struct RequestOutcome {
     pub token_times_ms: Vec<f64>,
 }
 
+/// Why a request terminated without (fully SLO-compliant) completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropKind {
+    /// Shed at admission: the queue was at its depth or token bound when
+    /// the request arrived (overload protection, never a silent drop).
+    Rejected,
+    /// An SLO deadline expired: either while queued (TTFT could no longer
+    /// be met) or at completion (the finished request missed its deadline,
+    /// so its tokens count toward throughput but not goodput).
+    TimedOut,
+    /// Replica failures exhausted the retry budget.
+    Failed,
+}
+
+/// A request that terminated without completing inside its SLOs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DroppedRequest {
+    /// Request id.
+    pub id: u64,
+    /// Arrival time, ms.
+    pub arrival_ms: f64,
+    /// Why it was dropped.
+    pub kind: DropKind,
+    /// When it was dropped, ms (shed/expiry/failure/late-finish time).
+    pub at_ms: f64,
+    /// Scheduling attempts lost to replica failures before the drop.
+    pub retries: u32,
+    /// Output tokens the engine generated for it anyway (non-zero only for
+    /// late finishers — work done, SLO missed: throughput, not goodput).
+    pub tokens_generated: usize,
+}
+
 /// Aggregate result of a serving simulation.
 #[derive(Debug, Clone)]
 pub struct ServingReport {
-    /// Per-request outcomes, sorted by id. Every generated request appears
-    /// exactly once: admission backpressure delays, it never drops.
+    /// Per-request outcomes of requests that completed within every
+    /// configured SLO, sorted by id. With the default (unlimited)
+    /// [`RobustnessConfig`] every generated request appears exactly once:
+    /// admission backpressure delays, it never drops.
+    ///
+    /// [`RobustnessConfig`]: crate::RobustnessConfig
     pub completed: Vec<RequestOutcome>,
+    /// Requests that terminated as shed, timed-out, or failed, sorted by
+    /// id. Empty under the default unlimited robustness policy.
+    pub dropped: Vec<DroppedRequest>,
+    /// Requests offered to the engine. Conservation invariant:
+    /// `offered == completed.len() + dropped.len()`.
+    pub offered: usize,
     /// First arrival → last completion, ms.
     pub makespan_ms: f64,
     /// Time-to-first-token percentiles, ms.
@@ -85,8 +127,17 @@ pub struct ServingReport {
     pub tpot_ms: Percentiles,
     /// Admission-queue wait percentiles, ms.
     pub queue_ms: Percentiles,
-    /// Generated tokens per wall-clock second.
+    /// Arrival→drop latency percentiles of timed-out requests, ms. All
+    /// zeros when nothing timed out.
+    pub timed_out_latency_ms: Percentiles,
+    /// Tokens of SLO-compliant completions per wall-clock second — the
+    /// useful work rate. Under overload this plateaus at engine capacity
+    /// while the shed fraction absorbs the excess.
     pub goodput_tokens_per_s: f64,
+    /// All generated tokens per wall-clock second, including tokens of
+    /// requests that finished past their deadline. `>= goodput`; the gap
+    /// is work the engine did that no SLO-bound client waited for.
+    pub throughput_tokens_per_s: f64,
     /// MME busy time / makespan.
     pub mme_utilization: f64,
     /// TPC-cluster busy time / makespan.
@@ -103,8 +154,12 @@ pub struct ServingReport {
     /// Times the scheduler had a free slot but the KV accountant refused the
     /// queue head (HBM backpressure).
     pub backpressure_stalls: usize,
-    /// Deepest the admission queue ever got.
+    /// Deepest the admission queue ever got, requests.
     pub max_queue_depth: usize,
+    /// Largest worst-case token footprint the admission queue ever held —
+    /// the saturation gauge that makes unbounded queue growth visible even
+    /// with shedding disabled.
+    pub peak_queued_tokens: usize,
     /// HBM high-water mark (weights + live KV), bytes.
     pub kv_peak_bytes: u64,
     /// Device HBM capacity, bytes.
@@ -119,10 +174,15 @@ pub struct ServingReport {
     /// Output tokens that had been generated on a card when it died and
     /// had to be regenerated elsewhere (lost work, excluded from goodput).
     pub requeued_tokens: usize,
-    /// Replicas the fault plan killed before they finished their work.
+    /// Replica kill events the fault plan delivered (a device that dies
+    /// and restarts twice counts twice).
     pub failed_replicas: usize,
-    /// Per-replica up-time, ms, indexed by device: the kill time for
-    /// replicas that died mid-run, otherwise the replica's own makespan.
+    /// Replica restart events: transient kills whose down window ended
+    /// inside the run, returning the card to the dispatch pool with a cold
+    /// compiled-plan cache.
+    pub restarts: usize,
+    /// Per-replica up-time, ms, indexed by device: the replica's own
+    /// makespan minus the down windows it spent dead.
     pub replica_uptime_ms: Vec<f64>,
     /// Engine-busy timeline of every phase, for the profiler tooling.
     pub trace: Trace,
@@ -145,8 +205,41 @@ impl ServingReport {
         }
     }
 
+    /// Requests shed at admission (queue depth or token bound hit).
+    pub fn shed(&self) -> usize {
+        self.dropped
+            .iter()
+            .filter(|d| d.kind == DropKind::Rejected)
+            .count()
+    }
+
+    /// Requests that missed a TTFT or end-to-end deadline.
+    pub fn timed_out(&self) -> usize {
+        self.dropped
+            .iter()
+            .filter(|d| d.kind == DropKind::TimedOut)
+            .count()
+    }
+
+    /// Requests that exhausted their retry budget after replica failures.
+    pub fn failed(&self) -> usize {
+        self.dropped
+            .iter()
+            .filter(|d| d.kind == DropKind::Failed)
+            .count()
+    }
+
+    /// Fraction of offered requests that completed within their SLOs.
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.completed.len() as f64 / self.offered as f64
+    }
+
     /// Mean fraction of the box's makespan its replicas were alive:
-    /// `1.0` in fault-free runs, lower when cards died mid-run.
+    /// `1.0` in fault-free runs, lower when cards died mid-run. A replica
+    /// that restarts accrues up-time on both sides of its down window.
     pub fn availability(&self) -> f64 {
         if self.replica_uptime_ms.is_empty() || self.makespan_ms <= 0.0 {
             return 1.0;
@@ -163,11 +256,15 @@ impl ServingReport {
     pub fn render(&self) -> String {
         let ms = |x: f64| format!("{x:.2}");
         let mut lat = TextTable::new(&["latency", "p50 ms", "p95 ms", "p99 ms", "mean ms"]);
-        for (name, p) in [
+        let mut rows = vec![
             ("ttft", &self.ttft_ms),
             ("per-token", &self.tpot_ms),
             ("queue wait", &self.queue_ms),
-        ] {
+        ];
+        if self.timed_out() > 0 {
+            rows.push(("timed-out e2e", &self.timed_out_latency_ms));
+        }
+        for (name, p) in rows {
             lat.row(&[
                 name.to_string(),
                 ms(p.p50),
@@ -179,11 +276,16 @@ impl ServingReport {
 
         let mut eng = TextTable::new(&["metric", "value"]);
         eng.row(&["devices".into(), self.devices.to_string()])
+            .row(&["requests offered".into(), self.offered.to_string()])
             .row(&["requests served".into(), self.completed.len().to_string()])
             .row(&["makespan ms".into(), ms(self.makespan_ms)])
             .row(&[
                 "goodput tok/s".into(),
                 format!("{:.1}", self.goodput_tokens_per_s),
+            ])
+            .row(&[
+                "throughput tok/s".into(),
+                format!("{:.1}", self.throughput_tokens_per_s),
             ])
             .row(&[
                 "mean decode batch".into(),
@@ -213,6 +315,10 @@ impl ServingReport {
             ])
             .row(&["max queue depth".into(), self.max_queue_depth.to_string()])
             .row(&[
+                "peak queued tokens".into(),
+                self.peak_queued_tokens.to_string(),
+            ])
+            .row(&[
                 "HBM peak / capacity".into(),
                 format!(
                     "{:.2} / {:.0} GiB",
@@ -221,8 +327,18 @@ impl ServingReport {
                 ),
             ])
             .row(&["compiled graphs".into(), self.compiled_graphs.to_string()]);
+        if !self.dropped.is_empty() {
+            eng.row(&["shed (rejected)".into(), self.shed().to_string()])
+                .row(&["timed out".into(), self.timed_out().to_string()])
+                .row(&["failed (retries)".into(), self.failed().to_string()])
+                .row(&[
+                    "goodput fraction".into(),
+                    format!("{:.1}%", self.goodput_fraction() * 100.0),
+                ]);
+        }
         if self.failed_replicas > 0 || self.retries > 0 {
             eng.row(&["failed replicas".into(), self.failed_replicas.to_string()])
+                .row(&["replica restarts".into(), self.restarts.to_string()])
                 .row(&["request retries".into(), self.retries.to_string()])
                 .row(&["requeued tokens".into(), self.requeued_tokens.to_string()])
                 .row(&[
@@ -259,11 +375,15 @@ mod tests {
     fn render_mentions_key_metrics() {
         let r = ServingReport {
             completed: vec![],
+            dropped: vec![],
+            offered: 0,
             makespan_ms: 12.5,
             ttft_ms: Percentiles::default(),
             tpot_ms: Percentiles::default(),
             queue_ms: Percentiles::default(),
+            timed_out_latency_ms: Percentiles::default(),
             goodput_tokens_per_s: 42.0,
+            throughput_tokens_per_s: 42.0,
             mme_utilization: 0.5,
             tpc_utilization: 0.25,
             dma_utilization: 0.1,
@@ -272,6 +392,7 @@ mod tests {
             prefills: 2,
             backpressure_stalls: 1,
             max_queue_depth: 4,
+            peak_queued_tokens: 96,
             kv_peak_bytes: 1 << 30,
             kv_capacity_bytes: 32 << 30,
             compiled_graphs: 5,
@@ -279,6 +400,7 @@ mod tests {
             retries: 0,
             requeued_tokens: 0,
             failed_replicas: 0,
+            restarts: 0,
             replica_uptime_ms: vec![12.5],
             trace: Trace::new(),
         };
@@ -287,9 +409,14 @@ mod tests {
         assert!(text.contains("42.0"));
         assert!(text.contains("32 GiB"));
         assert!(text.contains("NIC utilization"));
+        assert!(text.contains("peak queued tokens"));
         assert!(
             !text.contains("failed replicas"),
             "fault rows hidden in fault-free reports"
+        );
+        assert!(
+            !text.contains("shed (rejected)"),
+            "overload rows hidden when nothing dropped"
         );
 
         let faulted = ServingReport {
@@ -298,11 +425,53 @@ mod tests {
             failed_replicas: 1,
             replica_uptime_ms: vec![6.25, 12.5],
             devices: 2,
-            ..r
+            ..r.clone()
         };
         let text = faulted.render();
         assert!(text.contains("failed replicas"));
         assert!(text.contains("requeued tokens"));
         assert_eq!(faulted.availability(), 0.75);
+
+        let overloaded = ServingReport {
+            offered: 3,
+            completed: vec![RequestOutcome {
+                id: 0,
+                arrival_ms: 0.0,
+                prompt_len: 8,
+                output_len: 4,
+                queue_ms: 0.0,
+                ttft_ms: 1.0,
+                retries: 0,
+                finish_ms: 4.0,
+                token_times_ms: vec![1.0, 2.0, 3.0, 4.0],
+            }],
+            dropped: vec![
+                DroppedRequest {
+                    id: 1,
+                    arrival_ms: 0.0,
+                    kind: DropKind::Rejected,
+                    at_ms: 1.0,
+                    retries: 0,
+                    tokens_generated: 0,
+                },
+                DroppedRequest {
+                    id: 2,
+                    arrival_ms: 0.5,
+                    kind: DropKind::TimedOut,
+                    at_ms: 9.5,
+                    retries: 0,
+                    tokens_generated: 4,
+                },
+            ],
+            ..r
+        };
+        assert_eq!(overloaded.shed(), 1);
+        assert_eq!(overloaded.timed_out(), 1);
+        assert_eq!(overloaded.failed(), 0);
+        assert!((overloaded.goodput_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        let text = overloaded.render();
+        assert!(text.contains("shed (rejected)"));
+        assert!(text.contains("goodput fraction"));
+        assert!(text.contains("timed-out e2e"));
     }
 }

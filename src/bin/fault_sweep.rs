@@ -41,6 +41,7 @@ struct SweepResult {
     digest: String,
     baseline_goodput: Vec<f64>,
     mid_kill_4: ServingReport,
+    restart_4: ServingReport,
 }
 
 fn sweep(pool: &gaudi_exec::ExecPool, cache: &Arc<PlanCache>) -> SweepResult {
@@ -116,11 +117,44 @@ fn sweep(pool: &gaudi_exec::ExecPool, cache: &Arc<PlanCache>) -> SweepResult {
         }
     }
 
+    // Transient-fault cell: the same 4-replica mid-run kill, but the card
+    // restarts (cold recipe cache) after a quarter of the clean makespan.
+    // Orphans back off past the restart, so the recovered card takes its
+    // round-robin share of the retry wave instead of sitting idle.
+    let clean_4 = baselines[3].makespan_ms;
+    let mut restart_cfg = cell(
+        4,
+        FaultPlan::none().kill_for(DeviceId(3), clean_4 * 0.5, clean_4 * 0.25),
+    );
+    restart_cfg.robustness =
+        gaudi_serving::RobustnessConfig::default().backoff(clean_4 * 0.3, 0.0, 42);
+    let restart_4 = run_cells(pool, cache, std::slice::from_ref(&restart_cfg))
+        .pop()
+        .expect("the restart cell ran");
+    assert_eq!(
+        restart_4.completed.len(),
+        fault_sweep_config().traffic.num_requests,
+        "a restarting replica must not drop requests"
+    );
+    assert_eq!(restart_4.restarts, 1);
+    digests.push(report_digest(&restart_4));
+    t.row(&[
+        "4 (restart)".into(),
+        "0.50".into(),
+        format!("{:.1}", clean_4 * 0.5),
+        restart_4.completed.len().to_string(),
+        restart_4.retries.to_string(),
+        restart_4.requeued_tokens.to_string(),
+        format!("{:.1}%", restart_4.availability() * 100.0),
+        format!("{:.0}", restart_4.goodput_tokens_per_s),
+    ]);
+
     SweepResult {
         table: t.render(),
         digest: digests.join("\n"),
         baseline_goodput: baselines.iter().map(|b| b.goodput_tokens_per_s).collect(),
         mid_kill_4: mid_kill_4.expect("the 4-replica mid-run kill cell ran"),
+        restart_4,
     }
 }
 
@@ -158,6 +192,23 @@ fn main() {
          baselines: {g3:.1} < {faulted:.1} < {g4:.1} violated"
     );
     println!("degraded goodput sits strictly between the baselines: true");
+
+    // Transient-fault pin: a kill with a restart window loses less
+    // availability than a permanent kill but still less than a clean run,
+    // and recovery completes every request.
+    let a_perm = s.mid_kill_4.availability();
+    let a_restart = s.restart_4.availability();
+    println!(
+        "\navailability — permanent kill: {:.1}%, kill+restart: {:.1}%, clean: 100.0%",
+        a_perm * 100.0,
+        a_restart * 100.0
+    );
+    assert!(
+        a_perm < a_restart && a_restart < 1.0,
+        "restart availability must sit strictly between the permanent-kill \
+         and no-fault baselines: {a_perm:.4} < {a_restart:.4} < 1 violated"
+    );
+    println!("restart availability sits strictly between kill and clean: true");
 
     // Determinism: the entire sweep, faults included, must reproduce —
     // the second pass runs against the warm plan cache.

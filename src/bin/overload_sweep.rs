@@ -1,0 +1,249 @@
+//! Extension: overload sweep — arrival rate across the saturation point,
+//! with and without overload protection.
+//!
+//! Measures the single-replica saturation rate of the §3.4 GPT serving
+//! configuration, then sweeps arrival rate from well below to 2× above it,
+//! twice per point: once with a [`RobustnessConfig`] (bounded admission
+//! queue + TTFT deadline) and once with the unlimited legacy policy. The
+//! sweep is the acceptance harness for graceful degradation; it asserts:
+//!
+//! 1. **goodput plateaus** — with shedding, goodput at 2× saturation stays
+//!    within 90% of the sweep's peak, and the p99 TTFT of *completed*
+//!    requests stays within 3× of the unloaded p99 (the SLO filter keeps
+//!    the served population healthy);
+//! 2. **shed fraction rises monotonically** with offered load;
+//! 3. **without protection the queue grows without bound** — peak queue
+//!    depth keeps climbing past saturation instead of plateauing, far
+//!    beyond the bounded policy's cap;
+//! 4. the whole sweep is **bit-identical across two runs**.
+//!
+//! ```sh
+//! cargo run --release --bin overload_sweep [-- --threads N]
+//! ```
+
+use gaudi_profiler::report::TextTable;
+use gaudi_serving::{PlanCache, RobustnessConfig, ServingConfig, ServingReport};
+use habana_gaudi_study::bin_support::{overload_sweep_config, report_digest, run_cells, Flags};
+use std::sync::Arc;
+
+const MULTIPLIERS: [f64; 5] = [0.25, 0.5, 1.0, 1.5, 2.0];
+/// Admission-queue bound of the protected variant (2× the decode batch).
+const QUEUE_DEPTH: usize = 6;
+
+struct Sweep {
+    saturation_rate: f64,
+    unloaded_ttft_p99: f64,
+    ttft_deadline: f64,
+    shed: Vec<ServingReport>,
+    noshed: Vec<ServingReport>,
+    digest: String,
+}
+
+fn sweep(pool: &gaudi_exec::ExecPool, cache: &Arc<PlanCache>) -> Sweep {
+    // Saturation probe: an instantaneous burst makes the makespan pure
+    // service time, so requests/makespan is the engine's capacity.
+    let burst = run_cells(pool, cache, &[overload_sweep_config(1e9)])
+        .pop()
+        .expect("burst cell ran");
+    let n = overload_sweep_config(1e9).traffic.num_requests;
+    let saturation_rate = n as f64 / (burst.makespan_ms / 1e3);
+
+    // Unloaded reference: 5% of saturation, TTFT is essentially prefill.
+    let unloaded = run_cells(
+        pool,
+        cache,
+        &[overload_sweep_config(saturation_rate * 0.05)],
+    )
+    .pop()
+    .expect("unloaded cell ran");
+    let unloaded_ttft_p99 = unloaded.ttft_ms.p99;
+    // The protected variant's SLO: 2.5× the unloaded p99, which keeps every
+    // *completed* request within the 3× acceptance bound by construction.
+    let ttft_deadline = unloaded_ttft_p99 * 2.5;
+
+    let robust = RobustnessConfig::default()
+        .queue_depth(QUEUE_DEPTH)
+        .ttft_deadline(ttft_deadline);
+    let mut cells: Vec<ServingConfig> = Vec::new();
+    for &m in &MULTIPLIERS {
+        let mut shed = overload_sweep_config(saturation_rate * m);
+        shed.robustness = robust.clone();
+        cells.push(shed);
+        cells.push(overload_sweep_config(saturation_rate * m));
+    }
+    let mut reports = run_cells(pool, cache, &cells);
+
+    let mut shed = Vec::new();
+    let mut noshed = Vec::new();
+    for pair in reports.chunks_exact_mut(2) {
+        shed.push(std::mem::replace(&mut pair[0], burst.clone()));
+        noshed.push(std::mem::replace(&mut pair[1], burst.clone()));
+    }
+    let digest = shed
+        .iter()
+        .chain(&noshed)
+        .map(report_digest)
+        .collect::<Vec<_>>()
+        .join("\n");
+    Sweep {
+        saturation_rate,
+        unloaded_ttft_p99,
+        ttft_deadline,
+        shed,
+        noshed,
+        digest,
+    }
+}
+
+fn main() {
+    let flags = Flags::parse("overload_sweep [--threads N]", &["--threads"], &[]);
+    let pool = flags.pool();
+    let cache = Arc::new(PlanCache::new());
+
+    println!("Extension: overload protection across the saturation point\n");
+    let s = sweep(&pool, &cache);
+    println!(
+        "saturation rate: {:.0} req/s; unloaded TTFT p99: {:.2} ms; \
+         protected policy: queue depth {QUEUE_DEPTH}, TTFT deadline {:.2} ms\n",
+        s.saturation_rate, s.unloaded_ttft_p99, s.ttft_deadline
+    );
+
+    let mut t = TextTable::new(&[
+        "Load (x sat)",
+        "Policy",
+        "Completed",
+        "Shed",
+        "Timed out",
+        "TTFT p99 (ms)",
+        "Peak queue",
+        "Goodput (tok/s)",
+    ]);
+    for (i, &m) in MULTIPLIERS.iter().enumerate() {
+        for (name, r) in [("shed", &s.shed[i]), ("unlimited", &s.noshed[i])] {
+            t.row(&[
+                format!("{m:.2}"),
+                name.into(),
+                r.completed.len().to_string(),
+                r.shed().to_string(),
+                r.timed_out().to_string(),
+                format!("{:.2}", r.ttft_ms.p99),
+                r.max_queue_depth.to_string(),
+                format!("{:.0}", r.goodput_tokens_per_s),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading: past saturation the unlimited policy keeps 'succeeding'\n\
+         while its queue and TTFT tail explode; the protected policy sheds\n\
+         the excess and keeps the served population inside its SLO at\n\
+         near-peak goodput.\n"
+    );
+
+    // 1. Goodput plateau + completed-TTFT SLO at 2x saturation.
+    let at_2x = s.shed.last().expect("2x cell ran");
+    let peak_goodput = s
+        .shed
+        .iter()
+        .map(|r| r.goodput_tokens_per_s)
+        .fold(0.0, f64::max);
+    let goodput_frac = at_2x.goodput_tokens_per_s / peak_goodput;
+    println!(
+        "goodput at 2x saturation: {:.0} tok/s = {:.1}% of peak {:.0} (gate: >= 90%)",
+        at_2x.goodput_tokens_per_s,
+        goodput_frac * 100.0,
+        peak_goodput
+    );
+    assert!(
+        goodput_frac >= 0.9,
+        "shedding must hold goodput at 2x saturation within 90% of peak, got {:.1}%",
+        goodput_frac * 100.0
+    );
+    let ttft_ratio = at_2x.ttft_ms.p99 / s.unloaded_ttft_p99;
+    println!(
+        "completed-request TTFT p99 at 2x: {:.2} ms = {ttft_ratio:.2}x unloaded (gate: <= 3x)",
+        at_2x.ttft_ms.p99
+    );
+    assert!(
+        ttft_ratio <= 3.0,
+        "completed requests must stay within 3x the unloaded TTFT p99, got {ttft_ratio:.2}x"
+    );
+
+    // 2. Shed fraction rises monotonically with offered load.
+    let shed_frac: Vec<f64> = s
+        .shed
+        .iter()
+        .map(|r| r.shed() as f64 / r.offered as f64)
+        .collect();
+    assert!(
+        shed_frac.windows(2).all(|w| w[0] <= w[1]),
+        "shed fraction must be monotone in offered load: {shed_frac:?}"
+    );
+    assert!(
+        *shed_frac.last().unwrap() > 0.0,
+        "2x saturation must actually shed"
+    );
+    println!(
+        "shed fraction rises monotonically: {} (gate: monotone, > 0 at 2x)",
+        shed_frac
+            .iter()
+            .map(|f| format!("{:.0}%", f * 100.0))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+
+    // 3. Without protection the queue grows without bound past saturation.
+    let depths: Vec<usize> = s.noshed.iter().map(|r| r.max_queue_depth).collect();
+    let saturated = &depths[2..]; // multipliers 1.0, 1.5, 2.0
+    assert!(
+        saturated.windows(2).all(|w| w[0] < w[1]),
+        "unprotected peak queue depth must keep growing past saturation: {depths:?}"
+    );
+    assert!(
+        *depths.last().unwrap() > 2 * QUEUE_DEPTH,
+        "unprotected queue at 2x must dwarf the bounded policy's cap"
+    );
+    assert!(s.shed.iter().all(|r| r.max_queue_depth <= QUEUE_DEPTH));
+    println!("unprotected peak queue depth grows past saturation: {depths:?}");
+
+    // 4. Bit-identical reproduction (second pass hits the warm plan cache).
+    let again = sweep(&pool, &cache);
+    let reproducible = s.digest == again.digest;
+    println!("re-run with identical seed reproduces every cell: {reproducible}");
+    assert!(reproducible, "the overload sweep must be deterministic");
+
+    // Machine-readable record next to BENCH_4.json for the CI artifact.
+    let mut rows = String::new();
+    for (i, &m) in MULTIPLIERS.iter().enumerate() {
+        let (a, b) = (&s.shed[i], &s.noshed[i]);
+        rows.push_str(&format!(
+            "    {{\"load_multiplier\": {m}, \"shed\": {{\"completed\": {}, \"shed\": {}, \
+             \"timed_out\": {}, \"ttft_p99_ms\": {:.6}, \"peak_queue\": {}, \
+             \"goodput_tok_s\": {:.6}}}, \"unlimited\": {{\"completed\": {}, \
+             \"ttft_p99_ms\": {:.6}, \"peak_queue\": {}, \"goodput_tok_s\": {:.6}}}}}{}\n",
+            a.completed.len(),
+            a.shed(),
+            a.timed_out(),
+            a.ttft_ms.p99,
+            a.max_queue_depth,
+            a.goodput_tokens_per_s,
+            b.completed.len(),
+            b.ttft_ms.p99,
+            b.max_queue_depth,
+            b.goodput_tokens_per_s,
+            if i + 1 < MULTIPLIERS.len() { "," } else { "" },
+        ));
+    }
+    let json = format!(
+        "{{\n  \"sweep\": \"overload, paper GPT, 1 replica\",\n  \
+         \"saturation_rate_req_s\": {:.6},\n  \"unloaded_ttft_p99_ms\": {:.6},\n  \
+         \"ttft_deadline_ms\": {:.6},\n  \"queue_depth\": {QUEUE_DEPTH},\n  \
+         \"goodput_at_2x_frac_of_peak\": {:.6},\n  \"bit_identical\": true,\n  \
+         \"cells\": [\n{rows}  ]\n}}\n",
+        s.saturation_rate, s.unloaded_ttft_p99, s.ttft_deadline, goodput_frac,
+    );
+    let out = std::path::Path::new("results").join("OVERLOAD_5.json");
+    std::fs::create_dir_all("results").expect("results/ exists or is creatable");
+    std::fs::write(&out, &json).expect("OVERLOAD_5.json is writable");
+    println!("\nwrote {}", out.display());
+}

@@ -15,21 +15,43 @@
 //! `--devices N` serves the same stream on N data-parallel replica cards
 //! (requests round-robined in arrival order); `--threads N` sizes the
 //! sweep's thread pool (default: the global pool, see
-//! `GAUDI_EXEC_THREADS`).
+//! `GAUDI_EXEC_THREADS`). `--queue-depth N`, `--ttft-deadline MS`, and
+//! `--deadline MS` impose an overload-protection policy on every cell, so
+//! the same sweep shows shedding and SLO expiry under load.
 
 use gaudi_profiler::report::TextTable;
-use gaudi_serving::{PlanCache, ServingConfig};
+use gaudi_serving::{PlanCache, RobustnessConfig, ServingConfig};
 use habana_gaudi_study::bin_support::{run_cells, serving_sweep_config, Flags};
 use std::sync::Arc;
 
 fn main() {
     let flags = Flags::parse(
-        "serving_sweep [--devices N] [--threads N]",
-        &["--devices", "--threads"],
+        "serving_sweep [--devices N] [--threads N] [--queue-depth N] \
+         [--ttft-deadline MS] [--deadline MS]",
+        &[
+            "--devices",
+            "--threads",
+            "--queue-depth",
+            "--ttft-deadline",
+            "--deadline",
+        ],
         &[],
     );
     let devices = flags.usize_in("--devices", 1, 1..=64);
     let pool = flags.pool();
+    let mut robustness = RobustnessConfig::default();
+    let depth = flags.usize_in("--queue-depth", 0, 0..=usize::MAX);
+    if depth > 0 {
+        robustness = robustness.queue_depth(depth);
+    }
+    let ttft_dl = flags.f64_in("--ttft-deadline", 0.0, 0.0..=f64::MAX);
+    if ttft_dl > 0.0 {
+        robustness = robustness.ttft_deadline(ttft_dl);
+    }
+    let e2e_dl = flags.f64_in("--deadline", 0.0, 0.0..=f64::MAX);
+    if e2e_dl > 0.0 {
+        robustness = robustness.deadline(e2e_dl);
+    }
 
     println!(
         "Extension: simulated online serving, GPT-2-XL-class model on {} HLS-1 card{}\n",
@@ -49,9 +71,12 @@ fn main() {
     let cells: Vec<ServingConfig> = rates
         .iter()
         .flat_map(|&rate| {
-            batches
-                .iter()
-                .map(move |&b| serving_sweep_config(rate, b, devices))
+            let robustness = robustness.clone();
+            batches.iter().map(move |&b| {
+                let mut cfg = serving_sweep_config(rate, b, devices);
+                cfg.robustness = robustness.clone();
+                cfg
+            })
         })
         .collect();
 
@@ -66,6 +91,8 @@ fn main() {
         "Goodput (tok/s)",
         "MME/TPC util",
         "KV stalls",
+        "Peak queue",
+        "Shed/expired",
         "Graphs",
     ]);
     for (cfg, r) in cells.iter().zip(&reports) {
@@ -84,6 +111,8 @@ fn main() {
                 r.tpc_utilization * 100.0
             ),
             r.backpressure_stalls.to_string(),
+            r.max_queue_depth.to_string(),
+            format!("{}/{}", r.shed(), r.timed_out()),
             r.compiled_graphs.to_string(),
         ]);
     }
@@ -106,15 +135,12 @@ fn main() {
 
     // The acceptance bar: identical seeds must reproduce identical reports
     // — including on a re-run that now hits the warm plan cache.
-    let again = run_cells(
-        &pool,
-        &cache,
-        &[serving_sweep_config(
-            *rates.last().unwrap(),
-            *batches.last().unwrap(),
-            devices,
-        )],
-    );
+    let again = {
+        let mut cfg =
+            serving_sweep_config(*rates.last().unwrap(), *batches.last().unwrap(), devices);
+        cfg.robustness = robustness;
+        run_cells(&pool, &cache, &[cfg])
+    };
     let reproducible = busiest.makespan_ms == again[0].makespan_ms
         && busiest.ttft_ms == again[0].ttft_ms
         && busiest.tpot_ms == again[0].tpot_ms

@@ -79,6 +79,21 @@ impl Flags {
         }
     }
 
+    /// An `f64` flag constrained to `range`, or `default` when absent.
+    pub fn f64_in(&self, name: &str, default: f64, range: std::ops::RangeInclusive<f64>) -> f64 {
+        match self.values.iter().rev().find(|(n, _)| n == name) {
+            None => default,
+            Some((_, v)) => match v.parse::<f64>() {
+                Ok(x) if x.is_finite() && range.contains(&x) => x,
+                _ => self.fail(&format!(
+                    "{name} expects a number in {}..={}, got '{v}'",
+                    range.start(),
+                    range.end()
+                )),
+            },
+        }
+    }
+
     /// The pool selected by `--threads N`: an explicit pool of that size,
     /// or the process-global pool (honoring `GAUDI_EXEC_THREADS`) when the
     /// flag is absent. `--threads 1` forces fully serial execution.
@@ -125,16 +140,42 @@ pub fn fault_sweep_config() -> ServingConfig {
     cfg
 }
 
+/// The overload-sweep operating point: §3.4 GPT on one replica, a seeded
+/// 120-request burst at `rate` req/s. Robustness policy supplied by the
+/// caller (the sweep contrasts shedding against the unbounded baseline).
+pub fn overload_sweep_config(rate: f64) -> ServingConfig {
+    let mut cfg = ServingConfig::paper_gpt();
+    cfg.traffic = TrafficConfig {
+        arrival_rate_per_s: rate,
+        num_requests: 120,
+        prompt_range: (16, 64),
+        output_range: (4, 32),
+        zipf_s: 1.1,
+        seed: 42,
+    };
+    cfg.max_batch = 8;
+    cfg.devices = 1;
+    cfg
+}
+
 /// Everything a determinism check needs to compare, rendered to exact
-/// text: latency tails, goodput, completion/retry/availability counters.
+/// text: latency tails, goodput, completion/outcome/retry/availability
+/// counters, and the queue-pressure gauges.
 pub fn report_digest(r: &ServingReport) -> String {
     format!(
-        "{:.6}|{:.6}|{:.6}|{:.6}|{}|{}|{}|{:.6}",
+        "{:.6}|{:.6}|{:.6}|{:.6}|{:.6}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:.6}",
         r.makespan_ms,
         r.goodput_tokens_per_s,
+        r.throughput_tokens_per_s,
         r.ttft_ms.p99,
         r.tpot_ms.p99,
         r.completed.len(),
+        r.offered,
+        r.shed(),
+        r.timed_out(),
+        r.failed(),
+        r.max_queue_depth,
+        r.peak_queued_tokens,
         r.retries,
         r.requeued_tokens,
         r.availability()

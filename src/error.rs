@@ -25,6 +25,18 @@ pub enum GaudiError {
     OutOfMemory(OutOfMemory),
     /// The session's fault plan is malformed (unknown device, bad factor…).
     Fault(FaultError),
+    /// The session's overload-protection policy is malformed (negative
+    /// deadline, jitter outside `[0, 1]`, zero-size queue bound…).
+    Robustness(String),
+    /// A [`serve_guaranteed`](crate::GaudiSession::serve_guaranteed) run
+    /// shed, expired, or failed some of its requests instead of completing
+    /// all of them.
+    Overloaded {
+        /// Requests that terminated as rejected, timed-out, or failed.
+        dropped: usize,
+        /// Total requests offered to the engine.
+        offered: usize,
+    },
     /// The session configuration is inconsistent (e.g. a parallelism plan
     /// needing more cards than the session has).
     Config(String),
@@ -39,6 +51,11 @@ impl std::fmt::Display for GaudiError {
             GaudiError::Serving(e) => write!(f, "serving: {e}"),
             GaudiError::OutOfMemory(e) => write!(f, "out of device memory: {e}"),
             GaudiError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+            GaudiError::Robustness(msg) => write!(f, "invalid robustness policy: {msg}"),
+            GaudiError::Overloaded { dropped, offered } => write!(
+                f,
+                "service overloaded: {dropped} of {offered} requests shed, timed out, or failed"
+            ),
             GaudiError::Config(msg) => write!(f, "invalid session config: {msg}"),
         }
     }
@@ -53,6 +70,8 @@ impl std::error::Error for GaudiError {
             GaudiError::Serving(e) => Some(e),
             GaudiError::OutOfMemory(e) => Some(e),
             GaudiError::Fault(e) => Some(e),
+            GaudiError::Robustness(_) => None,
+            GaudiError::Overloaded { .. } => None,
             GaudiError::Config(_) => None,
         }
     }

@@ -61,8 +61,8 @@ pub mod prelude {
     pub use gaudi_profiler::{Trace, TraceAnalysis};
     pub use gaudi_runtime::{Feeds, MultiRunReport, NumericsMode, RunReport, Runtime};
     pub use gaudi_serving::{
-        ExecPolicy, PlanCache, PlanSharing, RedistributionPolicy, ServingConfig, ServingReport,
-        TrafficConfig,
+        DropKind, DroppedRequest, ExecPolicy, PlanCache, PlanSharing, RedistributionPolicy,
+        RobustnessConfig, ServingConfig, ServingReport, TrafficConfig,
     };
     pub use gaudi_tensor::{DType, SeededRng, Shape, Tensor};
 }

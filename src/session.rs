@@ -30,7 +30,7 @@ use gaudi_compiler::{CompilerOptions, Parallelism, PartitionSpec};
 use gaudi_graph::Graph;
 use gaudi_hw::{FaultPlan, GaudiConfig, Topology};
 use gaudi_runtime::{Feeds, MultiRunReport, NumericsMode, RunReport, Runtime};
-use gaudi_serving::{simulate, ServingConfig, ServingReport};
+use gaudi_serving::{simulate, RobustnessConfig, ServingConfig, ServingReport};
 
 /// A configured simulated device — or box of devices: hardware model,
 /// compiler options, and a parallelism layout.
@@ -47,6 +47,7 @@ pub struct GaudiSession {
     parallelism: Parallelism,
     spec: PartitionSpec,
     faults: FaultPlan,
+    robustness: Option<RobustnessConfig>,
     runtime: Runtime,
 }
 
@@ -147,6 +148,8 @@ impl GaudiSession {
     /// engine per card). A session-level
     /// [`fault plan`](GaudiSessionBuilder::faults) overrides the one in
     /// `cfg`, killing, throttling, and degrading those replicas.
+    /// A session-level [`robustness`](GaudiSessionBuilder::robustness)
+    /// policy likewise overrides the one in `cfg`.
     pub fn serve(&self, cfg: &ServingConfig) -> Result<ServingReport, GaudiError> {
         let mut cfg = cfg.clone();
         cfg.hw = self.hw.clone();
@@ -155,7 +158,25 @@ impl GaudiSession {
         if !self.faults.is_empty() {
             cfg.faults = self.faults.clone();
         }
+        if let Some(rb) = &self.robustness {
+            cfg.robustness = rb.clone();
+        }
         Ok(simulate(&cfg)?)
+    }
+
+    /// [`serve`](Self::serve), but demand that *every* offered request
+    /// completes: if the robustness policy shed, expired, or failed any
+    /// request the run is an [`GaudiError::Overloaded`] error carrying the
+    /// drop counts — the programmatic version of an SLO violation page.
+    pub fn serve_guaranteed(&self, cfg: &ServingConfig) -> Result<ServingReport, GaudiError> {
+        let report = self.serve(cfg)?;
+        if !report.dropped.is_empty() {
+            return Err(GaudiError::Overloaded {
+                dropped: report.dropped.len(),
+                offered: report.offered,
+            });
+        }
+        Ok(report)
     }
 
     /// The hardware configuration this session simulates.
@@ -188,6 +209,11 @@ impl GaudiSession {
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
     }
+
+    /// The overload-protection policy `serve` imposes, if any.
+    pub fn robustness(&self) -> Option<&RobustnessConfig> {
+        self.robustness.as_ref()
+    }
 }
 
 /// Builder for [`GaudiSession`].
@@ -200,6 +226,7 @@ pub struct GaudiSessionBuilder {
     parallelism: Option<Parallelism>,
     partition_spec: Option<PartitionSpec>,
     faults: Option<FaultPlan>,
+    robustness: Option<RobustnessConfig>,
 }
 
 impl GaudiSessionBuilder {
@@ -256,6 +283,14 @@ impl GaudiSessionBuilder {
         self
     }
 
+    /// Impose an overload-protection policy on every `serve` (default:
+    /// none — the serving config's own policy applies). Validated at
+    /// [`build`](Self::build).
+    pub fn robustness(mut self, cfg: RobustnessConfig) -> Self {
+        self.robustness = Some(cfg);
+        self
+    }
+
     /// Construct the session.
     pub fn build(self) -> Result<GaudiSession, GaudiError> {
         let hw = self.hw.unwrap_or_else(GaudiConfig::hls1);
@@ -289,6 +324,9 @@ impl GaudiSessionBuilder {
         let spec = self.partition_spec.unwrap_or_else(PartitionSpec::llm);
         let faults = self.faults.unwrap_or_else(FaultPlan::none);
         faults.validate(devices)?;
+        if let Some(rb) = &self.robustness {
+            rb.validate().map_err(GaudiError::Robustness)?;
+        }
         let runtime = Runtime::new(hw.clone(), options.clone());
         Ok(GaudiSession {
             hw,
@@ -298,6 +336,7 @@ impl GaudiSessionBuilder {
             parallelism,
             spec,
             faults,
+            robustness: self.robustness,
             runtime,
         })
     }
@@ -306,7 +345,7 @@ impl GaudiSessionBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gaudi_serving::TrafficConfig;
+    use gaudi_serving::{RobustnessConfig, TrafficConfig};
     use gaudi_tensor::Tensor;
 
     fn softmax_graph() -> Graph {
@@ -506,6 +545,52 @@ mod tests {
         assert_eq!(r.completed.len(), 12, "failures must not drop requests");
         assert_eq!(r.failed_replicas, 1);
         assert!(r.availability() < 1.0);
+    }
+
+    #[test]
+    fn session_robustness_policy_overrides_serving_config() {
+        use gaudi_serving::DropKind;
+        let mut cfg = ServingConfig::paper_gpt();
+        cfg.traffic = TrafficConfig {
+            num_requests: 20,
+            arrival_rate_per_s: 1e6,
+            prompt_range: (8, 32),
+            output_range: (2, 8),
+            ..TrafficConfig::default()
+        };
+        let s = GaudiSession::builder()
+            .robustness(RobustnessConfig::default().queue_depth(2))
+            .build()
+            .unwrap();
+        assert!(s.robustness().is_some());
+        let r = s.serve(&cfg).unwrap();
+        assert!(r.shed() > 0, "a 2-deep queue must shed the burst");
+        assert!(r.max_queue_depth <= 2);
+        assert!(r.dropped.iter().all(|d| d.kind == DropKind::Rejected));
+        // The same burst through serve_guaranteed is an Overloaded error.
+        let err = s.serve_guaranteed(&cfg).unwrap_err();
+        match err {
+            GaudiError::Overloaded { dropped, offered } => {
+                assert_eq!(dropped, r.dropped.len());
+                assert_eq!(offered, 20);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Without a policy the burst completes and the guarantee holds.
+        let lax = GaudiSession::hls1();
+        let r = lax.serve_guaranteed(&cfg).unwrap();
+        assert_eq!(r.completed.len(), 20);
+    }
+
+    #[test]
+    fn malformed_robustness_policy_fails_at_build() {
+        let err = GaudiSession::builder()
+            .robustness(RobustnessConfig::default().ttft_deadline(-5.0))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, GaudiError::Robustness(_)));
+        assert!(err.to_string().contains("robustness"));
     }
 
     #[test]

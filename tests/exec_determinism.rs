@@ -100,6 +100,51 @@ fn faulted_serving_run_is_bit_identical_across_policies() {
 }
 
 #[test]
+fn restart_and_shed_run_is_bit_identical_across_policies() {
+    // The full robustness machinery at once — a bounded queue shedding a
+    // saturating burst, TTFT expiry, jittered retry backoff, and a replica
+    // that dies and restarts with a cold recipe cache — must still be a
+    // pure function of the config under every execution policy.
+    let mut cfg = serving_config(3);
+    cfg.traffic.arrival_rate_per_s = 5_000.0;
+    cfg.faults = FaultPlan::none().kill_for(DeviceId(2), 10.0, 25.0);
+    cfg.robustness = RobustnessConfig::default()
+        .queue_depth(4)
+        .ttft_deadline(60.0)
+        .retries(5)
+        .backoff(2.0, 0.5, 7);
+    let cache = Arc::new(PlanCache::new());
+    let reference = simulate_with(&cfg, &ExecPolicy::serial_baseline()).unwrap();
+    assert_eq!(reference.restarts, 1, "the killed replica must come back");
+    assert!(
+        !reference.dropped.is_empty(),
+        "the burst must overflow the bounded queue or miss the SLO"
+    );
+    assert!(!reference.completed.is_empty());
+    assert_eq!(
+        reference.completed.len() + reference.dropped.len(),
+        reference.offered
+    );
+    for (name, policy) in policies(&cache) {
+        let got = simulate_with(&cfg, &policy).unwrap();
+        assert_eq!(
+            full_digest(&got),
+            full_digest(&reference),
+            "policy '{name}' diverged from serial on the restart+shed run"
+        );
+    }
+    // Warm shared cache: memoized plans must not perturb outcomes.
+    let warm = ExecPolicy {
+        pool: ExecPool::new(4),
+        plans: PlanSharing::Shared(cache),
+    };
+    assert_eq!(
+        full_digest(&simulate_with(&cfg, &warm).unwrap()),
+        full_digest(&reference)
+    );
+}
+
+#[test]
 fn explicit_trace_replay_is_policy_independent() {
     let cfg = serving_config(2);
     let requests: Vec<Request> = (0..20)

@@ -4,11 +4,12 @@
 //! tokens in order, and identical seeds must reproduce identical reports.
 
 use gaudi_compiler::CompilerOptions;
+use gaudi_hw::DeviceId;
 use gaudi_hw::GaudiConfig;
 use gaudi_models::LlmConfig;
 use gaudi_serving::{
-    generate_requests, kv_bytes_per_token, simulate, simulate_trace, weight_bytes, FaultPlan,
-    RedistributionPolicy, ServingConfig, ServingError, TrafficConfig,
+    generate_requests, kv_bytes_per_token, simulate, simulate_trace, weight_bytes, DropKind,
+    FaultPlan, RedistributionPolicy, RobustnessConfig, ServingConfig, ServingError, TrafficConfig,
 };
 use gaudi_tensor::DType;
 use proptest::prelude::*;
@@ -49,6 +50,7 @@ fn config(
         devices: 1,
         faults: FaultPlan::none(),
         redistribution: RedistributionPolicy::default(),
+        robustness: RobustnessConfig::default(),
     }
 }
 
@@ -183,6 +185,96 @@ proptest! {
         for (x, y) in a.completed.iter().zip(b.completed.iter()) {
             prop_assert_eq!(x, y);
         }
+    }
+
+    /// Overload protection conserves requests: every offered request
+    /// terminates exactly once, as completed, rejected, timed out, or
+    /// failed — no matter how tight the queue bound, how short the
+    /// deadlines, or how small the retry budget.
+    #[test]
+    fn outcomes_conserve_offered_requests(
+        seed in 0u64..1_000_000,
+        num_requests in 1usize..40,
+        max_batch in 1usize..8,
+        queue_depth in 1usize..6,
+        ttft_deadline in 1.0f64..20.0,
+        deadline in 5.0f64..100.0,
+        retries in 0u32..4,
+        kill_at in 1.0f64..40.0,
+        down_for in 1.0f64..60.0,
+    ) {
+        // Burst arrivals (rate_idx 2 -> 200 req/s) against a killed-and-
+        // restarted replica: shedding, SLO expiry, and retry exhaustion
+        // all fire depending on the draw.
+        let mut cfg = config(seed, 2, num_requests, max_batch, 500);
+        cfg.devices = 2;
+        cfg.faults = FaultPlan::none().kill_for(DeviceId(1), kill_at, down_for);
+        cfg.robustness = RobustnessConfig::default()
+            .queue_depth(queue_depth)
+            .ttft_deadline(ttft_deadline)
+            .deadline(deadline)
+            .retries(retries)
+            .backoff(1.0, 0.5, seed);
+        let r = simulate(&cfg).unwrap();
+        prop_assert_eq!(r.offered, num_requests);
+        prop_assert_eq!(r.completed.len() + r.dropped.len(), r.offered,
+            "every request must terminate exactly once");
+        let by_kind = |k: DropKind| r.dropped.iter().filter(|d| d.kind == k).count();
+        prop_assert_eq!(
+            by_kind(DropKind::Rejected) + by_kind(DropKind::TimedOut) + by_kind(DropKind::Failed),
+            r.dropped.len());
+        prop_assert_eq!(r.shed(), by_kind(DropKind::Rejected));
+        prop_assert_eq!(r.timed_out(), by_kind(DropKind::TimedOut));
+        prop_assert_eq!(r.failed(), by_kind(DropKind::Failed));
+        // Goodput counts completed tokens only; throughput adds the rest.
+        prop_assert!(r.throughput_tokens_per_s >= r.goodput_tokens_per_s - 1e-9);
+    }
+
+    /// The backoff schedule is a pure function of (config, id, attempt):
+    /// two independently built configs agree bit-for-bit, and each delay
+    /// strictly exceeds the previous one (exponential growth dominates
+    /// the bounded jitter stretch).
+    #[test]
+    fn backoff_schedule_is_deterministic_and_monotone(
+        base in 0.1f64..10.0,
+        jitter in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+        id in 0u64..1_000,
+    ) {
+        let a = RobustnessConfig::default().backoff(base, jitter, seed);
+        let b = RobustnessConfig::default().backoff(base, jitter, seed);
+        let mut prev = 0.0;
+        for attempt in 1u32..10 {
+            let d = a.backoff_delay_ms(id, attempt);
+            prop_assert_eq!(d, b.backoff_delay_ms(id, attempt),
+                "same (seed, id, attempt) must give the same delay");
+            prop_assert!(d.is_finite() && d > prev,
+                "attempt {} delay {} must exceed previous {}", attempt, d, prev);
+            prev = d;
+        }
+    }
+
+    /// Replica restarts never mint spare capacity: availability stays in
+    /// [0, 1] however the kill and restart windows land, and with the
+    /// unlimited retry policy recovery still completes every request.
+    #[test]
+    fn availability_stays_bounded_under_restarts(
+        seed in 0u64..1_000_000,
+        num_requests in 2usize..30,
+        devices in 2usize..5,
+        kill_at in 1.0f64..60.0,
+        down_for in 1.0f64..80.0,
+    ) {
+        let mut cfg = config(seed, 2, num_requests, 4, 500);
+        cfg.devices = devices;
+        cfg.faults = FaultPlan::none().kill_for(DeviceId(devices - 1), kill_at, down_for);
+        let r = simulate(&cfg).unwrap();
+        let a = r.availability();
+        prop_assert!((0.0..=1.0).contains(&a), "availability {} outside [0, 1]", a);
+        prop_assert!(r.restarts <= 1);
+        prop_assert_eq!(r.completed.len(), num_requests,
+            "unlimited retries must complete everything despite the outage");
+        prop_assert!(r.dropped.is_empty());
     }
 }
 
