@@ -32,7 +32,7 @@ use gaudi_compiler::{CompilerOptions, ExecutionPlan, GraphCompiler};
 use gaudi_hw::{EngineId, GaudiConfig};
 use gaudi_models::decode::{build_decode_step, build_prefill};
 use gaudi_models::LlmConfig;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 /// Compiled cost of one phase execution.
@@ -185,6 +185,110 @@ impl PlanCache {
             misses: inner.misses,
             entries: inner.map.len(),
         }
+    }
+}
+
+/// Quantitative model of SynapseAI recipe-cache warmup.
+///
+/// The [`PlanCache`]/[`CostModel`] memos above keep the *simulation* fast;
+/// this models what recipe compilation costs the *simulated device*. The
+/// first time a replica runs a phase shape — keyed `(phase, batch bucket,
+/// ctx bucket)` — the host compiles a recipe, and that latency lands on
+/// the request stream. A fresh replica starts cold; a restarted replica
+/// (the `kill_for` path) loses its recipe cache and pays warmup again.
+///
+/// `batch_bucket` is the knob the HPU serving stack exposes as batch-size
+/// bucketing: coarser buckets mean fewer distinct recipes (fewer warmup
+/// stalls) but every decode step is padded up to the bucket and priced at
+/// the padded batch — the padding-waste vs. cache-miss tradeoff the
+/// `kv_sweep` bin measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecipeConfig {
+    /// Host-side recipe-compile latency charged on the first use of each
+    /// shape per replica, ms. `0.0` disables warmup.
+    pub compile_ms: f64,
+    /// Decode batch sizes are rounded up to a multiple of this before
+    /// keying (and pricing) the step. `1` = exact batches.
+    pub batch_bucket: usize,
+}
+
+impl Default for RecipeConfig {
+    /// Warmup off, exact batches — the legacy cost model, bit-identical
+    /// to reports produced before the recipe model existed.
+    fn default() -> Self {
+        RecipeConfig {
+            compile_ms: 0.0,
+            batch_bucket: 1,
+        }
+    }
+}
+
+impl RecipeConfig {
+    /// Round a batch size up to its bucket.
+    pub fn bucketed_batch(&self, batch: usize) -> usize {
+        batch.max(1).div_ceil(self.batch_bucket) * self.batch_bucket
+    }
+
+    /// Reject malformed warmup parameters before a simulation starts.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch_bucket == 0 {
+            return Err("recipe batch_bucket must be at least 1".into());
+        }
+        if !self.compile_ms.is_finite() || self.compile_ms < 0.0 {
+            return Err(format!(
+                "recipe compile_ms must be finite and non-negative, got {}",
+                self.compile_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-replica record of which recipe shapes have been compiled, charging
+/// [`RecipeConfig::compile_ms`] on each first sight. Dropped (and
+/// recreated cold) when a replica restarts.
+#[derive(Debug, Clone, Default)]
+pub struct RecipeCache {
+    seen: HashSet<(Phase, usize, usize)>,
+    compiles: u64,
+    compile_ms: f64,
+}
+
+impl RecipeCache {
+    /// A cold cache for one replica.
+    pub fn new(cfg: &RecipeConfig) -> Self {
+        RecipeCache {
+            seen: HashSet::new(),
+            compiles: 0,
+            compile_ms: cfg.compile_ms,
+        }
+    }
+
+    /// Peek: the warmup penalty running `(phase, batch, len)` *would*
+    /// incur, without committing the compile. Used for SLO-feasibility
+    /// checks that must not warm the cache for work that is then dropped.
+    pub fn warmup_ms(&self, phase: Phase, batch: usize, len: usize) -> f64 {
+        if self.seen.contains(&(phase, batch, len)) {
+            0.0
+        } else {
+            self.compile_ms
+        }
+    }
+
+    /// Commit: record the shape as compiled and return the warmup penalty
+    /// this (first) use pays.
+    pub fn charge(&mut self, phase: Phase, batch: usize, len: usize) -> f64 {
+        if self.seen.insert((phase, batch, len)) {
+            self.compiles += 1;
+            self.compile_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Recipes compiled so far on this replica.
+    pub fn compiles(&self) -> u64 {
+        self.compiles
     }
 }
 
@@ -527,6 +631,65 @@ mod tests {
             decode_tpc_share < prefill_tpc_share,
             "decode TPC share {decode_tpc_share:.3} should fall below prefill {prefill_tpc_share:.3}"
         );
+    }
+
+    #[test]
+    fn recipe_cache_charges_each_shape_once() {
+        let cfg = RecipeConfig {
+            compile_ms: 7.5,
+            batch_bucket: 4,
+        };
+        let mut rc = RecipeCache::new(&cfg);
+        // Peek does not warm the cache…
+        assert_eq!(rc.warmup_ms(Phase::Decode, 4, 64), 7.5);
+        assert_eq!(rc.warmup_ms(Phase::Decode, 4, 64), 7.5);
+        assert_eq!(rc.compiles(), 0);
+        // …charge does, exactly once per shape.
+        assert_eq!(rc.charge(Phase::Decode, 4, 64), 7.5);
+        assert_eq!(rc.charge(Phase::Decode, 4, 64), 0.0);
+        assert_eq!(rc.warmup_ms(Phase::Decode, 4, 64), 0.0);
+        // Phase, batch, and length are all part of the key.
+        assert_eq!(rc.charge(Phase::Prefill, 4, 64), 7.5);
+        assert_eq!(rc.charge(Phase::Decode, 8, 64), 7.5);
+        assert_eq!(rc.charge(Phase::Decode, 4, 128), 7.5);
+        assert_eq!(rc.compiles(), 4);
+    }
+
+    #[test]
+    fn recipe_batch_bucketing_rounds_up() {
+        let cfg = RecipeConfig {
+            compile_ms: 1.0,
+            batch_bucket: 4,
+        };
+        assert_eq!(cfg.bucketed_batch(1), 4);
+        assert_eq!(cfg.bucketed_batch(4), 4);
+        assert_eq!(cfg.bucketed_batch(5), 8);
+        let exact = RecipeConfig::default();
+        assert_eq!(exact.bucketed_batch(3), 3);
+        assert_eq!(exact.compile_ms, 0.0);
+    }
+
+    #[test]
+    fn recipe_config_validates() {
+        assert!(RecipeConfig::default().validate().is_ok());
+        assert!(RecipeConfig {
+            compile_ms: 1.0,
+            batch_bucket: 0
+        }
+        .validate()
+        .is_err());
+        assert!(RecipeConfig {
+            compile_ms: f64::NAN,
+            batch_bucket: 1
+        }
+        .validate()
+        .is_err());
+        assert!(RecipeConfig {
+            compile_ms: -1.0,
+            batch_bucket: 1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //!    request whose TTFT or end-to-end deadline has already lapsed
 //!    terminates as timed-out before wasting a prefill;
 //! 2. at every step boundary, admit queued requests while the decode
-//!    batch has a slot *and* the KV accountant accepts the request's
-//!    worst-case reservation (otherwise: backpressure — the request
-//!    waits, it is never silently dropped);
+//!    batch has a slot *and* the KV admission strategy
+//!    ([`KvAdmissionConfig`]) accepts the request — the legacy contiguous
+//!    accountant wants the worst-case `prompt + output` reservation, the
+//!    paged allocator only the blocks of the current context (otherwise:
+//!    backpressure — the request waits, it is never silently dropped);
 //! 3. admission runs the request's prefill as a dedicated phase (the
 //!    engine is busy for its full duration). The prefill's last forward
 //!    pass emits the request's **first output token**, so TTFT is
@@ -25,6 +27,20 @@
 //!    free their KV reservation immediately, opening slots for the queue.
 //!    A running request that can no longer meet its end-to-end deadline
 //!    is cancelled at the boundary, returning its KV pages to the queue.
+//!    Under paged admission a decode step that cannot take a KV block for
+//!    every runner first preempts the newest admissions back to the head
+//!    of the queue (generated tokens discarded, recomputed on
+//!    re-admission) until the survivors fit — deterministic, and bounded
+//!    because a lone runner always fits by the admission-time pre-scan.
+//!
+//! Phases are additionally charged recipe-compile warmup: the first time
+//! a replica runs a `(phase, batch bucket, ctx bucket)` shape, the
+//! configured [`RecipeConfig::compile_ms`] lands on the clock (host
+//! compile — engine-busy counters are untouched). Decode batches are
+//! rounded up to `RecipeConfig::batch_bucket` for pricing, trading
+//! padded compute for fewer distinct recipes; the report's
+//! padded/scheduled token counters make the waste side of that trade
+//! visible.
 //!
 //! Every phase is priced by the [`CostModel`], so the same §3.3/§3.4
 //! hardware calibration that reproduces the paper's training figures also
@@ -42,15 +58,16 @@
 //! generated tokens discarded) — or terminated as failed once the retry
 //! budget is spent. A kill with a restart window brings the card back with
 //! a **cold recipe cache** (its compiled phase plans are recompiled on
-//! demand), and the recovered replica immediately rejoins the round-robin
+//! demand, and with warmup enabled every shape pays its compile latency
+//! again), and the recovered replica immediately rejoins the round-robin
 //! / least-loaded dispatch pool. Slowdown windows stretch the phases that
 //! start inside them. Everything stays a pure function of the
 //! configuration: same seed, same plan, bit-identical report.
 
-use crate::cost::{CostContext, CostModel, PhaseCost, PlanCache};
+use crate::cost::{CostContext, CostModel, Phase, PhaseCost, PlanCache, RecipeCache, RecipeConfig};
 use crate::error::ServingError;
 use crate::fault::{Job, RedistributionPolicy};
-use crate::kv::{kv_bytes_per_token, weight_bytes, KvAccountant};
+use crate::kv::{KvAdmission, KvAdmissionConfig};
 use crate::report::{DropKind, DroppedRequest, Percentiles, RequestOutcome, ServingReport};
 use crate::request::{generate_requests, Request, TrafficConfig};
 use crate::robustness::RobustnessConfig;
@@ -66,7 +83,14 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Full configuration of a serving simulation.
+///
+/// Non-exhaustive: outside this crate, start from a preset
+/// ([`paper_gpt`](Self::paper_gpt), [`gpt2_xl`](Self::gpt2_xl)) and
+/// mutate fields, or go through [`ServingConfigBuilder`] — the same
+/// treatment `CompilerOptions` got, so fields like `kv_admission` and
+/// `recipes` can keep arriving without breaking downstream construction.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServingConfig {
     /// The model being served (its `batch`/`seq_len`/`training` fields are
     /// ignored; serving shapes phases itself).
@@ -97,6 +121,14 @@ pub struct ServingConfig {
     /// and backoff. The default ([`RobustnessConfig::unlimited`]) never
     /// sheds, expires, or fails a request.
     pub robustness: RobustnessConfig,
+    /// How KV-cache HBM is reserved at admission: contiguous worst-case
+    /// (the default, the legacy behavior) or block-granular paged
+    /// allocation.
+    pub kv_admission: KvAdmissionConfig,
+    /// Recipe-cache warmup model: per-replica first-use compile latency
+    /// and decode batch bucketing. The default charges nothing and keeps
+    /// exact batches — bit-identical to the pre-warmup engine.
+    pub recipes: RecipeConfig,
 }
 
 impl ServingConfig {
@@ -117,6 +149,8 @@ impl ServingConfig {
             faults: FaultPlan::none(),
             redistribution: RedistributionPolicy::default(),
             robustness: RobustnessConfig::default(),
+            kv_admission: KvAdmissionConfig::default(),
+            recipes: RecipeConfig::default(),
         }
     }
 
@@ -146,12 +180,121 @@ impl ServingConfig {
             faults: FaultPlan::none(),
             redistribution: RedistributionPolicy::default(),
             robustness: RobustnessConfig::default(),
+            kv_admission: KvAdmissionConfig::default(),
+            recipes: RecipeConfig::default(),
         }
+    }
+
+    /// A builder seeded from [`paper_gpt`](Self::paper_gpt) — with the
+    /// struct non-exhaustive, presets and this builder are the only ways
+    /// to construct a config outside this crate.
+    pub fn builder() -> ServingConfigBuilder {
+        ServingConfigBuilder {
+            cfg: ServingConfig::paper_gpt(),
+        }
+    }
+
+    /// A builder seeded from this configuration, for derived variants.
+    pub fn to_builder(&self) -> ServingConfigBuilder {
+        ServingConfigBuilder { cfg: self.clone() }
     }
 
     /// Largest prompt+output the traffic model can emit, tokens.
     fn max_request_tokens(&self) -> usize {
         self.traffic.prompt_range.1 + self.traffic.output_range.1
+    }
+}
+
+/// Builder for [`ServingConfig`]: every setter replaces one field of the
+/// seed configuration (a preset, or an existing config via
+/// [`ServingConfig::to_builder`]).
+#[derive(Debug, Clone)]
+pub struct ServingConfigBuilder {
+    cfg: ServingConfig,
+}
+
+impl ServingConfigBuilder {
+    /// The model being served.
+    pub fn model(mut self, model: LlmConfig) -> Self {
+        self.cfg.model = model;
+        self
+    }
+
+    /// Request-stream parameters.
+    pub fn traffic(mut self, traffic: TrafficConfig) -> Self {
+        self.cfg.traffic = traffic;
+        self
+    }
+
+    /// Maximum decode batch size.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.cfg.max_batch = max_batch;
+        self
+    }
+
+    /// Context-length bucket for the decode-graph cache, tokens.
+    pub fn ctx_bucket(mut self, ctx_bucket: usize) -> Self {
+        self.cfg.ctx_bucket = ctx_bucket;
+        self
+    }
+
+    /// KV-cache element type.
+    pub fn kv_dtype(mut self, kv_dtype: DType) -> Self {
+        self.cfg.kv_dtype = kv_dtype;
+        self
+    }
+
+    /// Hardware model.
+    pub fn hw(mut self, hw: GaudiConfig) -> Self {
+        self.cfg.hw = hw;
+        self
+    }
+
+    /// Compiler options used to cost every phase.
+    pub fn opts(mut self, opts: CompilerOptions) -> Self {
+        self.cfg.opts = opts;
+        self
+    }
+
+    /// Number of data-parallel replica cards.
+    pub fn devices(mut self, devices: usize) -> Self {
+        self.cfg.devices = devices;
+        self
+    }
+
+    /// Deterministic fault schedule.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Orphan-redistribution policy after a card failure.
+    pub fn redistribution(mut self, redistribution: RedistributionPolicy) -> Self {
+        self.cfg.redistribution = redistribution;
+        self
+    }
+
+    /// Overload-protection policy.
+    pub fn robustness(mut self, robustness: RobustnessConfig) -> Self {
+        self.cfg.robustness = robustness;
+        self
+    }
+
+    /// KV admission strategy (contiguous or paged).
+    pub fn kv_admission(mut self, kv_admission: KvAdmissionConfig) -> Self {
+        self.cfg.kv_admission = kv_admission;
+        self
+    }
+
+    /// Recipe-cache warmup model.
+    pub fn recipes(mut self, recipes: RecipeConfig) -> Self {
+        self.cfg.recipes = recipes;
+        self
+    }
+
+    /// Finish the build.
+    pub fn build(self) -> ServingConfig {
+        self.cfg
     }
 }
 
@@ -248,7 +391,9 @@ struct Replica<'a> {
     cfg: &'a ServingConfig,
     device: DeviceId,
     cost: CostModel,
-    kv: KvAccountant,
+    kv: Box<dyn KvAdmission>,
+    /// Per-replica recipe warmup state; reset cold on restart.
+    recipes: RecipeCache,
     /// Dispatched to this replica but not yet arrived, in submission order.
     pending: VecDeque<Job>,
     /// The FIFO admission queue.
@@ -279,6 +424,17 @@ struct Replica<'a> {
     /// Graphs compiled by cost models retired at restarts (cold-cache
     /// recovery recompiles, and the report counts every compilation).
     compiled_graphs_retired: usize,
+    /// Recipe compiles charged by recipe caches retired at restarts.
+    recipe_compiles_retired: u64,
+    /// Runners preempted mid-decode because the paged pool ran dry.
+    preemptions: usize,
+    /// Largest decode batch this replica ever ran.
+    peak_running: usize,
+    /// Token-slots actually scheduled (bucket-padded shapes).
+    scheduled_tokens: usize,
+    /// The padding share of `scheduled_tokens`: slots priced but holding
+    /// no live token, from ctx-bucket and batch-bucket rounding.
+    padded_tokens: usize,
     trace: Trace,
 }
 
@@ -288,15 +444,21 @@ impl<'a> Replica<'a> {
         device: DeviceId,
         cost: CostModel,
     ) -> Result<Self, ServingError> {
-        let weights = weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
-        let per_token = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
-        let kv = KvAccountant::new(&cfg.hw.memory, weights, per_token)
+        let kv = cfg
+            .kv_admission
+            .build(
+                &cfg.hw.memory,
+                &cfg.model,
+                cfg.max_request_tokens(),
+                cfg.kv_dtype,
+            )
             .map_err(ServingError::WeightsDontFit)?;
         Ok(Replica {
             cfg,
             device,
             cost,
             kv,
+            recipes: RecipeCache::new(&cfg.recipes),
             pending: VecDeque::new(),
             waiting: VecDeque::new(),
             waiting_tokens: 0,
@@ -321,6 +483,11 @@ impl<'a> Replica<'a> {
             peak_queued_tokens: 0,
             requeued_tokens: 0,
             compiled_graphs_retired: 0,
+            recipe_compiles_retired: 0,
+            preemptions: 0,
+            peak_running: 0,
+            scheduled_tokens: 0,
+            padded_tokens: 0,
             trace: Trace::new(),
         })
     }
@@ -420,8 +587,8 @@ impl<'a> Replica<'a> {
     /// Free a finished request's KV reservation and classify it: completed
     /// if every SLO held, a timed-out drop (throughput, not goodput) if it
     /// finished past its end-to-end deadline.
-    fn retire(&mut self, a: Active) {
-        self.kv.release(a.job.req.total_tokens());
+    fn retire(&mut self, a: Active) -> Result<(), ServingError> {
+        self.kv.release(a.job.req.id)?;
         let Active {
             job,
             outcome,
@@ -438,6 +605,7 @@ impl<'a> Replica<'a> {
                 .saturating_sub(job.req.total_tokens());
             self.completed.push(outcome);
         }
+        Ok(())
     }
 
     /// Run at most one timed phase, never starting one at or past
@@ -454,29 +622,44 @@ impl<'a> Replica<'a> {
         // re-checked between back-to-back admissions.
         if self.running.len() < self.cfg.max_batch && self.clock_ms < limit_ms {
             if let Some(front) = self.waiting.front() {
-                if self.kv.try_reserve(front.req.total_tokens()).is_ok() {
+                if self
+                    .kv
+                    .try_admit(front.req.id, front.req.prompt_len, front.req.output_len)
+                    .is_ok()
+                {
                     let job = self.waiting.pop_front().expect("front checked");
                     self.waiting_tokens -= job.req.total_tokens();
                     let queue_ms = self.clock_ms - job.submitted_ms();
                     let factor = self.cfg.faults.slowdown_factor(self.device, self.clock_ms);
-                    let c = self.cost.prefill(1, job.req.prompt_len)?.scaled(factor);
-                    // Deadline-aware admission: the prefill is priced
-                    // before it runs, so a request that could only produce
-                    // its first token past the TTFT SLO is dropped without
-                    // wasting the engine time — the load-shedding analogue
-                    // of a server's "estimated wait exceeds timeout" check.
-                    let ttft_ms = self.clock_ms + c.ms - job.req.arrival_ms();
+                    let mut c = self.cost.prefill(1, job.req.prompt_len)?.scaled(factor);
+                    let prefill_len = self.cost.bucketed(job.req.prompt_len);
+                    // Deadline-aware admission: the prefill (plus any
+                    // recipe compile it would trigger) is priced before it
+                    // runs, so a request that could only produce its first
+                    // token past the TTFT SLO is dropped without wasting
+                    // the engine time — the load-shedding analogue of a
+                    // server's "estimated wait exceeds timeout" check. The
+                    // warmup is *peeked*, not charged: a dropped request
+                    // must not warm the cache.
+                    let warmup = self.recipes.warmup_ms(Phase::Prefill, 1, prefill_len);
+                    let ttft_ms = self.clock_ms + c.ms + warmup - job.req.arrival_ms();
                     if self
                         .cfg
                         .robustness
                         .ttft_deadline_ms
                         .is_some_and(|d| ttft_ms > d)
                     {
-                        self.kv.release(job.req.total_tokens());
+                        self.kv.release(job.req.id)?;
                         let at = self.clock_ms;
                         self.drop_job(job, DropKind::TimedOut, at, 0);
                         return Ok(true);
                     }
+                    // First use of this prefill shape on this replica:
+                    // the host compiles a recipe before launch. Wall time
+                    // only — no engine is busy during a host compile.
+                    c.ms += self.recipes.charge(Phase::Prefill, 1, prefill_len);
+                    self.scheduled_tokens += prefill_len;
+                    self.padded_tokens += prefill_len - job.req.prompt_len;
                     self.record("prefill", &c);
                     self.prefills += 1;
                     // The prefill's final forward pass emits the first
@@ -506,7 +689,7 @@ impl<'a> Replica<'a> {
                             generated: 1,
                             outcome,
                             job,
-                        });
+                        })?;
                     } else {
                         self.running.push(Active {
                             ctx: job.req.prompt_len + 1,
@@ -514,6 +697,7 @@ impl<'a> Replica<'a> {
                             outcome,
                             job,
                         });
+                        self.peak_running = self.peak_running.max(self.running.len());
                     }
                     return Ok(true);
                 }
@@ -529,10 +713,50 @@ impl<'a> Replica<'a> {
 
         // One decode step advances every running request by one token.
         if !self.running.is_empty() && self.clock_ms < limit_ms {
+            // Every runner needs one more KV slot for the token this step
+            // produces. Contiguous admission pre-reserved it; the paged
+            // pool can run dry, in which case the newest admissions are
+            // preempted back to the head of the queue — generated tokens
+            // discarded and recomputed on re-admission (no KV migration is
+            // modeled), vLLM's recompute preemption. The loop terminates:
+            // every failure shrinks the batch by one, and the pre-scan
+            // guarantees a lone runner always fits to completion.
+            let mut g = 0;
+            while g < self.running.len() {
+                let id = self.running[g].job.req.id;
+                if self.kv.grow(id).is_ok() {
+                    g += 1;
+                    continue;
+                }
+                let victim = self.running.pop().expect("running is non-empty");
+                self.kv.release(victim.job.req.id)?;
+                self.preemptions += 1;
+                self.requeued_tokens += victim.generated;
+                self.waiting_tokens += victim.job.req.total_tokens();
+                self.waiting.push_front(victim.job);
+            }
+            debug_assert!(
+                !self.running.is_empty(),
+                "a lone runner can always grow (pre-scan bounds its total)"
+            );
+
             let batch = self.running.len();
+            // Decode batches are padded up to the recipe batch bucket
+            // (capped at the slot count): coarser buckets mean fewer
+            // distinct recipes but more dead slots per step.
+            let priced_batch = self
+                .cfg
+                .recipes
+                .bucketed_batch(batch)
+                .min(self.cfg.max_batch);
             let max_ctx = self.running.iter().map(|a| a.ctx).max().unwrap_or(1);
             let factor = self.cfg.faults.slowdown_factor(self.device, self.clock_ms);
-            let c = self.cost.decode(batch, max_ctx)?.scaled(factor);
+            let mut c = self.cost.decode(priced_batch, max_ctx)?.scaled(factor);
+            let ctx_len = self.cost.bucketed(max_ctx);
+            c.ms += self.recipes.charge(Phase::Decode, priced_batch, ctx_len);
+            let live: usize = self.running.iter().map(|a| a.ctx).sum();
+            self.scheduled_tokens += priced_batch * ctx_len;
+            self.padded_tokens += priced_batch * ctx_len - live;
             self.record("decode", &c);
             self.decode_steps += 1;
 
@@ -545,7 +769,7 @@ impl<'a> Replica<'a> {
                 if a.generated == a.job.req.output_len {
                     let mut finished = self.running.swap_remove(i);
                     finished.outcome.finish_ms = self.clock_ms;
-                    self.retire(finished);
+                    self.retire(finished)?;
                 } else {
                     i += 1;
                 }
@@ -558,7 +782,7 @@ impl<'a> Replica<'a> {
                 while i < self.running.len() {
                     if self.clock_ms - self.running[i].outcome.arrival_ms > d {
                         let a = self.running.swap_remove(i);
-                        self.kv.release(a.job.req.total_tokens());
+                        self.kv.release(a.job.req.id)?;
                         let at = self.clock_ms;
                         self.drop_job(a.job, DropKind::TimedOut, at, a.generated);
                     } else {
@@ -587,14 +811,14 @@ impl<'a> Replica<'a> {
     /// queued, or dispatched-but-unarrived — is returned for the
     /// coordinator to re-dispatch. In-flight work loses its generated
     /// tokens (the simulator models no KV-cache migration).
-    fn halt(&mut self, at_ms: f64) -> Vec<Job> {
+    fn halt(&mut self, at_ms: f64) -> Result<Vec<Job>, ServingError> {
         self.up = false;
         self.down_since = Some(at_ms);
         self.kills += 1;
         let mut orphans = Vec::new();
-        for a in self.running.drain(..) {
+        for a in self.running.drain(..).collect::<Vec<_>>() {
             self.requeued_tokens += a.generated;
-            self.kv.release(a.job.req.total_tokens());
+            self.kv.release(a.job.req.id)?;
             orphans.push(a.job);
         }
         orphans.extend(self.waiting.drain(..));
@@ -604,7 +828,7 @@ impl<'a> Replica<'a> {
             self.outstanding_tokens = self.outstanding_tokens.saturating_sub(j.req.total_tokens());
         }
         debug_assert_eq!(self.outstanding_tokens, 0, "halt drains all work");
-        orphans
+        Ok(orphans)
     }
 
     /// Bring the replica back at `at_ms` with a **cold** compiled-plan
@@ -619,6 +843,11 @@ impl<'a> Replica<'a> {
         self.restarts += 1;
         self.compiled_graphs_retired += self.cost.compiled_graphs();
         self.cost = cost;
+        // The restarted process also lost its compiled recipes: every
+        // shape pays warmup again, and the compiles already charged stay
+        // in the report's total.
+        self.recipe_compiles_retired += self.recipes.compiles();
+        self.recipes = RecipeCache::new(&self.cfg.recipes);
     }
 
     /// Consume the replica into its single-device report.
@@ -692,7 +921,13 @@ impl<'a> Replica<'a> {
             peak_queued_tokens: self.peak_queued_tokens,
             kv_peak_bytes: self.kv.peak(),
             kv_capacity_bytes: self.kv.capacity(),
+            kv_block_utilization: self.kv.utilization_at_peak(),
             compiled_graphs: self.compiled_graphs_retired + self.cost.compiled_graphs(),
+            recipe_compiles: self.recipe_compiles_retired + self.recipes.compiles(),
+            preemptions: self.preemptions,
+            peak_running: self.peak_running,
+            scheduled_tokens: self.scheduled_tokens,
+            padded_tokens: self.padded_tokens,
             devices: 1,
             retries,
             requeued_tokens: self.requeued_tokens,
@@ -771,13 +1006,24 @@ pub fn simulate_trace_with(
     cfg.robustness
         .validate()
         .map_err(ServingError::InvalidConfig)?;
+    cfg.kv_admission
+        .validate()
+        .map_err(ServingError::InvalidConfig)?;
+    cfg.recipes
+        .validate()
+        .map_err(ServingError::InvalidConfig)?;
 
     requests.sort_by_key(|r| (r.arrival_us, r.id));
 
     // Reject outright only what can never fit; everything else queues.
-    let weights = weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
-    let per_token = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
-    let probe = KvAccountant::new(&cfg.hw.memory, weights, per_token)
+    let probe = cfg
+        .kv_admission
+        .build(
+            &cfg.hw.memory,
+            &cfg.model,
+            cfg.max_request_tokens(),
+            cfg.kv_dtype,
+        )
         .map_err(ServingError::WeightsDontFit)?;
     for r in &requests {
         if r.total_tokens() as u64 > probe.max_admissible_tokens() {
@@ -920,7 +1166,7 @@ fn simulate_box(
                 replicas[d].restart(t, make_cost());
                 continue;
             }
-            for job in replicas[d].halt(t) {
+            for job in replicas[d].halt(t)? {
                 let attempt = job.retries + 1;
                 if attempt > cfg.robustness.max_retries {
                     replicas[d].record_failure(job, t);
@@ -1024,7 +1270,13 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
     let mut peak_queued_tokens = 0;
     let mut kv_peak_bytes = 0;
     let mut kv_capacity_bytes = 0;
+    let mut kv_block_utilization = 0.0;
     let mut compiled_graphs = 0;
+    let mut recipe_compiles = 0;
+    let mut preemptions = 0;
+    let mut peak_running = 0;
+    let mut scheduled_tokens = 0;
+    let mut padded_tokens = 0;
     let mut retries = 0;
     let mut requeued_tokens = 0;
     let mut failed_replicas = 0;
@@ -1044,7 +1296,17 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
         peak_queued_tokens = peak_queued_tokens.max(r.peak_queued_tokens);
         kv_peak_bytes = r.kv_peak_bytes.max(kv_peak_bytes);
         kv_capacity_bytes = r.kv_capacity_bytes;
+        kv_block_utilization += r.kv_block_utilization / devices as f64;
         compiled_graphs += r.compiled_graphs;
+        recipe_compiles += r.recipe_compiles;
+        preemptions += r.preemptions;
+        // Summed, not max'd: the box-level "max concurrent sequences" is
+        // the aggregate decode capacity the stream actually reached
+        // (per-replica peaks need not be simultaneous; each replica's own
+        // peak is exact).
+        peak_running += r.peak_running;
+        scheduled_tokens += r.scheduled_tokens;
+        padded_tokens += r.padded_tokens;
         retries += r.retries;
         requeued_tokens += r.requeued_tokens;
         failed_replicas += r.failed_replicas;
@@ -1100,7 +1362,13 @@ fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport
         peak_queued_tokens,
         kv_peak_bytes,
         kv_capacity_bytes,
+        kv_block_utilization,
         compiled_graphs,
+        recipe_compiles,
+        preemptions,
+        peak_running,
+        scheduled_tokens,
+        padded_tokens,
         devices,
         retries,
         requeued_tokens,
@@ -1153,6 +1421,8 @@ mod tests {
             faults: FaultPlan::none(),
             redistribution: RedistributionPolicy::default(),
             robustness: RobustnessConfig::default(),
+            kv_admission: KvAdmissionConfig::default(),
+            recipes: RecipeConfig::default(),
         }
     }
 
@@ -1284,8 +1554,12 @@ mod tests {
     fn impossible_request_is_rejected_up_front() {
         let mut cfg = tiny_config();
         // Leave KV room for 50 tokens; the worst-case request needs 64+16.
-        let weights = weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
-        let per_tok = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+        let weights =
+            cfg.kv_admission
+                .weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
+        let per_tok = cfg
+            .kv_admission
+            .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
         cfg.hw.memory.hbm_capacity_bytes = weights + per_tok * 50;
         let err = simulate(&cfg);
         assert!(matches!(err, Err(ServingError::RequestTooLarge { .. })));
@@ -1298,8 +1572,12 @@ mod tests {
         // fits, but two typical requests already crowd a 30-token device.
         cfg.traffic.prompt_range = (8, 16);
         cfg.traffic.output_range = (4, 8);
-        let weights = weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
-        let per_tok = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+        let weights =
+            cfg.kv_admission
+                .weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
+        let per_tok = cfg
+            .kv_admission
+            .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
         cfg.hw.memory.hbm_capacity_bytes = weights + per_tok * 30;
         let r = simulate(&cfg).unwrap();
         assert_eq!(r.completed.len(), 30, "backpressure must not drop requests");
@@ -1597,5 +1875,243 @@ mod tests {
         let again = simulate(&delayed).unwrap();
         assert_eq!(rd.makespan_ms, again.makespan_ms);
         assert_eq!(rd.completed, again.completed);
+    }
+
+    /// A KV-tight variant of [`tiny_config`]: room for `tokens` of KV on
+    /// top of the weights, saturating arrivals.
+    fn kv_tight_config(tokens: u64) -> ServingConfig {
+        let mut cfg = tiny_config();
+        cfg.traffic.arrival_rate_per_s = 1e6;
+        cfg.traffic.prompt_range = (8, 16);
+        cfg.traffic.output_range = (16, 32);
+        let weights =
+            cfg.kv_admission
+                .weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
+        let per_tok = cfg
+            .kv_admission
+            .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+        cfg.hw.memory.hbm_capacity_bytes = weights + per_tok * tokens;
+        cfg
+    }
+
+    #[test]
+    fn paged_admission_raises_concurrency_at_equal_hbm() {
+        // 96 KV tokens: contiguous admission fits at most two worst-case
+        // (48-token) reservations, paged admission packs live contexts.
+        let contiguous = simulate(&kv_tight_config(96)).unwrap();
+        let mut cfg = kv_tight_config(96);
+        cfg.kv_admission = KvAdmissionConfig::Paged { block_tokens: 8 };
+        let paged = simulate(&cfg).unwrap();
+        assert_eq!(paged.completed.len(), 30, "paged must not drop requests");
+        assert!(
+            paged.peak_running > contiguous.peak_running,
+            "paged admission must raise max concurrent sequences \
+             ({} vs {})",
+            paged.peak_running,
+            contiguous.peak_running
+        );
+        assert!(
+            paged.kv_block_utilization > contiguous.kv_block_utilization,
+            "block chains hold live tokens, worst-case reservations don't \
+             ({} vs {})",
+            paged.kv_block_utilization,
+            contiguous.kv_block_utilization
+        );
+        assert!(paged.kv_peak_bytes <= paged.kv_capacity_bytes);
+        // Deterministic, preemptions and all.
+        let again = simulate(&cfg).unwrap();
+        assert_eq!(paged.makespan_ms, again.makespan_ms);
+        assert_eq!(paged.preemptions, again.preemptions);
+        assert_eq!(paged.completed, again.completed);
+    }
+
+    #[test]
+    fn paged_preemption_discards_and_recomputes_not_drops() {
+        // 40 KV tokens in 4-token blocks. Two requests of 8+30 = 38 total
+        // tokens: paged admission takes both on their 9-token live
+        // footprints, growth dries the 10-block pool mid-decode, and the
+        // newest admission is preempted back to the queue — both still
+        // complete.
+        let mut cfg = kv_tight_config(40);
+        cfg.kv_admission = KvAdmissionConfig::Paged { block_tokens: 4 };
+        let reqs: Vec<Request> = (0..2)
+            .map(|id| Request {
+                id,
+                arrival_us: 0,
+                prompt_len: 8,
+                output_len: 30,
+            })
+            .collect();
+        let r = simulate_trace(&cfg, reqs).unwrap();
+        assert_eq!(r.completed.len(), 2, "preemption must never drop");
+        assert!(r.dropped.is_empty());
+        assert!(
+            r.preemptions > 0,
+            "a 10-block pool cannot hold two 38-token chains"
+        );
+        assert!(
+            r.requeued_tokens > 0,
+            "the victim's generated tokens are recomputed"
+        );
+        assert_eq!(r.peak_running, 2, "both requests ran concurrently first");
+        // Contiguous admission never preempts: it serializes instead.
+        let base = kv_tight_config(40);
+        let reqs: Vec<Request> = (0..2)
+            .map(|id| Request {
+                id,
+                arrival_us: 0,
+                prompt_len: 8,
+                output_len: 30,
+            })
+            .collect();
+        let rc = simulate_trace(&base, reqs).unwrap();
+        assert_eq!(rc.preemptions, 0);
+        assert_eq!(rc.peak_running, 1, "38 + 38 > 40 forces serial service");
+    }
+
+    #[test]
+    fn recipe_warmup_stretches_the_clock_without_busying_engines() {
+        // One request, so the schedule cannot reshuffle: prompt 48 (one
+        // prefill shape) and 5 decode steps whose contexts 49..53 share
+        // one ctx bucket — exactly two recipe compiles.
+        let cfg = tiny_config();
+        let req = Request {
+            id: 0,
+            arrival_us: 0,
+            prompt_len: 48,
+            output_len: 6,
+        };
+        let base = simulate_trace(&cfg, vec![req.clone()]).unwrap();
+        let mut warm_cfg = tiny_config();
+        warm_cfg.recipes = RecipeConfig {
+            compile_ms: 25.0,
+            batch_bucket: 1,
+        };
+        let warm = simulate_trace(&warm_cfg, vec![req]).unwrap();
+        assert_eq!(warm.recipe_compiles, 2);
+        assert!(
+            (warm.makespan_ms - base.makespan_ms - 50.0).abs() < 1e-6,
+            "two first-use compiles must stretch the clock by exactly 2 x \
+             25 ms ({} vs {})",
+            warm.makespan_ms,
+            base.makespan_ms
+        );
+        // TTFT absorbs the prefill compile only.
+        assert!((warm.ttft_ms.p50 - base.ttft_ms.p50 - 25.0).abs() < 1e-6);
+        // Warmup is host time: engine-busy totals (utilization x makespan)
+        // are unchanged, so utilization strictly dilutes.
+        let base_busy = base.mme_utilization * base.makespan_ms;
+        let warm_busy = warm.mme_utilization * warm.makespan_ms;
+        assert!((base_busy - warm_busy).abs() < 1e-6);
+        assert!(warm.mme_utilization < base.mme_utilization);
+        // Even the no-penalty default counts distinct shapes.
+        assert_eq!(base.recipe_compiles, 2);
+        assert_eq!(base.padding_waste(), warm.padding_waste());
+    }
+
+    #[test]
+    fn restart_pays_recipe_warmup_again() {
+        // Pin all work to D1 (D0 dies at t=0) so the comparison is not
+        // muddied by work moving between replicas: a mid-run kill_for on
+        // D1 parks the stream until its restart, and the cold cache then
+        // recompiles shapes D1 already paid for.
+        let mut clean = tiny_config();
+        clean.traffic.arrival_rate_per_s = 1e6;
+        clean.devices = 2;
+        clean.faults = FaultPlan::none().kill(DeviceId(0), 0.0);
+        clean.recipes = RecipeConfig {
+            compile_ms: 10.0,
+            batch_bucket: 1,
+        };
+        let r_clean = simulate(&clean).unwrap();
+        assert_eq!(r_clean.completed.len(), 30);
+        let mut faulted = clean;
+        let kill_at = r_clean.makespan_ms * 0.5;
+        faulted.faults =
+            FaultPlan::none()
+                .kill(DeviceId(0), 0.0)
+                .kill_for(DeviceId(1), kill_at, 50.0);
+        let r = simulate(&faulted).unwrap();
+        assert_eq!(r.restarts, 1);
+        assert_eq!(r.completed.len() + r.dropped.len(), 30);
+        assert!(
+            r.recipe_compiles > r_clean.recipe_compiles,
+            "a cold-restarted replica recompiles shapes it already paid for \
+             ({} vs {})",
+            r.recipe_compiles,
+            r_clean.recipe_compiles
+        );
+        let again = simulate(&faulted).unwrap();
+        assert_eq!(r.recipe_compiles, again.recipe_compiles);
+        assert_eq!(r.makespan_ms, again.makespan_ms);
+    }
+
+    #[test]
+    fn batch_bucketing_trades_padding_for_fewer_recipes() {
+        let mut exact = tiny_config();
+        exact.traffic.arrival_rate_per_s = 1e6;
+        exact.recipes = RecipeConfig {
+            compile_ms: 5.0,
+            batch_bucket: 1,
+        };
+        let r_exact = simulate(&exact).unwrap();
+        let mut coarse = exact;
+        coarse.recipes = RecipeConfig {
+            compile_ms: 5.0,
+            batch_bucket: 4,
+        };
+        let r_coarse = simulate(&coarse).unwrap();
+        assert_eq!(r_coarse.completed.len(), 30);
+        assert!(
+            r_coarse.recipe_compiles <= r_exact.recipe_compiles,
+            "coarser batch buckets cannot need more recipes ({} vs {})",
+            r_coarse.recipe_compiles,
+            r_exact.recipe_compiles
+        );
+        assert!(
+            r_coarse.padding_waste() > r_exact.padding_waste(),
+            "padding is the price of coarse buckets ({} vs {})",
+            r_coarse.padding_waste(),
+            r_exact.padding_waste()
+        );
+    }
+
+    #[test]
+    fn builder_constructs_and_derives_configs() {
+        let cfg = ServingConfig::builder()
+            .max_batch(4)
+            .devices(2)
+            .kv_admission(KvAdmissionConfig::paged())
+            .recipes(RecipeConfig {
+                compile_ms: 1.0,
+                batch_bucket: 2,
+            })
+            .build();
+        assert_eq!(cfg.max_batch, 4);
+        assert_eq!(cfg.devices, 2);
+        assert_eq!(
+            cfg.kv_admission,
+            KvAdmissionConfig::Paged { block_tokens: 16 }
+        );
+        let derived = cfg.to_builder().devices(1).build();
+        assert_eq!(derived.devices, 1);
+        assert_eq!(derived.max_batch, 4, "unset fields carry over");
+        assert_eq!(derived.recipes.batch_bucket, 2);
+    }
+
+    #[test]
+    fn malformed_kv_and_recipe_configs_are_rejected() {
+        let mut cfg = tiny_config();
+        cfg.kv_admission = KvAdmissionConfig::Paged { block_tokens: 0 };
+        assert!(matches!(
+            simulate(&cfg),
+            Err(ServingError::InvalidConfig(_))
+        ));
+        let mut cfg = tiny_config();
+        cfg.recipes.batch_bucket = 0;
+        assert!(matches!(
+            simulate(&cfg),
+            Err(ServingError::InvalidConfig(_))
+        ));
     }
 }

@@ -2,33 +2,163 @@
 //!
 //! Decode-phase attention reads every previously-cached key/value row, so a
 //! request's KV footprint is `2 · layers · heads · head_dim · tokens`
-//! elements and lives until the request completes. The accountant charges
-//! the modelled 32 GB device (§3.4) with resident model weights plus a
-//! *worst-case* reservation (`prompt + output` tokens) per admitted
-//! request — reserving up front is what makes the capacity invariant
-//! airtight: a request that is admitted can always finish, and a request
-//! that would overflow is queued (backpressure) instead of OOM-ing
-//! mid-generation.
+//! elements and lives until the request completes. How that footprint is
+//! *reserved* is the [`KvAdmission`] strategy:
+//!
+//! * [`KvAdmissionConfig::Contiguous`] (the legacy accountant) charges a
+//!   worst-case reservation — `prompt + output` tokens — at admission.
+//!   Reserving up front makes the capacity invariant airtight (an admitted
+//!   request can always finish), but every not-yet-generated output token
+//!   is dead headroom while the request decodes.
+//! * [`KvAdmissionConfig::Paged`] allocates fixed-size blocks from a
+//!   [`BlockPool`](crate::paged::BlockPool) as the context actually grows
+//!   (the vLLM design): admission needs only the prompt's blocks, so many
+//!   more sequences fit the same HBM, at the price of block-rounding waste
+//!   and the possibility of preempting the newest sequence when the pool
+//!   runs dry mid-decode.
+//!
+//! Either way the model weights are resident up front and overflow turns
+//! into queueing backpressure (or deterministic preemption) instead of a
+//! mid-generation OOM.
 
+use crate::error::ServingError;
 use gaudi_hw::config::MemoryConfig;
 use gaudi_hw::memory::{HbmTracker, OutOfMemory};
 use gaudi_models::LlmConfig;
 use gaudi_tensor::DType;
+use std::collections::HashMap;
 
-/// Bytes of KV cache per token for a model (keys + values, all layers).
-pub fn kv_bytes_per_token(model: &LlmConfig, dtype: DType) -> u64 {
-    2 * model.layers as u64 * model.model_dim() as u64 * dtype.size_of() as u64
+/// Admission-strategy selection for [`ServingConfig`], and the home of the
+/// model-footprint arithmetic both strategies share.
+///
+/// [`ServingConfig`]: crate::ServingConfig
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum KvAdmissionConfig {
+    /// Worst-case contiguous reservation (`prompt + output` tokens charged
+    /// at admission) — the legacy accountant.
+    #[default]
+    Contiguous,
+    /// Block-granular paged allocation: sequences are admitted on their
+    /// *current* footprint and grow block by block, so idle worst-case
+    /// headroom becomes admissible concurrency.
+    Paged {
+        /// Tokens per KV block. Smaller blocks waste less of the last
+        /// block per sequence but make the free list churn more.
+        block_tokens: usize,
+    },
 }
 
-/// Bytes of resident model weights (embeddings, per-layer projections and
-/// norms, LM head tied to the token embedding).
-pub fn weight_bytes(model: &LlmConfig, max_positions: usize, dtype: DType) -> u64 {
-    let d = model.model_dim() as u64;
-    let d_ff = d * model.ffn_mult as u64;
-    let embed = model.vocab as u64 * d + max_positions as u64 * d;
-    // q/k/v/out projections + biases, two layernorms, two FFN projections.
-    let per_layer = 4 * (d * d + d) + 2 * 2 * d + (d * d_ff + d_ff) + (d_ff * d + d);
-    (embed + model.layers as u64 * per_layer + 2 * d) * dtype.size_of() as u64
+impl KvAdmissionConfig {
+    /// Paged admission with a 16-token block — the vLLM default size.
+    pub fn paged() -> Self {
+        KvAdmissionConfig::Paged { block_tokens: 16 }
+    }
+
+    /// Bytes of KV cache per token for a model (keys + values, all
+    /// layers). Identical under both strategies; paged admission rounds
+    /// *reservations* to blocks, not the rows themselves.
+    pub fn kv_bytes_per_token(&self, model: &LlmConfig, dtype: DType) -> u64 {
+        2 * model.layers as u64 * model.model_dim() as u64 * dtype.size_of() as u64
+    }
+
+    /// Bytes of resident model weights (embeddings, per-layer projections
+    /// and norms, LM head tied to the token embedding).
+    pub fn weight_bytes(&self, model: &LlmConfig, max_positions: usize, dtype: DType) -> u64 {
+        let d = model.model_dim() as u64;
+        let d_ff = d * model.ffn_mult as u64;
+        let embed = model.vocab as u64 * d + max_positions as u64 * d;
+        // q/k/v/out projections + biases, two layernorms, two FFN projections.
+        let per_layer = 4 * (d * d + d) + 2 * 2 * d + (d * d_ff + d_ff) + (d_ff * d + d);
+        (embed + model.layers as u64 * per_layer + 2 * d) * dtype.size_of() as u64
+    }
+
+    /// Reject malformed strategies before a simulation starts.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            KvAdmissionConfig::Contiguous => Ok(()),
+            KvAdmissionConfig::Paged { block_tokens: 0 } => {
+                Err("paged KV blocks must hold at least 1 token".into())
+            }
+            KvAdmissionConfig::Paged { .. } => Ok(()),
+        }
+    }
+
+    /// Build the admission state for one replica: weights resident,
+    /// strategy-specific KV bookkeeping empty. Fails if the weights alone
+    /// overflow HBM.
+    pub fn build(
+        &self,
+        mem: &MemoryConfig,
+        model: &LlmConfig,
+        max_positions: usize,
+        dtype: DType,
+    ) -> Result<Box<dyn KvAdmission>, OutOfMemory> {
+        let weights = self.weight_bytes(model, max_positions, dtype);
+        let per_token = self.kv_bytes_per_token(model, dtype);
+        match *self {
+            KvAdmissionConfig::Contiguous => Ok(Box::new(ContiguousKv::new(KvAccountant::new(
+                mem, weights, per_token,
+            )?))),
+            KvAdmissionConfig::Paged { block_tokens } => Ok(Box::new(crate::paged::PagedKv::new(
+                mem,
+                weights,
+                per_token,
+                block_tokens,
+            )?)),
+        }
+    }
+}
+
+/// Per-replica KV admission bookkeeping: what [`ServingConfig`]'s strategy
+/// selection dispatches to. One value per replica; requests are identified
+/// by their id.
+///
+/// The lifecycle per request is `try_admit` → `grow` once per decode step
+/// → `release` exactly once (completion, cancellation, preemption, or
+/// halt). `release` is *checked*: releasing an id that holds nothing is a
+/// [`ServingError::KvAccounting`] bug report, never silent corruption.
+///
+/// [`ServingConfig`]: crate::ServingConfig
+pub trait KvAdmission: std::fmt::Debug + Send {
+    /// Reserve the admission footprint of request `id` (`prompt_len + 1`
+    /// live tokens; contiguous admission additionally pins the whole
+    /// worst-case `prompt + output`). Fails — leaving the state
+    /// unchanged — when the reservation does not fit; the scheduler turns
+    /// that into backpressure.
+    fn try_admit(
+        &mut self,
+        id: u64,
+        prompt_len: usize,
+        output_len: usize,
+    ) -> Result<(), OutOfMemory>;
+
+    /// Extend request `id` by one decoded token. Never fails under
+    /// contiguous admission (the worst case is pre-reserved); under paged
+    /// admission a dry pool fails the growth and the scheduler preempts.
+    fn grow(&mut self, id: u64) -> Result<(), OutOfMemory>;
+
+    /// Release everything request `id` holds. Errors if `id` holds
+    /// nothing — a double free or unknown id is a scheduler bug.
+    fn release(&mut self, id: u64) -> Result<(), ServingError>;
+
+    /// Bytes currently reserved (weights + KV).
+    fn allocated(&self) -> u64;
+
+    /// High-water mark in bytes.
+    fn peak(&self) -> u64;
+
+    /// Device capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Largest request (in total tokens) this device can ever admit.
+    fn max_admissible_tokens(&self) -> u64;
+
+    /// Fraction of the reserved KV bytes that held live tokens when the
+    /// reservation peaked (`1.0` when nothing was ever reserved).
+    /// Contiguous admission wastes the not-yet-generated output tail;
+    /// paged admission wastes only the rounding of each chain's last
+    /// block.
+    fn utilization_at_peak(&self) -> f64;
 }
 
 /// Tracks KV-cache reservations against device HBM.
@@ -66,8 +196,21 @@ impl KvAccountant {
     }
 
     /// Release a completed request's reservation.
-    pub fn release(&mut self, tokens: usize) {
-        self.tracker.free(tokens as u64 * self.bytes_per_token);
+    ///
+    /// Checked: releasing more tokens than are currently reserved is a
+    /// [`ServingError::KvAccounting`] error, not a saturating free — a
+    /// saturating free would silently eat into the resident-weight
+    /// reservation and corrupt every later admission decision.
+    pub fn release(&mut self, tokens: usize) -> Result<(), ServingError> {
+        let bytes = tokens as u64 * self.bytes_per_token;
+        let kv_reserved = self.tracker.allocated() - self.weight_bytes;
+        if bytes > kv_reserved {
+            return Err(ServingError::KvAccounting(format!(
+                "released {tokens} tokens ({bytes} B) but only {kv_reserved} B of KV is reserved"
+            )));
+        }
+        self.tracker.free(bytes);
+        Ok(())
     }
 
     /// Bytes currently reserved (weights + live KV).
@@ -96,6 +239,116 @@ impl KvAccountant {
     }
 }
 
+/// The legacy worst-case strategy behind the [`KvAdmission`] trait: a
+/// [`KvAccountant`] plus per-request bookkeeping of what was reserved and
+/// how much of it is actually live, so the waste of up-front reservation
+/// becomes measurable ([`utilization_at_peak`](KvAdmission::utilization_at_peak)).
+#[derive(Debug)]
+pub struct ContiguousKv {
+    acct: KvAccountant,
+    /// Worst-case tokens reserved per admitted request.
+    reserved: HashMap<u64, usize>,
+    /// Live context tokens per admitted request (prompt + generated).
+    live: HashMap<u64, usize>,
+    reserved_tokens: usize,
+    live_tokens: usize,
+    peak_bytes_seen: u64,
+    live_at_peak: usize,
+    reserved_at_peak: usize,
+}
+
+impl ContiguousKv {
+    /// Wrap an accountant (weights already resident).
+    pub fn new(acct: KvAccountant) -> Self {
+        let peak = acct.allocated();
+        ContiguousKv {
+            acct,
+            reserved: HashMap::new(),
+            live: HashMap::new(),
+            reserved_tokens: 0,
+            live_tokens: 0,
+            peak_bytes_seen: peak,
+            live_at_peak: 0,
+            reserved_at_peak: 0,
+        }
+    }
+
+    fn note_peak(&mut self) {
+        if self.acct.allocated() > self.peak_bytes_seen {
+            self.peak_bytes_seen = self.acct.allocated();
+            self.live_at_peak = self.live_tokens;
+            self.reserved_at_peak = self.reserved_tokens;
+        }
+    }
+}
+
+impl KvAdmission for ContiguousKv {
+    fn try_admit(
+        &mut self,
+        id: u64,
+        prompt_len: usize,
+        output_len: usize,
+    ) -> Result<(), OutOfMemory> {
+        let total = prompt_len + output_len;
+        self.acct.try_reserve(total)?;
+        self.reserved.insert(id, total);
+        // Prefill leaves `prompt + 1` tokens live (its last forward pass
+        // emits the first output token).
+        self.live.insert(id, prompt_len + 1);
+        self.reserved_tokens += total;
+        self.live_tokens += prompt_len + 1;
+        self.note_peak();
+        Ok(())
+    }
+
+    fn grow(&mut self, id: u64) -> Result<(), OutOfMemory> {
+        // The worst case is pre-reserved; growth just moves a token from
+        // "reserved headroom" to "live".
+        if let Some(live) = self.live.get_mut(&id) {
+            *live += 1;
+            self.live_tokens += 1;
+            // Allocation did not change, but the live/reserved mix at the
+            // standing peak did — only a *new* peak re-snapshots.
+        }
+        Ok(())
+    }
+
+    fn release(&mut self, id: u64) -> Result<(), ServingError> {
+        let tokens = self.reserved.remove(&id).ok_or_else(|| {
+            ServingError::KvAccounting(format!("request {id} released without a reservation"))
+        })?;
+        let live = self.live.remove(&id).unwrap_or(0);
+        self.acct.release(tokens)?;
+        self.reserved_tokens -= tokens;
+        self.live_tokens -= live;
+        Ok(())
+    }
+
+    fn allocated(&self) -> u64 {
+        self.acct.allocated()
+    }
+
+    fn peak(&self) -> u64 {
+        self.acct.peak()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.acct.capacity()
+    }
+
+    fn max_admissible_tokens(&self) -> u64 {
+        self.acct.max_admissible_tokens()
+    }
+
+    fn utilization_at_peak(&self) -> f64 {
+        if self.reserved_at_peak == 0 {
+            1.0
+        } else {
+            self.live_at_peak as f64 / self.reserved_at_peak as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,7 +364,19 @@ mod tests {
     fn paper_model_kv_row_size() {
         // 2 layers * 512 model dim * 2 (K and V) * 4 bytes = 8 KiB/token.
         let m = LlmConfig::paper_section_3_4(50257);
-        assert_eq!(kv_bytes_per_token(&m, DType::F32), 8192);
+        assert_eq!(
+            KvAdmissionConfig::Contiguous.kv_bytes_per_token(&m, DType::F32),
+            8192
+        );
+        // The footprint arithmetic is strategy-independent.
+        assert_eq!(
+            KvAdmissionConfig::paged().kv_bytes_per_token(&m, DType::F32),
+            8192
+        );
+        assert_eq!(
+            KvAdmissionConfig::Contiguous.weight_bytes(&m, 1024, DType::F32),
+            KvAdmissionConfig::paged().weight_bytes(&m, 1024, DType::F32),
+        );
     }
 
     #[test]
@@ -120,7 +385,7 @@ mod tests {
         let before = acc.allocated();
         acc.try_reserve(100).unwrap();
         assert_eq!(acc.allocated(), before + 100 * 256);
-        acc.release(100);
+        acc.release(100).unwrap();
         assert_eq!(acc.allocated(), before);
         assert!(acc.peak() >= before + 100 * 256);
     }
@@ -140,5 +405,62 @@ mod tests {
     #[test]
     fn weights_that_overflow_fail_construction() {
         assert!(KvAccountant::new(&mem(1 << 20), 2 << 20, 1).is_err());
+    }
+
+    #[test]
+    fn over_release_is_a_checked_error_not_weight_corruption() {
+        // Regression: release used to saturate through HbmTracker::free,
+        // silently freeing resident-weight bytes when over-released.
+        let mut acc = KvAccountant::new(&mem(1 << 20), 1 << 16, 256).unwrap();
+        acc.try_reserve(10).unwrap();
+        let err = acc.release(11).unwrap_err();
+        assert!(matches!(err, ServingError::KvAccounting(_)));
+        // The failed release must not have touched the weights.
+        assert_eq!(acc.allocated(), (1 << 16) + 10 * 256);
+        acc.release(10).unwrap();
+        assert_eq!(acc.allocated(), 1 << 16);
+        assert!(acc.release(1).is_err(), "nothing left to release");
+    }
+
+    #[test]
+    fn contiguous_admission_tracks_per_request_reservations() {
+        let acc = KvAccountant::new(&mem(1 << 20), 0, 1024).unwrap();
+        let mut kv = ContiguousKv::new(acc);
+        kv.try_admit(7, 100, 50).unwrap();
+        assert_eq!(kv.allocated(), 150 * 1024);
+        // Double admit of another id, then release both by id.
+        kv.try_admit(8, 10, 5).unwrap();
+        assert_eq!(kv.allocated(), 165 * 1024);
+        kv.release(7).unwrap();
+        assert_eq!(kv.allocated(), 15 * 1024);
+        assert!(matches!(kv.release(7), Err(ServingError::KvAccounting(_))));
+        kv.release(8).unwrap();
+        assert_eq!(kv.allocated(), 0);
+    }
+
+    #[test]
+    fn contiguous_utilization_measures_worst_case_waste() {
+        let acc = KvAccountant::new(&mem(1 << 20), 0, 1024).unwrap();
+        let mut kv = ContiguousKv::new(acc);
+        // 100 reserved, 11 live at the (only) peak: utilization is the
+        // live fraction of the reservation.
+        kv.try_admit(0, 10, 90).unwrap();
+        let u = kv.utilization_at_peak();
+        assert!((u - 11.0 / 100.0).abs() < 1e-12, "utilization {u}");
+        // Growth without a new peak does not rewrite the snapshot…
+        kv.grow(0).unwrap();
+        assert_eq!(kv.utilization_at_peak(), u);
+        // …but a new peak does.
+        kv.try_admit(1, 10, 10).unwrap();
+        assert!(kv.utilization_at_peak() > u);
+    }
+
+    #[test]
+    fn paged_config_validates_block_size() {
+        assert!(KvAdmissionConfig::Paged { block_tokens: 0 }
+            .validate()
+            .is_err());
+        assert!(KvAdmissionConfig::paged().validate().is_ok());
+        assert!(KvAdmissionConfig::Contiguous.validate().is_ok());
     }
 }

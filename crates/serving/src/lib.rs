@@ -14,13 +14,18 @@
 //!   at the small-matmul launch-overhead floor, with softmax/normalization
 //!   TPC work growing with context — so the MME:TPC balance shifts per
 //!   phase exactly as Table 2's small-shape columns predict;
-//! - the **32 GB HBM** bound (§3.4) becomes a KV-cache admission limit:
-//!   the [`KvAccountant`] reserves each request's worst-case footprint up
-//!   front, so admitted requests always complete and overflow turns into
-//!   queueing backpressure instead of mid-generation OOM;
+//! - the **32 GB HBM** bound (§3.4) becomes a KV-cache admission limit
+//!   with two selectable strategies ([`KvAdmissionConfig`]): the legacy
+//!   contiguous accountant reserves each request's worst-case footprint up
+//!   front, while paged admission ([`paged`]) allocates fixed-size blocks
+//!   as contexts actually grow — more concurrent sequences from the same
+//!   HBM, with deterministic preemption when the pool runs dry;
 //! - SynapseAI's **recipe cache** becomes a compiled-phase-cost cache
 //!   keyed by `(batch, bucketed length)` ([`CostModel`]), which is why the
-//!   scheduler quantizes context lengths to buckets.
+//!   scheduler quantizes context lengths to buckets — and a quantitative
+//!   warmup model ([`RecipeConfig`]) charges a compile-latency penalty the
+//!   first time each replica sees a `(phase, ctx bucket, batch bucket)`
+//!   shape, so cold or restarted replicas pay recipe compilation.
 //!
 //! ## Quick start
 //!
@@ -55,20 +60,24 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod kv;
+pub mod paged;
 pub mod report;
 pub mod request;
 pub mod robustness;
 
-pub use cost::{CostContext, CostModel, PhaseCost, PlanCache, PlanCacheStats};
+pub use cost::{
+    CostContext, CostModel, Phase, PhaseCost, PlanCache, PlanCacheStats, RecipeCache, RecipeConfig,
+};
 pub use engine::{
     simulate, simulate_trace, simulate_trace_with, simulate_with, ExecPolicy, PlanSharing,
-    ServingConfig,
+    ServingConfig, ServingConfigBuilder,
 };
 pub use error::ServingError;
 pub use fault::{Job, RedistributionPolicy};
 pub use gaudi_exec::ExecPool;
 pub use gaudi_hw::fault::FaultPlan;
-pub use kv::{kv_bytes_per_token, weight_bytes, KvAccountant};
+pub use kv::{ContiguousKv, KvAccountant, KvAdmission, KvAdmissionConfig};
+pub use paged::{BlockPool, PagedKv};
 pub use report::{DropKind, DroppedRequest, Percentiles, RequestOutcome, ServingReport};
 pub use request::{generate_requests, Request, TrafficConfig};
 pub use robustness::RobustnessConfig;

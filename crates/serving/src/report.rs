@@ -164,8 +164,36 @@ pub struct ServingReport {
     pub kv_peak_bytes: u64,
     /// Device HBM capacity, bytes.
     pub kv_capacity_bytes: u64,
+    /// Fraction of the KV bytes reserved at the peak that held live
+    /// tokens (mean over replicas). Contiguous admission wastes the
+    /// not-yet-generated output tail of every reservation; paged
+    /// admission wastes only each chain's last-block rounding — the gap
+    /// between the two is the headroom paging reclaims.
+    pub kv_block_utilization: f64,
     /// Distinct phase graphs compiled (the recipe-cache size).
     pub compiled_graphs: usize,
+    /// Recipe compilations charged to the simulated devices: first use of
+    /// each `(phase, batch bucket, ctx bucket)` shape per replica, summed
+    /// over replicas, counting cold restarts again. With warmup enabled
+    /// each compile stalls the replica for `RecipeConfig::compile_ms`.
+    ///
+    /// [`RecipeConfig::compile_ms`]: crate::RecipeConfig
+    pub recipe_compiles: u64,
+    /// Runners preempted mid-decode because the paged KV pool ran dry
+    /// (their generated tokens were discarded and recomputed). Always zero
+    /// under contiguous admission.
+    pub preemptions: usize,
+    /// Largest concurrent decode batch reached — per replica, summed over
+    /// replicas (per-replica peaks need not be simultaneous). The
+    /// max-concurrent-sequences gauge paged admission exists to raise.
+    pub peak_running: usize,
+    /// Token-slots scheduled across all phases at their bucket-padded
+    /// shapes (prefill: bucketed prompt; decode: bucketed batch × bucketed
+    /// context).
+    pub scheduled_tokens: usize,
+    /// The subset of `scheduled_tokens` that was padding: slots priced but
+    /// holding no live token, from ctx- and batch-bucket rounding.
+    pub padded_tokens: usize,
     /// Cards the simulation ran on (data-parallel serving replicas).
     pub devices: usize,
     /// Requests re-queued onto a surviving replica after a card failure
@@ -227,6 +255,17 @@ impl ServingReport {
             .iter()
             .filter(|d| d.kind == DropKind::Failed)
             .count()
+    }
+
+    /// Fraction of all scheduled token-slots that was bucket padding —
+    /// the waste side of the recipe-bucketing tradeoff (`0.0` when nothing
+    /// was scheduled).
+    pub fn padding_waste(&self) -> f64 {
+        if self.scheduled_tokens == 0 {
+            0.0
+        } else {
+            self.padded_tokens as f64 / self.scheduled_tokens as f64
+        }
     }
 
     /// Fraction of offered requests that completed within their SLOs.
@@ -326,7 +365,20 @@ impl ServingReport {
                     self.kv_capacity_bytes as f64 / (1u64 << 30) as f64
                 ),
             ])
-            .row(&["compiled graphs".into(), self.compiled_graphs.to_string()]);
+            .row(&[
+                "KV utilization at peak".into(),
+                format!("{:.1}%", self.kv_block_utilization * 100.0),
+            ])
+            .row(&["peak decode batch".into(), self.peak_running.to_string()])
+            .row(&["compiled graphs".into(), self.compiled_graphs.to_string()])
+            .row(&["recipe compiles".into(), self.recipe_compiles.to_string()])
+            .row(&[
+                "padding waste".into(),
+                format!("{:.1}%", self.padding_waste() * 100.0),
+            ]);
+        if self.preemptions > 0 {
+            eng.row(&["KV preemptions".into(), self.preemptions.to_string()]);
+        }
         if !self.dropped.is_empty() {
             eng.row(&["shed (rejected)".into(), self.shed().to_string()])
                 .row(&["timed out".into(), self.timed_out().to_string()])
@@ -395,7 +447,13 @@ mod tests {
             peak_queued_tokens: 96,
             kv_peak_bytes: 1 << 30,
             kv_capacity_bytes: 32 << 30,
+            kv_block_utilization: 0.5,
             compiled_graphs: 5,
+            recipe_compiles: 5,
+            preemptions: 0,
+            peak_running: 3,
+            scheduled_tokens: 128,
+            padded_tokens: 32,
             devices: 1,
             retries: 0,
             requeued_tokens: 0,
@@ -410,6 +468,14 @@ mod tests {
         assert!(text.contains("32 GiB"));
         assert!(text.contains("NIC utilization"));
         assert!(text.contains("peak queued tokens"));
+        assert!(text.contains("recipe compiles"));
+        assert!(text.contains("peak decode batch"));
+        assert!(text.contains("padding waste"));
+        assert!((r.padding_waste() - 0.25).abs() < 1e-12);
+        assert!(
+            !text.contains("KV preemptions"),
+            "preemption row hidden when contiguous admission never preempts"
+        );
         assert!(
             !text.contains("failed replicas"),
             "fault rows hidden in fault-free reports"

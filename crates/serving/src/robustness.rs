@@ -59,6 +59,12 @@ pub struct RobustnessConfig {
     pub backoff_jitter: f64,
     /// Seed for the jitter stream (mixed with request id and attempt).
     pub backoff_seed: u64,
+    /// Demand that every offered request completes: a run in which this
+    /// policy shed, expired, or failed any request is treated as an
+    /// overload error by the session facade (`GaudiSession::serve`)
+    /// instead of a report with drops. The engine itself still records
+    /// the drops; the flag only changes how the run is surfaced.
+    pub require_completion: bool,
 }
 
 impl Default for RobustnessConfig {
@@ -80,6 +86,7 @@ impl RobustnessConfig {
             backoff_base_ms: 0.0,
             backoff_jitter: 0.0,
             backoff_seed: 0,
+            require_completion: false,
         }
     }
 
@@ -90,6 +97,13 @@ impl RobustnessConfig {
             && self.ttft_deadline_ms.is_none()
             && self.deadline_ms.is_none()
             && self.max_retries == u32::MAX
+    }
+
+    /// Demand that every offered request completes (see
+    /// [`require_completion`](Self::require_completion)).
+    pub fn guaranteed(mut self) -> Self {
+        self.require_completion = true;
+        self
     }
 
     /// Bound the admission queue to `depth` waiting requests.
@@ -211,11 +225,17 @@ mod tests {
             .ttft_deadline(50.0)
             .deadline(500.0)
             .retries(3)
-            .backoff(2.0, 0.5, 99);
+            .backoff(2.0, 0.5, 99)
+            .guaranteed();
         assert!(!cfg.is_unlimited());
         assert_eq!(cfg.max_queue_depth, Some(16));
         assert_eq!(cfg.max_retries, 3);
+        assert!(cfg.require_completion);
         assert!(cfg.validate().is_ok());
+        assert!(
+            !RobustnessConfig::default().require_completion,
+            "completion guarantees are opt-in"
+        );
     }
 
     #[test]

@@ -17,17 +17,20 @@
 //! sweep's thread pool (default: the global pool, see
 //! `GAUDI_EXEC_THREADS`). `--queue-depth N`, `--ttft-deadline MS`, and
 //! `--deadline MS` impose an overload-protection policy on every cell, so
-//! the same sweep shows shedding and SLO expiry under load.
+//! the same sweep shows shedding and SLO expiry under load. `--paged`
+//! switches every cell from contiguous worst-case KV reservation to
+//! block-granular paged admission (16-token blocks), which raises the max
+//! concurrent sequences the 32 GB device can hold.
 
 use gaudi_profiler::report::TextTable;
-use gaudi_serving::{PlanCache, RobustnessConfig, ServingConfig};
+use gaudi_serving::{KvAdmissionConfig, PlanCache, RobustnessConfig, ServingConfig};
 use habana_gaudi_study::bin_support::{run_cells, serving_sweep_config, Flags};
 use std::sync::Arc;
 
 fn main() {
     let flags = Flags::parse(
         "serving_sweep [--devices N] [--threads N] [--queue-depth N] \
-         [--ttft-deadline MS] [--deadline MS]",
+         [--ttft-deadline MS] [--deadline MS] [--paged]",
         &[
             "--devices",
             "--threads",
@@ -35,7 +38,7 @@ fn main() {
             "--ttft-deadline",
             "--deadline",
         ],
-        &[],
+        &["--paged"],
     );
     let devices = flags.usize_in("--devices", 1, 1..=64);
     let pool = flags.pool();
@@ -52,6 +55,11 @@ fn main() {
     if e2e_dl > 0.0 {
         robustness = robustness.deadline(e2e_dl);
     }
+    let admission = if flags.switch("--paged") {
+        KvAdmissionConfig::paged()
+    } else {
+        KvAdmissionConfig::default()
+    };
 
     println!(
         "Extension: simulated online serving, GPT-2-XL-class model on {} HLS-1 card{}\n",
@@ -72,9 +80,11 @@ fn main() {
         .iter()
         .flat_map(|&rate| {
             let robustness = robustness.clone();
+            let admission = admission.clone();
             batches.iter().map(move |&b| {
                 let mut cfg = serving_sweep_config(rate, b, devices);
                 cfg.robustness = robustness.clone();
+                cfg.kv_admission = admission.clone();
                 cfg
             })
         })
@@ -139,6 +149,7 @@ fn main() {
         let mut cfg =
             serving_sweep_config(*rates.last().unwrap(), *batches.last().unwrap(), devices);
         cfg.robustness = robustness;
+        cfg.kv_admission = admission;
         run_cells(&pool, &cache, &[cfg])
     };
     let reproducible = busiest.makespan_ms == again[0].makespan_ms

@@ -10,7 +10,7 @@
 
 use gaudi_exec::ExecPool;
 use gaudi_serving::{
-    ExecPolicy, PlanCache, PlanSharing, ServingConfig, ServingReport, TrafficConfig,
+    ExecPolicy, PlanCache, PlanSharing, RecipeConfig, ServingConfig, ServingReport, TrafficConfig,
 };
 use std::sync::Arc;
 
@@ -158,12 +158,45 @@ pub fn overload_sweep_config(rate: f64) -> ServingConfig {
     cfg
 }
 
+/// The KV-sweep operating point: §3.4 GPT under a saturating burst on a
+/// device shrunk to `hbm_tokens` of KV room past the weights, so admission
+/// — not compute — caps concurrency. The same stream is then served with
+/// contiguous (worst-case reservation) and paged (block-granular)
+/// admission; `batch_bucket` sets the recipe-cache bucketing and every
+/// cell pays a first-use compile penalty per `(phase, ctx, batch)` shape.
+pub fn kv_sweep_config(hbm_tokens: u64, batch_bucket: usize) -> ServingConfig {
+    let mut cfg = ServingConfig::paper_gpt();
+    cfg.traffic = TrafficConfig {
+        arrival_rate_per_s: 2000.0,
+        num_requests: 80,
+        prompt_range: (16, 96),
+        output_range: (8, 64),
+        zipf_s: 1.1,
+        seed: 42,
+    };
+    cfg.max_batch = 16;
+    cfg.ctx_bucket = 32;
+    cfg.recipes = RecipeConfig {
+        compile_ms: 5.0,
+        batch_bucket,
+    };
+    let worst = cfg.traffic.prompt_range.1 + cfg.traffic.output_range.1;
+    let weights = cfg
+        .kv_admission
+        .weight_bytes(&cfg.model, worst, cfg.kv_dtype);
+    let per_tok = cfg
+        .kv_admission
+        .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+    cfg.hw.memory.hbm_capacity_bytes = weights + per_tok * hbm_tokens;
+    cfg
+}
+
 /// Everything a determinism check needs to compare, rendered to exact
 /// text: latency tails, goodput, completion/outcome/retry/availability
 /// counters, and the queue-pressure gauges.
 pub fn report_digest(r: &ServingReport) -> String {
     format!(
-        "{:.6}|{:.6}|{:.6}|{:.6}|{:.6}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:.6}",
+        "{:.6}|{:.6}|{:.6}|{:.6}|{:.6}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:.6}|{:.6}|{}|{}|{}|{:.6}",
         r.makespan_ms,
         r.goodput_tokens_per_s,
         r.throughput_tokens_per_s,
@@ -178,7 +211,12 @@ pub fn report_digest(r: &ServingReport) -> String {
         r.peak_queued_tokens,
         r.retries,
         r.requeued_tokens,
-        r.availability()
+        r.availability(),
+        r.kv_block_utilization,
+        r.recipe_compiles,
+        r.preemptions,
+        r.peak_running,
+        r.padding_waste()
     )
 }
 
@@ -217,6 +255,13 @@ mod tests {
         let f = fault_sweep_config();
         assert_eq!(f.traffic.num_requests, 160);
         assert!(!f.model.training);
+        let k = kv_sweep_config(480, 4);
+        assert_eq!(k.recipes.batch_bucket, 4);
+        assert!(
+            k.hw.memory.hbm_capacity_bytes
+                < gaudi_hw::GaudiConfig::hls1().memory.hbm_capacity_bytes,
+            "the KV sweep must shrink the device below 32 GB"
+        );
     }
 
     #[test]

@@ -28,9 +28,9 @@ pub enum GaudiError {
     /// The session's overload-protection policy is malformed (negative
     /// deadline, jitter outside `[0, 1]`, zero-size queue bound…).
     Robustness(String),
-    /// A [`serve_guaranteed`](crate::GaudiSession::serve_guaranteed) run
-    /// shed, expired, or failed some of its requests instead of completing
-    /// all of them.
+    /// A [`serve`](crate::GaudiSession::serve) run whose robustness policy
+    /// demanded completion (`RobustnessConfig::guaranteed`) shed, expired,
+    /// or failed some of its requests instead of completing all of them.
     Overloaded {
         /// Requests that terminated as rejected, timed-out, or failed.
         dropped: usize,

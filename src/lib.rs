@@ -61,8 +61,9 @@ pub mod prelude {
     pub use gaudi_profiler::{Trace, TraceAnalysis};
     pub use gaudi_runtime::{Feeds, MultiRunReport, NumericsMode, RunReport, Runtime};
     pub use gaudi_serving::{
-        DropKind, DroppedRequest, ExecPolicy, PlanCache, PlanSharing, RedistributionPolicy,
-        RobustnessConfig, ServingConfig, ServingReport, TrafficConfig,
+        DropKind, DroppedRequest, ExecPolicy, KvAdmissionConfig, PlanCache, PlanSharing,
+        RecipeConfig, RedistributionPolicy, RobustnessConfig, ServingConfig, ServingConfigBuilder,
+        ServingReport, TrafficConfig,
     };
     pub use gaudi_tensor::{DType, SeededRng, Shape, Tensor};
 }

@@ -150,6 +150,12 @@ impl GaudiSession {
     /// `cfg`, killing, throttling, and degrading those replicas.
     /// A session-level [`robustness`](GaudiSessionBuilder::robustness)
     /// policy likewise overrides the one in `cfg`.
+    ///
+    /// This is the single serving entry point: if the effective robustness
+    /// policy demands completion ([`RobustnessConfig::guaranteed`]), a run
+    /// that shed, expired, or failed any request returns
+    /// [`GaudiError::Overloaded`] carrying the drop counts — the
+    /// programmatic version of an SLO violation page.
     pub fn serve(&self, cfg: &ServingConfig) -> Result<ServingReport, GaudiError> {
         let mut cfg = cfg.clone();
         cfg.hw = self.hw.clone();
@@ -161,13 +167,23 @@ impl GaudiSession {
         if let Some(rb) = &self.robustness {
             cfg.robustness = rb.clone();
         }
-        Ok(simulate(&cfg)?)
+        let report = simulate(&cfg)?;
+        if cfg.robustness.require_completion && !report.dropped.is_empty() {
+            return Err(GaudiError::Overloaded {
+                dropped: report.dropped.len(),
+                offered: report.offered,
+            });
+        }
+        Ok(report)
     }
 
-    /// [`serve`](Self::serve), but demand that *every* offered request
-    /// completes: if the robustness policy shed, expired, or failed any
-    /// request the run is an [`GaudiError::Overloaded`] error carrying the
-    /// drop counts — the programmatic version of an SLO violation page.
+    /// Deprecated alias for [`serve`](Self::serve) with a completion
+    /// guarantee forced on: demand that *every* offered request completes,
+    /// turning any drop into [`GaudiError::Overloaded`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use serve() with RobustnessConfig::guaranteed() on the session builder or config"
+    )]
     pub fn serve_guaranteed(&self, cfg: &ServingConfig) -> Result<ServingReport, GaudiError> {
         let report = self.serve(cfg)?;
         if !report.dropped.is_empty() {
@@ -567,8 +583,13 @@ mod tests {
         assert!(r.shed() > 0, "a 2-deep queue must shed the burst");
         assert!(r.max_queue_depth <= 2);
         assert!(r.dropped.iter().all(|d| d.kind == DropKind::Rejected));
-        // The same burst through serve_guaranteed is an Overloaded error.
-        let err = s.serve_guaranteed(&cfg).unwrap_err();
+        // The same burst with a completion guarantee is an Overloaded error
+        // from the one serve() entry point.
+        let strict = GaudiSession::builder()
+            .robustness(RobustnessConfig::default().queue_depth(2).guaranteed())
+            .build()
+            .unwrap();
+        let err = strict.serve(&cfg).unwrap_err();
         match err {
             GaudiError::Overloaded { dropped, offered } => {
                 assert_eq!(dropped, r.dropped.len());
@@ -576,9 +597,16 @@ mod tests {
             }
             other => panic!("expected Overloaded, got {other:?}"),
         }
+        // The deprecated alias forces the guarantee on any session.
+        #[allow(deprecated)]
+        let err = s.serve_guaranteed(&cfg).unwrap_err();
+        assert!(matches!(err, GaudiError::Overloaded { .. }));
         // Without a policy the burst completes and the guarantee holds.
-        let lax = GaudiSession::hls1();
-        let r = lax.serve_guaranteed(&cfg).unwrap();
+        let lax = GaudiSession::builder()
+            .robustness(RobustnessConfig::default().guaranteed())
+            .build()
+            .unwrap();
+        let r = lax.serve(&cfg).unwrap();
         assert_eq!(r.completed.len(), 20);
     }
 

@@ -145,6 +145,58 @@ fn restart_and_shed_run_is_bit_identical_across_policies() {
 }
 
 #[test]
+fn paged_warmup_restart_run_is_bit_identical_across_policies() {
+    // Everything PR 6 added at once — paged KV admission tight enough to
+    // preempt, quantitative recipe warmup with batch bucketing, and a
+    // replica restart that resets a recipe cache mid-run — must remain a
+    // pure function of the config under every execution policy.
+    let mut cfg = serving_config(3);
+    cfg.faults = FaultPlan::none().kill_for(DeviceId(2), 10.0, 25.0);
+    cfg.kv_admission = KvAdmissionConfig::Paged { block_tokens: 16 };
+    cfg.recipes = RecipeConfig {
+        compile_ms: 8.0,
+        batch_bucket: 2,
+    };
+    // Shrink HBM so the paged pool actually runs dry: room for the weights
+    // plus ~3 worst-case requests (88 tokens each) across the stream.
+    let weights = cfg
+        .kv_admission
+        .weight_bytes(&cfg.model, 64 + 24, cfg.kv_dtype);
+    let per_tok = cfg
+        .kv_admission
+        .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+    cfg.hw.memory.hbm_capacity_bytes = weights + per_tok * 264;
+    let cache = Arc::new(PlanCache::new());
+    let reference = simulate_with(&cfg, &ExecPolicy::serial_baseline()).unwrap();
+    assert_eq!(reference.restarts, 1, "the killed replica must come back");
+    assert!(
+        reference.recipe_compiles > 0,
+        "warmup must compile at least one shape"
+    );
+    assert!(
+        reference.completed.len() + reference.dropped.len() == reference.offered,
+        "every request must terminate exactly once"
+    );
+    for (name, policy) in policies(&cache) {
+        let got = simulate_with(&cfg, &policy).unwrap();
+        assert_eq!(
+            full_digest(&got),
+            full_digest(&reference),
+            "policy '{name}' diverged from serial on the paged+warmup run"
+        );
+    }
+    // Warm shared cache: memoized plans must not perturb outcomes.
+    let warm = ExecPolicy {
+        pool: ExecPool::new(4),
+        plans: PlanSharing::Shared(cache),
+    };
+    assert_eq!(
+        full_digest(&simulate_with(&cfg, &warm).unwrap()),
+        full_digest(&reference)
+    );
+}
+
+#[test]
 fn explicit_trace_replay_is_policy_independent() {
     let cfg = serving_config(2);
     let requests: Vec<Request> = (0..20)

@@ -3,13 +3,12 @@
 //! continuous-batching scheduler must complete every request with its
 //! tokens in order, and identical seeds must reproduce identical reports.
 
-use gaudi_compiler::CompilerOptions;
 use gaudi_hw::DeviceId;
 use gaudi_hw::GaudiConfig;
 use gaudi_models::LlmConfig;
 use gaudi_serving::{
-    generate_requests, kv_bytes_per_token, simulate, simulate_trace, weight_bytes, DropKind,
-    FaultPlan, RedistributionPolicy, RobustnessConfig, ServingConfig, ServingError, TrafficConfig,
+    generate_requests, simulate, simulate_trace, DropKind, FaultPlan, KvAdmissionConfig,
+    RobustnessConfig, ServingConfig, ServingError, TrafficConfig,
 };
 use gaudi_tensor::DType;
 use proptest::prelude::*;
@@ -36,22 +35,19 @@ fn config(
     // Shrink the device so KV pressure is realistic: room for the weights
     // plus a fuzzed number of tokens (always >= one worst-case request).
     let max_request = 24 + 12;
-    let weights = weight_bytes(&model, max_request, DType::F32);
-    let per_tok = kv_bytes_per_token(&model, DType::F32);
+    let admission = KvAdmissionConfig::default();
+    let weights = admission.weight_bytes(&model, max_request, DType::F32);
+    let per_tok = admission.kv_bytes_per_token(&model, DType::F32);
     hw.memory.hbm_capacity_bytes = weights + per_tok * (max_request as u64 + kv_head_room_tokens);
-    ServingConfig {
-        model,
-        traffic,
-        max_batch,
-        ctx_bucket: 16,
-        kv_dtype: DType::F32,
-        hw,
-        opts: CompilerOptions::default(),
-        devices: 1,
-        faults: FaultPlan::none(),
-        redistribution: RedistributionPolicy::default(),
-        robustness: RobustnessConfig::default(),
-    }
+    ServingConfig::builder()
+        .model(model)
+        .traffic(traffic)
+        .max_batch(max_batch)
+        .ctx_bucket(16)
+        .kv_dtype(DType::F32)
+        .hw(hw)
+        .devices(1)
+        .build()
 }
 
 proptest! {
@@ -276,6 +272,94 @@ proptest! {
             "unlimited retries must complete everything despite the outage");
         prop_assert!(r.dropped.is_empty());
     }
+
+    /// Paged-KV block conservation: at every step of a random
+    /// admit/grow/release/drop interleaving, `free + allocated` equals the
+    /// pool's capacity, blocks never outlive their chains, and the byte
+    /// ledger stays within HBM.
+    #[test]
+    fn block_pool_conserves_blocks_under_random_ops(
+        capacity_blocks in 1u32..48,
+        block_tokens in 1usize..9,
+        ops in proptest::collection::vec((0u8..4u8, 0usize..32), 1..200),
+    ) {
+        use gaudi_serving::{KvAdmission, PagedKv};
+        let weight_bytes = 7u64;
+        let bytes_per_token = 3u64;
+        let mut mem = GaudiConfig::hls1().memory;
+        mem.hbm_capacity_bytes =
+            weight_bytes + bytes_per_token * block_tokens as u64 * u64::from(capacity_blocks);
+        let mut kv = PagedKv::new(&mem, weight_bytes, bytes_per_token, block_tokens).unwrap();
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        for (op, x) in ops {
+            match op {
+                0 => {
+                    // Admit (prompt x): may legitimately fail on a dry pool.
+                    if kv.try_admit(next_id, x, 8).is_ok() {
+                        live.push(next_id);
+                    }
+                    next_id += 1;
+                }
+                1 if !live.is_empty() => {
+                    // Grow one live chain by a token; dry pools refuse.
+                    let id = live[x % live.len()];
+                    let _ = kv.grow(id);
+                }
+                2 | 3 if !live.is_empty() => {
+                    // Release on completion (2) or drop mid-flight (3).
+                    let id = live.swap_remove(x % live.len());
+                    kv.release(id).unwrap();
+                }
+                _ => {}
+            }
+            let pool = kv.pool();
+            prop_assert_eq!(
+                pool.free_blocks() + pool.allocated_blocks(),
+                pool.capacity_blocks(),
+                "block conservation violated");
+            prop_assert!(kv.allocated() <= kv.capacity());
+            if live.is_empty() {
+                prop_assert_eq!(pool.allocated_blocks(), 0,
+                    "blocks must not outlive their chains");
+            }
+        }
+        for id in live.drain(..) {
+            kv.release(id).unwrap();
+        }
+        prop_assert_eq!(kv.pool().allocated_blocks(), 0);
+        prop_assert_eq!(kv.allocated(), weight_bytes);
+    }
+
+    /// Paged admission completes every request within capacity for random
+    /// block sizes, and the run is bit-reproducible.
+    #[test]
+    fn paged_serving_completes_within_capacity(
+        seed in 0u64..1_000_000,
+        rate_idx in 0u8..3,
+        num_requests in 1usize..30,
+        max_batch in 1usize..8,
+        head_room in 0u64..200,
+        block_tokens in 1usize..33,
+    ) {
+        // One extra block of head room guarantees the worst-case request
+        // (36 tokens) still fits after rounding up to block granularity.
+        let cfg = config(seed, rate_idx, num_requests, max_batch,
+                head_room + block_tokens as u64)
+            .to_builder()
+            .kv_admission(KvAdmissionConfig::Paged { block_tokens })
+            .build();
+        let a = simulate(&cfg).unwrap();
+        prop_assert!(a.kv_peak_bytes <= a.kv_capacity_bytes,
+            "peak {} exceeds capacity {}", a.kv_peak_bytes, a.kv_capacity_bytes);
+        prop_assert_eq!(a.completed.len(), num_requests,
+            "recompute-preemption must never drop a request");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&a.kv_block_utilization));
+        let b = simulate(&cfg).unwrap();
+        prop_assert_eq!(a.makespan_ms, b.makespan_ms);
+        prop_assert_eq!(a.preemptions, b.preemptions);
+        prop_assert_eq!(a.kv_block_utilization, b.kv_block_utilization);
+    }
 }
 
 /// Deterministic (non-fuzzed) regression: a device with room for barely
@@ -302,8 +386,10 @@ fn oversized_request_is_rejected() {
     let mut cfg = config(3, 0, 5, 2, 0);
     // Leave KV room for fewer tokens than the smallest possible request
     // (prompt 4 + output 2), so the pre-scan must reject the trace.
-    let per_tok = kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
-    let weights = weight_bytes(&cfg.model, 36, cfg.kv_dtype);
+    let per_tok = cfg
+        .kv_admission
+        .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+    let weights = cfg.kv_admission.weight_bytes(&cfg.model, 36, cfg.kv_dtype);
     cfg.hw.memory.hbm_capacity_bytes = weights + per_tok * 5;
     match simulate(&cfg) {
         Err(ServingError::RequestTooLarge { .. }) => {}
