@@ -74,11 +74,7 @@ impl GraphCompiler {
         }
         // Collectives span the tensor-parallel group; degraded links carry
         // over (one slow edge in the fabric paces any ring through it).
-        let comm = Topology {
-            devices: part.parallel.tensor,
-            link: topo.link,
-            link_degradations: topo.link_degradations.clone(),
-        };
+        let comm = topo.subring(part.parallel.tensor);
         let (g, base) = self.compile_with_topology(&part.graph, &comm)?;
         let collective_ns = base.engine_busy_ns(EngineId::Nic);
         let makespan_ns = base.makespan_ns;

@@ -32,7 +32,7 @@ pub use config::GaudiConfig;
 pub use engine::EngineId;
 pub use fault::{CardFailure, FaultError, FaultPlan, LinkDegradation, Slowdown};
 pub use mme::MmeModel;
-pub use topology::{DeviceId, Link, Topology};
+pub use topology::{DeviceId, Link, SwitchTier, Topology};
 pub use tpc_cost::{TpcCostModel, TpcOpClass};
 
 /// Convert nanoseconds to milliseconds.

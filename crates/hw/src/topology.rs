@@ -68,15 +68,64 @@ impl Default for Link {
     }
 }
 
+/// The inter-box switch tier of a hierarchical (cluster) topology.
+///
+/// HLS-1 boxes attach to the datacenter fabric through their scale-out
+/// RoCE ports; a leaf/spine switch tier joins the boxes. The tier is
+/// modelled by two numbers: how much slower the uplinks are than the
+/// intra-box fabric (`oversubscription` — the classic ratio of injection
+/// bandwidth to uplink share; 1.0 means a non-blocking fabric) and the
+/// extra store-and-forward latency each switch traversal adds
+/// (`hop_latency_ns`). A box-to-box message crosses two switch hops
+/// (source leaf up, destination leaf down).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchTier {
+    /// Ratio of intra-box injection bandwidth to the uplink share a card
+    /// actually gets through the switch tier; `>= 1.0`. Inter-box
+    /// bandwidth is `link.bandwidth / oversubscription`.
+    pub oversubscription: f64,
+    /// Extra latency of one switch traversal, ns. An inter-box message
+    /// pays two (leaf up + leaf down) on top of the NIC link latency.
+    pub hop_latency_ns: f64,
+}
+
+impl SwitchTier {
+    /// A non-blocking tier: full bandwidth through the switches, with a
+    /// default per-hop traversal cost of 500 ns per switch.
+    pub fn nonblocking() -> Self {
+        SwitchTier {
+            oversubscription: 1.0,
+            hop_latency_ns: 500.0,
+        }
+    }
+
+    /// The same tier with a different oversubscription factor.
+    pub fn oversubscribed(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "oversubscription must be >= 1.0, got {factor}"
+        );
+        self.oversubscription = factor;
+        self
+    }
+}
+
 /// A box of `devices` identical Gaudi cards joined by uniform [`Link`]s
-/// (the all-to-all RoCE fabric of an HLS-1).
+/// (the all-to-all RoCE fabric of an HLS-1), or — in the hierarchical
+/// form built by [`Topology::cluster`] — several such boxes joined by an
+/// inter-box [`SwitchTier`].
 ///
 /// Collective timings use the standard closed forms for ring collectives
 /// (bandwidth-optimal) and a binomial tree for broadcast; every method
-/// returns `0.0` for a single-device topology.
+/// returns `0.0` for a single-device topology. When the ring spans boxes,
+/// the closed forms route through the bottleneck tier: the slowest ring
+/// edge is an inter-box edge, so bandwidth divides by the switch
+/// oversubscription and every step pays two extra switch hops of latency
+/// (the slowest-member property of ring algorithms, one tier up).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
-    /// Number of cards in the box.
+    /// Number of cards in the box (flat form) or in the whole cluster
+    /// (hierarchical form).
     pub devices: usize,
     /// The uniform inter-card link (nominal, before degradation).
     pub link: Link,
@@ -85,6 +134,13 @@ pub struct Topology {
     /// collective closed form divides bandwidth by
     /// [`bottleneck_factor`](Self::bottleneck_factor).
     pub link_degradations: Vec<LinkDegradation>,
+    /// Cards per box. Flat topologies put every card in one box
+    /// (`cards_per_box == devices`); [`Topology::cluster`] sets the box
+    /// size explicitly. Never zero.
+    pub cards_per_box: usize,
+    /// The inter-box switch tier, when the topology is hierarchical.
+    /// `None` means all cards share one box-level fabric (the flat form).
+    pub switch: Option<SwitchTier>,
 }
 
 impl Topology {
@@ -94,6 +150,8 @@ impl Topology {
             devices: 1,
             link: Link::default(),
             link_degradations: Vec::new(),
+            cards_per_box: 1,
+            switch: None,
         }
     }
 
@@ -105,6 +163,51 @@ impl Topology {
             devices,
             link: Link::from_roce(&cfg.roce),
             link_degradations: Vec::new(),
+            cards_per_box: devices,
+            switch: None,
+        }
+    }
+
+    /// A flat sub-ring of `devices` cards carved out of this topology's
+    /// fabric (same links, same degradations) — what a tensor-parallel
+    /// group inside one box sees.
+    pub fn subring(&self, devices: usize) -> Self {
+        assert!(devices >= 1, "topology needs at least one device");
+        Topology {
+            devices,
+            link: self.link,
+            link_degradations: self.link_degradations.clone(),
+            cards_per_box: devices,
+            switch: None,
+        }
+    }
+
+    /// A hierarchical cluster of `boxes` HLS-1-like boxes of
+    /// `cards_per_box` cards each, joined by a leaf/spine switch tier
+    /// oversubscribed by `oversubscription` (1.0 = non-blocking).
+    ///
+    /// Intra-box edges keep the full RoCE link; inter-box edges see
+    /// `bandwidth / oversubscription` and pay two extra switch hops of
+    /// latency per message.
+    pub fn cluster(
+        cfg: &GaudiConfig,
+        boxes: usize,
+        cards_per_box: usize,
+        oversubscription: f64,
+    ) -> Self {
+        assert!(boxes >= 1, "cluster needs at least one box");
+        assert!(cards_per_box >= 1, "boxes need at least one card");
+        let switch = if boxes > 1 {
+            Some(SwitchTier::nonblocking().oversubscribed(oversubscription))
+        } else {
+            None
+        };
+        Topology {
+            devices: boxes * cards_per_box,
+            link: Link::from_roce(&cfg.roce),
+            link_degradations: Vec::new(),
+            cards_per_box,
+            switch,
         }
     }
 
@@ -136,26 +239,110 @@ impl Topology {
         (0..self.devices).map(DeviceId).collect()
     }
 
+    /// Number of boxes the cards occupy (`ceil(devices / cards_per_box)`;
+    /// 1 for every flat topology).
+    pub fn boxes(&self) -> usize {
+        self.devices.div_ceil(self.cards_per_box)
+    }
+
+    /// Zero-based index of the box holding `device`.
+    pub fn box_of(&self, device: DeviceId) -> usize {
+        device.0 / self.cards_per_box
+    }
+
+    /// Whether the device ring spans more than one box — i.e. whether
+    /// collectives must route through the switch tier.
+    pub fn spans_boxes(&self) -> bool {
+        self.switch.is_some() && self.boxes() > 1
+    }
+
+    /// Per-step latency of the ring the collectives run on: the NIC link
+    /// latency, plus two switch hops when the ring crosses boxes (a ring
+    /// step is paced by its slowest edge, and with cards numbered box by
+    /// box the slowest edge is a box-boundary edge).
+    fn ring_step_latency_ns(&self) -> f64 {
+        match (&self.switch, self.spans_boxes()) {
+            (Some(tier), true) => self.link.latency_ns + 2.0 * tier.hop_latency_ns,
+            _ => self.link.latency_ns,
+        }
+    }
+
+    /// Bandwidth of the bottleneck tier the collectives pace to: the
+    /// degraded intra-box bandwidth for one box, divided by the switch
+    /// oversubscription when the ring crosses boxes.
+    pub fn bottleneck_bandwidth_bytes_per_ns(&self) -> f64 {
+        let intra = self.effective_bandwidth_bytes_per_ns();
+        match (&self.switch, self.spans_boxes()) {
+            (Some(tier), true) => intra / tier.oversubscription,
+            _ => intra,
+        }
+    }
+
+    /// NIC hops a message from `src` to `dst` traverses: 0 on-card, 1
+    /// across the intra-box fabric, 3 through the switch tier (source NIC
+    /// → leaf → leaf → destination NIC).
+    pub fn hops(&self, src: DeviceId, dst: DeviceId) -> usize {
+        if src == dst {
+            0
+        } else if self.box_of(src) == self.box_of(dst) {
+            1
+        } else {
+            3
+        }
+    }
+
+    /// Time to move `bytes` point-to-point from `src` to `dst`, priced per
+    /// hop: intra-box transfers pay the NIC link; inter-box transfers pay
+    /// the NIC link at the oversubscribed uplink bandwidth plus two switch
+    /// traversals. `0.0` on-card.
+    pub fn nic_transfer_time_ns(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> f64 {
+        match self.hops(src, dst) {
+            0 => 0.0,
+            1 => self.link.latency_ns + bytes as f64 / self.effective_bandwidth_bytes_per_ns(),
+            _ => {
+                let tier = self.switch.expect("inter-box hop count implies a switch");
+                self.link.latency_ns
+                    + 2.0 * tier.hop_latency_ns
+                    + bytes as f64
+                        / (self.effective_bandwidth_bytes_per_ns() / tier.oversubscription)
+            }
+        }
+    }
+
+    /// Time to ship `bytes` from one box to another through the switch
+    /// tier (any cross-box card pair — the fabric is uniform). `0.0` when
+    /// the topology has a single box.
+    pub fn cross_box_transfer_ns(&self, bytes: u64) -> f64 {
+        if !self.spans_boxes() {
+            return 0.0;
+        }
+        self.nic_transfer_time_ns(DeviceId(0), DeviceId(self.cards_per_box), bytes)
+    }
+
     /// Ring all-reduce of `bytes` (the full, unsharded payload) across the
     /// box: `2·(P-1)/P · bytes / bw` plus `2·(P-1)` message latencies.
+    /// When the ring spans boxes, `bw` is the oversubscribed switch tier
+    /// and each latency term includes the two switch hops.
     pub fn allreduce_time_ns(&self, bytes: u64) -> f64 {
         if self.devices <= 1 {
             return 0.0;
         }
         let p = self.devices as f64;
         let volume = 2.0 * (p - 1.0) / p * bytes as f64;
-        volume / self.effective_bandwidth_bytes_per_ns() + 2.0 * (p - 1.0) * self.link.latency_ns
+        volume / self.bottleneck_bandwidth_bytes_per_ns()
+            + 2.0 * (p - 1.0) * self.ring_step_latency_ns()
     }
 
     /// Ring all-gather producing `bytes` of gathered output per device:
-    /// `(P-1)/P · bytes / bw` plus `(P-1)` message latencies.
+    /// `(P-1)/P · bytes / bw` plus `(P-1)` message latencies, through the
+    /// bottleneck tier.
     pub fn allgather_time_ns(&self, bytes: u64) -> f64 {
         if self.devices <= 1 {
             return 0.0;
         }
         let p = self.devices as f64;
         let volume = (p - 1.0) / p * bytes as f64;
-        volume / self.effective_bandwidth_bytes_per_ns() + (p - 1.0) * self.link.latency_ns
+        volume / self.bottleneck_bandwidth_bytes_per_ns() + (p - 1.0) * self.ring_step_latency_ns()
     }
 
     /// Ring reduce-scatter over `bytes` of input per device (same wire cost
@@ -165,13 +352,15 @@ impl Topology {
     }
 
     /// Binomial-tree broadcast of `bytes` from one root: `ceil(log2 P)`
-    /// store-and-forward steps.
+    /// store-and-forward steps through the bottleneck tier.
     pub fn broadcast_time_ns(&self, bytes: u64) -> f64 {
         if self.devices <= 1 {
             return 0.0;
         }
         let steps = (self.devices as f64).log2().ceil();
-        steps * (self.link.latency_ns + bytes as f64 / self.effective_bandwidth_bytes_per_ns())
+        steps
+            * (self.ring_step_latency_ns()
+                + bytes as f64 / self.bottleneck_bandwidth_bytes_per_ns())
     }
 }
 
@@ -294,5 +483,112 @@ mod tests {
             box4().device_ids(),
             vec![DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(3)]
         );
+    }
+
+    #[test]
+    fn flat_topologies_are_one_box() {
+        let t = box4();
+        assert_eq!(t.boxes(), 1);
+        assert_eq!(t.cards_per_box, 4);
+        assert!(t.switch.is_none());
+        assert!(!t.spans_boxes());
+        assert_eq!(t.box_of(DeviceId(3)), 0);
+        assert_eq!(t.cross_box_transfer_ns(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn cluster_assigns_cards_to_boxes_in_id_order() {
+        let c = Topology::cluster(&GaudiConfig::hls1(), 4, 8, 2.0);
+        assert_eq!(c.devices, 32);
+        assert_eq!(c.boxes(), 4);
+        assert_eq!(c.box_of(DeviceId(0)), 0);
+        assert_eq!(c.box_of(DeviceId(7)), 0);
+        assert_eq!(c.box_of(DeviceId(8)), 1);
+        assert_eq!(c.box_of(DeviceId(31)), 3);
+        assert!(c.spans_boxes());
+    }
+
+    #[test]
+    fn single_box_cluster_is_flat() {
+        let flat = Topology::hls1_box(&GaudiConfig::hls1(), 8);
+        let c = Topology::cluster(&GaudiConfig::hls1(), 1, 8, 4.0);
+        assert!(c.switch.is_none(), "one box needs no switch tier");
+        let bytes = 64u64 << 20;
+        assert_eq!(c.allreduce_time_ns(bytes), flat.allreduce_time_ns(bytes));
+        assert_eq!(c.broadcast_time_ns(bytes), flat.broadcast_time_ns(bytes));
+    }
+
+    #[test]
+    fn hop_counts_price_the_tiers() {
+        let c = Topology::cluster(&GaudiConfig::hls1(), 2, 4, 2.0);
+        assert_eq!(c.hops(DeviceId(1), DeviceId(1)), 0);
+        assert_eq!(c.hops(DeviceId(0), DeviceId(3)), 1);
+        assert_eq!(c.hops(DeviceId(0), DeviceId(4)), 3);
+        let bytes = 1u64 << 20;
+        let intra = c.nic_transfer_time_ns(DeviceId(0), DeviceId(3), bytes);
+        let inter = c.nic_transfer_time_ns(DeviceId(0), DeviceId(4), bytes);
+        assert_eq!(c.nic_transfer_time_ns(DeviceId(2), DeviceId(2), bytes), 0.0);
+        // Inter-box: two switch hops of latency and half the bandwidth.
+        let tier = c.switch.unwrap();
+        let expect =
+            intra + 2.0 * tier.hop_latency_ns + bytes as f64 / c.link.bandwidth_bytes_per_ns;
+        assert!((inter - expect).abs() < 1e-9);
+        assert_eq!(c.cross_box_transfer_ns(bytes), inter);
+    }
+
+    #[test]
+    fn oversubscription_slows_cross_box_collectives_monotonically() {
+        let cfg = GaudiConfig::hls1();
+        let bytes = 256u64 << 20;
+        let t1 = Topology::cluster(&cfg, 4, 8, 1.0).allreduce_time_ns(bytes);
+        let t2 = Topology::cluster(&cfg, 4, 8, 2.0).allreduce_time_ns(bytes);
+        let t4 = Topology::cluster(&cfg, 4, 8, 4.0).allreduce_time_ns(bytes);
+        assert!(t1 < t2 && t2 < t4);
+        // The bandwidth term scales linearly with the oversubscription.
+        let lat = 2.0 * 31.0 * (cfg.roce.message_latency_ns + 2.0 * 500.0);
+        assert!(((t4 - lat) / (t2 - lat) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonblocking_cluster_still_pays_switch_latency() {
+        let cfg = GaudiConfig::hls1();
+        let flat = Topology::hls1_box(&cfg, 32);
+        let c = Topology::cluster(&cfg, 4, 8, 1.0);
+        let bytes = 64u64 << 20;
+        // Same bandwidth term, strictly more latency.
+        assert!(c.allreduce_time_ns(bytes) > flat.allreduce_time_ns(bytes));
+        assert_eq!(
+            c.bottleneck_bandwidth_bytes_per_ns(),
+            flat.effective_bandwidth_bytes_per_ns()
+        );
+    }
+
+    #[test]
+    fn degradations_compose_with_the_switch_tier() {
+        let c = Topology::cluster(&GaudiConfig::hls1(), 2, 4, 2.0).degraded(&[LinkDegradation {
+            a: DeviceId(0),
+            b: DeviceId(1),
+            factor: 0.5,
+            window: None,
+        }]);
+        // Bottleneck = degraded intra bandwidth / oversubscription.
+        let expect = c.link.bandwidth_bytes_per_ns * 0.5 / 2.0;
+        assert!((c.bottleneck_bandwidth_bytes_per_ns() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subring_inherits_fabric_but_not_hierarchy() {
+        let c = Topology::cluster(&GaudiConfig::hls1(), 4, 8, 2.0).degraded(&[LinkDegradation {
+            a: DeviceId(0),
+            b: DeviceId(1),
+            factor: 0.5,
+            window: None,
+        }]);
+        let sub = c.subring(4);
+        assert_eq!(sub.devices, 4);
+        assert_eq!(sub.boxes(), 1);
+        assert!(sub.switch.is_none());
+        assert_eq!(sub.link, c.link);
+        assert_eq!(sub.bottleneck_factor(), 0.5);
     }
 }

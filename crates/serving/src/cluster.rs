@@ -1,0 +1,478 @@
+//! Cluster layer: route one request stream across per-box serving engines.
+//!
+//! The engine ([`crate::engine`]) simulates one box — up to a handful of
+//! data-parallel replica cards behind one admission queue. This module
+//! scales the same machinery to a datacenter row: a front-end router
+//! splits the stream over `boxes` independent boxes of `cards_per_box`
+//! cards each, every box runs the full continuous-batching engine, and the
+//! per-box [`ServingReport`]s merge through the two-level
+//! [`ServingReport::merge_boxes`] with the same conservation invariants
+//! (every request terminates exactly once, cluster-wide).
+//!
+//! Routing is where cluster serving differs from a big box. Each request
+//! has a deterministic **home box** — a hash of its id, standing in for
+//! session affinity (its conversation history / prefix KV lives there).
+//! The three [`RouterPolicy`]s trade locality against balance:
+//!
+//! - [`Locality`](RouterPolicy::Locality) always routes home: zero
+//!   cross-box traffic, load as uneven as the hash happens to land;
+//! - [`RoundRobin`](RouterPolicy::RoundRobin) perfectly balances request
+//!   *counts*, shipping most requests off-home;
+//! - [`LeastLoaded`](RouterPolicy::LeastLoaded) balances outstanding
+//!   routed *tokens* (a static estimate — the router does not watch
+//!   completions), also mostly off-home.
+//!
+//! An off-home request pays the switch tier: its prompt (4 bytes per
+//! token) crosses the inter-box fabric of the hierarchical
+//! [`Topology`], and the transfer time (oversubscribed bandwidth plus two
+//! switch hops — [`Topology::cross_box_transfer_ns`]) delays the
+//! request's effective arrival at the target box. Everything stays a pure
+//! function of the configuration: boxes fan out over the policy's
+//! [`gaudi_exec::ExecPool`] but are merged in box order, so the cluster
+//! report is bit-identical across execution policies.
+
+use crate::engine::{simulate_trace_with, ExecPolicy, PlanSharing, ServingConfig};
+use crate::error::ServingError;
+use crate::report::ServingReport;
+use crate::request::{generate_requests, Request};
+use gaudi_hw::Topology;
+use std::sync::Arc;
+
+/// How the front-end router assigns requests to boxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterPolicy {
+    /// Strict arrival-order round-robin over the boxes: request counts
+    /// balance exactly, locality is ignored.
+    #[default]
+    RoundRobin,
+    /// Route each request to the box with the fewest outstanding routed
+    /// tokens (ties to the lowest box index): token load balances,
+    /// locality is ignored.
+    LeastLoaded,
+    /// Route each request to its home box: no cross-box traffic, load as
+    /// even as the session hash.
+    Locality,
+}
+
+impl RouterPolicy {
+    /// Short name for tables and JSON artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round_robin",
+            RouterPolicy::LeastLoaded => "least_loaded",
+            RouterPolicy::Locality => "locality",
+        }
+    }
+}
+
+/// Configuration of a cluster simulation: the fleet shape, the switch
+/// tier, the router, and the per-box serving configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of independent serving boxes.
+    pub boxes: usize,
+    /// Data-parallel replica cards per box.
+    pub cards_per_box: usize,
+    /// Switch-tier oversubscription (`>= 1.0`; 1.0 = non-blocking). See
+    /// [`gaudi_hw::SwitchTier`].
+    pub oversubscription: f64,
+    /// Request-to-box assignment policy.
+    pub router: RouterPolicy,
+    /// The per-box engine configuration. Its `traffic` describes the
+    /// **cluster-wide** stream (the router splits it); its `devices`
+    /// field is ignored and replaced by `cards_per_box`. A fault plan, if
+    /// any, is applied identically to every box.
+    pub box_config: ServingConfig,
+}
+
+impl ClusterConfig {
+    /// A cluster of `boxes` × `cards_per_box` cards serving
+    /// `box_config`'s stream through a non-blocking switch tier and the
+    /// default round-robin router.
+    pub fn new(box_config: ServingConfig, boxes: usize, cards_per_box: usize) -> Self {
+        ClusterConfig {
+            boxes,
+            cards_per_box,
+            oversubscription: 1.0,
+            router: RouterPolicy::default(),
+            box_config,
+        }
+    }
+
+    /// The same cluster under a different router policy.
+    pub fn router(mut self, router: RouterPolicy) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// The same cluster with an oversubscribed switch tier.
+    pub fn oversubscription(mut self, factor: f64) -> Self {
+        self.oversubscription = factor;
+        self
+    }
+
+    /// Total simulated cards.
+    pub fn devices(&self) -> usize {
+        self.boxes * self.cards_per_box
+    }
+
+    /// The hierarchical topology the router prices transfers against.
+    pub fn topology(&self) -> Topology {
+        Topology::cluster(
+            &self.box_config.hw,
+            self.boxes,
+            self.cards_per_box,
+            self.oversubscription,
+        )
+    }
+}
+
+/// Per-box slice of a cluster run, for balance and scaling analysis.
+#[derive(Debug, Clone)]
+pub struct BoxSummary {
+    /// Box index.
+    pub box_id: usize,
+    /// Requests routed to (and terminated by) this box.
+    pub offered: usize,
+    /// Requests that completed within every SLO.
+    pub completed: usize,
+    /// Total tokens routed to this box (the least-loaded router's load
+    /// measure).
+    pub routed_tokens: u64,
+    /// This box's goodput against its own makespan, tokens/s.
+    pub goodput_tokens_per_s: f64,
+    /// This box's local makespan, ms.
+    pub makespan_ms: f64,
+}
+
+/// Result of a cluster simulation: the merged cluster-level report plus
+/// the routing telemetry the merge cannot carry.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The cluster-level report ([`ServingReport::merge_boxes`] over the
+    /// per-box reports, in box order).
+    pub report: ServingReport,
+    /// Fleet shape.
+    pub boxes: usize,
+    /// Cards per box.
+    pub cards_per_box: usize,
+    /// The router policy that produced this run.
+    pub router: RouterPolicy,
+    /// Requests routed off their home box (each paid one cross-box
+    /// prompt transfer).
+    pub cross_box_requests: usize,
+    /// Total arrival delay injected by cross-box prompt transfers, ms.
+    pub cross_box_delay_ms: f64,
+    /// Per-box slices, in box order.
+    pub per_box: Vec<BoxSummary>,
+}
+
+impl ClusterReport {
+    /// Token-load imbalance across boxes: max routed tokens / mean routed
+    /// tokens (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let max = self
+            .per_box
+            .iter()
+            .map(|b| b.routed_tokens)
+            .max()
+            .unwrap_or(0);
+        let total: u64 = self.per_box.iter().map(|b| b.routed_tokens).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        max as f64 * self.per_box.len() as f64 / total as f64
+    }
+
+    /// Fraction of requests routed off their home box.
+    pub fn cross_box_fraction(&self) -> f64 {
+        if self.report.offered == 0 {
+            return 0.0;
+        }
+        self.cross_box_requests as f64 / self.report.offered as f64
+    }
+
+    /// One-paragraph text summary.
+    pub fn render(&self) -> String {
+        format!(
+            "cluster: {} boxes x {} cards ({} devices), router {}\n\
+             offered {} | completed {} | dropped {} | goodput {:.0} tok/s\n\
+             makespan {:.1} ms | ttft p99 {:.2} ms | cross-box {} ({:.1}%) | imbalance {:.3}",
+            self.boxes,
+            self.cards_per_box,
+            self.boxes * self.cards_per_box,
+            self.router.name(),
+            self.report.offered,
+            self.report.completed.len(),
+            self.report.dropped.len(),
+            self.report.goodput_tokens_per_s,
+            self.report.makespan_ms,
+            self.report.ttft_ms.p99,
+            self.cross_box_requests,
+            100.0 * self.cross_box_fraction(),
+            self.imbalance(),
+        )
+    }
+}
+
+/// SplitMix64: the session-affinity hash assigning each request id a home
+/// box. Chosen for avalanche quality (consecutive ids scatter uniformly)
+/// and because it is already the workspace's seeding primitive.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Bytes the router ships when a prompt leaves its home box: one `u32`
+/// token id per prompt token.
+const BYTES_PER_PROMPT_TOKEN: u64 = 4;
+
+/// Run a cluster simulation under the default execution policy.
+pub fn simulate_cluster(cfg: &ClusterConfig) -> Result<ClusterReport, ServingError> {
+    simulate_cluster_with(cfg, &ExecPolicy::default())
+}
+
+/// [`simulate_cluster`] under an explicit [`ExecPolicy`]: boxes fan out
+/// across the policy's pool (each box simulates serially inline, so an
+/// N-box cluster never nests fan-out) and merge in box order — the report
+/// is bit-identical across policies.
+pub fn simulate_cluster_with(
+    cfg: &ClusterConfig,
+    policy: &ExecPolicy,
+) -> Result<ClusterReport, ServingError> {
+    if cfg.boxes == 0 {
+        return Err(ServingError::InvalidConfig(
+            "cluster needs at least one box".into(),
+        ));
+    }
+    if cfg.cards_per_box == 0 {
+        return Err(ServingError::InvalidConfig(
+            "boxes need at least one card".into(),
+        ));
+    }
+    if !(cfg.oversubscription.is_finite() && cfg.oversubscription >= 1.0) {
+        return Err(ServingError::InvalidConfig(format!(
+            "oversubscription must be a finite factor >= 1.0, got {}",
+            cfg.oversubscription
+        )));
+    }
+    if cfg.box_config.traffic.num_requests == 0 {
+        return Err(ServingError::InvalidConfig(
+            "traffic.num_requests must be positive".into(),
+        ));
+    }
+
+    let topo = cfg.topology();
+    let mut requests = generate_requests(&cfg.box_config.traffic);
+    requests.sort_by_key(|r| (r.arrival_us, r.id));
+
+    // Route the stream. All router state is integer arithmetic over the
+    // sorted stream, so the assignment is a pure function of the config.
+    let mut shards: Vec<Vec<Request>> = vec![Vec::new(); cfg.boxes];
+    let mut routed_tokens: Vec<u64> = vec![0; cfg.boxes];
+    let mut rr = 0usize;
+    let mut cross_box_requests = 0usize;
+    let mut cross_box_delay_ms = 0.0f64;
+    for mut r in requests {
+        let home = (splitmix64(r.id) % cfg.boxes as u64) as usize;
+        let target = match cfg.router {
+            RouterPolicy::Locality => home,
+            RouterPolicy::RoundRobin => {
+                let t = rr;
+                rr = (rr + 1) % cfg.boxes;
+                t
+            }
+            RouterPolicy::LeastLoaded => (0..cfg.boxes)
+                .min_by_key(|&b| (routed_tokens[b], b))
+                .expect("boxes >= 1"),
+        };
+        routed_tokens[target] += r.total_tokens() as u64;
+        if target != home {
+            // The prompt crosses the switch tier before the target box
+            // can see the request: oversubscribed bandwidth plus two
+            // switch hops, quantized up to the engine's µs arrival grid.
+            cross_box_requests += 1;
+            let ns = topo.cross_box_transfer_ns(r.prompt_len as u64 * BYTES_PER_PROMPT_TOKEN);
+            r.arrival_us += (ns / 1e3).ceil() as u64;
+            cross_box_delay_ms += ns / 1e6;
+        }
+        shards[target].push(r);
+    }
+
+    // Every box serves its shard with the full engine; boxes are
+    // independent, so they are the parallel grain (serial inline within a
+    // box). Results come back in box order regardless of the pool.
+    let mut box_cfg = cfg.box_config.clone();
+    box_cfg.devices = cfg.cards_per_box;
+    let inner = ExecPolicy {
+        pool: gaudi_exec::ExecPool::serial(),
+        plans: match &policy.plans {
+            PlanSharing::PerReplica => PlanSharing::PerReplica,
+            PlanSharing::PerCall => PlanSharing::PerCall,
+            PlanSharing::Shared(cache) => PlanSharing::Shared(Arc::clone(cache)),
+        },
+    };
+    let mut reports: Vec<ServingReport> =
+        policy
+            .pool
+            .try_par_map(&shards, |_, shard| -> Result<_, ServingError> {
+                simulate_trace_with(&box_cfg, shard.clone(), &inner)
+            })?;
+
+    let per_box: Vec<BoxSummary> = reports
+        .iter()
+        .enumerate()
+        .map(|(b, r)| BoxSummary {
+            box_id: b,
+            offered: r.offered,
+            completed: r.completed.len(),
+            routed_tokens: routed_tokens[b],
+            goodput_tokens_per_s: r.goodput_tokens_per_s,
+            makespan_ms: r.makespan_ms,
+        })
+        .collect();
+    // A one-box cluster *is* its box: skip the second merge level so the
+    // report is bit-identical to the plain engine (re-deriving a gauge as
+    // `u × w / w` is not a floating-point no-op).
+    let report = if reports.len() == 1 {
+        reports.pop().expect("exactly one box")
+    } else {
+        ServingReport::merge_boxes(reports)
+    };
+
+    Ok(ClusterReport {
+        report,
+        boxes: cfg.boxes,
+        cards_per_box: cfg.cards_per_box,
+        router: cfg.router,
+        cross_box_requests,
+        cross_box_delay_ms,
+        per_box,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::TrafficConfig;
+    use gaudi_models::LlmConfig;
+
+    fn cluster_config(boxes: usize, cards: usize, requests: usize) -> ClusterConfig {
+        let mut model = LlmConfig::tiny(97);
+        model.training = false;
+        let base = ServingConfig::builder()
+            .model(model)
+            .traffic(TrafficConfig {
+                arrival_rate_per_s: 2_000.0,
+                num_requests: requests,
+                prompt_range: (8, 64),
+                output_range: (4, 16),
+                zipf_s: 1.1,
+                seed: 2024,
+            })
+            .max_batch(4)
+            .ctx_bucket(32)
+            .record_trace(false)
+            .build();
+        ClusterConfig::new(base, boxes, cards)
+    }
+
+    #[test]
+    fn cluster_conserves_every_request_exactly_once() {
+        for router in [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastLoaded,
+            RouterPolicy::Locality,
+        ] {
+            let cfg = cluster_config(4, 2, 120).router(router);
+            let c = simulate_cluster(&cfg).unwrap();
+            assert_eq!(c.report.offered, 120, "router {router:?}");
+            assert_eq!(
+                c.report.completed.len() + c.report.dropped.len(),
+                120,
+                "router {router:?}"
+            );
+            assert_eq!(c.report.devices, 8);
+            assert_eq!(
+                c.per_box.iter().map(|b| b.offered).sum::<usize>(),
+                120,
+                "router {router:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn locality_never_crosses_boxes_and_balanced_routers_do() {
+        let local =
+            simulate_cluster(&cluster_config(4, 1, 100).router(RouterPolicy::Locality)).unwrap();
+        assert_eq!(local.cross_box_requests, 0);
+        assert_eq!(local.cross_box_delay_ms, 0.0);
+
+        let rr =
+            simulate_cluster(&cluster_config(4, 1, 100).router(RouterPolicy::RoundRobin)).unwrap();
+        assert!(rr.cross_box_requests > 0, "round-robin must ship off-home");
+        assert!(rr.cross_box_delay_ms > 0.0);
+        // Round-robin request counts are exactly even.
+        for b in &rr.per_box {
+            assert_eq!(b.offered, 25);
+        }
+
+        let ll =
+            simulate_cluster(&cluster_config(4, 1, 100).router(RouterPolicy::LeastLoaded)).unwrap();
+        assert!(ll.cross_box_requests > 0);
+        // Token balancing beats (or ties) the hash's token balance.
+        assert!(ll.imbalance() <= local.imbalance() + 1e-12);
+    }
+
+    #[test]
+    fn cross_box_transfers_delay_arrivals_through_the_switch_tier() {
+        // Same cluster, fatter oversubscription: off-home requests wait
+        // longer for their prompt, so total injected delay grows.
+        let thin = simulate_cluster(&cluster_config(4, 1, 100).oversubscription(1.0)).unwrap();
+        let fat = simulate_cluster(&cluster_config(4, 1, 100).oversubscription(16.0)).unwrap();
+        assert_eq!(thin.cross_box_requests, fat.cross_box_requests);
+        assert!(fat.cross_box_delay_ms > thin.cross_box_delay_ms);
+    }
+
+    #[test]
+    fn identical_configs_produce_bit_identical_cluster_reports() {
+        let cfg = cluster_config(3, 2, 90).router(RouterPolicy::LeastLoaded);
+        let a = simulate_cluster(&cfg).unwrap();
+        let b = simulate_cluster(&cfg).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn single_box_cluster_matches_the_plain_engine() {
+        // One box, locality routing: nothing crosses, nothing delays —
+        // the cluster path must reduce to the box engine bit-for-bit.
+        let cfg = cluster_config(1, 2, 60).router(RouterPolicy::Locality);
+        let c = simulate_cluster(&cfg).unwrap();
+        let mut plain = cfg.box_config;
+        plain.devices = 2;
+        let direct = crate::engine::simulate(&plain).unwrap();
+        assert_eq!(format!("{:?}", c.report), format!("{direct:?}"));
+        assert_eq!(c.cross_box_requests, 0);
+    }
+
+    #[test]
+    fn malformed_cluster_configs_are_rejected() {
+        let ok = cluster_config(2, 2, 10);
+        assert!(simulate_cluster(&ClusterConfig {
+            boxes: 0,
+            ..ok.clone()
+        })
+        .is_err());
+        assert!(simulate_cluster(&ClusterConfig {
+            cards_per_box: 0,
+            ..ok.clone()
+        })
+        .is_err());
+        assert!(simulate_cluster(&ok.clone().oversubscription(0.5)).is_err());
+        let mut zero = ok;
+        zero.box_config.traffic.num_requests = 0;
+        assert!(simulate_cluster(&zero).is_err());
+    }
+}

@@ -64,6 +64,7 @@
 //! start inside them. Everything stays a pure function of the
 //! configuration: same seed, same plan, bit-identical report.
 
+use crate::calendar::EventCalendar;
 use crate::cost::{CostContext, CostModel, Phase, PhaseCost, PlanCache, RecipeCache, RecipeConfig};
 use crate::error::ServingError;
 use crate::fault::{Job, RedistributionPolicy};
@@ -79,7 +80,7 @@ use gaudi_models::LlmConfig;
 use gaudi_profiler::trace::TraceEvent;
 use gaudi_profiler::Trace;
 use gaudi_tensor::DType;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Full configuration of a serving simulation.
@@ -129,6 +130,12 @@ pub struct ServingConfig {
     /// and decode batch bucketing. The default charges nothing and keeps
     /// exact batches — bit-identical to the pre-warmup engine.
     pub recipes: RecipeConfig,
+    /// Whether replicas record per-phase [`Trace`] events. On (the
+    /// default) for every analysis path; cluster-scale sweeps turn it off
+    /// — a million requests would accumulate hundreds of megabytes of
+    /// timeline nobody renders. Off changes no number in the report
+    /// except the trace itself being empty.
+    pub record_trace: bool,
 }
 
 impl ServingConfig {
@@ -151,6 +158,7 @@ impl ServingConfig {
             robustness: RobustnessConfig::default(),
             kv_admission: KvAdmissionConfig::default(),
             recipes: RecipeConfig::default(),
+            record_trace: true,
         }
     }
 
@@ -182,6 +190,7 @@ impl ServingConfig {
             robustness: RobustnessConfig::default(),
             kv_admission: KvAdmissionConfig::default(),
             recipes: RecipeConfig::default(),
+            record_trace: true,
         }
     }
 
@@ -289,6 +298,13 @@ impl ServingConfigBuilder {
     /// Recipe-cache warmup model.
     pub fn recipes(mut self, recipes: RecipeConfig) -> Self {
         self.cfg.recipes = recipes;
+        self
+    }
+
+    /// Whether replicas record per-phase trace events (on by default;
+    /// cluster-scale sweeps turn it off to keep memory flat).
+    pub fn record_trace(mut self, record_trace: bool) -> Self {
+        self.cfg.record_trace = record_trace;
         self
     }
 
@@ -499,9 +515,21 @@ impl<'a> Replica<'a> {
         self.pending.push_back(job);
     }
 
+    /// Whether this replica can still make progress on its own — up with
+    /// work dispatched, queued, or running. A replica with no local work
+    /// leaves the event loop's ready set until the coordinator touches it
+    /// again (dispatch, halt, or restart); one *with* work must stay in
+    /// the set even while quiescent, because `step` never starts a phase
+    /// at the limit and the pending job may sit exactly on it.
+    fn has_local_work(&self) -> bool {
+        self.up && !(self.pending.is_empty() && self.waiting.is_empty() && self.running.is_empty())
+    }
+
     /// Execute one priced phase: advance the clock and the busy counters.
     fn record(&mut self, name: &str, c: &PhaseCost) {
-        record_phase(&mut self.trace, name, self.clock_ms, c);
+        if self.cfg.record_trace {
+            record_phase(&mut self.trace, name, self.clock_ms, c);
+        }
         self.clock_ms += c.ms;
         self.mme_busy_ns += c.mme_busy_ns;
         self.tpc_busy_ns += c.tpc_busy_ns;
@@ -1093,7 +1121,7 @@ pub fn simulate_trace_with(
     if cfg.devices == 1 {
         return Ok(reports.pop().expect("exactly one replica"));
     }
-    Ok(merge_replicas(cfg.devices, reports))
+    Ok(ServingReport::merge_replicas(cfg.devices, reports))
 }
 
 /// Event-driven multi-replica simulation under a fault plan with kills.
@@ -1134,25 +1162,40 @@ fn simulate_box(
     let mut ti = 0;
 
     // Undispatched work keyed by (submission µs, id): the initial
-    // arrivals, plus re-queued orphans as failures produce them.
-    let mut disp: BTreeMap<(u64, u64), Job> = requests
+    // arrivals, plus re-queued orphans as failures produce them. Keys are
+    // unique (a job is popped before it can be re-inserted, and ids are
+    // unique), so the calendar pops in exactly the order the old
+    // `BTreeMap` dispatcher iterated — see `tests/golden_report.rs`.
+    let mut disp: EventCalendar<Job> = requests
         .into_iter()
         .map(Job::fresh)
         .map(|j| ((j.submitted_us, j.req.id), j))
         .collect();
     let mut rr_next = 0usize;
 
+    // Per-replica ready-index: a replica leaves the ready set once it is
+    // quiescent with nothing queued locally (its next event belongs to the
+    // coordinator), and re-enters whenever the coordinator touches it. A
+    // replica that *has* local work always stays ready, even if quiescent
+    // below the current limit — `step` never starts a phase at the limit,
+    // so its pending job at exactly `t_ext` must be revisited next round.
+    let mut ready: Vec<bool> = vec![true; cfg.devices];
+
     loop {
-        let next_disp = disp.keys().next().map(|&(us, _)| us as f64 / 1e3);
+        let next_disp = disp.peek_key().map(|(us, _)| us as f64 / 1e3);
         let next_tr = transitions.get(ti).map(|t| t.0);
         let t_ext = [next_disp, next_tr]
             .into_iter()
             .flatten()
             .fold(f64::INFINITY, f64::min);
 
-        // Run every live replica to quiescence below the next event.
-        for r in replicas.iter_mut() {
+        // Run every ready replica to quiescence below the next event.
+        for (d, r) in replicas.iter_mut().enumerate() {
+            if !ready[d] {
+                continue;
+            }
             while r.step(t_ext)? {}
+            ready[d] = r.has_local_work();
         }
         if t_ext.is_infinite() {
             break;
@@ -1164,6 +1207,7 @@ fn simulate_box(
             ti += 1;
             if up {
                 replicas[d].restart(t, make_cost());
+                ready[d] = true;
                 continue;
             }
             for job in replicas[d].halt(t)? {
@@ -1173,19 +1217,26 @@ fn simulate_box(
                 } else {
                     let delay = cfg.robustness.backoff_delay_ms(job.req.id, attempt);
                     let j = job.requeued(t + delay);
-                    disp.insert((j.submitted_us, j.req.id), j);
+                    disp.push(j.submitted_us, j.req.id, j);
                 }
             }
+            // A halt drains the replica, but its clock still owes the
+            // catch-up to the halt instant on restart; keep it ready so
+            // the next pass re-evaluates.
+            ready[d] = true;
         }
 
         // Dispatch due arrivals onto live replicas.
-        while let Some((&key, _)) = disp.iter().next() {
+        while let Some(key) = disp.peek_key() {
             if key.0 as f64 / 1e3 > t_ext {
                 break;
             }
-            let job = disp.remove(&key).expect("key just observed");
+            let (_, job) = disp.pop().expect("key just observed");
             match pick_replica(cfg, &replicas, &mut rr_next, &job) {
-                Some(d) => replicas[d].enqueue(job),
+                Some(d) => {
+                    replicas[d].enqueue(job);
+                    ready[d] = true;
+                }
                 None => {
                     // Whole pool is down: park the job until the next
                     // restart, or fail the run if none is coming.
@@ -1199,7 +1250,7 @@ fn simulate_box(
                     let up_us = ((up_t * 1e3).ceil() as u64).max(key.0 + 1);
                     let mut j = job;
                     j.submitted_us = j.submitted_us.max(up_us);
-                    disp.insert((j.submitted_us, j.req.id), j);
+                    disp.push(j.submitted_us, j.req.id, j);
                 }
             }
         }
@@ -1232,151 +1283,6 @@ fn pick_replica(
         }
     }
     None
-}
-
-/// Merge per-replica reports into one box-level report: latency percentiles
-/// recomputed over the union, throughput summed against the slowest
-/// replica's makespan, utilizations averaged per card (busy time
-/// reconstructed from each replica's utilization × its own makespan, NIC
-/// included), availability counters summed, and the trace re-tagged with
-/// each replica's [`DeviceId`].
-fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport {
-    let makespan_ms = replicas.iter().map(|r| r.makespan_ms).fold(0.0, f64::max);
-    let span_ns = makespan_ms * 1e6;
-    // Recover each replica's busy time from its own utilization x makespan.
-    let busy = |f: fn(&ServingReport) -> f64| -> f64 {
-        replicas.iter().map(|r| f(r) * r.makespan_ms * 1e6).sum()
-    };
-    let util = |f: fn(&ServingReport) -> f64| -> f64 {
-        if span_ns > 0.0 {
-            busy(f) / (span_ns * devices as f64)
-        } else {
-            0.0
-        }
-    };
-    let mme_utilization = util(|r| r.mme_utilization);
-    let tpc_utilization = util(|r| r.tpc_utilization);
-    let dma_utilization = util(|r| r.dma_utilization);
-    let nic_utilization = util(|r| r.nic_utilization);
-
-    let mut completed: Vec<RequestOutcome> = Vec::new();
-    let mut dropped: Vec<DroppedRequest> = Vec::new();
-    let mut offered = 0;
-    let mut trace = Trace::new();
-    let mut decode_steps = 0;
-    let mut prefills = 0;
-    let mut backpressure_stalls = 0;
-    let mut max_queue_depth = 0;
-    let mut peak_queued_tokens = 0;
-    let mut kv_peak_bytes = 0;
-    let mut kv_capacity_bytes = 0;
-    let mut kv_block_utilization = 0.0;
-    let mut compiled_graphs = 0;
-    let mut recipe_compiles = 0;
-    let mut preemptions = 0;
-    let mut peak_running = 0;
-    let mut scheduled_tokens = 0;
-    let mut padded_tokens = 0;
-    let mut retries = 0;
-    let mut requeued_tokens = 0;
-    let mut failed_replicas = 0;
-    let mut restarts = 0;
-    let mut replica_uptime_ms = Vec::with_capacity(devices);
-    for (d, r) in replicas.into_iter().enumerate() {
-        completed.extend(r.completed);
-        dropped.extend(r.dropped);
-        offered += r.offered;
-        for ev in r.trace.events() {
-            trace.push(ev.clone().on_device(DeviceId(d)));
-        }
-        decode_steps += r.decode_steps;
-        prefills += r.prefills;
-        backpressure_stalls += r.backpressure_stalls;
-        max_queue_depth = max_queue_depth.max(r.max_queue_depth);
-        peak_queued_tokens = peak_queued_tokens.max(r.peak_queued_tokens);
-        kv_peak_bytes = r.kv_peak_bytes.max(kv_peak_bytes);
-        kv_capacity_bytes = r.kv_capacity_bytes;
-        kv_block_utilization += r.kv_block_utilization / devices as f64;
-        compiled_graphs += r.compiled_graphs;
-        recipe_compiles += r.recipe_compiles;
-        preemptions += r.preemptions;
-        // Summed, not max'd: the box-level "max concurrent sequences" is
-        // the aggregate decode capacity the stream actually reached
-        // (per-replica peaks need not be simultaneous; each replica's own
-        // peak is exact).
-        peak_running += r.peak_running;
-        scheduled_tokens += r.scheduled_tokens;
-        padded_tokens += r.padded_tokens;
-        retries += r.retries;
-        requeued_tokens += r.requeued_tokens;
-        failed_replicas += r.failed_replicas;
-        restarts += r.restarts;
-        replica_uptime_ms.extend(r.replica_uptime_ms);
-    }
-    completed.sort_by_key(|o| o.id);
-    dropped.sort_by_key(|o| o.id);
-    let goodput_tokens: usize = completed.iter().map(|o| o.output_len).sum();
-    let wasted_tokens: usize = dropped.iter().map(|d| d.tokens_generated).sum();
-
-    let ttft_ms = Percentiles::of(completed.iter().map(|o| o.ttft_ms));
-    let tpot_ms = Percentiles::of(completed.iter().flat_map(|o| {
-        o.token_times_ms
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect::<Vec<_>>()
-    }));
-    let queue_ms = Percentiles::of(completed.iter().map(|o| o.queue_ms));
-    let timed_out_latency_ms = Percentiles::of(
-        dropped
-            .iter()
-            .filter(|d| d.kind == DropKind::TimedOut)
-            .map(|d| d.at_ms - d.arrival_ms),
-    );
-    let per_s = |tokens: usize| {
-        if makespan_ms > 0.0 {
-            tokens as f64 / (makespan_ms / 1e3)
-        } else {
-            0.0
-        }
-    };
-
-    ServingReport {
-        completed,
-        dropped,
-        offered,
-        makespan_ms,
-        ttft_ms,
-        tpot_ms,
-        queue_ms,
-        timed_out_latency_ms,
-        goodput_tokens_per_s: per_s(goodput_tokens),
-        throughput_tokens_per_s: per_s(goodput_tokens + wasted_tokens),
-        mme_utilization,
-        tpc_utilization,
-        dma_utilization,
-        nic_utilization,
-        decode_steps,
-        prefills,
-        backpressure_stalls,
-        max_queue_depth,
-        peak_queued_tokens,
-        kv_peak_bytes,
-        kv_capacity_bytes,
-        kv_block_utilization,
-        compiled_graphs,
-        recipe_compiles,
-        preemptions,
-        peak_running,
-        scheduled_tokens,
-        padded_tokens,
-        devices,
-        retries,
-        requeued_tokens,
-        failed_replicas,
-        restarts,
-        replica_uptime_ms,
-        trace,
-    }
 }
 
 /// Append one trace event per busy engine for a phase, so the report's
@@ -1423,6 +1329,7 @@ mod tests {
             robustness: RobustnessConfig::default(),
             kv_admission: KvAdmissionConfig::default(),
             recipes: RecipeConfig::default(),
+            record_trace: true,
         }
     }
 

@@ -55,6 +55,8 @@
 //! terminate as completed, rejected, timed-out, or failed ([`DropKind`]),
 //! and the report separates goodput (SLO-met tokens) from raw throughput.
 
+pub mod calendar;
+pub mod cluster;
 pub mod cost;
 pub mod engine;
 pub mod error;
@@ -65,6 +67,10 @@ pub mod report;
 pub mod request;
 pub mod robustness;
 
+pub use calendar::EventCalendar;
+pub use cluster::{
+    simulate_cluster, simulate_cluster_with, BoxSummary, ClusterConfig, ClusterReport, RouterPolicy,
+};
 pub use cost::{
     CostContext, CostModel, Phase, PhaseCost, PlanCache, PlanCacheStats, RecipeCache, RecipeConfig,
 };

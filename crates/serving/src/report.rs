@@ -1,5 +1,6 @@
 //! Serving metrics: per-request outcomes and the aggregate report.
 
+use gaudi_hw::DeviceId;
 use gaudi_profiler::report::TextTable;
 use gaudi_profiler::Trace;
 
@@ -400,6 +401,317 @@ impl ServingReport {
         }
 
         format!("{}\n{}", lat.render(), eng.render())
+    }
+}
+
+/// Two-level report merging: replicas → box, boxes → cluster.
+impl ServingReport {
+    /// Merge per-replica reports into one box-level report: latency percentiles
+    /// recomputed over the union, throughput summed against the slowest
+    /// replica's makespan, utilizations averaged per card (busy time
+    /// reconstructed from each replica's utilization × its own makespan, NIC
+    /// included), availability counters summed, and the trace re-tagged with
+    /// each replica's [`DeviceId`].
+    pub fn merge_replicas(devices: usize, replicas: Vec<ServingReport>) -> ServingReport {
+        let makespan_ms = replicas.iter().map(|r| r.makespan_ms).fold(0.0, f64::max);
+        let span_ns = makespan_ms * 1e6;
+        // Recover each replica's busy time from its own utilization x makespan.
+        let busy = |f: fn(&ServingReport) -> f64| -> f64 {
+            replicas.iter().map(|r| f(r) * r.makespan_ms * 1e6).sum()
+        };
+        let util = |f: fn(&ServingReport) -> f64| -> f64 {
+            if span_ns > 0.0 {
+                busy(f) / (span_ns * devices as f64)
+            } else {
+                0.0
+            }
+        };
+        let mme_utilization = util(|r| r.mme_utilization);
+        let tpc_utilization = util(|r| r.tpc_utilization);
+        let dma_utilization = util(|r| r.dma_utilization);
+        let nic_utilization = util(|r| r.nic_utilization);
+
+        let mut completed: Vec<RequestOutcome> = Vec::new();
+        let mut dropped: Vec<DroppedRequest> = Vec::new();
+        let mut offered = 0;
+        let mut trace = Trace::new();
+        let mut decode_steps = 0;
+        let mut prefills = 0;
+        let mut backpressure_stalls = 0;
+        let mut max_queue_depth = 0;
+        let mut peak_queued_tokens = 0;
+        let mut kv_peak_bytes = 0;
+        let mut kv_capacity_bytes = 0;
+        let mut kv_block_utilization = 0.0;
+        let mut compiled_graphs = 0;
+        let mut recipe_compiles = 0;
+        let mut preemptions = 0;
+        let mut peak_running = 0;
+        let mut scheduled_tokens = 0;
+        let mut padded_tokens = 0;
+        let mut retries = 0;
+        let mut requeued_tokens = 0;
+        let mut failed_replicas = 0;
+        let mut restarts = 0;
+        let mut replica_uptime_ms = Vec::with_capacity(devices);
+        for (d, r) in replicas.into_iter().enumerate() {
+            completed.extend(r.completed);
+            dropped.extend(r.dropped);
+            offered += r.offered;
+            for ev in r.trace.events() {
+                trace.push(ev.clone().on_device(DeviceId(d)));
+            }
+            decode_steps += r.decode_steps;
+            prefills += r.prefills;
+            backpressure_stalls += r.backpressure_stalls;
+            max_queue_depth = max_queue_depth.max(r.max_queue_depth);
+            peak_queued_tokens = peak_queued_tokens.max(r.peak_queued_tokens);
+            kv_peak_bytes = r.kv_peak_bytes.max(kv_peak_bytes);
+            kv_capacity_bytes = r.kv_capacity_bytes;
+            kv_block_utilization += r.kv_block_utilization / devices as f64;
+            compiled_graphs += r.compiled_graphs;
+            recipe_compiles += r.recipe_compiles;
+            preemptions += r.preemptions;
+            // Summed, not max'd: the box-level "max concurrent sequences" is
+            // the aggregate decode capacity the stream actually reached
+            // (per-replica peaks need not be simultaneous; each replica's own
+            // peak is exact).
+            peak_running += r.peak_running;
+            scheduled_tokens += r.scheduled_tokens;
+            padded_tokens += r.padded_tokens;
+            retries += r.retries;
+            requeued_tokens += r.requeued_tokens;
+            failed_replicas += r.failed_replicas;
+            restarts += r.restarts;
+            replica_uptime_ms.extend(r.replica_uptime_ms);
+        }
+        completed.sort_by_key(|o| o.id);
+        dropped.sort_by_key(|o| o.id);
+        let goodput_tokens: usize = completed.iter().map(|o| o.output_len).sum();
+        let wasted_tokens: usize = dropped.iter().map(|d| d.tokens_generated).sum();
+
+        let ttft_ms = Percentiles::of(completed.iter().map(|o| o.ttft_ms));
+        let tpot_ms = Percentiles::of(completed.iter().flat_map(|o| {
+            o.token_times_ms
+                .windows(2)
+                .map(|w| w[1] - w[0])
+                .collect::<Vec<_>>()
+        }));
+        let queue_ms = Percentiles::of(completed.iter().map(|o| o.queue_ms));
+        let timed_out_latency_ms = Percentiles::of(
+            dropped
+                .iter()
+                .filter(|d| d.kind == DropKind::TimedOut)
+                .map(|d| d.at_ms - d.arrival_ms),
+        );
+        let per_s = |tokens: usize| {
+            if makespan_ms > 0.0 {
+                tokens as f64 / (makespan_ms / 1e3)
+            } else {
+                0.0
+            }
+        };
+
+        ServingReport {
+            completed,
+            dropped,
+            offered,
+            makespan_ms,
+            ttft_ms,
+            tpot_ms,
+            queue_ms,
+            timed_out_latency_ms,
+            goodput_tokens_per_s: per_s(goodput_tokens),
+            throughput_tokens_per_s: per_s(goodput_tokens + wasted_tokens),
+            mme_utilization,
+            tpc_utilization,
+            dma_utilization,
+            nic_utilization,
+            decode_steps,
+            prefills,
+            backpressure_stalls,
+            max_queue_depth,
+            peak_queued_tokens,
+            kv_peak_bytes,
+            kv_capacity_bytes,
+            kv_block_utilization,
+            compiled_graphs,
+            recipe_compiles,
+            preemptions,
+            peak_running,
+            scheduled_tokens,
+            padded_tokens,
+            devices,
+            retries,
+            requeued_tokens,
+            failed_replicas,
+            restarts,
+            replica_uptime_ms,
+            trace,
+        }
+    }
+
+    /// Merge per-box reports into one cluster-level report — the second
+    /// level of the two-level merge. Unlike [`merge_replicas`], whose
+    /// float arithmetic is frozen (golden-pinned) to the single-box
+    /// engine, this level weights every per-box gauge by that box's
+    /// device count: busy time is reconstructed as
+    /// `util × makespan × devices` per box, utilizations renormalize over
+    /// the cluster's total device count and the slowest box's makespan,
+    /// and latency percentiles are re-derived from the pooled per-request
+    /// samples — never by averaging per-box percentiles (the p99 of a
+    /// union is not the mean of the p99s). Trace events are re-tagged
+    /// with cluster-global device ids (each box's devices offset by the
+    /// devices of the boxes before it).
+    ///
+    /// [`merge_replicas`]: Self::merge_replicas
+    pub fn merge_boxes(boxes: Vec<ServingReport>) -> ServingReport {
+        let devices: usize = boxes.iter().map(|r| r.devices).sum();
+        let makespan_ms = boxes.iter().map(|r| r.makespan_ms).fold(0.0, f64::max);
+        let span_ns = makespan_ms * 1e6;
+        let busy = |f: fn(&ServingReport) -> f64| -> f64 {
+            boxes
+                .iter()
+                .map(|r| f(r) * r.makespan_ms * 1e6 * r.devices as f64)
+                .sum()
+        };
+        let util = |f: fn(&ServingReport) -> f64| -> f64 {
+            if span_ns > 0.0 && devices > 0 {
+                busy(f) / (span_ns * devices as f64)
+            } else {
+                0.0
+            }
+        };
+        let mme_utilization = util(|r| r.mme_utilization);
+        let tpc_utilization = util(|r| r.tpc_utilization);
+        let dma_utilization = util(|r| r.dma_utilization);
+        let nic_utilization = util(|r| r.nic_utilization);
+        let kv_block_utilization = if devices > 0 {
+            boxes
+                .iter()
+                .map(|r| r.kv_block_utilization * r.devices as f64)
+                .sum::<f64>()
+                / devices as f64
+        } else {
+            0.0
+        };
+
+        let mut completed: Vec<RequestOutcome> = Vec::new();
+        let mut dropped: Vec<DroppedRequest> = Vec::new();
+        let mut offered = 0;
+        let mut trace = Trace::new();
+        let mut device_offset = 0;
+        let mut decode_steps = 0;
+        let mut prefills = 0;
+        let mut backpressure_stalls = 0;
+        let mut max_queue_depth = 0;
+        let mut peak_queued_tokens = 0;
+        let mut kv_peak_bytes = 0;
+        let mut kv_capacity_bytes = 0;
+        let mut compiled_graphs = 0;
+        let mut recipe_compiles = 0;
+        let mut preemptions = 0;
+        let mut peak_running = 0;
+        let mut scheduled_tokens = 0;
+        let mut padded_tokens = 0;
+        let mut retries = 0;
+        let mut requeued_tokens = 0;
+        let mut failed_replicas = 0;
+        let mut restarts = 0;
+        let mut replica_uptime_ms = Vec::with_capacity(devices);
+        for r in boxes {
+            completed.extend(r.completed);
+            dropped.extend(r.dropped);
+            offered += r.offered;
+            for ev in r.trace.events() {
+                let mut ev = ev.clone();
+                ev.device = DeviceId(ev.device.0 + device_offset);
+                trace.push(ev);
+            }
+            device_offset += r.devices;
+            decode_steps += r.decode_steps;
+            prefills += r.prefills;
+            backpressure_stalls += r.backpressure_stalls;
+            max_queue_depth = max_queue_depth.max(r.max_queue_depth);
+            peak_queued_tokens = peak_queued_tokens.max(r.peak_queued_tokens);
+            kv_peak_bytes = r.kv_peak_bytes.max(kv_peak_bytes);
+            kv_capacity_bytes = r.kv_capacity_bytes.max(kv_capacity_bytes);
+            compiled_graphs += r.compiled_graphs;
+            recipe_compiles += r.recipe_compiles;
+            preemptions += r.preemptions;
+            peak_running += r.peak_running;
+            scheduled_tokens += r.scheduled_tokens;
+            padded_tokens += r.padded_tokens;
+            retries += r.retries;
+            requeued_tokens += r.requeued_tokens;
+            failed_replicas += r.failed_replicas;
+            restarts += r.restarts;
+            replica_uptime_ms.extend(r.replica_uptime_ms);
+        }
+        completed.sort_by_key(|o| o.id);
+        dropped.sort_by_key(|o| o.id);
+        let goodput_tokens: usize = completed.iter().map(|o| o.output_len).sum();
+        let wasted_tokens: usize = dropped.iter().map(|d| d.tokens_generated).sum();
+
+        let ttft_ms = Percentiles::of(completed.iter().map(|o| o.ttft_ms));
+        let tpot_ms = Percentiles::of(completed.iter().flat_map(|o| {
+            o.token_times_ms
+                .windows(2)
+                .map(|w| w[1] - w[0])
+                .collect::<Vec<_>>()
+        }));
+        let queue_ms = Percentiles::of(completed.iter().map(|o| o.queue_ms));
+        let timed_out_latency_ms = Percentiles::of(
+            dropped
+                .iter()
+                .filter(|d| d.kind == DropKind::TimedOut)
+                .map(|d| d.at_ms - d.arrival_ms),
+        );
+        let per_s = |tokens: usize| {
+            if makespan_ms > 0.0 {
+                tokens as f64 / (makespan_ms / 1e3)
+            } else {
+                0.0
+            }
+        };
+
+        ServingReport {
+            completed,
+            dropped,
+            offered,
+            makespan_ms,
+            ttft_ms,
+            tpot_ms,
+            queue_ms,
+            timed_out_latency_ms,
+            goodput_tokens_per_s: per_s(goodput_tokens),
+            throughput_tokens_per_s: per_s(goodput_tokens + wasted_tokens),
+            mme_utilization,
+            tpc_utilization,
+            dma_utilization,
+            nic_utilization,
+            decode_steps,
+            prefills,
+            backpressure_stalls,
+            max_queue_depth,
+            peak_queued_tokens,
+            kv_peak_bytes,
+            kv_capacity_bytes,
+            kv_block_utilization,
+            compiled_graphs,
+            recipe_compiles,
+            preemptions,
+            peak_running,
+            scheduled_tokens,
+            padded_tokens,
+            devices,
+            retries,
+            requeued_tokens,
+            failed_replicas,
+            restarts,
+            replica_uptime_ms,
+            trace,
+        }
     }
 }
 

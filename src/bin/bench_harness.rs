@@ -17,15 +17,28 @@
 //! `results/BENCH_4.json`. Without `--quick` it also enforces the
 //! acceptance gate: parallel+cache ≥ 2× faster than serial.
 //!
+//! Two PR-7 measurements ride along and land in `results/BENCH_7.json`:
+//!
+//! - **calendar vs BTreeMap** — the engine's dispatch structure swap,
+//!   timed on a seeded synthetic event stream under the engine's access
+//!   pattern (sorted pushes, several next-deadline peeks per pop) with
+//!   the pop orders asserted identical;
+//! - **cluster cell** — one mid-size cluster simulation timed serial vs
+//!   pooled, with the merged reports asserted bit-identical.
+//!
 //! ```sh
 //! cargo run --release --bin bench_harness [-- --quick] [--threads N]
 //! ```
 
 use gaudi_serving::{
-    simulate_with, ExecPolicy, PlanCache, PlanSharing, ServingConfig, ServingReport,
+    simulate_cluster_with, simulate_with, EventCalendar, ExecPolicy, PlanCache, PlanSharing,
+    ServingConfig, ServingReport,
 };
-use habana_gaudi_study::bin_support::{report_digest, run_cells, serving_sweep_config, Flags};
+use habana_gaudi_study::bin_support::{
+    cluster_digest, cluster_sweep_config, report_digest, run_cells, serving_sweep_config, Flags,
+};
 use habana_gaudi_study::exec::ExecPool;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -64,6 +77,89 @@ fn digest_all(reports: &[ServingReport]) -> String {
         .map(report_digest)
         .collect::<Vec<_>>()
         .join("\n")
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How many next-deadline peeks the dispatch structure absorbs per pop.
+/// The engine peeks the calendar once per step-loop quiescence round to
+/// bound how far replicas may advance, and only then pops the arrivals
+/// that became due — several peeks per pop is the steady-state ratio.
+const PEEKS_PER_POP: usize = 4;
+
+/// Time the dispatch-structure swap on the engine's actual access
+/// pattern: `events` seeded `(time, seq)` keys pushed in ascending
+/// arrival order (the dispatch calendar is built from the sorted request
+/// stream, so pushes are near-sorted — the heap's O(1) sift-up case),
+/// then drained with [`PEEKS_PER_POP`] next-deadline probes per pop
+/// (O(1) on the heap, a root-to-leaf descent on the `BTreeMap`), through
+/// the old `BTreeMap` and the new [`EventCalendar`], asserting the pop
+/// orders identical. Returns `(btree_ms, calendar_ms)`.
+fn calendar_microbench(events: u64) -> (f64, f64) {
+    let keys: Vec<(u64, u64)> = {
+        let mut state = 0x5EED_CA1E_DA12u64;
+        let mut now = 0u64;
+        (0..events)
+            .map(|seq| {
+                // Poisson-ish arrival grid: jittered inter-arrival gaps.
+                now += splitmix(&mut state) % 1_000;
+                (now, seq)
+            })
+            .collect()
+    };
+
+    let t0 = Instant::now();
+    let mut tree: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for &(t, seq) in &keys {
+        tree.insert((t, seq), seq);
+    }
+    let mut tree_order: Vec<(u64, u64)> = Vec::with_capacity(keys.len());
+    let mut tree_probes = 0u64;
+    loop {
+        for _ in 0..PEEKS_PER_POP {
+            if let Some((&key, _)) = tree.first_key_value() {
+                tree_probes = tree_probes.wrapping_add(key.0);
+            }
+        }
+        match tree.pop_first() {
+            Some((key, _)) => tree_order.push(key),
+            None => break,
+        }
+    }
+    let btree_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let mut cal: EventCalendar<u64> = EventCalendar::with_capacity(keys.len());
+    for &(t, seq) in &keys {
+        cal.push(t, seq, seq);
+    }
+    let mut cal_order: Vec<(u64, u64)> = Vec::with_capacity(keys.len());
+    let mut cal_probes = 0u64;
+    loop {
+        for _ in 0..PEEKS_PER_POP {
+            if let Some(key) = cal.peek_key() {
+                cal_probes = cal_probes.wrapping_add(key.0);
+            }
+        }
+        match cal.pop() {
+            Some((key, _)) => cal_order.push(key),
+            None => break,
+        }
+    }
+    let calendar_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(tree_probes, cal_probes, "peeks must observe the same keys");
+
+    assert_eq!(
+        tree_order, cal_order,
+        "the calendar must pop in exactly the BTreeMap's ascending key order"
+    );
+    (btree_ms, calendar_ms)
 }
 
 fn main() {
@@ -183,4 +279,63 @@ fn main() {
             "parallel+cache must be at least 2x faster than the serial baseline, got {speedup:.2}x"
         );
     }
+
+    // --- PR 7: dispatch-structure and cluster-layer measurements. -------
+
+    let events: u64 = if quick { 100_000 } else { 1_000_000 };
+    let (btree_ms, calendar_ms) = calendar_microbench(events);
+    let calendar_speedup = btree_ms / calendar_ms;
+    println!(
+        "\ncalendar vs BTreeMap dispatch ({events} seeded events, sorted pushes, \
+         {PEEKS_PER_POP} peeks/pop):\n  \
+         btreemap  {btree_ms:>10.1} ms\n  calendar  {calendar_ms:>10.1} ms   \
+         ({calendar_speedup:.2}x, identical pop order asserted)"
+    );
+
+    let cluster_cfg = cluster_sweep_config(16, 4, if quick { 10_000 } else { 50_000 }, 250_000.0)
+        .oversubscription(4.0);
+    let t0 = Instant::now();
+    let cluster_serial = simulate_cluster_with(&cluster_cfg, &ExecPolicy::serial_baseline())
+        .expect("cluster cell simulates");
+    let cluster_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cluster_policy = ExecPolicy {
+        pool: pool.clone(),
+        plans: PlanSharing::Shared(Arc::new(PlanCache::new())),
+    };
+    let t0 = Instant::now();
+    let cluster_pooled =
+        simulate_cluster_with(&cluster_cfg, &cluster_policy).expect("cluster cell simulates");
+    let cluster_pooled_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        cluster_digest(&cluster_serial),
+        cluster_digest(&cluster_pooled),
+        "the pooled cluster run must be bit-identical to serial"
+    );
+    println!(
+        "cluster cell ({} boxes x {} cards, {} requests): serial {cluster_serial_ms:.1} ms, \
+         pooled {cluster_pooled_ms:.1} ms ({:.2}x), bit-identical: true",
+        cluster_cfg.boxes,
+        cluster_cfg.cards_per_box,
+        cluster_cfg.box_config.traffic.num_requests,
+        cluster_serial_ms / cluster_pooled_ms,
+    );
+
+    let json7 = format!(
+        "{{\n  \"benchmark\": \"PR-7 dispatch calendar + cluster layer\",\n  \
+         \"quick\": {quick},\n  \"pool_concurrency\": {},\n  \
+         \"calendar\": {{\"events\": {events}, \"btreemap_ms\": {btree_ms:.3}, \
+         \"calendar_ms\": {calendar_ms:.3}, \"speedup\": {calendar_speedup:.3}, \
+         \"identical_pop_order\": true}},\n  \
+         \"cluster\": {{\"boxes\": {}, \"cards_per_box\": {}, \"requests\": {}, \
+         \"serial_ms\": {cluster_serial_ms:.3}, \"pooled_ms\": {cluster_pooled_ms:.3}, \
+         \"speedup\": {:.3}, \"bit_identical\": true}}\n}}\n",
+        pool.concurrency(),
+        cluster_cfg.boxes,
+        cluster_cfg.cards_per_box,
+        cluster_cfg.box_config.traffic.num_requests,
+        cluster_serial_ms / cluster_pooled_ms,
+    );
+    let out7 = std::path::Path::new("results").join("BENCH_7.json");
+    std::fs::write(&out7, &json7).expect("BENCH_7.json is writable");
+    println!("wrote {}", out7.display());
 }

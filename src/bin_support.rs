@@ -10,7 +10,8 @@
 
 use gaudi_exec::ExecPool;
 use gaudi_serving::{
-    ExecPolicy, PlanCache, PlanSharing, RecipeConfig, ServingConfig, ServingReport, TrafficConfig,
+    ClusterConfig, ClusterReport, ExecPolicy, PlanCache, PlanSharing, RecipeConfig, ServingConfig,
+    ServingReport, TrafficConfig,
 };
 use std::sync::Arc;
 
@@ -189,6 +190,63 @@ pub fn kv_sweep_config(hbm_tokens: u64, batch_bucket: usize) -> ServingConfig {
         .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
     cfg.hw.memory.hbm_capacity_bytes = weights + per_tok * hbm_tokens;
     cfg
+}
+
+/// The cluster-sweep operating point: a tiny decoder-only model (the sweep
+/// measures the *cluster* machinery — routing, sharding, merge — not model
+/// compute) under a cluster-wide saturating stream of `num_requests`
+/// requests at `rate` req/s, served by `boxes` × `cards_per_box` cards.
+/// Traces are off: a million-request calendar must keep memory flat.
+pub fn cluster_sweep_config(
+    boxes: usize,
+    cards_per_box: usize,
+    num_requests: usize,
+    rate: f64,
+) -> ClusterConfig {
+    let mut model = gaudi_models::LlmConfig::tiny(97);
+    model.training = false;
+    let base = ServingConfig::builder()
+        .model(model)
+        .traffic(TrafficConfig {
+            arrival_rate_per_s: rate,
+            num_requests,
+            prompt_range: (8, 64),
+            output_range: (4, 16),
+            zipf_s: 1.1,
+            seed: 2027,
+        })
+        .max_batch(16)
+        .ctx_bucket(32)
+        .record_trace(false)
+        .build();
+    ClusterConfig::new(base, boxes, cards_per_box)
+}
+
+/// [`report_digest`] extended with the routing telemetry a cluster run
+/// adds on top of its merged report: fleet shape, router, cross-box
+/// traffic, and the per-box request/token split.
+pub fn cluster_digest(c: &ClusterReport) -> String {
+    let per_box = c
+        .per_box
+        .iter()
+        .map(|b| {
+            format!(
+                "{}:{}:{}:{}",
+                b.box_id, b.offered, b.completed, b.routed_tokens
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{}|{}x{}|{}|{}|{:.6}|{:.6}|[{per_box}]",
+        report_digest(&c.report),
+        c.boxes,
+        c.cards_per_box,
+        c.router.name(),
+        c.cross_box_requests,
+        c.cross_box_delay_ms,
+        c.imbalance(),
+    )
 }
 
 /// Everything a determinism check needs to compare, rendered to exact

@@ -597,9 +597,12 @@ mod tests {
             }
             other => panic!("expected Overloaded, got {other:?}"),
         }
-        // The deprecated alias forces the guarantee on any session.
-        #[allow(deprecated)]
-        let err = s.serve_guaranteed(&cfg).unwrap_err();
+        // serve() with a guaranteed() config override covers what the
+        // deprecated serve_guaranteed alias used to: any drop is an error.
+        let mut strict_cfg = cfg.clone();
+        strict_cfg.robustness = RobustnessConfig::default().queue_depth(2).guaranteed();
+        let strict_only = GaudiSession::builder().build().unwrap();
+        let err = strict_only.serve(&strict_cfg).unwrap_err();
         assert!(matches!(err, GaudiError::Overloaded { .. }));
         // Without a policy the burst completes and the guarantee holds.
         let lax = GaudiSession::builder()

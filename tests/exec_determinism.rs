@@ -197,6 +197,37 @@ fn paged_warmup_restart_run_is_bit_identical_across_policies() {
 }
 
 #[test]
+fn cluster_report_is_bit_identical_across_policies() {
+    // The cluster layer fans boxes out over the pool; the merged report
+    // (and every routing gauge) must be a pure function of the config.
+    use habana_gaudi_study::serving::{
+        simulate_cluster_with, ClusterConfig, RouterPolicy as ClusterRouter,
+    };
+    let mut base = serving_config(2);
+    base.traffic.num_requests = 60;
+    for router in [
+        ClusterRouter::RoundRobin,
+        ClusterRouter::LeastLoaded,
+        ClusterRouter::Locality,
+    ] {
+        let cfg = ClusterConfig::new(base.clone(), 3, 2)
+            .router(router)
+            .oversubscription(4.0);
+        let cache = Arc::new(PlanCache::new());
+        let reference = simulate_cluster_with(&cfg, &ExecPolicy::serial_baseline()).unwrap();
+        assert_eq!(reference.report.offered, 60);
+        for (name, policy) in policies(&cache) {
+            let got = simulate_cluster_with(&cfg, &policy).unwrap();
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{reference:?}"),
+                "policy '{name}' diverged from serial on the {router:?} cluster run"
+            );
+        }
+    }
+}
+
+#[test]
 fn explicit_trace_replay_is_policy_independent() {
     let cfg = serving_config(2);
     let requests: Vec<Request> = (0..20)

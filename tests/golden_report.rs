@@ -1,0 +1,107 @@
+//! Golden pin: the dispatch-structure refactor (BTreeMap → event calendar,
+//! ready-indexed replica stepping) must be invisible in the results.
+//!
+//! The FNV-1a hashes below were captured from the PR-6 engine (the
+//! `BTreeMap<(u64, u64), Job>` dispatcher) on fixed configurations that
+//! exercise the fault-free shard path, the event-driven faulted path with a
+//! restart, and paged admission with recipe warmup. The refactored engine
+//! must reproduce every report **bit-for-bit** — same floats, same order,
+//! same trace — so these hashes are frozen and CI runs them on every push.
+
+use habana_gaudi_study::prelude::*;
+use habana_gaudi_study::serving::simulate;
+
+/// FNV-1a over the full `Debug` rendering of a report: every field, every
+/// per-request outcome, every trace event, bit-for-bit. Rust's float
+/// `Debug` formatting is exact (shortest round-trip), so two reports hash
+/// equal iff they are numerically identical.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn digest(r: &ServingReport) -> u64 {
+    fnv1a(&format!("{r:?}"))
+}
+
+fn base_config(devices: usize) -> ServingConfig {
+    let mut model = habana_gaudi_study::models::LlmConfig::tiny(97);
+    model.training = false;
+    ServingConfig::builder()
+        .model(model)
+        .traffic(TrafficConfig {
+            arrival_rate_per_s: 400.0,
+            num_requests: 40,
+            prompt_range: (8, 64),
+            output_range: (4, 16),
+            zipf_s: 1.1,
+            seed: 2024,
+        })
+        .max_batch(4)
+        .ctx_bucket(32)
+        .devices(devices)
+        .build()
+}
+
+#[test]
+fn single_box_fault_free_report_matches_the_pre_refactor_engine() {
+    let r = simulate(&base_config(1)).unwrap();
+    assert_eq!(r.completed.len(), 40);
+    assert_eq!(
+        digest(&r),
+        GOLDEN_SINGLE,
+        "fault-free single-card report drifted"
+    );
+}
+
+#[test]
+fn multi_replica_report_matches_the_pre_refactor_engine() {
+    let r = simulate(&base_config(4)).unwrap();
+    assert_eq!(r.completed.len(), 40);
+    assert_eq!(
+        digest(&r),
+        GOLDEN_REPLICAS,
+        "4-replica merged report drifted"
+    );
+}
+
+#[test]
+fn faulted_restart_report_matches_the_pre_refactor_engine() {
+    let mut cfg = base_config(3);
+    cfg.faults = FaultPlan::none().kill_for(DeviceId(2), 15.0, 30.0);
+    cfg.robustness = RobustnessConfig::default()
+        .queue_depth(16)
+        .retries(4)
+        .backoff(2.0, 0.5, 5);
+    let r = simulate(&cfg).unwrap();
+    assert_eq!(r.restarts, 1);
+    assert_eq!(
+        digest(&r),
+        GOLDEN_RESTART,
+        "faulted event-loop report drifted"
+    );
+}
+
+#[test]
+fn paged_warmup_report_matches_the_pre_refactor_engine() {
+    let mut cfg = base_config(2);
+    cfg.kv_admission = KvAdmissionConfig::Paged { block_tokens: 8 };
+    cfg.recipes = RecipeConfig {
+        compile_ms: 4.0,
+        batch_bucket: 2,
+    };
+    let r = simulate(&cfg).unwrap();
+    assert_eq!(r.completed.len(), 40);
+    assert_eq!(digest(&r), GOLDEN_PAGED, "paged+warmup report drifted");
+}
+
+// Captured from the PR-6 engine; see module docs. Regenerate only for an
+// *intentional* semantic change, never for a dispatch-plumbing refactor.
+const GOLDEN_SINGLE: u64 = 798488146296404485;
+const GOLDEN_REPLICAS: u64 = 18170834330843426991;
+const GOLDEN_RESTART: u64 = 6037521723522352160;
+const GOLDEN_PAGED: u64 = 18131598337047016612;

@@ -7,8 +7,9 @@ use gaudi_hw::DeviceId;
 use gaudi_hw::GaudiConfig;
 use gaudi_models::LlmConfig;
 use gaudi_serving::{
-    generate_requests, simulate, simulate_trace, DropKind, FaultPlan, KvAdmissionConfig,
-    RobustnessConfig, ServingConfig, ServingError, TrafficConfig,
+    generate_requests, simulate, simulate_trace, DropKind, EventCalendar, FaultPlan,
+    KvAdmissionConfig, Percentiles, RobustnessConfig, ServingConfig, ServingError, ServingReport,
+    TrafficConfig,
 };
 use gaudi_tensor::DType;
 use proptest::prelude::*;
@@ -359,6 +360,112 @@ proptest! {
         prop_assert_eq!(a.makespan_ms, b.makespan_ms);
         prop_assert_eq!(a.preemptions, b.preemptions);
         prop_assert_eq!(a.kv_block_utilization, b.kv_block_utilization);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The heap calendar is a drop-in for the old `BTreeMap` dispatcher:
+    /// on randomized workloads with interleaved pushes and pops (the
+    /// engine's access pattern, including requeues at bumped times), the
+    /// pop sequence is byte-identical to ascending `BTreeMap` iteration.
+    #[test]
+    fn event_calendar_pops_byte_identical_to_btreemap(
+        ops in proptest::collection::vec((0u64..50_000, 0u8..4), 1..400),
+    ) {
+        use std::collections::BTreeMap;
+        let mut cal: EventCalendar<u64> = EventCalendar::new();
+        let mut tree: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut cal_log = String::new();
+        let mut tree_log = String::new();
+        let mut seq = 0u64;
+        for (t, op) in ops {
+            if op == 0 && !tree.is_empty() {
+                // Pop from both; maybe requeue at a strictly later time,
+                // like a parked retry.
+                let key = *tree.keys().next().unwrap();
+                let tv = tree.remove(&key).unwrap();
+                let (ck, cv) = cal.pop().unwrap();
+                tree_log.push_str(&format!("{key:?}={tv};"));
+                cal_log.push_str(&format!("{ck:?}={cv};"));
+                if tv.is_multiple_of(3) {
+                    let bumped = key.0 + 1 + t % 97;
+                    tree.insert((bumped, seq), seq);
+                    cal.push(bumped, seq, seq);
+                    seq += 1;
+                }
+            } else {
+                tree.insert((t, seq), seq);
+                cal.push(t, seq, seq);
+                seq += 1;
+            }
+        }
+        for (key, value) in tree {
+            tree_log.push_str(&format!("{key:?}={value};"));
+            let (ck, cv) = cal.pop().unwrap();
+            cal_log.push_str(&format!("{ck:?}={cv};"));
+        }
+        prop_assert!(cal.is_empty());
+        prop_assert_eq!(cal_log, tree_log);
+    }
+
+    /// The second merge level (boxes → cluster) conserves work exactly
+    /// like the first, and its latency percentiles are re-derived from
+    /// the pooled per-request samples — not averaged per-box percentiles.
+    #[test]
+    fn merge_boxes_conserves_work_and_pools_percentile_samples(
+        seed in 0u64..1_000_000,
+        num_requests in 4usize..40,
+        boxes in 2usize..5,
+    ) {
+        let cfg = config(seed, 2, num_requests, 4, 500);
+        let mut requests = generate_requests(&cfg.traffic);
+        requests.sort_by_key(|r| (r.arrival_us, r.id));
+        let mut parts = Vec::new();
+        for b in 0..boxes {
+            let shard: Vec<_> = requests
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % boxes == b)
+                .map(|(_, r)| r.clone())
+                .collect();
+            parts.push(simulate_trace(&cfg, shard).unwrap());
+        }
+        let merged = ServingReport::merge_boxes(parts.clone());
+
+        prop_assert_eq!(merged.devices, boxes);
+        prop_assert_eq!(merged.offered, num_requests);
+        prop_assert_eq!(
+            merged.completed.len(),
+            parts.iter().map(|p| p.completed.len()).sum::<usize>());
+
+        // Busy-time conservation, device-weighted.
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-12);
+        let merged_busy = merged.mme_utilization * merged.makespan_ms * boxes as f64;
+        let part_busy: f64 = parts
+            .iter()
+            .map(|p| p.mme_utilization * p.makespan_ms * p.devices as f64)
+            .sum();
+        prop_assert!(close(merged_busy, part_busy),
+            "mme busy not conserved: merged {} vs parts {}", merged_busy, part_busy);
+
+        // Percentiles come from the pooled samples, bit-for-bit.
+        let pooled_ttft = Percentiles::of(merged.completed.iter().map(|o| o.ttft_ms));
+        prop_assert_eq!(&merged.ttft_ms, &pooled_ttft);
+        let pooled_tpot = Percentiles::of(merged.completed.iter().flat_map(|o| {
+            o.token_times_ms.windows(2).map(|w| w[1] - w[0]).collect::<Vec<_>>()
+        }));
+        prop_assert_eq!(&merged.tpot_ms, &pooled_tpot);
+        // And NOT from averaging per-box percentiles (they differ unless
+        // every box saw identical latency tails).
+        let averaged_p99: f64 =
+            parts.iter().map(|p| p.ttft_ms.p99).sum::<f64>() / boxes as f64;
+        let max_p99 = parts.iter().map(|p| p.ttft_ms.p99).fold(0.0, f64::max);
+        prop_assert!(merged.ttft_ms.p99 >= averaged_p99 - 1e-9,
+            "pooled p99 {} must dominate the per-box average {}",
+            merged.ttft_ms.p99, averaged_p99);
+        prop_assert!(merged.ttft_ms.p99 <= max_p99 + 1e-9);
     }
 }
 
