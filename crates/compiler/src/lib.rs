@@ -28,6 +28,7 @@ pub mod dce;
 pub mod fusion;
 pub mod lowering;
 pub mod mapping;
+pub mod memplan;
 pub mod multi;
 pub mod partition;
 pub mod schedule;
@@ -37,6 +38,7 @@ pub use dce::eliminate_dead_code;
 pub use fusion::{fuse_elementwise, FusionStats};
 pub use lowering::lower_einsum;
 pub use mapping::{engine_for, table1, Table1Row};
+pub use memplan::{plan_memory, plan_memory_with, MemPlanOptions, MemoryPlan, TensorInterval};
 pub use multi::MultiDevicePlan;
 pub use partition::{partition, Parallelism, PartitionSpec, PartitionedGraph, ShardInfo};
 pub use schedule::{ExecutionPlan, GraphCompiler, PlannedOp, SchedulerKind};

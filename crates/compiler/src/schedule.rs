@@ -105,6 +105,21 @@ impl GraphCompiler {
         Ok((g, plan))
     }
 
+    /// Like [`compile`](Self::compile), additionally running the static
+    /// memory planner ([`crate::memplan`]) over the scheduled graph: the
+    /// returned [`MemoryPlan`](crate::memplan::MemoryPlan) carries tensor
+    /// lifetimes, in-placing decisions, locked arena offsets, and the
+    /// peak/arena/naive activation footprints the serving stack budgets
+    /// admission with.
+    pub fn compile_with_memplan(
+        &self,
+        graph: &Graph,
+    ) -> Result<(Graph, ExecutionPlan, crate::memplan::MemoryPlan), GraphError> {
+        let (g, plan) = self.compile(graph)?;
+        let mem = crate::memplan::plan_memory(&g);
+        Ok((g, plan, mem))
+    }
+
     /// Like [`compile`](Self::compile), pricing [`OpKind::Collective`] nodes
     /// on the NIC lane with the given collective-group topology. Used by the
     /// partitioning pipeline (`compile_partitioned`); with a single-device

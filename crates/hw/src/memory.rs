@@ -39,10 +39,27 @@ pub struct HbmTracker {
 /// that forced the paper's batch-size-8 LLM configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutOfMemory {
-    /// Bytes requested by the failing allocation.
+    /// Bytes requested by the failing allocation — the caller's actual
+    /// ask, never inflated by allocator-internal reserves.
     pub requested: u64,
     /// Bytes still free at the time of the request.
     pub available: u64,
+    /// Bytes the allocator held back on top of the request (e.g. a paged
+    /// pool's growth watermark for already-admitted sequences). Zero for
+    /// plain capacity trackers. Operators sizing a device from this error
+    /// need `requested + held_back - available` more bytes.
+    pub held_back: u64,
+}
+
+impl OutOfMemory {
+    /// An over-capacity request with no allocator-internal reserve.
+    pub fn new(requested: u64, available: u64) -> Self {
+        OutOfMemory {
+            requested,
+            available,
+            held_back: 0,
+        }
+    }
 }
 
 impl std::fmt::Display for OutOfMemory {
@@ -52,7 +69,15 @@ impl std::fmt::Display for OutOfMemory {
             "device out of memory: requested {} MiB, only {} MiB free",
             self.requested >> 20,
             self.available >> 20
-        )
+        )?;
+        if self.held_back > 0 {
+            write!(
+                f,
+                " ({} KiB held back as growth watermark)",
+                self.held_back >> 10
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -72,18 +97,26 @@ impl HbmTracker {
     pub fn allocate(&mut self, bytes: u64) -> Result<(), OutOfMemory> {
         let available = self.capacity - self.allocated;
         if bytes > available {
-            return Err(OutOfMemory {
-                requested: bytes,
-                available,
-            });
+            return Err(OutOfMemory::new(bytes, available));
         }
         self.allocated += bytes;
         self.peak = self.peak.max(self.allocated);
         Ok(())
     }
 
-    /// Release `bytes` (saturating).
+    /// Release `bytes`.
+    ///
+    /// Freeing more than is allocated is a caller accounting bug: it
+    /// panics in debug builds (the same contract `BlockPool::dealloc`
+    /// uses) and saturates to zero in release builds rather than
+    /// wrapping. Callers with untrusted inputs — like the serving
+    /// `KvAccountant::release` — must bounds-check before freeing.
     pub fn free(&mut self, bytes: u64) {
+        debug_assert!(
+            bytes <= self.allocated,
+            "HBM underflow: freeing {bytes} B with only {} B allocated",
+            self.allocated
+        );
         self.allocated = self.allocated.saturating_sub(bytes);
     }
 
@@ -139,10 +172,22 @@ mod tests {
     }
 
     #[test]
-    fn free_saturates() {
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "HBM underflow")]
+    fn free_underflow_is_a_debug_assertion() {
+        // Regression: `free` used to saturate silently, so a double free
+        // ate into someone else's reservation without a trace.
         let mut h = HbmTracker::new(&MemoryConfig::default());
         h.allocate(1024).unwrap();
         h.free(1 << 30);
+    }
+
+    #[test]
+    fn free_of_exactly_the_allocation_is_fine() {
+        let mut h = HbmTracker::new(&MemoryConfig::default());
+        h.allocate(1024).unwrap();
+        h.free(1024);
         assert_eq!(h.allocated(), 0);
+        assert_eq!(h.peak(), 1024);
     }
 }

@@ -46,8 +46,13 @@ pub fn estimate_peak_hbm(graph: &Graph) -> u64 {
         tracker
             .allocate(bytes_of(node.id.index()))
             .expect("unbounded tracker");
-        // Free inputs whose last consumer is this node.
-        for &i in &node.inputs {
+        // Free inputs whose last consumer is this node. A node may name the
+        // same operand twice (`mul(x, x)`); free each distinct tensor once,
+        // not once per operand slot.
+        for (pos, &i) in node.inputs.iter().enumerate() {
+            if node.inputs[..pos].contains(&i) {
+                continue;
+            }
             if last_use[i.index()] == node.id.index()
                 && !matches!(graph.nodes()[i.index()].kind, OpKind::Parameter)
             {
@@ -108,6 +113,19 @@ mod tests {
         g.storage_dtype = DType::BF16;
         let bf16_peak = estimate_peak_hbm(&g);
         assert_eq!(f32_peak, 2 * bf16_peak);
+    }
+
+    #[test]
+    fn repeated_operand_is_freed_once() {
+        // mul(x, x): x appears in two operand slots but is one tensor;
+        // the estimator must not free it twice (the old saturating free
+        // silently ate the underflow and deflated the peak).
+        let mut g = Graph::new();
+        let x = g.input("x", &[64]).unwrap();
+        let y = g.mul(x, x).unwrap();
+        g.mark_output(y);
+        let peak = estimate_peak_hbm(&g);
+        assert_eq!(peak, 2 * 64 * 4, "x and y live together at the peak");
     }
 
     #[test]

@@ -106,13 +106,19 @@ pub struct PlanKey {
     len: usize,
 }
 
-/// One memoized compilation: the plan's engine-busy summary, shared by
-/// [`Arc`] so repeated shapes are pointer-equal across replicas and sweep
-/// points.
+/// One memoized compilation: the plan's engine-busy summary plus its
+/// static memory plan, shared by [`Arc`] so repeated shapes are
+/// pointer-equal across replicas and sweep points.
 #[derive(Debug, Clone, Copy)]
 pub struct CompiledPhase {
     /// The priced phase.
     pub cost: PhaseCost,
+    /// Packed activation-arena extent of the phase graph (the memory
+    /// planner's locked-offset region) — what planned admission reserves.
+    pub planned_activation_bytes: u64,
+    /// Sum of every activation tensor in the phase graph: the no-reuse
+    /// footprint a planner-less budget must reserve.
+    pub naive_activation_bytes: u64,
 }
 
 /// Running totals of a [`PlanCache`]'s effectiveness.
@@ -369,9 +375,14 @@ impl CostContext {
                 Phase::Prefill => build_prefill(&self.model, batch, len)?.0,
                 Phase::Decode => build_decode_step(&self.model, batch, len)?.0,
             };
-            let (_, plan) = self.compiler.compile(&graph)?;
+            // The memory planner runs on the *scheduled* graph (after
+            // lowering/DCE/fusion), so the footprint matches what the
+            // plan actually executes.
+            let (_, plan, mem) = self.compiler.compile_with_memplan(&graph)?;
             Ok(CompiledPhase {
                 cost: PhaseCost::from_plan(&plan),
+                planned_activation_bytes: mem.arena_bytes,
+                naive_activation_bytes: mem.naive_bytes,
             })
         })
     }
@@ -690,6 +701,28 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn compiled_phases_carry_activation_plans() {
+        let mut m = cm();
+        for compiled in [
+            m.prefill_compiled(1, 64).unwrap(),
+            m.decode_compiled(4, 128).unwrap(),
+        ] {
+            assert!(compiled.planned_activation_bytes > 0);
+            assert!(
+                compiled.planned_activation_bytes <= compiled.naive_activation_bytes,
+                "the packed arena can never exceed the naive sum \
+                 ({} vs {})",
+                compiled.planned_activation_bytes,
+                compiled.naive_activation_bytes
+            );
+        }
+        // A transformer phase has elementwise chains to collapse, so the
+        // planner must actually win, not just tie.
+        let p = m.prefill_compiled(1, 64).unwrap();
+        assert!(p.planned_activation_bytes < p.naive_activation_bytes);
     }
 
     #[test]

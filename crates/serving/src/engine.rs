@@ -68,7 +68,7 @@ use crate::calendar::EventCalendar;
 use crate::cost::{CostContext, CostModel, Phase, PhaseCost, PlanCache, RecipeCache, RecipeConfig};
 use crate::error::ServingError;
 use crate::fault::{Job, RedistributionPolicy};
-use crate::kv::{KvAdmission, KvAdmissionConfig};
+use crate::kv::{ActivationBudget, KvAdmission, KvAdmissionConfig};
 use crate::report::{DropKind, DroppedRequest, Percentiles, RequestOutcome, ServingReport};
 use crate::request::{generate_requests, Request, TrafficConfig};
 use crate::robustness::RobustnessConfig;
@@ -126,6 +126,13 @@ pub struct ServingConfig {
     /// (the default, the legacy behavior) or block-granular paged
     /// allocation.
     pub kv_admission: KvAdmissionConfig,
+    /// How activation/workspace memory of the compiled phase graphs is
+    /// budgeted at admission. [`ActivationBudget::Off`] (the default)
+    /// reserves nothing — the legacy `weights + KV` formula, bit-identical
+    /// to earlier reports; `Unplanned`/`Planned` reserve the worst-case
+    /// phase's naive or arena-packed footprint, so the admission formula
+    /// becomes `weights + activations + KV`.
+    pub activation_budget: ActivationBudget,
     /// Recipe-cache warmup model: per-replica first-use compile latency
     /// and decode batch bucketing. The default charges nothing and keeps
     /// exact batches — bit-identical to the pre-warmup engine.
@@ -157,6 +164,7 @@ impl ServingConfig {
             redistribution: RedistributionPolicy::default(),
             robustness: RobustnessConfig::default(),
             kv_admission: KvAdmissionConfig::default(),
+            activation_budget: ActivationBudget::default(),
             recipes: RecipeConfig::default(),
             record_trace: true,
         }
@@ -189,6 +197,7 @@ impl ServingConfig {
             redistribution: RedistributionPolicy::default(),
             robustness: RobustnessConfig::default(),
             kv_admission: KvAdmissionConfig::default(),
+            activation_budget: ActivationBudget::default(),
             recipes: RecipeConfig::default(),
             record_trace: true,
         }
@@ -292,6 +301,12 @@ impl ServingConfigBuilder {
     /// KV admission strategy (contiguous or paged).
     pub fn kv_admission(mut self, kv_admission: KvAdmissionConfig) -> Self {
         self.cfg.kv_admission = kv_admission;
+        self
+    }
+
+    /// Activation-memory budget charged at admission (off by default).
+    pub fn activation_budget(mut self, activation_budget: ActivationBudget) -> Self {
+        self.cfg.activation_budget = activation_budget;
         self
     }
 
@@ -459,6 +474,7 @@ impl<'a> Replica<'a> {
         cfg: &'a ServingConfig,
         device: DeviceId,
         cost: CostModel,
+        activation_reserve: u64,
     ) -> Result<Self, ServingError> {
         let kv = cfg
             .kv_admission
@@ -467,6 +483,7 @@ impl<'a> Replica<'a> {
                 &cfg.model,
                 cfg.max_request_tokens(),
                 cfg.kv_dtype,
+                activation_reserve,
             )
             .map_err(ServingError::WeightsDontFit)?;
         Ok(Replica {
@@ -1014,6 +1031,41 @@ pub fn simulate_trace(
     simulate_trace_with(cfg, requests, &ExecPolicy::default())
 }
 
+/// Worst-case activation workspace of `cfg`'s schedulable phase shapes, as
+/// `(planned, naive)` bytes: the memory planner's packed-arena extent and
+/// the sum-of-all-activation-tensors baseline it replaces. The shapes are
+/// the same ones [`simulate_trace_with`] charges at admission — a prefill
+/// of the longest admissible prompt (prefill always runs at batch 1) and a
+/// decode at the bucket-padded max batch and longest context.
+pub fn activation_estimate(cfg: &ServingConfig) -> Result<(u64, u64), ServingError> {
+    let mut cost = CostModel::new(
+        cfg.model.clone(),
+        cfg.hw.clone(),
+        cfg.opts.clone(),
+        cfg.ctx_bucket,
+    );
+    activation_estimate_with(&mut cost, cfg)
+}
+
+fn activation_estimate_with(
+    cost: &mut CostModel,
+    cfg: &ServingConfig,
+) -> Result<(u64, u64), ServingError> {
+    let prefill = cost.prefill_compiled(1, cfg.traffic.prompt_range.1)?;
+    let decode = cost.decode_compiled(
+        cfg.recipes.bucketed_batch(cfg.max_batch),
+        cfg.max_request_tokens(),
+    )?;
+    Ok((
+        prefill
+            .planned_activation_bytes
+            .max(decode.planned_activation_bytes),
+        prefill
+            .naive_activation_bytes
+            .max(decode.naive_activation_bytes),
+    ))
+}
+
 /// [`simulate_trace`] under an explicit [`ExecPolicy`].
 pub fn simulate_trace_with(
     cfg: &ServingConfig,
@@ -1042,26 +1094,6 @@ pub fn simulate_trace_with(
         .map_err(ServingError::InvalidConfig)?;
 
     requests.sort_by_key(|r| (r.arrival_us, r.id));
-
-    // Reject outright only what can never fit; everything else queues.
-    let probe = cfg
-        .kv_admission
-        .build(
-            &cfg.hw.memory,
-            &cfg.model,
-            cfg.max_request_tokens(),
-            cfg.kv_dtype,
-        )
-        .map_err(ServingError::WeightsDontFit)?;
-    for r in &requests {
-        if r.total_tokens() as u64 > probe.max_admissible_tokens() {
-            return Err(ServingError::RequestTooLarge {
-                id: r.id,
-                tokens: r.total_tokens(),
-                max_tokens: probe.max_admissible_tokens(),
-            });
-        }
-    }
 
     // One compile context shared by every replica of this call (unless the
     // policy asks for the legacy per-replica compilation).
@@ -1092,6 +1124,41 @@ pub fn simulate_trace_with(
         ),
     };
 
+    // Activation workspace charged against HBM at admission. Computed once
+    // from the worst-case phase shapes this config can schedule: a prefill
+    // at the longest admissible prompt (prefill always runs at batch 1) and
+    // a decode at the padded max batch and longest context. `Off` (the
+    // default) skips the compiles entirely so the plan-cache statistics and
+    // compiled-graph counts of existing configurations are untouched.
+    let activation_reserve = match cfg.activation_budget {
+        ActivationBudget::Off => 0,
+        budget => {
+            let (planned, naive) = activation_estimate_with(&mut make_cost(), cfg)?;
+            budget.reserve_bytes(planned, naive)
+        }
+    };
+
+    // Reject outright only what can never fit; everything else queues.
+    let probe = cfg
+        .kv_admission
+        .build(
+            &cfg.hw.memory,
+            &cfg.model,
+            cfg.max_request_tokens(),
+            cfg.kv_dtype,
+            activation_reserve,
+        )
+        .map_err(ServingError::WeightsDontFit)?;
+    for r in &requests {
+        if r.total_tokens() as u64 > probe.max_admissible_tokens() {
+            return Err(ServingError::RequestTooLarge {
+                id: r.id,
+                tokens: r.total_tokens(),
+                max_tokens: probe.max_admissible_tokens(),
+            });
+        }
+    }
+
     let mut reports: Vec<ServingReport> = if cfg.faults.card_failures.is_empty() {
         // Fault-free: replicas never interact, so shard the stream
         // round-robin up front and fan the independent single-card
@@ -1105,7 +1172,7 @@ pub fn simulate_trace_with(
         policy
             .pool
             .try_par_map(&shards, |d, jobs| -> Result<_, ServingError> {
-                let mut replica = Replica::new(cfg, DeviceId(d), make_cost())?;
+                let mut replica = Replica::new(cfg, DeviceId(d), make_cost(), activation_reserve)?;
                 for j in jobs {
                     replica.enqueue(j.clone());
                 }
@@ -1115,7 +1182,7 @@ pub fn simulate_trace_with(
     } else {
         // Kills couple the replicas (orphans migrate, restarts rejoin):
         // run the single-pass event-driven box simulation.
-        simulate_box(cfg, requests, &make_cost)?
+        simulate_box(cfg, requests, &make_cost, activation_reserve)?
     };
 
     if cfg.devices == 1 {
@@ -1139,9 +1206,10 @@ fn simulate_box(
     cfg: &ServingConfig,
     requests: Vec<Request>,
     make_cost: &impl Fn() -> CostModel,
+    activation_reserve: u64,
 ) -> Result<Vec<ServingReport>, ServingError> {
     let mut replicas: Vec<Replica> = (0..cfg.devices)
-        .map(|d| Replica::new(cfg, DeviceId(d), make_cost()))
+        .map(|d| Replica::new(cfg, DeviceId(d), make_cost(), activation_reserve))
         .collect::<Result<_, _>>()?;
 
     // Kill/restart transitions, time-ordered; a restart at the same
@@ -1328,6 +1396,7 @@ mod tests {
             redistribution: RedistributionPolicy::default(),
             robustness: RobustnessConfig::default(),
             kv_admission: KvAdmissionConfig::default(),
+            activation_budget: ActivationBudget::default(),
             recipes: RecipeConfig::default(),
             record_trace: true,
         }
@@ -1830,6 +1899,106 @@ mod tests {
         assert_eq!(paged.makespan_ms, again.makespan_ms);
         assert_eq!(paged.preemptions, again.preemptions);
         assert_eq!(paged.completed, again.completed);
+    }
+
+    /// An activation-aware variant of [`kv_tight_config`]: paged KV, and
+    /// HBM sized as weights + the naive activation estimate + `tokens` of
+    /// KV. Under `Unplanned` that leaves exactly `tokens` of KV headroom;
+    /// under `Planned` the packed arena is smaller than the naive sum and
+    /// the difference becomes extra KV blocks at the same capacity.
+    fn mem_tight_config(budget: ActivationBudget, tokens: u64) -> ServingConfig {
+        let mut cfg = kv_tight_config(0);
+        cfg.kv_admission = KvAdmissionConfig::Paged { block_tokens: 8 };
+        cfg.activation_budget = budget;
+        let (_, naive) = activation_estimate(&cfg).unwrap();
+        let weights =
+            cfg.kv_admission
+                .weight_bytes(&cfg.model, cfg.max_request_tokens(), cfg.kv_dtype);
+        let per_tok = cfg
+            .kv_admission
+            .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+        cfg.hw.memory.hbm_capacity_bytes = weights + naive + per_tok * tokens;
+        cfg
+    }
+
+    #[test]
+    fn activation_budget_orders_admissible_kv() {
+        // A bigger admission-time reserve leaves a smaller block pool at
+        // the same HBM: Off > Planned > Unplanned admissible tokens,
+        // strictly because the planner packs tighter than the naive sum
+        // by more than a block on this model.
+        let cfg = mem_tight_config(ActivationBudget::Off, 96);
+        let (planned_bytes, naive_bytes) = activation_estimate(&cfg).unwrap();
+        assert!(planned_bytes > 0);
+        assert!(
+            planned_bytes < naive_bytes,
+            "the arena must beat the naive sum ({planned_bytes} vs {naive_bytes})"
+        );
+        let pool_of = |reserve: u64| {
+            cfg.kv_admission
+                .build(
+                    &cfg.hw.memory,
+                    &cfg.model,
+                    cfg.max_request_tokens(),
+                    cfg.kv_dtype,
+                    reserve,
+                )
+                .unwrap()
+                .max_admissible_tokens()
+        };
+        let off = pool_of(0);
+        let planned = pool_of(planned_bytes);
+        let unplanned = pool_of(naive_bytes);
+        assert!(
+            off > planned && planned > unplanned,
+            "reserves must shrink the pool monotonically \
+             ({off} vs {planned} vs {unplanned})"
+        );
+        for budget in [
+            ActivationBudget::Off,
+            ActivationBudget::Planned,
+            ActivationBudget::Unplanned,
+        ] {
+            let r = simulate(&mem_tight_config(budget, 96)).unwrap();
+            assert_eq!(r.completed.len(), 30, "{budget:?} stalls, never drops");
+            assert!(r.kv_peak_bytes <= r.kv_capacity_bytes);
+        }
+    }
+
+    #[test]
+    fn planned_budget_reclaims_headroom_into_concurrency() {
+        let unplanned = simulate(&mem_tight_config(ActivationBudget::Unplanned, 96)).unwrap();
+        let planned = simulate(&mem_tight_config(ActivationBudget::Planned, 96)).unwrap();
+        assert!(
+            planned.peak_running >= unplanned.peak_running,
+            "reclaimed activation headroom must not lower concurrency \
+             ({} vs {})",
+            planned.peak_running,
+            unplanned.peak_running
+        );
+        assert!(planned.goodput_tokens_per_s >= unplanned.goodput_tokens_per_s);
+        // Deterministic on both sides.
+        let again = simulate(&mem_tight_config(ActivationBudget::Planned, 96)).unwrap();
+        assert_eq!(planned.makespan_ms, again.makespan_ms);
+        assert_eq!(planned.completed, again.completed);
+    }
+
+    #[test]
+    fn activation_budget_off_is_the_default_and_reserves_nothing() {
+        let cfg = kv_tight_config(96);
+        assert_eq!(cfg.activation_budget, ActivationBudget::Off);
+        let explicit = ServingConfig::builder()
+            .activation_budget(ActivationBudget::Off)
+            .build();
+        assert_eq!(explicit.activation_budget, ActivationBudget::Off);
+        // Off charges no activation reserve: same pool as the seed.
+        let mut with_field = cfg.clone();
+        with_field.activation_budget = ActivationBudget::Off;
+        let a = simulate(&cfg).unwrap();
+        let b = simulate(&with_field).unwrap();
+        assert_eq!(a.kv_capacity_bytes, b.kv_capacity_bytes);
+        assert_eq!(a.makespan_ms, b.makespan_ms);
+        assert_eq!(a.completed, b.completed);
     }
 
     #[test]

@@ -28,6 +28,42 @@ use gaudi_models::LlmConfig;
 use gaudi_tensor::DType;
 use std::collections::HashMap;
 
+/// How much HBM admission charges for the activation/workspace memory of
+/// the compiled phase graphs, on top of resident weights and KV cache.
+///
+/// The legacy budget ([`Off`](Self::Off), the default) reserves nothing —
+/// the optimism the paper's §3.4 warns against, kept as the default so
+/// existing reports stay bit-identical. [`Unplanned`](Self::Unplanned)
+/// reserves the worst-case phase graph's *naive* footprint (every tensor
+/// gets its own slot, no lifetime reuse); [`Planned`](Self::Planned)
+/// reserves the static memory planner's packed arena instead, and the
+/// difference — the arena's reclaimed headroom — flows straight into KV
+/// capacity: more blocks in the paged pool, more concurrent sequences at
+/// equal HBM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ActivationBudget {
+    /// No activation reserve (`weights + KV` only) — the legacy,
+    /// bit-identical default.
+    #[default]
+    Off,
+    /// Reserve the naive sum-of-tensors footprint of the worst-case phase.
+    Unplanned,
+    /// Reserve the memory planner's arena extent for the worst-case phase.
+    Planned,
+}
+
+impl ActivationBudget {
+    /// Bytes this budget reserves, given the worst-case phase's planned
+    /// (arena) and naive (sum-of-tensors) footprints.
+    pub fn reserve_bytes(&self, planned_bytes: u64, naive_bytes: u64) -> u64 {
+        match self {
+            ActivationBudget::Off => 0,
+            ActivationBudget::Unplanned => naive_bytes,
+            ActivationBudget::Planned => planned_bytes,
+        }
+    }
+}
+
 /// Admission-strategy selection for [`ServingConfig`], and the home of the
 /// model-footprint arithmetic both strategies share.
 ///
@@ -83,25 +119,29 @@ impl KvAdmissionConfig {
         }
     }
 
-    /// Build the admission state for one replica: weights resident,
-    /// strategy-specific KV bookkeeping empty. Fails if the weights alone
-    /// overflow HBM.
+    /// Build the admission state for one replica: weights plus
+    /// `activation_bytes` of planned phase workspace resident up front,
+    /// strategy-specific KV bookkeeping empty. `activation_bytes` is what
+    /// the configured [`ActivationBudget`] reserved — `0` under the legacy
+    /// `Off` budget, where admission is `weights + KV` exactly as before.
+    /// Fails if the resident footprint alone overflows HBM.
     pub fn build(
         &self,
         mem: &MemoryConfig,
         model: &LlmConfig,
         max_positions: usize,
         dtype: DType,
+        activation_bytes: u64,
     ) -> Result<Box<dyn KvAdmission>, OutOfMemory> {
-        let weights = self.weight_bytes(model, max_positions, dtype);
+        let resident = self.weight_bytes(model, max_positions, dtype) + activation_bytes;
         let per_token = self.kv_bytes_per_token(model, dtype);
         match *self {
             KvAdmissionConfig::Contiguous => Ok(Box::new(ContiguousKv::new(KvAccountant::new(
-                mem, weights, per_token,
+                mem, resident, per_token,
             )?))),
             KvAdmissionConfig::Paged { block_tokens } => Ok(Box::new(crate::paged::PagedKv::new(
                 mem,
-                weights,
+                resident,
                 per_token,
                 block_tokens,
             )?)),

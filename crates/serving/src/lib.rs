@@ -75,14 +75,14 @@ pub use cost::{
     CostContext, CostModel, Phase, PhaseCost, PlanCache, PlanCacheStats, RecipeCache, RecipeConfig,
 };
 pub use engine::{
-    simulate, simulate_trace, simulate_trace_with, simulate_with, ExecPolicy, PlanSharing,
-    ServingConfig, ServingConfigBuilder,
+    activation_estimate, simulate, simulate_trace, simulate_trace_with, simulate_with, ExecPolicy,
+    PlanSharing, ServingConfig, ServingConfigBuilder,
 };
 pub use error::ServingError;
 pub use fault::{Job, RedistributionPolicy};
 pub use gaudi_exec::ExecPool;
 pub use gaudi_hw::fault::FaultPlan;
-pub use kv::{ContiguousKv, KvAccountant, KvAdmission, KvAdmissionConfig};
+pub use kv::{ActivationBudget, ContiguousKv, KvAccountant, KvAdmission, KvAdmissionConfig};
 pub use paged::{BlockPool, PagedKv};
 pub use report::{DropKind, DroppedRequest, Percentiles, RequestOutcome, ServingReport};
 pub use request::{generate_requests, Request, TrafficConfig};

@@ -117,10 +117,7 @@ impl PagedKv {
         );
         let capacity_bytes = mem.hbm_capacity_bytes;
         if weight_bytes > capacity_bytes {
-            return Err(OutOfMemory {
-                requested: weight_bytes,
-                available: capacity_bytes,
-            });
+            return Err(OutOfMemory::new(weight_bytes, capacity_bytes));
         }
         let block_bytes = block_tokens as u64 * bytes_per_token;
         let capacity_blocks = ((capacity_bytes - weight_bytes) / block_bytes).min(u32::MAX as u64);
@@ -186,9 +183,14 @@ impl KvAdmission for PagedKv {
         let headroom_tokens = self.block_tokens.min(Self::WATERMARK_TOKENS);
         let watermark = (self.chains.len() * headroom_tokens).div_ceil(self.block_tokens);
         if need + watermark > self.pool.free_blocks() {
+            // Report the caller's true request; the watermark is the
+            // pool's own reserve and is surfaced separately so operators
+            // can size pools from the error instead of chasing a phantom
+            // oversized request.
             return Err(OutOfMemory {
-                requested: (need + watermark) as u64 * self.block_bytes,
+                requested: need as u64 * self.block_bytes,
                 available: self.pool.free_blocks() as u64 * self.block_bytes,
+                held_back: watermark as u64 * self.block_bytes,
             });
         }
         let mut blocks = Vec::with_capacity(need);
@@ -212,10 +214,7 @@ impl KvAdmission for PagedKv {
         let needs_block = chain.tokens + 1 > chain.blocks.len() * block_tokens;
         if needs_block && free == 0 {
             // Leave the chain unchanged; the scheduler will preempt.
-            return Err(OutOfMemory {
-                requested: block_bytes,
-                available: 0,
-            });
+            return Err(OutOfMemory::new(block_bytes, 0));
         }
         if needs_block {
             let b = self.pool.alloc().expect("free count was just checked");
@@ -347,6 +346,20 @@ mod tests {
         kv.release(0).unwrap();
         kv.try_admit(1, 3, 64).unwrap();
         assert_eq!(kv.pool().allocated_blocks(), 1);
+    }
+
+    #[test]
+    fn admission_oom_reports_true_request_and_watermark_separately() {
+        // Regression: the error used to fold the growth watermark into
+        // `requested`, making a 1-block ask look like a 2-block one.
+        let mut kv = PagedKv::new(&mem(2 * 4096), 0, 1024, 4).unwrap();
+        kv.try_admit(0, 3, 64).unwrap(); // 1 block live, 1 free
+        let err = kv.try_admit(1, 3, 64).unwrap_err();
+        assert_eq!(err.requested, 4096, "one block actually requested");
+        assert_eq!(err.held_back, 4096, "one watermark block withheld");
+        assert_eq!(err.available, 4096);
+        let msg = err.to_string();
+        assert!(msg.contains("held back"), "watermark surfaced: {msg}");
     }
 
     #[test]

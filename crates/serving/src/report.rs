@@ -468,7 +468,14 @@ impl ServingReport {
             peak_queued_tokens = peak_queued_tokens.max(r.peak_queued_tokens);
             kv_peak_bytes = r.kv_peak_bytes.max(kv_peak_bytes);
             kv_capacity_bytes = r.kv_capacity_bytes;
-            kv_block_utilization += r.kv_block_utilization / devices as f64;
+            // Device-weighted like merge_boxes' gauges: a replica spanning
+            // w cards (tensor parallelism) contributes w shares of the
+            // box mean. Single-card replicas keep `r.devices == 1`, where
+            // `x * 1.0 / d` is bit-identical to the old `x / d` — the
+            // golden digests pin that. Dividing by `devices` without the
+            // weight silently deflated the gauge whenever replicas !=
+            // devices.
+            kv_block_utilization += r.kv_block_utilization * r.devices as f64 / devices as f64;
             compiled_graphs += r.compiled_graphs;
             recipe_compiles += r.recipe_compiles;
             preemptions += r.preemptions;
@@ -718,6 +725,68 @@ impl ServingReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A minimal replica report spanning `devices` cards with the given
+    /// block-utilization gauge; everything else is zero/empty.
+    fn replica_report(devices: usize, kv_block_utilization: f64) -> ServingReport {
+        ServingReport {
+            completed: vec![],
+            dropped: vec![],
+            offered: 0,
+            makespan_ms: 10.0,
+            ttft_ms: Percentiles::default(),
+            tpot_ms: Percentiles::default(),
+            queue_ms: Percentiles::default(),
+            timed_out_latency_ms: Percentiles::default(),
+            goodput_tokens_per_s: 0.0,
+            throughput_tokens_per_s: 0.0,
+            mme_utilization: 0.0,
+            tpc_utilization: 0.0,
+            dma_utilization: 0.0,
+            nic_utilization: 0.0,
+            decode_steps: 0,
+            prefills: 0,
+            backpressure_stalls: 0,
+            max_queue_depth: 0,
+            peak_queued_tokens: 0,
+            kv_peak_bytes: 0,
+            kv_capacity_bytes: 0,
+            kv_block_utilization,
+            compiled_graphs: 0,
+            recipe_compiles: 0,
+            preemptions: 0,
+            peak_running: 0,
+            scheduled_tokens: 0,
+            padded_tokens: 0,
+            devices,
+            retries: 0,
+            requeued_tokens: 0,
+            failed_replicas: 0,
+            restarts: 0,
+            replica_uptime_ms: vec![10.0; devices],
+            trace: Trace::new(),
+        }
+    }
+
+    #[test]
+    fn merge_replicas_weights_block_utilization_by_replica_width() {
+        // Regression: two tp=2 replicas on a 4-card box. The old code
+        // divided each replica's gauge by 4 *without* the 2-card weight,
+        // reporting (0.9 + 0.6) / 4 = 0.375 for a box whose cards sit at
+        // a true mean of (0.9*2 + 0.6*2) / 4 = 0.75.
+        let merged =
+            ServingReport::merge_replicas(4, vec![replica_report(2, 0.9), replica_report(2, 0.6)]);
+        assert!(
+            (merged.kv_block_utilization - 0.75).abs() < 1e-12,
+            "device-weighted mean, got {}",
+            merged.kv_block_utilization
+        );
+        // Data-parallel single-card replicas are the legacy path and must
+        // stay bit-identical (x * 1.0 / d == x / d in IEEE f64).
+        let dp =
+            ServingReport::merge_replicas(2, vec![replica_report(1, 0.9), replica_report(1, 0.6)]);
+        assert_eq!(dp.kv_block_utilization, 0.9 / 2.0 + 0.6 / 2.0);
+    }
 
     #[test]
     fn percentiles_of_known_population() {

@@ -30,6 +30,7 @@
 //! cargo run --release --bin bench_harness [-- --quick] [--threads N]
 //! ```
 
+use gaudi_compiler::plan_memory;
 use gaudi_serving::{
     simulate_cluster_with, simulate_with, EventCalendar, ExecPolicy, PlanCache, PlanSharing,
     ServingConfig, ServingReport,
@@ -319,6 +320,52 @@ fn main() {
         cluster_cfg.box_config.traffic.num_requests,
         cluster_serial_ms / cluster_pooled_ms,
     );
+
+    // --- PR 8: static memory-planner timing. ----------------------------
+
+    let mut gpt = gaudi_models::LlmConfig::paper_section_3_4(50257);
+    gpt.training = false;
+    let (gpt_decode, _) =
+        gaudi_models::build_decode_step(&gpt, 8, 1024).expect("GPT decode builds");
+    let (bert, _) = gaudi_models::bert::build_bert_mlm(&gaudi_models::BertConfig::paper())
+        .expect("BERT builds");
+    let plan_iters = if quick { 20 } else { 200 };
+    println!("\nmemory planner ({plan_iters} plans/graph, lifetime + in-place + best-fit pack):");
+    let mut plan_rows: Vec<String> = Vec::new();
+    for (label, g) in [("gpt-decode b8 ctx1024", &gpt_decode), ("bert-mlm", &bert)] {
+        let t0 = Instant::now();
+        let mut plan = plan_memory(g);
+        for _ in 1..plan_iters {
+            plan = plan_memory(g);
+        }
+        let plan_ms = t0.elapsed().as_secs_f64() * 1e3 / plan_iters as f64;
+        let mib = |b: u64| b as f64 / (1u64 << 20) as f64;
+        println!(
+            "  {label:<22} {:>4} nodes  {plan_ms:>8.3} ms/plan   arena {:.1} MiB vs naive \
+             {:.1} MiB ({:.2}x reuse, {} in-placed)",
+            g.len(),
+            mib(plan.arena_bytes),
+            mib(plan.naive_bytes),
+            plan.reuse_factor(),
+            plan.inplaced,
+        );
+        plan_rows.push(format!(
+            "    {{\"graph\": \"{label}\", \"nodes\": {}, \"plan_ms\": {plan_ms:.4}, \
+             \"arena_bytes\": {}, \"naive_bytes\": {}, \"reuse_factor\": {:.6}}}",
+            g.len(),
+            plan.arena_bytes,
+            plan.naive_bytes,
+            plan.reuse_factor(),
+        ));
+    }
+    let json8 = format!(
+        "{{\n  \"benchmark\": \"PR-8 static memory planner\",\n  \"quick\": {quick},\n  \
+         \"plans_per_graph\": {plan_iters},\n  \"graphs\": [\n{}\n  ]\n}}\n",
+        plan_rows.join(",\n"),
+    );
+    let out8 = std::path::Path::new("results").join("BENCH_8.json");
+    std::fs::write(&out8, &json8).expect("BENCH_8.json is writable");
+    println!("wrote {}", out8.display());
 
     let json7 = format!(
         "{{\n  \"benchmark\": \"PR-7 dispatch calendar + cluster layer\",\n  \

@@ -10,8 +10,9 @@
 
 use gaudi_exec::ExecPool;
 use gaudi_serving::{
-    ClusterConfig, ClusterReport, ExecPolicy, PlanCache, PlanSharing, RecipeConfig, ServingConfig,
-    ServingReport, TrafficConfig,
+    activation_estimate, ActivationBudget, ClusterConfig, ClusterReport, ExecPolicy,
+    KvAdmissionConfig, PlanCache, PlanSharing, RecipeConfig, ServingConfig, ServingReport,
+    TrafficConfig,
 };
 use std::sync::Arc;
 
@@ -189,6 +190,29 @@ pub fn kv_sweep_config(hbm_tokens: u64, batch_bucket: usize) -> ServingConfig {
         .kv_admission
         .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
     cfg.hw.memory.hbm_capacity_bytes = weights + per_tok * hbm_tokens;
+    cfg
+}
+
+/// The memory-sweep operating point: the §3.4 GPT under the KV sweep's
+/// saturating burst, paged admission, and a device sized to
+/// `weights + naive-activation + hbm_tokens of KV`. Under the `Unplanned`
+/// budget that leaves exactly `hbm_tokens` of KV blocks; under `Planned`
+/// the packed arena is smaller than the naive sum and the reclaimed
+/// difference becomes extra KV blocks at the *same* HBM capacity — the
+/// sweep measures what that headroom buys in admission concurrency.
+pub fn mem_sweep_config(budget: ActivationBudget, hbm_tokens: u64) -> ServingConfig {
+    let mut cfg = kv_sweep_config(hbm_tokens, 1);
+    cfg.kv_admission = KvAdmissionConfig::Paged { block_tokens: 8 };
+    cfg.activation_budget = budget;
+    let (_, naive) = activation_estimate(&cfg).expect("sweep phases compile");
+    let worst = cfg.traffic.prompt_range.1 + cfg.traffic.output_range.1;
+    let weights = cfg
+        .kv_admission
+        .weight_bytes(&cfg.model, worst, cfg.kv_dtype);
+    let per_tok = cfg
+        .kv_admission
+        .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+    cfg.hw.memory.hbm_capacity_bytes = weights + naive + per_tok * hbm_tokens;
     cfg
 }
 

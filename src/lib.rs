@@ -52,7 +52,8 @@ pub use gaudi_workloads as workloads;
 pub mod prelude {
     pub use crate::{GaudiError, GaudiSession, GaudiSessionBuilder};
     pub use gaudi_compiler::{
-        CompilerOptions, GraphCompiler, MultiDevicePlan, Parallelism, PartitionSpec, SchedulerKind,
+        plan_memory, CompilerOptions, GraphCompiler, MemoryPlan, MultiDevicePlan, Parallelism,
+        PartitionSpec, SchedulerKind,
     };
     pub use gaudi_exec::ExecPool;
     pub use gaudi_graph::{CollectiveKind, Graph, NodeId, OpKind};
@@ -61,9 +62,9 @@ pub mod prelude {
     pub use gaudi_profiler::{Trace, TraceAnalysis};
     pub use gaudi_runtime::{Feeds, MultiRunReport, NumericsMode, RunReport, Runtime};
     pub use gaudi_serving::{
-        DropKind, DroppedRequest, ExecPolicy, KvAdmissionConfig, PlanCache, PlanSharing,
-        RecipeConfig, RedistributionPolicy, RobustnessConfig, ServingConfig, ServingConfigBuilder,
-        ServingReport, TrafficConfig,
+        ActivationBudget, DropKind, DroppedRequest, ExecPolicy, KvAdmissionConfig, PlanCache,
+        PlanSharing, RecipeConfig, RedistributionPolicy, RobustnessConfig, ServingConfig,
+        ServingConfigBuilder, ServingReport, TrafficConfig,
     };
     pub use gaudi_tensor::{DType, SeededRng, Shape, Tensor};
 }

@@ -99,6 +99,21 @@ fn paged_warmup_report_matches_the_pre_refactor_engine() {
     assert_eq!(digest(&r), GOLDEN_PAGED, "paged+warmup report drifted");
 }
 
+#[test]
+fn activation_budget_off_is_bit_identical_to_the_seed() {
+    // The memory planner is opt-in: with the default `Off` budget the
+    // admission math, the compile counts, and every float in the report
+    // must match the pre-planner engine exactly.
+    let mut cfg = base_config(1);
+    cfg.activation_budget = ActivationBudget::Off;
+    let r = simulate(&cfg).unwrap();
+    assert_eq!(
+        digest(&r),
+        GOLDEN_SINGLE,
+        "ActivationBudget::Off must not perturb the seed report"
+    );
+}
+
 // Captured from the PR-6 engine; see module docs. Regenerate only for an
 // *intentional* semantic change, never for a dispatch-plumbing refactor.
 const GOLDEN_SINGLE: u64 = 798488146296404485;
