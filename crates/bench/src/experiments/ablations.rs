@@ -105,12 +105,13 @@ pub fn seqlen_sweep(lengths: &[usize]) -> TensorResult<Vec<SweepPoint>> {
     let mut out = Vec::new();
     for &n in lengths {
         let base = TransformerLayerConfig::paper_section_3_3().with_seq_len(n);
-        let softmax =
-            layer_experiment("sweep-softmax", &base, CompilerOptions::default())?.total_ms;
+        // A3 reproduces the paper's unfused-attention scaling behaviour.
+        let opts = crate::experiments::layer_figs::paper_options();
+        let softmax = layer_experiment("sweep-softmax", &base, opts.clone())?.total_ms;
         let linear = layer_experiment(
             "sweep-linear",
             &base.clone().with_attention(AttentionKind::Linear),
-            CompilerOptions::default(),
+            opts.clone(),
         )?
         .total_ms;
         let performer = layer_experiment(
@@ -118,7 +119,7 @@ pub fn seqlen_sweep(lengths: &[usize]) -> TensorResult<Vec<SweepPoint>> {
             &base.with_attention(AttentionKind::Favor {
                 features: FAVOR_FEATURES,
             }),
-            CompilerOptions::default(),
+            opts,
         )?
         .total_ms;
         out.push(SweepPoint {

@@ -71,16 +71,24 @@ pub fn layer_experiment(
     })
 }
 
+/// Compiler options for the figure reproductions: the paper traces were
+/// taken on SynapseAI *without* fused attention kernels, so the figures pin
+/// the unfused pipeline explicitly. The fused-vs-unfused ablation lives in
+/// the `kernel_sweep` bin.
+pub fn paper_options() -> CompilerOptions {
+    CompilerOptions::builder().fuse_attention(false).build()
+}
+
 /// Figure 4: softmax attention.
 pub fn fig4_softmax() -> TensorResult<LayerFigure> {
     let cfg = TransformerLayerConfig::paper_section_3_3();
-    layer_experiment("fig4-softmax", &cfg, CompilerOptions::default())
+    layer_experiment("fig4-softmax", &cfg, paper_options())
 }
 
 /// Figure 5: Linear-Transformer attention.
 pub fn fig5_linear() -> TensorResult<LayerFigure> {
     let cfg = TransformerLayerConfig::paper_section_3_3().with_attention(AttentionKind::Linear);
-    layer_experiment("fig5-linear", &cfg, CompilerOptions::default())
+    layer_experiment("fig5-linear", &cfg, paper_options())
 }
 
 /// Figure 6: Performer (FAVOR) attention.
@@ -88,7 +96,7 @@ pub fn fig6_performer() -> TensorResult<LayerFigure> {
     let cfg = TransformerLayerConfig::paper_section_3_3().with_attention(AttentionKind::Favor {
         features: FAVOR_FEATURES,
     });
-    layer_experiment("fig6-performer", &cfg, CompilerOptions::default())
+    layer_experiment("fig6-performer", &cfg, paper_options())
 }
 
 /// Figure 7: the activation sweep over a linear-attention layer.
@@ -101,11 +109,7 @@ pub fn activation_sweep() -> TensorResult<Vec<(String, LayerFigure)>> {
         let cfg = TransformerLayerConfig::paper_section_3_3()
             .with_attention(AttentionKind::Linear)
             .with_activation(act);
-        let fig = layer_experiment(
-            &format!("fig7-{}", act.name()),
-            &cfg,
-            CompilerOptions::default(),
-        )?;
+        let fig = layer_experiment(&format!("fig7-{}", act.name()), &cfg, paper_options())?;
         out.push((act.name().to_string(), fig));
     }
     Ok(out)

@@ -60,7 +60,12 @@ pub fn llm_experiment(kind: LlmKind) -> TensorResult<LlmFigure> {
             "fig9-bert",
         ),
     };
-    let rt = Runtime::new(GaudiConfig::hls1(), CompilerOptions::default());
+    // Figures 8–9 reproduce observed SynapseAI traces, which predate fused
+    // attention kernels — pin the unfused pipeline.
+    let rt = Runtime::new(
+        GaudiConfig::hls1(),
+        CompilerOptions::builder().fuse_attention(false).build(),
+    );
     let report = rt
         .run(&graph, &Feeds::auto(0), NumericsMode::ShapeOnly)
         .map_err(|_| TensorError::EmptyTensor)?;

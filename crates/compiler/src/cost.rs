@@ -110,6 +110,51 @@ pub fn op_cost(graph: &Graph, node: &Node, cfg: &GaudiConfig, lower_einsum: bool
                 }
             }
         }
+        OpKind::FusedAttention { .. } => {
+            // softmax(scale·QKᵀ [+ mask])·V as ONE kernel: two GEMMs on the
+            // MME plus a compute-only online softmax — the S×S score matrix
+            // lives in TPC local memory and never touches HBM, so the
+            // softmax term is priced at zero global bytes and `bytes` below
+            // covers only the real operands (q, k, v, mask) and the output.
+            let (batch, n, d) = graph
+                .shape(node.inputs[0])
+                .as_batched_matrix()
+                .expect("fused attention q is matrix-shaped");
+            let kshape = graph.shape(node.inputs[1]);
+            let m = kshape.dim(kshape.rank() - 2);
+            let dv = graph.shape(node.inputs[2]).last_dim();
+            let score_elems = (batch * n * m) as f64;
+            let flops = MmeModel::gemm_flops(batch, n, d, m)
+                + MmeModel::gemm_flops(batch, n, m, dv)
+                + score_elems * 4.0;
+            OpCost {
+                engine: EngineId::Mme,
+                time_ns: mme.gemm_time_ns(batch, n, d, m)
+                    + mme.gemm_time_ns(batch, n, m, dv)
+                    + tpc.class_time_ns(TpcOpClass::Softmax, score_elems, 0.0),
+                flops,
+                bytes,
+            }
+        }
+        OpKind::FusedSoftmaxMatMul => {
+            // softmax(X)·V in one launch: X streams in from HBM once, the
+            // probability rows stay in local memory for the GEMM.
+            let (batch, n, m) = graph
+                .shape(node.inputs[0])
+                .as_batched_matrix()
+                .expect("fused softmax-matmul input is matrix-shaped");
+            let dv = graph.shape(node.id).last_dim();
+            let x_bytes =
+                graph.shape(node.inputs[0]).numel() as f64 * graph.storage_dtype.size_of() as f64;
+            let score_elems = (batch * n * m) as f64;
+            OpCost {
+                engine: EngineId::Mme,
+                time_ns: tpc.class_time_ns(TpcOpClass::Softmax, score_elems, x_bytes)
+                    + mme.gemm_time_ns(batch, n, m, dv),
+                flops: MmeModel::gemm_flops(batch, n, m, dv) + score_elems * 4.0,
+                bytes,
+            }
+        }
         OpKind::FusedElementwise(ops) => {
             // One launch; intermediates live in registers, so only the input
             // and output touch global memory.

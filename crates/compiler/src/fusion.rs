@@ -18,6 +18,11 @@ pub struct FusionStats {
     pub chains: usize,
     /// Total operators folded into fused nodes.
     pub ops_fused: usize,
+    /// Scale (`ScalarMul`) ops absorbed adjacent to an attention softmax —
+    /// directly feeding it or feeding it through a mask add. These are the
+    /// ops the fused-attention pattern-matcher (`attention_fusion`) folds
+    /// into its `scale` factor.
+    pub attention_scale_ops: usize,
 }
 
 /// Fuse maximal chains of single-consumer unary element-wise operators.
@@ -25,9 +30,31 @@ pub struct FusionStats {
 /// A node joins the chain of its producer when (a) both are fusible unary
 /// ops of identical shape, (b) the producer has exactly one consumer, and
 /// (c) the producer is not a marked graph output.
+///
+/// Attention adjacency: a scale (`ScalarMul`) whose value flows into a
+/// softmax — directly or through a mask add — is *always* emitted as a
+/// `FusedElementwise` node, even alone, so the attention pattern-matcher
+/// sees one canonical scale node between the score matmul and the softmax
+/// regardless of how many scale ops the model config emitted. The wrap is
+/// cost-neutral (a single-op chain prices identically to the bare op).
 pub fn fuse_elementwise(graph: &Graph) -> Result<(Graph, FusionStats), GraphError> {
     let consumers = graph.consumers();
     let is_output = |id: NodeId| graph.outputs().contains(&id);
+
+    // Does `id` feed a softmax, directly or through one mask add?
+    let feeds_softmax = |id: NodeId| -> bool {
+        match consumers[id.index()].as_slice() {
+            [c] => {
+                matches!(graph.node(*c).kind, OpKind::Softmax)
+                    || (matches!(graph.node(*c).kind, OpKind::Add)
+                        && matches!(
+                            consumers[c.index()].as_slice(),
+                            [cc] if matches!(graph.node(*cc).kind, OpKind::Softmax)
+                        ))
+            }
+            _ => false,
+        }
+    };
 
     // A node is a chain *interior* if its single consumer can absorb it.
     let absorbed = |id: NodeId| -> bool {
@@ -60,11 +87,21 @@ pub fn fuse_elementwise(graph: &Graph) -> Result<(Graph, FusionStats), GraphErro
             }
             chain.reverse();
             let src = remap[&cursor];
-            if chain.len() == 1 {
+            let adjacent = !is_output(node.id) && feeds_softmax(node.id);
+            if adjacent {
+                stats.attention_scale_ops += chain
+                    .iter()
+                    .filter(|o| matches!(o, OpKind::ScalarMul(_)))
+                    .count();
+            }
+            let wrap_lone_scale = adjacent && matches!(node.kind, OpKind::ScalarMul(_));
+            if chain.len() == 1 && !wrap_lone_scale {
                 out.push_node(node.kind.clone(), &[src], node.shape, node.name.clone())?
             } else {
-                stats.chains += 1;
-                stats.ops_fused += chain.len();
+                if chain.len() > 1 {
+                    stats.chains += 1;
+                    stats.ops_fused += chain.len();
+                }
                 out.push_node(
                     OpKind::FusedElementwise(chain),
                     &[src],
@@ -151,6 +188,58 @@ mod tests {
         let (fused, stats) = fuse_elementwise(&g).unwrap();
         assert_eq!(stats.chains, 0);
         assert_eq!(fused.len(), 3);
+    }
+
+    #[test]
+    fn lone_attention_scale_is_canonicalized() {
+        // A single score scale feeding a softmax wraps into a one-op
+        // FusedElementwise so the attention matcher sees a canonical node.
+        let mut g = Graph::new();
+        let q = g.input("q", &[1, 8, 8]).unwrap();
+        let s = g.matmul(q, q).unwrap();
+        let scaled = g.scalar_mul(s, 0.125).unwrap();
+        let probs = g.softmax(scaled).unwrap();
+        g.mark_output(probs);
+        let (fused, stats) = fuse_elementwise(&g).unwrap();
+        assert_eq!(stats.attention_scale_ops, 1);
+        assert_eq!(stats.chains, 0, "a lone op is not a chain");
+        let f = fused
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, OpKind::FusedElementwise(_)))
+            .expect("scale wrapped");
+        match &f.kind {
+            OpKind::FusedElementwise(ops) => {
+                assert_eq!(ops.len(), 1);
+                assert!(matches!(ops[0], OpKind::ScalarMul(_)));
+            }
+            _ => unreachable!(),
+        }
+        fused.validate().unwrap();
+
+        // Through a mask add, the scale is still counted and wrapped.
+        let mut g2 = Graph::new();
+        let q = g2.input("q", &[1, 8, 8]).unwrap();
+        let mask = g2.input("mask", &[8, 8]).unwrap();
+        let s = g2.matmul(q, q).unwrap();
+        let scaled = g2.scalar_mul(s, 0.125).unwrap();
+        let masked = g2.add(scaled, mask).unwrap();
+        let probs = g2.softmax(masked).unwrap();
+        g2.mark_output(probs);
+        let (_, stats2) = fuse_elementwise(&g2).unwrap();
+        assert_eq!(stats2.attention_scale_ops, 1);
+
+        // A scale NOT feeding a softmax stays bare.
+        let mut g3 = Graph::new();
+        let x = g3.input("x", &[8]).unwrap();
+        let y = g3.scalar_mul(x, 2.0).unwrap();
+        g3.mark_output(y);
+        let (f3, stats3) = fuse_elementwise(&g3).unwrap();
+        assert_eq!(stats3.attention_scale_ops, 0);
+        assert!(f3
+            .nodes()
+            .iter()
+            .all(|n| !matches!(n.kind, OpKind::FusedElementwise(_))));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! * [`SchedulerKind::Overlap`] — dependency-only list scheduling, the
 //!   idealized compiler the paper's insights call for.
 
+pub mod attention_fusion;
 pub mod cost;
 pub mod dce;
 pub mod fusion;
@@ -33,6 +34,7 @@ pub mod multi;
 pub mod partition;
 pub mod schedule;
 
+pub use attention_fusion::{fuse_attention, AttentionFusionStats};
 pub use cost::{op_cost, OpCost};
 pub use dce::eliminate_dead_code;
 pub use fusion::{fuse_elementwise, FusionStats};
@@ -70,6 +72,14 @@ pub struct CompilerOptions {
     /// Prune nodes unreachable from marked outputs before scheduling (e.g.
     /// the unused input-gradient chains autograd produces).
     pub dce: bool,
+    /// Pattern-match the `MatMul(Q,Kᵀ) → Scale → [Mask] → Softmax →
+    /// MatMul(·,V)` attention subgraph and swap in a single tiled
+    /// FlashAttention-style fused kernel (GFormer-style, see
+    /// `attention_fusion`). On by default — this is the custom-kernel fix
+    /// the paper's Fig. 4–6 analysis calls for; disable it
+    /// (`--no-fused-attention` in the bins) to reproduce the observed
+    /// SynapseAI idle-gap behaviour.
+    pub fuse_attention: bool,
 }
 
 impl Default for CompilerOptions {
@@ -82,6 +92,7 @@ impl Default for CompilerOptions {
             model_dma: true,
             fuse_elementwise: false,
             dce: true,
+            fuse_attention: true,
         }
     }
 }
@@ -96,6 +107,7 @@ impl CompilerOptions {
             model_dma: true,
             fuse_elementwise: true,
             dce: true,
+            fuse_attention: true,
         }
     }
 
@@ -162,6 +174,12 @@ impl CompilerOptionsBuilder {
     /// Toggle dead-code elimination.
     pub fn dce(mut self, on: bool) -> Self {
         self.opts.dce = on;
+        self
+    }
+
+    /// Toggle the fused-attention pattern-match pass.
+    pub fn fuse_attention(mut self, on: bool) -> Self {
+        self.opts.fuse_attention = on;
         self
     }
 

@@ -14,7 +14,12 @@ use gaudi_hw::EngineId;
 /// reaches the MME; an un-lowered one falls back to a TPC kernel.
 pub fn engine_for(kind: &OpKind, lower_einsum: bool) -> EngineId {
     match kind {
-        OpKind::MatMul => EngineId::Mme,
+        // The fused attention kernels are MME-anchored: the two GEMMs own
+        // the systolic array while the online softmax rides the TPC out of
+        // local memory, so the node occupies the MME lane.
+        OpKind::MatMul | OpKind::FusedAttention { .. } | OpKind::FusedSoftmaxMatMul => {
+            EngineId::Mme
+        }
         OpKind::Einsum(_) => {
             if lower_einsum {
                 EngineId::Mme

@@ -95,6 +95,10 @@ pub struct MemoryPlan {
     pub inplaced: usize,
     /// Issue steps covered by the plan (== graph length).
     pub steps: usize,
+    /// Bytes of fused-kernel tile scratch planned as single-step intervals
+    /// (see [`fused_scratch_bytes`]). Already included in the peak/arena
+    /// numbers; broken out for reporting.
+    pub scratch_bytes: u64,
 }
 
 impl MemoryPlan {
@@ -124,6 +128,36 @@ fn is_elementwise(kind: &OpKind) -> bool {
         )
 }
 
+/// Cores per TPC cluster assumed for fused-kernel scratch sizing. Matches
+/// `gaudi_hw::config::TpcConfig::default().num_cores` (the planner is
+/// graph-only, so the constant is mirrored rather than imported).
+const TPC_CORES: u64 = 8;
+
+/// Per-phase HBM spill scratch of a fused kernel's tile buffers.
+///
+/// The fused attention kernels keep their working set (staged Q row,
+/// output accumulator, one 64-wide score tile — or the staged probability
+/// row for the softmax-matmul) in vector local memory, but the planner
+/// charges one VLM-sized save area per core so a preempted phase can spill
+/// its tiles — a *single-step* interval alive only while the fused node
+/// executes, unlike the S×S score tensor the unfused graph keeps live
+/// across five ops. Non-fused nodes need no scratch.
+pub fn fused_scratch_bytes(g: &Graph, node: &gaudi_graph::Node) -> u64 {
+    let elem = g.storage_dtype.size_of() as u64;
+    match &node.kind {
+        OpKind::FusedAttention { .. } => {
+            let d = g.shape(node.inputs[0]).last_dim() as u64;
+            let dv = g.shape(node.inputs[2]).last_dim() as u64;
+            TPC_CORES * (d + dv + 64) * elem
+        }
+        OpKind::FusedSoftmaxMatMul => {
+            let m = g.shape(node.inputs[0]).last_dim() as u64;
+            TPC_CORES * m * elem
+        }
+        _ => 0,
+    }
+}
+
 /// Plan `g` with default options (in-placing on).
 pub fn plan_memory(g: &Graph) -> MemoryPlan {
     plan_memory_with(g, MemPlanOptions::default())
@@ -146,6 +180,7 @@ pub fn plan_memory_with(g: &Graph, opts: MemPlanOptions) -> MemoryPlan {
     let mut planned: Vec<Option<usize>> = vec![None; steps];
     let mut intervals: Vec<TensorInterval> = Vec::new();
     let mut naive_bytes = 0u64;
+    let mut scratch_bytes = 0u64;
     for node in g.nodes() {
         if matches!(node.kind, OpKind::Parameter) {
             continue; // resident weights, not activation workspace
@@ -170,6 +205,23 @@ pub fn plan_memory_with(g: &Graph, opts: MemPlanOptions) -> MemoryPlan {
             buffer: usize::MAX, // assigned below
             offset: 0,
         });
+        // Fused-kernel tile scratch: a second, single-step interval that
+        // dies the moment the kernel retires. Pushed after the output
+        // interval so `planned` (used for in-placing) keeps pointing at
+        // the real tensor.
+        let scratch = fused_scratch_bytes(g, node);
+        if scratch > 0 {
+            naive_bytes += scratch;
+            scratch_bytes += scratch;
+            intervals.push(TensorInterval {
+                node: node.id,
+                bytes: scratch,
+                start: node.id.index(),
+                end: node.id.index(),
+                buffer: usize::MAX,
+                offset: 0,
+            });
+        }
     }
 
     // 2. In-placing: an elementwise node may adopt the buffer of an
@@ -301,6 +353,7 @@ pub fn plan_memory_with(g: &Graph, opts: MemPlanOptions) -> MemoryPlan {
         naive_bytes,
         inplaced,
         steps,
+        scratch_bytes,
     }
 }
 
@@ -426,6 +479,51 @@ mod tests {
         }
         assert!(plan.peak_bytes <= plan.arena_bytes);
         assert!(plan.arena_bytes <= plan.naive_bytes);
+    }
+
+    #[test]
+    fn fused_attention_scratch_is_a_single_step_interval() {
+        let mut g = Graph::new();
+        let q = g.input("q", &[2, 64, 64]).unwrap();
+        let k = g.input("k", &[2, 128, 64]).unwrap();
+        let v = g.input("v", &[2, 128, 64]).unwrap();
+        let a = g.fused_attention(q, k, v, None, 0.125).unwrap();
+        let y = g.exp(a).unwrap();
+        g.mark_output(y);
+        let plan = plan_memory(&g);
+        // Scratch = 8 cores * (d + dv + 64) elems * 4 B, alive one step.
+        let expect = 8 * (64 + 64 + 64) * 4;
+        assert_eq!(plan.scratch_bytes, expect);
+        let scratch = plan
+            .intervals
+            .iter()
+            .find(|iv| iv.node == a && iv.bytes == expect)
+            .expect("scratch interval planned");
+        assert_eq!(scratch.start, scratch.end, "scratch dies at its own step");
+        assert!(plan.naive_bytes >= expect);
+
+        // The fused phase's activation reserve beats the unfused one: the
+        // unfused graph keeps the S×S scores (here 2*64*128 floats, three
+        // tensors deep) live across the softmax pipeline.
+        let mut u = Graph::new();
+        let q = u.input("q", &[2, 64, 64]).unwrap();
+        let k = u.input("k", &[2, 128, 64]).unwrap();
+        let v = u.input("v", &[2, 128, 64]).unwrap();
+        let kt = u.transpose(k).unwrap();
+        let scores = u.matmul(q, kt).unwrap();
+        let scaled = u.scalar_mul(scores, 0.125).unwrap();
+        let probs = u.softmax(scaled).unwrap();
+        let out = u.matmul(probs, v).unwrap();
+        let y = u.exp(out).unwrap();
+        u.mark_output(y);
+        let unfused_plan = plan_memory(&u);
+        assert!(
+            plan.peak_bytes < unfused_plan.peak_bytes,
+            "fused peak {} must undercut unfused peak {}",
+            plan.peak_bytes,
+            unfused_plan.peak_bytes
+        );
+        assert!(plan.arena_bytes < unfused_plan.arena_bytes);
     }
 
     #[test]

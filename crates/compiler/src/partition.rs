@@ -664,6 +664,64 @@ fn propagate(
             Place::rep()
         }
 
+        // Fused attention propagates like the head-batched matmuls it
+        // replaces: q/k/v must agree on batch/head sharding strictly above
+        // the matrix dims, and the (broadcast) mask must be replicated.
+        OpKind::FusedAttention { masked, .. } => {
+            let pq = p_of(0);
+            let r = rank_of(0);
+            let above_matrix = |p: &Place| {
+                p.dp.is_none_or(|ax| ax + 2 < r)
+                    && match p.tp {
+                        Tp::Shard(ax) => ax + 2 < r,
+                        Tp::Rep => true,
+                        Tp::Partial => false,
+                    }
+            };
+            for i in 1..=2 {
+                let q = p_of(i);
+                if q.dp != pq.dp || q.tp != pq.tp {
+                    return Err(GraphError::Partition(
+                        "fused attention operands must share one batch/head sharding",
+                    ));
+                }
+            }
+            if !above_matrix(&pq) {
+                return Err(GraphError::Partition(
+                    "cannot shard the sequence/feature axes of fused attention",
+                ));
+            }
+            if *masked {
+                let pm = p_of(3);
+                if pm.dp.is_some() || pm.tp != Tp::Rep {
+                    return Err(GraphError::Partition(
+                        "fused attention mask must be replicated",
+                    ));
+                }
+            }
+            pq
+        }
+        OpKind::FusedSoftmaxMatMul => {
+            let (px, pv) = (p_of(0), p_of(1));
+            let r = rank_of(0);
+            if px.dp != pv.dp || px.tp != pv.tp {
+                return Err(GraphError::Partition(
+                    "fused softmax-matmul operands must share one batch sharding",
+                ));
+            }
+            let ok = px.dp.is_none_or(|ax| ax + 2 < r)
+                && match px.tp {
+                    Tp::Shard(ax) => ax + 2 < r,
+                    Tp::Rep => true,
+                    Tp::Partial => false,
+                };
+            if !ok {
+                return Err(GraphError::Partition(
+                    "cannot shard the matrix axes of fused softmax-matmul",
+                ));
+            }
+            px
+        }
         OpKind::Collective(_) => return Err(GraphError::Partition("graph is already partitioned")),
     })
 }

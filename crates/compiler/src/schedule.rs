@@ -101,6 +101,9 @@ impl GraphCompiler {
         if self.opts.fuse_elementwise {
             g = crate::fusion::fuse_elementwise(&g)?.0;
         }
+        if self.opts.fuse_attention {
+            g = crate::attention_fusion::fuse_attention(&g)?.0;
+        }
         let plan = self.schedule(&g, None);
         Ok((g, plan))
     }
@@ -140,6 +143,9 @@ impl GraphCompiler {
         }
         if self.opts.fuse_elementwise {
             g = crate::fusion::fuse_elementwise(&g)?.0;
+        }
+        if self.opts.fuse_attention {
+            g = crate::attention_fusion::fuse_attention(&g)?.0;
         }
         let plan = self.schedule(&g, Some(comm));
         Ok((g, plan))

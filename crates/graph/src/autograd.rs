@@ -204,7 +204,9 @@ pub fn backward(g: &mut Graph, loss: NodeId) -> Result<HashMap<NodeId, NodeId>, 
                 accumulate_into(g, &mut grads, logits, dl)?;
             }
             // Fused nodes only exist after the (post-autograd) fusion pass.
-            OpKind::FusedElementwise(_) => return Err(GraphError::Autograd("fused chains")),
+            OpKind::FusedElementwise(_)
+            | OpKind::FusedAttention { .. }
+            | OpKind::FusedSoftmaxMatMul => return Err(GraphError::Autograd("fused chains")),
             OpKind::Collective(_) => return Err(GraphError::Autograd("collectives")),
             // Adjoint ops themselves are not differentiated further.
             OpKind::ActivationGrad(_)

@@ -563,6 +563,78 @@ impl Graph {
         self.collective(CollectiveKind::Broadcast, a)
     }
 
+    /// Fused scaled-dot-product attention over `(q, k, v[, mask])` with
+    /// `k` *untransposed*: `q [..., n, d]`, `k/v [..., m, d]`, optional
+    /// additive `mask` broadcastable to `[..., n, m]`. Output is
+    /// `[..., n, dv]`. Normally inserted by the compiler's attention-fusion
+    /// pass rather than built directly by models.
+    pub fn fused_attention(
+        &mut self,
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        mask: Option<NodeId>,
+        scale: f32,
+    ) -> Result<NodeId, GraphError> {
+        let (qs, ks, vs) = (self.shape(q), self.shape(k), self.shape(v));
+        let r = qs.rank();
+        if ks.rank() != r || vs.rank() != r || r < 2 {
+            return Err(GraphError::Rank {
+                what: "fused attention operands must share rank >= 2",
+            });
+        }
+        if qs.dims()[..r - 2] != ks.dims()[..r - 2] || ks.dims()[..r - 2] != vs.dims()[..r - 2] {
+            return Err(TensorError::MatmulMismatch { lhs: qs, rhs: ks }.into());
+        }
+        // Scores contract q's head dim against k's; V rows match K rows.
+        if qs.dim(r - 1) != ks.dim(r - 1) || ks.dim(r - 2) != vs.dim(r - 2) {
+            return Err(TensorError::MatmulMismatch { lhs: qs, rhs: ks }.into());
+        }
+        let mut dims = qs.dims().to_vec();
+        dims[r - 1] = vs.dim(r - 1);
+        let shape = Shape::new(&dims)?;
+        if let Some(m) = mask {
+            // The mask adds onto the [..., n, m] score tile.
+            let mut score_dims = qs.dims().to_vec();
+            score_dims[r - 1] = ks.dim(r - 2);
+            let scores = Shape::new(&score_dims)?;
+            if Shape::broadcast(&self.shape(m), &scores)? != scores {
+                return Err(TensorError::BroadcastMismatch {
+                    lhs: self.shape(m),
+                    rhs: scores,
+                }
+                .into());
+            }
+            self.push_node(
+                OpKind::FusedAttention {
+                    scale,
+                    masked: true,
+                },
+                &[q, k, v, m],
+                shape,
+                "",
+            )
+        } else {
+            self.push_node(
+                OpKind::FusedAttention {
+                    scale,
+                    masked: false,
+                },
+                &[q, k, v],
+                shape,
+                "",
+            )
+        }
+    }
+
+    /// Fused `softmax(x) · v` over the last axis: `x [..., n, m]`,
+    /// `v [..., m, d]` → `[..., n, d]`, with the row softmax streamed into
+    /// the matmul instead of materializing. Inserted by the fusion pass.
+    pub fn fused_softmax_matmul(&mut self, x: NodeId, v: NodeId) -> Result<NodeId, GraphError> {
+        let shape = infer_matmul(self.shape(x), self.shape(v))?;
+        self.push_node(OpKind::FusedSoftmaxMatMul, &[x, v], shape, "")
+    }
+
     /// Attach a trace name to the most recently created node.
     pub fn name_last(&mut self, name: &str) {
         if let Some(n) = self.nodes.last_mut() {
@@ -798,6 +870,39 @@ mod tests {
         assert_eq!(cons[x.index()], vec![a, b]);
         assert_eq!(cons[a.index()], vec![c]);
         assert!(cons[c.index()].is_empty());
+    }
+
+    #[test]
+    fn fused_attention_shapes() {
+        let mut g = Graph::new();
+        let q = g.input("q", &[2, 4, 16, 8]).unwrap();
+        let k = g.input("k", &[2, 4, 32, 8]).unwrap();
+        let v = g.input("v", &[2, 4, 32, 8]).unwrap();
+        let o = g.fused_attention(q, k, v, None, 0.5).unwrap();
+        assert_eq!(g.shape(o).dims(), &[2, 4, 16, 8]);
+        let mask = g.input("mask", &[16, 32]).unwrap();
+        let om = g.fused_attention(q, k, v, Some(mask), 0.5).unwrap();
+        assert_eq!(g.shape(om).dims(), &[2, 4, 16, 8]);
+        assert!(matches!(
+            g.node(om).kind,
+            OpKind::FusedAttention { masked: true, .. }
+        ));
+        // Head-dim mismatch is rejected.
+        let bad = g.input("bad", &[2, 4, 32, 4]).unwrap();
+        assert!(g.fused_attention(q, bad, v, None, 0.5).is_err());
+        // A mask that cannot broadcast onto the score tile is rejected.
+        let bad_mask = g.input("bad_mask", &[16, 31]).unwrap();
+        assert!(g.fused_attention(q, k, v, Some(bad_mask), 0.5).is_err());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn fused_softmax_matmul_shapes() {
+        let mut g = Graph::new();
+        let x = g.input("x", &[2, 4, 16, 32]).unwrap();
+        let v = g.input("v", &[2, 4, 32, 8]).unwrap();
+        let o = g.fused_softmax_matmul(x, v).unwrap();
+        assert_eq!(g.shape(o).dims(), &[2, 4, 16, 8]);
     }
 
     #[test]

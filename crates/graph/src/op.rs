@@ -199,6 +199,22 @@ pub enum OpKind {
     /// to right in one TPC kernel launch. Produced only by the fusion pass;
     /// never built directly by models.
     FusedElementwise(Vec<OpKind>),
+    /// A compiler-fused scaled-dot-product attention over inputs
+    /// `(Q, K, V[, mask])` — K *untransposed*; the attention-fusion pass
+    /// absorbs the `Transpose` feeding the score matmul together with the
+    /// scale/mask/softmax chain. Executed as one tiled FlashAttention-style
+    /// kernel with running max/sum rescaling, so the S×S score matrix never
+    /// materializes in HBM. Produced only by the fusion pass.
+    FusedAttention {
+        /// Score scaling factor (`1/√head_dim`).
+        scale: f32,
+        /// Whether a fourth additive-mask operand is present.
+        masked: bool,
+    },
+    /// A compiler-fused `softmax(X) · V`: inputs `(X, V)`, the row softmax
+    /// feeds the matmul tile-by-tile without a round trip through HBM.
+    /// Produced only by the fusion pass.
+    FusedSoftmaxMatMul,
     /// An inter-device collective over the RoCE fabric. Inserted by the
     /// compiler's partitioning pass; single input = this device's shard.
     Collective(CollectiveKind),
@@ -248,6 +264,14 @@ impl OpKind {
                 let parts: Vec<String> = ops.iter().map(|o| o.label()).collect();
                 format!("fused({})", parts.join("+"))
             }
+            OpKind::FusedAttention { masked, .. } => {
+                if *masked {
+                    "fused_attention(masked)".into()
+                } else {
+                    "fused_attention".into()
+                }
+            }
+            OpKind::FusedSoftmaxMatMul => "fused_softmax_matmul".into(),
             OpKind::Collective(c) => c.name().into(),
         }
     }
@@ -291,6 +315,14 @@ impl OpKind {
             | OpKind::ActivationGrad(_)
             | OpKind::Einsum(_) => 2,
             OpKind::LayerNorm { .. } | OpKind::LayerNormGrad { .. } => 3,
+            OpKind::FusedAttention { masked, .. } => {
+                if *masked {
+                    4
+                } else {
+                    3
+                }
+            }
+            OpKind::FusedSoftmaxMatMul => 2,
             _ => 1,
         })
     }

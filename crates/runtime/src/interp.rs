@@ -112,6 +112,26 @@ pub fn eval_node(_graph: &Graph, node: &Node, inputs: &[&Tensor]) -> Result<Tens
             }
             value
         }
+        // The fused kernels are numerically *defined* as the composition of
+        // the unfused reference ops, evaluated in the same order — so the
+        // fusion pass is bit-exact at the graph level (the online-softmax
+        // tiling lives in the TPC VM and cost model, not here).
+        OpKind::FusedAttention { scale, masked } => {
+            let kt = inputs[1].transpose_last2()?;
+            let scores = ops::matmul(inputs[0], &kt)?;
+            let scaled = ops::scalar_mul(&scores, *scale);
+            let pre = if *masked {
+                ops::add(&scaled, inputs[3])?
+            } else {
+                scaled
+            };
+            let probs = ops::softmax_last_axis(&pre)?;
+            ops::matmul(&probs, inputs[2])?
+        }
+        OpKind::FusedSoftmaxMatMul => {
+            let probs = ops::softmax_last_axis(inputs[0])?;
+            ops::matmul(&probs, inputs[1])?
+        }
     };
     debug_assert_eq!(
         out.dims(),

@@ -1,0 +1,688 @@
+//! Tiled FlashAttention-style fused attention and fused softmax-matmul.
+//!
+//! The Fig. 4 trace shows why these kernels exist: softmax attention
+//! round-trips an `S×S` score matrix through HBM three times (scores out,
+//! softmax in/out, probabilities back in for the `P·V` matmul), and the MME
+//! sits idle while the memory-bound TPC passes grind. The fused kernels
+//! below keep every intermediate in the 80 KB vector local memory:
+//!
+//! * [`fused_attention_rows`] computes `softmax(scale·Q Kᵀ [+ mask]) · V`
+//!   with one index-space member per query row, looping over KV tiles of 64
+//!   keys with **online softmax** — running row max `m` and normalizer `l`
+//!   are carried across tiles, the output accumulator is rescaled by
+//!   `exp(m_prev − m_next)` whenever the max moves, and the score tile
+//!   lives only in registers/local memory. No `S×S` buffer ever reaches
+//!   global memory.
+//! * [`fused_softmax_matmul_rows`] fuses a row softmax directly into the
+//!   following matmul: the probability row is staged in local memory and
+//!   consumed by the `P·V` accumulation at 1-cycle local-load cost, instead
+//!   of being written to HBM and re-read scalar-by-scalar at 4 cycles.
+//!
+//! Both return the usual [`LaunchResult`] so callers can compare cycle
+//! counts against the unfused `softmax_rows` + `bmm_tpc` pipeline.
+
+use super::require_aligned;
+use crate::isa::{Instr::*, Kernel, VECTOR_LANES};
+use crate::launch::{launch, Bindings, LaunchError, LaunchResult};
+use crate::vm::VLM_ELEMS;
+use gaudi_hw::config::TpcConfig;
+use gaudi_tensor::Tensor;
+
+/// Fused scaled-dot-product attention over `q [B, N, D]`, `k/v [B, M, Dv]`
+/// (with `k [B, M, D]`), and an optional additive `mask [N, M]` shared
+/// across the batch. Returns `softmax(scale · q kᵀ [+ mask]) · v` of shape
+/// `[B, N, Dv]`.
+///
+/// One index-space member owns one query row: it stages its Q row and the
+/// output accumulator in vector local memory, then walks the keys in
+/// 64-wide tiles carrying the online-softmax running max/sum. `D`, `Dv`,
+/// and `M` must be 64-aligned; `D + Dv + 64` must fit local memory.
+///
+/// K is read in transposed order (the launcher stages `kᵀ` as the
+/// stationary operand, the same layout choice the MME makes); the global
+/// access count is unchanged, and — unlike the unfused pipeline — the
+/// `N×M` score matrix never touches global memory at all.
+pub fn fused_attention_rows(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    mask: Option<&Tensor>,
+    scale: f32,
+    cfg: &TpcConfig,
+) -> Result<LaunchResult, LaunchError> {
+    assert_eq!(q.shape().rank(), 3, "fused_attention expects rank-3 q");
+    assert_eq!(k.shape().rank(), 3, "fused_attention expects rank-3 k");
+    assert_eq!(v.shape().rank(), 3, "fused_attention expects rank-3 v");
+    let (batch, n, d) = (q.dims()[0], q.dims()[1], q.dims()[2]);
+    let (kb, m, kd) = (k.dims()[0], k.dims()[1], k.dims()[2]);
+    let (vb, vm, dv) = (v.dims()[0], v.dims()[1], v.dims()[2]);
+    assert_eq!(batch, kb, "batch mismatch");
+    assert_eq!(batch, vb, "batch mismatch");
+    assert_eq!(d, kd, "head-dim mismatch");
+    assert_eq!(m, vm, "key/value row mismatch");
+    require_aligned(d, "fused_attention (d)");
+    require_aligned(dv, "fused_attention (dv)");
+    require_aligned(m, "fused_attention (m)");
+    assert!(
+        d + dv + VECTOR_LANES <= VLM_ELEMS,
+        "q row + accumulator + score tile must fit vector local memory"
+    );
+    if let Some(mk) = mask {
+        assert_eq!(mk.dims(), [n, m], "mask must be [n, m]");
+    }
+
+    // The kernel reads K feature-major so a key tile is one vector load.
+    let kt = k.transpose_last2().map_err(LaunchError::Shape)?;
+
+    let ktiles = m / VECTOR_LANES;
+    let dtrips = d / VECTOR_LANES;
+    let dvtrips = dv / VECTOR_LANES;
+    let step = VECTOR_LANES as f32;
+    // VLM layout: [0, d) q row | [d, d+dv) accumulator | [d+dv, ..) p tile.
+    let scores_base = (d + dv) as f32;
+    let out_slot = if mask.is_some() { 4 } else { 3 };
+
+    let mut program = vec![
+        // S4 = q row base = (b*n + i)*d
+        MulSImm {
+            dst: 4,
+            a: 0,
+            imm: n as f32,
+        },
+        AddS { dst: 4, a: 4, b: 1 },
+        MulSImm {
+            dst: 4,
+            a: 4,
+            imm: d as f32,
+        },
+        // S5 = kt base = b*d*m, S22 = v base = b*m*dv
+        MulSImm {
+            dst: 5,
+            a: 0,
+            imm: (d * m) as f32,
+        },
+        MulSImm {
+            dst: 22,
+            a: 0,
+            imm: (m * dv) as f32,
+        },
+        // S25 = mask row base = i*m (dead if unmasked), S26 = p-tile base.
+        MulSImm {
+            dst: 25,
+            a: 1,
+            imm: m as f32,
+        },
+        MovSImm {
+            dst: 26,
+            imm: scores_base,
+        },
+        // Stage the Q row into local memory.
+        Loop {
+            counter: 7,
+            start: 0.0,
+            step,
+            trip: dtrips,
+            body: vec![
+                AddS { dst: 9, a: 4, b: 7 },
+                LdTnsrV {
+                    dst: 2,
+                    tensor: 0,
+                    off: 9,
+                },
+                StVlmV { addr: 7, src: 2 },
+            ],
+        },
+        // Zero the output accumulator.
+        MovVImm { dst: 6, imm: 0.0 },
+        Loop {
+            counter: 8,
+            start: d as f32,
+            step,
+            trip: dvtrips,
+            body: vec![StVlmV { addr: 8, src: 6 }],
+        },
+        // Online-softmax carries: S20 = running max, S21 = running sum.
+        MovSImm {
+            dst: 20,
+            imm: f32::NEG_INFINITY,
+        },
+        MovSImm { dst: 21, imm: 0.0 },
+    ];
+
+    // The KV tile loop.
+    let mut tile_body = vec![
+        // Score tile: V0[j] = q · k_(tile+j), accumulated feature-by-feature.
+        MovVImm { dst: 0, imm: 0.0 },
+        Loop {
+            counter: 7, // kk: feature index
+            start: 0.0,
+            step: 1.0,
+            trip: d,
+            body: vec![
+                LdVlmS { dst: 10, addr: 7 },
+                BcastV { dst: 1, src: 10 },
+                MulSImm {
+                    dst: 11,
+                    a: 7,
+                    imm: m as f32,
+                },
+                AddS {
+                    dst: 11,
+                    a: 11,
+                    b: 5,
+                },
+                AddS {
+                    dst: 11,
+                    a: 11,
+                    b: 6,
+                },
+                LdTnsrV {
+                    dst: 2,
+                    tensor: 1,
+                    off: 11,
+                },
+                MacV { dst: 0, a: 1, b: 2 },
+            ],
+        },
+        MulVImm {
+            dst: 0,
+            a: 0,
+            imm: scale,
+        },
+    ];
+    if mask.is_some() {
+        tile_body.extend([
+            AddS {
+                dst: 18,
+                a: 25,
+                b: 6,
+            },
+            LdTnsrV {
+                dst: 3,
+                tensor: 3,
+                off: 18,
+            },
+            AddV { dst: 0, a: 0, b: 3 },
+        ]);
+    }
+    tile_body.extend([
+        // m_next = max(m_prev, tile max); p = exp(s - m_next).
+        RedMaxV { dst: 12, src: 0 },
+        MaxS {
+            dst: 13,
+            a: 20,
+            b: 12,
+        },
+        BcastV { dst: 4, src: 13 },
+        SubV { dst: 0, a: 0, b: 4 },
+        ExpV { dst: 0, a: 0 },
+        StVlmV { addr: 26, src: 0 },
+        RedSumV { dst: 14, src: 0 },
+        // alpha = exp(m_prev - m_next); l = alpha*l + sum(p).
+        SubS {
+            dst: 15,
+            a: 20,
+            b: 13,
+        },
+        BcastV { dst: 5, src: 15 },
+        ExpV { dst: 5, a: 5 },
+        RedMaxV { dst: 15, src: 5 },
+        MulS {
+            dst: 21,
+            a: 21,
+            b: 15,
+        },
+        AddS {
+            dst: 21,
+            a: 21,
+            b: 14,
+        },
+        MovSS { dst: 20, src: 13 },
+        // Rescale the accumulator by alpha and fold in this tile's P·V.
+        Loop {
+            counter: 8, // jd: output feature chunk
+            start: 0.0,
+            step,
+            trip: dvtrips,
+            body: vec![
+                AddSImm {
+                    dst: 16,
+                    a: 8,
+                    imm: d as f32,
+                },
+                LdVlmV { dst: 6, addr: 16 },
+                MulV { dst: 6, a: 6, b: 5 },
+                Loop {
+                    counter: 9, // j: key within the tile
+                    start: 0.0,
+                    step: 1.0,
+                    trip: VECTOR_LANES,
+                    body: vec![
+                        AddS {
+                            dst: 18,
+                            a: 26,
+                            b: 9,
+                        },
+                        LdVlmS { dst: 17, addr: 18 },
+                        BcastV { dst: 7, src: 17 },
+                        AddS {
+                            dst: 19,
+                            a: 6,
+                            b: 9,
+                        },
+                        MulSImm {
+                            dst: 19,
+                            a: 19,
+                            imm: dv as f32,
+                        },
+                        AddS {
+                            dst: 19,
+                            a: 19,
+                            b: 22,
+                        },
+                        AddS {
+                            dst: 19,
+                            a: 19,
+                            b: 8,
+                        },
+                        LdTnsrV {
+                            dst: 8,
+                            tensor: 2,
+                            off: 19,
+                        },
+                        MacV { dst: 6, a: 7, b: 8 },
+                    ],
+                },
+                StVlmV { addr: 16, src: 6 },
+            ],
+        },
+    ]);
+    program.push(Loop {
+        counter: 6, // KV tile offset, in key units
+        start: 0.0,
+        step,
+        trip: ktiles,
+        body: tile_body,
+    });
+
+    // Finalize: out row = acc / l.
+    program.extend([
+        RcpS { dst: 23, a: 21 },
+        BcastV { dst: 9, src: 23 },
+        MulSImm {
+            dst: 24,
+            a: 0,
+            imm: n as f32,
+        },
+        AddS {
+            dst: 24,
+            a: 24,
+            b: 1,
+        },
+        MulSImm {
+            dst: 24,
+            a: 24,
+            imm: dv as f32,
+        },
+        Loop {
+            counter: 8,
+            start: 0.0,
+            step,
+            trip: dvtrips,
+            body: vec![
+                AddSImm {
+                    dst: 16,
+                    a: 8,
+                    imm: d as f32,
+                },
+                LdVlmV { dst: 6, addr: 16 },
+                MulV { dst: 6, a: 6, b: 9 },
+                AddS {
+                    dst: 17,
+                    a: 24,
+                    b: 8,
+                },
+                StTnsrV {
+                    tensor: out_slot,
+                    off: 17,
+                    src: 6,
+                },
+            ],
+        },
+    ]);
+
+    let kernel = Kernel {
+        name: "fused_attention".into(),
+        index_space: vec![batch, n],
+        program,
+    };
+    let mut inputs = vec![q, &kt, v];
+    if let Some(mk) = mask {
+        inputs.push(mk);
+    }
+    launch(
+        &kernel,
+        &Bindings {
+            inputs,
+            output_dims: vec![batch, n, dv],
+            args: vec![],
+        },
+        cfg,
+    )
+}
+
+/// Fused `softmax(x) · v` for `x [B, N, M]`, `v [B, M, Dv]` → `[B, N, Dv]`.
+///
+/// One member per output row: the row softmax is computed with the usual
+/// max/exp/sum passes but the probability row is *staged in local memory*
+/// and consumed by the matmul at 1-cycle loads — it never round-trips
+/// through global memory the way `softmax_rows` + `bmm_tpc` forces.
+/// `M` and `Dv` must be 64-aligned and `M` must fit local memory.
+pub fn fused_softmax_matmul_rows(
+    x: &Tensor,
+    v: &Tensor,
+    cfg: &TpcConfig,
+) -> Result<LaunchResult, LaunchError> {
+    assert_eq!(x.shape().rank(), 3, "fused_softmax_matmul expects rank-3 x");
+    assert_eq!(v.shape().rank(), 3, "fused_softmax_matmul expects rank-3 v");
+    let (batch, n, m) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    let (vb, vm, dv) = (v.dims()[0], v.dims()[1], v.dims()[2]);
+    assert_eq!(batch, vb, "batch mismatch");
+    assert_eq!(m, vm, "inner-dim mismatch");
+    require_aligned(m, "fused_softmax_matmul (m)");
+    require_aligned(dv, "fused_softmax_matmul (dv)");
+    assert!(m <= VLM_ELEMS, "probability row must fit local memory");
+
+    let mtrips = m / VECTOR_LANES;
+    let dvtrips = dv / VECTOR_LANES;
+    let step = VECTOR_LANES as f32;
+
+    let program = vec![
+        // S4 = x row base, S22 = v base, S24 = out row base.
+        MulSImm {
+            dst: 4,
+            a: 0,
+            imm: n as f32,
+        },
+        AddS { dst: 4, a: 4, b: 1 },
+        MulSImm {
+            dst: 24,
+            a: 4,
+            imm: dv as f32,
+        },
+        MulSImm {
+            dst: 4,
+            a: 4,
+            imm: m as f32,
+        },
+        MulSImm {
+            dst: 22,
+            a: 0,
+            imm: (m * dv) as f32,
+        },
+        // Pass 1: row max.
+        MovVImm {
+            dst: 0,
+            imm: f32::NEG_INFINITY,
+        },
+        Loop {
+            counter: 6,
+            start: 0.0,
+            step,
+            trip: mtrips,
+            body: vec![
+                AddS { dst: 7, a: 4, b: 6 },
+                LdTnsrV {
+                    dst: 1,
+                    tensor: 0,
+                    off: 7,
+                },
+                MaxV { dst: 0, a: 0, b: 1 },
+            ],
+        },
+        RedMaxV { dst: 12, src: 0 },
+        BcastV { dst: 2, src: 12 },
+        // Pass 2: exp(x - max) staged into local memory, sum accumulated.
+        MovVImm { dst: 3, imm: 0.0 },
+        Loop {
+            counter: 6,
+            start: 0.0,
+            step,
+            trip: mtrips,
+            body: vec![
+                AddS { dst: 7, a: 4, b: 6 },
+                LdTnsrV {
+                    dst: 1,
+                    tensor: 0,
+                    off: 7,
+                },
+                SubV { dst: 1, a: 1, b: 2 },
+                ExpV { dst: 1, a: 1 },
+                AddV { dst: 3, a: 3, b: 1 },
+                StVlmV { addr: 6, src: 1 },
+            ],
+        },
+        RedSumV { dst: 9, src: 3 },
+        RcpS { dst: 9, a: 9 },
+        BcastV { dst: 4, src: 9 },
+        // Pass 3: P·V straight out of local memory.
+        Loop {
+            counter: 8, // jd: output feature chunk
+            start: 0.0,
+            step,
+            trip: dvtrips,
+            body: vec![
+                MovVImm { dst: 6, imm: 0.0 },
+                Loop {
+                    counter: 10, // j: key index
+                    start: 0.0,
+                    step: 1.0,
+                    trip: m,
+                    body: vec![
+                        LdVlmS { dst: 11, addr: 10 },
+                        BcastV { dst: 7, src: 11 },
+                        MulSImm {
+                            dst: 13,
+                            a: 10,
+                            imm: dv as f32,
+                        },
+                        AddS {
+                            dst: 13,
+                            a: 13,
+                            b: 22,
+                        },
+                        AddS {
+                            dst: 13,
+                            a: 13,
+                            b: 8,
+                        },
+                        LdTnsrV {
+                            dst: 8,
+                            tensor: 1,
+                            off: 13,
+                        },
+                        MacV { dst: 6, a: 7, b: 8 },
+                    ],
+                },
+                MulV { dst: 6, a: 6, b: 4 },
+                AddS {
+                    dst: 14,
+                    a: 24,
+                    b: 8,
+                },
+                StTnsrV {
+                    tensor: 2,
+                    off: 14,
+                    src: 6,
+                },
+            ],
+        },
+    ];
+    let kernel = Kernel {
+        name: "fused_softmax_matmul".into(),
+        index_space: vec![batch, n],
+        program,
+    };
+    launch(
+        &kernel,
+        &Bindings {
+            inputs: vec![x, v],
+            output_dims: vec![batch, n, dv],
+            args: vec![],
+        },
+        cfg,
+    )
+}
+
+/// Cycle count of the *unfused* reference pipeline for the same shapes:
+/// `softmax_rows` over the scores plus `bmm_tpc` for `P·V` — the two
+/// launches the fused kernel replaces (score GEMM excluded; the MME owns
+/// it in both configurations).
+pub fn unfused_softmax_matmul_cycles(
+    x: &Tensor,
+    v: &Tensor,
+    cfg: &TpcConfig,
+) -> Result<(Tensor, f64), LaunchError> {
+    let sm = super::softmax_rows(x, cfg)?;
+    let pv = super::bmm_tpc(&sm.output, v, cfg)?;
+    Ok((pv.output, sm.critical_cycles + pv.critical_cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaudi_tensor::{ops, SeededRng};
+
+    fn reference_attention(
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        mask: Option<&Tensor>,
+        scale: f32,
+    ) -> Tensor {
+        let kt = k.transpose_last2().unwrap();
+        let scores = ops::bmm(q, &kt).unwrap();
+        let mut scaled = ops::scalar_mul(&scores, scale);
+        if let Some(m) = mask {
+            scaled = ops::add(&scaled, m).unwrap();
+        }
+        let p = ops::softmax_last_axis(&scaled).unwrap();
+        ops::bmm(&p, v).unwrap()
+    }
+
+    #[test]
+    fn fused_attention_matches_reference() {
+        let mut rng = SeededRng::new(31);
+        let q = Tensor::randn(&[2, 5, 64], 0.5, &mut rng).unwrap();
+        let k = Tensor::randn(&[2, 128, 64], 0.5, &mut rng).unwrap();
+        let v = Tensor::randn(&[2, 128, 64], 0.5, &mut rng).unwrap();
+        let scale = 1.0 / 8.0;
+        let r = fused_attention_rows(&q, &k, &v, None, scale, &TpcConfig::default()).unwrap();
+        let expect = reference_attention(&q, &k, &v, None, scale);
+        assert!(r.output.max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn masked_fused_attention_matches_reference() {
+        let mut rng = SeededRng::new(32);
+        let (n, m) = (64, 64);
+        let q = Tensor::randn(&[1, n, 64], 0.5, &mut rng).unwrap();
+        let k = Tensor::randn(&[1, m, 64], 0.5, &mut rng).unwrap();
+        let v = Tensor::randn(&[1, m, 64], 0.5, &mut rng).unwrap();
+        // Causal mask with the large-negative (not -inf) convention.
+        let mut mk = vec![0.0f32; n * m];
+        for i in 0..n {
+            for j in (i + 1)..m {
+                mk[i * m + j] = -1e9;
+            }
+        }
+        let mask = Tensor::from_vec(&[n, m], mk).unwrap();
+        let scale = 1.0 / 8.0;
+        let r =
+            fused_attention_rows(&q, &k, &v, Some(&mask), scale, &TpcConfig::default()).unwrap();
+        let expect = reference_attention(&q, &k, &v, Some(&mask), scale);
+        assert!(r.output.max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn online_rescaling_survives_hostile_score_ranges() {
+        // Tiles whose maxima climb steeply force repeated accumulator
+        // rescaling; the online softmax must stay finite and exact.
+        let (m, d) = (256, 64);
+        let q = Tensor::ones(&[1, 1, d]).unwrap();
+        let mut kv = vec![0.0f32; m * d];
+        for (j, row) in kv.chunks_mut(d).enumerate() {
+            row[0] = j as f32; // scores 0, 4, 8, ... with scale 4/d
+        }
+        let k = Tensor::from_vec(&[1, m, d], kv).unwrap();
+        let mut rng = SeededRng::new(33);
+        let v = Tensor::randn(&[1, m, d], 1.0, &mut rng).unwrap();
+        let r =
+            fused_attention_rows(&q, &k, &v, None, 4.0 / d as f32, &TpcConfig::default()).unwrap();
+        assert!(r.output.all_finite());
+        let expect = reference_attention(&q, &k, &v, None, 4.0 / d as f32);
+        assert!(r.output.max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn fused_softmax_matmul_matches_reference() {
+        let mut rng = SeededRng::new(34);
+        let x = Tensor::randn(&[2, 7, 128], 2.0, &mut rng).unwrap();
+        let v = Tensor::randn(&[2, 128, 64], 0.5, &mut rng).unwrap();
+        let r = fused_softmax_matmul_rows(&x, &v, &TpcConfig::default()).unwrap();
+        let p = ops::softmax_last_axis(&x).unwrap();
+        let expect = ops::bmm(&p, &v).unwrap();
+        assert!(r.output.max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn fusion_beats_the_unfused_pipeline() {
+        // The whole point: keeping P in local memory must cut TPC cycles
+        // versus softmax-to-HBM followed by a matmul that re-reads it.
+        let cfg = TpcConfig::default();
+        let mut rng = SeededRng::new(35);
+        let x = Tensor::randn(&[1, 64, 256], 1.0, &mut rng).unwrap();
+        let v = Tensor::randn(&[1, 256, 64], 0.5, &mut rng).unwrap();
+        let fused = fused_softmax_matmul_rows(&x, &v, &cfg).unwrap();
+        let (unfused_out, unfused_cycles) = unfused_softmax_matmul_cycles(&x, &v, &cfg).unwrap();
+        assert!(fused.output.max_abs_diff(&unfused_out) < 1e-4);
+        assert!(
+            fused.critical_cycles < unfused_cycles,
+            "fused {} vs unfused {}",
+            fused.critical_cycles,
+            unfused_cycles
+        );
+    }
+
+    #[test]
+    fn decode_shape_single_query_row() {
+        // Decode: one query token against a long KV context, batch > 1.
+        let mut rng = SeededRng::new(36);
+        let q = Tensor::randn(&[4, 1, 64], 0.5, &mut rng).unwrap();
+        let k = Tensor::randn(&[4, 512, 64], 0.5, &mut rng).unwrap();
+        let v = Tensor::randn(&[4, 512, 64], 0.5, &mut rng).unwrap();
+        let scale = 0.125;
+        let r = fused_attention_rows(&q, &k, &v, None, scale, &TpcConfig::default()).unwrap();
+        let expect = reference_attention(&q, &k, &v, None, scale);
+        assert!(r.output.max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn cycles_scale_linearly_in_kv_length() {
+        // Unlike the unfused pipeline (whose HBM traffic is quadratic in
+        // S through the materialized score matrix), the fused kernel's
+        // per-row work is linear in the KV length.
+        let cfg = TpcConfig::default();
+        let d = 64;
+        let mk = |m: usize| {
+            let q = Tensor::ones(&[1, 8, d]).unwrap();
+            let k = Tensor::ones(&[1, m, d]).unwrap();
+            let v = Tensor::ones(&[1, m, d]).unwrap();
+            fused_attention_rows(&q, &k, &v, None, 0.125, &cfg).unwrap()
+        };
+        let a = mk(128);
+        let b = mk(256);
+        let ratio = b.cycles_per_member / a.cycles_per_member;
+        assert!((1.7..2.3).contains(&ratio), "ratio={ratio}");
+    }
+}

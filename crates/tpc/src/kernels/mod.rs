@@ -7,12 +7,16 @@
 //! kernels require the row length to be a multiple of the 64-lane vector
 //! width (the natural TPC tile); the builders check this.
 
+pub mod attention;
 pub mod elementwise;
 pub mod layernorm;
 pub mod matmul;
 pub mod reduce;
 pub mod softmax;
 
+pub use attention::{
+    fused_attention_rows, fused_softmax_matmul_rows, unfused_softmax_matmul_cycles,
+};
 pub use elementwise::{kelu, kexp, kgelu, krelu, kscale_add, ksigmoid, kvec_add, kvec_mul, memset};
 pub use layernorm::layernorm_rows;
 pub use matmul::{bmm_tpc, bmm_tpc_blocked};

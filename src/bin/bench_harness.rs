@@ -385,4 +385,54 @@ fn main() {
     let out7 = std::path::Path::new("results").join("BENCH_7.json");
     std::fs::write(&out7, &json7).expect("BENCH_7.json is writable");
     println!("wrote {}", out7.display());
+
+    // --- PR 9: fused-attention compile+simulate timing. -----------------
+
+    let (gpt_prefill, _) = gaudi_models::build_prefill(&gpt, 1, 128).expect("GPT prefill builds");
+    let run_iters = if quick { 5 } else { 25 };
+    let time_phase = |opts: &gaudi_compiler::CompilerOptions| {
+        use gaudi_runtime::{Feeds, NumericsMode, Runtime};
+        let rt = Runtime::new(gaudi_hw::GaudiConfig::hls1(), opts.clone());
+        let t0 = Instant::now();
+        let mut makespan = 0.0;
+        for _ in 0..run_iters {
+            makespan = rt
+                .run(&gpt_prefill, &Feeds::auto(0), NumericsMode::ShapeOnly)
+                .expect("prefill simulates")
+                .makespan_ms;
+        }
+        (
+            t0.elapsed().as_secs_f64() * 1e3 / run_iters as f64,
+            makespan,
+        )
+    };
+    let unfused_opts = gaudi_compiler::CompilerOptions::builder()
+        .fuse_attention(false)
+        .build();
+    let (unfused_wall_ms, unfused_makespan) = time_phase(&unfused_opts);
+    let (fused_wall_ms, fused_makespan) = time_phase(&gaudi_compiler::CompilerOptions::default());
+    println!(
+        "\nfused-attention prefill cell ({run_iters} compile+simulate runs, GPT b1 s128):\n  \
+         unfused  {unfused_wall_ms:>8.3} ms/run   simulated {unfused_makespan:.3} ms\n  \
+         fused    {fused_wall_ms:>8.3} ms/run   simulated {fused_makespan:.3} ms \
+         ({:.2}x simulated speedup)",
+        unfused_makespan / fused_makespan,
+    );
+    assert!(
+        fused_makespan < unfused_makespan,
+        "the fused prefill phase must simulate strictly faster"
+    );
+
+    let json9 = format!(
+        "{{\n  \"benchmark\": \"PR-9 fused-attention prefill compile+simulate\",\n  \
+         \"quick\": {quick},\n  \"runs\": {run_iters},\n  \
+         \"unfused_wall_ms\": {unfused_wall_ms:.4},\n  \"fused_wall_ms\": {fused_wall_ms:.4},\n  \
+         \"unfused_makespan_ms\": {unfused_makespan:.6},\n  \
+         \"fused_makespan_ms\": {fused_makespan:.6},\n  \
+         \"simulated_speedup\": {:.6}\n}}\n",
+        unfused_makespan / fused_makespan,
+    );
+    let out9 = std::path::Path::new("results").join("BENCH_9.json");
+    std::fs::write(&out9, &json9).expect("BENCH_9.json is writable");
+    println!("wrote {}", out9.display());
 }

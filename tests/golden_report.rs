@@ -114,9 +114,45 @@ fn activation_budget_off_is_bit_identical_to_the_seed() {
     );
 }
 
-// Captured from the PR-6 engine; see module docs. Regenerate only for an
-// *intentional* semantic change, never for a dispatch-plumbing refactor.
-const GOLDEN_SINGLE: u64 = 798488146296404485;
-const GOLDEN_REPLICAS: u64 = 18170834330843426991;
-const GOLDEN_RESTART: u64 = 6037521723522352160;
-const GOLDEN_PAGED: u64 = 18131598337047016612;
+#[test]
+fn fused_attention_off_is_bit_identical_to_the_seed() {
+    // The fused-attention pass is the PR-9 semantic change that moved the
+    // GOLDEN_* constants. With the pass disabled the whole serving stack —
+    // cost model, recipe keys, dispatch — must reproduce the pre-fusion
+    // (PR-8) reports bit-for-bit. This is the escape hatch's contract.
+    let off = CompilerOptions::builder().fuse_attention(false).build();
+
+    let mut cfg = base_config(1);
+    cfg.opts = off.clone();
+    assert_eq!(
+        digest(&simulate(&cfg).unwrap()),
+        PRE_FUSION_SINGLE,
+        "fused-off single-card report drifted from the PR-8 engine"
+    );
+
+    let mut cfg = base_config(2);
+    cfg.opts = off;
+    cfg.kv_admission = KvAdmissionConfig::Paged { block_tokens: 8 };
+    cfg.recipes = RecipeConfig {
+        compile_ms: 4.0,
+        batch_bucket: 2,
+    };
+    assert_eq!(
+        digest(&simulate(&cfg).unwrap()),
+        PRE_FUSION_PAGED,
+        "fused-off paged+warmup report drifted from the PR-8 engine"
+    );
+}
+
+// Captured from the PR-9 engine (fused attention on by default); see module
+// docs. Regenerate only for an *intentional* semantic change, never for a
+// dispatch-plumbing refactor.
+const GOLDEN_SINGLE: u64 = 9954314753761185636;
+const GOLDEN_REPLICAS: u64 = 4843501621348461919;
+const GOLDEN_RESTART: u64 = 157496832651303279;
+const GOLDEN_PAGED: u64 = 6308117236741150665;
+
+// The PR-8 (pre-fused-attention) digests, frozen: `fuse_attention(false)`
+// must keep reproducing these forever.
+const PRE_FUSION_SINGLE: u64 = 798488146296404485;
+const PRE_FUSION_PAGED: u64 = 18131598337047016612;
