@@ -37,7 +37,7 @@
 //! overlap — with a descriptive error instead of letting last-write-wins
 //! pick a silent winner.
 
-use crate::topology::DeviceId;
+use crate::topology::{DeviceId, Topology};
 
 /// A whole-card failure at a known simulated time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,6 +155,13 @@ pub enum FaultError {
         /// The other endpoint.
         b: DeviceId,
     },
+    /// A [`FaultCampaign`] parameter is out of range: an out-of-range
+    /// cascade seed device, a spread/decay probability outside `[0, 1]`, a
+    /// non-positive down window or horizon.
+    BadCampaign {
+        /// What was wrong with the campaign.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for FaultError {
@@ -218,6 +225,9 @@ impl std::fmt::Display for FaultError {
                 "link {a}-{b} has two degradations active at the same time — \
                  their windows must not overlap"
             ),
+            FaultError::BadCampaign { reason } => {
+                write!(f, "fault campaign rejected: {reason}")
+            }
         }
     }
 }
@@ -541,6 +551,209 @@ impl FaultPlan {
     }
 }
 
+/// A correlated-fault burst model that lowers to a validated [`FaultPlan`].
+///
+/// [`FaultPlan::seeded`] draws *independent* faults: each card fails on its
+/// own coin flip. Real fleet incidents are correlated — a rack PDU trip
+/// takes down every card in a box at once, and a flapping link perturbs its
+/// neighbors. A `FaultCampaign` captures those burst shapes as plain data;
+/// [`FaultCampaign::seeded`] expands one into a concrete [`FaultPlan`]
+/// deterministically from a `u64` seed, using the [`Topology`] to resolve
+/// box membership and link adjacency.
+///
+/// Generation partitions the horizon into one slot per event and keeps each
+/// event's fault windows inside its slot, so the lowered plan passes
+/// [`FaultPlan::validate`] by construction: same-device down windows and
+/// same-edge flap windows never overlap across events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultCampaign {
+    /// Rack-level power events: each event picks one box (via
+    /// [`Topology::boxes`]) and kills *every* card in it for a shared down
+    /// window drawn from `down_ms`, modelling a PDU trip or top-of-rack
+    /// power fault.
+    RackPower {
+        /// How many power events to schedule across the horizon.
+        events: usize,
+        /// `(min, max)` down-time per event, ms (clamped to half the
+        /// per-event slot so restart windows never cross into the next
+        /// event's slot).
+        down_ms: (f64, f64),
+    },
+    /// Cascading link flaps: each event flaps the link nearest `origin`,
+    /// then spreads to neighboring links with probability
+    /// `spread * decay^(depth-1)` up to `max_depth` hops, each child flap
+    /// starting slightly after its parent — modelling a RoCE storm
+    /// propagating along the ring.
+    CascadeFlaps {
+        /// The card whose adjacent link seeds each cascade.
+        origin: DeviceId,
+        /// How many cascade events to schedule across the horizon.
+        events: usize,
+        /// Probability that a flap spreads to an untouched neighbor link at
+        /// depth 1, in `[0, 1]`.
+        spread: f64,
+        /// Multiplicative decay of the spread probability per extra hop, in
+        /// `[0, 1]`.
+        decay: f64,
+        /// Maximum cascade depth in links from the origin (0 flaps only the
+        /// origin link).
+        max_depth: usize,
+    },
+}
+
+impl FaultCampaign {
+    /// A rack-power campaign: `events` box-wide kills with per-event
+    /// down-time drawn uniformly from `down_ms`.
+    pub fn rack_power(events: usize, down_ms: (f64, f64)) -> Self {
+        FaultCampaign::RackPower { events, down_ms }
+    }
+
+    /// A cascading link-flap campaign seeded at `origin`'s adjacent link.
+    pub fn cascade_flaps(
+        origin: DeviceId,
+        events: usize,
+        spread: f64,
+        decay: f64,
+        max_depth: usize,
+    ) -> Self {
+        FaultCampaign::CascadeFlaps {
+            origin,
+            events,
+            spread,
+            decay,
+            max_depth,
+        }
+    }
+
+    /// Lower the campaign to a concrete, validated [`FaultPlan`] over
+    /// `topo` and a `horizon_ms` simulation window, fully determined by
+    /// `seed` (SplitMix64; no OS entropy anywhere).
+    ///
+    /// Rejects out-of-range parameters with
+    /// [`FaultError::BadCampaign`] — a non-positive or non-finite horizon
+    /// or down window, a cascade origin outside the topology, or
+    /// spread/decay outside `[0, 1]` — and re-validates the lowered plan
+    /// against `topo.devices` before returning it.
+    pub fn seeded(
+        &self,
+        seed: u64,
+        topo: &Topology,
+        horizon_ms: f64,
+    ) -> Result<FaultPlan, FaultError> {
+        let reject = |reason: String| Err(FaultError::BadCampaign { reason });
+        if !horizon_ms.is_finite() || horizon_ms <= 0.0 {
+            return reject(format!("horizon {horizon_ms} ms must be finite and > 0"));
+        }
+        if topo.devices == 0 {
+            return reject("topology has no devices".to_string());
+        }
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::none();
+        match *self {
+            FaultCampaign::RackPower {
+                events,
+                down_ms: (lo, hi),
+            } => {
+                if !lo.is_finite() || !hi.is_finite() || lo <= 0.0 || hi < lo {
+                    return reject(format!(
+                        "down window ({lo}, {hi}) ms must be finite with 0 < min <= max"
+                    ));
+                }
+                if events == 0 {
+                    return Ok(plan);
+                }
+                let slot = horizon_ms / events as f64;
+                let boxes = topo.boxes() as u64;
+                for e in 0..events {
+                    let b = (rng.next_u64() % boxes) as usize;
+                    let start = (e as f64 + 0.4 * rng.uniform()) * slot;
+                    // Clamp so the restart lands strictly inside this
+                    // event's slot: a later event killing the same box can
+                    // never overlap this down window.
+                    let down = (lo + (hi - lo) * rng.uniform()).min(0.5 * slot);
+                    for c in 0..topo.cards_per_box {
+                        let d = b * topo.cards_per_box + c;
+                        if d < topo.devices {
+                            plan = plan.kill_for(DeviceId(d), start, down);
+                        }
+                    }
+                }
+            }
+            FaultCampaign::CascadeFlaps {
+                origin,
+                events,
+                spread,
+                decay,
+                max_depth,
+            } => {
+                if topo.devices < 2 {
+                    return reject(format!(
+                        "cascade needs >= 2 devices for a link, topology has {}",
+                        topo.devices
+                    ));
+                }
+                if origin.index() >= topo.devices {
+                    return reject(format!(
+                        "cascade seed {origin} is out of range for {} devices",
+                        topo.devices
+                    ));
+                }
+                if !spread.is_finite() || !(0.0..=1.0).contains(&spread) {
+                    return reject(format!("spread {spread} must be in [0, 1]"));
+                }
+                if !decay.is_finite() || !(0.0..=1.0).contains(&decay) {
+                    return reject(format!("decay {decay} must be in [0, 1]"));
+                }
+                if events == 0 {
+                    return Ok(plan);
+                }
+                let slot = horizon_ms / events as f64;
+                // Ring links: link `l` joins cards `l` and `l+1`.
+                let links = topo.devices - 1;
+                let origin_link = origin.index().min(links - 1);
+                for e in 0..events {
+                    let start = (e as f64 + 0.3 * rng.uniform()) * slot;
+                    let dur = (0.15 + 0.25 * rng.uniform()) * slot;
+                    // BFS over links; each link flaps at most once per
+                    // event, and child flaps lag their parent by 2% of the
+                    // slot per hop (capped so every window stays inside the
+                    // slot — windows are half-open, so touching the slot
+                    // boundary still never overlaps the next event).
+                    let mut visited = vec![false; links];
+                    let mut frontier = vec![(origin_link, 0usize)];
+                    visited[origin_link] = true;
+                    let mut i = 0;
+                    while i < frontier.len() {
+                        let (l, depth) = frontier[i];
+                        i += 1;
+                        let lag = ((depth as f64) * 0.02).min(0.3) * slot;
+                        let factor = 0.25 + 0.5 * rng.uniform();
+                        plan = plan.flap_link(
+                            DeviceId(l),
+                            DeviceId(l + 1),
+                            factor,
+                            start + lag,
+                            start + lag + dur,
+                        );
+                        if depth >= max_depth {
+                            continue;
+                        }
+                        let p = spread * decay.powi(depth as i32);
+                        for n in [l.wrapping_sub(1), l + 1] {
+                            if n < links && !visited[n] && rng.uniform() < p {
+                                visited[n] = true;
+                                frontier.push((n, depth + 1));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        plan.validate(topo.devices)?;
+        Ok(plan)
+    }
+}
+
 /// SplitMix64: the standard 64-bit mixing PRNG. Tiny, seedable, and good
 /// enough for fault-schedule generation; keeping it local avoids a
 /// dependency from `gaudi-hw` on the tensor crate's RNG.
@@ -735,6 +948,126 @@ mod tests {
             speedup.validate(1),
             Err(FaultError::BadSlowdown { .. })
         ));
+        // Zero- and negative-duration windows are rejected for every fault
+        // kind, each with its own descriptive variant.
+        let zero_down = FaultPlan::none().kill_for(DeviceId(0), 10.0, 0.0);
+        assert!(matches!(
+            zero_down.validate(1),
+            Err(FaultError::BadRestart { .. })
+        ));
+        let neg_down = FaultPlan::none().kill_for(DeviceId(0), 10.0, -5.0);
+        assert!(matches!(
+            neg_down.validate(1),
+            Err(FaultError::BadRestart { .. })
+        ));
+        let neg_flap = FaultPlan::none().flap_link(DeviceId(0), DeviceId(1), 0.5, 10.0, 5.0);
+        assert!(matches!(
+            neg_flap.validate(2),
+            Err(FaultError::BadLinkWindow { .. })
+        ));
+        let neg_slow = FaultPlan::none().slow_device(Some(DeviceId(0)), 10.0, 5.0, 2.0);
+        assert!(matches!(
+            neg_slow.validate(1),
+            Err(FaultError::BadSlowdown { .. })
+        ));
+        for plan in [zero_down, neg_down, neg_flap, neg_slow] {
+            assert!(!plan.validate(2).unwrap_err().to_string().is_empty());
+        }
+    }
+
+    fn cluster_topo(boxes: usize, cards: usize) -> Topology {
+        let cfg = crate::GaudiConfig::hls1();
+        Topology::cluster(&cfg, boxes, cards, 1.0)
+    }
+
+    #[test]
+    fn rack_power_kills_whole_boxes_deterministically() {
+        let topo = cluster_topo(4, 2);
+        let camp = FaultCampaign::rack_power(3, (10.0, 40.0));
+        let a = camp.seeded(7, &topo, 600.0).unwrap();
+        let b = camp.seeded(7, &topo, 600.0).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the plan");
+        a.validate(topo.devices).unwrap();
+        // 3 events x 2 cards per box: every kill is transient, and the two
+        // kills of one event share a box, a start time, and a down window.
+        assert_eq!(a.card_failures.len(), 6);
+        for ev in a.card_failures.chunks(2) {
+            assert_eq!(topo.box_of(ev[0].device), topo.box_of(ev[1].device));
+            assert_eq!(ev[0].at_ms, ev[1].at_ms);
+            assert_eq!(ev[0].restart_after_ms, ev[1].restart_after_ms);
+            assert!(ev[0].restart_after_ms.unwrap() > 0.0);
+        }
+        // Different seeds eventually differ.
+        assert!((0..20u64).any(|s| {
+            camp.seeded(s, &topo, 600.0).unwrap() != camp.seeded(s + 20, &topo, 600.0).unwrap()
+        }));
+    }
+
+    #[test]
+    fn cascade_flaps_stay_within_depth_and_validate() {
+        let topo = cluster_topo(1, 8);
+        let camp = FaultCampaign::cascade_flaps(DeviceId(3), 4, 0.9, 0.7, 2);
+        for seed in 0..30u64 {
+            let plan = camp.seeded(seed, &topo, 800.0).unwrap();
+            assert_eq!(plan, camp.seeded(seed, &topo, 800.0).unwrap());
+            plan.validate(topo.devices).unwrap();
+            assert!(plan.card_failures.is_empty());
+            assert!(!plan.link_degradations.is_empty(), "origin always flaps");
+            for l in &plan.link_degradations {
+                let link = l.a.index().min(l.b.index());
+                // Origin link is 3 (cards 3-4); depth 2 reaches links 1..=5.
+                assert!(
+                    (1..=5).contains(&link),
+                    "seed {seed}: link {link} beyond max_depth"
+                );
+                assert!(l.window.is_some(), "cascade flaps are always windowed");
+            }
+        }
+    }
+
+    #[test]
+    fn campaigns_reject_out_of_range_parameters() {
+        let topo = cluster_topo(2, 2);
+        let cases: Vec<(&str, Result<FaultPlan, FaultError>)> = vec![
+            (
+                "bad horizon",
+                FaultCampaign::rack_power(2, (5.0, 10.0)).seeded(1, &topo, 0.0),
+            ),
+            (
+                "zero down window",
+                FaultCampaign::rack_power(2, (0.0, 10.0)).seeded(1, &topo, 100.0),
+            ),
+            (
+                "reversed down window",
+                FaultCampaign::rack_power(2, (10.0, 5.0)).seeded(1, &topo, 100.0),
+            ),
+            (
+                "out-of-range cascade seed",
+                FaultCampaign::cascade_flaps(DeviceId(9), 2, 0.5, 0.5, 1).seeded(1, &topo, 100.0),
+            ),
+            (
+                "spread above 1",
+                FaultCampaign::cascade_flaps(DeviceId(0), 2, 1.5, 0.5, 1).seeded(1, &topo, 100.0),
+            ),
+            (
+                "negative decay",
+                FaultCampaign::cascade_flaps(DeviceId(0), 2, 0.5, -0.1, 1).seeded(1, &topo, 100.0),
+            ),
+        ];
+        for (what, res) in cases {
+            let err = res.unwrap_err();
+            assert!(
+                matches!(err, FaultError::BadCampaign { .. }),
+                "{what}: expected BadCampaign, got {err:?}"
+            );
+            let msg = err.to_string();
+            assert!(msg.starts_with("fault campaign rejected"), "{what}: {msg}");
+        }
+        // Zero events is a valid no-op, not an error.
+        let empty = FaultCampaign::rack_power(0, (5.0, 10.0))
+            .seeded(1, &topo, 100.0)
+            .unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod tpc_cost;
 
 pub use config::GaudiConfig;
 pub use engine::EngineId;
-pub use fault::{CardFailure, FaultError, FaultPlan, LinkDegradation, Slowdown};
+pub use fault::{CardFailure, FaultCampaign, FaultError, FaultPlan, LinkDegradation, Slowdown};
 pub use mme::MmeModel;
 pub use topology::{DeviceId, Link, SwitchTier, Topology};
 pub use tpc_cost::{TpcCostModel, TpcOpClass};

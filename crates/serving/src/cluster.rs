@@ -143,6 +143,19 @@ pub struct BoxSummary {
     pub goodput_tokens_per_s: f64,
     /// This box's local makespan, ms.
     pub makespan_ms: f64,
+    /// This box's card availability against its **own** makespan
+    /// ([`ServingReport::availability`] of the per-box report, captured
+    /// before the merge stretches every box to the cluster makespan).
+    pub availability: f64,
+    /// Replica restarts inside this box.
+    pub restarts: usize,
+    /// KV bytes this box's cards checkpointed to host DRAM.
+    pub checkpoint_bytes: u64,
+    /// Simulated time this box spent restoring snapshots over DMA, ms.
+    pub restore_ms: f64,
+    /// Generated tokens this box recovered from snapshots instead of
+    /// recomputing.
+    pub recovered_tokens: u64,
 }
 
 /// Result of a cluster simulation: the merged cluster-level report plus
@@ -192,9 +205,48 @@ impl ClusterReport {
         self.cross_box_requests as f64 / self.report.offered as f64
     }
 
+    /// Device-weighted cluster availability: each box contributes its own
+    /// [`BoxSummary::availability`] (measured against its *local*
+    /// makespan) weighted by its card count. This is the same weighting
+    /// fix `kv_block_utilization` needed — the naive
+    /// `self.report.availability()` divides every card's up-time by the
+    /// *cluster* makespan, under-counting boxes that finished early.
+    pub fn availability(&self) -> f64 {
+        let cards: usize = self.per_box.len() * self.cards_per_box;
+        if cards == 0 {
+            return 1.0;
+        }
+        let weighted: f64 = self
+            .per_box
+            .iter()
+            .map(|b| b.availability * self.cards_per_box as f64)
+            .sum();
+        weighted / cards as f64
+    }
+
+    /// Total replica restarts across all boxes.
+    pub fn restarts(&self) -> usize {
+        self.per_box.iter().map(|b| b.restarts).sum()
+    }
+
+    /// Total KV bytes checkpointed to host DRAM across all boxes.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.per_box.iter().map(|b| b.checkpoint_bytes).sum()
+    }
+
+    /// Total DMA restore time across all boxes, ms.
+    pub fn restore_ms(&self) -> f64 {
+        self.per_box.iter().map(|b| b.restore_ms).sum()
+    }
+
+    /// Total tokens recovered from snapshots across all boxes.
+    pub fn recovered_tokens(&self) -> u64 {
+        self.per_box.iter().map(|b| b.recovered_tokens).sum()
+    }
+
     /// One-paragraph text summary.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "cluster: {} boxes x {} cards ({} devices), router {}\n\
              offered {} | completed {} | dropped {} | goodput {:.0} tok/s\n\
              makespan {:.1} ms | ttft p99 {:.2} ms | cross-box {} ({:.1}%) | imbalance {:.3}",
@@ -211,7 +263,19 @@ impl ClusterReport {
             self.cross_box_requests,
             100.0 * self.cross_box_fraction(),
             self.imbalance(),
-        )
+        );
+        if self.restarts() > 0 || self.checkpoint_bytes() > 0 {
+            out.push_str(&format!(
+                "\navailability {:.4} | restarts {} | checkpointed {} B | \
+                 restored {:.2} ms | recovered {} tok",
+                self.availability(),
+                self.restarts(),
+                self.checkpoint_bytes(),
+                self.restore_ms(),
+                self.recovered_tokens(),
+            ));
+        }
+        out
     }
 }
 
@@ -331,6 +395,11 @@ pub fn simulate_cluster_with(
             routed_tokens: routed_tokens[b],
             goodput_tokens_per_s: r.goodput_tokens_per_s,
             makespan_ms: r.makespan_ms,
+            availability: r.availability(),
+            restarts: r.restarts,
+            checkpoint_bytes: r.checkpoint_bytes,
+            restore_ms: r.restore_ms,
+            recovered_tokens: r.recovered_tokens,
         })
         .collect();
     // A one-box cluster *is* its box: skip the second merge level so the
@@ -455,6 +524,54 @@ mod tests {
         let direct = crate::engine::simulate(&plain).unwrap();
         assert_eq!(format!("{:?}", c.report), format!("{direct:?}"));
         assert_eq!(c.cross_box_requests, 0);
+    }
+
+    #[test]
+    fn cluster_availability_weights_boxes_by_their_own_makespan() {
+        // Mirrors the PR-8 kv_block_utilization weighting fix at tp=2:
+        // each box's availability must be measured against its *local*
+        // makespan before device-weighting, not re-derived from the
+        // cluster makespan the merged report carries.
+        use gaudi_hw::{fault::FaultPlan, DeviceId};
+
+        let mut cfg = cluster_config(2, 2, 120);
+        cfg.box_config.faults = FaultPlan::none().kill_for(DeviceId(1), 5.0, 20.0);
+        cfg.box_config.robustness = crate::RobustnessConfig::unlimited().checkpoint(4.0, 64e9);
+        let c = simulate_cluster(&cfg).unwrap();
+
+        // The same plan hits every box: both restart once and both
+        // checkpoint, and the cluster accessors are the per-box sums.
+        assert_eq!(c.restarts(), 2);
+        assert_eq!(
+            c.restarts(),
+            c.per_box.iter().map(|b| b.restarts).sum::<usize>()
+        );
+        assert!(c.availability() < 1.0, "a down window must cost up-time");
+        assert!(c.checkpoint_bytes() > 0, "live chains must snapshot");
+        assert_eq!(
+            c.checkpoint_bytes(),
+            c.per_box.iter().map(|b| b.checkpoint_bytes).sum::<u64>()
+        );
+
+        // Device-weighted identity: equal-width boxes reduce to the mean
+        // of the per-box values...
+        let mean = c.per_box.iter().map(|b| b.availability).sum::<f64>() / c.boxes as f64;
+        assert!((c.availability() - mean).abs() < 1e-12);
+        // ...and the naive merged-report gauge disagrees whenever box
+        // makespans differ (the shorter box's cards get under-counted
+        // against the cluster-wide makespan).
+        let spans: Vec<f64> = c.per_box.iter().map(|b| b.makespan_ms).collect();
+        assert!(
+            (spans[0] - spans[1]).abs() > 1e-9,
+            "fixture must produce uneven box makespans, got {spans:?}"
+        );
+        assert!(
+            (c.availability() - c.report.availability()).abs() > 1e-9,
+            "weighted {} vs naive {} should diverge under uneven makespans",
+            c.availability(),
+            c.report.availability()
+        );
+        assert!(c.render().contains("availability"));
     }
 
     #[test]

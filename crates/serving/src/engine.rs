@@ -80,7 +80,7 @@ use gaudi_models::LlmConfig;
 use gaudi_profiler::trace::TraceEvent;
 use gaudi_profiler::Trace;
 use gaudi_tensor::DType;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Full configuration of a serving simulation.
@@ -466,6 +466,22 @@ struct Replica<'a> {
     /// The padding share of `scheduled_tokens`: slots priced but holding
     /// no live token, from ctx-bucket and batch-bucket rounding.
     padded_tokens: usize,
+    /// KV row size, bytes — what checkpoint and restore copies are priced
+    /// by.
+    kv_bytes_per_token: u64,
+    /// Replica clock of the next due KV snapshot (infinity: no policy).
+    next_checkpoint_ms: f64,
+    /// Host-side snapshot state: generated-token count per request at its
+    /// last checkpoint. Host DRAM survives the card's death, so the map is
+    /// *not* cleared on restart; it is only ever probed by id (never
+    /// iterated), keeping the simulation order-deterministic.
+    snapshots: HashMap<u64, usize>,
+    /// Bytes snapshotted to host across all checkpoints.
+    checkpoint_bytes: u64,
+    /// Clock spent restoring snapshots over DMA, ms.
+    restore_ms: f64,
+    /// Generated tokens resumed from snapshots instead of recomputed.
+    recovered_tokens: u64,
     trace: Trace,
 }
 
@@ -486,6 +502,13 @@ impl<'a> Replica<'a> {
                 activation_reserve,
             )
             .map_err(ServingError::WeightsDontFit)?;
+        let kv_bytes_per_token = cfg
+            .kv_admission
+            .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+        let next_checkpoint_ms = cfg
+            .robustness
+            .checkpoint
+            .map_or(f64::INFINITY, |c| c.interval_ms);
         Ok(Replica {
             cfg,
             device,
@@ -521,6 +544,12 @@ impl<'a> Replica<'a> {
             peak_running: 0,
             scheduled_tokens: 0,
             padded_tokens: 0,
+            kv_bytes_per_token,
+            next_checkpoint_ms,
+            snapshots: HashMap::new(),
+            checkpoint_bytes: 0,
+            restore_ms: 0.0,
+            recovered_tokens: 0,
             trace: Trace::new(),
         })
     }
@@ -634,6 +663,8 @@ impl<'a> Replica<'a> {
     /// finished past its end-to-end deadline.
     fn retire(&mut self, a: Active) -> Result<(), ServingError> {
         self.kv.release(a.job.req.id)?;
+        // The host-side snapshot of a finished chain is dead weight.
+        self.snapshots.remove(&a.job.req.id);
         let Active {
             job,
             outcome,
@@ -663,15 +694,130 @@ impl<'a> Replica<'a> {
         }
         self.housekeep();
 
-        // Admission: one prefill per step, so the caller's limit is
-        // re-checked between back-to-back admissions.
+        // Periodic KV checkpoint: snapshot every running chain to host,
+        // priced as a DMA phase against the replica clock. The snapshot
+        // captures each chain's generated-token count; a later `kill_for`
+        // orphan restores it instead of recomputing from scratch.
+        if let Some(ckpt) = self.cfg.robustness.checkpoint {
+            if self.clock_ms >= self.next_checkpoint_ms && self.clock_ms < limit_ms {
+                self.next_checkpoint_ms = self.clock_ms + ckpt.interval_ms;
+                if !self.running.is_empty() {
+                    let bytes: u64 = self
+                        .running
+                        .iter()
+                        .map(|a| a.ctx as u64 * self.kv_bytes_per_token)
+                        .sum();
+                    let ms = bytes as f64 / ckpt.dma_bytes_per_s * 1e3;
+                    let c = PhaseCost {
+                        ms,
+                        dma_busy_ns: ms * 1e6,
+                        ..PhaseCost::default()
+                    };
+                    self.record("kv_checkpoint", &c);
+                    self.checkpoint_bytes += bytes;
+                    for a in &self.running {
+                        self.snapshots.insert(a.job.req.id, a.generated);
+                    }
+                    return Ok(true);
+                }
+            }
+        }
+
+        // Admission: one prefill (or snapshot restore) per step, so the
+        // caller's limit is re-checked between back-to-back admissions.
         if self.running.len() < self.cfg.max_batch && self.clock_ms < limit_ms {
             if let Some(front) = self.waiting.front() {
-                if self
-                    .kv
-                    .try_admit(front.req.id, front.req.prompt_len, front.req.output_len)
-                    .is_ok()
-                {
+                // An orphan that was checkpointed before its replica died
+                // restores the snapshot over DMA instead of re-running the
+                // prefill — see the restore branch below.
+                let snap = front.checkpointed_tokens;
+                let admitted = if snap > 0 {
+                    self.kv
+                        .try_restore(
+                            front.req.id,
+                            front.req.prompt_len,
+                            front.req.output_len,
+                            snap,
+                        )
+                        .is_ok()
+                } else {
+                    self.kv
+                        .try_admit(front.req.id, front.req.prompt_len, front.req.output_len)
+                        .is_ok()
+                };
+                if admitted && snap > 0 {
+                    let job = self.waiting.pop_front().expect("front checked");
+                    self.waiting_tokens -= job.req.total_tokens();
+                    let queue_ms = self.clock_ms - job.submitted_ms();
+                    let factor = self.cfg.faults.slowdown_factor(self.device, self.clock_ms);
+                    let ckpt = self
+                        .cfg
+                        .robustness
+                        .checkpoint
+                        .expect("a snapshot implies a checkpoint policy");
+                    // The restore copies the whole checkpointed chain —
+                    // prompt KV plus the snapshotted decode tokens — back
+                    // from host over DMA. No recipe warmup: it is a copy,
+                    // not a compiled graph, and the cold-cache recompiles
+                    // still land on the first prefill/decode shapes.
+                    let bytes = (job.req.prompt_len + snap) as u64 * self.kv_bytes_per_token;
+                    let ms = bytes as f64 / ckpt.dma_bytes_per_s * 1e3;
+                    let c = PhaseCost {
+                        ms,
+                        dma_busy_ns: ms * 1e6,
+                        ..PhaseCost::default()
+                    }
+                    .scaled(factor);
+                    // Deadline-aware restore, mirroring admission: a chain
+                    // whose first re-served token would land past the TTFT
+                    // SLO is dropped before wasting the copy.
+                    let ttft_ms = self.clock_ms + c.ms - job.req.arrival_ms();
+                    if self
+                        .cfg
+                        .robustness
+                        .ttft_deadline_ms
+                        .is_some_and(|d| ttft_ms > d)
+                    {
+                        self.kv.release(job.req.id)?;
+                        let at = self.clock_ms;
+                        self.drop_job(job, DropKind::TimedOut, at, 0);
+                        return Ok(true);
+                    }
+                    self.record("kv_restore", &c);
+                    self.restore_ms += c.ms;
+                    self.recovered_tokens += snap as u64;
+                    // The restored chain is (again) this replica's latest
+                    // host snapshot.
+                    self.snapshots.insert(job.req.id, snap);
+                    let outcome = RequestOutcome {
+                        id: job.req.id,
+                        arrival_ms: job.req.arrival_ms(),
+                        prompt_len: job.req.prompt_len,
+                        output_len: job.req.output_len,
+                        queue_ms,
+                        ttft_ms,
+                        retries: job.retries,
+                        finish_ms: 0.0,
+                        token_times_ms: {
+                            let mut t = Vec::with_capacity(job.req.output_len - snap + 1);
+                            t.push(self.clock_ms);
+                            t
+                        },
+                    };
+                    // A snapshot is always strictly mid-decode (running
+                    // never holds finished chains at a boundary), so the
+                    // restored chain re-enters the batch, never retires
+                    // here.
+                    self.running.push(Active {
+                        ctx: job.req.prompt_len + snap,
+                        generated: snap,
+                        outcome,
+                        job,
+                    });
+                    self.peak_running = self.peak_running.max(self.running.len());
+                    return Ok(true);
+                }
+                if admitted {
                     let job = self.waiting.pop_front().expect("front checked");
                     self.waiting_tokens -= job.req.total_tokens();
                     let queue_ms = self.clock_ms - job.submitted_ms();
@@ -773,10 +919,15 @@ impl<'a> Replica<'a> {
                     g += 1;
                     continue;
                 }
-                let victim = self.running.pop().expect("running is non-empty");
+                let mut victim = self.running.pop().expect("running is non-empty");
                 self.kv.release(victim.job.req.id)?;
                 self.preemptions += 1;
-                self.requeued_tokens += victim.generated;
+                // A checkpointed victim restores its latest host snapshot
+                // on re-admission instead of recomputing from scratch;
+                // only the tokens past the snapshot are truly lost.
+                let snap = self.snapshots.get(&victim.job.req.id).copied().unwrap_or(0);
+                victim.job.checkpointed_tokens = snap;
+                self.requeued_tokens += victim.generated.saturating_sub(snap);
                 self.waiting_tokens += victim.job.req.total_tokens();
                 self.waiting.push_front(victim.job);
             }
@@ -861,8 +1012,14 @@ impl<'a> Replica<'a> {
         self.down_since = Some(at_ms);
         self.kills += 1;
         let mut orphans = Vec::new();
-        for a in self.running.drain(..).collect::<Vec<_>>() {
-            self.requeued_tokens += a.generated;
+        for mut a in self.running.drain(..).collect::<Vec<_>>() {
+            // An in-flight chain with a host snapshot loses only the
+            // tokens generated since the snapshot; the orphan carries the
+            // snapshot position so its retry restores instead of
+            // recomputing.
+            let snap = self.snapshots.get(&a.job.req.id).copied().unwrap_or(0);
+            a.job.checkpointed_tokens = snap;
+            self.requeued_tokens += a.generated.saturating_sub(snap);
             self.kv.release(a.job.req.id)?;
             orphans.push(a.job);
         }
@@ -976,6 +1133,9 @@ impl<'a> Replica<'a> {
             devices: 1,
             retries,
             requeued_tokens: self.requeued_tokens,
+            checkpoint_bytes: self.checkpoint_bytes,
+            restore_ms: self.restore_ms,
+            recovered_tokens: self.recovered_tokens,
             failed_replicas: self.kills,
             restarts: self.restarts,
             replica_uptime_ms: vec![uptime_ms],
@@ -1185,10 +1345,71 @@ pub fn simulate_trace_with(
         simulate_box(cfg, requests, &make_cost, activation_reserve)?
     };
 
-    if cfg.devices == 1 {
-        return Ok(reports.pop().expect("exactly one replica"));
+    let mut report = if cfg.devices == 1 {
+        reports.pop().expect("exactly one replica")
+    } else {
+        ServingReport::merge_replicas(cfg.devices, reports)
+    };
+    // Fault-lane observability: overlay the plan's kill/restart/flap/
+    // slowdown windows as device-tagged trace lanes, so a Chrome-trace
+    // export shows *why* a card's serving lanes go quiet. Appended after
+    // the merge (merging re-tags per-replica events by device) so the
+    // lanes keep their own device tags.
+    if cfg.record_trace && !cfg.faults.is_empty() {
+        record_fault_lanes(
+            &mut report.trace,
+            &cfg.faults,
+            cfg.devices,
+            report.makespan_ms,
+        );
     }
-    Ok(ServingReport::merge_replicas(cfg.devices, reports))
+    Ok(report)
+}
+
+/// Append one trace lane per fault window, tagged with the device it hits:
+/// `kill` (down window, with a zero-width `restart` marker for transient
+/// kills), `flap`/`degrade` on both endpoints of a degraded link, and
+/// `slowdown` per throttled card. Open-ended windows (permanent kills and
+/// degradations) extend to the report's makespan.
+fn record_fault_lanes(trace: &mut Trace, faults: &FaultPlan, devices: usize, makespan_ms: f64) {
+    let event = |name: &'static str, engine: EngineId, s_ms: f64, e_ms: f64| {
+        TraceEvent::basic(
+            name,
+            "fault",
+            engine,
+            s_ms * 1e6,
+            (e_ms - s_ms).max(0.0) * 1e6,
+        )
+    };
+    for c in &faults.card_failures {
+        let end_ms = c
+            .restart_after_ms
+            .map_or(makespan_ms.max(c.at_ms), |d| c.at_ms + d);
+        trace.push(event("kill", EngineId::Host, c.at_ms, end_ms).on_device(c.device));
+        if c.restart_after_ms.is_some() {
+            trace.push(event("restart", EngineId::Host, end_ms, end_ms).on_device(c.device));
+        }
+    }
+    for l in &faults.link_degradations {
+        let name = if l.window.is_some() {
+            "flap"
+        } else {
+            "degrade"
+        };
+        let (s, e) = l.window.unwrap_or((0.0, makespan_ms));
+        for d in [l.a, l.b] {
+            trace.push(event(name, EngineId::Nic, s, e).on_device(d));
+        }
+    }
+    for s in &faults.slowdowns {
+        let targets: Vec<DeviceId> = match s.device {
+            Some(d) => vec![d],
+            None => (0..devices).map(DeviceId).collect(),
+        };
+        for d in targets {
+            trace.push(event("slowdown", EngineId::Host, s.start_ms, s.end_ms).on_device(d));
+        }
+    }
 }
 
 /// Event-driven multi-replica simulation under a fault plan with kills.

@@ -8,10 +8,15 @@
 //! incremented. The engine's event loop re-dispatches orphans *live*, onto
 //! whichever replicas are up when the backoff expires — round-robin or
 //! least-loaded, per the [`RedistributionPolicy`] — so a replica that
-//! restarts mid-run takes new work the moment it is back. Tokens the dead
-//! card had already generated are lost and regenerated from scratch (the
-//! simulator models no KV-cache migration), which is exactly the goodput
-//! cost the availability metrics in [`crate::ServingReport`] quantify.
+//! restarts mid-run takes new work the moment it is back. Without KV
+//! checkpointing, tokens the dead card had already generated are lost and
+//! regenerated from scratch — exactly the goodput cost the availability
+//! metrics in [`crate::ServingReport`] quantify. With a
+//! [`CheckpointPolicy`](crate::CheckpointPolicy), an orphan carries the
+//! generated-token count of its last host-side snapshot
+//! ([`Job::checkpointed_tokens`]), and the retry restores that many tokens
+//! over DMA instead of re-running prefill plus the snapshotted decode
+//! steps.
 
 use crate::request::Request;
 
@@ -30,6 +35,11 @@ pub struct Job {
     pub submitted_us: u64,
     /// Completed (failed) scheduling attempts before this one.
     pub retries: u32,
+    /// Generated tokens captured by the request's last KV snapshot, if its
+    /// previous attempt was checkpointed before the replica died. Zero for
+    /// fresh jobs and for orphans that never reached a checkpoint: the
+    /// attempt recomputes from scratch.
+    pub checkpointed_tokens: usize,
 }
 
 impl Job {
@@ -38,6 +48,7 @@ impl Job {
         Job {
             submitted_us: req.arrival_us,
             retries: 0,
+            checkpointed_tokens: 0,
             req,
         }
     }
@@ -93,6 +104,7 @@ mod tests {
         let r = j.requeued(10.5);
         assert_eq!(r.submitted_us, 10_500);
         assert_eq!(r.retries, 1);
+        assert_eq!(r.checkpointed_tokens, 0, "no snapshot unless one is set");
         // Requeue time never precedes the request's own arrival.
         let early = Job::fresh(req(1, 9_000, 8)).requeued(2.0);
         assert_eq!(early.submitted_us, 9_000);

@@ -199,6 +199,38 @@ pub trait KvAdmission: std::fmt::Debug + Send {
     /// paged admission wastes only the rounding of each chain's last
     /// block.
     fn utilization_at_peak(&self) -> f64;
+
+    /// Re-admit request `id` at a checkpointed decode position: reserve
+    /// its admission footprint and then grow it to `generated` live decode
+    /// tokens, as if the chain had been decoded in place. All-or-nothing:
+    /// if any growth step fails, the partial reservation is released and
+    /// the state is as before the call — the scheduler turns the failure
+    /// into backpressure exactly like a failed [`try_admit`].
+    ///
+    /// `generated` must be at least 1 (the chain was checkpointed after
+    /// its prefill produced the first token) and below `output_len`.
+    ///
+    /// [`try_admit`]: KvAdmission::try_admit
+    fn try_restore(
+        &mut self,
+        id: u64,
+        prompt_len: usize,
+        output_len: usize,
+        generated: usize,
+    ) -> Result<(), OutOfMemory> {
+        debug_assert!((1..output_len.max(1)).contains(&generated));
+        self.try_admit(id, prompt_len, output_len)?;
+        // Admission leaves `prompt + 1` live tokens — the first generated
+        // token — so the snapshot needs `generated - 1` growth steps.
+        for _ in 1..generated {
+            if let Err(oom) = self.grow(id) {
+                self.release(id)
+                    .expect("rolling back a reservation this call just made");
+                return Err(oom);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Tracks KV-cache reservations against device HBM.
@@ -493,6 +525,40 @@ mod tests {
         // …but a new peak does.
         kv.try_admit(1, 10, 10).unwrap();
         assert!(kv.utilization_at_peak() > u);
+    }
+
+    #[test]
+    fn try_restore_is_all_or_nothing() {
+        let acc = KvAccountant::new(&mem(1 << 20), 0, 1024).unwrap();
+        let mut kv = ContiguousKv::new(acc);
+        // Restore at 5 generated tokens: prompt 100 + 5 live, 140 reserved.
+        kv.try_restore(3, 100, 40, 5).unwrap();
+        assert_eq!(kv.allocated(), 140 * 1024);
+        kv.grow(3).unwrap();
+        kv.release(3).unwrap();
+        assert_eq!(kv.allocated(), 0);
+        // A restore that cannot even admit leaves the state untouched.
+        kv.try_admit(0, 900, 100).unwrap();
+        let before = kv.allocated();
+        assert!(kv.try_restore(4, 100, 40, 5).is_err());
+        assert_eq!(kv.allocated(), before);
+    }
+
+    #[test]
+    fn paged_restore_rolls_back_when_the_pool_runs_dry() {
+        // Paged pool sized so admission fits but mid-restore growth does
+        // not: the failed restore must release its partial reservation.
+        let m = LlmConfig::paper_section_3_4(50257);
+        let per_token = KvAdmissionConfig::paged().kv_bytes_per_token(&m, DType::F32);
+        let cap = 40 * per_token;
+        let mut kv = crate::paged::PagedKv::new(&mem(cap), 0, per_token, 16).unwrap();
+        // One block-hungry resident chain leaves a single 16-token block.
+        kv.try_admit(0, 20, 4).unwrap();
+        let before = kv.allocated();
+        // Restoring 100 prompt + 30 generated needs far more than a block.
+        assert!(kv.try_restore(1, 100, 40, 30).is_err());
+        assert_eq!(kv.allocated(), before, "partial restore must roll back");
+        assert!(kv.peak() <= kv.capacity());
     }
 
     #[test]

@@ -81,9 +81,9 @@ pub use engine::{
 pub use error::ServingError;
 pub use fault::{Job, RedistributionPolicy};
 pub use gaudi_exec::ExecPool;
-pub use gaudi_hw::fault::FaultPlan;
+pub use gaudi_hw::fault::{FaultCampaign, FaultError, FaultPlan};
 pub use kv::{ActivationBudget, ContiguousKv, KvAccountant, KvAdmission, KvAdmissionConfig};
 pub use paged::{BlockPool, PagedKv};
 pub use report::{DropKind, DroppedRequest, Percentiles, RequestOutcome, ServingReport};
 pub use request::{generate_requests, Request, TrafficConfig};
-pub use robustness::RobustnessConfig;
+pub use robustness::{CheckpointPolicy, RobustnessConfig};

@@ -202,7 +202,20 @@ pub struct ServingReport {
     pub retries: usize,
     /// Output tokens that had been generated on a card when it died and
     /// had to be regenerated elsewhere (lost work, excluded from goodput).
+    /// With checkpointing, only tokens generated *past* the last snapshot
+    /// count here — the snapshotted prefix restores instead.
     pub requeued_tokens: usize,
+    /// KV bytes snapshotted to host across all periodic checkpoints (zero
+    /// without a [`CheckpointPolicy`]).
+    ///
+    /// [`CheckpointPolicy`]: crate::CheckpointPolicy
+    pub checkpoint_bytes: u64,
+    /// Replica clock spent restoring host snapshots over DMA after
+    /// failures and preemptions, ms.
+    pub restore_ms: f64,
+    /// Generated tokens resumed from host snapshots instead of being
+    /// recomputed — the recomputation work checkpointing saved.
+    pub recovered_tokens: u64,
     /// Replica kill events the fault plan delivered (a device that dies
     /// and restarts twice counts twice).
     pub failed_replicas: usize,
@@ -399,6 +412,11 @@ impl ServingReport {
                     format!("{:.1}%", self.availability() * 100.0),
                 ]);
         }
+        if self.checkpoint_bytes > 0 {
+            eng.row(&["checkpoint bytes".into(), self.checkpoint_bytes.to_string()])
+                .row(&["restore ms".into(), ms(self.restore_ms)])
+                .row(&["recovered tokens".into(), self.recovered_tokens.to_string()]);
+        }
 
         format!("{}\n{}", lat.render(), eng.render())
     }
@@ -451,6 +469,9 @@ impl ServingReport {
         let mut padded_tokens = 0;
         let mut retries = 0;
         let mut requeued_tokens = 0;
+        let mut checkpoint_bytes = 0;
+        let mut restore_ms = 0.0;
+        let mut recovered_tokens = 0;
         let mut failed_replicas = 0;
         let mut restarts = 0;
         let mut replica_uptime_ms = Vec::with_capacity(devices);
@@ -488,6 +509,9 @@ impl ServingReport {
             padded_tokens += r.padded_tokens;
             retries += r.retries;
             requeued_tokens += r.requeued_tokens;
+            checkpoint_bytes += r.checkpoint_bytes;
+            restore_ms += r.restore_ms;
+            recovered_tokens += r.recovered_tokens;
             failed_replicas += r.failed_replicas;
             restarts += r.restarts;
             replica_uptime_ms.extend(r.replica_uptime_ms);
@@ -551,6 +575,9 @@ impl ServingReport {
             devices,
             retries,
             requeued_tokens,
+            checkpoint_bytes,
+            restore_ms,
+            recovered_tokens,
             failed_replicas,
             restarts,
             replica_uptime_ms,
@@ -623,6 +650,9 @@ impl ServingReport {
         let mut padded_tokens = 0;
         let mut retries = 0;
         let mut requeued_tokens = 0;
+        let mut checkpoint_bytes = 0;
+        let mut restore_ms = 0.0;
+        let mut recovered_tokens = 0;
         let mut failed_replicas = 0;
         let mut restarts = 0;
         let mut replica_uptime_ms = Vec::with_capacity(devices);
@@ -651,6 +681,9 @@ impl ServingReport {
             padded_tokens += r.padded_tokens;
             retries += r.retries;
             requeued_tokens += r.requeued_tokens;
+            checkpoint_bytes += r.checkpoint_bytes;
+            restore_ms += r.restore_ms;
+            recovered_tokens += r.recovered_tokens;
             failed_replicas += r.failed_replicas;
             restarts += r.restarts;
             replica_uptime_ms.extend(r.replica_uptime_ms);
@@ -714,6 +747,9 @@ impl ServingReport {
             devices,
             retries,
             requeued_tokens,
+            checkpoint_bytes,
+            restore_ms,
+            recovered_tokens,
             failed_replicas,
             restarts,
             replica_uptime_ms,
@@ -761,6 +797,9 @@ mod tests {
             devices,
             retries: 0,
             requeued_tokens: 0,
+            checkpoint_bytes: 0,
+            restore_ms: 0.0,
+            recovered_tokens: 0,
             failed_replicas: 0,
             restarts: 0,
             replica_uptime_ms: vec![10.0; devices],
@@ -838,6 +877,9 @@ mod tests {
             devices: 1,
             retries: 0,
             requeued_tokens: 0,
+            checkpoint_bytes: 0,
+            restore_ms: 0.0,
+            recovered_tokens: 0,
             failed_replicas: 0,
             restarts: 0,
             replica_uptime_ms: vec![12.5],
@@ -878,6 +920,21 @@ mod tests {
         assert!(text.contains("failed replicas"));
         assert!(text.contains("requeued tokens"));
         assert_eq!(faulted.availability(), 0.75);
+        assert!(
+            !text.contains("checkpoint bytes"),
+            "recovery rows hidden when nothing was checkpointed"
+        );
+
+        let checkpointed = ServingReport {
+            checkpoint_bytes: 4096,
+            restore_ms: 0.5,
+            recovered_tokens: 12,
+            ..r.clone()
+        };
+        let text = checkpointed.render();
+        assert!(text.contains("checkpoint bytes"));
+        assert!(text.contains("restore ms"));
+        assert!(text.contains("recovered tokens"));
 
         let overloaded = ServingReport {
             offered: 3,

@@ -32,6 +32,32 @@
 
 use gaudi_tensor::SeededRng;
 
+/// Periodic KV-cache checkpointing to host memory.
+///
+/// Every `interval_ms` of replica clock, a replica snapshots the KV chains
+/// of its running requests to host DRAM over PCIe/DMA. The snapshot is
+/// *priced*, not free: the copy occupies the DMA engine for
+/// `bytes / dma_bytes_per_s` seconds of replica clock, so aggressive
+/// intervals show up as goodput loss even with zero faults.
+///
+/// The payoff comes at restart: a request orphaned by a [`kill_for`] whose
+/// chain was checkpointed restores the snapshot (again priced over DMA,
+/// `(prompt + checkpointed) * kv_bytes_per_token / dma_bytes_per_s`) and
+/// resumes decoding *past* the snapshot instead of re-running the full
+/// prefill plus every decode step from scratch. Cold recipe-cache
+/// recompiles after a restart are unaffected — checkpointing saves
+/// recomputation, not recompilation.
+///
+/// [`kill_for`]: gaudi_hw::FaultPlan::kill_for
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Replica-clock interval between snapshots, ms (> 0).
+    pub interval_ms: f64,
+    /// Host-link bandwidth the snapshot and restore copies are priced
+    /// against, bytes per second (> 0).
+    pub dma_bytes_per_s: f64,
+}
+
 /// Overload-protection and recovery policy for a serving simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RobustnessConfig {
@@ -65,6 +91,9 @@ pub struct RobustnessConfig {
     /// instead of a report with drops. The engine itself still records
     /// the drops; the flag only changes how the run is surfaced.
     pub require_completion: bool,
+    /// Periodic KV-cache checkpointing to host (`None`: orphaned requests
+    /// recompute from scratch on retry, the legacy behavior).
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for RobustnessConfig {
@@ -87,6 +116,7 @@ impl RobustnessConfig {
             backoff_jitter: 0.0,
             backoff_seed: 0,
             require_completion: false,
+            checkpoint: None,
         }
     }
 
@@ -133,6 +163,22 @@ impl RobustnessConfig {
     /// Tolerate at most `n` failed scheduling attempts per request.
     pub fn retries(mut self, n: u32) -> Self {
         self.max_retries = n;
+        self
+    }
+
+    /// Checkpoint running KV chains to host every `interval_ms`, pricing
+    /// the copies against `dma_bytes_per_s` (see [`CheckpointPolicy`]).
+    pub fn checkpoint(mut self, interval_ms: f64, dma_bytes_per_s: f64) -> Self {
+        self.checkpoint = Some(CheckpointPolicy {
+            interval_ms,
+            dma_bytes_per_s,
+        });
+        self
+    }
+
+    /// Disable KV checkpointing (the default).
+    pub fn no_checkpoint(mut self) -> Self {
+        self.checkpoint = None;
         self
     }
 
@@ -200,6 +246,20 @@ impl RobustnessConfig {
                 "backoff_jitter must be in [0, 1], got {}",
                 self.backoff_jitter
             ));
+        }
+        if let Some(ckpt) = self.checkpoint {
+            if !ckpt.interval_ms.is_finite() || ckpt.interval_ms <= 0.0 {
+                return Err(format!(
+                    "checkpoint interval_ms must be finite and > 0, got {}",
+                    ckpt.interval_ms
+                ));
+            }
+            if !ckpt.dma_bytes_per_s.is_finite() || ckpt.dma_bytes_per_s <= 0.0 {
+                return Err(format!(
+                    "checkpoint dma_bytes_per_s must be finite and > 0, got {}",
+                    ckpt.dma_bytes_per_s
+                ));
+            }
         }
         Ok(())
     }
@@ -290,6 +350,36 @@ mod tests {
             .is_err());
         assert!(RobustnessConfig::unlimited()
             .backoff(-1.0, 0.0, 0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn checkpoint_policy_composes_and_validates() {
+        let cfg = RobustnessConfig::unlimited().checkpoint(25.0, 64e9);
+        assert_eq!(
+            cfg.checkpoint,
+            Some(CheckpointPolicy {
+                interval_ms: 25.0,
+                dma_bytes_per_s: 64e9,
+            })
+        );
+        assert!(cfg.validate().is_ok());
+        assert!(
+            cfg.is_unlimited(),
+            "checkpointing never sheds or fails requests"
+        );
+        assert_eq!(cfg.no_checkpoint().checkpoint, None);
+        assert!(RobustnessConfig::unlimited()
+            .checkpoint(0.0, 64e9)
+            .validate()
+            .is_err());
+        assert!(RobustnessConfig::unlimited()
+            .checkpoint(25.0, -1.0)
+            .validate()
+            .is_err());
+        assert!(RobustnessConfig::unlimited()
+            .checkpoint(f64::NAN, 64e9)
             .validate()
             .is_err());
     }

@@ -435,4 +435,70 @@ fn main() {
     let out9 = std::path::Path::new("results").join("BENCH_9.json");
     std::fs::write(&out9, &json9).expect("BENCH_9.json is writable");
     println!("wrote {}", out9.display());
+
+    // --- PR 10: KV-checkpoint overhead at zero faults. ------------------
+
+    // The fault-lane machinery must be free when nothing fails: periodic
+    // snapshots cost only their priced DMA windows, so simulated goodput
+    // stays within 2% of the checkpoint-free baseline on the same stream.
+    let mut base10 = habana_gaudi_study::bin_support::fault_sweep_config();
+    base10.devices = 4;
+    if quick {
+        base10.traffic.num_requests = 48;
+    }
+    let ckpt_iters = if quick { 3 } else { 10 };
+    let time_cell = |cfg: &ServingConfig| {
+        let policy = ExecPolicy {
+            pool: ExecPool::serial(),
+            plans: PlanSharing::Shared(Arc::new(PlanCache::new())),
+        };
+        let t0 = Instant::now();
+        let mut report = None;
+        for _ in 0..ckpt_iters {
+            report = Some(simulate_with(cfg, &policy).expect("checkpoint cell simulates"));
+        }
+        (
+            t0.elapsed().as_secs_f64() * 1e3 / ckpt_iters as f64,
+            report.expect("at least one iteration ran"),
+        )
+    };
+    let (off_wall_ms, off_report) = time_cell(&base10);
+    let mut on10 = base10.clone();
+    on10.robustness = gaudi_serving::RobustnessConfig::unlimited()
+        .checkpoint(off_report.makespan_ms / 24.0, 64e9);
+    let (on_wall_ms, on_report) = time_cell(&on10);
+    let overhead = 1.0 - on_report.goodput_tokens_per_s / off_report.goodput_tokens_per_s;
+    println!(
+        "\nKV-checkpoint zero-fault cell ({ckpt_iters} runs, {} requests, 4 replicas):\n  \
+         checkpoint off  {off_wall_ms:>8.3} ms/run   goodput {:.1} tok/s\n  \
+         checkpoint on   {on_wall_ms:>8.3} ms/run   goodput {:.1} tok/s \
+         ({:.3}% goodput overhead, {} snapshot bytes)",
+        base10.traffic.num_requests,
+        off_report.goodput_tokens_per_s,
+        on_report.goodput_tokens_per_s,
+        overhead * 100.0,
+        on_report.checkpoint_bytes,
+    );
+    assert!(
+        on_report.checkpoint_bytes > 0,
+        "the checkpointed cell must actually snapshot"
+    );
+    assert!(
+        overhead.abs() <= 0.02,
+        "checkpoint overhead at zero faults must stay within 2% of baseline \
+         goodput, got {:.3}%",
+        overhead * 100.0
+    );
+
+    let json10 = format!(
+        "{{\n  \"benchmark\": \"PR-10 KV-checkpoint overhead at zero faults\",\n  \
+         \"quick\": {quick},\n  \"runs\": {ckpt_iters},\n  \
+         \"off_wall_ms\": {off_wall_ms:.4},\n  \"on_wall_ms\": {on_wall_ms:.4},\n  \
+         \"off_goodput_tok_s\": {:.6},\n  \"on_goodput_tok_s\": {:.6},\n  \
+         \"checkpoint_bytes\": {},\n  \"goodput_overhead_frac\": {overhead:.6}\n}}\n",
+        off_report.goodput_tokens_per_s, on_report.goodput_tokens_per_s, on_report.checkpoint_bytes,
+    );
+    let out10 = std::path::Path::new("results").join("BENCH_10.json");
+    std::fs::write(&out10, &json10).expect("BENCH_10.json is writable");
+    println!("wrote {}", out10.display());
 }

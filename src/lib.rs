@@ -57,14 +57,14 @@ pub mod prelude {
     };
     pub use gaudi_exec::ExecPool;
     pub use gaudi_graph::{CollectiveKind, Graph, NodeId, OpKind};
-    pub use gaudi_hw::{DeviceId, FaultPlan, GaudiConfig, Topology};
+    pub use gaudi_hw::{DeviceId, FaultCampaign, FaultPlan, GaudiConfig, Topology};
     pub use gaudi_models::{ActivationKind, AttentionKind, TransformerLayerConfig};
     pub use gaudi_profiler::{Trace, TraceAnalysis};
     pub use gaudi_runtime::{Feeds, MultiRunReport, NumericsMode, RunReport, Runtime};
     pub use gaudi_serving::{
-        ActivationBudget, DropKind, DroppedRequest, ExecPolicy, KvAdmissionConfig, PlanCache,
-        PlanSharing, RecipeConfig, RedistributionPolicy, RobustnessConfig, ServingConfig,
-        ServingConfigBuilder, ServingReport, TrafficConfig,
+        ActivationBudget, CheckpointPolicy, DropKind, DroppedRequest, ExecPolicy,
+        KvAdmissionConfig, PlanCache, PlanSharing, RecipeConfig, RedistributionPolicy,
+        RobustnessConfig, ServingConfig, ServingConfigBuilder, ServingReport, TrafficConfig,
     };
     pub use gaudi_tensor::{DType, SeededRng, Shape, Tensor};
 }

@@ -177,24 +177,6 @@ impl GaudiSession {
         Ok(report)
     }
 
-    /// Deprecated alias for [`serve`](Self::serve) with a completion
-    /// guarantee forced on: demand that *every* offered request completes,
-    /// turning any drop into [`GaudiError::Overloaded`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use serve() with RobustnessConfig::guaranteed() on the session builder or config"
-    )]
-    pub fn serve_guaranteed(&self, cfg: &ServingConfig) -> Result<ServingReport, GaudiError> {
-        let report = self.serve(cfg)?;
-        if !report.dropped.is_empty() {
-            return Err(GaudiError::Overloaded {
-                dropped: report.dropped.len(),
-                offered: report.offered,
-            });
-        }
-        Ok(report)
-    }
-
     /// The hardware configuration this session simulates.
     pub fn hw(&self) -> &GaudiConfig {
         &self.hw
@@ -597,8 +579,8 @@ mod tests {
             }
             other => panic!("expected Overloaded, got {other:?}"),
         }
-        // serve() with a guaranteed() config override covers what the
-        // deprecated serve_guaranteed alias used to: any drop is an error.
+        // serve() with a guaranteed() config override: any drop is an
+        // error (the old serve_guaranteed alias was removed in PR 10).
         let mut strict_cfg = cfg.clone();
         strict_cfg.robustness = RobustnessConfig::default().queue_depth(2).guaranteed();
         let strict_only = GaudiSession::builder().build().unwrap();

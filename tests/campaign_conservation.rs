@@ -1,0 +1,117 @@
+//! Conservation and capacity invariants under randomized fault campaigns.
+//!
+//! The campaign builders draw burst shapes from a seeded RNG, so these
+//! tests sweep many seeds (the workspace's stand-in for property tests —
+//! no proptest dependency) and pin the two invariants checkpointing must
+//! never bend:
+//!
+//! 1. **request conservation** — every offered request terminates exactly
+//!    once (completed or dropped), no matter which cards a campaign takes
+//!    down or how many orphans restore from snapshots instead of
+//!    recomputing;
+//! 2. **KV capacity** — a restored chain is re-admitted through the same
+//!    accountant as a fresh one, so the paged pool's peak usage never
+//!    exceeds its capacity even when restores and preemptions interleave.
+
+use habana_gaudi_study::prelude::*;
+
+fn campaign_config(devices: usize) -> ServingConfig {
+    let mut cfg = ServingConfig::paper_gpt();
+    cfg.traffic = TrafficConfig {
+        arrival_rate_per_s: 1_200.0,
+        num_requests: 48,
+        prompt_range: (16, 64),
+        output_range: (4, 24),
+        zipf_s: 1.1,
+        seed: 13,
+    };
+    cfg.max_batch = 6;
+    cfg.ctx_bucket = 64;
+    cfg.devices = devices;
+    cfg.robustness = RobustnessConfig::unlimited().checkpoint(3.0, 64e9);
+    cfg
+}
+
+#[test]
+fn checkpointed_campaigns_conserve_every_request() {
+    let base = campaign_config(4);
+    let topo = Topology::cluster(&base.hw, 2, 2, 1.0);
+    let mut restored_any = false;
+    for seed in 0..12u64 {
+        let mut cfg = base.clone();
+        cfg.faults = if seed % 2 == 0 {
+            FaultCampaign::rack_power(1 + (seed as usize / 2) % 3, (5.0, 25.0))
+                .seeded(seed, &topo, 100.0)
+                .expect("rack campaigns lower to valid plans")
+        } else {
+            FaultCampaign::cascade_flaps(DeviceId((seed % 4) as usize), 2, 0.9, 0.5, 2)
+                .seeded(seed, &topo, 100.0)
+                .expect("cascade campaigns lower to valid plans")
+        };
+        let r = habana_gaudi_study::serving::simulate(&cfg).expect("campaign cell simulates");
+        assert_eq!(
+            r.completed.len() + r.dropped.len(),
+            r.offered,
+            "seed {seed}: every request must terminate exactly once"
+        );
+        assert_eq!(r.offered, cfg.traffic.num_requests, "seed {seed}");
+        assert!(
+            r.kv_peak_bytes <= r.kv_capacity_bytes,
+            "seed {seed}: KV admission overflowed HBM"
+        );
+        restored_any |= r.recovered_tokens > 0;
+    }
+    assert!(
+        restored_any,
+        "across a dozen seeded campaigns at a 3 ms checkpoint interval, \
+         at least one orphan must restore from its snapshot"
+    );
+}
+
+#[test]
+fn restored_chains_never_exceed_the_paged_pool() {
+    // Shrink HBM until paged admission preempts, then batter the box with
+    // rack campaigns: restores re-reserve through the block pool, so even
+    // a restore racing a preemption must respect capacity.
+    let base = campaign_config(2);
+    let topo = Topology::cluster(&base.hw, 2, 1, 1.0);
+    let mut restored_any = false;
+    let mut preempted_any = false;
+    for seed in 0..8u64 {
+        let mut cfg = base.clone();
+        cfg.kv_admission = KvAdmissionConfig::Paged { block_tokens: 16 };
+        let weights = cfg
+            .kv_admission
+            .weight_bytes(&cfg.model, 64 + 24, cfg.kv_dtype);
+        let per_tok = cfg
+            .kv_admission
+            .kv_bytes_per_token(&cfg.model, cfg.kv_dtype);
+        cfg.hw.memory.hbm_capacity_bytes = weights + per_tok * 144;
+        cfg.faults = FaultCampaign::rack_power(2, (5.0, 20.0))
+            .seeded(seed, &topo, 150.0)
+            .expect("rack campaigns lower to valid plans");
+        let r = habana_gaudi_study::serving::simulate(&cfg).expect("paged campaign simulates");
+        assert_eq!(
+            r.completed.len() + r.dropped.len(),
+            r.offered,
+            "seed {seed}: every request must terminate exactly once"
+        );
+        assert!(
+            r.kv_peak_bytes <= r.kv_capacity_bytes,
+            "seed {seed}: a restore pushed the paged pool past capacity \
+             ({} > {})",
+            r.kv_peak_bytes,
+            r.kv_capacity_bytes
+        );
+        restored_any |= r.recovered_tokens > 0;
+        preempted_any |= r.preemptions > 0;
+    }
+    assert!(
+        restored_any,
+        "the tight-pool campaign sweep must exercise at least one restore"
+    );
+    assert!(
+        preempted_any,
+        "the pool must be tight enough that preemption actually happens"
+    );
+}

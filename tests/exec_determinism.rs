@@ -197,6 +197,56 @@ fn paged_warmup_restart_run_is_bit_identical_across_policies() {
 }
 
 #[test]
+fn checkpointed_campaign_run_is_bit_identical_across_policies() {
+    // Everything PR 10 added at once — a seeded rack-power campaign
+    // lowered over the box topology, periodic KV checkpoints priced over
+    // DMA, and snapshot restores replacing recompute after the correlated
+    // kills — must remain a pure function of the config under every
+    // execution policy.
+    let mut cfg = serving_config(4);
+    let topo = Topology::cluster(&cfg.hw, 2, 2, 1.0);
+    cfg.faults = FaultCampaign::rack_power(2, (8.0, 20.0))
+        .seeded(33, &topo, 120.0)
+        .expect("the campaign lowers to a valid plan");
+    cfg.robustness = RobustnessConfig::default().checkpoint(3.0, 64e9);
+    let cache = Arc::new(PlanCache::new());
+    let reference = simulate_with(&cfg, &ExecPolicy::serial_baseline()).unwrap();
+    assert_eq!(
+        reference.restarts, 4,
+        "both rack events must hit whole boxes"
+    );
+    assert!(
+        reference.checkpoint_bytes > 0,
+        "running chains must snapshot"
+    );
+    assert!(
+        reference.recovered_tokens > 0,
+        "at least one orphan must restore instead of recomputing"
+    );
+    assert_eq!(
+        reference.completed.len() + reference.dropped.len(),
+        reference.offered
+    );
+    for (name, policy) in policies(&cache) {
+        let got = simulate_with(&cfg, &policy).unwrap();
+        assert_eq!(
+            full_digest(&got),
+            full_digest(&reference),
+            "policy '{name}' diverged from serial on the checkpointed campaign run"
+        );
+    }
+    // Warm shared cache: memoized plans must not perturb outcomes.
+    let warm = ExecPolicy {
+        pool: ExecPool::new(4),
+        plans: PlanSharing::Shared(cache),
+    };
+    assert_eq!(
+        full_digest(&simulate_with(&cfg, &warm).unwrap()),
+        full_digest(&reference)
+    );
+}
+
+#[test]
 fn cluster_report_is_bit_identical_across_policies() {
     // The cluster layer fans boxes out over the pool; the merged report
     // (and every routing gauge) must be a pure function of the config.
